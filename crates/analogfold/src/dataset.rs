@@ -1,0 +1,426 @@
+//! Training-data generation from the automated routing engine.
+//!
+//! The paper's key departure from GeniusRoute: labels come not from human
+//! layouts but from the automatic flow itself — sample a guidance set,
+//! route with it, extract parasitics, simulate, record the metrics
+//! ("We use 2000 samples on target design with different placements and
+//! routing solutions to train AnalogFold", §5.1).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use af_extract::extract;
+use af_geom::CostTriple;
+use af_netlist::Circuit;
+use af_place::Placement;
+use af_route::{route, NonUniformGuidance, RouteError, RouterConfig, RoutingGuidance};
+use af_sim::{simulate, Performance, SimConfig, SimError};
+use af_tech::Technology;
+
+use crate::hetero::HeteroGraph;
+
+/// One labeled sample: a guidance assignment and its simulated metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sample {
+    /// Flattened guidance for the graph's guided APs (row-major, 3 per AP).
+    pub guidance: Vec<f64>,
+    /// Simulated post-layout performance.
+    pub performance: Performance,
+}
+
+impl Sample {
+    /// Metrics as the canonical 5-vector
+    /// `[offset_uv, cmrr_db, bandwidth_mhz, dc_gain_db, noise_uvrms]`.
+    pub fn metrics(&self) -> [f64; 5] {
+        self.performance.as_array()
+    }
+}
+
+/// A labeled dataset for one (circuit, placement).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Samples in generation order.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Per-metric normalization statistics (z-score, with offset and noise
+/// handled in log space because they span orders of magnitude).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetStats {
+    /// Per-metric mean (of the possibly log-transformed values).
+    pub mean: [f64; 5],
+    /// Per-metric standard deviation (≥ 1e-9).
+    pub std: [f64; 5],
+}
+
+/// Metrics normalized in log space: offset (0) and noise (4) span orders of
+/// magnitude; CMRR/BW/gain are already logarithmic or narrow.
+const LOG_SPACE: [bool; 5] = [true, false, false, false, true];
+
+/// Floor applied before taking logs (µV / µVrms scale).
+const LOG_FLOOR: f64 = 1e-6;
+
+fn transform(y: &[f64; 5]) -> [f64; 5] {
+    let mut out = *y;
+    for i in 0..5 {
+        if LOG_SPACE[i] {
+            out[i] = out[i].max(LOG_FLOOR).ln();
+        }
+    }
+    out
+}
+
+fn untransform(y: &[f64; 5]) -> [f64; 5] {
+    let mut out = *y;
+    for i in 0..5 {
+        if LOG_SPACE[i] {
+            // clamp so untrained models cannot overflow to infinity
+            out[i] = out[i].clamp(-60.0, 60.0).exp();
+        }
+    }
+    out
+}
+
+impl TargetStats {
+    /// Identity statistics (no scaling; the log transform still applies).
+    pub fn identity() -> Self {
+        Self {
+            mean: [0.0; 5],
+            std: [1.0; 5],
+        }
+    }
+
+    /// Fits mean/std over a dataset (in transformed space).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit(dataset: &Dataset) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit stats on empty dataset");
+        let n = dataset.len() as f64;
+        let mut mean = [0.0; 5];
+        for s in &dataset.samples {
+            for (m, v) in mean.iter_mut().zip(transform(&s.metrics())) {
+                *m += v / n;
+            }
+        }
+        let mut var = [0.0; 5];
+        for s in &dataset.samples {
+            for ((v, m), x) in var.iter_mut().zip(mean).zip(transform(&s.metrics())) {
+                *v += (x - m) * (x - m) / n;
+            }
+        }
+        let std = var.map(|v| v.sqrt().max(1e-9));
+        Self { mean, std }
+    }
+
+    /// Normalizes a metric vector (log transform + z-score).
+    pub fn normalize(&self, y: &[f64; 5]) -> [f64; 5] {
+        let t = transform(y);
+        let mut out = [0.0; 5];
+        for i in 0..5 {
+            out[i] = (t[i] - self.mean[i]) / self.std[i];
+        }
+        out
+    }
+
+    /// Inverse of [`TargetStats::normalize`].
+    pub fn denormalize(&self, y: &[f64; 5]) -> [f64; 5] {
+        let mut t = [0.0; 5];
+        for i in 0..5 {
+            t[i] = y[i] * self.std[i] + self.mean[i];
+        }
+        untransform(&t)
+    }
+}
+
+/// Dataset-generation settings.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Number of samples to generate.
+    pub samples: usize,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Guidance sampling bounds (log-uniform).
+    pub c_low: f64,
+    /// Upper sampling bound.
+    pub c_high: f64,
+    /// Router settings used for every sample.
+    pub router: RouterConfig,
+    /// Simulator settings used for every sample.
+    pub sim: SimConfig,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            samples: 120,
+            seed: 2024,
+            c_low: 0.4,
+            c_high: 2.2,
+            router: RouterConfig::default(),
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// Error during dataset generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// The router failed on a sample.
+    Route(RouteError),
+    /// The simulator failed on a sample.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::Route(e) => write!(f, "routing failed: {e}"),
+            DatasetError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// Builds the router guidance field for a flattened guidance vector.
+pub fn guidance_field(graph: &HeteroGraph, guidance: &[f64]) -> NonUniformGuidance {
+    let guided = graph.guided_ap_indices();
+    assert_eq!(guidance.len(), guided.len() * 3, "guidance length mismatch");
+    let mut field = NonUniformGuidance::new();
+    for (row, &ap_idx) in guided.iter().enumerate() {
+        let ap = &graph.aps[ap_idx];
+        let triple = CostTriple([
+            guidance[row * 3],
+            guidance[row * 3 + 1],
+            guidance[row * 3 + 2],
+        ]);
+        field.set(ap.net, ap.pos, triple);
+    }
+    field
+}
+
+/// Convenience wrapper: rebuilds the heterogeneous graph for a placement and
+/// returns the router guidance field for a flattened guidance vector.
+pub fn guidance_field_for(
+    circuit: &Circuit,
+    placement: &Placement,
+    tech: &Technology,
+    guidance: &[f64],
+) -> NonUniformGuidance {
+    let graph = HeteroGraph::build(circuit, placement, tech, 3);
+    guidance_field(&graph, guidance)
+}
+
+/// Routes + extracts + simulates one guidance assignment.
+pub fn evaluate_guidance(
+    circuit: &Circuit,
+    placement: &Placement,
+    tech: &Technology,
+    graph: &HeteroGraph,
+    guidance: &[f64],
+    router: &RouterConfig,
+    sim: &SimConfig,
+) -> Result<Performance, DatasetError> {
+    let field = RoutingGuidance::NonUniform(guidance_field(graph, guidance));
+    let layout = route(circuit, placement, tech, &field, router).map_err(DatasetError::Route)?;
+    let parasitics = extract(circuit, tech, &layout);
+    simulate(circuit, Some(&parasitics), sim).map_err(DatasetError::Sim)
+}
+
+/// Generates a labeled dataset by sampling guidance log-uniformly in
+/// `[c_low, c_high]` per component.
+///
+/// # Errors
+///
+/// Propagates the first routing or simulation failure.
+pub fn generate_dataset(
+    circuit: &Circuit,
+    placement: &Placement,
+    tech: &Technology,
+    graph: &HeteroGraph,
+    cfg: &DatasetConfig,
+) -> Result<Dataset, DatasetError> {
+    let n_guided = graph.guided_ap_indices().len();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let (lo, hi) = (cfg.c_low.ln(), cfg.c_high.ln());
+    let mut samples = Vec::with_capacity(cfg.samples);
+    for _ in 0..cfg.samples {
+        let guidance: Vec<f64> = (0..n_guided * 3)
+            .map(|_| rng.gen_range(lo..=hi).exp())
+            .collect();
+        let performance = evaluate_guidance(
+            circuit, placement, tech, graph, &guidance, &cfg.router, &cfg.sim,
+        )?;
+        samples.push(Sample {
+            guidance,
+            performance,
+        });
+    }
+    Ok(Dataset { samples })
+}
+
+/// Generates a dataset spanning several placements of the same circuit —
+/// the paper trains on "2000 samples on target design with different
+/// placements and routing solutions". Each placement contributes
+/// `cfg.samples / placements.len()` samples (at least one), labeled against
+/// its own heterogeneous graph; the guidance vectors are only meaningful for
+/// graphs with the same guided-AP layout, which holds across placements of
+/// one circuit because AP enumeration follows the netlist pin order.
+///
+/// # Errors
+///
+/// Propagates the first routing or simulation failure.
+///
+/// # Panics
+///
+/// Panics if `placements` is empty or the guided-AP counts differ between
+/// placements.
+pub fn generate_dataset_multi(
+    circuit: &Circuit,
+    placements: &[&Placement],
+    tech: &Technology,
+    cfg: &DatasetConfig,
+) -> Result<Dataset, DatasetError> {
+    assert!(!placements.is_empty(), "need at least one placement");
+    let per = (cfg.samples / placements.len()).max(1);
+    let mut all = Dataset::default();
+    let mut expected_len: Option<usize> = None;
+    for (i, placement) in placements.iter().enumerate() {
+        let graph = HeteroGraph::build(circuit, placement, tech, 3);
+        let n = graph.guided_ap_indices().len() * 3;
+        match expected_len {
+            None => expected_len = Some(n),
+            Some(e) => assert_eq!(e, n, "guided-AP layout differs between placements"),
+        }
+        let sub = generate_dataset(
+            circuit,
+            placement,
+            tech,
+            &graph,
+            &DatasetConfig {
+                samples: per,
+                seed: cfg.seed.wrapping_add(i as u64),
+                ..cfg.clone()
+            },
+        )?;
+        all.samples.extend(sub.samples);
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_netlist::benchmarks;
+    use af_place::{place, PlacementVariant};
+
+    #[test]
+    fn stats_roundtrip() {
+        let mk = |o: f64| Sample {
+            guidance: vec![1.0; 3],
+            performance: Performance {
+                offset_uv: o,
+                cmrr_db: 80.0 + o,
+                bandwidth_mhz: 50.0,
+                dc_gain_db: 40.0,
+                noise_uvrms: 300.0 - o,
+            },
+        };
+        let ds = Dataset {
+            samples: vec![mk(10.0), mk(20.0), mk(30.0)],
+        };
+        let stats = TargetStats::fit(&ds);
+        let y = ds.samples[1].metrics();
+        let n = stats.normalize(&y);
+        let back = stats.denormalize(&n);
+        for (a, b) in y.iter().zip(back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // constant metric gets epsilon std, no NaN
+        assert!(stats.std.iter().all(|s| s.is_finite() && *s > 0.0));
+    }
+
+    #[test]
+    fn guidance_field_maps_aps() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let graph = HeteroGraph::build(&c, &p, &t, 2);
+        let n = graph.guided_ap_indices().len();
+        let guidance: Vec<f64> = (0..n * 3).map(|i| 0.5 + i as f64 * 0.01).collect();
+        let field = guidance_field(&graph, &guidance);
+        assert_eq!(field.len(), n);
+        // every guided net appears
+        for idx in graph.guided_ap_indices() {
+            let net = graph.aps[idx].net;
+            assert!(field.nets().any(|x| x == net));
+        }
+    }
+
+    #[test]
+    fn small_dataset_generation() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let graph = HeteroGraph::build(&c, &p, &t, 2);
+        let cfg = DatasetConfig {
+            samples: 3,
+            ..DatasetConfig::default()
+        };
+        let ds = generate_dataset(&c, &p, &t, &graph, &cfg).unwrap();
+        assert_eq!(ds.len(), 3);
+        for s in &ds.samples {
+            assert!(s.performance.dc_gain_db.is_finite());
+            assert!(s.guidance.iter().all(|&g| (0.3..=2.3).contains(&g)));
+        }
+        // different guidance should usually lead to different metrics
+        let o0 = ds.samples[0].performance.offset_uv;
+        let distinct = ds
+            .samples
+            .iter()
+            .any(|s| (s.performance.offset_uv - o0).abs() > 1e-9);
+        assert!(distinct, "samples should differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn stats_reject_empty() {
+        let _ = TargetStats::fit(&Dataset::default());
+    }
+
+    #[test]
+    fn multi_placement_dataset() {
+        let c = benchmarks::ota1();
+        let t = Technology::nm40();
+        let pa = place(&c, PlacementVariant::A);
+        let pb = place(&c, PlacementVariant::B);
+        let ds = generate_dataset_multi(
+            &c,
+            &[&pa, &pb],
+            &t,
+            &DatasetConfig {
+                samples: 4,
+                ..DatasetConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(ds.len(), 4, "2 samples per placement");
+        let len0 = ds.samples[0].guidance.len();
+        assert!(ds.samples.iter().all(|s| s.guidance.len() == len0));
+    }
+}

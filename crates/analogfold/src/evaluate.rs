@@ -1,0 +1,268 @@
+//! Model evaluation and dataset diagnostics.
+//!
+//! The paper reports no prediction-quality numbers, but any serious use of
+//! the 3DGNN needs them: [`kfold_mse`] cross-validates a model configuration
+//! on a labeled dataset, and [`DatasetSummary`] characterizes how strongly
+//! the sampled guidance actually moves each metric (if it doesn't, no model
+//! can help — the diagnostics catch that early).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, Sample, TargetStats};
+use crate::gnn::{GnnConfig, ThreeDGnn};
+use crate::hetero::HeteroGraph;
+
+/// Result of one cross-validation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KfoldReport {
+    /// Per-fold held-out MSE on normalized targets.
+    pub fold_mse: Vec<f64>,
+    /// Mean of [`KfoldReport::fold_mse`].
+    pub mean_mse: f64,
+    /// Baseline MSE of always predicting the training mean (≈ 1.0 on
+    /// z-scored targets); a useful model scores below this.
+    pub mean_predictor_mse: f64,
+}
+
+impl KfoldReport {
+    /// Skill score: `1 − mse/baseline` (positive = better than predicting
+    /// the mean).
+    pub fn skill(&self) -> f64 {
+        1.0 - self.mean_mse / self.mean_predictor_mse.max(1e-12)
+    }
+}
+
+/// Mean squared error of a trained model on normalized targets.
+pub fn holdout_mse(gnn: &ThreeDGnn, graph: &HeteroGraph, test: &[Sample]) -> f64 {
+    let stats = gnn.stats();
+    let mut total = 0.0;
+    for s in test {
+        let pred = gnn.predict(graph, &s.guidance);
+        let pn = stats.normalize(&pred);
+        let tn = stats.normalize(&s.metrics());
+        total += pn
+            .iter()
+            .zip(tn)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / 5.0;
+    }
+    total / test.len().max(1) as f64
+}
+
+/// K-fold cross-validation of a model configuration.
+///
+/// Trains `k` models, each holding out one contiguous fold, and reports the
+/// held-out MSE per fold plus the mean-predictor baseline.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or the dataset has fewer than `k` samples.
+pub fn kfold_mse(
+    cfg: &GnnConfig,
+    graph: &HeteroGraph,
+    dataset: &Dataset,
+    k: usize,
+) -> KfoldReport {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(
+        dataset.len() >= k,
+        "need at least k samples ({} < {k})",
+        dataset.len()
+    );
+    let n = dataset.len();
+    let mut fold_mse = Vec::with_capacity(k);
+    let mut baseline_total = 0.0;
+    for fold in 0..k {
+        let lo = fold * n / k;
+        let hi = (fold + 1) * n / k;
+        let test: Vec<Sample> = dataset.samples[lo..hi].to_vec();
+        let train = Dataset {
+            samples: dataset
+                .samples
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i < lo || *i >= hi)
+                .map(|(_, s)| s.clone())
+                .collect(),
+        };
+        let mut gnn = ThreeDGnn::new(cfg);
+        gnn.train(graph, &train, cfg);
+        fold_mse.push(holdout_mse(&gnn, graph, &test));
+
+        // mean-predictor baseline on the same split
+        let stats = TargetStats::fit(&train);
+        let mut base = 0.0;
+        for s in &test {
+            let tn = stats.normalize(&s.metrics());
+            base += tn.iter().map(|v| v * v).sum::<f64>() / 5.0;
+        }
+        baseline_total += base / test.len().max(1) as f64;
+    }
+    let mean_mse = fold_mse.iter().sum::<f64>() / k as f64;
+    KfoldReport {
+        fold_mse,
+        mean_mse,
+        mean_predictor_mse: baseline_total / k as f64,
+    }
+}
+
+/// Descriptive statistics of a labeled dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Sample count.
+    pub samples: usize,
+    /// Per-metric (min, max).
+    pub range: [(f64, f64); 5],
+    /// Per-metric coefficient of variation `σ/|µ|` — how much the sampled
+    /// guidance moves each metric at all.
+    pub cv: [f64; 5],
+    /// Pearson correlation between the mean guidance magnitude of a sample
+    /// and each metric.
+    pub guidance_correlation: [f64; 5],
+}
+
+/// Metric names in canonical order, for printing summaries.
+pub const METRIC_NAMES: [&str; 5] = ["offset_uv", "cmrr_db", "bandwidth_mhz", "dc_gain_db", "noise_uvrms"];
+
+/// Summarizes a dataset.
+///
+/// # Panics
+///
+/// Panics on an empty dataset.
+pub fn summarize(dataset: &Dataset) -> DatasetSummary {
+    assert!(!dataset.is_empty(), "empty dataset");
+    let n = dataset.len() as f64;
+    // raw-space statistics (TargetStats works in transformed space, which
+    // must not be mixed into the correlations here)
+    let mut mean = [0.0; 5];
+    for s in &dataset.samples {
+        for (m, v) in mean.iter_mut().zip(s.metrics()) {
+            *m += v / n;
+        }
+    }
+    let mut std = [0.0; 5];
+    for s in &dataset.samples {
+        for ((v, m), x) in std.iter_mut().zip(mean).zip(s.metrics()) {
+            *v += (x - m) * (x - m) / n;
+        }
+    }
+    let std = std.map(|v| v.sqrt().max(1e-12));
+    let mut range = [(f64::INFINITY, f64::NEG_INFINITY); 5];
+    for s in &dataset.samples {
+        for (r, v) in range.iter_mut().zip(s.metrics()) {
+            r.0 = r.0.min(v);
+            r.1 = r.1.max(v);
+        }
+    }
+    let mut cv = [0.0; 5];
+    for i in 0..5 {
+        cv[i] = std[i] / mean[i].abs().max(1e-12);
+    }
+    // Pearson correlation of mean-|C| with each raw metric
+    let gmeans: Vec<f64> = dataset
+        .samples
+        .iter()
+        .map(|s| s.guidance.iter().sum::<f64>() / s.guidance.len().max(1) as f64)
+        .collect();
+    let gmu = gmeans.iter().sum::<f64>() / n;
+    let gsd = (gmeans.iter().map(|g| (g - gmu) * (g - gmu)).sum::<f64>() / n)
+        .sqrt()
+        .max(1e-12);
+    let mut guidance_correlation = [0.0; 5];
+    for (k, corr) in guidance_correlation.iter_mut().enumerate() {
+        let mut cov = 0.0;
+        for (s, g) in dataset.samples.iter().zip(&gmeans) {
+            cov += (g - gmu) * (s.metrics()[k] - mean[k]) / n;
+        }
+        *corr = cov / (gsd * std[k]);
+    }
+    DatasetSummary {
+        samples: dataset.len(),
+        range,
+        cv,
+        guidance_correlation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_netlist::benchmarks;
+    use af_place::{place, PlacementVariant};
+    use af_sim::Performance;
+    use af_tech::Technology;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn graph() -> HeteroGraph {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        HeteroGraph::build(&c, &p, &Technology::nm40(), 2)
+    }
+
+    fn learnable_dataset(graph: &HeteroGraph, n: usize) -> Dataset {
+        let dim = graph.guided_ap_indices().len() * 3;
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let samples = (0..n)
+            .map(|_| {
+                let guidance: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.2..2.0)).collect();
+                let m = guidance.iter().sum::<f64>() / dim as f64;
+                Sample {
+                    guidance,
+                    performance: Performance {
+                        offset_uv: 500.0 * m,
+                        cmrr_db: 90.0 - 10.0 * m,
+                        bandwidth_mhz: 50.0,
+                        dc_gain_db: 40.0,
+                        noise_uvrms: 200.0 + 50.0 * m,
+                    },
+                }
+            })
+            .collect();
+        Dataset { samples }
+    }
+
+    #[test]
+    fn kfold_beats_mean_predictor_on_learnable_data() {
+        let graph = graph();
+        let ds = learnable_dataset(&graph, 80);
+        let cfg = GnnConfig {
+            epochs: 300,
+            lr: 5e-3,
+            ..GnnConfig::default()
+        };
+        let report = kfold_mse(&cfg, &graph, &ds, 2);
+        assert_eq!(report.fold_mse.len(), 2);
+        assert!(
+            report.skill() > 0.0,
+            "model should beat the mean predictor: {report:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k-fold needs k >= 2")]
+    fn kfold_rejects_k1() {
+        let graph = graph();
+        let ds = learnable_dataset(&graph, 10);
+        let _ = kfold_mse(&GnnConfig::default(), &graph, &ds, 1);
+    }
+
+    #[test]
+    fn summary_captures_correlations() {
+        let graph = graph();
+        let ds = learnable_dataset(&graph, 40);
+        let s = summarize(&ds);
+        assert_eq!(s.samples, 40);
+        // offset rises with guidance, cmrr falls
+        assert!(s.guidance_correlation[0] > 0.8, "{:?}", s.guidance_correlation);
+        assert!(s.guidance_correlation[1] < -0.8, "{:?}", s.guidance_correlation);
+        // constant metrics have ~zero cv
+        assert!(s.cv[2] < 1e-6);
+        // ranges ordered
+        for (lo, hi) in s.range {
+            assert!(lo <= hi);
+        }
+        assert_eq!(METRIC_NAMES.len(), 5);
+    }
+}

@@ -1,0 +1,441 @@
+//! The end-to-end AnalogFold flow (paper Fig. 1(c) and Fig. 2) with the
+//! runtime breakdown of Fig. 5.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use af_extract::{extract, Parasitics};
+use af_netlist::Circuit;
+use af_place::Placement;
+use af_route::{route, RoutedLayout, RouteError, RouterConfig, RoutingGuidance};
+use af_sim::{simulate, Performance, SimConfig, SimError};
+use af_tech::Technology;
+
+use crate::dataset::{generate_dataset, guidance_field, DatasetConfig, DatasetError};
+use crate::gnn::{GnnConfig, ThreeDGnn, TrainReport};
+use crate::hetero::HeteroGraph;
+use crate::potential::{relax_seeded, Potential, RelaxConfig};
+
+/// Configuration of the full flow.
+#[derive(Debug, Clone, Default)]
+pub struct FlowConfig {
+    /// Technology (defaults to the 40 nm-class stack).
+    pub tech: Technology,
+    /// Cross-net kNN edges per access point in the heterogeneous graph.
+    pub graph_knn: usize,
+    /// Dataset generation settings.
+    pub dataset: DatasetConfig,
+    /// 3DGNN settings.
+    pub gnn: GnnConfig,
+    /// Potential-relaxation settings.
+    pub relax: RelaxConfig,
+    /// Router settings for the final guided routing.
+    pub router: RouterConfig,
+    /// Simulator settings for the final evaluation.
+    pub sim: SimConfig,
+    /// Wall-clock seconds spent on placement (reported in the Fig. 5
+    /// breakdown; the flow itself takes the placement as input).
+    pub placement_s: f64,
+}
+
+/// Wall-clock runtime breakdown (Fig. 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeBreakdown {
+    /// Placement time (seconds) — supplied by the caller.
+    pub placement_s: f64,
+    /// Heterogeneous-graph / feature construction.
+    pub construct_db_s: f64,
+    /// Dataset generation + model training.
+    pub training_s: f64,
+    /// Inference: guidance generation (relaxation included).
+    pub guide_gen_s: f64,
+    /// Inference: guided detailed routing (+ final evaluation).
+    pub guided_route_s: f64,
+}
+
+impl RuntimeBreakdown {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.placement_s
+            + self.construct_db_s
+            + self.training_s
+            + self.guide_gen_s
+            + self.guided_route_s
+    }
+
+    /// Percentages in Fig. 5 order: construct DB, training, guide
+    /// generation, guided routing, placement.
+    pub fn percentages(&self) -> [f64; 5] {
+        let t = self.total().max(1e-12);
+        [
+            100.0 * self.construct_db_s / t,
+            100.0 * self.training_s / t,
+            100.0 * self.guide_gen_s / t,
+            100.0 * self.guided_route_s / t,
+            100.0 * self.placement_s / t,
+        ]
+    }
+}
+
+/// Errors of the flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// Data generation failed.
+    Dataset(String),
+    /// Routing failed.
+    Route(RouteError),
+    /// Simulation failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Dataset(e) => write!(f, "dataset generation failed: {e}"),
+            FlowError::Route(e) => write!(f, "routing failed: {e}"),
+            FlowError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<DatasetError> for FlowError {
+    fn from(e: DatasetError) -> Self {
+        FlowError::Dataset(e.to_string())
+    }
+}
+
+/// Result of one AnalogFold run.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// The derived guidance (flattened, 3 per guided AP).
+    pub guidance: Vec<f64>,
+    /// The guided routing solution.
+    pub layout: RoutedLayout,
+    /// Extracted parasitics of the final layout.
+    pub parasitics: Parasitics,
+    /// Simulated post-layout performance.
+    pub performance: Performance,
+    /// Training statistics.
+    pub train_report: TrainReport,
+    /// Wall-clock breakdown.
+    pub breakdown: RuntimeBreakdown,
+}
+
+/// The AnalogFold flow driver.
+#[derive(Debug, Clone)]
+pub struct AnalogFoldFlow {
+    cfg: FlowConfig,
+}
+
+impl AnalogFoldFlow {
+    /// Creates a flow with the given configuration.
+    pub fn new(cfg: FlowConfig) -> Self {
+        let cfg = FlowConfig {
+            graph_knn: if cfg.graph_knn == 0 { 3 } else { cfg.graph_knn },
+            ..cfg
+        };
+        Self { cfg }
+    }
+
+    /// Configuration access.
+    pub fn config(&self) -> &FlowConfig {
+        &self.cfg
+    }
+
+    /// Runs the complete flow on one placed circuit:
+    ///
+    /// 1. build the heterogeneous graph (construct DB),
+    /// 2. generate the training set with the automated engine and train the
+    ///    3DGNN (model training),
+    /// 3. relax the potential to derive guidance candidates (guide
+    ///    generation),
+    /// 4. route each candidate, extract, simulate, and keep the best by the
+    ///    FoM on normalized metrics (guided routing).
+    ///
+    /// # Errors
+    ///
+    /// Any routing or simulation failure is propagated.
+    pub fn run(&self, circuit: &Circuit, placement: &Placement) -> Result<FlowOutcome, FlowError> {
+        let cfg = &self.cfg;
+
+        // 1. Construct database (graph + features).
+        let t0 = Instant::now();
+        let graph = HeteroGraph::build(circuit, placement, &cfg.tech, cfg.graph_knn);
+        let construct_db_s = t0.elapsed().as_secs_f64();
+
+        // 2. Dataset + training.
+        let t1 = Instant::now();
+        let dataset = generate_dataset(circuit, placement, &cfg.tech, &graph, &cfg.dataset)?;
+        let mut gnn = ThreeDGnn::new(&cfg.gnn);
+        let train_report = gnn.train(&graph, &dataset, &cfg.gnn);
+        let training_s = t1.elapsed().as_secs_f64();
+
+        // Warm-start seeds: the best simulated guidance assignments from the
+        // training set (the relaxation pool admits arbitrary initializers).
+        let seeds = best_dataset_seeds(&gnn, &dataset, 3);
+
+        self.infer(
+            circuit, placement, graph, gnn, train_report, construct_db_s, training_s, seeds,
+        )
+    }
+
+    /// Runs inference only, reusing an already-trained model — the
+    /// train-once / guide-many workflow (pair with [`crate::ThreeDGnn::save`]
+    /// / [`crate::ThreeDGnn::load`]).
+    ///
+    /// # Errors
+    ///
+    /// Any routing or simulation failure is propagated.
+    pub fn run_with_model(
+        &self,
+        circuit: &Circuit,
+        placement: &Placement,
+        gnn: &ThreeDGnn,
+    ) -> Result<FlowOutcome, FlowError> {
+        let cfg = &self.cfg;
+        let t0 = Instant::now();
+        let graph = HeteroGraph::build(circuit, placement, &cfg.tech, cfg.graph_knn);
+        let construct_db_s = t0.elapsed().as_secs_f64();
+        let empty_report = TrainReport {
+            epoch_losses: Vec::new(),
+            final_loss: f64::NAN,
+        };
+        self.infer(
+            circuit,
+            placement,
+            graph,
+            gnn.clone(),
+            empty_report,
+            construct_db_s,
+            0.0,
+            Vec::new(),
+        )
+    }
+
+    /// Shared inference tail: relax the potential, route the candidates,
+    /// keep the best by simulated FoM.
+    #[allow(clippy::too_many_arguments)]
+    fn infer(
+        &self,
+        circuit: &Circuit,
+        placement: &Placement,
+        graph: HeteroGraph,
+        gnn: ThreeDGnn,
+        train_report: TrainReport,
+        construct_db_s: f64,
+        training_s: f64,
+        seeds: Vec<Vec<f64>>,
+    ) -> Result<FlowOutcome, FlowError> {
+        let cfg = &self.cfg;
+
+        // Guidance generation by potential relaxation.
+        let t2 = Instant::now();
+        let potential = Potential::new(&gnn, &graph);
+        let candidates = relax_seeded(&potential, &cfg.relax, &seeds);
+        let guide_gen_s = t2.elapsed().as_secs_f64();
+
+        // Guided routing: evaluate the derived candidates, keep the best.
+        let t3 = Instant::now();
+        let stats = gnn.stats().clone();
+        let weights = potential.weights;
+        let mut best: Option<(f64, Vec<f64>, RoutedLayout, Parasitics, Performance)> = None;
+        for cand in &candidates {
+            let field = RoutingGuidance::NonUniform(guidance_field(&graph, &cand.guidance));
+            let layout =
+                route(circuit, placement, &cfg.tech, &field, &cfg.router).map_err(FlowError::Route)?;
+            let parasitics = extract(circuit, &cfg.tech, &layout);
+            let perf =
+                simulate(circuit, Some(&parasitics), &cfg.sim).map_err(FlowError::Sim)?;
+            let normalized = stats.normalize(&perf.as_array());
+            let score: f64 = normalized
+                .iter()
+                .zip(weights.iter())
+                .map(|(y, w)| y * w)
+                .sum();
+            let better = best.as_ref().map(|(s, ..)| score < *s).unwrap_or(true);
+            if better {
+                best = Some((score, cand.guidance.clone(), layout, parasitics, perf));
+            }
+        }
+        let (_, guidance, layout, parasitics, performance) =
+            best.expect("relaxation produced at least one candidate");
+        let guided_route_s = t3.elapsed().as_secs_f64();
+
+        Ok(FlowOutcome {
+            guidance,
+            layout,
+            parasitics,
+            performance,
+            train_report,
+            breakdown: RuntimeBreakdown {
+                placement_s: cfg.placement_s,
+                construct_db_s,
+                training_s,
+                guide_gen_s,
+                guided_route_s,
+            },
+        })
+    }
+}
+
+/// The `k` dataset guidance vectors with the best simulated weighted FoM
+/// (clamped into the relaxation's feasible region).
+fn best_dataset_seeds(gnn: &ThreeDGnn, dataset: &crate::Dataset, k: usize) -> Vec<Vec<f64>> {
+    let stats = gnn.stats();
+    let weights = [1.0, -1.0, -1.0, -1.0, 1.0];
+    let (lo, hi) = gnn.guidance_bounds();
+    let eps = (hi - lo) * 1e-3;
+    let mut scored: Vec<(f64, &crate::Sample)> = dataset
+        .samples
+        .iter()
+        .map(|s| {
+            let z = stats.normalize(&s.metrics());
+            let score: f64 = z.iter().zip(weights.iter()).map(|(y, w)| y * w).sum();
+            (score, s)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored
+        .into_iter()
+        .take(k)
+        .map(|(_, s)| {
+            s.guidance
+                .iter()
+                .map(|&c| c.clamp(lo + eps, hi - eps))
+                .collect()
+        })
+        .collect()
+}
+
+/// The MagicalRoute baseline: unguided constraint-aware iterative routing,
+/// extracted and simulated with the same settings.
+///
+/// # Errors
+///
+/// Propagates routing/simulation failures.
+pub fn magical_route(
+    circuit: &Circuit,
+    placement: &Placement,
+    tech: &Technology,
+    router: &RouterConfig,
+    sim: &SimConfig,
+) -> Result<(RoutedLayout, Parasitics, Performance), FlowError> {
+    let layout =
+        route(circuit, placement, tech, &RoutingGuidance::None, router).map_err(FlowError::Route)?;
+    let parasitics = extract(circuit, tech, &layout);
+    let performance = simulate(circuit, Some(&parasitics), sim).map_err(FlowError::Sim)?;
+    Ok((layout, parasitics, performance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_netlist::benchmarks;
+    use af_place::{place, PlacementVariant};
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let b = RuntimeBreakdown {
+            placement_s: 1.0,
+            construct_db_s: 0.5,
+            training_s: 6.0,
+            guide_gen_s: 0.3,
+            guided_route_s: 0.2,
+        };
+        let p = b.percentages();
+        assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((b.total() - 8.0).abs() < 1e-12);
+        // training dominates, as in Fig. 5
+        assert!(p[1] > p[0] && p[1] > p[2] && p[1] > p[3] && p[1] > p[4]);
+    }
+
+    #[test]
+    fn magical_route_baseline_runs() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let (layout, px, perf) =
+            magical_route(&c, &p, &t, &RouterConfig::default(), &SimConfig::default()).unwrap();
+        assert!(layout.total_wirelength() > 0);
+        assert!(!px.couplings().is_empty());
+        assert!(perf.dc_gain_db.is_finite());
+    }
+
+    #[test]
+    fn run_with_model_reuses_training() {
+        use crate::dataset::generate_dataset;
+        use af_tech::Technology;
+
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let tech = Technology::nm40();
+        let graph = HeteroGraph::build(&c, &p, &tech, 3);
+        let gnn_cfg = GnnConfig {
+            epochs: 3,
+            hidden: 8,
+            layers: 1,
+            ..GnnConfig::default()
+        };
+        let dataset = generate_dataset(
+            &c,
+            &p,
+            &tech,
+            &graph,
+            &DatasetConfig {
+                samples: 4,
+                ..DatasetConfig::default()
+            },
+        )
+        .unwrap();
+        let mut gnn = ThreeDGnn::new(&gnn_cfg);
+        gnn.train(&graph, &dataset, &gnn_cfg);
+
+        let flow = AnalogFoldFlow::new(FlowConfig {
+            relax: RelaxConfig {
+                restarts: 2,
+                n_derive: 1,
+                lbfgs_iters: 5,
+                ..RelaxConfig::default()
+            },
+            ..FlowConfig::default()
+        });
+        let outcome = flow.run_with_model(&c, &p, &gnn).unwrap();
+        assert!(outcome.breakdown.training_s == 0.0, "no training time");
+        assert!(outcome.train_report.epoch_losses.is_empty());
+        assert!(outcome.performance.dc_gain_db.is_finite());
+    }
+
+    #[test]
+    fn tiny_flow_end_to_end() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let cfg = FlowConfig {
+            dataset: DatasetConfig {
+                samples: 6,
+                ..DatasetConfig::default()
+            },
+            gnn: GnnConfig {
+                epochs: 4,
+                hidden: 8,
+                layers: 1,
+                ..GnnConfig::default()
+            },
+            relax: RelaxConfig {
+                restarts: 3,
+                n_derive: 1,
+                lbfgs_iters: 8,
+                ..RelaxConfig::default()
+            },
+            ..FlowConfig::default()
+        };
+        let outcome = AnalogFoldFlow::new(cfg).run(&c, &p).unwrap();
+        assert!(!outcome.guidance.is_empty());
+        assert!(outcome.layout.total_wirelength() > 0);
+        assert!(outcome.performance.dc_gain_db.is_finite());
+        assert!(outcome.breakdown.training_s > 0.0);
+        assert!(outcome.breakdown.guide_gen_s > 0.0);
+    }
+}

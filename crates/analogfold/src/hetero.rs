@@ -1,0 +1,399 @@
+//! Heterogeneous routing graph construction (paper §4.1, Fig. 3).
+//!
+//! `G_H = <V_AP, V_M, E_PP, E_MM, E_MP>`:
+//!
+//! * `V_AP` — pin access points (from [`af_route::PinAccessMap`]);
+//! * `V_M` — placed modules (devices);
+//! * `E_PP` — access points that may be joined by a wire: same-net pairs
+//!   (potential segments) plus spatial nearest neighbors across nets (the
+//!   routing-resource competition the paper highlights);
+//! * `E_MM` — modules connected by a net (logical connectivity);
+//! * `E_MP` — each module to its own access points, bridging physical and
+//!   logical message passing.
+
+use af_geom::Point3;
+use af_netlist::{Circuit, DeviceKind, NetId, NetType, PinId};
+use af_place::{Placement, PinSource};
+use af_route::{PinAccessMap, RoutingGrid};
+use af_tech::Technology;
+
+/// Number of scalar features per access-point node.
+pub const AP_FEATURES: usize = 12;
+/// Number of scalar features per module node.
+pub const MODULE_FEATURES: usize = 10;
+
+/// One access-point node of the graph.
+#[derive(Debug, Clone)]
+pub struct ApNode {
+    /// Net the access point belongs to.
+    pub net: NetId,
+    /// dbu location (z = layer index).
+    pub pos: Point3,
+    /// Whether this AP's net receives routing guidance (`N*`).
+    pub guided: bool,
+    /// Input feature vector (normalized).
+    pub features: [f64; AP_FEATURES],
+    /// Originating placed-pin index.
+    pub pin_index: usize,
+}
+
+/// One module node of the graph.
+#[derive(Debug, Clone)]
+pub struct ModuleNode {
+    /// dbu center of the module (z = 0).
+    pub pos: Point3,
+    /// Input feature vector (normalized).
+    pub features: [f64; MODULE_FEATURES],
+}
+
+/// Edge types of the heterogeneous graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Access point ↔ access point (distance-augmented).
+    PinPin,
+    /// Module → access point and access point → module (distance-augmented).
+    ModulePin,
+    /// Module ↔ module (logical, no distance term).
+    ModuleModule,
+}
+
+/// The assembled heterogeneous graph.
+///
+/// Edges are stored directed (messages flow `src → dst`); undirected
+/// relations are stored once per direction.
+#[derive(Debug, Clone)]
+pub struct HeteroGraph {
+    /// Access-point nodes.
+    pub aps: Vec<ApNode>,
+    /// Module nodes.
+    pub modules: Vec<ModuleNode>,
+    /// `E_PP`: (src AP, dst AP).
+    pub pp_edges: Vec<(usize, usize)>,
+    /// `E_MP`: (module, AP) — expanded in both directions by the GNN.
+    pub mp_edges: Vec<(usize, usize)>,
+    /// `E_MM`: (src module, dst module).
+    pub mm_edges: Vec<(usize, usize)>,
+    /// Die half-perimeter used for normalization, dbu.
+    pub scale: f64,
+    /// dbu equivalent of one layer hop.
+    pub layer_pitch: i64,
+}
+
+impl HeteroGraph {
+    /// Builds the graph for one placement.
+    ///
+    /// `knn` is the number of cross-net spatial neighbor edges added per
+    /// access point (resource competition); same-net access points are fully
+    /// connected (potential wires).
+    pub fn build(
+        circuit: &Circuit,
+        placement: &Placement,
+        tech: &Technology,
+        knn: usize,
+    ) -> Self {
+        // Extract access points exactly the way the router will.
+        let mut grid = RoutingGrid::new(circuit, placement, tech, 2);
+        let access = PinAccessMap::extract(circuit, placement, &mut grid);
+
+        let die = placement.die();
+        let scale = die.half_perimeter() as f64;
+        let guided = circuit.guided_nets();
+
+        // AP nodes.
+        let mut aps = Vec::with_capacity(access.len());
+        for ap in access.all() {
+            let net = circuit.net(ap.net);
+            let ty = net.ty;
+            let one_hot = |t: NetType| if ty == t { 1.0 } else { 0.0 };
+            let pin = &placement.pins()[ap.pin_index];
+            let is_pad = matches!(pin.source, PinSource::Pad);
+            let features = [
+                (ap.dbu.x - die.lo().x) as f64 / scale,
+                (ap.dbu.y - die.lo().y) as f64 / scale,
+                f64::from(ap.dbu.z) / f64::from(tech.num_layers()),
+                net.weight / 4.0,
+                net.degree() as f64 / 8.0,
+                one_hot(NetType::Signal),
+                one_hot(NetType::Input),
+                one_hot(NetType::Output),
+                one_hot(NetType::Sensitive),
+                one_hot(NetType::Bias),
+                if ty.is_supply() { 1.0 } else { 0.0 },
+                if is_pad { 1.0 } else { 0.0 },
+            ];
+            aps.push(ApNode {
+                net: ap.net,
+                pos: ap.dbu,
+                guided: guided.contains(&ap.net),
+                features,
+                pin_index: ap.pin_index,
+            });
+        }
+
+        // Module nodes.
+        let mut modules = Vec::with_capacity(circuit.devices().len());
+        for (i, dev) in circuit.devices().iter().enumerate() {
+            let r = placement.device_rects()[i];
+            let c = r.center();
+            let kind_hot = |k: DeviceKind| if dev.kind == k { 1.0 } else { 0.0 };
+            let pins = circuit.device_pins(af_netlist::DeviceId::new(i as u32)).count();
+            let features = [
+                (c.x - die.lo().x) as f64 / scale,
+                (c.y - die.lo().y) as f64 / scale,
+                r.width() as f64 / scale,
+                r.height() as f64 / scale,
+                kind_hot(DeviceKind::Pmos),
+                kind_hot(DeviceKind::Nmos),
+                kind_hot(DeviceKind::Capacitor),
+                kind_hot(DeviceKind::Resistor),
+                kind_hot(DeviceKind::Dummy),
+                pins as f64 / 4.0,
+            ];
+            modules.push(ModuleNode {
+                pos: Point3::new(c.x, c.y, 0),
+                features,
+            });
+        }
+
+        // E_PP: same-net pairs.
+        let mut pp_edges = Vec::new();
+        let mut by_net: Vec<Vec<usize>> = vec![Vec::new(); circuit.nets().len()];
+        for (i, ap) in aps.iter().enumerate() {
+            by_net[ap.net.index()].push(i);
+        }
+        for nodes in &by_net {
+            for (a, &i) in nodes.iter().enumerate() {
+                for &j in nodes.iter().skip(a + 1) {
+                    pp_edges.push((i, j));
+                    pp_edges.push((j, i));
+                }
+            }
+        }
+        // E_PP: cross-net k nearest neighbors (resource competition).
+        let lp = tech.layer_pitch();
+        for (i, ap) in aps.iter().enumerate() {
+            let mut dists: Vec<(i64, usize)> = aps
+                .iter()
+                .enumerate()
+                .filter(|(j, other)| *j != i && other.net != ap.net)
+                .map(|(j, other)| (ap.pos.manhattan_3d(other.pos, lp), j))
+                .collect();
+            dists.sort_unstable();
+            for &(_, j) in dists.iter().take(knn) {
+                pp_edges.push((j, i)); // competition flows into i
+            }
+        }
+        pp_edges.sort_unstable();
+        pp_edges.dedup();
+
+        // E_MP: module to its own APs (device pins only; pads have no module).
+        let mut mp_edges = Vec::new();
+        for (ai, ap) in aps.iter().enumerate() {
+            let pin = &placement.pins()[ap.pin_index];
+            if let PinSource::Device(pid) = pin.source {
+                let dev = circuit.pin(PinId::new(pid.index() as u32)).device;
+                mp_edges.push((dev.index(), ai));
+            }
+        }
+
+        // E_MM: modules sharing a net.
+        let mut mm_edges = Vec::new();
+        for net in circuit.nets() {
+            let devs: Vec<usize> = {
+                let mut d: Vec<usize> = net
+                    .pins
+                    .iter()
+                    .map(|&pid| circuit.pin(pid).device.index())
+                    .collect();
+                d.sort_unstable();
+                d.dedup();
+                d
+            };
+            for (a, &i) in devs.iter().enumerate() {
+                for &j in devs.iter().skip(a + 1) {
+                    mm_edges.push((i, j));
+                    mm_edges.push((j, i));
+                }
+            }
+        }
+        mm_edges.sort_unstable();
+        mm_edges.dedup();
+
+        Self {
+            aps,
+            modules,
+            pp_edges,
+            mp_edges,
+            mm_edges,
+            scale,
+            layer_pitch: lp,
+        }
+    }
+
+    /// Indices of guided access points (the rows of the guidance matrix that
+    /// the relaxation optimizes).
+    pub fn guided_ap_indices(&self) -> Vec<usize> {
+        self.aps
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.guided)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of access points.
+    pub fn num_aps(&self) -> usize {
+        self.aps.len()
+    }
+
+    /// Number of modules.
+    pub fn num_modules(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Per-axis deltas `(|dx|, |dy|, |dz_dbu|)` between an AP and another
+    /// node position, in dbu (z expressed via the layer pitch).
+    pub fn deltas(&self, ap: usize, other: Point3) -> (f64, f64, f64) {
+        let (h, w, z) = self.aps[ap].pos.abs_deltas(other);
+        (h as f64, w as f64, (z * self.layer_pitch) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_netlist::benchmarks;
+    use af_place::{place, PlacementVariant};
+
+    fn graph() -> (Circuit, HeteroGraph) {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let g = HeteroGraph::build(&c, &p, &t, 3);
+        (c, g)
+    }
+
+    #[test]
+    fn node_counts() {
+        let (c, g) = graph();
+        assert_eq!(g.num_modules(), c.devices().len());
+        // one AP per placed pin
+        let p = place(&c, PlacementVariant::A);
+        assert_eq!(g.num_aps(), p.pins().len());
+    }
+
+    #[test]
+    fn features_are_normalized() {
+        let (_, g) = graph();
+        for ap in &g.aps {
+            for f in &ap.features {
+                assert!((-0.1..=4.0).contains(f), "ap feature {f}");
+            }
+        }
+        for m in &g.modules {
+            for f in &m.features {
+                assert!((-0.1..=4.0).contains(f), "module feature {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_net_aps_connected() {
+        let (c, g) = graph();
+        let vout = c.net_by_name("vout").unwrap();
+        let vout_aps: Vec<usize> = g
+            .aps
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.net == vout)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(vout_aps.len() >= 2);
+        let (a, b) = (vout_aps[0], vout_aps[1]);
+        assert!(g.pp_edges.contains(&(a, b)));
+        assert!(g.pp_edges.contains(&(b, a)));
+    }
+
+    #[test]
+    fn cross_net_competition_edges_exist() {
+        let (_, g) = graph();
+        let cross = g
+            .pp_edges
+            .iter()
+            .filter(|&&(i, j)| g.aps[i].net != g.aps[j].net)
+            .count();
+        assert!(cross > 0, "expected kNN competition edges");
+    }
+
+    #[test]
+    fn mp_edges_reference_owning_device() {
+        let (c, g) = graph();
+        let p = place(&c, PlacementVariant::A);
+        for &(m, a) in &g.mp_edges {
+            let pin = &p.pins()[g.aps[a].pin_index];
+            match pin.source {
+                PinSource::Device(pid) => {
+                    assert_eq!(c.pin(pid).device.index(), m);
+                }
+                PinSource::Pad => panic!("pads must not appear in E_MP"),
+            }
+        }
+    }
+
+    #[test]
+    fn mm_edges_follow_netlist() {
+        let (c, g) = graph();
+        let m1 = c.device_by_name("M1").unwrap().index();
+        let m2 = c.device_by_name("M2").unwrap().index();
+        // M1 and M2 share the tail net
+        assert!(g.mm_edges.contains(&(m1, m2)));
+        assert!(g.mm_edges.contains(&(m2, m1)));
+        // no self loops
+        assert!(g.mm_edges.iter().all(|&(a, b)| a != b));
+    }
+
+    #[test]
+    fn guided_indices_match_flags() {
+        let (_, g) = graph();
+        let guided = g.guided_ap_indices();
+        assert!(!guided.is_empty());
+        for &i in &guided {
+            assert!(g.aps[i].guided);
+        }
+        // supplies are never guided
+        for (i, ap) in g.aps.iter().enumerate() {
+            if !ap.guided {
+                assert!(!guided.contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn builds_for_every_benchmark_including_extension() {
+        for name in ["OTA1", "OTA2", "OTA3", "OTA4", "OTA5"] {
+            let c = benchmarks::by_name(name).unwrap();
+            let p = place(&c, PlacementVariant::B);
+            let g = HeteroGraph::build(&c, &p, &Technology::nm40(), 3);
+            assert!(g.num_aps() > 0, "{name}");
+            assert!(!g.pp_edges.is_empty(), "{name}");
+            assert!(!g.mm_edges.is_empty(), "{name}");
+            assert!(!g.guided_ap_indices().is_empty(), "{name}");
+            // every edge index in range
+            for &(s, d) in &g.pp_edges {
+                assert!(s < g.num_aps() && d < g.num_aps(), "{name}");
+            }
+            for &(m, a) in &g.mp_edges {
+                assert!(m < g.num_modules() && a < g.num_aps(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn deltas_match_geometry() {
+        let (_, g) = graph();
+        let other = g.aps[1].pos;
+        let (h, w, z) = g.deltas(0, other);
+        assert!(h >= 0.0 && w >= 0.0 && z >= 0.0);
+        assert_eq!(h, (g.aps[0].pos.x - other.x).abs() as f64);
+    }
+}

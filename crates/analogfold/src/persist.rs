@@ -1,0 +1,175 @@
+//! Model persistence: save/load trained models and datasets as JSON.
+//!
+//! A trained [`ThreeDGnn`] (weights + normalization statistics) and a
+//! [`GeniusRouteModel`] are plain serde structures; these helpers give them
+//! a stable on-disk workflow so the expensive training step can be amortized
+//! across runs — the same way the paper amortizes its 2 000-sample database.
+
+use std::fs;
+use std::path::Path;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::dataset::Dataset;
+use crate::genius::GeniusRouteModel;
+use crate::gnn::ThreeDGnn;
+
+/// Persistence failure.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// (De)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Json(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+fn save<T: Serialize>(value: &T, path: &Path) -> Result<(), PersistError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, serde_json::to_string(value)?)?;
+    Ok(())
+}
+
+fn load<T: DeserializeOwned>(path: &Path) -> Result<T, PersistError> {
+    Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+}
+
+impl ThreeDGnn {
+    /// Saves the model (weights + target statistics) as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or serialization failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        save(self, path.as_ref())
+    }
+
+    /// Loads a model saved with [`ThreeDGnn::save`].
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or deserialization failures.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        load(path.as_ref())
+    }
+}
+
+impl GeniusRouteModel {
+    /// Saves the model as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or serialization failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        save(self, path.as_ref())
+    }
+
+    /// Loads a model saved with [`GeniusRouteModel::save`].
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or deserialization failures.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        load(path.as_ref())
+    }
+}
+
+impl Dataset {
+    /// Saves the dataset as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or serialization failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        save(self, path.as_ref())
+    }
+
+    /// Loads a dataset saved with [`Dataset::save`].
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or deserialization failures.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        load(path.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnn::GnnConfig;
+    use crate::hetero::HeteroGraph;
+    use af_netlist::benchmarks;
+    use af_place::{place, PlacementVariant};
+    use af_tech::Technology;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("analogfold-test-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn gnn_roundtrip_preserves_predictions() {
+        let circuit = benchmarks::ota1();
+        let placement = place(&circuit, PlacementVariant::A);
+        let graph = HeteroGraph::build(&circuit, &placement, &Technology::nm40(), 2);
+        let gnn = ThreeDGnn::new(&GnnConfig {
+            hidden: 8,
+            layers: 1,
+            ..GnnConfig::default()
+        });
+        let n = graph.guided_ap_indices().len() * 3;
+        let c = vec![1.2; n];
+        let before = gnn.predict(&graph, &c);
+
+        let path = tmp("gnn.json");
+        gnn.save(&path).unwrap();
+        let loaded = ThreeDGnn::load(&path).unwrap();
+        let after = loaded.predict(&graph, &c);
+        std::fs::remove_file(&path).ok();
+
+        for (a, b) in before.iter().zip(after) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = ThreeDGnn::load("/nonexistent/analogfold.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(err.to_string().contains("io error"));
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let path = tmp("garbage.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = ThreeDGnn::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, PersistError::Json(_)));
+    }
+}

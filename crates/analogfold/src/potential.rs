@@ -1,0 +1,355 @@
+//! Routing-performance potential modeling and pool-assisted relaxation
+//! (paper §4.3).
+//!
+//! The potential is `V(C) = w_FoM · f_θ(G_H, C) + g(C)` (Eq. 7) with the
+//! interior-point barrier of Eq. (8):
+//!
+//! `g(C_i) = −r Σ_j ( log C_i[j] + log(c_max − C_i[j]) )`
+//!
+//! Relaxation minimizes `V` with L-BFGS from many random initializations; a
+//! pool of the `N_pool` lowest-potential guidance sets is maintained, and
+//! once full, a fraction `p_relax` of subsequent restarts is seeded from
+//! pool members with added noise. The top `N_derive` results are returned.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use af_nn::lbfgs_minimize;
+
+use crate::gnn::{GraphTensors, ThreeDGnn};
+use crate::hetero::HeteroGraph;
+
+/// The potential function `V(C)`.
+pub struct Potential<'a> {
+    gnn: &'a ThreeDGnn,
+    tensors: GraphTensors,
+    /// FoM weights on the normalized metric predictions
+    /// `[offset, cmrr, bandwidth, gain, noise]`; positive = minimize,
+    /// negative = maximize. The paper found equal weighting best.
+    pub weights: [f64; 5],
+    /// Barrier strength `r`.
+    pub barrier_r: f64,
+    c_min: f64,
+    c_max: f64,
+}
+
+impl<'a> Potential<'a> {
+    /// Builds the potential for one graph and trained model.
+    pub fn new(gnn: &'a ThreeDGnn, graph: &HeteroGraph) -> Self {
+        let (c_min, c_max) = gnn.guidance_bounds();
+        Self {
+            gnn,
+            tensors: gnn.tensors(graph),
+            weights: [1.0, -1.0, -1.0, -1.0, 1.0],
+            barrier_r: 1e-3,
+            c_min,
+            c_max,
+        }
+    }
+
+    /// Dimension of the flattened guidance vector.
+    pub fn dim(&self) -> usize {
+        self.tensors.guidance_len()
+    }
+
+    /// Feasible guidance bounds.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.c_min, self.c_max)
+    }
+
+    /// Evaluates `V(C)` and `∇V(C)`.
+    ///
+    /// Outside the feasible region the barrier returns `+∞` with a gradient
+    /// pointing back inside.
+    pub fn value_and_grad(&self, c: &[f64]) -> (f64, Vec<f64>) {
+        let (fom, mut grad) = self.gnn.fom_and_grad(&self.tensors, c, &self.weights);
+        let mut v = fom;
+        for (i, &x) in c.iter().enumerate() {
+            let lo = x - self.c_min;
+            let hi = self.c_max - x;
+            if lo <= 0.0 || hi <= 0.0 {
+                return (f64::INFINITY, c.iter().map(|&x| x.signum()).collect());
+            }
+            v -= self.barrier_r * (lo.ln() + hi.ln());
+            grad[i] += self.barrier_r * (1.0 / hi - 1.0 / lo);
+        }
+        (v, grad)
+    }
+
+    /// Clamps a vector strictly inside the feasible region.
+    pub fn project(&self, c: &mut [f64]) {
+        let eps = (self.c_max - self.c_min) * 1e-3;
+        for x in c.iter_mut() {
+            *x = x.clamp(self.c_min + eps, self.c_max - eps);
+        }
+    }
+}
+
+/// Pool-assisted relaxation settings.
+#[derive(Debug, Clone)]
+pub struct RelaxConfig {
+    /// Total restarts.
+    pub restarts: usize,
+    /// Pool capacity `N_pool`.
+    pub pool_size: usize,
+    /// Fraction of restarts seeded from the pool once it is full.
+    pub p_relax: f64,
+    /// Standard deviation of the noise added to pool seeds.
+    pub noise_sigma: f64,
+    /// Results to derive (`N_derive`).
+    pub n_derive: usize,
+    /// L-BFGS iterations per restart.
+    pub lbfgs_iters: usize,
+    /// L-BFGS memory.
+    pub lbfgs_memory: usize,
+    /// Minimum mean per-component distance between derived candidates; the
+    /// top-`n_derive` selection skips near-duplicates so the downstream
+    /// route-and-evaluate step sees genuinely different guidance fields.
+    pub diversity_tol: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RelaxConfig {
+    fn default() -> Self {
+        Self {
+            restarts: 24,
+            pool_size: 10,
+            p_relax: 0.5,
+            noise_sigma: 0.25,
+            n_derive: 3,
+            lbfgs_iters: 30,
+            lbfgs_memory: 8,
+            diversity_tol: 0.05,
+            seed: 99,
+        }
+    }
+}
+
+/// One relaxed guidance candidate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RelaxOutcome {
+    /// The guidance vector.
+    pub guidance: Vec<f64>,
+    /// Its potential value.
+    pub potential: f64,
+}
+
+/// Runs pool-assisted potential relaxation; returns the top `n_derive`
+/// lowest-potential guidance sets, best first.
+///
+/// # Panics
+///
+/// Panics if the potential has zero dimension.
+pub fn relax(potential: &Potential<'_>, cfg: &RelaxConfig) -> Vec<RelaxOutcome> {
+    relax_seeded(potential, cfg, &[])
+}
+
+/// [`relax`] with warm starts: each seed (e.g. the best-performing guidance
+/// assignments observed while generating the training set) is refined by
+/// L-BFGS and inserted into the pool before the random restarts begin.
+///
+/// # Panics
+///
+/// Panics if the potential has zero dimension or a seed has the wrong
+/// length.
+pub fn relax_seeded(
+    potential: &Potential<'_>,
+    cfg: &RelaxConfig,
+    seeds: &[Vec<f64>],
+) -> Vec<RelaxOutcome> {
+    let dim = potential.dim();
+    assert!(dim > 0, "no guided access points to relax");
+    let (c_min, c_max) = potential.bounds();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut pool: Vec<RelaxOutcome> = Vec::new();
+
+    for restart in 0..(cfg.restarts + seeds.len()) {
+        let mut x0: Vec<f64> = if restart < seeds.len() {
+            assert_eq!(seeds[restart].len(), dim, "seed length mismatch");
+            seeds[restart].clone()
+        } else if pool.len() >= cfg.pool_size && rng.gen::<f64>() < cfg.p_relax {
+            // Noisy restart from a pool member (the paper's
+            // `p_relax · N_pool` re-initializations).
+            let pick = rng.gen_range(0..pool.len());
+            pool[pick]
+                .guidance
+                .iter()
+                .map(|&v| v + cfg.noise_sigma * normal(&mut rng))
+                .collect()
+        } else {
+            (0..dim)
+                .map(|_| rng.gen_range(c_min + 0.05..c_max - 0.05))
+                .collect()
+        };
+        potential.project(&mut x0);
+        // Keep the raw seed itself in the pool too: L-BFGS refines it under
+        // the *surrogate*, which may lose what the simulator liked about it.
+        if restart < seeds.len() {
+            let (v, _) = potential.value_and_grad(&x0);
+            pool.push(RelaxOutcome {
+                guidance: x0.clone(),
+                potential: v,
+            });
+        }
+
+        let result = lbfgs_minimize(
+            |x| potential.value_and_grad(x),
+            &x0,
+            cfg.lbfgs_iters,
+            cfg.lbfgs_memory,
+            1e-8,
+        );
+        let mut guidance = result.x;
+        potential.project(&mut guidance);
+        let (v, _) = potential.value_and_grad(&guidance);
+        pool.push(RelaxOutcome {
+            guidance,
+            potential: v,
+        });
+        pool.sort_by(|a, b| a.potential.partial_cmp(&b.potential).unwrap_or(std::cmp::Ordering::Equal));
+        pool.truncate((cfg.pool_size.max(cfg.n_derive)) * 2);
+    }
+
+    // Diversity-aware top-N: greedily take the lowest-potential candidates
+    // that differ from everything already selected by at least the
+    // tolerance; fall back to duplicates only if the pool is too uniform.
+    let mut selected: Vec<RelaxOutcome> = Vec::new();
+    for cand in &pool {
+        if selected.len() >= cfg.n_derive {
+            break;
+        }
+        let distinct = selected.iter().all(|s| {
+            let mean_diff: f64 = s
+                .guidance
+                .iter()
+                .zip(&cand.guidance)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+                / s.guidance.len() as f64;
+            mean_diff >= cfg.diversity_tol
+        });
+        if distinct {
+            selected.push(cand.clone());
+        }
+    }
+    for cand in &pool {
+        if selected.len() >= cfg.n_derive {
+            break;
+        }
+        if !selected
+            .iter()
+            .any(|s| s.guidance == cand.guidance)
+        {
+            selected.push(cand.clone());
+        }
+    }
+    selected
+}
+
+/// Standard normal via Box–Muller.
+fn normal(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnn::GnnConfig;
+    use af_netlist::benchmarks;
+    use af_place::{place, PlacementVariant};
+    use af_tech::Technology;
+
+    fn setup() -> (HeteroGraph, ThreeDGnn) {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let graph = HeteroGraph::build(&c, &p, &Technology::nm40(), 2);
+        let gnn = ThreeDGnn::new(&GnnConfig {
+            hidden: 8,
+            layers: 1,
+            ..GnnConfig::default()
+        });
+        (graph, gnn)
+    }
+
+    #[test]
+    fn barrier_repels_boundaries() {
+        let (graph, gnn) = setup();
+        let mut pot = Potential::new(&gnn, &graph);
+        // isolate the barrier from the (untrained) FoM term
+        pot.weights = [0.0; 5];
+        pot.barrier_r = 1e-3;
+        let dim = pot.dim();
+        let (v_mid, _) = pot.value_and_grad(&vec![1.0; dim]);
+        let (v_edge, _) = pot.value_and_grad(&vec![pot.bounds().0 + 1e-9; dim]);
+        assert!(v_edge > v_mid, "barrier must grow near the boundary");
+        let (v_out, _) = pot.value_and_grad(&vec![-1.0; dim]);
+        assert!(v_out.is_infinite());
+    }
+
+    #[test]
+    fn project_clamps_inside() {
+        let (graph, gnn) = setup();
+        let pot = Potential::new(&gnn, &graph);
+        let (lo, hi) = pot.bounds();
+        let mut c = vec![-5.0, 10.0, 1.0];
+        pot.project(&mut c);
+        assert!(c.iter().all(|&x| x > lo && x < hi));
+        assert!((c[2] - 1.0).abs() < 1e-12, "interior points untouched");
+    }
+
+    #[test]
+    fn relaxation_improves_potential() {
+        let (graph, gnn) = setup();
+        let pot = Potential::new(&gnn, &graph);
+        let dim = pot.dim();
+        let (v_init, _) = pot.value_and_grad(&vec![1.0; dim]);
+        let cfg = RelaxConfig {
+            restarts: 6,
+            pool_size: 3,
+            n_derive: 2,
+            lbfgs_iters: 15,
+            ..RelaxConfig::default()
+        };
+        let out = relax(&pot, &cfg);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].potential <= out[1].potential, "sorted best-first");
+        // diversity: the two derived candidates are not near-duplicates
+        let mean_diff: f64 = out[0]
+            .guidance
+            .iter()
+            .zip(&out[1].guidance)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / out[0].guidance.len() as f64;
+        assert!(mean_diff > 1e-6, "candidates should differ: {mean_diff}");
+        assert!(
+            out[0].potential <= v_init,
+            "relaxed {} vs neutral {}",
+            out[0].potential,
+            v_init
+        );
+        // results stay feasible
+        let (lo, hi) = pot.bounds();
+        for o in &out {
+            assert!(o.guidance.iter().all(|&x| x > lo && x < hi));
+        }
+    }
+
+    #[test]
+    fn relaxation_is_deterministic() {
+        let (graph, gnn) = setup();
+        let pot = Potential::new(&gnn, &graph);
+        let cfg = RelaxConfig {
+            restarts: 4,
+            lbfgs_iters: 10,
+            ..RelaxConfig::default()
+        };
+        let a = relax(&pot, &cfg);
+        let b = relax(&pot, &cfg);
+        assert_eq!(a[0].guidance, b[0].guidance);
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the ablation-relevant kernels: RBF vs raw
+//! distance forward passes, heterogeneous vs homogeneous graphs, pooled vs
+//! plain relaxation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use af_netlist::benchmarks;
+use af_place::{place, PlacementVariant};
+use af_tech::Technology;
+use analogfold::{relax, GnnConfig, GraphTensors, HeteroGraph, Potential, RelaxConfig, ThreeDGnn};
+
+fn bench_ablations(c: &mut Criterion) {
+    let circuit = benchmarks::ota1();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &Technology::nm40(), 3);
+    let tensors = GraphTensors::new(&graph);
+    let guidance = vec![1.0; tensors.guidance_len()];
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("forward_full", GnnConfig::default()),
+        (
+            "forward_raw_distance",
+            GnnConfig {
+                use_rbf: false,
+                ..GnnConfig::default()
+            },
+        ),
+        (
+            "forward_homogeneous",
+            GnnConfig {
+                use_modules: false,
+                ..GnnConfig::default()
+            },
+        ),
+    ] {
+        let gnn = ThreeDGnn::new(&cfg);
+        group.bench_function(name, |b| b.iter(|| gnn.predict(&graph, &guidance)));
+    }
+
+    let gnn = ThreeDGnn::new(&GnnConfig::default());
+    let potential = Potential::new(&gnn, &graph);
+    for (name, p_relax) in [("relax_pooled", 0.6), ("relax_plain", 0.0)] {
+        let cfg = RelaxConfig {
+            restarts: 3,
+            p_relax,
+            n_derive: 1,
+            lbfgs_iters: 6,
+            ..RelaxConfig::default()
+        };
+        group.bench_function(name, |b| b.iter(|| relax(&potential, &cfg)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

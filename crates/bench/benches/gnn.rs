@@ -1,0 +1,31 @@
+//! Criterion benchmarks of 3DGNN forward/backward passes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use af_netlist::benchmarks;
+use af_place::{place, PlacementVariant};
+use af_tech::Technology;
+use analogfold::{GnnConfig, GraphTensors, HeteroGraph, ThreeDGnn};
+
+fn bench_gnn(c: &mut Criterion) {
+    let circuit = benchmarks::ota1();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &Technology::nm40(), 3);
+    let gnn = ThreeDGnn::new(&GnnConfig::default());
+    let tensors = GraphTensors::new(&graph);
+    let guidance = vec![1.0; tensors.guidance_len()];
+    let weights = [1.0, -1.0, -1.0, -1.0, 1.0];
+
+    c.bench_function("gnn_forward", |b| {
+        b.iter(|| gnn.predict(&graph, &guidance))
+    });
+    c.bench_function("gnn_forward_backward", |b| {
+        b.iter(|| gnn.fom_and_grad(&tensors, &guidance, &weights))
+    });
+    c.bench_function("hetero_graph_build", |b| {
+        b.iter(|| HeteroGraph::build(&circuit, &placement, &Technology::nm40(), 3))
+    });
+}
+
+criterion_group!(benches, bench_gnn);
+criterion_main!(benches);

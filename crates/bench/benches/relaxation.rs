@@ -1,0 +1,36 @@
+//! Criterion benchmarks of potential relaxation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use af_netlist::benchmarks;
+use af_place::{place, PlacementVariant};
+use af_tech::Technology;
+use analogfold::{relax, GnnConfig, HeteroGraph, Potential, RelaxConfig, ThreeDGnn};
+
+fn bench_relaxation(c: &mut Criterion) {
+    let circuit = benchmarks::ota1();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &Technology::nm40(), 3);
+    let gnn = ThreeDGnn::new(&GnnConfig::default());
+    let potential = Potential::new(&gnn, &graph);
+
+    let mut group = c.benchmark_group("relaxation");
+    group.sample_size(10);
+    group.bench_function("potential_eval", |b| {
+        let c0 = vec![1.0; potential.dim()];
+        b.iter(|| potential.value_and_grad(&c0))
+    });
+    group.bench_function("relax_4_restarts", |b| {
+        let cfg = RelaxConfig {
+            restarts: 4,
+            n_derive: 1,
+            lbfgs_iters: 10,
+            ..RelaxConfig::default()
+        };
+        b.iter(|| relax(&potential, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_relaxation);
+criterion_main!(benches);

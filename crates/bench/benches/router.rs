@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the detailed router.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use af_netlist::benchmarks;
+use af_place::{place, PlacementVariant};
+use af_route::{route, RouterConfig, RoutingGuidance};
+use af_tech::Technology;
+
+fn bench_router(c: &mut Criterion) {
+    let tech = Technology::nm40();
+    let mut group = c.benchmark_group("router");
+    group.sample_size(10);
+    for name in ["OTA1", "OTA3"] {
+        let circuit = benchmarks::by_name(name).unwrap();
+        let placement = place(&circuit, PlacementVariant::A);
+        group.bench_function(format!("route_{name}"), |b| {
+            b.iter_batched(
+                || (),
+                |_| {
+                    route(
+                        &circuit,
+                        &placement,
+                        &tech,
+                        &RoutingGuidance::None,
+                        &RouterConfig::default(),
+                    )
+                    .unwrap()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_placer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placer");
+    group.sample_size(10);
+    for name in ["OTA1", "OTA3"] {
+        let circuit = benchmarks::by_name(name).unwrap();
+        group.bench_function(format!("place_{name}").as_str(), |b| {
+            b.iter(|| place(&circuit, PlacementVariant::A))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_router, bench_placer);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the MNA performance simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use af_extract::extract;
+use af_netlist::benchmarks;
+use af_place::{place, PlacementVariant};
+use af_route::{route, RouterConfig, RoutingGuidance};
+use af_sim::{simulate, SimConfig};
+use af_tech::Technology;
+
+fn bench_simulator(c: &mut Criterion) {
+    let tech = Technology::nm40();
+    let cfg = SimConfig::default();
+    for name in ["OTA1", "OTA3"] {
+        let circuit = benchmarks::by_name(name).unwrap();
+        let placement = place(&circuit, PlacementVariant::A);
+        let layout = route(
+            &circuit,
+            &placement,
+            &tech,
+            &RoutingGuidance::None,
+            &RouterConfig::default(),
+        )
+        .unwrap();
+        let px = extract(&circuit, &tech, &layout);
+        c.bench_function(&format!("simulate_schematic_{name}"), |b| {
+            b.iter(|| simulate(&circuit, None, &cfg).unwrap())
+        });
+        c.bench_function(&format!("simulate_postlayout_{name}"), |b| {
+            b.iter(|| simulate(&circuit, Some(&px), &cfg).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

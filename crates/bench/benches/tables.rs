@@ -1,0 +1,71 @@
+//! End-to-end Criterion benchmarks: one miniature Table 2 row per method.
+//! These measure the relative method costs the paper reports in the Runtime
+//! rows (MagicalRoute fastest, AnalogFold inference in between, GeniusRoute
+//! heaviest at paper scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use af_bench::{genius_model, Scale};
+use af_netlist::benchmarks;
+use af_place::{place, PlacementVariant};
+use af_route::{route, RouterConfig, RoutingGuidance};
+use af_sim::SimConfig;
+use af_tech::Technology;
+use analogfold::{magical_route, AnalogFoldFlow};
+
+
+fn bench_methods(c: &mut Criterion) {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let mut group = c.benchmark_group("table2_methods");
+    group.sample_size(10);
+
+    group.bench_function("magicalroute_row", |b| {
+        b.iter(|| {
+            magical_route(
+                &circuit,
+                &placement,
+                &tech,
+                &RouterConfig::default(),
+                &SimConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+
+    let model = genius_model(&circuit, PlacementVariant::A, &tech, Scale::Quick);
+    group.bench_function("geniusroute_guided_route", |b| {
+        let guidance = model.guidance(&circuit, &placement);
+        b.iter(|| route(&circuit, &placement, &tech, &guidance, &RouterConfig::default()).unwrap())
+    });
+
+    group.bench_function("analogfold_flow_mini", |b| {
+        // A deliberately tiny flow so the whole-workspace bench run stays
+        // bounded; the table2 binary is the place for full-scale timing.
+        let flow = AnalogFoldFlow::new(analogfold::FlowConfig {
+            dataset: analogfold::DatasetConfig {
+                samples: 4,
+                ..analogfold::DatasetConfig::default()
+            },
+            gnn: analogfold::GnnConfig {
+                epochs: 2,
+                hidden: 8,
+                layers: 1,
+                ..analogfold::GnnConfig::default()
+            },
+            relax: analogfold::RelaxConfig {
+                restarts: 2,
+                n_derive: 1,
+                lbfgs_iters: 5,
+                ..analogfold::RelaxConfig::default()
+            },
+            ..analogfold::FlowConfig::default()
+        });
+        b.iter(|| flow.run(&circuit, &placement).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

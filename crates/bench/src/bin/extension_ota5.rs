@@ -1,0 +1,21 @@
+//! Extension experiment (beyond the paper): the full method comparison on
+//! OTA5, a folded-cascode OTA — a third topology demonstrating that the flow
+//! generalizes past the paper's two OTA families.
+//!
+//! Run: `cargo run -p af-bench --bin extension_ota5 --release -- [quick|full]`
+
+use af_bench::{print_row, run_row, Scale};
+use af_place::PlacementVariant;
+
+fn main() {
+    let scale = std::env::args()
+        .skip(1)
+        .find_map(|a| Scale::parse(&a))
+        .unwrap_or(Scale::Quick);
+    println!("Extension: OTA5 folded-cascode (scale {scale:?})\n");
+    for variant in [PlacementVariant::A, PlacementVariant::B] {
+        let row = run_row("OTA5", variant, scale);
+        print_row(&row);
+        println!();
+    }
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Figure 1(b)**: the 3-D visualization data of the
+//! non-uniform routing guidance — one cost triple per pin access point.
+//!
+//! Writes `target/figures/fig1_guidance.csv` with columns
+//! `net,x_um,y_um,layer,c_x,c_y,c_z` and prints an ASCII summary.
+//!
+//! Run: `cargo run -p af-bench --bin fig1_guidance --release -- [quick|full]`
+
+use std::fs;
+
+use af_bench::{flow_config, Scale};
+use af_netlist::benchmarks;
+use af_place::{place, PlacementVariant};
+use af_tech::Technology;
+use analogfold::{AnalogFoldFlow, HeteroGraph};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = std::env::args()
+        .skip(1)
+        .find_map(|a| Scale::parse(&a))
+        .unwrap_or(Scale::Quick);
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+
+    let flow = AnalogFoldFlow::new(flow_config(scale, 0xf11));
+    let outcome = flow.run(&circuit, &placement)?;
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 3);
+    let guided = graph.guided_ap_indices();
+
+    let out_dir = std::path::Path::new("target/figures");
+    fs::create_dir_all(out_dir)?;
+    let mut csv = String::from("net,x_um,y_um,layer,c_x,c_y,c_z\n");
+    println!("Figure 1(b): non-uniform routing guidance for OTA1-A ({} guided APs)", guided.len());
+    println!(
+        "{:<10}{:>9}{:>9}{:>7}{:>8}{:>8}{:>8}",
+        "net", "x(um)", "y(um)", "layer", "C[0]", "C[1]", "C[2]"
+    );
+    for (row, &ap_idx) in guided.iter().enumerate() {
+        let ap = &graph.aps[ap_idx];
+        let name = &circuit.net(ap.net).name;
+        let (cx, cy, cz) = (
+            outcome.guidance[row * 3],
+            outcome.guidance[row * 3 + 1],
+            outcome.guidance[row * 3 + 2],
+        );
+        csv.push_str(&format!(
+            "{name},{:.3},{:.3},{},{cx:.4},{cy:.4},{cz:.4}\n",
+            ap.pos.x as f64 / 1e3,
+            ap.pos.y as f64 / 1e3,
+            ap.pos.z
+        ));
+        println!(
+            "{:<10}{:>9.2}{:>9.2}{:>7}{:>8.3}{:>8.3}{:>8.3}",
+            name,
+            ap.pos.x as f64 / 1e3,
+            ap.pos.y as f64 / 1e3,
+            ap.pos.z,
+            cx,
+            cy,
+            cz
+        );
+    }
+    let path = out_dir.join("fig1_guidance.csv");
+    fs::write(&path, csv)?;
+    println!("\nwritten: {}", path.display());
+    Ok(())
+}

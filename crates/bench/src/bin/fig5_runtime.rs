@@ -1,0 +1,55 @@
+//! Regenerates **Figure 5**: runtime breakdown of the AnalogFold flow on
+//! OTA1 (paper: Construct DB 0.33 %, Model Training 80.22 %, Guide
+//! Generation 3.71 %, Guided Detailed Routing 2.22 %, Placement 13.51 %).
+//!
+//! Run: `cargo run -p af-bench --bin fig5_runtime --release -- [quick|full]`
+
+use std::time::Instant;
+
+use af_bench::{flow_config, Scale};
+use af_netlist::benchmarks;
+use af_place::{place, PlacementVariant};
+use analogfold::AnalogFoldFlow;
+
+fn main() {
+    let scale = std::env::args()
+        .skip(1)
+        .find_map(|a| Scale::parse(&a))
+        .unwrap_or(Scale::Quick);
+    let circuit = benchmarks::ota1();
+
+    let t0 = Instant::now();
+    let placement = place(&circuit, PlacementVariant::A);
+    let placement_s = t0.elapsed().as_secs_f64();
+
+    let mut cfg = flow_config(scale, 0xf15);
+    cfg.placement_s = placement_s;
+    let outcome = AnalogFoldFlow::new(cfg)
+        .run(&circuit, &placement)
+        .expect("flow");
+
+    let b = outcome.breakdown;
+    let p = b.percentages();
+    println!("Figure 5: runtime breakdown for OTA1 (scale: {scale:?})");
+    println!("total wall-clock: {:.2} s\n", b.total());
+    let labels = [
+        ("Construct Database", b.construct_db_s, p[0], 0.33),
+        ("Model Training", b.training_s, p[1], 80.22),
+        ("Inference: Routing Guide Generation", b.guide_gen_s, p[2], 3.71),
+        ("Inference: Guided Detailed Routing", b.guided_route_s, p[3], 2.22),
+        ("Placement", b.placement_s, p[4], 13.51),
+    ];
+    println!(
+        "{:<38}{:>10}{:>10}{:>12}",
+        "stage", "secs", "percent", "paper %"
+    );
+    for (name, secs, pct, paper) in labels {
+        println!("{name:<38}{secs:>10.3}{pct:>9.2}%{paper:>11.2}%");
+    }
+    // a crude ASCII pie substitute
+    println!("\nshare of total runtime:");
+    for (name, _, pct, _) in labels {
+        let bars = (pct / 2.0).round() as usize;
+        println!("{name:<38}|{}", "#".repeat(bars));
+    }
+}

@@ -1,0 +1,85 @@
+//! Regenerates **Figure 6**: visual comparison of GeniusRoute and AnalogFold
+//! routing solutions (SVG files written to `target/figures/`).
+//!
+//! Run: `cargo run -p af-bench --bin fig6_layouts --release -- [quick|full]`
+
+use std::fs;
+
+use af_bench::{flow_config, genius_model, Scale};
+use af_netlist::benchmarks;
+use af_place::{place, PlacementVariant};
+use af_route::{render_svg, route, RouterConfig, RoutingGuidance};
+use af_tech::Technology;
+use analogfold::{guidance_field_for, AnalogFoldFlow};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = std::env::args()
+        .skip(1)
+        .find_map(|a| Scale::parse(&a))
+        .unwrap_or(Scale::Quick);
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let out_dir = std::path::Path::new("target/figures");
+    fs::create_dir_all(out_dir)?;
+
+    // Baseline (MagicalRoute) for reference.
+    let base = route(
+        &circuit,
+        &placement,
+        &tech,
+        &RoutingGuidance::None,
+        &RouterConfig::default(),
+    )?;
+    fs::write(
+        out_dir.join("fig6_magicalroute.svg"),
+        render_svg(&circuit, &placement, &base, "OTA1-A MagicalRoute"),
+    )?;
+
+    // GeniusRoute.
+    let model = genius_model(&circuit, PlacementVariant::A, &tech, scale);
+    let genius_guidance = model.guidance(&circuit, &placement);
+    let genius = route(
+        &circuit,
+        &placement,
+        &tech,
+        &genius_guidance,
+        &RouterConfig::default(),
+    )?;
+    fs::write(
+        out_dir.join("fig6_geniusroute.svg"),
+        render_svg(&circuit, &placement, &genius, "OTA1-A GeniusRoute"),
+    )?;
+
+    // AnalogFold.
+    let flow = AnalogFoldFlow::new(flow_config(scale, 0xf16));
+    let outcome = flow.run(&circuit, &placement)?;
+    fs::write(
+        out_dir.join("fig6_analogfold.svg"),
+        render_svg(&circuit, &placement, &outcome.layout, "OTA1-A AnalogFold"),
+    )?;
+
+    // For completeness also dump the guidance field used.
+    let field = guidance_field_for(&circuit, &placement, &tech, &outcome.guidance);
+    fs::write(
+        out_dir.join("fig6_guidance.json"),
+        serde_json::to_string_pretty(&field)?,
+    )?;
+
+    println!("Figure 6 artifacts written to {}:", out_dir.display());
+    for f in [
+        "fig6_magicalroute.svg",
+        "fig6_geniusroute.svg",
+        "fig6_analogfold.svg",
+        "fig6_guidance.json",
+    ] {
+        println!("  {f}");
+    }
+    println!(
+        "wirelength: magical {:.1} um, genius {:.1} um, analogfold {:.1} um",
+        base.total_wirelength() as f64 / 1e3,
+        genius.total_wirelength() as f64 / 1e3,
+        outcome.layout.total_wirelength() as f64 / 1e3
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Stability experiment: the paper claims AnalogFold "exhibits enhanced
+//! stability by considering the potential post-layout performance". This
+//! binary quantifies run-to-run spread: the flow is repeated with K
+//! different seeds on OTA1-A and the per-metric mean ± standard deviation is
+//! reported next to the (deterministic) MagicalRoute baseline.
+//!
+//! Run: `cargo run -p af-bench --bin stability --release -- [quick|full] [seeds=K]`
+
+use af_bench::{flow_config, Scale};
+use af_netlist::benchmarks;
+use af_place::{place, PlacementVariant};
+use af_route::RouterConfig;
+use af_sim::SimConfig;
+use af_tech::Technology;
+use analogfold::{magical_route, AnalogFoldFlow};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .iter()
+        .find_map(|a| Scale::parse(a))
+        .unwrap_or(Scale::Quick);
+    let seeds: u64 = args
+        .iter()
+        .find(|a| a.starts_with("seeds="))
+        .and_then(|a| a["seeds=".len()..].parse().ok())
+        .unwrap_or(5);
+
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let (_, _, base) = magical_route(
+        &circuit,
+        &placement,
+        &tech,
+        &RouterConfig::default(),
+        &SimConfig::default(),
+    )
+    .expect("baseline");
+
+    let mut rows: Vec<[f64; 5]> = Vec::new();
+    for seed in 0..seeds {
+        eprintln!("seed {seed} ...");
+        let flow = AnalogFoldFlow::new(flow_config(scale, 0x57ab + seed));
+        let p = flow.run(&circuit, &placement).expect("flow").performance;
+        rows.push([
+            p.offset_uv,
+            p.cmrr_db,
+            p.bandwidth_mhz,
+            p.dc_gain_db,
+            p.noise_uvrms,
+        ]);
+    }
+
+    let n = rows.len() as f64;
+    let names = ["Offset(uV)", "CMRR(dB)", "BW(MHz)", "Gain(dB)", "Noise(uV)"];
+    let baseline = [
+        base.offset_uv,
+        base.cmrr_db,
+        base.bandwidth_mhz,
+        base.dc_gain_db,
+        base.noise_uvrms,
+    ];
+    println!("Stability over {seeds} seeds on OTA1-A (scale {scale:?})\n");
+    println!(
+        "{:<12}{:>12}{:>12}{:>12}{:>10}",
+        "metric", "Magical", "Ours mean", "Ours std", "cv %"
+    );
+    for k in 0..5 {
+        let mean = rows.iter().map(|r| r[k]).sum::<f64>() / n;
+        let var = rows.iter().map(|r| (r[k] - mean) * (r[k] - mean)).sum::<f64>() / n;
+        let std = var.sqrt();
+        println!(
+            "{:<12}{:>12.2}{:>12.2}{:>12.2}{:>9.2}%",
+            names[k],
+            baseline[k],
+            mean,
+            std,
+            100.0 * std / mean.abs().max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates **Table 1**: benchmark circuit information.
+//!
+//! Run: `cargo run -p af-bench --bin table1`
+
+use af_netlist::{benchmarks, DeviceKind};
+
+fn main() {
+    println!("Table 1: Benchmark circuits information.");
+    println!(
+        "{:<12}{:>8}{:>8}{:>8}{:>8}{:>8}",
+        "Benchmark", "#PMOS", "#NMOS", "#Cap", "#Res", "#Total"
+    );
+    for c in benchmarks::all() {
+        println!(
+            "{:<12}{:>8}{:>8}{:>8}{:>8}{:>8}",
+            c.name(),
+            c.count_kind(DeviceKind::Pmos),
+            c.count_kind(DeviceKind::Nmos),
+            c.count_kind(DeviceKind::Capacitor),
+            c.count_kind(DeviceKind::Resistor),
+            c.total_modules()
+        );
+    }
+}

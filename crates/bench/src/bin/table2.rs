@@ -1,0 +1,67 @@
+//! Regenerates **Table 2**: post-layout metric comparison between
+//! Schematic, MagicalRoute \[16\], GeniusRoute \[11\], and AnalogFold (Ours) on
+//! OTA1-{A,B,C}, OTA2-{A,B,C}, OTA3-{A,B}, OTA4-{A,B}, plus the normalized
+//! "Average" block.
+//!
+//! Run (paper scale, minutes):
+//! `cargo run -p af-bench --bin table2 --release -- full`
+//!
+//! Quick smoke run (seconds per row):
+//! `cargo run -p af-bench --bin table2 --release -- quick`
+//!
+//! Append `only=OTA1-A,OTA2-B` to restrict rows.
+
+use af_bench::{averages, print_row, run_row, Scale, TABLE2_ROWS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .iter()
+        .find_map(|a| Scale::parse(a))
+        .unwrap_or(Scale::Quick);
+    let only: Option<Vec<String>> = args
+        .iter()
+        .find(|a| a.starts_with("only="))
+        .map(|a| a["only=".len()..].split(',').map(str::to_string).collect());
+
+    println!("Table 2: comparison between baseline methods and AnalogFold (scale: {scale:?}).");
+    println!("(v = lower is better, ^ = higher is better)\n");
+
+    let mut rows = Vec::new();
+    for &(bench, variant) in TABLE2_ROWS {
+        let id = format!("{bench}-{}", variant.label());
+        if let Some(filter) = &only {
+            if !filter.iter().any(|f| f.eq_ignore_ascii_case(&id)) {
+                continue;
+            }
+        }
+        eprintln!("running {id} ...");
+        let row = run_row(bench, variant, scale);
+        print_row(&row);
+        println!();
+        rows.push(row);
+    }
+
+    if rows.len() > 1 {
+        let avg = averages(&rows);
+        println!("Average (normalized to MagicalRoute = 1.000)");
+        println!(
+            "  {:<22}{:>12}{:>12}{:>12}",
+            "metric", "Magical", "Genius", "Ours"
+        );
+        let names = [
+            "OffsetVoltage v",
+            "CMRR ^",
+            "BandWidth ^",
+            "DC Gain ^",
+            "Noise v",
+            "Runtime v",
+        ];
+        for (name, vals) in names.iter().zip(avg) {
+            println!(
+                "  {name:<22}{:>12.3}{:>12.3}{:>12.3}",
+                vals[0], vals[1], vals[2]
+            );
+        }
+    }
+}

@@ -1,0 +1,453 @@
+#![warn(missing_docs)]
+//! Geometric parasitic extraction — the Calibre PEX substitute.
+//!
+//! The paper extracts "parasitic resistance, parasitic capacitor, and
+//! coupling capacitance (R+C+CC)" from routed layouts before simulation.
+//! This crate reproduces that step geometrically from the routed segments:
+//!
+//! * **R** — series resistance per net: Σ sheet-resistance · length / width
+//!   over planar segments plus via-stack resistance,
+//! * **C** — ground (area + fringe) capacitance per net: Σ per-µm constant ·
+//!   length,
+//! * **CC** — coupling capacitance between net pairs: Σ over same-layer
+//!   parallel runs, scaled by the technology's separation falloff.
+//!
+//! It also reports the **symmetric-pair asymmetry** (ΔR, ΔC, ΔCC between the
+//! nets of each symmetric pair), which is what drives offset-voltage and
+//! CMRR degradation in the performance simulator — exactly the mechanism by
+//! which routing quality reaches the paper's Table 2 metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use af_extract::extract;
+//! use af_netlist::benchmarks;
+//! use af_place::{place, PlacementVariant};
+//! use af_route::{route, RouterConfig, RoutingGuidance};
+//! use af_tech::Technology;
+//!
+//! let c = benchmarks::ota1();
+//! let p = place(&c, PlacementVariant::A);
+//! let t = Technology::nm40();
+//! let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+//! let parasitics = extract(&c, &t, &l);
+//! let vout = c.net_by_name("vout").unwrap();
+//! assert!(parasitics.net(vout).resistance > 0.0);
+//! ```
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use af_geom::parallel_run_length;
+use af_netlist::{Circuit, NetId};
+use af_route::RoutedLayout;
+use af_tech::Technology;
+
+/// Lumped parasitics of one net.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetParasitics {
+    /// The net.
+    pub net: NetId,
+    /// Total series wire resistance in ohms (planar segments + vias).
+    pub resistance: f64,
+    /// Total capacitance to ground in farads.
+    pub cap_ground: f64,
+    /// Total routed wirelength in dbu.
+    pub wirelength: i64,
+    /// Via count.
+    pub vias: u32,
+}
+
+impl NetParasitics {
+    fn zero(net: NetId) -> Self {
+        Self {
+            net,
+            resistance: 0.0,
+            cap_ground: 0.0,
+            wirelength: 0,
+            vias: 0,
+        }
+    }
+}
+
+/// Coupling capacitance between an (unordered) pair of nets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CouplingCap {
+    /// Lower-id net.
+    pub a: NetId,
+    /// Higher-id net.
+    pub b: NetId,
+    /// Coupling capacitance in farads.
+    pub cap: f64,
+}
+
+/// Asymmetry between the two nets of a symmetric pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairAsymmetry {
+    /// The pair.
+    pub nets: (NetId, NetId),
+    /// |R_a − R_b| in ohms.
+    pub delta_r: f64,
+    /// |C_a − C_b| in farads (ground + total coupling).
+    pub delta_c: f64,
+}
+
+/// Full parasitic annotation of a routed layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Parasitics {
+    nets: Vec<NetParasitics>,
+    couplings: Vec<CouplingCap>,
+    asymmetries: Vec<PairAsymmetry>,
+}
+
+impl Parasitics {
+    /// Parasitics of one net (zero if the net was unrouted).
+    pub fn net(&self, id: NetId) -> NetParasitics {
+        self.nets
+            .get(id.index())
+            .copied()
+            .unwrap_or_else(|| NetParasitics::zero(id))
+    }
+
+    /// Per-net records in id order.
+    pub fn nets(&self) -> &[NetParasitics] {
+        &self.nets
+    }
+
+    /// All non-zero coupling capacitances.
+    pub fn couplings(&self) -> &[CouplingCap] {
+        &self.couplings
+    }
+
+    /// Coupling between two specific nets (0 when none).
+    pub fn coupling_between(&self, a: NetId, b: NetId) -> f64 {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.couplings
+            .iter()
+            .find(|c| c.a == lo && c.b == hi)
+            .map(|c| c.cap)
+            .unwrap_or(0.0)
+    }
+
+    /// Sum of coupling capacitance incident on a net.
+    pub fn total_coupling(&self, id: NetId) -> f64 {
+        self.couplings
+            .iter()
+            .filter(|c| c.a == id || c.b == id)
+            .map(|c| c.cap)
+            .sum()
+    }
+
+    /// Symmetric-pair asymmetry records.
+    pub fn asymmetries(&self) -> &[PairAsymmetry] {
+        &self.asymmetries
+    }
+
+    /// Worst relative resistance asymmetry over all pairs (0 when perfectly
+    /// matched).
+    pub fn worst_mismatch(&self) -> f64 {
+        self.asymmetries
+            .iter()
+            .map(|a| {
+                let ra = self.net(a.nets.0).resistance;
+                let rb = self.net(a.nets.1).resistance;
+                a.delta_r / ra.max(rb).max(1e-12)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Effective load capacitance a net presents: ground + coupling.
+    pub fn effective_cap(&self, id: NetId) -> f64 {
+        self.net(id).cap_ground + self.total_coupling(id)
+    }
+}
+
+/// Extracts R + C + CC from a routed layout.
+pub fn extract(circuit: &Circuit, tech: &Technology, layout: &RoutedLayout) -> Parasitics {
+    let mut nets: Vec<NetParasitics> = (0..circuit.nets().len())
+        .map(|i| NetParasitics::zero(NetId::new(i as u32)))
+        .collect();
+
+    for rn in &layout.nets {
+        let rec = &mut nets[rn.net.index()];
+        rec.wirelength = rn.wirelength;
+        rec.vias = rn.vias;
+        rec.resistance = tech.via_stack_resistance(rn.vias);
+        rec.cap_ground = 0.0;
+        for seg in &rn.segments {
+            if seg.is_via() {
+                continue;
+            }
+            rec.resistance += tech.wire_resistance(seg.layer(), seg.length());
+            rec.cap_ground += tech.wire_ground_cap(seg.layer(), seg.length());
+        }
+    }
+
+    // Coupling: same-layer parallel runs between different nets.
+    let mut cc: HashMap<(u32, u32), f64> = HashMap::new();
+    for (i, a) in layout.nets.iter().enumerate() {
+        for b in layout.nets.iter().skip(i + 1) {
+            let mut total = 0.0;
+            for sa in a.segments.iter().filter(|s| !s.is_via()) {
+                for sb in b.segments.iter().filter(|s| !s.is_via()) {
+                    if let Some((run, sep)) = parallel_run_length(sa, sb) {
+                        total += tech.coupling_cap(sa.layer(), run, sep);
+                    }
+                }
+            }
+            if total > 0.0 {
+                let key = (
+                    a.net.index().min(b.net.index()) as u32,
+                    a.net.index().max(b.net.index()) as u32,
+                );
+                *cc.entry(key).or_insert(0.0) += total;
+            }
+        }
+    }
+    let mut couplings: Vec<CouplingCap> = cc
+        .into_iter()
+        .map(|((a, b), cap)| CouplingCap {
+            a: NetId::new(a),
+            b: NetId::new(b),
+            cap,
+        })
+        .collect();
+    couplings.sort_by_key(|c| (c.a, c.b));
+
+    // Pair asymmetries.
+    let interim = Parasitics {
+        nets: nets.clone(),
+        couplings: couplings.clone(),
+        asymmetries: Vec::new(),
+    };
+    let asymmetries = circuit
+        .matched_net_pairs()
+        .iter()
+        .map(|&(a, b)| {
+            let (pa, pb) = (interim.net(a), interim.net(b));
+            let ca = pa.cap_ground + interim.total_coupling(a);
+            let cb = pb.cap_ground + interim.total_coupling(b);
+            PairAsymmetry {
+                nets: (a, b),
+                delta_r: (pa.resistance - pb.resistance).abs(),
+                delta_c: (ca - cb).abs(),
+            }
+        })
+        .collect();
+
+    Parasitics {
+        nets,
+        couplings,
+        asymmetries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_geom::{Point3, Segment};
+    use af_netlist::benchmarks;
+    use af_place::{place, PlacementVariant};
+    use af_route::{route, RoutedNet, RouterConfig, RoutingGuidance};
+
+    fn routed_ota1() -> (af_netlist::Circuit, Parasitics) {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let x = extract(&c, &t, &l);
+        (c, x)
+    }
+
+    #[test]
+    fn every_routed_net_has_parasitics() {
+        let (c, x) = routed_ota1();
+        for (i, net) in c.nets().iter().enumerate() {
+            let id = NetId::new(i as u32);
+            let p = x.net(id);
+            if net.is_routable() {
+                assert!(p.resistance > 0.0, "net `{}` has zero R", net.name);
+                assert!(p.cap_ground > 0.0, "net `{}` has zero C", net.name);
+            }
+        }
+    }
+
+    #[test]
+    fn couplings_present_and_symmetric_lookup() {
+        let (_, x) = routed_ota1();
+        assert!(!x.couplings().is_empty(), "adjacent wires must couple");
+        let c0 = x.couplings()[0];
+        assert!(c0.cap > 0.0);
+        assert_eq!(x.coupling_between(c0.a, c0.b), c0.cap);
+        assert_eq!(x.coupling_between(c0.b, c0.a), c0.cap);
+    }
+
+    #[test]
+    fn asymmetries_cover_pairs() {
+        let (c, x) = routed_ota1();
+        assert_eq!(x.asymmetries().len(), c.matched_net_pairs().len());
+        // mirrored pairs routed by mirroring should match closely in R
+        for &(na, nb) in c.symmetric_net_pairs() {
+            let a = x
+                .asymmetries()
+                .iter()
+                .find(|rec| rec.nets == (na, nb))
+                .expect("asymmetry record");
+            let ra = x.net(a.nets.0).resistance;
+            assert!(
+                a.delta_r <= 0.5 * ra.max(1.0),
+                "pair {:?} grossly mismatched: ΔR={} vs R={}",
+                a.nets,
+                a.delta_r,
+                ra
+            );
+        }
+    }
+
+    #[test]
+    fn synthetic_known_values() {
+        // one net: 10 µm of M1 + 1 via; another 10 µm of M1 20 tracks away
+        let t = Technology::nm40();
+        let c = benchmarks::ota1();
+        let seg_a = Segment::new(Point3::new(0, 0, 0), Point3::new(10_000, 0, 0)).unwrap();
+        let via_a = Segment::new(Point3::new(10_000, 0, 0), Point3::new(10_000, 0, 1)).unwrap();
+        let seg_b = Segment::new(Point3::new(0, 140, 0), Point3::new(10_000, 140, 0)).unwrap();
+        let layout = RoutedLayout {
+            nets: vec![
+                RoutedNet::from_segments(NetId::new(2), vec![seg_a, via_a]),
+                RoutedNet::from_segments(NetId::new(3), vec![seg_b]),
+            ],
+            iterations: 1,
+            conflicts: 0,
+            runtime_s: 0.0,
+        };
+        let x = extract(&c, &t, &layout);
+        let pa = x.net(NetId::new(2));
+        let expected_r = t.wire_resistance(0, 10_000) + t.via_resistance();
+        assert!((pa.resistance - expected_r).abs() < 1e-9);
+        assert!((pa.cap_ground - t.wire_ground_cap(0, 10_000)).abs() < 1e-24);
+        let cc = x.coupling_between(NetId::new(2), NetId::new(3));
+        let expected_cc = t.coupling_cap(0, 10_000, 140);
+        assert!((cc - expected_cc).abs() < 1e-24, "{cc} vs {expected_cc}");
+        // unrouted nets report zeros
+        assert_eq!(x.net(NetId::new(9)).resistance, 0.0);
+    }
+
+    #[test]
+    fn effective_cap_includes_coupling() {
+        let (_, x) = routed_ota1();
+        for rec in x.nets() {
+            if rec.wirelength > 0 {
+                assert!(x.effective_cap(rec.net) >= rec.cap_ground);
+            }
+        }
+    }
+
+    #[test]
+    fn worst_mismatch_bounded() {
+        let (_, x) = routed_ota1();
+        let m = x.worst_mismatch();
+        assert!((0.0..=1.0).contains(&m), "mismatch ratio {m}");
+    }
+
+    #[test]
+    fn coupling_requires_min_parallel_run() {
+        // perpendicular wires never couple
+        let t = Technology::nm40();
+        let c = benchmarks::ota1();
+        let h = Segment::new(Point3::new(0, 0, 0), Point3::new(10_000, 0, 0)).unwrap();
+        let v = Segment::new(Point3::new(5_000, -5_000, 0), Point3::new(5_000, 5_000, 0)).unwrap();
+        let layout = RoutedLayout {
+            nets: vec![
+                RoutedNet::from_segments(NetId::new(2), vec![h]),
+                RoutedNet::from_segments(NetId::new(3), vec![v]),
+            ],
+            iterations: 1,
+            conflicts: 0,
+            runtime_s: 0.0,
+        };
+        let x = extract(&c, &t, &layout);
+        assert_eq!(x.coupling_between(NetId::new(2), NetId::new(3)), 0.0);
+    }
+
+    #[test]
+    fn coupling_decays_with_track_separation() {
+        let t = Technology::nm40();
+        let c = benchmarks::ota1();
+        let mk = |sep: i64| {
+            let a = Segment::new(Point3::new(0, 0, 0), Point3::new(10_000, 0, 0)).unwrap();
+            let b = Segment::new(Point3::new(0, sep, 0), Point3::new(10_000, sep, 0)).unwrap();
+            let layout = RoutedLayout {
+                nets: vec![
+                    RoutedNet::from_segments(NetId::new(2), vec![a]),
+                    RoutedNet::from_segments(NetId::new(3), vec![b]),
+                ],
+                iterations: 1,
+                conflicts: 0,
+                runtime_s: 0.0,
+            };
+            extract(&c, &t, &layout).coupling_between(NetId::new(2), NetId::new(3))
+        };
+        let near = mk(140);
+        let far = mk(420);
+        assert!(near > far, "{near} vs {far}");
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn via_only_net_has_via_resistance_only() {
+        let t = Technology::nm40();
+        let c = benchmarks::ota1();
+        let via = Segment::new(Point3::new(0, 0, 0), Point3::new(0, 0, 1)).unwrap();
+        let layout = RoutedLayout {
+            nets: vec![RoutedNet::from_segments(NetId::new(2), vec![via])],
+            iterations: 1,
+            conflicts: 0,
+            runtime_s: 0.0,
+        };
+        let x = extract(&c, &t, &layout);
+        let rec = x.net(NetId::new(2));
+        assert!((rec.resistance - t.via_resistance()).abs() < 1e-12);
+        assert_eq!(rec.cap_ground, 0.0);
+        assert_eq!(rec.wirelength, 0);
+        assert_eq!(rec.vias, 1);
+    }
+
+    #[test]
+    fn matched_but_unrouted_pairs_report_zero_asymmetry() {
+        let t = Technology::nm40();
+        let c = benchmarks::ota1();
+        let layout = RoutedLayout {
+            nets: vec![],
+            iterations: 0,
+            conflicts: 0,
+            runtime_s: 0.0,
+        };
+        let x = extract(&c, &t, &layout);
+        for a in x.asymmetries() {
+            assert_eq!(a.delta_r, 0.0);
+            assert_eq!(a.delta_c, 0.0);
+        }
+        assert_eq!(x.worst_mismatch(), 0.0);
+    }
+
+    #[test]
+    fn longer_routes_mean_more_parasitics() {
+        let t = Technology::nm40();
+        let c = benchmarks::ota1();
+        let mk = |len: i64| RoutedLayout {
+            nets: vec![RoutedNet::from_segments(
+                NetId::new(2),
+                vec![Segment::new(Point3::new(0, 0, 0), Point3::new(len, 0, 0)).unwrap()],
+            )],
+            iterations: 1,
+            conflicts: 0,
+            runtime_s: 0.0,
+        };
+        let short = extract(&c, &t, &mk(1_000));
+        let long = extract(&c, &t, &mk(50_000));
+        assert!(long.net(NetId::new(2)).resistance > short.net(NetId::new(2)).resistance);
+        assert!(long.net(NetId::new(2)).cap_ground > short.net(NetId::new(2)).cap_ground);
+    }
+}

@@ -1,0 +1,195 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the three routing axes.
+///
+/// The paper's guidance triple `C_i[d], d ∈ {0, 1, 2}` indexes these axes in
+/// order X (horizontal), Y (vertical), Z (layer changes / vias).
+///
+/// # Examples
+///
+/// ```
+/// use af_geom::Axis;
+///
+/// assert_eq!(Axis::from_index(2), Some(Axis::Z));
+/// assert_eq!(Axis::X.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    /// Horizontal (guidance index 0).
+    X,
+    /// Vertical (guidance index 1).
+    Y,
+    /// Layer direction / vias (guidance index 2).
+    Z,
+}
+
+impl Axis {
+    /// All axes in guidance order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Guidance-triple index of this axis.
+    pub const fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+
+    /// Axis for a guidance-triple index, `None` if out of range.
+    pub const fn from_index(i: usize) -> Option<Axis> {
+        match i {
+            0 => Some(Axis::X),
+            1 => Some(Axis::Y),
+            2 => Some(Axis::Z),
+            _ => None,
+        }
+    }
+
+    /// The in-plane perpendicular axis; `Z` maps to itself.
+    pub const fn perpendicular(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+            Axis::Z => Axis::Z,
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Axis::X => "X",
+            Axis::Y => "Y",
+            Axis::Z => "Z",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One of the six signed grid step directions.
+///
+/// # Examples
+///
+/// ```
+/// use af_geom::{Axis, Dir3};
+///
+/// assert_eq!(Dir3::East.axis(), Axis::X);
+/// assert_eq!(Dir3::East.opposite(), Dir3::West);
+/// assert_eq!(Dir3::Up.delta(), (0, 0, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dir3 {
+    /// +x
+    East,
+    /// -x
+    West,
+    /// +y
+    North,
+    /// -y
+    South,
+    /// +z (to higher metal)
+    Up,
+    /// -z (to lower metal)
+    Down,
+}
+
+impl Dir3 {
+    /// All six directions.
+    pub const ALL: [Dir3; 6] = [
+        Dir3::East,
+        Dir3::West,
+        Dir3::North,
+        Dir3::South,
+        Dir3::Up,
+        Dir3::Down,
+    ];
+
+    /// The axis this direction moves along.
+    pub const fn axis(self) -> Axis {
+        match self {
+            Dir3::East | Dir3::West => Axis::X,
+            Dir3::North | Dir3::South => Axis::Y,
+            Dir3::Up | Dir3::Down => Axis::Z,
+        }
+    }
+
+    /// The reverse direction.
+    pub const fn opposite(self) -> Dir3 {
+        match self {
+            Dir3::East => Dir3::West,
+            Dir3::West => Dir3::East,
+            Dir3::North => Dir3::South,
+            Dir3::South => Dir3::North,
+            Dir3::Up => Dir3::Down,
+            Dir3::Down => Dir3::Up,
+        }
+    }
+
+    /// Unit step `(dx, dy, dz)` in grid cells.
+    pub const fn delta(self) -> (i64, i64, i64) {
+        match self {
+            Dir3::East => (1, 0, 0),
+            Dir3::West => (-1, 0, 0),
+            Dir3::North => (0, 1, 0),
+            Dir3::South => (0, -1, 0),
+            Dir3::Up => (0, 0, 1),
+            Dir3::Down => (0, 0, -1),
+        }
+    }
+}
+
+impl fmt::Display for Dir3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dir3::East => "E",
+            Dir3::West => "W",
+            Dir3::North => "N",
+            Dir3::South => "S",
+            Dir3::Up => "U",
+            Dir3::Down => "D",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_index_roundtrip() {
+        for a in Axis::ALL {
+            assert_eq!(Axis::from_index(a.index()), Some(a));
+        }
+        assert_eq!(Axis::from_index(3), None);
+    }
+
+    #[test]
+    fn perpendicular() {
+        assert_eq!(Axis::X.perpendicular(), Axis::Y);
+        assert_eq!(Axis::Y.perpendicular(), Axis::X);
+        assert_eq!(Axis::Z.perpendicular(), Axis::Z);
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in Dir3::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+            assert_eq!(d.opposite().axis(), d.axis());
+        }
+    }
+
+    #[test]
+    fn deltas_are_unit_steps() {
+        for d in Dir3::ALL {
+            let (dx, dy, dz) = d.delta();
+            assert_eq!(dx.abs() + dy.abs() + dz.abs(), 1);
+            let (ox, oy, oz) = d.opposite().delta();
+            assert_eq!((dx, dy, dz), (-ox, -oy, -oz));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Point3;
+
+/// A per-point routing-guidance cost triple `(C[0], C[1], C[2])`.
+///
+/// This is the paper's non-uniform routing guidance `C_i`: element `d` scales
+/// distances along axis `d` (0 = x, 1 = y, 2 = z). Larger values discourage
+/// routing along that axis from the guided pin access point.
+///
+/// # Examples
+///
+/// ```
+/// use af_geom::CostTriple;
+///
+/// let c = CostTriple::uniform(1.0);
+/// assert_eq!(c[0], 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostTriple(pub [f64; 3]);
+
+impl CostTriple {
+    /// Triple with the same cost on all three axes.
+    pub const fn uniform(c: f64) -> Self {
+        CostTriple([c, c, c])
+    }
+
+    /// The neutral guidance (all ones): cost distance equals geometry.
+    pub const fn neutral() -> Self {
+        CostTriple::uniform(1.0)
+    }
+
+    /// Clamps every component into `[lo, hi]`.
+    pub fn clamped(self, lo: f64, hi: f64) -> Self {
+        CostTriple([
+            self.0[0].clamp(lo, hi),
+            self.0[1].clamp(lo, hi),
+            self.0[2].clamp(lo, hi),
+        ])
+    }
+
+    /// Whether every component is finite and strictly positive.
+    pub fn is_valid(&self) -> bool {
+        self.0.iter().all(|c| c.is_finite() && *c > 0.0)
+    }
+
+    /// Component slice in axis order.
+    pub fn as_slice(&self) -> &[f64; 3] {
+        &self.0
+    }
+}
+
+impl Default for CostTriple {
+    fn default() -> Self {
+        CostTriple::neutral()
+    }
+}
+
+impl std::ops::Index<usize> for CostTriple {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for CostTriple {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl From<[f64; 3]> for CostTriple {
+    fn from(v: [f64; 3]) -> Self {
+        CostTriple(v)
+    }
+}
+
+/// The paper's cost-aware distance (Eq. 1):
+///
+/// `d_cost(v_k, v_s) = sqrt((C_k[0]·h)² + (C_k[1]·w)² + (C_k[2]·z)²)`
+///
+/// where `h`/`w`/`z` are the absolute per-axis separations of `k` and `s`
+/// (the z separation is expressed in dbu via `layer_pitch`).
+///
+/// # Examples
+///
+/// ```
+/// use af_geom::{cost_distance, CostTriple, Point3};
+///
+/// let k = Point3::new(0, 0, 0);
+/// let s = Point3::new(3, 4, 0);
+/// let d = cost_distance(k, s, CostTriple::neutral(), 100);
+/// assert!((d - 5.0).abs() < 1e-12);
+/// ```
+pub fn cost_distance(k: Point3, s: Point3, guidance: CostTriple, layer_pitch: i64) -> f64 {
+    let (h, w, z) = k.abs_deltas(s);
+    let hx = guidance[0] * h as f64;
+    let wy = guidance[1] * w as f64;
+    let zz = guidance[2] * (z * layer_pitch) as f64;
+    (hx * hx + wy * wy + zz * zz).sqrt()
+}
+
+/// Plain Euclidean 3-D distance (neutral-guidance cost distance).
+pub fn euclidean_distance(k: Point3, s: Point3, layer_pitch: i64) -> f64 {
+    cost_distance(k, s, CostTriple::neutral(), layer_pitch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_guidance_is_euclidean() {
+        let k = Point3::new(0, 0, 0);
+        let s = Point3::new(3, 4, 1);
+        let d = cost_distance(k, s, CostTriple::neutral(), 12);
+        let expect = ((3.0f64).powi(2) + 16.0 + 144.0).sqrt();
+        assert!((d - expect).abs() < 1e-12);
+        assert_eq!(d, euclidean_distance(k, s, 12));
+    }
+
+    #[test]
+    fn guidance_scales_each_axis() {
+        let k = Point3::new(0, 0, 0);
+        let s = Point3::new(10, 0, 0);
+        let cheap = cost_distance(k, s, CostTriple([0.5, 1.0, 1.0]), 1);
+        let dear = cost_distance(k, s, CostTriple([2.0, 1.0, 1.0]), 1);
+        assert!((cheap - 5.0).abs() < 1e-12);
+        assert!((dear - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_in_geometry_for_same_guidance() {
+        let k = Point3::new(1, 2, 0);
+        let s = Point3::new(7, -3, 2);
+        let g = CostTriple([1.3, 0.7, 2.0]);
+        assert!((cost_distance(k, s, g, 5) - cost_distance(s, k, g, 5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(CostTriple::neutral().is_valid());
+        assert!(!CostTriple([0.0, 1.0, 1.0]).is_valid());
+        assert!(!CostTriple([f64::NAN, 1.0, 1.0]).is_valid());
+        assert!(CostTriple([5.0, 9.0, 0.1]).clamped(0.5, 2.0).is_valid());
+        assert_eq!(
+            CostTriple([5.0, 9.0, 0.1]).clamped(0.5, 2.0),
+            CostTriple([2.0, 2.0, 0.5])
+        );
+    }
+
+    #[test]
+    fn index_access() {
+        let mut c = CostTriple::neutral();
+        c[2] = 3.0;
+        assert_eq!(c[2], 3.0);
+        assert_eq!(c.as_slice(), &[1.0, 1.0, 3.0]);
+    }
+}

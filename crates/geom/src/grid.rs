@@ -1,0 +1,268 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Point, Point3};
+
+/// A point on the routing grid: cell indices, not dbu.
+///
+/// # Examples
+///
+/// ```
+/// use af_geom::GridPoint;
+///
+/// let g = GridPoint::new(3, 5, 1);
+/// assert_eq!(g.x, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct GridPoint {
+    /// Column index.
+    pub x: u32,
+    /// Row index.
+    pub y: u32,
+    /// Layer index.
+    pub l: u8,
+}
+
+impl GridPoint {
+    /// Creates a grid point from indices.
+    pub const fn new(x: u32, y: u32, l: u8) -> Self {
+        Self { x, y, l }
+    }
+
+    /// Manhattan distance in grid cells, counting layer hops once each.
+    pub fn manhattan(self, other: GridPoint) -> u64 {
+        let dx = (i64::from(self.x) - i64::from(other.x)).unsigned_abs();
+        let dy = (i64::from(self.y) - i64::from(other.y)).unsigned_abs();
+        let dl = (i16::from(self.l) - i16::from(other.l)).unsigned_abs() as u64;
+        dx + dy + dl
+    }
+}
+
+impl fmt::Display for GridPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g({}, {}, M{})", self.x, self.y, self.l + 1)
+    }
+}
+
+/// Error produced when a dbu coordinate cannot be mapped onto a grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridIndexError {
+    /// The offending coordinate.
+    pub point: Point3,
+}
+
+impl fmt::Display for GridIndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "point {} is outside the routing grid", self.point)
+    }
+}
+
+impl std::error::Error for GridIndexError {}
+
+/// Dimensions and pitch of a uniform 3-D routing grid.
+///
+/// The grid covers `[origin, origin + (nx-1)*pitch]` horizontally and
+/// similarly vertically, on `layers` metal layers.
+///
+/// # Examples
+///
+/// ```
+/// use af_geom::{GridDim, GridPoint, Point};
+///
+/// let dim = GridDim::new(Point::new(0, 0), 10, 10, 3, 100);
+/// let g = GridPoint::new(2, 3, 1);
+/// let p = dim.to_dbu(g);
+/// assert_eq!(dim.snap(p.xy(), 1), Some(g));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridDim {
+    origin: Point,
+    nx: u32,
+    ny: u32,
+    layers: u8,
+    pitch: i64,
+}
+
+impl GridDim {
+    /// Creates a grid description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `pitch <= 0`.
+    pub fn new(origin: Point, nx: u32, ny: u32, layers: u8, pitch: i64) -> Self {
+        assert!(nx > 0 && ny > 0 && layers > 0, "empty grid {nx}x{ny}x{layers}");
+        assert!(pitch > 0, "non-positive pitch {pitch}");
+        Self {
+            origin,
+            nx,
+            ny,
+            layers,
+            pitch,
+        }
+    }
+
+    /// Grid origin in dbu.
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// Number of columns.
+    pub fn nx(&self) -> u32 {
+        self.nx
+    }
+
+    /// Number of rows.
+    pub fn ny(&self) -> u32 {
+        self.ny
+    }
+
+    /// Number of routing layers.
+    pub fn layers(&self) -> u8 {
+        self.layers
+    }
+
+    /// Track pitch in dbu.
+    pub fn pitch(&self) -> i64 {
+        self.pitch
+    }
+
+    /// Total number of grid nodes.
+    pub fn len(&self) -> usize {
+        self.nx as usize * self.ny as usize * self.layers as usize
+    }
+
+    /// Whether the grid has no nodes (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `g` lies inside the grid.
+    pub fn contains(&self, g: GridPoint) -> bool {
+        g.x < self.nx && g.y < self.ny && g.l < self.layers
+    }
+
+    /// Flattened index of `g` for dense storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is outside the grid (debug builds assert; release builds
+    /// may index out of bounds downstream — callers should check `contains`).
+    pub fn flat_index(&self, g: GridPoint) -> usize {
+        debug_assert!(self.contains(g), "grid point {g} out of bounds");
+        (g.l as usize * self.ny as usize + g.y as usize) * self.nx as usize + g.x as usize
+    }
+
+    /// Inverse of [`GridDim::flat_index`].
+    pub fn from_flat(&self, idx: usize) -> GridPoint {
+        let nx = self.nx as usize;
+        let ny = self.ny as usize;
+        let x = (idx % nx) as u32;
+        let y = ((idx / nx) % ny) as u32;
+        let l = (idx / (nx * ny)) as u8;
+        GridPoint::new(x, y, l)
+    }
+
+    /// Converts a grid point to its dbu location.
+    pub fn to_dbu(&self, g: GridPoint) -> Point3 {
+        Point3::new(
+            self.origin.x + i64::from(g.x) * self.pitch,
+            self.origin.y + i64::from(g.y) * self.pitch,
+            g.l,
+        )
+    }
+
+    /// Snaps a dbu location to the nearest grid node on layer `l`.
+    ///
+    /// Returns `None` when the snapped node falls outside the grid.
+    pub fn snap(&self, p: Point, l: u8) -> Option<GridPoint> {
+        if l >= self.layers {
+            return None;
+        }
+        let fx = (p.x - self.origin.x) as f64 / self.pitch as f64;
+        let fy = (p.y - self.origin.y) as f64 / self.pitch as f64;
+        let x = fx.round();
+        let y = fy.round();
+        if x < 0.0 || y < 0.0 || x >= f64::from(self.nx) || y >= f64::from(self.ny) {
+            return None;
+        }
+        Some(GridPoint::new(x as u32, y as u32, l))
+    }
+
+    /// Snaps, reporting the offending point on failure.
+    pub fn try_snap(&self, p: Point, l: u8) -> Result<GridPoint, GridIndexError> {
+        self.snap(p, l).ok_or(GridIndexError {
+            point: p.on_layer(l),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dim() -> GridDim {
+        GridDim::new(Point::new(100, 200), 8, 6, 4, 50)
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let d = dim();
+        for l in 0..d.layers() {
+            for y in 0..d.ny() {
+                for x in 0..d.nx() {
+                    let g = GridPoint::new(x, y, l);
+                    assert_eq!(d.from_flat(d.flat_index(g)), g);
+                }
+            }
+        }
+        assert_eq!(d.len(), 8 * 6 * 4);
+    }
+
+    #[test]
+    fn dbu_roundtrip() {
+        let d = dim();
+        let g = GridPoint::new(3, 4, 2);
+        let p = d.to_dbu(g);
+        assert_eq!(p, Point3::new(100 + 150, 200 + 200, 2));
+        assert_eq!(d.snap(p.xy(), 2), Some(g));
+    }
+
+    #[test]
+    fn snap_rounds_to_nearest() {
+        let d = dim();
+        assert_eq!(d.snap(Point::new(124, 200), 0), Some(GridPoint::new(0, 0, 0)));
+        assert_eq!(d.snap(Point::new(126, 200), 0), Some(GridPoint::new(1, 0, 0)));
+    }
+
+    #[test]
+    fn snap_out_of_bounds() {
+        let d = dim();
+        assert_eq!(d.snap(Point::new(0, 0), 0), None);
+        assert_eq!(d.snap(Point::new(100, 200), 9), None);
+        assert!(d.try_snap(Point::new(0, 0), 0).is_err());
+        let err = d.try_snap(Point::new(0, 0), 1).unwrap_err();
+        assert_eq!(err.point, Point3::new(0, 0, 1));
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn grid_manhattan() {
+        let a = GridPoint::new(1, 2, 0);
+        let b = GridPoint::new(4, 0, 2);
+        assert_eq!(a.manhattan(b), 3 + 2 + 2);
+        assert_eq!(b.manhattan(a), a.manhattan(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn zero_dim_panics() {
+        let _ = GridDim::new(Point::ORIGIN, 0, 5, 1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive pitch")]
+    fn zero_pitch_panics() {
+        let _ = GridDim::new(Point::ORIGIN, 5, 5, 1, 0);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Geometry primitives shared by every AnalogFold subsystem.
+//!
+//! Coordinates are integer database units (1 dbu = 1 nm for the bundled
+//! 40 nm-class technology). Layers are small unsigned indices; `z` in a
+//! [`Point3`] is the routing-layer index.
+//!
+//! The crate is deliberately free of EDA-specific policy: it provides points,
+//! rectangles, directions, grid index math, segments, and the *cost-aware
+//! distance* of the paper (Eq. 1), which is pure geometry once the per-point
+//! guidance triple is given.
+//!
+//! # Examples
+//!
+//! ```
+//! use af_geom::{Point, Rect};
+//!
+//! let r = Rect::new(Point::new(0, 0), Point::new(100, 50));
+//! assert_eq!(r.width(), 100);
+//! assert!(r.contains(Point::new(10, 10)));
+//! ```
+
+mod dir;
+mod dist;
+mod grid;
+mod point;
+mod rect;
+mod segment;
+
+pub use dir::{Axis, Dir3};
+pub use dist::{cost_distance, euclidean_distance, CostTriple};
+pub use grid::{GridDim, GridIndexError, GridPoint};
+pub use point::{Point, Point3};
+pub use rect::Rect;
+pub use segment::{parallel_run_length, Segment};

@@ -1,0 +1,239 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D point in integer database units.
+///
+/// # Examples
+///
+/// ```
+/// use af_geom::Point;
+///
+/// let a = Point::new(3, 4);
+/// let b = Point::new(1, 1);
+/// assert_eq!(a + b, Point::new(4, 5));
+/// assert_eq!(a.manhattan(b), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in dbu.
+    pub x: i64,
+    /// Vertical coordinate in dbu.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub const fn new(x: i64, y: i64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0, 0);
+
+    /// Manhattan (L1) distance to `other`.
+    pub fn manhattan(self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean (L2) distance to `other` as `f64`.
+    pub fn euclidean(self, other: Point) -> f64 {
+        let dx = (self.x - other.x) as f64;
+        let dy = (self.y - other.y) as f64;
+        dx.hypot(dy)
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Mirrors the point across the vertical line `x = axis_x`.
+    pub fn mirror_x(self, axis_x: i64) -> Point {
+        Point::new(2 * axis_x - self.x, self.y)
+    }
+
+    /// Mirrors the point across the horizontal line `y = axis_y`.
+    pub fn mirror_y(self, axis_y: i64) -> Point {
+        Point::new(self.x, 2 * axis_y - self.y)
+    }
+
+    /// Lifts the point onto routing layer `z`.
+    pub fn on_layer(self, z: u8) -> Point3 {
+        Point3::new(self.x, self.y, z)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    fn add_assign(&mut self, rhs: Point) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    fn sub_assign(&mut self, rhs: Point) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// A 3-D point: 2-D location plus routing-layer index `z`.
+///
+/// # Examples
+///
+/// ```
+/// use af_geom::{Point, Point3};
+///
+/// let p = Point3::new(10, 20, 1);
+/// assert_eq!(p.xy(), Point::new(10, 20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Point3 {
+    /// Horizontal coordinate in dbu.
+    pub x: i64,
+    /// Vertical coordinate in dbu.
+    pub y: i64,
+    /// Routing layer index (0 = lowest metal).
+    pub z: u8,
+}
+
+impl Point3 {
+    /// Creates a 3-D point.
+    pub const fn new(x: i64, y: i64, z: u8) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Projects onto the 2-D plane, dropping the layer.
+    pub fn xy(self) -> Point {
+        Point::new(self.x, self.y)
+    }
+
+    /// Manhattan distance counting a layer hop as `layer_pitch` dbu.
+    pub fn manhattan_3d(self, other: Point3, layer_pitch: i64) -> i64 {
+        self.xy().manhattan(other.xy())
+            + (i64::from(self.z) - i64::from(other.z)).abs() * layer_pitch
+    }
+
+    /// Per-axis absolute deltas `(|dx|, |dy|, |dz|)` with `dz` in layers.
+    pub fn abs_deltas(self, other: Point3) -> (i64, i64, i64) {
+        (
+            (self.x - other.x).abs(),
+            (self.y - other.y).abs(),
+            (i64::from(self.z) - i64::from(other.z)).abs(),
+        )
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, M{})", self.x, self.y, self.z + 1)
+    }
+}
+
+impl From<(i64, i64, u8)> for Point3 {
+    fn from((x, y, z): (i64, i64, u8)) -> Self {
+        Point3::new(x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic() {
+        let a = Point::new(5, -3);
+        let b = Point::new(-2, 7);
+        assert_eq!(a + b, Point::new(3, 4));
+        assert_eq!(a - b, Point::new(7, -10));
+        assert_eq!(-a, Point::new(-5, 3));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn manhattan_and_euclidean() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, 4);
+        assert_eq!(a.manhattan(b), 7);
+        assert!((a.euclidean(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mirror_is_involution() {
+        let p = Point::new(17, 42);
+        assert_eq!(p.mirror_x(100).mirror_x(100), p);
+        assert_eq!(p.mirror_y(-5).mirror_y(-5), p);
+        assert_eq!(Point::new(30, 7).mirror_x(20), Point::new(10, 7));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Point::new(1, 9);
+        let b = Point::new(4, 2);
+        assert_eq!(a.min(b), Point::new(1, 2));
+        assert_eq!(a.max(b), Point::new(4, 9));
+    }
+
+    #[test]
+    fn point3_projection_and_deltas() {
+        let p = Point3::new(10, 20, 2);
+        let q = Point3::new(13, 16, 0);
+        assert_eq!(p.xy(), Point::new(10, 20));
+        assert_eq!(p.abs_deltas(q), (3, 4, 2));
+        assert_eq!(p.manhattan_3d(q, 10), 3 + 4 + 20);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1, 2).to_string(), "(1, 2)");
+        assert_eq!(Point3::new(1, 2, 0).to_string(), "(1, 2, M1)");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Point::from((1, 2)), Point::new(1, 2));
+        assert_eq!(Point3::from((1, 2, 3)), Point3::new(1, 2, 3));
+    }
+}

@@ -1,0 +1,272 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Point;
+
+/// An axis-aligned rectangle, closed on all sides, in integer dbu.
+///
+/// Invariant: `lo.x <= hi.x` and `lo.y <= hi.y`. Constructors normalize their
+/// inputs so the invariant always holds.
+///
+/// # Examples
+///
+/// ```
+/// use af_geom::{Point, Rect};
+///
+/// let r = Rect::from_coords(10, 10, 0, 0); // swapped corners are fine
+/// assert_eq!(r.lo(), Point::new(0, 0));
+/// assert_eq!(r.area(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners (any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        Self {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// Creates a rectangle from corner coordinates (any order).
+    pub fn from_coords(x0: i64, y0: i64, x1: i64, y1: i64) -> Self {
+        Self::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    /// Creates a rectangle centered at `c` with the given width and height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `h` is negative.
+    pub fn centered(c: Point, w: i64, h: i64) -> Self {
+        assert!(w >= 0 && h >= 0, "negative dimensions: {w}x{h}");
+        Self::new(
+            Point::new(c.x - w / 2, c.y - h / 2),
+            Point::new(c.x - w / 2 + w, c.y - h / 2 + h),
+        )
+    }
+
+    /// Lower-left corner.
+    pub fn lo(&self) -> Point {
+        self.lo
+    }
+
+    /// Upper-right corner.
+    pub fn hi(&self) -> Point {
+        self.hi
+    }
+
+    /// Width (`hi.x - lo.x`), always non-negative.
+    pub fn width(&self) -> i64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height (`hi.y - lo.y`), always non-negative.
+    pub fn height(&self) -> i64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area in dbu².
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// Half-perimeter (width + height).
+    pub fn half_perimeter(&self) -> i64 {
+        self.width() + self.height()
+    }
+
+    /// Center point (rounded toward `lo`).
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.lo.x + self.hi.x) / 2,
+            (self.lo.y + self.hi.y) / 2,
+        )
+    }
+
+    /// Whether `p` lies inside or on the border.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Whether `other` lies entirely inside (or equal to) `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.contains(other.lo) && self.contains(other.hi)
+    }
+
+    /// Whether the two rectangles share any point (borders count).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// Whether the two rectangles share interior area (borders do not count).
+    pub fn overlaps_interior(&self, other: &Rect) -> bool {
+        self.lo.x < other.hi.x
+            && other.lo.x < self.hi.x
+            && self.lo.y < other.hi.y
+            && other.lo.y < self.hi.y
+    }
+
+    /// Intersection rectangle, or `None` if disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        })
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Rectangle grown by `margin` on every side (shrunk if negative).
+    ///
+    /// Shrinking collapses to a degenerate rectangle at the center rather than
+    /// inverting the corners.
+    pub fn expanded(&self, margin: i64) -> Rect {
+        let lo = Point::new(self.lo.x - margin, self.lo.y - margin);
+        let hi = Point::new(self.hi.x + margin, self.hi.y + margin);
+        if lo.x > hi.x || lo.y > hi.y {
+            let c = self.center();
+            return Rect::new(c, c);
+        }
+        Rect { lo, hi }
+    }
+
+    /// Translates the rectangle by `delta`.
+    pub fn translated(&self, delta: Point) -> Rect {
+        Rect {
+            lo: self.lo + delta,
+            hi: self.hi + delta,
+        }
+    }
+
+    /// Mirrors across the vertical line `x = axis_x`.
+    pub fn mirror_x(&self, axis_x: i64) -> Rect {
+        Rect::new(self.lo.mirror_x(axis_x), self.hi.mirror_x(axis_x))
+    }
+
+    /// Mirrors across the horizontal line `y = axis_y`.
+    pub fn mirror_y(&self, axis_y: i64) -> Rect {
+        Rect::new(self.lo.mirror_y(axis_y), self.hi.mirror_y(axis_y))
+    }
+
+    /// Minimum edge-to-edge spacing to `other` (0 when touching/overlapping).
+    pub fn spacing_to(&self, other: &Rect) -> i64 {
+        let dx = (other.lo.x - self.hi.x).max(self.lo.x - other.hi.x).max(0);
+        let dy = (other.lo.y - self.hi.y).max(self.lo.y - other.hi.y).max(0);
+        // Separated along both axes -> diagonal spacing approximated by max;
+        // design rules in this codebase are Manhattan, so use the Chebyshev
+        // gap which is conservative for corner-to-corner checks.
+        dx.max(dy)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_corners() {
+        let r = Rect::from_coords(10, 20, 0, 5);
+        assert_eq!(r.lo(), Point::new(0, 5));
+        assert_eq!(r.hi(), Point::new(10, 20));
+        assert_eq!(r.width(), 10);
+        assert_eq!(r.height(), 15);
+        assert_eq!(r.area(), 150);
+        assert_eq!(r.half_perimeter(), 25);
+    }
+
+    #[test]
+    fn centered_has_requested_size() {
+        let r = Rect::centered(Point::new(100, 100), 40, 20);
+        assert_eq!(r.width(), 40);
+        assert_eq!(r.height(), 20);
+        assert!(r.contains(Point::new(100, 100)));
+    }
+
+    #[test]
+    fn containment() {
+        let r = Rect::from_coords(0, 0, 10, 10);
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(r.contains(Point::new(10, 10)));
+        assert!(!r.contains(Point::new(11, 5)));
+        assert!(r.contains_rect(&Rect::from_coords(2, 2, 8, 8)));
+        assert!(!r.contains_rect(&Rect::from_coords(2, 2, 12, 8)));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Rect::from_coords(0, 0, 10, 10);
+        let b = Rect::from_coords(5, 5, 20, 20);
+        assert!(a.intersects(&b));
+        assert_eq!(
+            a.intersection(&b),
+            Some(Rect::from_coords(5, 5, 10, 10))
+        );
+        assert_eq!(a.union(&b), Rect::from_coords(0, 0, 20, 20));
+        let c = Rect::from_coords(11, 11, 12, 12);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&c), None);
+    }
+
+    #[test]
+    fn border_touch_is_not_interior_overlap() {
+        let a = Rect::from_coords(0, 0, 10, 10);
+        let b = Rect::from_coords(10, 0, 20, 10);
+        assert!(a.intersects(&b));
+        assert!(!a.overlaps_interior(&b));
+    }
+
+    #[test]
+    fn expansion() {
+        let r = Rect::from_coords(5, 5, 10, 10);
+        assert_eq!(r.expanded(2), Rect::from_coords(3, 3, 12, 12));
+        // over-shrink collapses at the center
+        let c = r.expanded(-10);
+        assert_eq!(c.area(), 0);
+    }
+
+    #[test]
+    fn spacing() {
+        let a = Rect::from_coords(0, 0, 10, 10);
+        let b = Rect::from_coords(15, 0, 20, 10);
+        assert_eq!(a.spacing_to(&b), 5);
+        assert_eq!(b.spacing_to(&a), 5);
+        let c = Rect::from_coords(5, 5, 8, 8);
+        assert_eq!(a.spacing_to(&c), 0);
+        let d = Rect::from_coords(13, 14, 20, 20);
+        assert_eq!(a.spacing_to(&d), 4);
+    }
+
+    #[test]
+    fn mirror_preserves_size() {
+        let r = Rect::from_coords(2, 3, 7, 9);
+        let m = r.mirror_x(10);
+        assert_eq!(m.width(), r.width());
+        assert_eq!(m.height(), r.height());
+        assert_eq!(m, Rect::from_coords(13, 3, 18, 9));
+        assert_eq!(m.mirror_x(10), r);
+    }
+}

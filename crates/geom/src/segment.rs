@@ -1,0 +1,203 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Axis, Point3};
+
+/// An axis-aligned routed wire segment (or via) between two 3-D points.
+///
+/// Invariant: the endpoints differ along at most one axis and are stored in
+/// ascending order, so equality is direction-independent.
+///
+/// # Examples
+///
+/// ```
+/// use af_geom::{Axis, Point3, Segment};
+///
+/// let s = Segment::new(Point3::new(10, 0, 0), Point3::new(0, 0, 0)).unwrap();
+/// assert_eq!(s.axis(), Some(Axis::X));
+/// assert_eq!(s.length(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    a: Point3,
+    b: Point3,
+}
+
+impl Segment {
+    /// Creates a segment; returns `None` if the endpoints differ along more
+    /// than one axis (non-Manhattan).
+    pub fn new(a: Point3, b: Point3) -> Option<Self> {
+        let (dx, dy, dz) = a.abs_deltas(b);
+        let moving = usize::from(dx > 0) + usize::from(dy > 0) + usize::from(dz > 0);
+        if moving > 1 {
+            return None;
+        }
+        let (lo, hi) = if (a.x, a.y, a.z) <= (b.x, b.y, b.z) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        Some(Self { a: lo, b: hi })
+    }
+
+    /// First (lexicographically smaller) endpoint.
+    pub fn start(&self) -> Point3 {
+        self.a
+    }
+
+    /// Second endpoint.
+    pub fn end(&self) -> Point3 {
+        self.b
+    }
+
+    /// The axis this segment runs along, `None` for a zero-length segment.
+    pub fn axis(&self) -> Option<Axis> {
+        let (dx, dy, dz) = self.a.abs_deltas(self.b);
+        if dx > 0 {
+            Some(Axis::X)
+        } else if dy > 0 {
+            Some(Axis::Y)
+        } else if dz > 0 {
+            Some(Axis::Z)
+        } else {
+            None
+        }
+    }
+
+    /// Whether this segment is a via (moves between layers).
+    pub fn is_via(&self) -> bool {
+        self.axis() == Some(Axis::Z)
+    }
+
+    /// Length in dbu for planar segments, in layers for vias.
+    pub fn length(&self) -> i64 {
+        let (dx, dy, dz) = self.a.abs_deltas(self.b);
+        dx + dy + dz
+    }
+
+    /// The metal layer of a planar segment, or the lower layer of a via.
+    pub fn layer(&self) -> u8 {
+        self.a.z
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -- {}", self.a, self.b)
+    }
+}
+
+/// Length over which two parallel planar segments on the same layer run side
+/// by side, together with their perpendicular separation.
+///
+/// Returns `None` if the segments are on different layers, not parallel, or
+/// have no overlapping extent. This drives coupling-capacitance extraction:
+/// CC is proportional to parallel run length and inversely related to
+/// separation.
+///
+/// # Examples
+///
+/// ```
+/// use af_geom::{parallel_run_length, Point3, Segment};
+///
+/// let a = Segment::new(Point3::new(0, 0, 0), Point3::new(100, 0, 0)).unwrap();
+/// let b = Segment::new(Point3::new(50, 30, 0), Point3::new(200, 30, 0)).unwrap();
+/// let (run, sep) = parallel_run_length(&a, &b).unwrap();
+/// assert_eq!((run, sep), (50, 30));
+/// ```
+pub fn parallel_run_length(a: &Segment, b: &Segment) -> Option<(i64, i64)> {
+    let ax = a.axis()?;
+    let bx = b.axis()?;
+    if ax != bx || ax == Axis::Z || a.layer() != b.layer() {
+        return None;
+    }
+    let (a0, a1, b0, b1, sep) = match ax {
+        Axis::X => (
+            a.start().x,
+            a.end().x,
+            b.start().x,
+            b.end().x,
+            (a.start().y - b.start().y).abs(),
+        ),
+        Axis::Y => (
+            a.start().y,
+            a.end().y,
+            b.start().y,
+            b.end().y,
+            (a.start().x - b.start().x).abs(),
+        ),
+        Axis::Z => unreachable!(),
+    };
+    let run = a1.min(b1) - a0.max(b0);
+    if run <= 0 {
+        return None;
+    }
+    Some((run, sep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_diagonal() {
+        assert!(Segment::new(Point3::new(0, 0, 0), Point3::new(1, 1, 0)).is_none());
+        assert!(Segment::new(Point3::new(0, 0, 0), Point3::new(1, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn direction_independent_equality() {
+        let s1 = Segment::new(Point3::new(0, 0, 0), Point3::new(10, 0, 0)).unwrap();
+        let s2 = Segment::new(Point3::new(10, 0, 0), Point3::new(0, 0, 0)).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.start(), Point3::new(0, 0, 0));
+    }
+
+    #[test]
+    fn via_properties() {
+        let v = Segment::new(Point3::new(5, 5, 2), Point3::new(5, 5, 1)).unwrap();
+        assert!(v.is_via());
+        assert_eq!(v.axis(), Some(Axis::Z));
+        assert_eq!(v.length(), 1);
+        assert_eq!(v.layer(), 1);
+    }
+
+    #[test]
+    fn zero_length_segment() {
+        let s = Segment::new(Point3::new(5, 5, 0), Point3::new(5, 5, 0)).unwrap();
+        assert_eq!(s.axis(), None);
+        assert_eq!(s.length(), 0);
+        assert!(!s.is_via());
+    }
+
+    #[test]
+    fn parallel_run_same_axis() {
+        let a = Segment::new(Point3::new(0, 0, 1), Point3::new(0, 100, 1)).unwrap();
+        let b = Segment::new(Point3::new(20, 40, 1), Point3::new(20, 160, 1)).unwrap();
+        let (run, sep) = parallel_run_length(&a, &b).unwrap();
+        assert_eq!((run, sep), (60, 20));
+        // symmetric
+        assert_eq!(parallel_run_length(&b, &a), Some((60, 20)));
+    }
+
+    #[test]
+    fn no_parallel_run_cases() {
+        let h = Segment::new(Point3::new(0, 0, 0), Point3::new(100, 0, 0)).unwrap();
+        let v = Segment::new(Point3::new(0, 0, 0), Point3::new(0, 100, 0)).unwrap();
+        assert_eq!(parallel_run_length(&h, &v), None); // perpendicular
+        let other_layer = Segment::new(Point3::new(0, 10, 1), Point3::new(100, 10, 1)).unwrap();
+        assert_eq!(parallel_run_length(&h, &other_layer), None); // layers differ
+        let disjoint = Segment::new(Point3::new(200, 10, 0), Point3::new(300, 10, 0)).unwrap();
+        assert_eq!(parallel_run_length(&h, &disjoint), None); // no overlap
+        let via = Segment::new(Point3::new(0, 0, 0), Point3::new(0, 0, 1)).unwrap();
+        assert_eq!(parallel_run_length(&h, &via), None);
+    }
+
+    #[test]
+    fn touching_endpoints_do_not_couple() {
+        let a = Segment::new(Point3::new(0, 0, 0), Point3::new(100, 0, 0)).unwrap();
+        let b = Segment::new(Point3::new(100, 5, 0), Point3::new(200, 5, 0)).unwrap();
+        assert_eq!(parallel_run_length(&a, &b), None);
+    }
+}

@@ -1,0 +1,797 @@
+//! The four OTA benchmark circuits of Table 1.
+//!
+//! | Benchmark | #PMOS | #NMOS | #Cap | #Res | #Total |
+//! |-----------|-------|-------|------|------|--------|
+//! | OTA1/OTA2 | 6     | 8     | 2    | 0    | 25     |
+//! | OTA3/OTA4 | 16    | 10    | 6    | 4    | 36     |
+//!
+//! OTA1 and OTA2 share a two-stage Miller-compensated topology with different
+//! sizing; OTA3 and OTA4 share a fully-differential telescopic topology with
+//! different sizing. "#Total" counts all placeable modules: for the two-stage
+//! designs this includes nine matching dummies, as is standard practice for
+//! analog matching.
+//!
+//! # Examples
+//!
+//! ```
+//! use af_netlist::{benchmarks, DeviceKind};
+//!
+//! for c in benchmarks::all() {
+//!     assert!(c.validate().is_ok(), "{} must validate", c.name());
+//! }
+//! assert_eq!(benchmarks::ota3().count_kind(DeviceKind::Resistor), 4);
+//! ```
+
+use crate::{
+    CapParams, Circuit, CircuitBuilder, DeviceKind, DeviceParams, MosParams, NetType, ResParams,
+    Terminal,
+};
+
+/// Sizing knobs that differentiate OTA1 from OTA2 (and OTA3 from OTA4).
+#[derive(Debug, Clone, Copy)]
+struct TwoStageSizing {
+    /// Diff-pair channel length (µm) — dominates first-stage gain.
+    l1: f64,
+    /// Diff-pair width (µm).
+    w1: f64,
+    /// Diff-pair drain current (A).
+    id1: f64,
+    /// Tail-device channel length (µm) — dominates CMRR.
+    l_tail: f64,
+    /// Second-stage drain current (A).
+    id2: f64,
+    /// Miller compensation capacitance (F).
+    cc: f64,
+    /// Load capacitance (F).
+    cl: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TelescopicSizing {
+    l1: f64,
+    w1: f64,
+    id1: f64,
+    l_tail: f64,
+    cl: f64,
+}
+
+fn mos(w: f64, l: f64, id: f64) -> DeviceParams {
+    DeviceParams::Mos(MosParams::from_sizing(w, l, id))
+}
+
+fn cap(c: f64) -> DeviceParams {
+    DeviceParams::Cap(CapParams { c })
+}
+
+fn res(r: f64) -> DeviceParams {
+    DeviceParams::Res(ResParams { r })
+}
+
+/// Builds a two-stage Miller-compensated OTA (the OTA1/OTA2 topology):
+/// NMOS telescopic-cascoded first stage with PMOS cascoded mirror load,
+/// PMOS common-source second stage, Miller compensation.
+fn two_stage(name: &str, s: TwoStageSizing) -> Circuit {
+    let mut b = CircuitBuilder::new(name);
+    let nets: &[(&str, NetType)] = &[
+        ("vdd", NetType::Power),
+        ("vss", NetType::Ground),
+        ("vinp", NetType::Input),
+        ("vinn", NetType::Input),
+        ("vout", NetType::Output),
+        ("tail", NetType::Signal),
+        ("n1", NetType::Sensitive),
+        ("n2", NetType::Sensitive),
+        ("nc1", NetType::Signal),
+        ("nc2", NetType::Signal),
+        ("pc1", NetType::Signal),
+        ("pc2", NetType::Signal),
+        ("vbn", NetType::Bias),
+        ("vbc", NetType::Bias),
+        ("vbp", NetType::Bias),
+    ];
+    for (n, ty) in nets {
+        b.add_net(n, *ty).expect("fresh net");
+    }
+
+    let pair = mos(s.w1, s.l1, s.id1);
+    let casc = mos(s.w1 * 0.8, s.l1, s.id1);
+    let load = mos(s.w1 * 1.4, s.l1, s.id1);
+    let tail = mos(s.w1 * 2.0, s.l_tail, 2.0 * s.id1);
+    let second = mos(s.w1 * 3.0, s.l1 * 0.8, s.id2);
+    let bias = mos(s.w1 * 0.5, s.l_tail, s.id1);
+
+    // NMOS (8)
+    b.add_device("M1", DeviceKind::Nmos, pair, &[
+        (Terminal::Gate, "vinp"),
+        (Terminal::Drain, "nc1"),
+        (Terminal::Source, "tail"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M1");
+    b.add_device("M2", DeviceKind::Nmos, pair, &[
+        (Terminal::Gate, "vinn"),
+        (Terminal::Drain, "nc2"),
+        (Terminal::Source, "tail"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M2");
+    b.add_device("M9", DeviceKind::Nmos, casc, &[
+        (Terminal::Gate, "vbc"),
+        (Terminal::Drain, "n1"),
+        (Terminal::Source, "nc1"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M9");
+    b.add_device("M10", DeviceKind::Nmos, casc, &[
+        (Terminal::Gate, "vbc"),
+        (Terminal::Drain, "n2"),
+        (Terminal::Source, "nc2"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M10");
+    b.add_device("M5", DeviceKind::Nmos, tail, &[
+        (Terminal::Gate, "vbn"),
+        (Terminal::Drain, "tail"),
+        (Terminal::Source, "vss"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M5");
+    b.add_device("M7", DeviceKind::Nmos, mos(s.w1 * 2.0, s.l_tail, s.id2), &[
+        (Terminal::Gate, "vbn"),
+        (Terminal::Drain, "vout"),
+        (Terminal::Source, "vss"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M7");
+    b.add_device("M8", DeviceKind::Nmos, bias, &[
+        (Terminal::Gate, "vbn"),
+        (Terminal::Drain, "vbn"),
+        (Terminal::Source, "vss"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M8");
+    b.add_device("M11", DeviceKind::Nmos, bias, &[
+        (Terminal::Gate, "vbc"),
+        (Terminal::Drain, "vbc"),
+        (Terminal::Source, "vss"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M11");
+
+    // PMOS (6)
+    b.add_device("M3", DeviceKind::Pmos, load, &[
+        (Terminal::Gate, "n1"),
+        (Terminal::Drain, "pc1"),
+        (Terminal::Source, "vdd"),
+        (Terminal::Bulk, "vdd"),
+    ]).expect("M3");
+    b.add_device("M4", DeviceKind::Pmos, load, &[
+        (Terminal::Gate, "n1"),
+        (Terminal::Drain, "pc2"),
+        (Terminal::Source, "vdd"),
+        (Terminal::Bulk, "vdd"),
+    ]).expect("M4");
+    b.add_device("M12", DeviceKind::Pmos, casc, &[
+        (Terminal::Gate, "vbp"),
+        (Terminal::Drain, "n1"),
+        (Terminal::Source, "pc1"),
+        (Terminal::Bulk, "vdd"),
+    ]).expect("M12");
+    b.add_device("M13", DeviceKind::Pmos, casc, &[
+        (Terminal::Gate, "vbp"),
+        (Terminal::Drain, "n2"),
+        (Terminal::Source, "pc2"),
+        (Terminal::Bulk, "vdd"),
+    ]).expect("M13");
+    b.add_device("M6", DeviceKind::Pmos, second, &[
+        (Terminal::Gate, "n2"),
+        (Terminal::Drain, "vout"),
+        (Terminal::Source, "vdd"),
+        (Terminal::Bulk, "vdd"),
+    ]).expect("M6");
+    b.add_device("M14", DeviceKind::Pmos, bias, &[
+        (Terminal::Gate, "vbp"),
+        (Terminal::Drain, "vbp"),
+        (Terminal::Source, "vdd"),
+        (Terminal::Bulk, "vdd"),
+    ]).expect("M14");
+
+    // Capacitors (2)
+    b.add_device("CC", DeviceKind::Capacitor, cap(s.cc), &[
+        (Terminal::Pos, "vout"),
+        (Terminal::Neg, "n2"),
+    ]).expect("CC");
+    b.add_device("CL", DeviceKind::Capacitor, cap(s.cl), &[
+        (Terminal::Pos, "vout"),
+        (Terminal::Neg, "vss"),
+    ]).expect("CL");
+
+    // Matching dummies (9) — bring the placeable-module total to 25.
+    for i in 0..9 {
+        b.add_device(
+            &format!("DUM{i}"),
+            DeviceKind::Dummy,
+            DeviceParams::None,
+            &[],
+        ).expect("dummy");
+    }
+
+    // Symmetry.
+    for (a, x) in [("M1", "M2"), ("M9", "M10"), ("M3", "M4"), ("M12", "M13")] {
+        b.add_device_pair(a, x).expect("device pair");
+    }
+    b.add_self_device("M5").expect("self device");
+    // Note: n1/n2 are NOT a symmetric net pair — n1 drives both mirror
+    // gates and n2 feeds the single-ended second stage, so their pin sets are
+    // not mirror images. Only geometrically mirrored nets are paired.
+    for (a, x) in [("vinp", "vinn"), ("nc1", "nc2"), ("pc1", "pc2")] {
+        b.add_net_pair(a, x).expect("net pair");
+    }
+    // n1/n2 are matched branches electrically even though their pin sets are
+    // not mirror images (see note above).
+    b.add_matched_pair("n1", "n2").expect("matched pair");
+    b.add_self_net("tail").expect("self net");
+
+    // Net weights: critical analog nets route first.
+    for (n, w) in [
+        ("vinp", 4.0),
+        ("vinn", 4.0),
+        ("n1", 3.0),
+        ("n2", 3.0),
+        ("vout", 3.0),
+        ("tail", 2.0),
+    ] {
+        b.set_net_weight(n, w).expect("weight");
+    }
+
+    b.set_io("vinp", "vinn", "vout", None, "vdd", "vss").expect("io");
+    b.finish().expect("two-stage OTA must validate")
+}
+
+/// Builds a fully-differential telescopic OTA (the OTA3/OTA4 topology).
+fn telescopic(name: &str, s: TelescopicSizing) -> Circuit {
+    let mut b = CircuitBuilder::new(name);
+    let nets: &[(&str, NetType)] = &[
+        ("vdd", NetType::Power),
+        ("vss", NetType::Ground),
+        ("vinp", NetType::Input),
+        ("vinn", NetType::Input),
+        ("voutp", NetType::Output),
+        ("voutn", NetType::Output),
+        ("tail", NetType::Signal),
+        ("x1", NetType::Sensitive),
+        ("x2", NetType::Sensitive),
+        ("y1", NetType::Signal),
+        ("y2", NetType::Signal),
+        ("vbn", NetType::Bias),
+        ("vbnc", NetType::Bias),
+        ("vbp", NetType::Bias),
+        ("vbpc", NetType::Bias),
+        ("vcmfb", NetType::Signal),
+        ("vcmref", NetType::Bias),
+        ("cmtail", NetType::Signal),
+        ("cmo", NetType::Signal),
+        ("cmo2", NetType::Signal),
+    ];
+    for (n, ty) in nets {
+        b.add_net(n, *ty).expect("fresh net");
+    }
+
+    let pair = mos(s.w1, s.l1, s.id1);
+    let ncasc = mos(s.w1 * 0.8, s.l1, s.id1);
+    let pcasc = mos(s.w1 * 1.2, s.l1, s.id1);
+    let psrc = mos(s.w1 * 1.6, s.l1 * 1.5, s.id1);
+    let tail = mos(s.w1 * 2.0, s.l_tail, 2.0 * s.id1);
+    let bias = mos(s.w1 * 0.5, s.l_tail, s.id1 * 0.5);
+    let cm = mos(s.w1 * 0.4, s.l1, s.id1 * 0.25);
+
+    // NMOS (10)
+    b.add_device("M1", DeviceKind::Nmos, pair, &[
+        (Terminal::Gate, "vinp"),
+        (Terminal::Drain, "x1"),
+        (Terminal::Source, "tail"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M1");
+    b.add_device("M2", DeviceKind::Nmos, pair, &[
+        (Terminal::Gate, "vinn"),
+        (Terminal::Drain, "x2"),
+        (Terminal::Source, "tail"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M2");
+    b.add_device("M3", DeviceKind::Nmos, ncasc, &[
+        (Terminal::Gate, "vbnc"),
+        (Terminal::Drain, "voutn"),
+        (Terminal::Source, "x1"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M3");
+    b.add_device("M4", DeviceKind::Nmos, ncasc, &[
+        (Terminal::Gate, "vbnc"),
+        (Terminal::Drain, "voutp"),
+        (Terminal::Source, "x2"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M4");
+    b.add_device("M5", DeviceKind::Nmos, tail, &[
+        (Terminal::Gate, "vbn"),
+        (Terminal::Drain, "tail"),
+        (Terminal::Source, "vss"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M5");
+    b.add_device("M6", DeviceKind::Nmos, bias, &[
+        (Terminal::Gate, "vbn"),
+        (Terminal::Drain, "vbn"),
+        (Terminal::Source, "vss"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M6");
+    b.add_device("M7", DeviceKind::Nmos, bias, &[
+        (Terminal::Gate, "vbnc"),
+        (Terminal::Drain, "vbnc"),
+        (Terminal::Source, "vss"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M7");
+    b.add_device("M8", DeviceKind::Nmos, bias, &[
+        (Terminal::Gate, "vbn"),
+        (Terminal::Drain, "vbp"),
+        (Terminal::Source, "vss"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M8");
+    b.add_device("M9", DeviceKind::Nmos, bias, &[
+        (Terminal::Gate, "vbn"),
+        (Terminal::Drain, "vbpc"),
+        (Terminal::Source, "vss"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M9");
+    b.add_device("M10", DeviceKind::Nmos, cm, &[
+        (Terminal::Gate, "cmo"),
+        (Terminal::Drain, "cmo"),
+        (Terminal::Source, "vss"),
+        (Terminal::Bulk, "vss"),
+    ]).expect("M10");
+
+    // PMOS (16)
+    for (name, g, d, src_net) in [
+        ("MP1", "vbp", "y1", "vdd"),
+        ("MP2", "vbp", "y2", "vdd"),
+        ("MP12", "vbp", "y1", "vdd"),
+        ("MP13", "vbp", "y2", "vdd"),
+    ] {
+        b.add_device(name, DeviceKind::Pmos, psrc, &[
+            (Terminal::Gate, g),
+            (Terminal::Drain, d),
+            (Terminal::Source, src_net),
+            (Terminal::Bulk, "vdd"),
+        ]).expect("p source");
+    }
+    for (name, d, src) in [
+        ("MP3", "voutn", "y1"),
+        ("MP4", "voutp", "y2"),
+        ("MP14", "voutn", "y1"),
+        ("MP15", "voutp", "y2"),
+    ] {
+        b.add_device(name, DeviceKind::Pmos, pcasc, &[
+            (Terminal::Gate, "vbpc"),
+            (Terminal::Drain, d),
+            (Terminal::Source, src),
+            (Terminal::Bulk, "vdd"),
+        ]).expect("p cascode");
+    }
+    b.add_device("MP5", DeviceKind::Pmos, bias, &[
+        (Terminal::Gate, "vbp"),
+        (Terminal::Drain, "vbp"),
+        (Terminal::Source, "vdd"),
+        (Terminal::Bulk, "vdd"),
+    ]).expect("MP5");
+    b.add_device("MP16", DeviceKind::Pmos, bias, &[
+        (Terminal::Gate, "vbp"),
+        (Terminal::Drain, "vbp"),
+        (Terminal::Source, "vdd"),
+        (Terminal::Bulk, "vdd"),
+    ]).expect("MP16");
+    b.add_device("MP6", DeviceKind::Pmos, bias, &[
+        (Terminal::Gate, "vbpc"),
+        (Terminal::Drain, "vbpc"),
+        (Terminal::Source, "vdd"),
+        (Terminal::Bulk, "vdd"),
+    ]).expect("MP6");
+    b.add_device("MP7", DeviceKind::Pmos, bias, &[
+        (Terminal::Gate, "vbpc"),
+        (Terminal::Drain, "vbpc"),
+        (Terminal::Source, "vdd"),
+        (Terminal::Bulk, "vdd"),
+    ]).expect("MP7");
+    b.add_device("MP8", DeviceKind::Pmos, cm, &[
+        (Terminal::Gate, "vcmfb"),
+        (Terminal::Drain, "cmo"),
+        (Terminal::Source, "cmtail"),
+        (Terminal::Bulk, "vdd"),
+    ]).expect("MP8");
+    b.add_device("MP9", DeviceKind::Pmos, cm, &[
+        (Terminal::Gate, "vcmref"),
+        (Terminal::Drain, "cmo2"),
+        (Terminal::Source, "cmtail"),
+        (Terminal::Bulk, "vdd"),
+    ]).expect("MP9");
+    b.add_device("MP10", DeviceKind::Pmos, cm, &[
+        (Terminal::Gate, "vbp"),
+        (Terminal::Drain, "cmtail"),
+        (Terminal::Source, "vdd"),
+        (Terminal::Bulk, "vdd"),
+    ]).expect("MP10");
+    b.add_device("MP11", DeviceKind::Pmos, bias, &[
+        (Terminal::Gate, "vcmref"),
+        (Terminal::Drain, "vcmref"),
+        (Terminal::Source, "vdd"),
+        (Terminal::Bulk, "vdd"),
+    ]).expect("MP11");
+
+    // Capacitors (6)
+    b.add_device("CL1", DeviceKind::Capacitor, cap(s.cl), &[
+        (Terminal::Pos, "voutp"),
+        (Terminal::Neg, "vss"),
+    ]).expect("CL1");
+    b.add_device("CL2", DeviceKind::Capacitor, cap(s.cl), &[
+        (Terminal::Pos, "voutn"),
+        (Terminal::Neg, "vss"),
+    ]).expect("CL2");
+    b.add_device("CCM1", DeviceKind::Capacitor, cap(s.cl * 0.2), &[
+        (Terminal::Pos, "voutp"),
+        (Terminal::Neg, "vcmfb"),
+    ]).expect("CCM1");
+    b.add_device("CCM2", DeviceKind::Capacitor, cap(s.cl * 0.2), &[
+        (Terminal::Pos, "voutn"),
+        (Terminal::Neg, "vcmfb"),
+    ]).expect("CCM2");
+    b.add_device("CD1", DeviceKind::Capacitor, cap(1e-12), &[
+        (Terminal::Pos, "vbp"),
+        (Terminal::Neg, "vss"),
+    ]).expect("CD1");
+    b.add_device("CD2", DeviceKind::Capacitor, cap(1e-12), &[
+        (Terminal::Pos, "vbn"),
+        (Terminal::Neg, "vss"),
+    ]).expect("CD2");
+
+    // Resistors (4)
+    b.add_device("R1", DeviceKind::Resistor, res(200e3), &[
+        (Terminal::Pos, "voutp"),
+        (Terminal::Neg, "vcmfb"),
+    ]).expect("R1");
+    b.add_device("R2", DeviceKind::Resistor, res(200e3), &[
+        (Terminal::Pos, "voutn"),
+        (Terminal::Neg, "vcmfb"),
+    ]).expect("R2");
+    b.add_device("R3", DeviceKind::Resistor, res(50e3), &[
+        (Terminal::Pos, "cmo2"),
+        (Terminal::Neg, "vss"),
+    ]).expect("R3");
+    b.add_device("R4", DeviceKind::Resistor, res(100e3), &[
+        (Terminal::Pos, "vcmref"),
+        (Terminal::Neg, "vss"),
+    ]).expect("R4");
+
+    // Symmetry.
+    for (a, x) in [
+        ("M1", "M2"),
+        ("M3", "M4"),
+        ("MP1", "MP2"),
+        ("MP12", "MP13"),
+        ("MP3", "MP4"),
+        ("MP14", "MP15"),
+        ("CL1", "CL2"),
+        ("CCM1", "CCM2"),
+        ("R1", "R2"),
+    ] {
+        b.add_device_pair(a, x).expect("device pair");
+    }
+    b.add_self_device("M5").expect("self device");
+    for (a, x) in [
+        ("vinp", "vinn"),
+        ("x1", "x2"),
+        ("voutp", "voutn"),
+        ("y1", "y2"),
+    ] {
+        b.add_net_pair(a, x).expect("net pair");
+    }
+    b.add_self_net("tail").expect("self net");
+    b.add_self_net("vcmfb").expect("self net");
+
+    for (n, w) in [
+        ("vinp", 4.0),
+        ("vinn", 4.0),
+        ("voutp", 3.0),
+        ("voutn", 3.0),
+        ("x1", 3.0),
+        ("x2", 3.0),
+        ("tail", 2.0),
+    ] {
+        b.set_net_weight(n, w).expect("weight");
+    }
+
+    b.set_io("vinp", "vinn", "voutp", Some("voutn"), "vdd", "vss")
+        .expect("io");
+    b.finish().expect("telescopic OTA must validate")
+}
+
+/// OTA1 — two-stage Miller OTA, conservative sizing (long channels, strong
+/// tail) giving high schematic CMRR and moderate gain.
+pub fn ota1() -> Circuit {
+    two_stage(
+        "OTA1",
+        TwoStageSizing {
+            l1: 0.40,
+            w1: 20.0,
+            id1: 60e-6,
+            l_tail: 0.80,
+            id2: 300e-6,
+            cc: 900e-15,
+            cl: 500e-15,
+        },
+    )
+}
+
+/// OTA2 — same topology as OTA1 with aggressive sizing (short channels, weak
+/// tail): lower schematic gain and much lower CMRR, as in Table 2.
+pub fn ota2() -> Circuit {
+    two_stage(
+        "OTA2",
+        TwoStageSizing {
+            l1: 0.12,
+            w1: 12.0,
+            id1: 90e-6,
+            l_tail: 0.12,
+            id2: 450e-6,
+            cc: 1_300e-15,
+            cl: 400e-15,
+        },
+    )
+}
+
+/// OTA3 — telescopic OTA, conservative sizing (high bandwidth, high CMRR).
+pub fn ota3() -> Circuit {
+    telescopic(
+        "OTA3",
+        TelescopicSizing {
+            l1: 0.40,
+            w1: 16.0,
+            id1: 150e-6,
+            l_tail: 0.80,
+            cl: 450e-15,
+        },
+    )
+}
+
+/// OTA4 — same topology as OTA3 with faster sizing (larger currents).
+pub fn ota4() -> Circuit {
+    telescopic(
+        "OTA4",
+        TelescopicSizing {
+            l1: 0.32,
+            w1: 20.0,
+            id1: 220e-6,
+            l_tail: 0.60,
+            cl: 430e-15,
+        },
+    )
+}
+
+/// All four benchmarks in Table 1 order.
+pub fn all() -> Vec<Circuit> {
+    vec![ota1(), ota2(), ota3(), ota4()]
+}
+
+/// OTA5 — a folded-cascode OTA (single-ended), an *extension* beyond the
+/// paper's four benchmarks used to exercise the flow on a third topology.
+pub fn ota5() -> Circuit {
+    folded_cascode("OTA5")
+}
+
+/// Builds a single-ended folded-cascode OTA: NMOS input pair folded into a
+/// PMOS cascode output branch with an NMOS cascoded mirror at the bottom.
+fn folded_cascode(name: &str) -> Circuit {
+    let mut b = CircuitBuilder::new(name);
+    let nets: &[(&str, NetType)] = &[
+        ("vdd", NetType::Power),
+        ("vss", NetType::Ground),
+        ("vinp", NetType::Input),
+        ("vinn", NetType::Input),
+        ("vout", NetType::Output),
+        ("tail", NetType::Signal),
+        ("f1", NetType::Sensitive),
+        ("f2", NetType::Sensitive),
+        ("m1", NetType::Signal),
+        ("m2", NetType::Signal),
+        ("outm", NetType::Signal),
+        ("vbn", NetType::Bias),
+        ("vbnc", NetType::Bias),
+        ("vbp", NetType::Bias),
+        ("vbpc", NetType::Bias),
+    ];
+    for (n, ty) in nets {
+        b.add_net(n, *ty).expect("fresh net");
+    }
+    let pair = mos(14.0, 0.35, 90e-6);
+    let pcasc = mos(12.0, 0.35, 90e-6);
+    let psrc = mos(18.0, 0.50, 180e-6);
+    let ncasc = mos(10.0, 0.35, 90e-6);
+    let nmir = mos(12.0, 0.50, 90e-6);
+    let tail_m = mos(24.0, 0.70, 180e-6);
+    let bias = mos(6.0, 0.70, 45e-6);
+
+    // NMOS input pair into the folding nodes.
+    b.add_device("M1", DeviceKind::Nmos, pair, &[
+        (Terminal::Gate, "vinp"), (Terminal::Drain, "f1"),
+        (Terminal::Source, "tail"), (Terminal::Bulk, "vss"),
+    ]).expect("M1");
+    b.add_device("M2", DeviceKind::Nmos, pair, &[
+        (Terminal::Gate, "vinn"), (Terminal::Drain, "f2"),
+        (Terminal::Source, "tail"), (Terminal::Bulk, "vss"),
+    ]).expect("M2");
+    b.add_device("M5", DeviceKind::Nmos, tail_m, &[
+        (Terminal::Gate, "vbn"), (Terminal::Drain, "tail"),
+        (Terminal::Source, "vss"), (Terminal::Bulk, "vss"),
+    ]).expect("M5");
+    // PMOS current sources feeding the folding nodes + cascodes up to out.
+    b.add_device("MP1", DeviceKind::Pmos, psrc, &[
+        (Terminal::Gate, "vbp"), (Terminal::Drain, "f1"),
+        (Terminal::Source, "vdd"), (Terminal::Bulk, "vdd"),
+    ]).expect("MP1");
+    b.add_device("MP2", DeviceKind::Pmos, psrc, &[
+        (Terminal::Gate, "vbp"), (Terminal::Drain, "f2"),
+        (Terminal::Source, "vdd"), (Terminal::Bulk, "vdd"),
+    ]).expect("MP2");
+    b.add_device("MP3", DeviceKind::Pmos, pcasc, &[
+        (Terminal::Gate, "vbpc"), (Terminal::Drain, "outm"),
+        (Terminal::Source, "f1"), (Terminal::Bulk, "vdd"),
+    ]).expect("MP3");
+    b.add_device("MP4", DeviceKind::Pmos, pcasc, &[
+        (Terminal::Gate, "vbpc"), (Terminal::Drain, "vout"),
+        (Terminal::Source, "f2"), (Terminal::Bulk, "vdd"),
+    ]).expect("MP4");
+    // NMOS cascoded mirror at the bottom.
+    b.add_device("M3", DeviceKind::Nmos, ncasc, &[
+        (Terminal::Gate, "vbnc"), (Terminal::Drain, "outm"),
+        (Terminal::Source, "m1"), (Terminal::Bulk, "vss"),
+    ]).expect("M3");
+    b.add_device("M4", DeviceKind::Nmos, ncasc, &[
+        (Terminal::Gate, "vbnc"), (Terminal::Drain, "vout"),
+        (Terminal::Source, "m2"), (Terminal::Bulk, "vss"),
+    ]).expect("M4");
+    b.add_device("M6", DeviceKind::Nmos, nmir, &[
+        (Terminal::Gate, "outm"), (Terminal::Drain, "m1"),
+        (Terminal::Source, "vss"), (Terminal::Bulk, "vss"),
+    ]).expect("M6");
+    b.add_device("M7", DeviceKind::Nmos, nmir, &[
+        (Terminal::Gate, "outm"), (Terminal::Drain, "m2"),
+        (Terminal::Source, "vss"), (Terminal::Bulk, "vss"),
+    ]).expect("M7");
+    // Bias diodes.
+    b.add_device("MB1", DeviceKind::Nmos, bias, &[
+        (Terminal::Gate, "vbn"), (Terminal::Drain, "vbn"),
+        (Terminal::Source, "vss"), (Terminal::Bulk, "vss"),
+    ]).expect("MB1");
+    b.add_device("MB2", DeviceKind::Nmos, bias, &[
+        (Terminal::Gate, "vbnc"), (Terminal::Drain, "vbnc"),
+        (Terminal::Source, "vss"), (Terminal::Bulk, "vss"),
+    ]).expect("MB2");
+    b.add_device("MB3", DeviceKind::Pmos, bias, &[
+        (Terminal::Gate, "vbp"), (Terminal::Drain, "vbp"),
+        (Terminal::Source, "vdd"), (Terminal::Bulk, "vdd"),
+    ]).expect("MB3");
+    b.add_device("MB4", DeviceKind::Pmos, bias, &[
+        (Terminal::Gate, "vbpc"), (Terminal::Drain, "vbpc"),
+        (Terminal::Source, "vdd"), (Terminal::Bulk, "vdd"),
+    ]).expect("MB4");
+    // Load cap.
+    b.add_device("CL", DeviceKind::Capacitor, cap(400e-15), &[
+        (Terminal::Pos, "vout"), (Terminal::Neg, "vss"),
+    ]).expect("CL");
+
+    for (a, x) in [("M1", "M2"), ("MP1", "MP2"), ("MP3", "MP4"), ("M3", "M4"), ("M6", "M7")] {
+        b.add_device_pair(a, x).expect("device pair");
+    }
+    b.add_self_device("M5").expect("self device");
+    for (a, x) in [("vinp", "vinn"), ("f1", "f2"), ("m1", "m2")] {
+        b.add_net_pair(a, x).expect("net pair");
+    }
+    b.add_matched_pair("outm", "vout").expect("matched pair");
+    b.add_self_net("tail").expect("self net");
+    for (n, w) in [("vinp", 4.0), ("vinn", 4.0), ("f1", 3.0), ("f2", 3.0), ("vout", 3.0)] {
+        b.set_net_weight(n, w).expect("weight");
+    }
+    b.set_io("vinp", "vinn", "vout", None, "vdd", "vss").expect("io");
+    b.finish().expect("folded-cascode OTA must validate")
+}
+
+/// Benchmark by name (`"OTA1"` … `"OTA4"`), case-insensitive.
+pub fn by_name(name: &str) -> Option<Circuit> {
+    match name.to_ascii_uppercase().as_str() {
+        "OTA1" => Some(ota1()),
+        "OTA2" => Some(ota2()),
+        "OTA3" => Some(ota3()),
+        "OTA4" => Some(ota4()),
+        "OTA5" => Some(ota5()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceKind;
+
+    #[test]
+    fn table1_counts() {
+        for (c, pmos, nmos, ncap, nres, total) in [
+            (ota1(), 6, 8, 2, 0, 25),
+            (ota2(), 6, 8, 2, 0, 25),
+            (ota3(), 16, 10, 6, 4, 36),
+            (ota4(), 16, 10, 6, 4, 36),
+        ] {
+            assert_eq!(c.count_kind(DeviceKind::Pmos), pmos, "{} PMOS", c.name());
+            assert_eq!(c.count_kind(DeviceKind::Nmos), nmos, "{} NMOS", c.name());
+            assert_eq!(c.count_kind(DeviceKind::Capacitor), ncap, "{} Cap", c.name());
+            assert_eq!(c.count_kind(DeviceKind::Resistor), nres, "{} Res", c.name());
+            assert_eq!(c.total_modules(), total, "{} Total", c.name());
+        }
+    }
+
+    #[test]
+    fn all_validate() {
+        for c in all() {
+            c.validate().unwrap_or_else(|e| panic!("{}: {e}", c.name()));
+        }
+    }
+
+    #[test]
+    fn shared_topologies_have_same_structure() {
+        let (a, b2) = (ota1(), ota2());
+        assert_eq!(a.devices().len(), b2.devices().len());
+        assert_eq!(a.nets().len(), b2.nets().len());
+        assert_eq!(a.pins().len(), b2.pins().len());
+        let (c, d) = (ota3(), ota4());
+        assert_eq!(c.devices().len(), d.devices().len());
+        assert_eq!(c.nets().len(), d.nets().len());
+    }
+
+    #[test]
+    fn sizing_differs() {
+        let g1 = ota1().device_by_name("M1").map(|d| {
+            ota1().device(d).params.as_mos().unwrap().gm
+        });
+        let g2 = ota2().device_by_name("M1").map(|d| {
+            ota2().device(d).params.as_mos().unwrap().gm
+        });
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn symmetry_present() {
+        for c in all() {
+            assert!(!c.symmetric_net_pairs().is_empty(), "{}", c.name());
+            assert!(!c.self_symmetric_nets().is_empty(), "{}", c.name());
+            assert!(!c.symmetry().device_pairs().is_empty(), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn telescopic_is_fully_differential() {
+        let c = ota3();
+        assert!(c.io().voutn.is_some());
+        let c = ota1();
+        assert!(c.io().voutn.is_none());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("ota2").unwrap().name(), "OTA2");
+        assert!(by_name("OTA9").is_none());
+    }
+
+    #[test]
+    fn ota5_extension_is_well_formed() {
+        let c = ota5();
+        c.validate().unwrap();
+        assert_eq!(c.count_kind(DeviceKind::Nmos), 9);
+        assert_eq!(c.count_kind(DeviceKind::Pmos), 6);
+        assert_eq!(c.count_kind(DeviceKind::Capacitor), 1);
+        assert_eq!(c.symmetric_net_pairs().len(), 3);
+        assert_eq!(by_name("ota5").unwrap().name(), "OTA5");
+    }
+
+    #[test]
+    fn guided_nets_nonempty() {
+        for c in all() {
+            assert!(c.guided_nets().len() >= 4, "{}", c.name());
+        }
+    }
+}

@@ -1,0 +1,739 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    Device, DeviceId, DeviceKind, DeviceParams, Net, NetId, NetType, PinId, SymmetryConstraints,
+    Terminal,
+};
+
+/// Error raised when building or validating a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A referenced net name was never declared.
+    UnknownNet(String),
+    /// A device name was used twice.
+    DuplicateDevice(String),
+    /// A net name was used twice.
+    DuplicateNet(String),
+    /// A device was given a terminal it does not have.
+    BadTerminal(String),
+    /// Validation failed (message describes the violation).
+    Invalid(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNet(n) => write!(f, "unknown net `{n}`"),
+            NetlistError::DuplicateDevice(d) => write!(f, "duplicate device `{d}`"),
+            NetlistError::DuplicateNet(n) => write!(f, "duplicate net `{n}`"),
+            NetlistError::BadTerminal(m) => write!(f, "invalid terminal: {m}"),
+            NetlistError::Invalid(m) => write!(f, "invalid netlist: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A pin: the attachment of one device terminal to one net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pin {
+    /// Owning device.
+    pub device: DeviceId,
+    /// Which terminal of the device.
+    pub terminal: Terminal,
+    /// The net the terminal connects to.
+    pub net: NetId,
+}
+
+/// The IO roles the performance simulator needs to know about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitIo {
+    /// Positive differential input.
+    pub vinp: NetId,
+    /// Negative differential input.
+    pub vinn: NetId,
+    /// (Primary) output net.
+    pub vout: NetId,
+    /// Negative output for fully-differential circuits.
+    pub voutn: Option<NetId>,
+    /// Supply net.
+    pub vdd: NetId,
+    /// Ground net.
+    pub vss: NetId,
+}
+
+/// A complete analog circuit: devices, nets, pins, symmetry, and IO roles.
+///
+/// Construct with [`CircuitBuilder`]; instances are immutable afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use af_netlist::benchmarks;
+///
+/// let c = benchmarks::ota1();
+/// assert!(c.validate().is_ok());
+/// for net in c.nets() {
+///     assert!(net.degree() > 0 || net.ty.is_supply());
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    name: String,
+    devices: Vec<Device>,
+    nets: Vec<Net>,
+    pins: Vec<Pin>,
+    symmetry: SymmetryConstraints,
+    io: CircuitIo,
+}
+
+impl Circuit {
+    /// Circuit name (e.g. `"OTA1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All devices in id order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// All nets in id order.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All pins in id order.
+    pub fn pins(&self) -> &[Pin] {
+        &self.pins
+    }
+
+    /// Symmetry constraints.
+    pub fn symmetry(&self) -> &SymmetryConstraints {
+        &self.symmetry
+    }
+
+    /// IO roles for simulation.
+    pub fn io(&self) -> &CircuitIo {
+        &self.io
+    }
+
+    /// Device by id.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// Net by id.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Pin by id.
+    pub fn pin(&self, id: PinId) -> &Pin {
+        &self.pins[id.index()]
+    }
+
+    /// Net id by name.
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NetId::new(i as u32))
+    }
+
+    /// Device id by name.
+    pub fn device_by_name(&self, name: &str) -> Option<DeviceId> {
+        self.devices
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| DeviceId::new(i as u32))
+    }
+
+    /// Pins of one device.
+    pub fn device_pins(&self, d: DeviceId) -> impl Iterator<Item = (PinId, &Pin)> {
+        self.pins
+            .iter()
+            .enumerate()
+            .filter(move |(_, p)| p.device == d)
+            .map(|(i, p)| (PinId::new(i as u32), p))
+    }
+
+    /// Number of devices of `kind` (dummies included only for
+    /// `DeviceKind::Dummy`).
+    pub fn count_kind(&self, kind: DeviceKind) -> usize {
+        self.devices.iter().filter(|d| d.kind == kind).count()
+    }
+
+    /// Total placeable module count (all devices including dummies) — the
+    /// "#Total" column of Table 1.
+    pub fn total_modules(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Nets that receive routing guidance (`N*`): nets whose type is guided
+    /// and that will be routed. Input/output nets count with a single device
+    /// pin because the placer adds a boundary IO pad as their second pin.
+    pub fn guided_nets(&self) -> Vec<NetId> {
+        self.nets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                let io = matches!(n.ty, NetType::Input | NetType::Output);
+                n.ty.is_guided() && (n.is_routable() || (io && !n.pins.is_empty()))
+            })
+            .map(|(i, _)| NetId::new(i as u32))
+            .collect()
+    }
+
+    /// Symmetric net pairs (`N^SP`).
+    pub fn symmetric_net_pairs(&self) -> &[(NetId, NetId)] {
+        self.symmetry.net_pairs()
+    }
+
+    /// All electrically matched net pairs (symmetric pairs plus extra
+    /// matched pairs) — the domain of mismatch/offset analysis.
+    pub fn matched_net_pairs(&self) -> Vec<(NetId, NetId)> {
+        self.symmetry.matched_net_pairs()
+    }
+
+    /// Self-symmetric nets (`N^SS`).
+    pub fn self_symmetric_nets(&self) -> &[NetId] {
+        self.symmetry.self_nets()
+    }
+
+    /// Checks structural invariants:
+    ///
+    /// * every pin references existing devices and nets,
+    /// * every non-supply net with fewer than 2 pins is flagged,
+    /// * symmetric device pairs have the same kind and footprint,
+    /// * symmetric net pairs have equal degree,
+    /// * IO nets exist and carry the expected types.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Invalid`] describing the first violation.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (i, p) in self.pins.iter().enumerate() {
+            if p.device.index() >= self.devices.len() {
+                return Err(NetlistError::Invalid(format!(
+                    "pin p{i} references missing device {}",
+                    p.device
+                )));
+            }
+            if p.net.index() >= self.nets.len() {
+                return Err(NetlistError::Invalid(format!(
+                    "pin p{i} references missing net {}",
+                    p.net
+                )));
+            }
+        }
+        for (i, n) in self.nets.iter().enumerate() {
+            // Supply nets may be routed by dedicated power routing; input and
+            // output nets terminate at boundary IO pads that the placer adds,
+            // so a single device pin is legal for them.
+            let exempt = n.ty.is_supply() || matches!(n.ty, NetType::Input | NetType::Output);
+            if !exempt && n.pins.len() < 2 {
+                return Err(NetlistError::Invalid(format!(
+                    "net `{}` (n{i}) has {} pin(s); signal nets need >= 2",
+                    n.name,
+                    n.pins.len()
+                )));
+            }
+            for &pid in &n.pins {
+                if self.pins[pid.index()].net != NetId::new(i as u32) {
+                    return Err(NetlistError::Invalid(format!(
+                        "net `{}` lists pin {pid} that points elsewhere",
+                        n.name
+                    )));
+                }
+            }
+        }
+        for &(a, b) in self.symmetry.device_pairs() {
+            let (da, db) = (self.device(a), self.device(b));
+            if da.kind != db.kind {
+                return Err(NetlistError::Invalid(format!(
+                    "symmetric devices `{}`/`{}` have different kinds",
+                    da.name, db.name
+                )));
+            }
+            if (da.width, da.height) != (db.width, db.height) {
+                return Err(NetlistError::Invalid(format!(
+                    "symmetric devices `{}`/`{}` have different footprints",
+                    da.name, db.name
+                )));
+            }
+        }
+        for &(a, b) in self.symmetry.net_pairs() {
+            if self.net(a).degree() != self.net(b).degree() {
+                return Err(NetlistError::Invalid(format!(
+                    "symmetric nets `{}`/`{}` have different degrees",
+                    self.net(a).name,
+                    self.net(b).name
+                )));
+            }
+        }
+        let io = &self.io;
+        for (id, want) in [
+            (io.vinp, NetType::Input),
+            (io.vinn, NetType::Input),
+            (io.vout, NetType::Output),
+            (io.vdd, NetType::Power),
+            (io.vss, NetType::Ground),
+        ] {
+            if id.index() >= self.nets.len() {
+                return Err(NetlistError::Invalid(format!("io net {id} missing")));
+            }
+            if self.net(id).ty != want {
+                return Err(NetlistError::Invalid(format!(
+                    "io net `{}` has type {} but role requires {}",
+                    self.net(id).name,
+                    self.net(id).ty,
+                    want
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Circuit`].
+///
+/// # Examples
+///
+/// ```
+/// use af_netlist::{CircuitBuilder, DeviceKind, DeviceParams, MosParams, NetType, Terminal};
+///
+/// # fn main() -> Result<(), af_netlist::NetlistError> {
+/// let mut b = CircuitBuilder::new("demo");
+/// b.add_net("vdd", NetType::Power)?;
+/// b.add_net("vss", NetType::Ground)?;
+/// b.add_net("inp", NetType::Input)?;
+/// b.add_net("inn", NetType::Input)?;
+/// b.add_net("out", NetType::Output)?;
+/// let m = MosParams::from_sizing(4.0, 0.4, 20e-6);
+/// b.add_device(
+///     "M1",
+///     DeviceKind::Nmos,
+///     DeviceParams::Mos(m),
+///     &[(Terminal::Gate, "inp"), (Terminal::Drain, "out"),
+///       (Terminal::Source, "vss"), (Terminal::Bulk, "vss")],
+/// )?;
+/// b.add_device(
+///     "M2",
+///     DeviceKind::Nmos,
+///     DeviceParams::Mos(m),
+///     &[(Terminal::Gate, "inn"), (Terminal::Drain, "vdd"),
+///       (Terminal::Source, "vss"), (Terminal::Bulk, "vss")],
+/// )?;
+/// b.add_device(
+///     "M3",
+///     DeviceKind::Nmos,
+///     DeviceParams::Mos(m),
+///     &[(Terminal::Gate, "inn"), (Terminal::Drain, "out"),
+///       (Terminal::Source, "inp"), (Terminal::Bulk, "vss")],
+/// )?;
+/// b.set_io("inp", "inn", "out", None, "vdd", "vss")?;
+/// let c = b.finish()?;
+/// assert_eq!(c.devices().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CircuitBuilder {
+    name: String,
+    devices: Vec<Device>,
+    nets: Vec<Net>,
+    pins: Vec<Pin>,
+    net_index: HashMap<String, NetId>,
+    device_index: HashMap<String, DeviceId>,
+    symmetry: SymmetryConstraints,
+    io: Option<CircuitIo>,
+}
+
+impl CircuitBuilder {
+    /// Starts a new circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            devices: Vec::new(),
+            nets: Vec::new(),
+            pins: Vec::new(),
+            net_index: HashMap::new(),
+            device_index: HashMap::new(),
+            symmetry: SymmetryConstraints::new(),
+            io: None,
+        }
+    }
+
+    /// Declares a net.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::DuplicateNet`] if the name is taken.
+    pub fn add_net(&mut self, name: &str, ty: NetType) -> Result<NetId, NetlistError> {
+        if self.net_index.contains_key(name) {
+            return Err(NetlistError::DuplicateNet(name.to_string()));
+        }
+        let id = NetId::new(self.nets.len() as u32);
+        self.nets.push(Net::new(name, ty));
+        self.net_index.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Sets the routing weight of a net.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownNet`] if the net was never declared.
+    pub fn set_net_weight(&mut self, name: &str, weight: f64) -> Result<(), NetlistError> {
+        let id = self.net_id(name)?;
+        self.nets[id.index()].weight = weight;
+        Ok(())
+    }
+
+    fn net_id(&self, name: &str) -> Result<NetId, NetlistError> {
+        self.net_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| NetlistError::UnknownNet(name.to_string()))
+    }
+
+    /// Adds a device and connects its terminals to named nets.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::DuplicateDevice`] on a repeated instance name.
+    /// * [`NetlistError::UnknownNet`] if a terminal references an undeclared
+    ///   net.
+    /// * [`NetlistError::BadTerminal`] if a terminal is repeated or not valid
+    ///   for the device kind.
+    pub fn add_device(
+        &mut self,
+        name: &str,
+        kind: DeviceKind,
+        params: DeviceParams,
+        connections: &[(Terminal, &str)],
+    ) -> Result<DeviceId, NetlistError> {
+        if self.device_index.contains_key(name) {
+            return Err(NetlistError::DuplicateDevice(name.to_string()));
+        }
+        let allowed = Terminal::for_kind(kind);
+        let mut seen = Vec::new();
+        for (t, _) in connections {
+            if !allowed.contains(t) {
+                return Err(NetlistError::BadTerminal(format!(
+                    "device `{name}` ({kind}) has no terminal {t}"
+                )));
+            }
+            if seen.contains(t) {
+                return Err(NetlistError::BadTerminal(format!(
+                    "device `{name}` terminal {t} connected twice"
+                )));
+            }
+            seen.push(*t);
+        }
+        let id = DeviceId::new(self.devices.len() as u32);
+        let (width, height) = Device::footprint(kind, &params);
+        self.devices.push(Device {
+            name: name.to_string(),
+            kind,
+            params,
+            width,
+            height,
+        });
+        self.device_index.insert(name.to_string(), id);
+        for (t, net_name) in connections {
+            let net = self.net_id(net_name)?;
+            let pid = PinId::new(self.pins.len() as u32);
+            self.pins.push(Pin {
+                device: id,
+                terminal: *t,
+                net,
+            });
+            self.nets[net.index()].pins.push(pid);
+        }
+        Ok(id)
+    }
+
+    /// Registers a symmetric device pair (placement mirroring).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Invalid`] if either device is unknown.
+    pub fn add_device_pair(&mut self, a: &str, b: &str) -> Result<(), NetlistError> {
+        let da = self.device_id(a)?;
+        let db = self.device_id(b)?;
+        self.symmetry.add_device_pair(da, db);
+        Ok(())
+    }
+
+    /// Registers a self-symmetric device.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Invalid`] if the device is unknown.
+    pub fn add_self_device(&mut self, d: &str) -> Result<(), NetlistError> {
+        let id = self.device_id(d)?;
+        self.symmetry.add_self_device(id);
+        Ok(())
+    }
+
+    fn device_id(&self, name: &str) -> Result<DeviceId, NetlistError> {
+        self.device_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| NetlistError::Invalid(format!("unknown device `{name}`")))
+    }
+
+    /// Registers a symmetric net pair (`N^SP`).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownNet`] if either net is unknown.
+    pub fn add_net_pair(&mut self, a: &str, b: &str) -> Result<(), NetlistError> {
+        let na = self.net_id(a)?;
+        let nb = self.net_id(b)?;
+        self.symmetry.add_net_pair(na, nb);
+        Ok(())
+    }
+
+    /// Registers a self-symmetric net (`N^SS`).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownNet`] if the net is unknown.
+    pub fn add_self_net(&mut self, n: &str) -> Result<(), NetlistError> {
+        let id = self.net_id(n)?;
+        self.symmetry.add_self_net(id);
+        Ok(())
+    }
+
+    /// Registers an electrically matched (but not layout-mirrored) net pair.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownNet`] if either net is unknown.
+    pub fn add_matched_pair(&mut self, a: &str, b: &str) -> Result<(), NetlistError> {
+        let na = self.net_id(a)?;
+        let nb = self.net_id(b)?;
+        self.symmetry.add_matched_pair(na, nb);
+        Ok(())
+    }
+
+    /// Declares the IO roles by net name.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownNet`] if any named net is unknown.
+    pub fn set_io(
+        &mut self,
+        vinp: &str,
+        vinn: &str,
+        vout: &str,
+        voutn: Option<&str>,
+        vdd: &str,
+        vss: &str,
+    ) -> Result<(), NetlistError> {
+        let io = CircuitIo {
+            vinp: self.net_id(vinp)?,
+            vinn: self.net_id(vinn)?,
+            vout: self.net_id(vout)?,
+            voutn: voutn.map(|n| self.net_id(n)).transpose()?,
+            vdd: self.net_id(vdd)?,
+            vss: self.net_id(vss)?,
+        };
+        self.io = Some(io);
+        Ok(())
+    }
+
+    /// Finalizes and validates the circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Invalid`] if IO was never set or validation fails.
+    pub fn finish(self) -> Result<Circuit, NetlistError> {
+        let io = self
+            .io
+            .ok_or_else(|| NetlistError::Invalid("io roles not set".to_string()))?;
+        let c = Circuit {
+            name: self.name,
+            devices: self.devices,
+            nets: self.nets,
+            pins: self.pins,
+            symmetry: self.symmetry,
+            io,
+        };
+        c.validate()?;
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MosParams;
+
+    fn mos() -> DeviceParams {
+        DeviceParams::Mos(MosParams::from_sizing(4.0, 0.4, 20e-6))
+    }
+
+    fn base_builder() -> CircuitBuilder {
+        let mut b = CircuitBuilder::new("t");
+        for (n, ty) in [
+            ("vdd", NetType::Power),
+            ("vss", NetType::Ground),
+            ("inp", NetType::Input),
+            ("inn", NetType::Input),
+            ("out", NetType::Output),
+        ] {
+            b.add_net(n, ty).unwrap();
+        }
+        b
+    }
+
+    fn connect_all(b: &mut CircuitBuilder) {
+        b.add_device(
+            "M1",
+            DeviceKind::Nmos,
+            mos(),
+            &[
+                (Terminal::Gate, "inp"),
+                (Terminal::Drain, "out"),
+                (Terminal::Source, "inn"),
+                (Terminal::Bulk, "vss"),
+            ],
+        )
+        .unwrap();
+        b.add_device(
+            "M2",
+            DeviceKind::Nmos,
+            mos(),
+            &[
+                (Terminal::Gate, "inn"),
+                (Terminal::Drain, "out"),
+                (Terminal::Source, "inp"),
+                (Terminal::Bulk, "vss"),
+            ],
+        )
+        .unwrap();
+        b.set_io("inp", "inn", "out", None, "vdd", "vss").unwrap();
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let mut b = base_builder();
+        connect_all(&mut b);
+        let c = b.finish().unwrap();
+        assert_eq!(c.devices().len(), 2);
+        assert_eq!(c.nets().len(), 5);
+        assert_eq!(c.pins().len(), 8);
+        assert_eq!(c.net_by_name("out"), Some(NetId::new(4)));
+        assert_eq!(c.device_by_name("M2"), Some(DeviceId::new(1)));
+        assert_eq!(c.device_pins(DeviceId::new(0)).count(), 4);
+    }
+
+    #[test]
+    fn duplicate_net_rejected() {
+        let mut b = base_builder();
+        assert_eq!(
+            b.add_net("vdd", NetType::Power),
+            Err(NetlistError::DuplicateNet("vdd".to_string()))
+        );
+    }
+
+    #[test]
+    fn duplicate_device_rejected() {
+        let mut b = base_builder();
+        connect_all(&mut b);
+        let err = b
+            .add_device("M1", DeviceKind::Nmos, mos(), &[])
+            .unwrap_err();
+        assert_eq!(err, NetlistError::DuplicateDevice("M1".to_string()));
+    }
+
+    #[test]
+    fn unknown_net_rejected() {
+        let mut b = base_builder();
+        let err = b
+            .add_device("M1", DeviceKind::Nmos, mos(), &[(Terminal::Gate, "nope")])
+            .unwrap_err();
+        assert_eq!(err, NetlistError::UnknownNet("nope".to_string()));
+    }
+
+    #[test]
+    fn bad_terminal_rejected() {
+        let mut b = base_builder();
+        let err = b
+            .add_device("C1", DeviceKind::Capacitor, mos(), &[(Terminal::Gate, "out")])
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::BadTerminal(_)));
+        let err2 = b
+            .add_device(
+                "M9",
+                DeviceKind::Nmos,
+                mos(),
+                &[(Terminal::Gate, "out"), (Terminal::Gate, "inp")],
+            )
+            .unwrap_err();
+        assert!(matches!(err2, NetlistError::BadTerminal(_)));
+    }
+
+    #[test]
+    fn missing_io_rejected() {
+        let b = CircuitBuilder::new("x");
+        assert!(matches!(b.finish(), Err(NetlistError::Invalid(_))));
+    }
+
+    #[test]
+    fn single_pin_signal_net_rejected() {
+        let mut b = base_builder();
+        b.add_net("dangling", NetType::Signal).unwrap();
+        connect_all(&mut b);
+        b.add_device(
+            "M3",
+            DeviceKind::Nmos,
+            mos(),
+            &[
+                (Terminal::Gate, "dangling"),
+                (Terminal::Drain, "out"),
+                (Terminal::Source, "vss"),
+                (Terminal::Bulk, "vss"),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(b.finish(), Err(NetlistError::Invalid(_))));
+    }
+
+    #[test]
+    fn symmetric_pair_validation() {
+        let mut b = base_builder();
+        connect_all(&mut b);
+        b.add_device_pair("M1", "M2").unwrap();
+        b.add_net_pair("inp", "inn").unwrap();
+        let c = b.finish().unwrap();
+        assert_eq!(c.symmetric_net_pairs().len(), 1);
+        assert_eq!(
+            c.symmetry().mirror_device(DeviceId::new(0)),
+            Some(DeviceId::new(1))
+        );
+    }
+
+    #[test]
+    fn guided_nets_exclude_supply() {
+        let mut b = base_builder();
+        connect_all(&mut b);
+        let c = b.finish().unwrap();
+        let guided = c.guided_nets();
+        assert!(guided.contains(&c.net_by_name("inp").unwrap()));
+        assert!(!guided.contains(&c.net_by_name("vdd").unwrap()));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(NetlistError::UnknownNet("x".into()).to_string().contains("x"));
+        assert!(NetlistError::Invalid("msg".into()).to_string().contains("msg"));
+    }
+}

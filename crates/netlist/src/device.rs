@@ -1,0 +1,309 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a placeable analog device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// P-channel MOSFET.
+    Pmos,
+    /// N-channel MOSFET.
+    Nmos,
+    /// Metal/MOM capacitor.
+    Capacitor,
+    /// Poly resistor.
+    Resistor,
+    /// Matching dummy — placed and blocking, electrically inert.
+    Dummy,
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceKind::Pmos => "PMOS",
+            DeviceKind::Nmos => "NMOS",
+            DeviceKind::Capacitor => "CAP",
+            DeviceKind::Resistor => "RES",
+            DeviceKind::Dummy => "DUMMY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One terminal of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Terminal {
+    /// MOS gate.
+    Gate,
+    /// MOS drain.
+    Drain,
+    /// MOS source.
+    Source,
+    /// MOS bulk.
+    Bulk,
+    /// Positive plate / terminal of a two-terminal device.
+    Pos,
+    /// Negative plate / terminal of a two-terminal device.
+    Neg,
+}
+
+impl Terminal {
+    /// The terminals a device of `kind` exposes, in canonical order.
+    pub fn for_kind(kind: DeviceKind) -> &'static [Terminal] {
+        match kind {
+            DeviceKind::Pmos | DeviceKind::Nmos => &[
+                Terminal::Gate,
+                Terminal::Drain,
+                Terminal::Source,
+                Terminal::Bulk,
+            ],
+            DeviceKind::Capacitor | DeviceKind::Resistor => &[Terminal::Pos, Terminal::Neg],
+            DeviceKind::Dummy => &[],
+        }
+    }
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Terminal::Gate => "G",
+            Terminal::Drain => "D",
+            Terminal::Source => "S",
+            Terminal::Bulk => "B",
+            Terminal::Pos => "P",
+            Terminal::Neg => "N",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Small-signal parameters of a MOSFET at its intended operating point.
+///
+/// The simulator stamps these directly: `gm` as a VCCS from gate–source to
+/// drain–source, `gds` as a drain–source conductance, and the capacitances at
+/// the corresponding terminals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosParams {
+    /// Channel width in µm.
+    pub w_um: f64,
+    /// Channel length in µm.
+    pub l_um: f64,
+    /// Transconductance in siemens.
+    pub gm: f64,
+    /// Output conductance (1/ro) in siemens.
+    pub gds: f64,
+    /// Gate–source capacitance in farads.
+    pub cgs: f64,
+    /// Gate–drain (overlap + Miller) capacitance in farads.
+    pub cgd: f64,
+    /// Drain–bulk junction capacitance in farads.
+    pub cdb: f64,
+}
+
+impl MosParams {
+    /// Derives small-signal parameters from sizing and drain current using
+    /// square-law estimates typical of a 40 nm-class process:
+    ///
+    /// * `gm = 2·I_D / V_ov` with `V_ov = 0.18 V`
+    /// * `gds = λ·I_D`, `λ = 0.35 / L[µm]` (longer channels → better ro;
+    ///   short-channel 40 nm devices have weak output resistance)
+    /// * `C_ox ≈ 11 fF/µm²`, `cgs = ⅔·C_ox·W·L + C_ov·W`, `C_ov = 0.25 fF/µm`
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is non-positive.
+    pub fn from_sizing(w_um: f64, l_um: f64, id_amps: f64) -> Self {
+        assert!(w_um > 0.0 && l_um > 0.0 && id_amps > 0.0, "non-positive sizing");
+        let v_ov = 0.18;
+        let gm = 2.0 * id_amps / v_ov;
+        let gds = 0.35 / l_um * id_amps;
+        let cox_per_um2 = 11.0e-15;
+        let cov_per_um = 0.25e-15;
+        let cgs = 2.0 / 3.0 * cox_per_um2 * w_um * l_um + cov_per_um * w_um;
+        let cgd = cov_per_um * w_um;
+        let cdb = 0.6e-15 * w_um;
+        Self {
+            w_um,
+            l_um,
+            gm,
+            gds,
+            cgs,
+            cgd,
+            cdb,
+        }
+    }
+
+    /// Intrinsic gain `gm/gds`.
+    pub fn intrinsic_gain(&self) -> f64 {
+        self.gm / self.gds
+    }
+}
+
+/// Value parameters of a capacitor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapParams {
+    /// Capacitance in farads.
+    pub c: f64,
+}
+
+/// Value parameters of a resistor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResParams {
+    /// Resistance in ohms.
+    pub r: f64,
+}
+
+/// Electrical parameters of a device, matching its [`DeviceKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DeviceParams {
+    /// MOSFET small-signal parameters.
+    Mos(MosParams),
+    /// Capacitor value.
+    Cap(CapParams),
+    /// Resistor value.
+    Res(ResParams),
+    /// No electrical behaviour (dummies).
+    None,
+}
+
+impl DeviceParams {
+    /// MOS parameters if this is a MOSFET.
+    pub fn as_mos(&self) -> Option<&MosParams> {
+        match self {
+            DeviceParams::Mos(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Capacitance if this is a capacitor.
+    pub fn as_cap(&self) -> Option<&CapParams> {
+        match self {
+            DeviceParams::Cap(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Resistance if this is a resistor.
+    pub fn as_res(&self) -> Option<&ResParams> {
+        match self {
+            DeviceParams::Res(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A placeable device: name, kind, electrical parameters, and footprint.
+///
+/// The footprint (width × height in dbu) drives placement and routing
+/// obstacles; it is estimated from sizing when the device is created through
+/// [`crate::CircuitBuilder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Instance name, e.g. `"M1"`.
+    pub name: String,
+    /// Device kind.
+    pub kind: DeviceKind,
+    /// Electrical parameters.
+    pub params: DeviceParams,
+    /// Footprint width in dbu.
+    pub width: i64,
+    /// Footprint height in dbu.
+    pub height: i64,
+}
+
+impl Device {
+    /// Estimated footprint for a device of `kind` with the given parameters.
+    ///
+    /// MOS area scales with W·L (folded into a near-square aspect), caps with
+    /// capacitance density 2 fF/µm², resistors with resistance at 200 Ω/sq.
+    pub fn footprint(kind: DeviceKind, params: &DeviceParams) -> (i64, i64) {
+        match (kind, params) {
+            (DeviceKind::Pmos | DeviceKind::Nmos, DeviceParams::Mos(m)) => {
+                // Active area plus contact/guard overhead; folded to aspect <= 4.
+                let area_um2 = (m.w_um * m.l_um * 8.0 + 1.0).max(1.0);
+                let w = (area_um2.sqrt() * 1.6 * 1_000.0) as i64;
+                let h = (area_um2.sqrt() * 0.9 * 1_000.0) as i64;
+                (w.max(400), h.max(400))
+            }
+            (DeviceKind::Capacitor, DeviceParams::Cap(c)) => {
+                let area_um2 = (c.c / 2.0e-15).max(1.0);
+                let side = (area_um2.sqrt() * 1_000.0) as i64;
+                (side.max(500), side.max(500))
+            }
+            (DeviceKind::Resistor, DeviceParams::Res(r)) => {
+                let squares = (r.r / 200.0).max(1.0);
+                let w = 500;
+                let h = ((squares * 90.0) as i64).clamp(500, 4_000);
+                (w, h)
+            }
+            (DeviceKind::Dummy, _) => (500, 500),
+            _ => (500, 500),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_per_kind() {
+        assert_eq!(Terminal::for_kind(DeviceKind::Nmos).len(), 4);
+        assert_eq!(Terminal::for_kind(DeviceKind::Capacitor).len(), 2);
+        assert_eq!(Terminal::for_kind(DeviceKind::Dummy).len(), 0);
+    }
+
+    #[test]
+    fn mos_params_square_law() {
+        let m = MosParams::from_sizing(10.0, 0.5, 100e-6);
+        assert!((m.gm - 2.0 * 100e-6 / 0.18).abs() < 1e-12);
+        assert!((m.gds - 0.35 / 0.5 * 100e-6).abs() < 1e-15);
+        assert!(m.intrinsic_gain() > 10.0);
+        assert!(m.cgs > m.cgd);
+    }
+
+    #[test]
+    fn longer_channel_more_gain() {
+        let short = MosParams::from_sizing(10.0, 0.1, 100e-6);
+        let long = MosParams::from_sizing(10.0, 1.0, 100e-6);
+        assert!(long.intrinsic_gain() > short.intrinsic_gain());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive sizing")]
+    fn rejects_bad_sizing() {
+        let _ = MosParams::from_sizing(0.0, 0.5, 1e-6);
+    }
+
+    #[test]
+    fn footprints_are_positive_and_monotone() {
+        let small = DeviceParams::Mos(MosParams::from_sizing(2.0, 0.2, 10e-6));
+        let large = DeviceParams::Mos(MosParams::from_sizing(50.0, 0.5, 10e-6));
+        let (ws, hs) = Device::footprint(DeviceKind::Nmos, &small);
+        let (wl, hl) = Device::footprint(DeviceKind::Nmos, &large);
+        assert!(ws > 0 && hs > 0);
+        assert!(wl > ws && hl > hs);
+
+        let c_small = DeviceParams::Cap(CapParams { c: 50e-15 });
+        let c_large = DeviceParams::Cap(CapParams { c: 2_000e-15 });
+        let (a, _) = Device::footprint(DeviceKind::Capacitor, &c_small);
+        let (b, _) = Device::footprint(DeviceKind::Capacitor, &c_large);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn param_accessors() {
+        let p = DeviceParams::Cap(CapParams { c: 1e-12 });
+        assert!(p.as_cap().is_some());
+        assert!(p.as_mos().is_none());
+        assert!(p.as_res().is_none());
+        let r = DeviceParams::Res(ResParams { r: 1_000.0 });
+        assert_eq!(r.as_res().unwrap().r, 1_000.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DeviceKind::Pmos.to_string(), "PMOS");
+        assert_eq!(Terminal::Gate.to_string(), "G");
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index, usable for dense per-item storage.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a device (placeable module) within one [`crate::Circuit`].
+    ///
+    /// Ids are dense indices assigned in insertion order, so they can be used
+    /// directly to index `Vec`s sized by the device count.
+    DeviceId,
+    "d"
+);
+
+id_type!(
+    /// Identifier of a net within one [`crate::Circuit`].
+    NetId,
+    "n"
+);
+
+id_type!(
+    /// Identifier of a pin (device terminal ↔ net attachment) within one
+    /// [`crate::Circuit`].
+    PinId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let d = DeviceId::new(3);
+        assert_eq!(d.index(), 3);
+        assert_eq!(d.to_string(), "d3");
+        assert_eq!(usize::from(d), 3);
+        assert_eq!(NetId::new(7).to_string(), "n7");
+        assert_eq!(PinId::new(0).to_string(), "p0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NetId::new(1) < NetId::new(2));
+        assert_eq!(DeviceId::new(5), DeviceId::new(5));
+    }
+}

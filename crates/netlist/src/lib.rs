@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Analog circuit netlists for the AnalogFold reproduction.
+//!
+//! Models exactly the inputs of the paper's Problem 1 (Analog Detailed
+//! Routing): placed devices `M`, nets `N` with specific types `N^T`,
+//! self-symmetric nets `N^SS`, symmetric net pairs `N^SP`, plus the device
+//! small-signal parameters the performance simulator needs.
+//!
+//! The [`benchmarks`] module generates the four OTA benchmark circuits of
+//! Table 1: two two-stage Miller-compensated OTAs (OTA1/OTA2, same topology,
+//! different sizing) and two telescopic OTAs (OTA3/OTA4).
+//!
+//! # Examples
+//!
+//! ```
+//! use af_netlist::benchmarks;
+//!
+//! let ota = benchmarks::ota1();
+//! assert_eq!(ota.count_kind(af_netlist::DeviceKind::Pmos), 6);
+//! assert!(!ota.symmetric_net_pairs().is_empty());
+//! ```
+
+mod circuit;
+mod device;
+mod ids;
+mod net;
+mod symmetry;
+
+pub mod benchmarks;
+
+pub use circuit::{Circuit, CircuitBuilder, CircuitIo, NetlistError};
+pub use device::{CapParams, Device, DeviceKind, DeviceParams, MosParams, ResParams, Terminal};
+pub use ids::{DeviceId, NetId, PinId};
+pub use net::{Net, NetType};
+pub use symmetry::{DeviceSymmetry, NetSymmetry, SymmetryConstraints};

@@ -1,0 +1,125 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::PinId;
+
+/// Functional type of a net — the paper's "special nets with specific types"
+/// `N^T`. Guidance is generated for nets whose type is performance-critical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetType {
+    /// Ordinary signal net.
+    Signal,
+    /// Differential input net.
+    Input,
+    /// Output net.
+    Output,
+    /// Internal high-impedance node (e.g. first-stage output) — most
+    /// sensitive to parasitics.
+    Sensitive,
+    /// Bias distribution net.
+    Bias,
+    /// Power supply.
+    Power,
+    /// Ground.
+    Ground,
+}
+
+impl NetType {
+    /// Whether nets of this type receive performance-driven routing guidance
+    /// (the paper's `N* ⊆ N`).
+    pub fn is_guided(self) -> bool {
+        matches!(
+            self,
+            NetType::Input | NetType::Output | NetType::Sensitive | NetType::Signal
+        )
+    }
+
+    /// Whether this is a supply-class net (power or ground).
+    pub fn is_supply(self) -> bool {
+        matches!(self, NetType::Power | NetType::Ground)
+    }
+}
+
+impl fmt::Display for NetType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NetType::Signal => "signal",
+            NetType::Input => "input",
+            NetType::Output => "output",
+            NetType::Sensitive => "sensitive",
+            NetType::Bias => "bias",
+            NetType::Power => "power",
+            NetType::Ground => "ground",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A net: a named equipotential connecting one or more pins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    /// Net name, e.g. `"vinp"`.
+    pub name: String,
+    /// Functional type.
+    pub ty: NetType,
+    /// Pins attached to this net (filled by the circuit builder).
+    pub pins: Vec<PinId>,
+    /// Routing priority weight (used by placement net-weight variants and the
+    /// router's net ordering). Higher routes earlier.
+    pub weight: f64,
+}
+
+impl Net {
+    /// Creates an empty net.
+    pub fn new(name: impl Into<String>, ty: NetType) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+            pins: Vec::new(),
+            weight: 1.0,
+        }
+    }
+
+    /// Number of pins on the net.
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Whether the net needs routing (two or more pins).
+    pub fn is_routable(&self) -> bool {
+        self.pins.len() >= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guided_types() {
+        assert!(NetType::Input.is_guided());
+        assert!(NetType::Sensitive.is_guided());
+        assert!(!NetType::Power.is_guided());
+        assert!(!NetType::Bias.is_guided());
+        assert!(NetType::Power.is_supply());
+        assert!(NetType::Ground.is_supply());
+        assert!(!NetType::Signal.is_supply());
+    }
+
+    #[test]
+    fn routability() {
+        let mut n = Net::new("x", NetType::Signal);
+        assert!(!n.is_routable());
+        n.pins.push(PinId::new(0));
+        assert!(!n.is_routable());
+        n.pins.push(PinId::new(1));
+        assert!(n.is_routable());
+        assert_eq!(n.degree(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NetType::Sensitive.to_string(), "sensitive");
+    }
+}

@@ -1,0 +1,170 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{DeviceId, NetId};
+
+/// A device-level symmetry constraint for placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceSymmetry {
+    /// Two devices mirrored across the circuit's symmetry axis.
+    Pair(DeviceId, DeviceId),
+    /// A single device centered on the axis.
+    SelfSymmetric(DeviceId),
+}
+
+/// A net-level symmetry constraint for routing — the paper's `N^SP`
+/// (symmetric net pairs) and `N^SS` (self-symmetric nets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetSymmetry {
+    /// Two nets whose routes must mirror each other.
+    Pair(NetId, NetId),
+    /// A net whose route must be mirror-symmetric onto itself.
+    SelfSymmetric(NetId),
+}
+
+/// All symmetry constraints of a circuit, around a single vertical axis.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SymmetryConstraints {
+    device_pairs: Vec<(DeviceId, DeviceId)>,
+    self_devices: Vec<DeviceId>,
+    net_pairs: Vec<(NetId, NetId)>,
+    self_nets: Vec<NetId>,
+    /// Electrically matched net pairs that are not geometric mirror twins
+    /// (e.g. the two first-stage output branches of a two-stage OTA).
+    matched_pairs: Vec<(NetId, NetId)>,
+}
+
+impl SymmetryConstraints {
+    /// Creates an empty constraint set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a mirrored device pair.
+    pub fn add_device_pair(&mut self, a: DeviceId, b: DeviceId) {
+        assert_ne!(a, b, "device pair must reference two distinct devices");
+        self.device_pairs.push((a, b));
+    }
+
+    /// Registers a self-symmetric device.
+    pub fn add_self_device(&mut self, d: DeviceId) {
+        self.self_devices.push(d);
+    }
+
+    /// Registers a symmetric net pair (`N^SP`).
+    pub fn add_net_pair(&mut self, a: NetId, b: NetId) {
+        assert_ne!(a, b, "net pair must reference two distinct nets");
+        self.net_pairs.push((a, b));
+    }
+
+    /// Registers a self-symmetric net (`N^SS`).
+    pub fn add_self_net(&mut self, n: NetId) {
+        self.self_nets.push(n);
+    }
+
+    /// Registers an electrically matched pair that is not a layout-symmetric
+    /// pair (used by mismatch/offset analysis).
+    pub fn add_matched_pair(&mut self, a: NetId, b: NetId) {
+        assert_ne!(a, b, "matched pair must reference two distinct nets");
+        self.matched_pairs.push((a, b));
+    }
+
+    /// All electrically matched pairs: the layout-symmetric pairs plus any
+    /// extra matched pairs.
+    pub fn matched_net_pairs(&self) -> Vec<(NetId, NetId)> {
+        let mut all = self.net_pairs.clone();
+        all.extend(self.matched_pairs.iter().copied());
+        all
+    }
+
+    /// Mirrored device pairs.
+    pub fn device_pairs(&self) -> &[(DeviceId, DeviceId)] {
+        &self.device_pairs
+    }
+
+    /// Self-symmetric devices.
+    pub fn self_devices(&self) -> &[DeviceId] {
+        &self.self_devices
+    }
+
+    /// Symmetric net pairs.
+    pub fn net_pairs(&self) -> &[(NetId, NetId)] {
+        &self.net_pairs
+    }
+
+    /// Self-symmetric nets.
+    pub fn self_nets(&self) -> &[NetId] {
+        &self.self_nets
+    }
+
+    /// The net mirrored to `n` under a pair constraint, if any.
+    pub fn mirror_net(&self, n: NetId) -> Option<NetId> {
+        for &(a, b) in &self.net_pairs {
+            if a == n {
+                return Some(b);
+            }
+            if b == n {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    /// The device mirrored to `d` under a pair constraint, if any.
+    pub fn mirror_device(&self, d: DeviceId) -> Option<DeviceId> {
+        for &(a, b) in &self.device_pairs {
+            if a == d {
+                return Some(b);
+            }
+            if b == d {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    /// Whether net `n` appears in any symmetry constraint.
+    pub fn is_net_constrained(&self, n: NetId) -> bool {
+        self.mirror_net(n).is_some() || self.self_nets.contains(&n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_lookup_is_symmetric() {
+        let mut s = SymmetryConstraints::new();
+        s.add_net_pair(NetId::new(1), NetId::new(2));
+        assert_eq!(s.mirror_net(NetId::new(1)), Some(NetId::new(2)));
+        assert_eq!(s.mirror_net(NetId::new(2)), Some(NetId::new(1)));
+        assert_eq!(s.mirror_net(NetId::new(3)), None);
+    }
+
+    #[test]
+    fn constrained_query() {
+        let mut s = SymmetryConstraints::new();
+        s.add_net_pair(NetId::new(0), NetId::new(1));
+        s.add_self_net(NetId::new(5));
+        assert!(s.is_net_constrained(NetId::new(0)));
+        assert!(s.is_net_constrained(NetId::new(5)));
+        assert!(!s.is_net_constrained(NetId::new(9)));
+    }
+
+    #[test]
+    fn device_mirror() {
+        let mut s = SymmetryConstraints::new();
+        s.add_device_pair(DeviceId::new(3), DeviceId::new(4));
+        s.add_self_device(DeviceId::new(7));
+        assert_eq!(s.mirror_device(DeviceId::new(4)), Some(DeviceId::new(3)));
+        assert_eq!(s.mirror_device(DeviceId::new(7)), None);
+        assert_eq!(s.self_devices(), &[DeviceId::new(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn rejects_degenerate_pair() {
+        let mut s = SymmetryConstraints::new();
+        s.add_net_pair(NetId::new(1), NetId::new(1));
+    }
+}

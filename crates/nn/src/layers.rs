@@ -1,0 +1,318 @@
+//! Parameterized layers: [`Linear`] and [`Mlp`].
+//!
+//! Layers own their weight tensors; before use they must be *bound* to a
+//! [`Graph`] with [`Linear::bind`] / [`Mlp::bind`], which registers the
+//! weights as persistent parameters and returns a bound handle usable inside
+//! forward passes. After training, [`Linear::sync_from`] copies the updated
+//! values back into the layer for serialization.
+
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Graph, NodeId, Tensor};
+
+/// Activation functions supported by [`Mlp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Sigmoid-weighted linear unit (swish) — the SchNet-family default.
+    Silu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// No activation.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation inside a graph.
+    pub fn apply(self, g: &mut Graph, x: NodeId) -> NodeId {
+        match self {
+            Activation::Relu => g.relu(x),
+            Activation::Silu => g.silu(x),
+            Activation::Tanh => g.tanh(x),
+            Activation::Sigmoid => g.sigmoid(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// A dense layer `y = x·W + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    w: Tensor,
+    b: Tensor,
+}
+
+/// Graph-bound handle of a [`Linear`] layer.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundLinear {
+    /// Parameter node of the weights.
+    pub w: NodeId,
+    /// Parameter node of the bias.
+    pub b: NodeId,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero.
+    pub fn new(inputs: usize, outputs: usize, rng: &mut ChaCha8Rng) -> Self {
+        assert!(inputs > 0 && outputs > 0, "degenerate layer");
+        let scale = (6.0 / (inputs + outputs) as f64).sqrt();
+        Self {
+            w: Tensor::uniform(inputs, outputs, scale, rng),
+            b: Tensor::zeros(1, outputs),
+        }
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Registers the weights as graph parameters.
+    pub fn bind(&self, g: &mut Graph) -> BoundLinear {
+        BoundLinear {
+            w: g.param(self.w.clone()),
+            b: g.param(self.b.clone()),
+        }
+    }
+
+    /// Registers the weights as *transient inputs* (frozen): gradients may
+    /// flow through them but they are cleared by `Graph::reset` and never
+    /// updated. Used when optimizing a graph input with fixed weights.
+    pub fn bind_frozen(&self, g: &mut Graph) -> BoundLinear {
+        BoundLinear {
+            w: g.input(self.w.clone()),
+            b: g.input(self.b.clone()),
+        }
+    }
+
+    /// Copies current parameter values out of the graph back into the layer.
+    pub fn sync_from(&mut self, g: &Graph, bound: BoundLinear) {
+        self.w = g.value(bound.w).clone();
+        self.b = g.value(bound.b).clone();
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+impl BoundLinear {
+    /// Forward pass `x·W + b`.
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let xw = g.matmul(x, self.w);
+        g.add_bias(xw, self.b)
+    }
+
+    /// Parameter node ids, for optimizers.
+    pub fn params(&self) -> Vec<NodeId> {
+        vec![self.w, self.b]
+    }
+}
+
+/// A multi-layer perceptron with a uniform hidden activation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+/// Graph-bound handle of an [`Mlp`].
+#[derive(Debug, Clone)]
+pub struct BoundMlp {
+    layers: Vec<BoundLinear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer widths, e.g. `[8, 32, 32, 5]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two widths.
+    pub fn new(widths: &[usize], activation: Activation, rng: &mut ChaCha8Rng) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Self { layers, activation }
+    }
+
+    /// Registers all weights as graph parameters.
+    pub fn bind(&self, g: &mut Graph) -> BoundMlp {
+        BoundMlp {
+            layers: self.layers.iter().map(|l| l.bind(g)).collect(),
+            activation: self.activation,
+        }
+    }
+
+    /// Registers all weights as frozen transient inputs (see
+    /// [`Linear::bind_frozen`]).
+    pub fn bind_frozen(&self, g: &mut Graph) -> BoundMlp {
+        BoundMlp {
+            layers: self.layers.iter().map(|l| l.bind_frozen(g)).collect(),
+            activation: self.activation,
+        }
+    }
+
+    /// Copies parameter values from the graph back into the MLP.
+    pub fn sync_from(&mut self, g: &Graph, bound: &BoundMlp) {
+        for (layer, b) in self.layers.iter_mut().zip(&bound.layers) {
+            layer.sync_from(g, *b);
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.layers.first().map(Linear::inputs).unwrap_or(0)
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.layers.last().map(Linear::outputs).unwrap_or(0)
+    }
+}
+
+impl BoundMlp {
+    /// Forward pass: activation after every layer except the last.
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, h);
+            if i != last {
+                h = self.activation.apply(g, h);
+            }
+        }
+        h
+    }
+
+    /// All parameter node ids.
+    pub fn params(&self) -> Vec<NodeId> {
+        self.layers.iter().flat_map(BoundLinear::params).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn linear_shapes() {
+        let mut r = rng();
+        let l = Linear::new(4, 3, &mut r);
+        assert_eq!(l.inputs(), 4);
+        assert_eq!(l.outputs(), 3);
+        assert_eq!(l.param_count(), 15);
+        let mut g = Graph::new();
+        let b = l.bind(&mut g);
+        let x = g.input(Tensor::ones(2, 4));
+        let y = b.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), (2, 3));
+    }
+
+    #[test]
+    fn mlp_forward_and_training_reduces_loss() {
+        let mut r = rng();
+        let mlp = Mlp::new(&[2, 16, 1], Activation::Tanh, &mut r);
+        let mut g = Graph::new();
+        let bound = mlp.bind(&mut g);
+        let params = bound.params();
+
+        // learn XOR-ish continuous target y = x0*x1
+        let xs: Vec<(f64, f64)> = vec![(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0), (0.5, 0.5)];
+        let loss_of = |g: &mut Graph, bound: &BoundMlp| {
+            let x = g.input(Tensor::from_vec(
+                xs.iter().flat_map(|&(a, b)| [a, b]).collect(),
+                xs.len(),
+                2,
+            ));
+            let t = g.input(Tensor::from_vec(
+                xs.iter().map(|&(a, b)| a * b).collect(),
+                xs.len(),
+                1,
+            ));
+            let y = bound.forward(g, x);
+            g.mse(y, t)
+        };
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..300 {
+            g.reset();
+            let l = loss_of(&mut g, &bound);
+            g.backward(l);
+            last = g.value(l).get(0, 0);
+            first.get_or_insert(last);
+            let grads: Vec<Tensor> = params.iter().map(|&p| g.grad(p).clone()).collect();
+            for (&p, gr) in params.iter().zip(&grads) {
+                let v = g.param_data_mut(p);
+                for (a, b) in v.data_mut().iter_mut().zip(gr.data()) {
+                    *a -= 0.2 * b;
+                }
+            }
+        }
+        let first = first.unwrap();
+        assert!(last < first * 0.1, "loss {first} -> {last} did not drop 10x");
+    }
+
+    #[test]
+    fn sync_roundtrip() {
+        let mut r = rng();
+        let mut mlp = Mlp::new(&[3, 4, 2], Activation::Silu, &mut r);
+        let mut g = Graph::new();
+        let bound = mlp.bind(&mut g);
+        // tweak a parameter inside the graph
+        g.param_data_mut(bound.layers[0].w).data_mut()[0] = 99.0;
+        mlp.sync_from(&g, &bound);
+        let mut g2 = Graph::new();
+        let bound2 = mlp.bind(&mut g2);
+        assert_eq!(g2.value(bound2.layers[0].w).data()[0], 99.0);
+    }
+
+    #[test]
+    fn activation_apply() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![-1.0, 1.0], 1, 2));
+        let y = Activation::Relu.apply(&mut g, x);
+        assert_eq!(g.value(y).data(), &[0.0, 1.0]);
+        let id = Activation::Identity.apply(&mut g, x);
+        assert_eq!(id, x);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn mlp_needs_two_widths() {
+        let _ = Mlp::new(&[3], Activation::Relu, &mut rng());
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Mlp::new(&[2, 3], Activation::Relu, &mut rng());
+        let b = Mlp::new(&[2, 3], Activation::Relu, &mut rng());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,295 @@
+use std::fmt;
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major 2-D tensor of `f64`.
+///
+/// Everything in `af-nn` is 2-D: vectors are `1 × n` or `n × 1`, scalars are
+/// `1 × 1`. This keeps shapes explicit and broadcasting rules trivial.
+///
+/// # Examples
+///
+/// ```
+/// use af_nn::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+/// assert_eq!(t.get(1, 0), 3.0);
+/// assert_eq!(t.shape(), (2, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(data: Vec<f64>, rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { data, rows, cols }
+    }
+
+    /// All-zero tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::from_vec(vec![0.0; rows * cols], rows, cols)
+    }
+
+    /// All-one tensor.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::from_vec(vec![1.0; rows * cols], rows, cols)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Self::from_vec(vec![value; rows * cols], rows, cols)
+    }
+
+    /// Uniform random tensor in `[-scale, scale]` from a seeded RNG.
+    pub fn uniform(rows: usize, cols: usize, scale: f64, rng: &mut ChaCha8Rng) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
+        Self::from_vec(data, rows, cols)
+    }
+
+    /// Standard-normal random tensor (Box–Muller) from a seeded RNG.
+    pub fn randn(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Self {
+        let n = rows * cols;
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            data.push(r * theta.cos());
+            if data.len() < n {
+                data.push(r * theta.sin());
+            }
+        }
+        Self::from_vec(data, rows, cols)
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul {}x{} × {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Tensor::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor::from_vec(self.data.iter().map(|&x| f(x)).collect(), self.rows, self.cols)
+    }
+
+    /// Elementwise binary combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, rhs: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(self.shape(), rhs.shape(), "zip shape mismatch");
+        Tensor::from_vec(
+            self.data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            self.rows,
+            self.cols,
+        )
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.get(1, 0), 4.0);
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn rejects_bad_shape() {
+        let _ = Tensor::from_vec(vec![1.0; 5], 2, 3);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], 2, 2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], 3, 2);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn map_zip_sum() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], 1, 2);
+        let b = a.map(f64::abs);
+        assert_eq!(b.data(), &[1.0, 2.0]);
+        let c = a.zip(&b, |x, y| x + y);
+        assert_eq!(c.data(), &[2.0, 0.0]);
+        assert_eq!(c.sum(), 2.0);
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let t = Tensor::randn(100, 100, &mut rng);
+        let mean = t.sum() / t.len() as f64;
+        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / t.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let t = Tensor::uniform(10, 10, 0.5, &mut rng);
+        assert!(t.data().iter().all(|x| x.abs() <= 0.5));
+    }
+
+    #[test]
+    fn norm() {
+        let t = Tensor::from_vec(vec![3.0, 4.0], 1, 2);
+        assert!((t.norm() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,325 @@
+//! Convolutional VAE — closer to the original GeniusRoute generative model,
+//! which used convolutional encoders/decoders over layout rasters.
+//!
+//! Architecture (for an `h × w` raster):
+//!
+//! ```text
+//! enc: conv3x3(1→C) → SiLU → flatten → Linear → {mu, logvar}
+//! dec: Linear(latent → C·h·w) → SiLU → conv3x3(C→1) → sigmoid
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Activation, Adam, AdamConfig, Graph, Mlp, NodeId, Tensor};
+
+/// Convolutional VAE hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct ConvVaeConfig {
+    /// Raster height.
+    pub h: usize,
+    /// Raster width.
+    pub w: usize,
+    /// Convolution channels.
+    pub channels: usize,
+    /// Latent dimension.
+    pub latent: usize,
+    /// KL weight.
+    pub beta: f64,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ConvVaeConfig {
+    fn default() -> Self {
+        Self {
+            h: 10,
+            w: 10,
+            channels: 4,
+            latent: 8,
+            beta: 1e-3,
+            lr: 3e-3,
+            seed: 23,
+        }
+    }
+}
+
+/// A convolutional VAE over flattened `1 × (h·w)` rasters.
+///
+/// # Examples
+///
+/// ```
+/// use af_nn::{ConvVae, ConvVaeConfig, Tensor};
+///
+/// let cfg = ConvVaeConfig { h: 4, w: 4, channels: 2, latent: 3, ..ConvVaeConfig::default() };
+/// let mut vae = ConvVae::new(cfg);
+/// let data = vec![Tensor::from_vec(vec![0.7; 16], 1, 16); 3];
+/// let losses = vae.train(&data, 30);
+/// assert!(losses.last().unwrap() <= &losses[0]);
+/// assert_eq!(vae.reconstruct(&data[0]).shape(), (1, 16));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvVae {
+    h: usize,
+    w: usize,
+    channels: usize,
+    latent: usize,
+    beta: f64,
+    lr: f64,
+    seed: u64,
+    enc_kernel: Tensor,
+    mu_head: Mlp,
+    logvar_head: Mlp,
+    dec_head: Mlp,
+    dec_kernel: Tensor,
+}
+
+impl ConvVae {
+    /// Creates a convolutional VAE with seeded initialization.
+    pub fn new(cfg: ConvVaeConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let hw = cfg.h * cfg.w;
+        let scale = (2.0 / 9.0f64).sqrt();
+        Self {
+            h: cfg.h,
+            w: cfg.w,
+            channels: cfg.channels,
+            latent: cfg.latent,
+            beta: cfg.beta,
+            lr: cfg.lr,
+            seed: cfg.seed,
+            enc_kernel: Tensor::uniform(cfg.channels, 9, scale, &mut rng),
+            mu_head: Mlp::new(&[cfg.channels * hw, cfg.latent], Activation::Identity, &mut rng),
+            logvar_head: Mlp::new(&[cfg.channels * hw, cfg.latent], Activation::Identity, &mut rng),
+            dec_head: Mlp::new(&[cfg.latent, cfg.channels * hw], Activation::Identity, &mut rng),
+            dec_kernel: Tensor::uniform(1, cfg.channels * 9, scale, &mut rng),
+        }
+    }
+
+    /// Raster size `(h, w)`.
+    pub fn raster(&self) -> (usize, usize) {
+        (self.h, self.w)
+    }
+
+    /// Reshapes a `[1, C·h·w]` row into `[C, h·w]` channel-major maps.
+    fn to_channels(g: &mut Graph, row: NodeId, channels: usize, hw: usize) -> NodeId {
+        // gather rows is row-level; we need a reshape. Implement via gather on
+        // a transposed layout: build [C, hw] by C gathers of 1 row each is
+        // wrong — instead use matmul with selection matrices. Cheaper: since
+        // the data is [1, C*hw], multiply by precomputed 0/1 matrices.
+        // Simplest correct approach: C matmuls with selector matrices would
+        // bloat the tape; instead use a single matmul with a permutation-like
+        // block matrix [C*hw, hw] per channel is still C ops. We accept C
+        // selector matmuls (C is small).
+        let mut rows = Vec::with_capacity(channels);
+        for c in 0..channels {
+            let mut sel = Tensor::zeros(channels * hw, hw);
+            for i in 0..hw {
+                sel.set(c * hw + i, i, 1.0);
+            }
+            let selector = g.input(sel);
+            rows.push(g.matmul(row, selector)); // [1, hw]
+        }
+        // stack rows: concat along rows isn't available; emulate with
+        // scatter_add of gathered rows.
+        let mut stacked = None;
+        for (c, r) in rows.into_iter().enumerate() {
+            let placed = g.scatter_add(r, &[c], channels);
+            stacked = Some(match stacked {
+                None => placed,
+                Some(acc) => g.add(acc, placed),
+            });
+        }
+        stacked.expect("at least one channel")
+    }
+
+    /// Flattens `[C, hw]` maps back into a `[1, C·hw]` row.
+    fn to_row(g: &mut Graph, maps: NodeId, channels: usize, hw: usize) -> NodeId {
+        let mut row = None;
+        for c in 0..channels {
+            let one = g.gather(maps, &[c]); // [1, hw]
+            let mut sel = Tensor::zeros(hw, channels * hw);
+            for i in 0..hw {
+                sel.set(i, c * hw + i, 1.0);
+            }
+            let selector = g.input(sel);
+            let placed = g.matmul(one, selector); // [1, C*hw]
+            row = Some(match row {
+                None => placed,
+                Some(acc) => g.add(acc, placed),
+            });
+        }
+        row.expect("at least one channel")
+    }
+
+    /// Trains on `1 × (h·w)` samples; returns per-epoch mean loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on wrong sample shapes or empty data.
+    pub fn train(&mut self, data: &[Tensor], epochs: usize) -> Vec<f64> {
+        assert!(!data.is_empty(), "no training data");
+        let hw = self.h * self.w;
+        for d in data {
+            assert_eq!(d.shape(), (1, hw), "bad sample shape");
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xc0de);
+        let mut g = Graph::new();
+        let enc_k = g.param(self.enc_kernel.clone());
+        let mu_h = self.mu_head.bind(&mut g);
+        let lv_h = self.logvar_head.bind(&mut g);
+        let dec_h = self.dec_head.bind(&mut g);
+        let dec_k = g.param(self.dec_kernel.clone());
+        let params: Vec<NodeId> = [enc_k, dec_k]
+            .into_iter()
+            .chain(mu_h.params())
+            .chain(lv_h.params())
+            .chain(dec_h.params())
+            .collect();
+        let mut opt = Adam::new(
+            params,
+            AdamConfig {
+                lr: self.lr,
+                ..AdamConfig::default()
+            },
+            &g,
+        );
+        let mut losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut total = 0.0;
+            for sample in data {
+                g.reset();
+                let x = g.input(sample.clone());
+                let fm = g.conv3x3(x, enc_k, self.h, self.w); // [C, hw]
+                let fm = g.silu(fm);
+                let flat = Self::to_row(&mut g, fm, self.channels, hw);
+                let mu = mu_h.forward(&mut g, flat);
+                let logvar = lv_h.forward(&mut g, flat);
+                let eps = g.input(Tensor::randn(1, self.latent, &mut rng));
+                let half = g.scale(logvar, 0.5);
+                let std = g.exp(half);
+                let noise = g.mul(eps, std);
+                let z = g.add(mu, noise);
+                let drow = dec_h.forward(&mut g, z);
+                let drow = g.silu(drow);
+                let dmaps = Self::to_channels(&mut g, drow, self.channels, hw);
+                let logits = g.conv3x3(dmaps, dec_k, self.h, self.w); // [1, hw]
+                let recon = g.sigmoid(logits);
+                let rec = g.mse(recon, x);
+                let mu2 = g.square(mu);
+                let elv = g.exp(logvar);
+                let inner = g.sub(logvar, mu2);
+                let inner = g.sub(inner, elv);
+                let s = g.sum(inner);
+                let klc = g.scale(s, -0.5);
+                let kl = g.scale(klc, self.beta);
+                let loss = g.add(rec, kl);
+                g.backward(loss);
+                opt.step(&mut g);
+                total += g.value(loss).get(0, 0);
+            }
+            losses.push(total / data.len() as f64);
+        }
+        self.enc_kernel = g.value(enc_k).clone();
+        self.dec_kernel = g.value(dec_k).clone();
+        self.mu_head.sync_from(&g, &mu_h);
+        self.logvar_head.sync_from(&g, &lv_h);
+        self.dec_head.sync_from(&g, &dec_h);
+        losses
+    }
+
+    /// Deterministic reconstruction via the posterior mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wrong input shape.
+    pub fn reconstruct(&self, x: &Tensor) -> Tensor {
+        let hw = self.h * self.w;
+        assert_eq!(x.shape(), (1, hw), "bad input shape");
+        let mut g = Graph::new();
+        let enc_k = g.input(self.enc_kernel.clone());
+        let mu_h = self.mu_head.bind_frozen(&mut g);
+        let dec_h = self.dec_head.bind_frozen(&mut g);
+        let dec_k = g.input(self.dec_kernel.clone());
+        let xin = g.input(x.clone());
+        let fm = g.conv3x3(xin, enc_k, self.h, self.w);
+        let fm = g.silu(fm);
+        let flat = Self::to_row(&mut g, fm, self.channels, hw);
+        let mu = mu_h.forward(&mut g, flat);
+        let drow = dec_h.forward(&mut g, mu);
+        let drow = g.silu(drow);
+        let dmaps = Self::to_channels(&mut g, drow, self.channels, hw);
+        let logits = g.conv3x3(dmaps, dec_k, self.h, self.w);
+        let out = g.sigmoid(logits);
+        g.value(out).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize, hw: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| {
+                Tensor::from_vec(
+                    (0..hw).map(|j| if (i + j) % 3 == 0 { 0.9 } else { 0.1 }).collect(),
+                    1,
+                    hw,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let cfg = ConvVaeConfig {
+            h: 4,
+            w: 4,
+            channels: 2,
+            latent: 3,
+            ..ConvVaeConfig::default()
+        };
+        let mut vae = ConvVae::new(cfg);
+        let d = data(5, 16);
+        let losses = vae.train(&d, 40);
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.9),
+            "{} -> {}",
+            losses[0],
+            losses.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn reconstruction_shape_and_range() {
+        let cfg = ConvVaeConfig {
+            h: 3,
+            w: 5,
+            channels: 2,
+            latent: 2,
+            ..ConvVaeConfig::default()
+        };
+        let mut vae = ConvVae::new(cfg);
+        let d = data(3, 15);
+        vae.train(&d, 10);
+        let out = vae.reconstruct(&d[0]);
+        assert_eq!(out.shape(), (1, 15));
+        assert!(out.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(vae.raster(), (3, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad sample shape")]
+    fn rejects_wrong_shape() {
+        let mut vae = ConvVae::new(ConvVaeConfig {
+            h: 3,
+            w: 3,
+            ..ConvVaeConfig::default()
+        });
+        vae.train(&[Tensor::zeros(1, 8)], 1);
+    }
+}

@@ -1,0 +1,471 @@
+//! Legal-by-construction simulated-annealing placer.
+//!
+//! The state is combinatorial, so every visited placement is legal:
+//!
+//! * symmetric device pairs and self-symmetric devices form a vertical stack
+//!   centered on the symmetry axis (pairs straddle it, mirrored exactly);
+//! * all remaining devices live in side columns flanking the stack;
+//! * the annealer permutes the stack order and the side-column assignment,
+//!   minimizing variant-weighted HPWL.
+//!
+//! Afterwards the die is wrapped around the layout with a routing margin and
+//! boundary IO pads are emitted for input/output nets.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use af_geom::{Point, Rect};
+use af_netlist::{Circuit, DeviceId, NetId, NetType, PinId, Terminal};
+
+use crate::{PinSource, PlacedPin, Placement, PlacementVariant};
+
+/// Tuning parameters of the placer.
+#[derive(Debug, Clone)]
+pub struct PlacerConfig {
+    /// Annealing moves per placeable group.
+    pub moves_per_item: usize,
+    /// Vertical gap between stacked devices, dbu.
+    pub vgap: i64,
+    /// Horizontal gap between columns, dbu.
+    pub colgap: i64,
+    /// Gap between the two devices of a symmetric pair (axis corridor), dbu.
+    pub inner_gap: i64,
+    /// Empty routing margin around the layout, dbu.
+    pub margin: i64,
+    /// Number of side columns on each side of the symmetric stack.
+    pub side_columns: usize,
+    /// Initial temperature as a fraction of the initial cost.
+    pub t0_scale: f64,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        Self {
+            moves_per_item: 300,
+            vgap: 1_000,
+            colgap: 1_700,
+            inner_gap: 2_200,
+            margin: 3_500,
+            side_columns: 2,
+            t0_scale: 0.2,
+        }
+    }
+}
+
+/// A placeable group in the symmetric stack or a side column.
+#[derive(Debug, Clone, Copy)]
+enum Group {
+    /// Mirrored pair: `left` is placed left of the axis, `right` mirrored.
+    Pair { left: DeviceId, right: DeviceId },
+    /// Device centered on the axis.
+    SelfSym(DeviceId),
+    /// Unconstrained device.
+    #[allow(dead_code)] // documented alternative to side columns
+    Free(DeviceId),
+}
+
+/// Footprint rounded up to even dimensions so exact integer mirroring works.
+fn even_footprint(circuit: &Circuit, d: DeviceId) -> (i64, i64) {
+    let dev = circuit.device(d);
+    ((dev.width + 1) & !1, (dev.height + 1) & !1)
+}
+
+struct Layout {
+    /// Device rectangles indexed by `DeviceId`, axis at x = 0.
+    rects: Vec<Rect>,
+    /// Devices placed as the mirrored (right) member of a pair.
+    mirrored: Vec<bool>,
+}
+
+/// State of the annealer: stack order + side column contents.
+#[derive(Clone)]
+struct State {
+    /// Order of symmetric groups in the axis stack (indices into `sym`).
+    stack: Vec<usize>,
+    /// `columns[c]` = ordered free-device indices (into `free`) in column `c`.
+    /// Columns `0..side_columns` are left of the stack, the rest right.
+    columns: Vec<Vec<usize>>,
+}
+
+struct Problem<'a> {
+    circuit: &'a Circuit,
+    cfg: &'a PlacerConfig,
+    sym: Vec<Group>,
+    free: Vec<DeviceId>,
+    /// Variant-effective weight per net.
+    weights: Vec<f64>,
+}
+
+impl Problem<'_> {
+    fn realize(&self, st: &State) -> Layout {
+        let n = self.circuit.devices().len();
+        let mut rects = vec![Rect::default(); n];
+        let mut mirrored = vec![false; n];
+
+        // Symmetric stack around x = 0.
+        let mut y = 0i64;
+        for &gi in &st.stack {
+            match self.sym[gi] {
+                Group::Pair { left, right } => {
+                    let (w, h) = even_footprint(self.circuit, left);
+                    let half_gap = self.cfg.inner_gap / 2;
+                    let l = Rect::from_coords(-half_gap - w, y, -half_gap, y + h);
+                    rects[left.index()] = l;
+                    rects[right.index()] = l.mirror_x(0);
+                    mirrored[right.index()] = true;
+                    y += h + self.cfg.vgap;
+                }
+                Group::SelfSym(d) => {
+                    let (w, h) = even_footprint(self.circuit, d);
+                    rects[d.index()] = Rect::from_coords(-w / 2, y, w / 2, y + h);
+                    y += h + self.cfg.vgap;
+                }
+                Group::Free(_) => unreachable!("free groups never join the stack"),
+            }
+        }
+
+        // Width of the stack's half (for column offsets).
+        let mut stack_half = self.cfg.inner_gap / 2;
+        for &gi in &st.stack {
+            let w = match self.sym[gi] {
+                Group::Pair { left, .. } => {
+                    self.cfg.inner_gap / 2 + even_footprint(self.circuit, left).0
+                }
+                Group::SelfSym(d) => even_footprint(self.circuit, d).0 / 2,
+                Group::Free(_) => 0,
+            };
+            stack_half = stack_half.max(w);
+        }
+
+        // Side columns: left columns grow to -x, right columns to +x.
+        let ncols = st.columns.len();
+        let per_side = ncols / 2;
+        let mut left_edge = -(stack_half + self.cfg.colgap);
+        let mut right_edge = stack_half + self.cfg.colgap;
+        for c in 0..ncols {
+            let is_left = c < per_side;
+            let col = &st.columns[c];
+            let width = col
+                .iter()
+                .map(|&fi| even_footprint(self.circuit, self.free[fi]).0)
+                .max()
+                .unwrap_or(0);
+            let mut cy = 0i64;
+            for &fi in col {
+                let d = self.free[fi];
+                let (w, h) = even_footprint(self.circuit, d);
+                let x0 = if is_left { left_edge - w } else { right_edge };
+                rects[d.index()] = Rect::from_coords(x0, cy, x0 + w, cy + h);
+                cy += h + self.cfg.vgap;
+            }
+            if is_left {
+                left_edge -= width + self.cfg.colgap;
+            } else {
+                right_edge += width + self.cfg.colgap;
+            }
+        }
+
+        Layout { rects, mirrored }
+    }
+
+    /// Variant-weighted HPWL over device pin centers.
+    fn cost(&self, layout: &Layout) -> f64 {
+        let mut lo = vec![(i64::MAX, i64::MAX); self.circuit.nets().len()];
+        let mut hi = vec![(i64::MIN, i64::MIN); self.circuit.nets().len()];
+        for pin in self.circuit.pins() {
+            let r = &layout.rects[pin.device.index()];
+            let c = r.center();
+            let ni = pin.net.index();
+            lo[ni] = (lo[ni].0.min(c.x), lo[ni].1.min(c.y));
+            hi[ni] = (hi[ni].0.max(c.x), hi[ni].1.max(c.y));
+        }
+        let mut total = 0.0;
+        for (ni, w) in self.weights.iter().enumerate() {
+            if hi[ni].0 >= lo[ni].0 {
+                let hp = (hi[ni].0 - lo[ni].0) + (hi[ni].1 - lo[ni].1);
+                total += w * hp as f64;
+            }
+        }
+        total
+    }
+}
+
+/// Runs the placer.
+pub(crate) fn run(circuit: &Circuit, variant: PlacementVariant, cfg: &PlacerConfig) -> Placement {
+    let mut in_pair = vec![false; circuit.devices().len()];
+    let mut sym = Vec::new();
+    for &(a, b) in circuit.symmetry().device_pairs() {
+        sym.push(Group::Pair { left: a, right: b });
+        in_pair[a.index()] = true;
+        in_pair[b.index()] = true;
+    }
+    for &d in circuit.symmetry().self_devices() {
+        sym.push(Group::SelfSym(d));
+        in_pair[d.index()] = true;
+    }
+    let free: Vec<DeviceId> = (0..circuit.devices().len())
+        .filter(|&i| !in_pair[i])
+        .map(|i| DeviceId::new(i as u32))
+        .collect();
+
+    let weights: Vec<f64> = circuit
+        .nets()
+        .iter()
+        .map(|n| variant.net_weight(n.weight, n.ty))
+        .collect();
+
+    let problem = Problem {
+        circuit,
+        cfg,
+        sym,
+        free,
+        weights,
+    };
+
+    let mut rng = ChaCha8Rng::seed_from_u64(variant.seed() ^ hash_name(circuit.name()));
+
+    // Initial state: stack in declaration order; free devices round-robin.
+    let ncols = (cfg.side_columns * 2).max(2);
+    let mut columns = vec![Vec::new(); ncols];
+    for (i, _) in problem.free.iter().enumerate() {
+        columns[i % ncols].push(i);
+    }
+    let mut state = State {
+        stack: (0..problem.sym.len()).collect(),
+        columns,
+    };
+
+    let mut cost = problem.cost(&problem.realize(&state));
+    let items = problem.sym.len() + problem.free.len();
+    let total_moves = cfg.moves_per_item * items.max(1);
+    let mut temp = cost.max(1.0) * cfg.t0_scale;
+    let alpha = (1e-3f64).powf(1.0 / total_moves.max(1) as f64);
+
+    let mut best_state = state.clone();
+    let mut best_cost = cost;
+
+    for _ in 0..total_moves {
+        let candidate = propose(&state, &problem, &mut rng);
+        let c = problem.cost(&problem.realize(&candidate));
+        let accept = c <= cost || rng.gen::<f64>() < ((cost - c) / temp).exp();
+        if accept {
+            state = candidate;
+            cost = c;
+            if cost < best_cost {
+                best_cost = cost;
+                best_state = state.clone();
+            }
+        }
+        temp *= alpha;
+    }
+
+    finalize(&problem, &best_state, variant)
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    })
+}
+
+fn propose(state: &State, problem: &Problem<'_>, rng: &mut ChaCha8Rng) -> State {
+    let mut s = state.clone();
+    let nsym = s.stack.len();
+    let nfree = problem.free.len();
+    let pick_stack = nsym >= 2 && (nfree == 0 || rng.gen_bool(0.5));
+    if pick_stack {
+        let i = rng.gen_range(0..nsym);
+        let j = rng.gen_range(0..nsym);
+        s.stack.swap(i, j);
+    } else if nfree > 0 {
+        // Move a random free device to a random column position, or swap two.
+        if rng.gen_bool(0.5) {
+            let from = pick_nonempty_column(&s, rng);
+            let Some(from) = from else { return s };
+            let idx = rng.gen_range(0..s.columns[from].len());
+            let item = s.columns[from].remove(idx);
+            let to = rng.gen_range(0..s.columns.len());
+            let pos = rng.gen_range(0..=s.columns[to].len());
+            s.columns[to].insert(pos, item);
+        } else {
+            let (Some(a), Some(b)) = (
+                pick_nonempty_column(&s, rng),
+                pick_nonempty_column(&s, rng),
+            ) else {
+                return s;
+            };
+            let ia = rng.gen_range(0..s.columns[a].len());
+            let ib = rng.gen_range(0..s.columns[b].len());
+            if a == b && ia == ib {
+                return s;
+            }
+            let va = s.columns[a][ia];
+            let vb = s.columns[b][ib];
+            s.columns[a][ia] = vb;
+            s.columns[b][ib] = va;
+        }
+    }
+    s
+}
+
+fn pick_nonempty_column(s: &State, rng: &mut ChaCha8Rng) -> Option<usize> {
+    let nonempty: Vec<usize> = (0..s.columns.len())
+        .filter(|&c| !s.columns[c].is_empty())
+        .collect();
+    if nonempty.is_empty() {
+        None
+    } else {
+        Some(nonempty[rng.gen_range(0..nonempty.len())])
+    }
+}
+
+/// Pin square side (one routing track), dbu. Kept even for exact mirroring.
+const PIN_SIZE: i64 = 140;
+
+fn pin_rect(dev_rect: &Rect, terminal: Terminal, mirrored: bool) -> Rect {
+    let c = dev_rect.center();
+    // Gate on the left edge, bulk on the right (swapped for mirrored devices);
+    // drain on top, source at bottom; capacitor/resistor plates top/bottom.
+    let (x, y) = match (terminal, mirrored) {
+        (Terminal::Gate, false) | (Terminal::Bulk, true) => (dev_rect.lo().x, c.y),
+        (Terminal::Gate, true) | (Terminal::Bulk, false) => (dev_rect.hi().x, c.y),
+        (Terminal::Drain | Terminal::Pos, _) => (c.x, dev_rect.hi().y),
+        (Terminal::Source | Terminal::Neg, _) => (c.x, dev_rect.lo().y),
+    };
+    Rect::centered(Point::new(x, y), PIN_SIZE, PIN_SIZE)
+}
+
+fn finalize(problem: &Problem<'_>, state: &State, variant: PlacementVariant) -> Placement {
+    let circuit = problem.circuit;
+    let cfg = problem.cfg;
+    let layout = problem.realize(state);
+
+    // Wrap the die with a routing margin and translate to positive coords.
+    let mut bbox: Option<Rect> = None;
+    for r in &layout.rects {
+        bbox = Some(match bbox {
+            Some(b) => b.union(r),
+            None => *r,
+        });
+    }
+    let bbox = bbox.expect("circuit has at least one device");
+    let die0 = bbox.expanded(cfg.margin);
+    let delta = Point::new(-die0.lo().x, -die0.lo().y);
+    // Keep the axis coordinate even so integer mirroring stays exact.
+    let delta = Point::new((delta.x + 1) & !1, delta.y);
+    let die = die0.translated(delta);
+    let axis_x = delta.x; // axis was at x = 0
+
+    let device_rects: Vec<Rect> = layout.rects.iter().map(|r| r.translated(delta)).collect();
+
+    // Device pins.
+    let mut pins = Vec::new();
+    for (i, pin) in circuit.pins().iter().enumerate() {
+        let dev_rect = &device_rects[pin.device.index()];
+        let rect = pin_rect(dev_rect, pin.terminal, layout.mirrored[pin.device.index()]);
+        pins.push(PlacedPin {
+            net: pin.net,
+            source: PinSource::Device(PinId::new(i as u32)),
+            rect,
+            layer: 0,
+        });
+    }
+
+    // Boundary IO pads. Paired IO nets get mirrored pads; lone IO nets a
+    // centered pad. Inputs at the bottom edge, outputs at the top.
+    // Symmetric pads must stay inside the die even when the axis is
+    // off-center, so derive the offset from the narrower half.
+    let half_span = (axis_x - die.lo().x).min(die.hi().x - axis_x);
+    let pad_off = ((half_span / 2) & !1).max(PIN_SIZE);
+    let bottom_y = die.lo().y + cfg.margin / 3;
+    let top_y = die.hi().y - cfg.margin / 3;
+    let mut pad_done = vec![false; circuit.nets().len()];
+    let add_pad = |pins: &mut Vec<PlacedPin>, net: NetId, x: i64, y: i64| {
+        pins.push(PlacedPin {
+            net,
+            source: PinSource::Pad,
+            rect: Rect::centered(Point::new(x, y), PIN_SIZE, PIN_SIZE),
+            layer: 0,
+        });
+    };
+    for &(a, b) in circuit.symmetry().net_pairs() {
+        for (net, sgn) in [(a, -1), (b, 1)] {
+            if pad_done[net.index()] {
+                continue;
+            }
+            let ty = circuit.net(net).ty;
+            let y = match ty {
+                NetType::Input => bottom_y,
+                NetType::Output => top_y,
+                _ => continue,
+            };
+            add_pad(&mut pins, net, axis_x + sgn * pad_off, y);
+            pad_done[net.index()] = true;
+        }
+    }
+    for (i, net) in circuit.nets().iter().enumerate() {
+        let id = NetId::new(i as u32);
+        if pad_done[i] || net.pins.is_empty() {
+            continue;
+        }
+        match net.ty {
+            NetType::Input => add_pad(&mut pins, id, axis_x, bottom_y),
+            NetType::Output => add_pad(&mut pins, id, axis_x, top_y),
+            _ => continue,
+        }
+        pad_done[i] = true;
+    }
+
+    Placement::new(
+        circuit.name().to_string(),
+        variant,
+        die,
+        axis_x,
+        device_rects,
+        pins,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_netlist::benchmarks;
+
+    #[test]
+    fn even_footprints_are_even() {
+        let c = benchmarks::ota1();
+        for i in 0..c.devices().len() {
+            let (w, h) = even_footprint(&c, DeviceId::new(i as u32));
+            assert_eq!(w % 2, 0);
+            assert!(h > 0);
+        }
+    }
+
+    #[test]
+    fn pin_rect_mirror_consistency() {
+        let r = Rect::from_coords(0, 0, 1_000, 600);
+        let axis = 2_000;
+        let rm = r.mirror_x(axis);
+        for t in [Terminal::Gate, Terminal::Drain, Terminal::Source, Terminal::Bulk] {
+            let p = pin_rect(&r, t, false);
+            let pm = pin_rect(&rm, t, true);
+            assert_eq!(p.mirror_x(axis), pm, "terminal {t}");
+        }
+    }
+
+    #[test]
+    fn hash_name_distinguishes() {
+        assert_ne!(hash_name("OTA1"), hash_name("OTA2"));
+    }
+
+    #[test]
+    fn smaller_config_still_legal() {
+        let c = benchmarks::ota2();
+        let cfg = PlacerConfig {
+            moves_per_item: 10,
+            ..PlacerConfig::default()
+        };
+        let p = crate::place_with(&c, PlacementVariant::B, &cfg);
+        p.check(&c).unwrap();
+    }
+}

@@ -1,0 +1,403 @@
+#![warn(missing_docs)]
+//! Symmetry-aware analog placement for the AnalogFold reproduction.
+//!
+//! The paper takes placements as given (produced by MAGICAL's analog placer,
+//! one per net-weight variant A/B/C…). This crate substitutes a
+//! simulated-annealing placer that:
+//!
+//! * mirrors symmetric device pairs across a vertical symmetry axis,
+//! * centers self-symmetric devices on the axis,
+//! * minimizes net-weighted half-perimeter wirelength,
+//! * legalizes to a non-overlapping placement inside the die,
+//! * adds boundary IO pads for input/output nets (their routing targets),
+//! * assigns every device pin a concrete M1 pin shape.
+//!
+//! [`PlacementVariant`] reproduces the paper's "A/B/C/D represents placements
+//! of different net weights": each variant reweights net classes and reseeds
+//! the annealer, yielding distinct legal placements of the same circuit.
+//!
+//! # Examples
+//!
+//! ```
+//! use af_netlist::benchmarks;
+//! use af_place::{place, PlacementVariant};
+//!
+//! let circuit = benchmarks::ota1();
+//! let placement = place(&circuit, PlacementVariant::A);
+//! placement.check(&circuit).unwrap();
+//! ```
+
+mod annealer;
+mod variant;
+
+pub use annealer::PlacerConfig;
+pub use variant::PlacementVariant;
+
+use serde::{Deserialize, Serialize};
+
+use af_geom::Rect;
+use af_netlist::{Circuit, NetId, PinId};
+
+/// Where a routing pin target comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PinSource {
+    /// A device terminal (refers back to the netlist pin).
+    Device(PinId),
+    /// A boundary IO pad synthesized by the placer.
+    Pad,
+}
+
+/// A physical pin shape the router must reach: a rectangle on a metal layer,
+/// belonging to a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedPin {
+    /// Net this pin belongs to.
+    pub net: NetId,
+    /// Origin of the pin.
+    pub source: PinSource,
+    /// Pin geometry in dbu.
+    pub rect: Rect,
+    /// Metal layer of the pin shape (0 = M1).
+    pub layer: u8,
+}
+
+/// Error from [`Placement::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementError(pub String);
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "illegal placement: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// A legal placement of one circuit: die, device rectangles, pin shapes, and
+/// the symmetry axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    circuit_name: String,
+    variant: PlacementVariant,
+    die: Rect,
+    axis_x: i64,
+    device_rects: Vec<Rect>,
+    pins: Vec<PlacedPin>,
+}
+
+impl Placement {
+    pub(crate) fn new(
+        circuit_name: String,
+        variant: PlacementVariant,
+        die: Rect,
+        axis_x: i64,
+        device_rects: Vec<Rect>,
+        pins: Vec<PlacedPin>,
+    ) -> Self {
+        Self {
+            circuit_name,
+            variant,
+            die,
+            axis_x,
+            device_rects,
+            pins,
+        }
+    }
+
+    /// Name of the placed circuit.
+    pub fn circuit_name(&self) -> &str {
+        &self.circuit_name
+    }
+
+    /// The net-weight variant that produced this placement.
+    pub fn variant(&self) -> PlacementVariant {
+        self.variant
+    }
+
+    /// Die outline.
+    pub fn die(&self) -> Rect {
+        self.die
+    }
+
+    /// X coordinate of the vertical symmetry axis.
+    pub fn axis_x(&self) -> i64 {
+        self.axis_x
+    }
+
+    /// Placed rectangle of each device, indexed by `DeviceId`.
+    pub fn device_rects(&self) -> &[Rect] {
+        &self.device_rects
+    }
+
+    /// Every routable pin shape (device pins + IO pads).
+    pub fn pins(&self) -> &[PlacedPin] {
+        &self.pins
+    }
+
+    /// Pin shapes belonging to `net`.
+    pub fn pins_of_net(&self, net: NetId) -> impl Iterator<Item = &PlacedPin> {
+        self.pins.iter().filter(move |p| p.net == net)
+    }
+
+    /// Net-weighted half-perimeter wirelength over placed pin centers.
+    pub fn weighted_hpwl(&self, circuit: &Circuit) -> f64 {
+        let mut total = 0.0;
+        for (i, net) in circuit.nets().iter().enumerate() {
+            let id = NetId::new(i as u32);
+            let mut bbox: Option<Rect> = None;
+            for pin in self.pins_of_net(id) {
+                let c = pin.rect.center();
+                let r = Rect::new(c, c);
+                bbox = Some(match bbox {
+                    Some(b) => b.union(&r),
+                    None => r,
+                });
+            }
+            if let Some(b) = bbox {
+                total += net.weight * b.half_perimeter() as f64;
+            }
+        }
+        total
+    }
+
+    /// Verifies legality:
+    ///
+    /// * every device inside the die, no interior overlap between devices,
+    /// * symmetric pairs exactly mirrored, self-symmetric devices centered,
+    /// * every non-supply net has at least two pin shapes,
+    /// * every pin shape inside the die.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlacementError`] describing the first violation.
+    pub fn check(&self, circuit: &Circuit) -> Result<(), PlacementError> {
+        let n = circuit.devices().len();
+        if self.device_rects.len() != n {
+            return Err(PlacementError(format!(
+                "{} device rects for {} devices",
+                self.device_rects.len(),
+                n
+            )));
+        }
+        for (i, r) in self.device_rects.iter().enumerate() {
+            if !self.die.contains_rect(r) {
+                return Err(PlacementError(format!(
+                    "device `{}` {} outside die {}",
+                    circuit.devices()[i].name,
+                    r,
+                    self.die
+                )));
+            }
+            for (j, r2) in self.device_rects.iter().enumerate().skip(i + 1) {
+                if r.overlaps_interior(r2) {
+                    return Err(PlacementError(format!(
+                        "devices `{}` and `{}` overlap",
+                        circuit.devices()[i].name,
+                        circuit.devices()[j].name
+                    )));
+                }
+            }
+        }
+        for &(a, b) in circuit.symmetry().device_pairs() {
+            let (ra, rb) = (self.device_rects[a.index()], self.device_rects[b.index()]);
+            if ra.mirror_x(self.axis_x) != rb {
+                return Err(PlacementError(format!(
+                    "pair `{}`/`{}` not mirrored about x={}",
+                    circuit.device(a).name,
+                    circuit.device(b).name,
+                    self.axis_x
+                )));
+            }
+        }
+        for &d in circuit.symmetry().self_devices() {
+            let r = self.device_rects[d.index()];
+            if r.mirror_x(self.axis_x) != r {
+                return Err(PlacementError(format!(
+                    "self-symmetric `{}` not centered on axis",
+                    circuit.device(d).name
+                )));
+            }
+        }
+        for (i, net) in circuit.nets().iter().enumerate() {
+            let count = self.pins_of_net(NetId::new(i as u32)).count();
+            if !net.ty.is_supply() && count < 2 {
+                return Err(PlacementError(format!(
+                    "net `{}` has {count} placed pin(s)",
+                    net.name
+                )));
+            }
+        }
+        for pin in &self.pins {
+            if !self.die.contains_rect(&pin.rect) {
+                return Err(PlacementError(format!(
+                    "pin of net {} at {} outside die",
+                    pin.net, pin.rect
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Places `circuit` under the given net-weight variant with default placer
+/// settings.
+///
+/// The result is always legal; legality is asserted in debug builds and
+/// guaranteed by the legalizer in release builds.
+pub fn place(circuit: &Circuit, variant: PlacementVariant) -> Placement {
+    place_with(circuit, variant, &PlacerConfig::default())
+}
+
+/// Places with explicit annealer settings.
+pub fn place_with(circuit: &Circuit, variant: PlacementVariant, cfg: &PlacerConfig) -> Placement {
+    let placement = annealer::run(circuit, variant, cfg);
+    debug_assert!(
+        placement.check(circuit).is_ok(),
+        "placer produced illegal placement: {:?}",
+        placement.check(circuit)
+    );
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_netlist::benchmarks;
+
+    #[test]
+    fn ota1_all_variants_legal() {
+        let c = benchmarks::ota1();
+        for v in PlacementVariant::ALL {
+            let p = place(&c, v);
+            p.check(&c).unwrap_or_else(|e| panic!("{v:?}: {e}"));
+            assert_eq!(p.variant(), v);
+            assert!(p.weighted_hpwl(&c) > 0.0);
+        }
+    }
+
+    #[test]
+    fn ota3_legal() {
+        let c = benchmarks::ota3();
+        let p = place(&c, PlacementVariant::A);
+        p.check(&c).unwrap();
+    }
+
+    #[test]
+    fn variants_differ() {
+        let c = benchmarks::ota1();
+        let a = place(&c, PlacementVariant::A);
+        let b = place(&c, PlacementVariant::B);
+        assert_ne!(a.device_rects(), b.device_rects());
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let c = benchmarks::ota2();
+        let p1 = place(&c, PlacementVariant::A);
+        let p2 = place(&c, PlacementVariant::A);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn io_nets_have_pads() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let vinp = c.net_by_name("vinp").unwrap();
+        let pads: Vec<_> = p
+            .pins_of_net(vinp)
+            .filter(|pin| pin.source == PinSource::Pad)
+            .collect();
+        assert_eq!(pads.len(), 1);
+        // the pad pair is symmetric with vinn's pad
+        let vinn = c.net_by_name("vinn").unwrap();
+        let pad_n = p
+            .pins_of_net(vinn)
+            .find(|pin| pin.source == PinSource::Pad)
+            .unwrap();
+        assert_eq!(pads[0].rect.mirror_x(p.axis_x()), pad_n.rect);
+    }
+
+    #[test]
+    fn symmetric_pins_mirror() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let m1 = c.device_by_name("M1").unwrap();
+        let m2 = c.device_by_name("M2").unwrap();
+        let gate_pin = |d| {
+            c.device_pins(d)
+                .find(|(_, pin)| pin.terminal == af_netlist::Terminal::Gate)
+                .map(|(id, _)| id)
+                .unwrap()
+        };
+        let rect_of = |pid| {
+            p.pins()
+                .iter()
+                .find(|pp| pp.source == PinSource::Device(pid))
+                .unwrap()
+                .rect
+        };
+        let (r1, r2) = (rect_of(gate_pin(m1)), rect_of(gate_pin(m2)));
+        assert_eq!(r1.mirror_x(p.axis_x()), r2);
+    }
+
+    #[test]
+    fn variant_d_is_legal_and_distinct() {
+        let c = benchmarks::ota3();
+        let d = place(&c, PlacementVariant::D);
+        d.check(&c).unwrap();
+        let a = place(&c, PlacementVariant::A);
+        assert_ne!(a.device_rects(), d.device_rects());
+    }
+
+    #[test]
+    fn single_side_column_config_is_legal() {
+        let c = benchmarks::ota1();
+        let cfg = PlacerConfig {
+            side_columns: 1,
+            moves_per_item: 50,
+            ..PlacerConfig::default()
+        };
+        let p = place_with(&c, PlacementVariant::B, &cfg);
+        p.check(&c).unwrap();
+    }
+
+    #[test]
+    fn wider_margin_grows_die() {
+        let c = benchmarks::ota1();
+        let narrow = place_with(
+            &c,
+            PlacementVariant::A,
+            &PlacerConfig {
+                margin: 2_000,
+                ..PlacerConfig::default()
+            },
+        );
+        let wide = place_with(
+            &c,
+            PlacementVariant::A,
+            &PlacerConfig {
+                margin: 8_000,
+                ..PlacerConfig::default()
+            },
+        );
+        assert!(wide.die().area() > narrow.die().area());
+    }
+
+    #[test]
+    fn hpwl_reflects_weights() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let w = p.weighted_hpwl(&c);
+        assert!(w.is_finite() && w > 0.0);
+    }
+
+    #[test]
+    fn pins_inside_die_on_m1() {
+        let c = benchmarks::ota4();
+        let p = place(&c, PlacementVariant::C);
+        for pin in p.pins() {
+            assert!(p.die().contains_rect(&pin.rect));
+            assert_eq!(pin.layer, 0);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+use serde::{Deserialize, Serialize};
+
+use af_netlist::NetType;
+
+/// A net-weight variant: the paper's "A/B/C/D represents placements of
+/// different net weights".
+///
+/// Each variant scales the netlist's net weights by class and reseeds the
+/// annealer, so the same circuit yields structurally different legal
+/// placements.
+///
+/// # Examples
+///
+/// ```
+/// use af_place::PlacementVariant;
+///
+/// assert_eq!(PlacementVariant::ALL.len(), 4);
+/// assert_eq!(PlacementVariant::A.label(), "A");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementVariant {
+    /// Baseline weights as annotated in the netlist.
+    A,
+    /// Input-emphasis: differential inputs dominate.
+    B,
+    /// Output-emphasis: outputs and sensitive nodes dominate.
+    C,
+    /// Uniform weights (every net equal).
+    D,
+}
+
+impl PlacementVariant {
+    /// All variants in order.
+    pub const ALL: [PlacementVariant; 4] = [
+        PlacementVariant::A,
+        PlacementVariant::B,
+        PlacementVariant::C,
+        PlacementVariant::D,
+    ];
+
+    /// Single-letter label used in experiment ids like `OTA1-A`.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementVariant::A => "A",
+            PlacementVariant::B => "B",
+            PlacementVariant::C => "C",
+            PlacementVariant::D => "D",
+        }
+    }
+
+    /// Parses a label.
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "A" => Some(PlacementVariant::A),
+            "B" => Some(PlacementVariant::B),
+            "C" => Some(PlacementVariant::C),
+            "D" => Some(PlacementVariant::D),
+            _ => None,
+        }
+    }
+
+    /// RNG seed for the annealer under this variant.
+    pub fn seed(self) -> u64 {
+        match self {
+            PlacementVariant::A => 0xA11A,
+            PlacementVariant::B => 0xB22B,
+            PlacementVariant::C => 0xC33C,
+            PlacementVariant::D => 0xD44D,
+        }
+    }
+
+    /// Multiplier applied to the weight of a net of type `ty`.
+    pub fn weight_scale(self, ty: NetType) -> f64 {
+        match self {
+            PlacementVariant::A => 1.0,
+            PlacementVariant::B => match ty {
+                NetType::Input => 4.0,
+                NetType::Sensitive => 1.5,
+                _ => 1.0,
+            },
+            PlacementVariant::C => match ty {
+                NetType::Output => 4.0,
+                NetType::Sensitive => 2.5,
+                NetType::Input => 0.5,
+                _ => 1.0,
+            },
+            PlacementVariant::D => 0.0, // marker: uniform weights
+        }
+    }
+
+    /// Effective weight of a net with base weight `base` and type `ty`.
+    pub fn net_weight(self, base: f64, ty: NetType) -> f64 {
+        if self == PlacementVariant::D {
+            1.0
+        } else {
+            base * self.weight_scale(ty)
+        }
+    }
+}
+
+impl std::fmt::Display for PlacementVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_roundtrip() {
+        for v in PlacementVariant::ALL {
+            assert_eq!(PlacementVariant::from_label(v.label()), Some(v));
+        }
+        assert_eq!(PlacementVariant::from_label("a"), Some(PlacementVariant::A));
+        assert_eq!(PlacementVariant::from_label("x"), None);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let seeds: Vec<_> = PlacementVariant::ALL.iter().map(|v| v.seed()).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in seeds.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn variant_d_is_uniform() {
+        assert_eq!(PlacementVariant::D.net_weight(7.0, NetType::Input), 1.0);
+        assert_eq!(PlacementVariant::D.net_weight(0.5, NetType::Power), 1.0);
+    }
+
+    #[test]
+    fn variant_b_boosts_inputs() {
+        let b = PlacementVariant::B.net_weight(2.0, NetType::Input);
+        let a = PlacementVariant::A.net_weight(2.0, NetType::Input);
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,231 @@
+//! Pin access point extraction.
+//!
+//! The paper (Definition 1): *pin access points refer to the intersections
+//! between pin geometry and routing grids; each pin has at least one access
+//! point.* On a coarsened grid a small pin shape may not contain a grid node,
+//! so the extractor falls back to the nearest node, spiralling outward past
+//! nodes already taken by other nets.
+
+use af_geom::{GridPoint, Point3};
+use af_netlist::{Circuit, NetId};
+use af_place::Placement;
+
+use crate::grid::RoutingGrid;
+
+/// One pin access point: a grid node bound to a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessPoint {
+    /// Owning net.
+    pub net: NetId,
+    /// Grid node.
+    pub node: GridPoint,
+    /// dbu location of the node.
+    pub dbu: Point3,
+    /// Index of the placed pin this AP came from.
+    pub pin_index: usize,
+}
+
+/// All access points of a placement, grouped per net.
+#[derive(Debug, Clone, Default)]
+pub struct PinAccessMap {
+    /// `aps[net.index()]` = access points of that net.
+    per_net: Vec<Vec<AccessPoint>>,
+    /// Flat list in placed-pin order.
+    all: Vec<AccessPoint>,
+}
+
+impl PinAccessMap {
+    /// Extracts access points for every placed pin and claims them in the
+    /// grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pin cannot be given any access point (grid fully
+    /// congested around it) — placements produced by `af-place` always leave
+    /// room.
+    pub fn extract(circuit: &Circuit, placement: &Placement, grid: &mut RoutingGrid) -> Self {
+        let mut per_net = vec![Vec::new(); circuit.nets().len()];
+        let mut all = Vec::new();
+        for (pin_index, pin) in placement.pins().iter().enumerate() {
+            let center = pin.rect.center();
+            let node = find_node(grid, center, pin.layer, pin.net)
+                .unwrap_or_else(|| panic!("no access point for pin {pin_index} of {}", pin.net));
+            let idx = grid.dim().flat_index(node);
+            // Pin shapes may fall inside a device keepout; the pin itself must
+            // stay routable.
+            if grid.is_blocked(idx) {
+                grid.force_free(idx);
+            }
+            grid.claim_pin(idx, pin.net);
+            // Pins surrounded by device blockage (e.g. on a capacitor plate)
+            // need a via escape: free the column straight above the pin until
+            // the first unblocked layer.
+            for l in (node.l + 1)..grid.dim().layers() {
+                let up = af_geom::GridPoint::new(node.x, node.y, l);
+                let uidx = grid.dim().flat_index(up);
+                if grid.is_blocked(uidx) {
+                    // Reserve the escape for this net: it is the pin's only
+                    // way out, so no other net may squat on it.
+                    grid.force_free(uidx);
+                    grid.claim_pin(uidx, pin.net);
+                } else {
+                    break;
+                }
+            }
+            let ap = AccessPoint {
+                net: pin.net,
+                node,
+                dbu: grid.dim().to_dbu(node),
+                pin_index,
+            };
+            per_net[pin.net.index()].push(ap);
+            all.push(ap);
+        }
+        Self { per_net, all }
+    }
+
+    /// Access points of one net.
+    pub fn of_net(&self, net: NetId) -> &[AccessPoint] {
+        &self.per_net[net.index()]
+    }
+
+    /// Every access point, in placed-pin order.
+    pub fn all(&self) -> &[AccessPoint] {
+        &self.all
+    }
+
+    /// Total number of access points.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether no access points were extracted.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+}
+
+/// Nearest usable node to `center` on `layer` for `net`: the snapped node if
+/// it is not another net's pin, otherwise a spiral search outward.
+fn find_node(
+    grid: &RoutingGrid,
+    center: af_geom::Point,
+    layer: u8,
+    net: NetId,
+) -> Option<GridPoint> {
+    let dim = *grid.dim();
+    let base = dim.snap(center, layer).or_else(|| {
+        // Clamp to the grid if the pin sits within half a pitch of the edge.
+        let x = (center.x - dim.origin().x).clamp(0, (i64::from(dim.nx()) - 1) * dim.pitch());
+        let y = (center.y - dim.origin().y).clamp(0, (i64::from(dim.ny()) - 1) * dim.pitch());
+        dim.snap(af_geom::Point::new(dim.origin().x + x, dim.origin().y + y), layer)
+    })?;
+    let usable = |g: GridPoint| {
+        let idx = dim.flat_index(g);
+        match grid.owner(idx) {
+            Some(owner) => owner == net && !grid.is_pin(idx),
+            // Blocked nodes are force-freed by the caller; a free node is fine.
+            None => true,
+        }
+    };
+    if usable(base) {
+        return Some(base);
+    }
+    for radius in 1..=4i64 {
+        for dy in -radius..=radius {
+            for dx in -radius..=radius {
+                if dx.abs().max(dy.abs()) != radius {
+                    continue;
+                }
+                let x = i64::from(base.x) + dx;
+                let y = i64::from(base.y) + dy;
+                if x < 0 || y < 0 || x >= i64::from(dim.nx()) || y >= i64::from(dim.ny()) {
+                    continue;
+                }
+                let g = GridPoint::new(x as u32, y as u32, layer);
+                if usable(g) {
+                    return Some(g);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_netlist::benchmarks;
+    use af_place::{place, PlacementVariant};
+    use af_tech::Technology;
+
+    #[test]
+    fn every_pin_gets_an_access_point() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let mut g = RoutingGrid::new(&c, &p, &t, 2);
+        let aps = PinAccessMap::extract(&c, &p, &mut g);
+        assert_eq!(aps.len(), p.pins().len());
+        assert!(!aps.is_empty());
+        for ap in aps.all() {
+            let idx = g.dim().flat_index(ap.node);
+            assert_eq!(g.owner(idx), Some(ap.net));
+            assert!(g.is_pin(idx));
+        }
+    }
+
+    #[test]
+    fn per_net_grouping_consistent() {
+        let c = benchmarks::ota3();
+        let p = place(&c, PlacementVariant::B);
+        let t = Technology::nm40();
+        let mut g = RoutingGrid::new(&c, &p, &t, 2);
+        let aps = PinAccessMap::extract(&c, &p, &mut g);
+        let mut count = 0;
+        for (i, _) in c.nets().iter().enumerate() {
+            let net = NetId::new(i as u32);
+            for ap in aps.of_net(net) {
+                assert_eq!(ap.net, net);
+                count += 1;
+            }
+        }
+        assert_eq!(count, aps.len());
+    }
+
+    #[test]
+    fn distinct_nets_get_distinct_nodes() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let mut g = RoutingGrid::new(&c, &p, &t, 2);
+        let aps = PinAccessMap::extract(&c, &p, &mut g);
+        for (i, a) in aps.all().iter().enumerate() {
+            for b in aps.all().iter().skip(i + 1) {
+                if a.net != b.net {
+                    assert_ne!(a.node, b.node, "{} vs {}", a.net, b.net);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_pair_aps_mirror() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let mut g = RoutingGrid::new(&c, &p, &t, 2);
+        let aps = PinAccessMap::extract(&c, &p, &mut g);
+        let (na, nb) = c.symmetric_net_pairs()[0];
+        let a_nodes: Vec<_> = aps.of_net(na).iter().map(|ap| ap.node).collect();
+        let b_nodes: Vec<_> = aps.of_net(nb).iter().map(|ap| ap.node).collect();
+        assert_eq!(a_nodes.len(), b_nodes.len());
+        for an in &a_nodes {
+            let m = g.mirror(*an).expect("mirror in grid");
+            assert!(
+                b_nodes.contains(&m),
+                "mirror of {an} = {m} not among {b_nodes:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! A* maze search over the routing grid.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use af_geom::{Axis, Dir3, GridPoint};
+use af_netlist::NetId;
+
+use crate::grid::RoutingGrid;
+use crate::guidance::RoutingGuidance;
+use crate::router::RouterConfig;
+
+/// Reusable search scratch space (stamped so clearing is O(1) per search).
+#[derive(Debug, Default)]
+pub(crate) struct SearchBuffers {
+    dist: Vec<f64>,
+    came: Vec<u32>,
+    stamp: Vec<u32>,
+    target_stamp: Vec<u32>,
+    cur: u32,
+}
+
+impl SearchBuffers {
+    pub(crate) fn ensure(&mut self, len: usize) {
+        if self.dist.len() < len {
+            self.dist.resize(len, 0.0);
+            self.came.resize(len, u32::MAX);
+            self.stamp.resize(len, 0);
+            self.target_stamp.resize(len, 0);
+        }
+    }
+
+    fn next_gen(&mut self) {
+        self.cur = self.cur.wrapping_add(1);
+        if self.cur == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.target_stamp.iter_mut().for_each(|s| *s = 0);
+            self.cur = 1;
+        }
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    f: f64,
+    g: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // min-heap on f, tie-break larger g first (deeper nodes explored first)
+        other
+            .f
+            .partial_cmp(&self.f)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.g.partial_cmp(&other.g).unwrap_or(Ordering::Equal))
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Outcome of one A* run: the path from a source to a target, source first.
+pub(crate) struct FoundPath {
+    pub nodes: Vec<usize>,
+    /// Total path cost (useful to diagnostics and future cost-based pruning).
+    #[allow(dead_code)]
+    pub cost: f64,
+}
+
+/// Per-step parameters captured once per net route.
+pub(crate) struct StepCost<'a> {
+    pub grid: &'a RoutingGrid,
+    pub guidance: &'a RoutingGuidance,
+    pub cfg: &'a RouterConfig,
+    pub net: NetId,
+    /// Partner of a symmetric pair (its resources look like our own), and
+    /// whether passability must also hold at the mirror node.
+    pub mirror_net: Option<NetId>,
+    pub enforce_mirror: bool,
+}
+
+impl StepCost<'_> {
+    /// Whether the search may stand on `idx` at all.
+    fn passable(&self, idx: usize) -> bool {
+        let grid = self.grid;
+        if grid.is_blocked(idx) {
+            return false;
+        }
+        if let Some(owner) = grid.owner(idx) {
+            if owner != self.net && Some(owner) != self.mirror_net && grid.is_pin(idx) {
+                return false; // never touch another net's pin
+            }
+        }
+        if self.enforce_mirror {
+            let g = grid.dim().from_flat(idx);
+            // Mirrored routing is confined to the net's own (left) half-plane
+            // so a route can never collide with its own mirror image.
+            if g.x >= grid.axis_col() {
+                return false;
+            }
+            match grid.mirror(g) {
+                None => return false,
+                Some(m) => {
+                    let midx = grid.dim().flat_index(m);
+                    if grid.is_blocked(midx) {
+                        return false;
+                    }
+                    if let Some(owner) = grid.owner(midx) {
+                        if owner != self.net
+                            && Some(owner) != self.mirror_net
+                            && grid.is_pin(midx)
+                        {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Cost of stepping onto `idx` along `axis`.
+    fn enter_cost(&self, idx: usize, axis: Axis, layer: u8) -> f64 {
+        let grid = self.grid;
+        let cfg = self.cfg;
+        let pos = grid.node_dbu(idx);
+        let mut cost = match axis {
+            Axis::Z => cfg.via_cost,
+            a => {
+                let preferred = grid_preferred(layer, a);
+                if preferred {
+                    1.0
+                } else {
+                    cfg.wrong_dir_mult
+                }
+            }
+        };
+        cost *= self.guidance.multiplier(self.net, pos, axis).max(cfg.min_guidance);
+        // Congestion negotiation. History applies even on currently-free
+        // nodes (PathFinder): a node that keeps being contested must repel
+        // every net, not just the late-comer.
+        let mut penalty = f64::from(grid.history(idx));
+        if let Some(owner) = grid.owner(idx) {
+            if owner == self.net || Some(owner) == self.mirror_net {
+                cost *= cfg.reuse_discount;
+                penalty = 0.0;
+            } else {
+                penalty += cfg.present_cost;
+            }
+        }
+        if self.enforce_mirror {
+            let g = grid.dim().from_flat(idx);
+            if let Some(m) = grid.mirror(g) {
+                let midx = grid.dim().flat_index(m);
+                if let Some(owner) = grid.owner(midx) {
+                    if owner != self.net && Some(owner) != self.mirror_net {
+                        penalty += cfg.present_cost + f64::from(grid.history(midx));
+                    }
+                }
+            }
+        }
+        cost + penalty
+    }
+}
+
+/// Preferred-direction convention: even layers (M1, M3) run horizontally,
+/// odd layers vertically — matching `Technology::nm40`.
+fn grid_preferred(layer: u8, axis: Axis) -> bool {
+    match axis {
+        Axis::X => layer.is_multiple_of(2),
+        Axis::Y => !layer.is_multiple_of(2),
+        Axis::Z => true,
+    }
+}
+
+/// Runs A* from `sources` (cost 0) to any node in `targets`.
+///
+/// Returns the path (source first, target last) or `None` when unreachable.
+pub(crate) fn search(
+    step: &StepCost<'_>,
+    sources: &[usize],
+    targets: &[usize],
+    buffers: &mut SearchBuffers,
+) -> Option<FoundPath> {
+    let dim = *step.grid.dim();
+    buffers.ensure(dim.len());
+    buffers.next_gen();
+    let gen = buffers.cur;
+
+    for &t in targets {
+        buffers.target_stamp[t] = gen;
+    }
+    let target_points: Vec<GridPoint> = targets.iter().map(|&t| dim.from_flat(t)).collect();
+    let h_scale = 0.999 * step.cfg.min_guidance.min(1.0);
+    let h = |node: usize| -> f64 {
+        let g = dim.from_flat(node);
+        let mut best = u64::MAX;
+        for t in &target_points {
+            best = best.min(g.manhattan(*t));
+        }
+        best as f64 * h_scale
+    };
+
+    let mut heap = BinaryHeap::new();
+    for &s in sources {
+        if !step.passable(s) {
+            continue;
+        }
+        buffers.dist[s] = 0.0;
+        buffers.stamp[s] = gen;
+        buffers.came[s] = u32::MAX;
+        heap.push(HeapEntry {
+            f: h(s),
+            g: 0.0,
+            node: s,
+        });
+    }
+
+    while let Some(HeapEntry { g, node, .. }) = heap.pop() {
+        if buffers.stamp[node] == gen && g > buffers.dist[node] + 1e-12 {
+            continue; // stale entry
+        }
+        if buffers.target_stamp[node] == gen {
+            // Reconstruct.
+            let mut nodes = vec![node];
+            let mut cur = node;
+            while buffers.came[cur] != u32::MAX {
+                cur = buffers.came[cur] as usize;
+                nodes.push(cur);
+            }
+            nodes.reverse();
+            return Some(FoundPath { nodes, cost: g });
+        }
+        let gp = dim.from_flat(node);
+        // Approximate bend cost: compare each candidate direction with the
+        // direction this node was reached from (path-dependent, so not a
+        // strict A* cost — standard maze-router practice).
+        let incoming_axis = if buffers.came[node] != u32::MAX {
+            let prev = dim.from_flat(buffers.came[node] as usize);
+            let (dx, dy, dz) = (
+                i64::from(gp.x) - i64::from(prev.x),
+                i64::from(gp.y) - i64::from(prev.y),
+                i64::from(gp.l) - i64::from(prev.l),
+            );
+            if dx != 0 {
+                Some(Axis::X)
+            } else if dy != 0 {
+                Some(Axis::Y)
+            } else if dz != 0 {
+                Some(Axis::Z)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        for dir in Dir3::ALL {
+            let (dx, dy, dz) = dir.delta();
+            let nxt = (
+                i64::from(gp.x) + dx,
+                i64::from(gp.y) + dy,
+                i64::from(gp.l) + dz,
+            );
+            if nxt.0 < 0
+                || nxt.1 < 0
+                || nxt.2 < 0
+                || nxt.0 >= i64::from(dim.nx())
+                || nxt.1 >= i64::from(dim.ny())
+                || nxt.2 >= i64::from(dim.layers())
+            {
+                continue;
+            }
+            let ng = GridPoint::new(nxt.0 as u32, nxt.1 as u32, nxt.2 as u8);
+            let nidx = dim.flat_index(ng);
+            if !step.passable(nidx) {
+                continue;
+            }
+            let layer = if dir.axis() == Axis::Z {
+                gp.l.max(ng.l)
+            } else {
+                ng.l
+            };
+            let bend = match incoming_axis {
+                Some(axis) if axis != dir.axis() && axis != Axis::Z && dir.axis() != Axis::Z => {
+                    step.cfg.bend_penalty
+                }
+                _ => 0.0,
+            };
+            let ncost = g + step.enter_cost(nidx, dir.axis(), layer) + bend;
+            if buffers.stamp[nidx] != gen || ncost + 1e-12 < buffers.dist[nidx] {
+                buffers.stamp[nidx] = gen;
+                buffers.dist[nidx] = ncost;
+                buffers.came[nidx] = node as u32;
+                heap.push(HeapEntry {
+                    f: ncost + h(nidx),
+                    g: ncost,
+                    node: nidx,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_is_min_on_f() {
+        let mut h = BinaryHeap::new();
+        h.push(HeapEntry { f: 3.0, g: 0.0, node: 1 });
+        h.push(HeapEntry { f: 1.0, g: 0.0, node: 2 });
+        h.push(HeapEntry { f: 2.0, g: 0.0, node: 3 });
+        assert_eq!(h.pop().unwrap().node, 2);
+        assert_eq!(h.pop().unwrap().node, 3);
+        assert_eq!(h.pop().unwrap().node, 1);
+    }
+
+    #[test]
+    fn preferred_direction_convention() {
+        assert!(grid_preferred(0, Axis::X));
+        assert!(!grid_preferred(0, Axis::Y));
+        assert!(grid_preferred(1, Axis::Y));
+        assert!(!grid_preferred(1, Axis::X));
+        assert!(grid_preferred(2, Axis::X));
+        assert!(grid_preferred(3, Axis::Z));
+    }
+
+    #[test]
+    fn stamp_generation_wraps_safely() {
+        let mut b = SearchBuffers::default();
+        b.ensure(4);
+        b.cur = u32::MAX;
+        b.next_gen();
+        assert_eq!(b.cur, 1);
+        assert!(b.stamp.iter().all(|&s| s == 0));
+    }
+}

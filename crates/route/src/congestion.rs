@@ -1,0 +1,271 @@
+//! Congestion analysis: probabilistic demand estimation before routing and
+//! exact track-usage measurement after routing.
+//!
+//! The paper frames guidance as acting on "routing cost maps for global
+//! routing"; this module provides the classic global-routing view of the
+//! problem: a coarse raster where each cell carries estimated demand
+//! (pre-route, from net bounding boxes) or measured usage (post-route, from
+//! segments), normalized by the cell's track supply.
+
+use serde::{Deserialize, Serialize};
+
+use af_netlist::{Circuit, NetId};
+use af_place::Placement;
+use af_tech::Technology;
+
+use crate::RoutedLayout;
+
+/// A coarse congestion raster over the die.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionMap {
+    /// Raster width (cells).
+    pub w: usize,
+    /// Raster height (cells).
+    pub h: usize,
+    /// Die lower-left, dbu.
+    pub origin: (i64, i64),
+    /// Cell size, dbu.
+    pub cell: (i64, i64),
+    /// Demand or usage per cell, in track-lengths (row-major, y-major).
+    pub demand: Vec<f64>,
+    /// Available routing supply per cell, in track-lengths.
+    pub supply: Vec<f64>,
+}
+
+impl CongestionMap {
+    fn empty(placement: &Placement, tech: &Technology, w: usize, h: usize) -> Self {
+        assert!(w > 0 && h > 0, "degenerate raster");
+        let die = placement.die();
+        let cell = (die.width() / w as i64, die.height() / h as i64);
+        // Supply: tracks per cell × layers, expressed as total routable track
+        // length in the cell (tracks × cell span), halved for blockages-ish
+        // conservatism.
+        let pitch = tech.grid_pitch() as f64;
+        let layers = f64::from(tech.num_layers());
+        let tracks_x = cell.1 as f64 / pitch;
+        let tracks_y = cell.0 as f64 / pitch;
+        let per_cell = 0.5 * layers * (tracks_x * cell.0 as f64 + tracks_y * cell.1 as f64) / 2.0;
+        Self {
+            w,
+            h,
+            origin: (die.lo().x, die.lo().y),
+            cell,
+            demand: vec![0.0; w * h],
+            supply: vec![per_cell.max(1.0); w * h],
+        }
+    }
+
+    fn cell_of(&self, x: i64, y: i64) -> Option<usize> {
+        let cx = (x - self.origin.0).div_euclid(self.cell.0.max(1));
+        let cy = (y - self.origin.1).div_euclid(self.cell.1.max(1));
+        if cx < 0 || cy < 0 || cx >= self.w as i64 || cy >= self.h as i64 {
+            return None;
+        }
+        Some(cy as usize * self.w + cx as usize)
+    }
+
+    /// Utilization (demand/supply) per cell.
+    pub fn utilization(&self) -> Vec<f64> {
+        self.demand
+            .iter()
+            .zip(&self.supply)
+            .map(|(d, s)| d / s.max(1e-9))
+            .collect()
+    }
+
+    /// Maximum cell utilization.
+    pub fn peak_utilization(&self) -> f64 {
+        self.utilization().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Cells whose utilization exceeds `threshold`.
+    pub fn hotspots(&self, threshold: f64) -> Vec<(usize, usize)> {
+        self.utilization()
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| **u > threshold)
+            .map(|(i, _)| (i % self.w, i / self.w))
+            .collect()
+    }
+
+    /// ASCII heat map (rows top-down), digits 0–9 ~ utilization 0–90 %+.
+    pub fn ascii(&self) -> String {
+        let util = self.utilization();
+        let mut out = String::new();
+        for y in (0..self.h).rev() {
+            for x in 0..self.w {
+                let u = util[y * self.w + x];
+                let d = ((u * 10.0) as usize).min(9);
+                out.push(char::from_digit(d as u32, 10).unwrap_or('9'));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Pre-route demand estimate: each routable net spreads one expected
+/// track-length of demand uniformly over its pin bounding box (the classic
+/// probabilistic global-routing model).
+pub fn estimate_congestion(
+    circuit: &Circuit,
+    placement: &Placement,
+    tech: &Technology,
+    w: usize,
+    h: usize,
+) -> CongestionMap {
+    let mut map = CongestionMap::empty(placement, tech, w, h);
+    for (i, _) in circuit.nets().iter().enumerate() {
+        let id = NetId::new(i as u32);
+        let pins: Vec<_> = placement.pins_of_net(id).collect();
+        if pins.len() < 2 {
+            continue;
+        }
+        let mut bbox = pins[0].rect;
+        for p in &pins[1..] {
+            bbox = bbox.union(&p.rect);
+        }
+        // expected wirelength ≈ half-perimeter; spread over covered cells
+        let expected = bbox.half_perimeter() as f64;
+        let mut cells = Vec::new();
+        let (x0, y0) = (bbox.lo().x, bbox.lo().y);
+        let (x1, y1) = (bbox.hi().x, bbox.hi().y);
+        let step_x = map.cell.0.max(1);
+        let step_y = map.cell.1.max(1);
+        let mut y = y0;
+        while y <= y1 {
+            let mut x = x0;
+            while x <= x1 {
+                if let Some(c) = map.cell_of(x, y) {
+                    cells.push(c);
+                }
+                x += step_x;
+            }
+            y += step_y;
+        }
+        cells.sort_unstable();
+        cells.dedup();
+        if cells.is_empty() {
+            continue;
+        }
+        let share = expected / cells.len() as f64;
+        for c in cells {
+            map.demand[c] += share;
+        }
+    }
+    map
+}
+
+/// Post-route usage measurement: actual wirelength per cell.
+pub fn measure_congestion(
+    placement: &Placement,
+    tech: &Technology,
+    layout: &RoutedLayout,
+    w: usize,
+    h: usize,
+) -> CongestionMap {
+    let mut map = CongestionMap::empty(placement, tech, w, h);
+    for rn in &layout.nets {
+        for seg in rn.segments.iter().filter(|s| !s.is_via()) {
+            // sample the segment into cells
+            let (a, b) = (seg.start(), seg.end());
+            let steps = (seg.length() / map.cell.0.min(map.cell.1).max(1)).max(1);
+            let per_sample = seg.length() as f64 / (steps + 1) as f64;
+            for s in 0..=steps {
+                let x = a.x + (b.x - a.x) * s / steps.max(1);
+                let y = a.y + (b.y - a.y) * s / steps.max(1);
+                if let Some(c) = map.cell_of(x, y) {
+                    map.demand[c] += per_sample;
+                }
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_netlist::benchmarks;
+    use af_place::{place, PlacementVariant};
+    use crate::{route, RouterConfig, RoutingGuidance};
+
+    fn setup() -> (af_netlist::Circuit, Placement, Technology) {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        (c, p, Technology::nm40())
+    }
+
+    #[test]
+    fn estimate_has_demand_where_pins_are() {
+        let (c, p, t) = setup();
+        let map = estimate_congestion(&c, &p, &t, 8, 8);
+        assert_eq!(map.demand.len(), 64);
+        assert!(map.demand.iter().sum::<f64>() > 0.0);
+        assert!(map.peak_utilization() > 0.0);
+        // supply positive everywhere
+        assert!(map.supply.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn measured_total_matches_wirelength_approximately() {
+        let (c, p, t) = setup();
+        let layout = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let map = measure_congestion(&p, &t, &layout, 8, 8);
+        let total_demand: f64 = map.demand.iter().sum();
+        let total_wire = layout.total_wirelength() as f64;
+        let rel = (total_demand - total_wire).abs() / total_wire;
+        assert!(rel < 0.15, "sampled {total_demand} vs wire {total_wire}");
+    }
+
+    #[test]
+    fn estimate_correlates_with_measurement() {
+        let (c, p, t) = setup();
+        let est = estimate_congestion(&c, &p, &t, 6, 6);
+        let layout = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let meas = measure_congestion(&p, &t, &layout, 6, 6);
+        // Pearson correlation between estimated and measured demand
+        let n = est.demand.len() as f64;
+        let (mu_e, mu_m) = (
+            est.demand.iter().sum::<f64>() / n,
+            meas.demand.iter().sum::<f64>() / n,
+        );
+        let mut cov = 0.0;
+        let mut ve = 0.0;
+        let mut vm = 0.0;
+        for (e, m) in est.demand.iter().zip(&meas.demand) {
+            cov += (e - mu_e) * (m - mu_m);
+            ve += (e - mu_e) * (e - mu_e);
+            vm += (m - mu_m) * (m - mu_m);
+        }
+        let corr = cov / (ve.sqrt() * vm.sqrt()).max(1e-9);
+        assert!(corr > 0.3, "estimate should correlate with reality: r = {corr}");
+    }
+
+    #[test]
+    fn ascii_rendering_shape() {
+        let (c, p, t) = setup();
+        let map = estimate_congestion(&c, &p, &t, 5, 4);
+        let art = map.ascii();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 5));
+    }
+
+    #[test]
+    fn hotspots_threshold() {
+        let (c, p, t) = setup();
+        let map = estimate_congestion(&c, &p, &t, 8, 8);
+        let all = map.hotspots(0.0);
+        let none = map.hotspots(f64::INFINITY);
+        assert!(all.len() >= none.len());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate raster")]
+    fn rejects_zero_raster() {
+        let (c, p, t) = setup();
+        let _ = estimate_congestion(&c, &p, &t, 0, 4);
+    }
+}

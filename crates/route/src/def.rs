@@ -1,0 +1,282 @@
+//! A DEF-flavored text interchange format for routed layouts.
+//!
+//! Real flows hand routed layouts between tools as DEF; this module writes a
+//! compact DEF-like dialect (`DIEAREA`, `NETS` with `ROUTED` segment lists)
+//! and parses it back, so routing solutions can be stored, diffed, and
+//! post-processed outside the process that produced them.
+//!
+//! The dialect (one statement per line):
+//!
+//! ```text
+//! VERSION af-route-1 ;
+//! DESIGN <name> ;
+//! DIEAREA ( x0 y0 ) ( x1 y1 ) ;
+//! NETS <count> ;
+//! - <net-name>
+//!   ROUTED M<layer> ( x0 y0 ) ( x1 y1 )
+//!   VIA ( x y ) M<from> M<to>
+//! ;
+//! END NETS
+//! ```
+
+use std::fmt::Write as _;
+
+use af_geom::{Point3, Segment};
+use af_netlist::{Circuit, NetId};
+use af_place::Placement;
+
+use crate::{RoutedLayout, RoutedNet};
+
+/// Serializes a routed layout to the DEF-like dialect.
+pub fn write_def(circuit: &Circuit, placement: &Placement, layout: &RoutedLayout) -> String {
+    let mut out = String::new();
+    let die = placement.die();
+    let _ = writeln!(out, "VERSION af-route-1 ;");
+    let _ = writeln!(out, "DESIGN {} ;", circuit.name());
+    let _ = writeln!(
+        out,
+        "DIEAREA ( {} {} ) ( {} {} ) ;",
+        die.lo().x,
+        die.lo().y,
+        die.hi().x,
+        die.hi().y
+    );
+    let _ = writeln!(out, "NETS {} ;", layout.nets.len());
+    for rn in &layout.nets {
+        let _ = writeln!(out, "- {}", circuit.net(rn.net).name);
+        for seg in &rn.segments {
+            if seg.is_via() {
+                let _ = writeln!(
+                    out,
+                    "  VIA ( {} {} ) M{} M{}",
+                    seg.start().x,
+                    seg.start().y,
+                    seg.start().z + 1,
+                    seg.end().z + 1
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  ROUTED M{} ( {} {} ) ( {} {} )",
+                    seg.layer() + 1,
+                    seg.start().x,
+                    seg.start().y,
+                    seg.end().x,
+                    seg.end().y
+                );
+            }
+        }
+        let _ = writeln!(out, ";");
+    }
+    let _ = writeln!(out, "END NETS");
+    out
+}
+
+/// Parse error with line number context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefParseError {
+    /// 1-based line of the offending statement.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for DefParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DEF parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DefParseError {}
+
+/// Parses a layout written by [`write_def`] back into a [`RoutedLayout`].
+///
+/// Net names are resolved against `circuit`; unknown nets are an error.
+///
+/// # Errors
+///
+/// [`DefParseError`] with the offending line on malformed input.
+pub fn parse_def(circuit: &Circuit, text: &str) -> Result<RoutedLayout, DefParseError> {
+    let err = |line: usize, message: &str| DefParseError {
+        line,
+        message: message.to_string(),
+    };
+    let mut nets: Vec<RoutedNet> = Vec::new();
+    let mut current: Option<(NetId, Vec<Segment>)> = None;
+    let mut seen_version = false;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "VERSION" => {
+                if tokens.get(1) != Some(&"af-route-1") {
+                    return Err(err(line_no, "unsupported version"));
+                }
+                seen_version = true;
+            }
+            "DESIGN" | "DIEAREA" | "NETS" | "END" => {}
+            "-" => {
+                if let Some((net, segments)) = current.take() {
+                    nets.push(RoutedNet::from_segments(net, segments));
+                }
+                let name = tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "net statement without name"))?;
+                let net = circuit
+                    .net_by_name(name)
+                    .ok_or_else(|| err(line_no, "unknown net"))?;
+                current = Some((net, Vec::new()));
+            }
+            "ROUTED" => {
+                let (_, segments) = current
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "ROUTED outside a net"))?;
+                // ROUTED M<l> ( x0 y0 ) ( x1 y1 )
+                if tokens.len() != 10 {
+                    return Err(err(line_no, "malformed ROUTED statement"));
+                }
+                let layer: u8 = tokens[1]
+                    .strip_prefix('M')
+                    .and_then(|s| s.parse::<u8>().ok())
+                    .filter(|&l| l >= 1)
+                    .ok_or_else(|| err(line_no, "bad layer"))?
+                    - 1;
+                let nums: Result<Vec<i64>, _> = [tokens[3], tokens[4], tokens[7], tokens[8]]
+                    .iter()
+                    .map(|t| t.parse::<i64>())
+                    .collect();
+                let nums = nums.map_err(|_| err(line_no, "bad coordinate"))?;
+                let seg = Segment::new(
+                    Point3::new(nums[0], nums[1], layer),
+                    Point3::new(nums[2], nums[3], layer),
+                )
+                .ok_or_else(|| err(line_no, "non-Manhattan segment"))?;
+                segments.push(seg);
+            }
+            "VIA" => {
+                let (_, segments) = current
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "VIA outside a net"))?;
+                // VIA ( x y ) M<from> M<to>
+                if tokens.len() != 7 {
+                    return Err(err(line_no, "malformed VIA statement"));
+                }
+                let x: i64 = tokens[2].parse().map_err(|_| err(line_no, "bad coordinate"))?;
+                let y: i64 = tokens[3].parse().map_err(|_| err(line_no, "bad coordinate"))?;
+                let parse_layer = |t: &str| {
+                    t.strip_prefix('M')
+                        .and_then(|s| s.parse::<u8>().ok())
+                        .filter(|&l| l >= 1)
+                        .map(|l| l - 1)
+                };
+                let from = parse_layer(tokens[5]).ok_or_else(|| err(line_no, "bad layer"))?;
+                let to = parse_layer(tokens[6]).ok_or_else(|| err(line_no, "bad layer"))?;
+                let seg = Segment::new(Point3::new(x, y, from), Point3::new(x, y, to))
+                    .ok_or_else(|| err(line_no, "bad via"))?;
+                segments.push(seg);
+            }
+            ";" => {
+                if let Some((net, segments)) = current.take() {
+                    nets.push(RoutedNet::from_segments(net, segments));
+                }
+            }
+            other => return Err(err(line_no, &format!("unknown statement `{other}`"))),
+        }
+    }
+    if !seen_version {
+        return Err(err(1, "missing VERSION statement"));
+    }
+    if let Some((net, segments)) = current.take() {
+        nets.push(RoutedNet::from_segments(net, segments));
+    }
+    Ok(RoutedLayout {
+        nets,
+        iterations: 0,
+        conflicts: 0,
+        runtime_s: 0.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_netlist::benchmarks;
+    use af_place::{place, PlacementVariant};
+    use af_tech::Technology;
+    use crate::{route, RouterConfig, RoutingGuidance};
+
+    #[test]
+    fn def_roundtrip_preserves_geometry() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let text = write_def(&c, &p, &l);
+        let back = parse_def(&c, &text).unwrap();
+        assert_eq!(back.nets.len(), l.nets.len());
+        for (a, b) in l.nets.iter().zip(&back.nets) {
+            assert_eq!(a.net, b.net);
+            assert_eq!(a.wirelength, b.wirelength);
+            assert_eq!(a.vias, b.vias);
+            let mut sa = a.segments.clone();
+            let mut sb = b.segments.clone();
+            sa.sort_by_key(|s| (s.start().z, s.start().x, s.start().y, s.end().x, s.end().y));
+            sb.sort_by_key(|s| (s.start().z, s.start().x, s.start().y, s.end().x, s.end().y));
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn def_header_contents() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let text = write_def(&c, &p, &l);
+        assert!(text.starts_with("VERSION af-route-1 ;"));
+        assert!(text.contains("DESIGN OTA1 ;"));
+        assert!(text.contains("DIEAREA"));
+        assert!(text.contains("- vout"));
+        assert!(text.contains("END NETS"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let c = benchmarks::ota1();
+        let cases = [
+            ("GARBAGE ;", "unknown statement"),
+            ("VERSION af-route-2 ;", "unsupported version"),
+            ("VERSION af-route-1 ;\nROUTED M1 ( 0 0 ) ( 1 0 )", "ROUTED outside"),
+            ("VERSION af-route-1 ;\n- nosuchnet", "unknown net"),
+            (
+                "VERSION af-route-1 ;\n- vout\n  ROUTED M0 ( 0 0 ) ( 1 0 )",
+                "bad layer",
+            ),
+            (
+                "VERSION af-route-1 ;\n- vout\n  ROUTED M1 ( 0 0 ) ( 1 1 )",
+                "non-Manhattan",
+            ),
+        ];
+        for (text, want) in cases {
+            let e = parse_def(&c, text).unwrap_err();
+            assert!(
+                e.message.contains(want) || e.to_string().contains(want),
+                "{text:?} -> {e}"
+            );
+        }
+        assert!(parse_def(&c, "DESIGN x ;").is_err(), "missing version");
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let c = benchmarks::ota1();
+        let e = parse_def(&c, "VERSION af-route-1 ;\nGARBAGE ;").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+}

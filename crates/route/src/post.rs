@@ -1,0 +1,218 @@
+//! Post-processing: stub pruning and conversion of grid edges to merged
+//! geometric segments.
+
+use std::collections::{HashMap, HashSet};
+
+use af_geom::{GridDim, Segment};
+
+/// Removes dangling stubs: repeatedly deletes degree-1 nodes that are not pin
+/// access points, together with their edges.
+///
+/// `edges` are undirected unit-step pairs of flat node indices (lo, hi).
+pub(crate) fn prune_stubs(
+    edges: &mut HashSet<(u32, u32)>,
+    pins: &HashSet<u32>,
+) -> HashSet<u32> {
+    let mut degree: HashMap<u32, u32> = HashMap::new();
+    for &(a, b) in edges.iter() {
+        *degree.entry(a).or_insert(0) += 1;
+        *degree.entry(b).or_insert(0) += 1;
+    }
+    loop {
+        let victims: Vec<u32> = degree
+            .iter()
+            .filter(|(n, &d)| d == 1 && !pins.contains(*n))
+            .map(|(&n, _)| n)
+            .collect();
+        if victims.is_empty() {
+            break;
+        }
+        for v in victims {
+            let incident: Vec<(u32, u32)> = edges
+                .iter()
+                .filter(|&&(a, b)| a == v || b == v)
+                .copied()
+                .collect();
+            for e in incident {
+                edges.remove(&e);
+                let other = if e.0 == v { e.1 } else { e.0 };
+                if let Some(d) = degree.get_mut(&other) {
+                    *d = d.saturating_sub(1);
+                }
+            }
+            degree.remove(&v);
+        }
+    }
+    let mut nodes: HashSet<u32> = HashSet::new();
+    for &(a, b) in edges.iter() {
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    // isolated pins still count as nodes
+    for &p in pins {
+        nodes.insert(p);
+    }
+    nodes
+}
+
+/// Converts unit-step grid edges into merged dbu segments: collinear runs on
+/// the same track become single segments; via edges become unit vias.
+pub(crate) fn edges_to_segments(dim: &GridDim, edges: &HashSet<(u32, u32)>) -> Vec<Segment> {
+    // Group planar edges per track.
+    let mut x_runs: HashMap<(u32, u8), Vec<(u32, u32)>> = HashMap::new(); // key (y, l) -> (x0, x1)
+    let mut y_runs: HashMap<(u32, u8), Vec<(u32, u32)>> = HashMap::new(); // key (x, l)
+    let mut vias: Vec<Segment> = Vec::new();
+    for &(a, b) in edges {
+        let ga = dim.from_flat(a as usize);
+        let gb = dim.from_flat(b as usize);
+        if ga.l != gb.l {
+            let pa = dim.to_dbu(ga);
+            let pb = dim.to_dbu(gb);
+            vias.push(Segment::new(pa, pb).expect("via edge is axis-aligned"));
+        } else if ga.y == gb.y {
+            x_runs
+                .entry((ga.y, ga.l))
+                .or_default()
+                .push((ga.x.min(gb.x), ga.x.max(gb.x)));
+        } else {
+            y_runs
+                .entry((ga.x, ga.l))
+                .or_default()
+                .push((ga.y.min(gb.y), ga.y.max(gb.y)));
+        }
+    }
+    let mut segments = Vec::new();
+    let emit =
+        |runs: HashMap<(u32, u8), Vec<(u32, u32)>>, horizontal: bool, out: &mut Vec<Segment>| {
+            for ((fixed, l), mut intervals) in runs {
+                intervals.sort_unstable();
+                let mut start = intervals[0].0;
+                let mut end = intervals[0].1;
+                let flush = |s: u32, e: u32, out: &mut Vec<Segment>| {
+                    let (ga, gb) = if horizontal {
+                        (
+                            af_geom::GridPoint::new(s, fixed, l),
+                            af_geom::GridPoint::new(e, fixed, l),
+                        )
+                    } else {
+                        (
+                            af_geom::GridPoint::new(fixed, s, l),
+                            af_geom::GridPoint::new(fixed, e, l),
+                        )
+                    };
+                    out.push(
+                        Segment::new(dim.to_dbu(ga), dim.to_dbu(gb))
+                            .expect("track run is axis-aligned"),
+                    );
+                };
+                for &(s, e) in intervals.iter().skip(1) {
+                    if s <= end {
+                        end = end.max(e);
+                    } else {
+                        flush(start, end, out);
+                        start = s;
+                        end = e;
+                    }
+                }
+                flush(start, end, out);
+            }
+        };
+    emit(x_runs, true, &mut segments);
+    emit(y_runs, false, &mut segments);
+    vias.sort_by_key(|v| (v.start().x, v.start().y, v.start().z));
+    vias.dedup();
+    segments.sort_by_key(|s| {
+        let p = s.start();
+        (p.z, p.y, p.x, s.end().x, s.end().y, s.end().z)
+    });
+    segments.extend(vias);
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_geom::Point;
+
+    fn dim() -> GridDim {
+        GridDim::new(Point::new(0, 0), 10, 10, 3, 100)
+    }
+
+    fn e(d: &GridDim, a: (u32, u32, u8), b: (u32, u32, u8)) -> (u32, u32) {
+        let ia = d.flat_index(af_geom::GridPoint::new(a.0, a.1, a.2)) as u32;
+        let ib = d.flat_index(af_geom::GridPoint::new(b.0, b.1, b.2)) as u32;
+        (ia.min(ib), ia.max(ib))
+    }
+
+    #[test]
+    fn prune_removes_dangling_branch() {
+        let d = dim();
+        let mut edges: HashSet<(u32, u32)> = HashSet::new();
+        // main path 0..3 on x, plus a stub up from (1,0)
+        edges.insert(e(&d, (0, 0, 0), (1, 0, 0)));
+        edges.insert(e(&d, (1, 0, 0), (2, 0, 0)));
+        edges.insert(e(&d, (2, 0, 0), (3, 0, 0)));
+        edges.insert(e(&d, (1, 0, 0), (1, 1, 0)));
+        edges.insert(e(&d, (1, 1, 0), (1, 2, 0)));
+        let pins: HashSet<u32> = [
+            d.flat_index(af_geom::GridPoint::new(0, 0, 0)) as u32,
+            d.flat_index(af_geom::GridPoint::new(3, 0, 0)) as u32,
+        ]
+        .into_iter()
+        .collect();
+        let nodes = prune_stubs(&mut edges, &pins);
+        assert_eq!(edges.len(), 3, "stub edges removed");
+        assert!(!nodes.contains(&(d.flat_index(af_geom::GridPoint::new(1, 2, 0)) as u32)));
+    }
+
+    #[test]
+    fn prune_keeps_pin_stubs() {
+        let d = dim();
+        let mut edges: HashSet<(u32, u32)> = HashSet::new();
+        edges.insert(e(&d, (0, 0, 0), (1, 0, 0)));
+        edges.insert(e(&d, (1, 0, 0), (1, 1, 0)));
+        let pins: HashSet<u32> = [
+            d.flat_index(af_geom::GridPoint::new(0, 0, 0)) as u32,
+            d.flat_index(af_geom::GridPoint::new(1, 1, 0)) as u32,
+        ]
+        .into_iter()
+        .collect();
+        prune_stubs(&mut edges, &pins);
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn collinear_edges_merge() {
+        let d = dim();
+        let mut edges: HashSet<(u32, u32)> = HashSet::new();
+        for x in 0..4 {
+            edges.insert(e(&d, (x, 2, 1), (x + 1, 2, 1)));
+        }
+        let segs = edges_to_segments(&d, &edges);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].length(), 400);
+        assert_eq!(segs[0].layer(), 1);
+    }
+
+    #[test]
+    fn vias_and_bends() {
+        let d = dim();
+        let mut edges: HashSet<(u32, u32)> = HashSet::new();
+        edges.insert(e(&d, (0, 0, 0), (1, 0, 0)));
+        edges.insert(e(&d, (1, 0, 0), (1, 0, 1)));
+        edges.insert(e(&d, (1, 0, 1), (1, 1, 1)));
+        let segs = edges_to_segments(&d, &edges);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs.iter().filter(|s| s.is_via()).count(), 1);
+    }
+
+    #[test]
+    fn disjoint_runs_stay_separate() {
+        let d = dim();
+        let mut edges: HashSet<(u32, u32)> = HashSet::new();
+        edges.insert(e(&d, (0, 0, 0), (1, 0, 0)));
+        edges.insert(e(&d, (3, 0, 0), (4, 0, 0)));
+        let segs = edges_to_segments(&d, &edges);
+        assert_eq!(segs.len(), 2);
+    }
+}

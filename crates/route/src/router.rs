@@ -1,0 +1,691 @@
+//! Constraint-aware iterative (negotiated) routing.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::time::Instant;
+
+use af_netlist::{Circuit, NetId};
+use af_place::Placement;
+use af_tech::Technology;
+
+use crate::access::PinAccessMap;
+use crate::astar::{search, SearchBuffers, StepCost};
+use crate::grid::RoutingGrid;
+use crate::guidance::RoutingGuidance;
+use crate::post;
+use crate::{RoutedLayout, RoutedNet};
+
+/// Router tuning parameters.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Grid-pitch multiplier over the technology pitch (1 = full density).
+    pub coarsen: i64,
+    /// Cost of one via hop relative to one planar step.
+    pub via_cost: f64,
+    /// Multiplier for steps against a layer's preferred direction.
+    pub wrong_dir_mult: f64,
+    /// Immediate penalty for using a node another net occupies.
+    pub present_cost: f64,
+    /// History added to each conflicted node per rip-up iteration.
+    pub history_increment: f32,
+    /// Multiplier for re-walking nodes the net already owns (Steiner reuse).
+    pub reuse_discount: f64,
+    /// Lower clamp on guidance multipliers (keeps A* admissible).
+    pub min_guidance: f64,
+    /// Extra cost per direction change (approximate bend minimization).
+    pub bend_penalty: f64,
+    /// Maximum rip-up/re-route iterations.
+    pub max_iterations: u32,
+    /// Whether symmetric net pairs are routed by mirroring.
+    pub enforce_symmetry: bool,
+}
+
+impl RouterConfig {
+    /// Validates the configuration, returning a description of the first
+    /// nonsensical setting.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.coarsen < 1 {
+            return Err(format!("coarsen must be >= 1, got {}", self.coarsen));
+        }
+        if self.via_cost <= 0.0 {
+            return Err(format!("via_cost must be positive, got {}", self.via_cost));
+        }
+        if self.wrong_dir_mult < 1.0 {
+            return Err(format!(
+                "wrong_dir_mult must be >= 1, got {}",
+                self.wrong_dir_mult
+            ));
+        }
+        if self.present_cost < 0.0 || self.history_increment < 0.0 {
+            return Err("congestion penalties must be non-negative".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.reuse_discount) {
+            return Err(format!(
+                "reuse_discount must be in [0, 1], got {}",
+                self.reuse_discount
+            ));
+        }
+        if self.min_guidance <= 0.0 {
+            return Err(format!(
+                "min_guidance must be positive, got {}",
+                self.min_guidance
+            ));
+        }
+        if self.max_iterations == 0 {
+            return Err("max_iterations must be at least 1".to_string());
+        }
+        if self.bend_penalty < 0.0 {
+            return Err(format!(
+                "bend_penalty must be non-negative, got {}",
+                self.bend_penalty
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            coarsen: 2,
+            via_cost: 3.0,
+            wrong_dir_mult: 2.0,
+            present_cost: 40.0,
+            history_increment: 40.0,
+            reuse_discount: 0.2,
+            min_guidance: 0.25,
+            bend_penalty: 0.5,
+            max_iterations: 24,
+            enforce_symmetry: true,
+        }
+    }
+}
+
+/// Routing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// A net could not be connected at all (hard obstacles).
+    Unroutable {
+        /// The failing net.
+        net: NetId,
+        /// Net name for diagnostics.
+        name: String,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Unroutable { net, name } => {
+                write!(f, "net `{name}` ({net}) cannot be routed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Per-net route state during negotiation.
+#[derive(Debug, Clone, Default)]
+struct NetRoute {
+    nodes: HashSet<u32>,
+    edges: HashSet<(u32, u32)>,
+}
+
+/// One unit of routing work: a lone net or a mirrored pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Task {
+    Single(NetId),
+    Pair(NetId, NetId),
+}
+
+impl Task {
+    fn members(self) -> [Option<NetId>; 2] {
+        match self {
+            Task::Single(n) => [Some(n), None],
+            Task::Pair(a, b) => [Some(a), Some(b)],
+        }
+    }
+
+    fn contains(self, n: NetId) -> bool {
+        self.members().contains(&Some(n))
+    }
+}
+
+/// Routes a placed circuit.
+///
+/// Without guidance this is the MagicalRoute baseline; with guidance it is
+/// the paper's guided analog detailed routing.
+///
+/// # Errors
+///
+/// [`RouteError::Unroutable`] when a net has no feasible path even ignoring
+/// congestion (hard blockage).
+pub fn route(
+    circuit: &Circuit,
+    placement: &Placement,
+    tech: &Technology,
+    guidance: &RoutingGuidance,
+    cfg: &RouterConfig,
+) -> Result<RoutedLayout, RouteError> {
+    let t0 = Instant::now();
+    let mut grid = RoutingGrid::new(circuit, placement, tech, cfg.coarsen);
+    let aps = PinAccessMap::extract(circuit, placement, &mut grid);
+
+    // Build tasks: symmetric pairs first (so the mirror corridor is free),
+    // then remaining nets by descending weight; supplies last.
+    let mut tasks: Vec<Task> = Vec::new();
+    let mut in_pair = vec![false; circuit.nets().len()];
+    if cfg.enforce_symmetry {
+        for &(a, b) in circuit.symmetric_net_pairs() {
+            // A pair is only routable by mirroring when the two AP sets are
+            // exact mirror images AND net `a` lives strictly left of the
+            // axis (mirrored routing confines each net to its half-plane, so
+            // cross-axis pairs fall back to independent routing).
+            if !aps_mirror(&grid, &aps, a, b) || !one_sided(&grid, &aps, a) {
+                continue;
+            }
+            if aps.of_net(a).len() >= 2 || aps.of_net(b).len() >= 2 {
+                tasks.push(Task::Pair(a, b));
+            }
+            in_pair[a.index()] = true;
+            in_pair[b.index()] = true;
+        }
+    }
+    let mut singles: Vec<NetId> = Vec::new();
+    for (i, &paired) in in_pair.iter().enumerate() {
+        let id = NetId::new(i as u32);
+        if paired || aps.of_net(id).len() < 2 {
+            continue;
+        }
+        singles.push(id);
+    }
+    let priority = |n: NetId| {
+        let net = circuit.net(n);
+        if net.ty.is_supply() {
+            -1.0
+        } else {
+            net.weight
+        }
+    };
+    singles.sort_by(|&a, &b| {
+        priority(b)
+            .partial_cmp(&priority(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    tasks.extend(singles.into_iter().map(Task::Single));
+
+    let mut routes: HashMap<u32, NetRoute> = HashMap::new();
+    let mut buffers = SearchBuffers::default();
+
+    // Initial pass.
+    for &task in &tasks {
+        route_task(
+            circuit, &mut grid, &aps, guidance, cfg, task, &mut routes, &mut buffers,
+        )?;
+    }
+
+    // Negotiated rip-up & re-route.
+    let debug = std::env::var_os("AF_ROUTE_DEBUG").is_some();
+    let mut iterations = 1;
+    let mut conflicts = conflicted_nodes(&grid, &routes);
+    while !conflicts.is_empty() && iterations < cfg.max_iterations {
+        if debug {
+            for (&node, users) in &conflicts {
+                let g = grid.dim().from_flat(node as usize);
+                eprintln!(
+                    "iter {iterations}: conflict at {g} {} users={:?} hist={}",
+                    grid.node_dbu(node as usize),
+                    users.iter().map(|&u| circuit.net(NetId::new(u)).name.clone()).collect::<Vec<_>>(),
+                    grid.history(node as usize),
+                );
+            }
+        }
+        iterations += 1;
+        // Raise history on contested nodes.
+        // PathFinder semantics: every user of a contested node is ripped up,
+        // the owner included — otherwise a trespasser whose only passage is a
+        // node the owner sits on (e.g. a shared pin escape column) deadlocks.
+        let mut victims: HashSet<u32> = HashSet::new();
+        for (&node, users) in &conflicts {
+            grid.bump_history(node as usize, cfg.history_increment);
+            for &u in users {
+                victims.insert(u);
+            }
+        }
+        // Expand victims to whole tasks and rip them up.
+        let victim_tasks: Vec<Task> = tasks
+            .iter()
+            .copied()
+            .filter(|t| victims.iter().any(|&v| t.contains(NetId::new(v))))
+            .collect();
+        for task in &victim_tasks {
+            for member in task.members().into_iter().flatten() {
+                grid.release_net(member);
+                routes.remove(&(member.index() as u32));
+            }
+        }
+        for &task in &victim_tasks {
+            route_task(
+                circuit, &mut grid, &aps, guidance, cfg, task, &mut routes, &mut buffers,
+            )?;
+        }
+        conflicts = conflicted_nodes(&grid, &routes);
+    }
+
+    // Post-process each net: prune stubs, release pruned nodes, compress.
+    let mut nets = Vec::new();
+    for (i, _) in circuit.nets().iter().enumerate() {
+        let id = NetId::new(i as u32);
+        let Some(r) = routes.get_mut(&(i as u32)) else {
+            continue;
+        };
+        let pin_nodes: HashSet<u32> = aps
+            .of_net(id)
+            .iter()
+            .map(|ap| grid.dim().flat_index(ap.node) as u32)
+            .collect();
+        let kept = post::prune_stubs(&mut r.edges, &pin_nodes);
+        for &n in r.nodes.iter() {
+            if !kept.contains(&n) && grid.owner(n as usize) == Some(id) && !grid.is_pin(n as usize)
+            {
+                grid.force_free(n as usize);
+            }
+        }
+        r.nodes = kept;
+        let segments = post::edges_to_segments(grid.dim(), &r.edges);
+        nets.push(RoutedNet::from_segments(id, segments));
+    }
+
+    Ok(RoutedLayout {
+        nets,
+        iterations,
+        conflicts: conflicted_nodes(&grid, &routes).len() as u32,
+        runtime_s: t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// Whether every AP of `a` lies strictly left of the symmetry axis.
+fn one_sided(grid: &RoutingGrid, aps: &PinAccessMap, a: NetId) -> bool {
+    aps.of_net(a).iter().all(|ap| ap.node.x < grid.axis_col())
+}
+
+/// Whether the AP sets of `a` and `b` are exact mirror images.
+fn aps_mirror(grid: &RoutingGrid, aps: &PinAccessMap, a: NetId, b: NetId) -> bool {
+    let an = aps.of_net(a);
+    let bn = aps.of_net(b);
+    if an.len() != bn.len() {
+        return false;
+    }
+    an.iter().all(|ap| {
+        grid.mirror(ap.node)
+            .map(|m| bn.iter().any(|bp| bp.node == m))
+            .unwrap_or(false)
+    })
+}
+
+/// Map from contested node to the nets using it (only nodes with >1 user).
+fn conflicted_nodes(
+    grid: &RoutingGrid,
+    routes: &HashMap<u32, NetRoute>,
+) -> HashMap<u32, Vec<u32>> {
+    let mut users: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (&net, r) in routes {
+        for &n in &r.nodes {
+            // A node "belongs" to its owner; other users make it contested.
+            if grid.owner(n as usize) != Some(NetId::new(net)) || users.contains_key(&n) {
+                users.entry(n).or_default().push(net);
+            }
+        }
+    }
+    // Re-scan to attach owners of contested nodes.
+    let mut conflicts: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (&node, extra) in &users {
+        let mut all = extra.clone();
+        if let Some(owner) = grid.owner(node as usize) {
+            let raw = owner.index() as u32;
+            if !all.contains(&raw) {
+                all.push(raw);
+            }
+        }
+        if all.len() > 1 {
+            conflicts.insert(node, all);
+        }
+    }
+    conflicts
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route_task(
+    circuit: &Circuit,
+    grid: &mut RoutingGrid,
+    aps: &PinAccessMap,
+    guidance: &RoutingGuidance,
+    cfg: &RouterConfig,
+    task: Task,
+    routes: &mut HashMap<u32, NetRoute>,
+    buffers: &mut SearchBuffers,
+) -> Result<(), RouteError> {
+    match task {
+        Task::Single(net) => {
+            let r = route_net(circuit, grid, aps, guidance, cfg, net, None, false, buffers)?;
+            routes.insert(net.index() as u32, r);
+        }
+        Task::Pair(a, b) => {
+            let ra = route_net(
+                circuit,
+                grid,
+                aps,
+                guidance,
+                cfg,
+                a,
+                Some(b),
+                true,
+                buffers,
+            )?;
+            // Mirror a's geometry onto b.
+            let mut rb = NetRoute::default();
+            for &n in &ra.nodes {
+                let g = grid.dim().from_flat(n as usize);
+                if let Some(m) = grid.mirror(g) {
+                    let mi = grid.dim().flat_index(m) as u32;
+                    grid.claim(mi as usize, b);
+                    rb.nodes.insert(mi);
+                }
+            }
+            for &(x, y) in &ra.edges {
+                let gx = grid.dim().from_flat(x as usize);
+                let gy = grid.dim().from_flat(y as usize);
+                if let (Some(mx), Some(my)) = (grid.mirror(gx), grid.mirror(gy)) {
+                    let ix = grid.dim().flat_index(mx) as u32;
+                    let iy = grid.dim().flat_index(my) as u32;
+                    rb.edges.insert((ix.min(iy), ix.max(iy)));
+                }
+            }
+            // Ensure every AP of b is attached (stitch if mirroring missed).
+            let missing: Vec<u32> = aps
+                .of_net(b)
+                .iter()
+                .map(|ap| grid.dim().flat_index(ap.node) as u32)
+                .filter(|n| !rb.nodes.contains(n))
+                .collect();
+            if !missing.is_empty() || rb.nodes.is_empty() {
+                let stitched = route_net(
+                    circuit,
+                    grid,
+                    aps,
+                    guidance,
+                    cfg,
+                    b,
+                    Some(a),
+                    false,
+                    buffers,
+                )?;
+                rb.nodes.extend(stitched.nodes);
+                rb.edges.extend(stitched.edges);
+            }
+            routes.insert(a.index() as u32, ra);
+            routes.insert(b.index() as u32, rb);
+        }
+    }
+    Ok(())
+}
+
+/// Routes one net: connects all its access points into a single tree.
+#[allow(clippy::too_many_arguments)]
+fn route_net(
+    circuit: &Circuit,
+    grid: &mut RoutingGrid,
+    aps: &PinAccessMap,
+    guidance: &RoutingGuidance,
+    cfg: &RouterConfig,
+    net: NetId,
+    mirror_net: Option<NetId>,
+    enforce_mirror: bool,
+    buffers: &mut SearchBuffers,
+) -> Result<NetRoute, RouteError> {
+    let mut route = NetRoute::default();
+    // Seed the tree with anything the net already owns (pins at minimum).
+    let ap_nodes: Vec<u32> = aps
+        .of_net(net)
+        .iter()
+        .map(|ap| grid.dim().flat_index(ap.node) as u32)
+        .collect();
+    if ap_nodes.is_empty() {
+        return Ok(route);
+    }
+    route.nodes.insert(ap_nodes[0]);
+    let mut remaining: Vec<u32> = ap_nodes[1..].to_vec();
+    // Sort remaining pins by distance to the seed for stable Steiner growth.
+    let seed = grid.dim().from_flat(ap_nodes[0] as usize);
+    remaining.sort_by_key(|&n| grid.dim().from_flat(n as usize).manhattan(seed));
+
+    while !remaining.is_empty() {
+        let sources: Vec<usize> = route.nodes.iter().map(|&n| n as usize).collect();
+        let targets: Vec<usize> = remaining.iter().map(|&n| n as usize).collect();
+        let step = StepCost {
+            grid,
+            guidance,
+            cfg,
+            net,
+            mirror_net,
+            enforce_mirror,
+        };
+        let Some(found) = search(&step, &sources, &targets, buffers) else {
+            return Err(RouteError::Unroutable {
+                net,
+                name: circuit.net(net).name.clone(),
+            });
+        };
+        // Claim and record the path.
+        let mut prev: Option<u32> = None;
+        for &n in &found.nodes {
+            let n32 = n as u32;
+            grid.claim(n, net); // may fail on contested nodes — negotiation handles it
+            route.nodes.insert(n32);
+            if let Some(p) = prev {
+                route.edges.insert((p.min(n32), p.max(n32)));
+            }
+            prev = Some(n32);
+        }
+        let reached = *found.nodes.last().expect("path has nodes") as u32;
+        remaining.retain(|&r| r != reached);
+    }
+    Ok(route)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_netlist::benchmarks;
+    use af_place::{place, PlacementVariant};
+
+    fn routed(circuit: &Circuit) -> RoutedLayout {
+        let p = place(circuit, PlacementVariant::A);
+        let t = Technology::nm40();
+        route(circuit, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn ota1_routes_clean() {
+        let c = benchmarks::ota1();
+        let layout = routed(&c);
+        assert!(layout.is_clean(), "{} conflicts", layout.conflicts);
+        assert!(layout.total_wirelength() > 0);
+        // every routable net present
+        for (i, net) in c.nets().iter().enumerate() {
+            if net.is_routable() {
+                assert!(
+                    layout.net(NetId::new(i as u32)).is_some(),
+                    "net `{}` missing",
+                    net.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ota3_routes() {
+        let c = benchmarks::ota3();
+        let layout = routed(&c);
+        assert!(layout.conflicts <= 2, "too many conflicts: {}", layout.conflicts);
+        assert!(layout.total_vias() > 0, "multilayer design should use vias");
+    }
+
+    #[test]
+    fn symmetric_nets_have_mirrored_wirelength() {
+        let c = benchmarks::ota1();
+        let layout = routed(&c);
+        for &(a, b) in c.symmetric_net_pairs() {
+            let (ra, rb) = (layout.net(a), layout.net(b));
+            if let (Some(ra), Some(rb)) = (ra, rb) {
+                // mirroring implies identical wirelength when no stitching was
+                // needed; allow a small tolerance for stitches
+                let (wa, wb) = (ra.wirelength as f64, rb.wirelength as f64);
+                let rel = (wa - wb).abs() / wa.max(wb).max(1.0);
+                assert!(rel < 0.35, "{}: {} vs {}", c.net(a).name, wa, wb);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = benchmarks::ota2();
+        let p = place(&c, PlacementVariant::B);
+        let t = Technology::nm40();
+        let l1 = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let l2 = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        assert_eq!(l1.nets, l2.nets);
+    }
+
+    #[test]
+    fn guidance_changes_routing() {
+        use af_geom::CostTriple;
+        use crate::guidance::NonUniformGuidance;
+
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let base = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+
+        let mut g = NonUniformGuidance::new();
+        // make vertical routing very expensive for the output net
+        let vout = c.net_by_name("vout").unwrap();
+        for pin in p.pins_of_net(vout) {
+            let center = pin.rect.center();
+            g.set(
+                vout,
+                af_geom::Point3::new(center.x, center.y, pin.layer),
+                CostTriple([1.0, 8.0, 4.0]),
+            );
+        }
+        let guided = route(
+            &c,
+            &p,
+            &t,
+            &RoutingGuidance::NonUniform(g),
+            &RouterConfig::default(),
+        )
+        .unwrap();
+        assert_ne!(
+            base.net(vout).map(|n| &n.segments),
+            guided.net(vout).map(|n| &n.segments),
+            "strong guidance should alter the route"
+        );
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        RouterConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields() {
+        let cases: Vec<(RouterConfig, &str)> = vec![
+            (RouterConfig { coarsen: 0, ..RouterConfig::default() }, "coarsen"),
+            (RouterConfig { via_cost: 0.0, ..RouterConfig::default() }, "via_cost"),
+            (RouterConfig { wrong_dir_mult: 0.5, ..RouterConfig::default() }, "wrong_dir_mult"),
+            (RouterConfig { present_cost: -1.0, ..RouterConfig::default() }, "penalties"),
+            (RouterConfig { reuse_discount: 2.0, ..RouterConfig::default() }, "reuse_discount"),
+            (RouterConfig { min_guidance: 0.0, ..RouterConfig::default() }, "min_guidance"),
+            (RouterConfig { max_iterations: 0, ..RouterConfig::default() }, "max_iterations"),
+            (RouterConfig { bend_penalty: -0.1, ..RouterConfig::default() }, "bend_penalty"),
+        ];
+        for (cfg, needle) in cases {
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains(needle), "{err} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn report_renders_all_nets() {
+        let c = benchmarks::ota1();
+        let layout = routed(&c);
+        let report = layout.report(&c);
+        assert!(report.contains("vout"));
+        assert!(report.contains("TOTAL"));
+        assert!(report.lines().count() >= layout.nets.len() + 2);
+    }
+
+    #[test]
+    fn bend_penalty_reduces_bends() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let count_bends = |layout: &RoutedLayout| -> usize {
+            // planar segments per net minus one approximates bend count
+            layout
+                .nets
+                .iter()
+                .map(|n| n.segments.iter().filter(|s| !s.is_via()).count().saturating_sub(1))
+                .sum()
+        };
+        let straight = route(
+            &c,
+            &p,
+            &t,
+            &RoutingGuidance::None,
+            &RouterConfig {
+                bend_penalty: 3.0,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        let free = route(
+            &c,
+            &p,
+            &t,
+            &RoutingGuidance::None,
+            &RouterConfig {
+                bend_penalty: 0.0,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            count_bends(&straight) <= count_bends(&free),
+            "bend penalty must not increase bends: {} vs {}",
+            count_bends(&straight),
+            count_bends(&free)
+        );
+    }
+
+    #[test]
+    fn disabling_symmetry_still_routes() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let cfg = RouterConfig {
+            enforce_symmetry: false,
+            ..RouterConfig::default()
+        };
+        let layout = route(&c, &p, &t, &RoutingGuidance::None, &cfg).unwrap();
+        assert!(layout.is_clean());
+    }
+}
+

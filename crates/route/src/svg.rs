@@ -1,0 +1,152 @@
+//! SVG rendering of routed layouts (Figure 6-style visual comparisons).
+
+use std::fmt::Write as _;
+
+use af_netlist::Circuit;
+use af_place::Placement;
+
+use crate::RoutedLayout;
+
+/// Layer colors: M1..M4.
+const LAYER_COLORS: [&str; 4] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd"];
+
+/// Renders a routed layout as an SVG document.
+///
+/// Devices are gray boxes, pins black squares, wires colored by layer with
+/// per-net opacity grouping, vias small circles. The viewBox is the die in
+/// dbu scaled by `1/100` so viewers handle the numbers comfortably.
+///
+/// # Examples
+///
+/// ```
+/// use af_netlist::benchmarks;
+/// use af_place::{place, PlacementVariant};
+/// use af_route::{render_svg, route, RouterConfig, RoutingGuidance};
+/// use af_tech::Technology;
+///
+/// let c = benchmarks::ota1();
+/// let p = place(&c, PlacementVariant::A);
+/// let t = Technology::nm40();
+/// let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+/// let svg = render_svg(&c, &p, &l, "OTA1-A baseline");
+/// assert!(svg.starts_with("<svg"));
+/// ```
+pub fn render_svg(
+    circuit: &Circuit,
+    placement: &Placement,
+    layout: &RoutedLayout,
+    title: &str,
+) -> String {
+    let die = placement.die();
+    let s = 0.01; // dbu -> svg units
+    let (w, h) = (die.width() as f64 * s, die.height() as f64 * s);
+    let tx = |x: i64| (x - die.lo().x) as f64 * s;
+    // flip y so the layout reads with +y up
+    let ty = |y: i64| (die.hi().y - y) as f64 * s;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {w:.1} {h:.1}" width="{w:.0}" height="{h:.0}">"##
+    );
+    let _ = write!(
+        out,
+        r##"<rect x="0" y="0" width="{w:.1}" height="{h:.1}" fill="#fafafa" stroke="#333" stroke-width="0.5"/>"##
+    );
+    let _ = write!(
+        out,
+        r##"<text x="2" y="8" font-size="7" fill="#333">{title}</text>"##
+    );
+
+    // symmetry axis
+    let ax = tx(placement.axis_x());
+    let _ = write!(
+        out,
+        r##"<line x1="{ax:.1}" y1="0" x2="{ax:.1}" y2="{h:.1}" stroke="#bbb" stroke-dasharray="3,3" stroke-width="0.4"/>"##
+    );
+
+    // devices
+    for (i, r) in placement.device_rects().iter().enumerate() {
+        let name = &circuit.devices()[i].name;
+        let _ = write!(
+            out,
+            r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#ddd" stroke="#888" stroke-width="0.3"/>"##,
+            tx(r.lo().x),
+            ty(r.hi().y),
+            r.width() as f64 * s,
+            r.height() as f64 * s
+        );
+        let c = r.center();
+        let _ = write!(
+            out,
+            r##"<text x="{:.1}" y="{:.1}" font-size="3" text-anchor="middle" fill="#555">{name}</text>"##,
+            tx(c.x),
+            ty(c.y)
+        );
+    }
+
+    // pins
+    for pin in placement.pins() {
+        let r = pin.rect;
+        let _ = write!(
+            out,
+            r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#000"/>"##,
+            tx(r.lo().x),
+            ty(r.hi().y),
+            (r.width().max(100)) as f64 * s,
+            (r.height().max(100)) as f64 * s
+        );
+    }
+
+    // wires
+    for rn in &layout.nets {
+        let name = &circuit.net(rn.net).name;
+        let _ = write!(out, r##"<g data-net="{name}">"##);
+        for seg in &rn.segments {
+            if seg.is_via() {
+                let _ = write!(
+                    out,
+                    r##"<circle cx="{:.1}" cy="{:.1}" r="0.8" fill="#222"/>"##,
+                    tx(seg.start().x),
+                    ty(seg.start().y)
+                );
+            } else {
+                let color = LAYER_COLORS[seg.layer() as usize % LAYER_COLORS.len()];
+                let _ = write!(
+                    out,
+                    r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{color}" stroke-width="1.0" stroke-opacity="0.75"/>"##,
+                    tx(seg.start().x),
+                    ty(seg.start().y),
+                    tx(seg.end().x),
+                    ty(seg.end().y)
+                );
+            }
+        }
+        let _ = write!(out, "</g>");
+    }
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_netlist::benchmarks;
+    use af_place::{place, PlacementVariant};
+    use af_tech::Technology;
+    use crate::{route, RouterConfig, RoutingGuidance};
+
+    #[test]
+    fn svg_contains_wires_and_devices() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let svg = render_svg(&c, &p, &l, "test");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("data-net=\"vout\""));
+        assert!(svg.contains("M1"), "device labels present");
+        assert!(svg.matches("<line").count() > 10, "wires rendered");
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! Small-signal analog performance simulation — the Cadence Spectre
+//! substitute of the AnalogFold reproduction.
+//!
+//! The paper evaluates five post-layout metrics with Spectre on
+//! PEX-annotated netlists. This crate computes the same five quantities from
+//! a complex-valued modified-nodal-analysis (MNA) linearization of the OTA:
+//!
+//! * **DC Gain** — low-frequency differential gain,
+//! * **BandWidth** — unity-gain bandwidth of the differential response (the
+//!   paper's ŷ_UGB),
+//! * **CMRR** — differential gain over common-mode gain; routing-induced
+//!   parasitic asymmetry enters the MNA stamps directly and degrades it,
+//! * **Offset Voltage** — input-referred error from asymmetric bias-current ×
+//!   wire-resistance drops across matched net pairs, propagated through
+//!   adjoint transimpedances,
+//! * **Noise** — integrated output noise from MOS channel thermal noise,
+//!   resistor noise, and supply/bias noise coupled through extracted
+//!   coupling capacitances.
+//!
+//! The last mechanism is why routing guidance moves the noise number: routes
+//! that run next to supply or bias wiring pick up coupling capacitance and
+//! integrate supply noise into the output.
+//!
+//! # Examples
+//!
+//! ```
+//! use af_netlist::benchmarks;
+//! use af_sim::{simulate, SimConfig};
+//!
+//! let ota = benchmarks::ota1();
+//! let perf = simulate(&ota, None, &SimConfig::default()).unwrap();
+//! assert!(perf.dc_gain_db > 0.0);
+//! ```
+
+mod complex;
+mod linalg;
+mod metrics;
+mod mna;
+mod spice;
+
+pub use complex::Complex;
+pub use linalg::solve;
+pub use metrics::{log_sweep, psrr_db, simulate, Performance, SimConfig};
+pub use mna::{AdjointSolution, MosStamp, Network, NodeRef, NoisePsd, NoiseSource, SimError, Solution, SupplyMode, BOLTZMANN};
+pub use spice::to_spice;

@@ -1,0 +1,774 @@
+//! Modified nodal analysis network construction and complex AC solves.
+//!
+//! Net-to-node mapping:
+//!
+//! * supply nets (`vdd`, `vss`) are AC ground,
+//! * differential inputs are ideal voltage sources,
+//! * every other net is an unknown node; nets with extracted series
+//!   resistance are split into a **pi model**: a primary (driver-side) node
+//!   and a secondary (load-side) node joined by the wire resistance, with
+//!   the ground capacitance halved onto each side. The driving pin (the
+//!   first drain/`Pos` terminal on the net) stays on the primary node and
+//!   every other pin attaches to the secondary — so wire RC genuinely sits
+//!   in the signal path between driver and loads.
+//!
+//! MOS devices stamp the textbook small-signal model (gm VCCS, gds, cgs,
+//! cgd, cdb); the same stamps serve NMOS and PMOS. Channel thermal noise,
+//! resistor thermal noise, and supply/bias coupling noise are registered as
+//! noise current sources with their transfer computed by transimpedance
+//! solves.
+
+use af_extract::Parasitics;
+use af_netlist::{Circuit, DeviceKind, DeviceParams, NetId, Terminal};
+
+use crate::linalg::solve;
+use crate::Complex;
+
+/// Boltzmann constant (J/K).
+pub const BOLTZMANN: f64 = 1.380649e-23;
+
+/// How supply nets are treated during network assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SupplyMode {
+    /// Supplies are ideal AC ground (normal differential analysis).
+    #[default]
+    AcGround,
+    /// `vdd` is driven as source 0 and both signal inputs are grounded —
+    /// the configuration for PSRR analysis. `vss` stays ground.
+    VddAsSource,
+}
+
+/// Reference to a circuit node in the assembled system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRef {
+    /// AC ground (supplies).
+    Gnd,
+    /// Ideal source `k` (0 = vinp, 1 = vinn).
+    Src(usize),
+    /// Unknown node with matrix index.
+    Idx(usize),
+}
+
+/// Linear elements of the small-signal network.
+#[derive(Debug, Clone, Copy)]
+enum Element {
+    /// Conductance `g` between two nodes.
+    Conductance(NodeRef, NodeRef, f64),
+    /// Capacitance `c` between two nodes.
+    Cap(NodeRef, NodeRef, f64),
+    /// Voltage-controlled current source: `i = gm (v_cp − v_cn)` flowing
+    /// out of `op` into `on`.
+    Vccs {
+        op: NodeRef,
+        on: NodeRef,
+        cp: NodeRef,
+        cn: NodeRef,
+        gm: f64,
+    },
+}
+
+/// Spectral shape of a noise current source.
+#[derive(Debug, Clone, Copy)]
+pub enum NoisePsd {
+    /// Frequency-flat PSD in A²/Hz.
+    White(f64),
+    /// Supply noise coupled through a capacitance: `S_i(f) = sv2 · (ωc)²`
+    /// with `sv2` the supply-voltage PSD in V²/Hz.
+    SupplyCoupling {
+        /// Coupling capacitance in farads.
+        c: f64,
+        /// Supply voltage noise PSD in V²/Hz.
+        sv2: f64,
+    },
+}
+
+impl NoisePsd {
+    /// PSD value at frequency `f` (A²/Hz).
+    pub fn at(&self, f: f64) -> f64 {
+        match *self {
+            NoisePsd::White(s) => s,
+            NoisePsd::SupplyCoupling { c, sv2 } => {
+                let w = 2.0 * std::f64::consts::PI * f;
+                sv2 * (w * c) * (w * c)
+            }
+        }
+    }
+}
+
+/// A noise current source between two nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseSource {
+    /// Positive injection node.
+    pub p: NodeRef,
+    /// Return node.
+    pub n: NodeRef,
+    /// Spectral density.
+    pub psd: NoisePsd,
+}
+
+/// Stamp record of one MOS device, kept for current probing.
+#[derive(Debug, Clone, Copy)]
+pub struct MosStamp {
+    /// Gate node.
+    pub g: NodeRef,
+    /// Drain node.
+    pub d: NodeRef,
+    /// Source node.
+    pub s: NodeRef,
+    /// Transconductance (S).
+    pub gm: f64,
+    /// Output conductance (S).
+    pub gds: f64,
+    /// Net the drain terminal connects to.
+    pub drain_net: NetId,
+}
+
+/// An assembled small-signal network ready for AC solves.
+#[derive(Debug, Clone)]
+pub struct Network {
+    n: usize,
+    elements: Vec<Element>,
+    noise: Vec<NoiseSource>,
+    out_p: NodeRef,
+    out_n: Option<NodeRef>,
+    primary: Vec<NodeRef>,
+    secondary: Vec<NodeRef>,
+    mos: Vec<MosStamp>,
+}
+
+/// The solved node voltages of one AC operating point.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    x: Vec<Complex>,
+    vs: [Complex; 2],
+}
+
+impl Solution {
+    /// Voltage at a node reference.
+    pub fn voltage(&self, r: NodeRef) -> Complex {
+        match r {
+            NodeRef::Gnd => Complex::ZERO,
+            NodeRef::Src(k) => self.vs[k],
+            NodeRef::Idx(i) => self.x[i],
+        }
+    }
+}
+
+/// Adjoint transimpedances: `z(node)` is the output voltage produced by a
+/// unit current injected at `node`.
+#[derive(Debug, Clone)]
+pub struct AdjointSolution {
+    y: Vec<Complex>,
+}
+
+impl AdjointSolution {
+    /// Transimpedance from `node` to the output (0 for ground/sources).
+    pub fn z(&self, node: NodeRef) -> Complex {
+        match node {
+            NodeRef::Idx(i) => self.y[i],
+            _ => Complex::ZERO,
+        }
+    }
+}
+
+/// Error from network assembly or solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The MNA matrix is singular (floating node or degenerate circuit).
+    Singular,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Singular => write!(f, "singular MNA system"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl Network {
+    /// Builds the network from a circuit, optionally annotated with
+    /// extracted parasitics (`None` = schematic-level simulation).
+    ///
+    /// `supply_noise_v2hz` is the supply/bias voltage-noise PSD used for
+    /// coupling noise injection (V²/Hz).
+    pub fn build(
+        circuit: &Circuit,
+        parasitics: Option<&Parasitics>,
+        supply_noise_v2hz: f64,
+        gamma_noise: f64,
+        temperature: f64,
+    ) -> Self {
+        Self::build_with_mode(
+            circuit,
+            parasitics,
+            supply_noise_v2hz,
+            gamma_noise,
+            temperature,
+            SupplyMode::AcGround,
+        )
+    }
+
+    /// Builds the network with an explicit supply treatment (see
+    /// [`SupplyMode`]); [`Network::build`] uses [`SupplyMode::AcGround`].
+    pub fn build_with_mode(
+        circuit: &Circuit,
+        parasitics: Option<&Parasitics>,
+        supply_noise_v2hz: f64,
+        gamma_noise: f64,
+        temperature: f64,
+        mode: SupplyMode,
+    ) -> Self {
+        let io = circuit.io();
+        let nnets = circuit.nets().len();
+        let mut primary = vec![NodeRef::Gnd; nnets];
+        let mut secondary = vec![NodeRef::Gnd; nnets];
+        let mut n = 0usize;
+        let mut alloc = || {
+            let i = n;
+            n += 1;
+            NodeRef::Idx(i)
+        };
+
+        // Primary mapping.
+        for (i, _) in circuit.nets().iter().enumerate() {
+            let id = NetId::new(i as u32);
+            primary[i] = match mode {
+                SupplyMode::AcGround => {
+                    if id == io.vdd || id == io.vss {
+                        NodeRef::Gnd
+                    } else if id == io.vinp {
+                        NodeRef::Src(0)
+                    } else if id == io.vinn {
+                        NodeRef::Src(1)
+                    } else {
+                        alloc()
+                    }
+                }
+                SupplyMode::VddAsSource => {
+                    if id == io.vss || id == io.vinp || id == io.vinn {
+                        NodeRef::Gnd
+                    } else if id == io.vdd {
+                        NodeRef::Src(0)
+                    } else {
+                        alloc()
+                    }
+                }
+            };
+        }
+
+        let mut elements = Vec::new();
+        let mut noise = Vec::new();
+        let mut mos = Vec::new();
+        let four_kt = 4.0 * BOLTZMANN * temperature;
+
+        // Wire parasitics: pi split. Each split net keeps its driving pin
+        // (first drain/Pos, else the first pin) on the primary node and
+        // moves every other pin to the secondary node behind the wire R.
+        let mut pin_node: Vec<NodeRef> = circuit
+            .pins()
+            .iter()
+            .map(|p| primary[p.net.index()])
+            .collect();
+        for (i, net) in circuit.nets().iter().enumerate() {
+            let id = NetId::new(i as u32);
+            let p = primary[i];
+            if p == NodeRef::Gnd {
+                secondary[i] = p;
+                continue;
+            }
+            let (r, cg) = match parasitics {
+                Some(px) => {
+                    let rec = px.net(id);
+                    (rec.resistance, rec.cap_ground)
+                }
+                None => (0.0, 0.0),
+            };
+            if r > 1e-6 {
+                let s = alloc();
+                secondary[i] = s;
+                elements.push(Element::Conductance(p, s, 1.0 / r));
+                // wire thermal noise (tiny, but physical)
+                noise.push(NoiseSource {
+                    p,
+                    n: s,
+                    psd: NoisePsd::White(four_kt / r),
+                });
+                if cg > 0.0 {
+                    if !matches!(p, NodeRef::Src(_)) {
+                        elements.push(Element::Cap(p, NodeRef::Gnd, cg / 2.0));
+                    }
+                    elements.push(Element::Cap(s, NodeRef::Gnd, cg / 2.0));
+                }
+                // Driver pin: the first drain (or Pos plate) on the net.
+                let driver = net
+                    .pins
+                    .iter()
+                    .copied()
+                    .find(|&pid| {
+                        matches!(
+                            circuit.pin(pid).terminal,
+                            Terminal::Drain | Terminal::Pos
+                        )
+                    })
+                    .or_else(|| net.pins.first().copied());
+                for &pid in &net.pins {
+                    pin_node[pid.index()] = if Some(pid) == driver { p } else { s };
+                }
+            } else {
+                secondary[i] = p;
+                if cg > 0.0 && !matches!(p, NodeRef::Src(_)) {
+                    elements.push(Element::Cap(p, NodeRef::Gnd, cg));
+                }
+            }
+        }
+
+        // Coupling capacitances + supply-coupling noise.
+        if let Some(px) = parasitics {
+            for c in px.couplings() {
+                let (pa, pb) = (primary[c.a.index()], primary[c.b.index()]);
+                let a_supply = pa == NodeRef::Gnd;
+                let b_supply = pb == NodeRef::Gnd;
+                match (a_supply, b_supply) {
+                    (false, false) => elements.push(Element::Cap(pa, pb, c.cap)),
+                    (false, true) => {
+                        elements.push(Element::Cap(pa, NodeRef::Gnd, c.cap));
+                        noise.push(NoiseSource {
+                            p: pa,
+                            n: NodeRef::Gnd,
+                            psd: NoisePsd::SupplyCoupling {
+                                c: c.cap,
+                                sv2: supply_noise_v2hz,
+                            },
+                        });
+                    }
+                    (true, false) => {
+                        elements.push(Element::Cap(pb, NodeRef::Gnd, c.cap));
+                        noise.push(NoiseSource {
+                            p: pb,
+                            n: NodeRef::Gnd,
+                            psd: NoisePsd::SupplyCoupling {
+                                c: c.cap,
+                                sv2: supply_noise_v2hz,
+                            },
+                        });
+                    }
+                    (true, true) => {}
+                }
+            }
+        }
+
+        // Devices.
+        for (di, dev) in circuit.devices().iter().enumerate() {
+            let node_of = |t: Terminal| -> Option<NodeRef> {
+                circuit
+                    .pins()
+                    .iter()
+                    .enumerate()
+                    .find(|(_, p)| p.device.index() == di && p.terminal == t)
+                    .map(|(pi, _)| pin_node[pi])
+            };
+            match (dev.kind, &dev.params) {
+                (DeviceKind::Nmos | DeviceKind::Pmos, DeviceParams::Mos(m)) => {
+                    let (Some(g), Some(d), Some(s)) = (
+                        node_of(Terminal::Gate),
+                        node_of(Terminal::Drain),
+                        node_of(Terminal::Source),
+                    ) else {
+                        continue;
+                    };
+                    let b = node_of(Terminal::Bulk).unwrap_or(NodeRef::Gnd);
+                    elements.push(Element::Vccs {
+                        op: d,
+                        on: s,
+                        cp: g,
+                        cn: s,
+                        gm: m.gm,
+                    });
+                    let drain_net = circuit
+                        .pins()
+                        .iter()
+                        .find(|p| p.device.index() == di && p.terminal == Terminal::Drain)
+                        .map(|p| p.net)
+                        .expect("drain pin exists");
+                    mos.push(MosStamp {
+                        g,
+                        d,
+                        s,
+                        gm: m.gm,
+                        gds: m.gds,
+                        drain_net,
+                    });
+                    elements.push(Element::Conductance(d, s, m.gds));
+                    elements.push(Element::Cap(g, s, m.cgs));
+                    elements.push(Element::Cap(g, d, m.cgd));
+                    elements.push(Element::Cap(d, b, m.cdb));
+                    noise.push(NoiseSource {
+                        p: d,
+                        n: s,
+                        psd: NoisePsd::White(four_kt * gamma_noise * m.gm),
+                    });
+                }
+                (DeviceKind::Capacitor, DeviceParams::Cap(cp)) => {
+                    if let (Some(p), Some(nn)) = (node_of(Terminal::Pos), node_of(Terminal::Neg)) {
+                        elements.push(Element::Cap(p, nn, cp.c));
+                    }
+                }
+                (DeviceKind::Resistor, DeviceParams::Res(rp)) => {
+                    if let (Some(p), Some(nn)) = (node_of(Terminal::Pos), node_of(Terminal::Neg)) {
+                        elements.push(Element::Conductance(p, nn, 1.0 / rp.r));
+                        noise.push(NoiseSource {
+                            p,
+                            n: nn,
+                            psd: NoisePsd::White(four_kt / rp.r),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let out_p = primary[io.vout.index()];
+        let out_n = io.voutn.map(|v| primary[v.index()]);
+
+        Self {
+            n,
+            elements,
+            noise,
+            out_p,
+            out_n,
+            primary,
+            secondary,
+            mos,
+        }
+    }
+
+    /// Stamped MOS devices (for small-signal current probing).
+    pub fn mos_stamps(&self) -> &[MosStamp] {
+        &self.mos
+    }
+
+    /// Small-signal drain current of a MOS stamp under a solution:
+    /// `i_d = gm (v_g − v_s) + gds (v_d − v_s)`.
+    pub fn drain_current(&self, m: &MosStamp, sol: &Solution) -> Complex {
+        let vg = sol.voltage(m.g);
+        let vd = sol.voltage(m.d);
+        let vs = sol.voltage(m.s);
+        (vg - vs) * m.gm + (vd - vs) * m.gds
+    }
+
+    /// Number of unknown nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Registered noise sources.
+    pub fn noise_sources(&self) -> &[NoiseSource] {
+        &self.noise
+    }
+
+    /// Primary node of a net.
+    pub fn primary(&self, net: NetId) -> NodeRef {
+        self.primary[net.index()]
+    }
+
+    /// Secondary (gate-side) node of a net.
+    pub fn secondary(&self, net: NetId) -> NodeRef {
+        self.secondary[net.index()]
+    }
+
+    /// Solves the network at angular frequency `omega` with the given source
+    /// voltages and extra current injections (amps into each node).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Singular`] when the system cannot be solved.
+    pub fn solve_at(
+        &self,
+        omega: f64,
+        vs: [Complex; 2],
+        injections: &[(NodeRef, Complex)],
+    ) -> Result<Solution, SimError> {
+        let n = self.n;
+        let mut a = vec![Complex::ZERO; n * n];
+        let mut b = vec![Complex::ZERO; n];
+        self.assemble(omega, vs, &mut a, &mut b);
+        for &(node, current) in injections {
+            if let NodeRef::Idx(i) = node {
+                b[i] += current;
+            }
+        }
+        let x = solve(&mut a, &mut b, n).ok_or(SimError::Singular)?;
+        Ok(Solution { x, vs })
+    }
+
+    /// Stamps every element into `a`/`b` at angular frequency `omega`.
+    fn assemble(&self, omega: f64, vs: [Complex; 2], a: &mut Vec<Complex>, b: &mut Vec<Complex>) {
+        let n = self.n;
+
+        let stamp_pair = |a: &mut Vec<Complex>, b: &mut Vec<Complex>, p: NodeRef, q: NodeRef, y: Complex| {
+            // current y (Vp - Vq) leaving p, entering q
+            if let NodeRef::Idx(i) = p {
+                a[i * n + i] += y;
+                match q {
+                    NodeRef::Idx(j) => a[i * n + j] -= y,
+                    NodeRef::Src(k) => b[i] += y * vs[k],
+                    NodeRef::Gnd => {}
+                }
+            }
+            if let NodeRef::Idx(j) = q {
+                a[j * n + j] += y;
+                match p {
+                    NodeRef::Idx(i) => a[j * n + i] -= y,
+                    NodeRef::Src(k) => b[j] += y * vs[k],
+                    NodeRef::Gnd => {}
+                }
+            }
+        };
+
+        for el in &self.elements {
+            match *el {
+                Element::Conductance(p, q, g) => {
+                    stamp_pair(a, b, p, q, Complex::real(g));
+                }
+                Element::Cap(p, q, c) => {
+                    stamp_pair(a, b, p, q, Complex::imag(omega * c));
+                }
+                Element::Vccs { op, on, cp, cn, gm } => {
+                    // i = gm (Vcp - Vcn) leaves op, enters on
+                    let add = |a: &mut Vec<Complex>, b: &mut Vec<Complex>, row: NodeRef, sign: f64| {
+                        let NodeRef::Idx(r) = row else { return };
+                        match cp {
+                            NodeRef::Idx(c) => a[r * n + c] += Complex::real(sign * gm),
+                            NodeRef::Src(k) => b[r] -= vs[k] * (sign * gm),
+                            NodeRef::Gnd => {}
+                        }
+                        match cn {
+                            NodeRef::Idx(c) => a[r * n + c] -= Complex::real(sign * gm),
+                            NodeRef::Src(k) => b[r] += vs[k] * (sign * gm),
+                            NodeRef::Gnd => {}
+                        }
+                    };
+                    add(a, b, op, 1.0);
+                    add(a, b, on, -1.0);
+                }
+            }
+        }
+
+    }
+
+    /// Adjoint solve at angular frequency `omega`: returns the
+    /// transimpedance from a unit current injected at any node to the
+    /// (differential) output, for all nodes at once (`Aᵀ y = e_out`).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Singular`] when the system cannot be solved.
+    pub fn adjoint_at(&self, omega: f64) -> Result<AdjointSolution, SimError> {
+        let n = self.n;
+        // Assemble A with zero sources (source terms only affect b).
+        let zero = [Complex::ZERO, Complex::ZERO];
+        let probe = self.solve_at(omega, zero, &[]); // cheap validity check
+        probe.as_ref().map_err(|e| e.clone()).ok();
+        let mut a = vec![Complex::ZERO; n * n];
+        let mut b = vec![Complex::ZERO; n];
+        self.assemble(omega, zero, &mut a, &mut b);
+        // Transpose in place.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                a.swap(i * n + j, j * n + i);
+            }
+        }
+        let mut rhs = vec![Complex::ZERO; n];
+        if let NodeRef::Idx(i) = self.out_p {
+            rhs[i] += Complex::ONE;
+        }
+        if let Some(NodeRef::Idx(i)) = self.out_n {
+            rhs[i] -= Complex::ONE;
+        }
+        let y = solve(&mut a, &mut rhs, n).ok_or(SimError::Singular)?;
+        Ok(AdjointSolution { y })
+    }
+
+    /// Output voltage of a solution: differential `voutp − voutn` for
+    /// fully-differential circuits, single-ended otherwise.
+    pub fn output(&self, sol: &Solution) -> Complex {
+        let vp = sol.voltage(self.out_p);
+        match self.out_n {
+            Some(on) => vp - sol.voltage(on),
+            None => vp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_netlist::benchmarks;
+
+    #[test]
+    fn build_schematic_network() {
+        let c = benchmarks::ota1();
+        let net = Network::build(&c, None, 0.0, 0.8, 300.0);
+        assert!(net.num_nodes() >= 8, "expected one node per internal net");
+        assert!(!net.noise_sources().is_empty());
+        // supplies are ground
+        assert_eq!(net.primary(c.io().vdd), NodeRef::Gnd);
+        assert_eq!(net.primary(c.io().vss), NodeRef::Gnd);
+        assert_eq!(net.primary(c.io().vinp), NodeRef::Src(0));
+    }
+
+    #[test]
+    fn rc_divider_transfer() {
+        // Build a tiny synthetic circuit: vinp - R - out - C - gnd using the
+        // netlist builder, then verify the MNA pole.
+        use af_netlist::{CircuitBuilder, DeviceParams, NetType, ResParams, CapParams};
+        let mut b = CircuitBuilder::new("rc");
+        b.add_net("vdd", NetType::Power).unwrap();
+        b.add_net("vss", NetType::Ground).unwrap();
+        b.add_net("vinp", NetType::Input).unwrap();
+        b.add_net("vinn", NetType::Input).unwrap();
+        b.add_net("out", NetType::Output).unwrap();
+        b.add_device(
+            "R1",
+            DeviceKind::Resistor,
+            DeviceParams::Res(ResParams { r: 1_000.0 }),
+            &[(Terminal::Pos, "vinp"), (Terminal::Neg, "out")],
+        )
+        .unwrap();
+        b.add_device(
+            "C1",
+            DeviceKind::Capacitor,
+            DeviceParams::Cap(CapParams { c: 1e-9 }),
+            &[(Terminal::Pos, "out"), (Terminal::Neg, "vss")],
+        )
+        .unwrap();
+        // dummy element so vinn isn't floating in the netlist sense
+        b.add_device(
+            "R2",
+            DeviceKind::Resistor,
+            DeviceParams::Res(ResParams { r: 1e6 }),
+            &[(Terminal::Pos, "vinn"), (Terminal::Neg, "out")],
+        )
+        .unwrap();
+        b.set_io("vinp", "vinn", "out", None, "vdd", "vss").unwrap();
+        let c = b.finish().unwrap();
+        let net = Network::build(&c, None, 0.0, 0.8, 300.0);
+
+        // drive vinp = 1, vinn = 0 (R2 is huge, nearly no effect)
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1_000.0 * 1e-9); // ~159 kHz
+        let lo = net
+            .solve_at(2.0 * std::f64::consts::PI * 10.0, [Complex::ONE, Complex::ZERO], &[])
+            .unwrap();
+        let hi = net
+            .solve_at(
+                2.0 * std::f64::consts::PI * fc,
+                [Complex::ONE, Complex::ZERO],
+                &[],
+            )
+            .unwrap();
+        let mag_lo = net.output(&lo).abs();
+        let mag_hi = net.output(&hi).abs();
+        assert!((mag_lo - 1.0).abs() < 1e-2, "low-frequency gain ~1, got {mag_lo}");
+        assert!(
+            (mag_hi - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02,
+            "gain at fc should be ~0.707, got {mag_hi}"
+        );
+    }
+
+    #[test]
+    fn common_source_gain_sign_and_magnitude() {
+        use af_netlist::{CircuitBuilder, DeviceParams, MosParams, NetType, ResParams};
+        let mut b = CircuitBuilder::new("cs");
+        b.add_net("vdd", NetType::Power).unwrap();
+        b.add_net("vss", NetType::Ground).unwrap();
+        b.add_net("vinp", NetType::Input).unwrap();
+        b.add_net("vinn", NetType::Input).unwrap();
+        b.add_net("out", NetType::Output).unwrap();
+        let m = MosParams::from_sizing(10.0, 0.5, 100e-6);
+        b.add_device(
+            "M1",
+            DeviceKind::Nmos,
+            DeviceParams::Mos(m),
+            &[
+                (Terminal::Gate, "vinp"),
+                (Terminal::Drain, "out"),
+                (Terminal::Source, "vss"),
+                (Terminal::Bulk, "vss"),
+            ],
+        )
+        .unwrap();
+        b.add_device(
+            "RL",
+            DeviceKind::Resistor,
+            DeviceParams::Res(ResParams { r: 10_000.0 }),
+            &[(Terminal::Pos, "out"), (Terminal::Neg, "vdd")],
+        )
+        .unwrap();
+        b.add_device(
+            "RB",
+            DeviceKind::Resistor,
+            DeviceParams::Res(ResParams { r: 1e9 }),
+            &[(Terminal::Pos, "vinn"), (Terminal::Neg, "vss")],
+        )
+        .unwrap();
+        b.set_io("vinp", "vinn", "out", None, "vdd", "vss").unwrap();
+        let c = b.finish().unwrap();
+        let net = Network::build(&c, None, 0.0, 0.8, 300.0);
+        let sol = net
+            .solve_at(2.0 * std::f64::consts::PI * 100.0, [Complex::ONE, Complex::ZERO], &[])
+            .unwrap();
+        let out = net.output(&sol);
+        // expected gain = -gm * (RL || ro)
+        let ro = 1.0 / m.gds;
+        let rl = 10_000.0 * ro / (10_000.0 + ro);
+        let expected = -m.gm * rl;
+        assert!(
+            (out.re - expected).abs() < 0.02 * expected.abs(),
+            "gain {out} vs expected {expected}"
+        );
+        assert!(out.re < 0.0, "common source must invert");
+    }
+
+    #[test]
+    fn adjoint_matches_direct_injection() {
+        // reciprocity check: the adjoint transimpedance must equal the
+        // output voltage from a direct unit-current injection, node by node
+        let c = benchmarks::ota1();
+        let net = Network::build(&c, None, 0.0, 0.8, 300.0);
+        for f in [1e3, 1e6, 1e9] {
+            let w = 2.0 * std::f64::consts::PI * f;
+            let adj = net.adjoint_at(w).unwrap();
+            for name in ["n1", "n2", "tail", "vout", "vbn"] {
+                let node = net.primary(c.net_by_name(name).unwrap());
+                let sol = net
+                    .solve_at(w, [Complex::ZERO, Complex::ZERO], &[(node, Complex::ONE)])
+                    .unwrap();
+                let direct = net.output(&sol);
+                let za = adj.z(node);
+                assert!(
+                    (direct - za).abs() < 1e-9 * (1.0 + direct.abs()),
+                    "{name} @ {f}: direct {direct} vs adjoint {za}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transimpedance_injection() {
+        let c = benchmarks::ota1();
+        let net = Network::build(&c, None, 0.0, 0.8, 300.0);
+        let n1 = c.net_by_name("n1").unwrap();
+        let node = net.primary(n1);
+        let sol = net
+            .solve_at(
+                2.0 * std::f64::consts::PI * 100.0,
+                [Complex::ZERO, Complex::ZERO],
+                &[(node, Complex::ONE)],
+            )
+            .unwrap();
+        assert!(net.output(&sol).abs() > 0.0, "injection must reach the output");
+    }
+}

@@ -1,0 +1,200 @@
+//! SPICE deck export of the small-signal network.
+//!
+//! Emits a linear AC deck (G/R/C/V elements only) equivalent to the MNA
+//! network this crate simulates — including the parasitic pi models — so
+//! results can be cross-validated against ngspice/Spectre:
+//!
+//! * each MOSFET becomes its small-signal equivalent (`G` VCCS for gm, `R`
+//!   for 1/gds, `C` for cgs/cgd/cdb),
+//! * each net with extracted wire resistance is split into `<net>` and
+//!   `<net>_w` joined by `R`, matching [`crate::Network`]'s pi model,
+//! * coupling capacitances become `C` elements between net nodes,
+//! * the differential input is driven by `vinp`/`vinn` AC sources.
+
+use std::fmt::Write as _;
+
+use af_extract::Parasitics;
+use af_netlist::{Circuit, DeviceKind, DeviceParams, NetId, Terminal};
+
+/// Renders the circuit (optionally parasitic-annotated) as a SPICE deck.
+///
+/// The deck contains an `.ac` analysis and a `.print` of the output net so
+/// it runs as-is in ngspice.
+pub fn to_spice(circuit: &Circuit, parasitics: Option<&Parasitics>) -> String {
+    let io = circuit.io();
+    let mut out = String::new();
+    let _ = writeln!(out, "* {} — small-signal deck exported by af-sim", circuit.name());
+    let _ = writeln!(out, "* vdd/vss are AC ground; inputs driven differentially");
+
+    let net_name = |id: NetId| circuit.net(id).name.clone();
+    // Node of a pin: supplies collapse to 0; split nets move non-driver pins
+    // behind the wire resistance, mirroring mna.rs.
+    let is_gnd = |id: NetId| id == io.vdd || id == io.vss;
+    let split: Vec<bool> = circuit
+        .nets()
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let id = NetId::new(i as u32);
+            !is_gnd(id)
+                && parasitics
+                    .map(|p| p.net(id).resistance > 1e-6)
+                    .unwrap_or(false)
+        })
+        .collect();
+    let driver_pin = |id: NetId| {
+        circuit
+            .net(id)
+            .pins
+            .iter()
+            .copied()
+            .find(|&pid| {
+                matches!(circuit.pin(pid).terminal, Terminal::Drain | Terminal::Pos)
+            })
+            .or_else(|| circuit.net(id).pins.first().copied())
+    };
+    let node_of_pin = |pid: af_netlist::PinId| -> String {
+        let pin = circuit.pin(pid);
+        let id = pin.net;
+        if is_gnd(id) {
+            return "0".to_string();
+        }
+        if split[id.index()] && Some(pid) != driver_pin(id) {
+            format!("{}_w", net_name(id))
+        } else {
+            net_name(id)
+        }
+    };
+
+    // Parasitic elements.
+    if let Some(px) = parasitics {
+        let _ = writeln!(out, "\n* wire parasitics (pi models)");
+        for (i, net) in circuit.nets().iter().enumerate() {
+            let id = NetId::new(i as u32);
+            if is_gnd(id) {
+                continue;
+            }
+            let rec = px.net(id);
+            if split[i] {
+                let _ = writeln!(out, "Rw_{n} {n} {n}_w {:.6}", rec.resistance, n = net.name);
+                let _ = writeln!(out, "Cw_{n}_a {n} 0 {:.6e}", rec.cap_ground / 2.0, n = net.name);
+                let _ = writeln!(out, "Cw_{n}_b {n}_w 0 {:.6e}", rec.cap_ground / 2.0, n = net.name);
+            } else if rec.cap_ground > 0.0 {
+                let _ = writeln!(out, "Cw_{n} {n} 0 {:.6e}", rec.cap_ground, n = net.name);
+            }
+        }
+        let _ = writeln!(out, "\n* coupling capacitances");
+        for (k, cc) in px.couplings().iter().enumerate() {
+            let (a, b) = (
+                if is_gnd(cc.a) { "0".into() } else { net_name(cc.a) },
+                if is_gnd(cc.b) { "0".into() } else { net_name(cc.b) },
+            );
+            if a == b {
+                continue;
+            }
+            let _ = writeln!(out, "Cc{k} {a} {b} {:.6e}", cc.cap);
+        }
+    }
+
+    // Devices as small-signal equivalents.
+    let _ = writeln!(out, "\n* devices (small-signal equivalents)");
+    for (di, dev) in circuit.devices().iter().enumerate() {
+        let pin_of = |t: Terminal| {
+            circuit
+                .pins()
+                .iter()
+                .enumerate()
+                .find(|(_, p)| p.device.index() == di && p.terminal == t)
+                .map(|(i, _)| node_of_pin(af_netlist::PinId::new(i as u32)))
+        };
+        match (&dev.kind, &dev.params) {
+            (DeviceKind::Nmos | DeviceKind::Pmos, DeviceParams::Mos(m)) => {
+                let (Some(g), Some(d), Some(s)) =
+                    (pin_of(Terminal::Gate), pin_of(Terminal::Drain), pin_of(Terminal::Source))
+                else {
+                    continue;
+                };
+                let b = pin_of(Terminal::Bulk).unwrap_or_else(|| "0".into());
+                let n = &dev.name;
+                let _ = writeln!(out, "G{n} {d} {s} {g} {s} {:.6e}", m.gm);
+                let _ = writeln!(out, "Rds{n} {d} {s} {:.6}", 1.0 / m.gds);
+                let _ = writeln!(out, "Cgs{n} {g} {s} {:.6e}", m.cgs);
+                let _ = writeln!(out, "Cgd{n} {g} {d} {:.6e}", m.cgd);
+                let _ = writeln!(out, "Cdb{n} {d} {b} {:.6e}", m.cdb);
+            }
+            (DeviceKind::Capacitor, DeviceParams::Cap(c)) => {
+                if let (Some(p), Some(q)) = (pin_of(Terminal::Pos), pin_of(Terminal::Neg)) {
+                    let _ = writeln!(out, "C{} {p} {q} {:.6e}", dev.name, c.c);
+                }
+            }
+            (DeviceKind::Resistor, DeviceParams::Res(r)) => {
+                if let (Some(p), Some(q)) = (pin_of(Terminal::Pos), pin_of(Terminal::Neg)) {
+                    let _ = writeln!(out, "R{} {p} {q} {:.6}", dev.name, r.r);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Sources & analysis.
+    let _ = writeln!(out, "\n* differential drive");
+    let _ = writeln!(out, "Vinp {} 0 AC 0.5", net_name(io.vinp));
+    let _ = writeln!(out, "Vinn {} 0 AC -0.5", net_name(io.vinn));
+    let _ = writeln!(out, "\n.ac dec 20 1k 100g");
+    match io.voutn {
+        Some(n) => {
+            let _ = writeln!(out, ".print ac v({},{})", net_name(io.vout), net_name(n));
+        }
+        None => {
+            let _ = writeln!(out, ".print ac v({})", net_name(io.vout));
+        }
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_netlist::benchmarks;
+
+    #[test]
+    fn schematic_deck_structure() {
+        let c = benchmarks::ota1();
+        let deck = to_spice(&c, None);
+        assert!(deck.starts_with("* OTA1"));
+        assert!(deck.contains("GM1 "), "gm VCCS for M1:\n{deck}");
+        assert!(deck.contains("RdsM1 "));
+        assert!(deck.contains("CgsM1 "));
+        assert!(deck.contains("CCC ") || deck.contains("CCC\t"), "compensation cap");
+        assert!(deck.contains("Vinp vinp 0 AC 0.5"));
+        assert!(deck.contains(".ac dec"));
+        assert!(deck.trim_end().ends_with(".end"));
+        // supplies collapse to node 0
+        assert!(!deck.contains(" vdd "), "vdd must be ground:\n{deck}");
+    }
+
+    #[test]
+    fn parasitic_deck_contains_wire_elements() {
+        use af_place::{place, PlacementVariant};
+        use af_route::{route, RouterConfig, RoutingGuidance};
+        use af_tech::Technology;
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let px = af_extract::extract(&c, &t, &l);
+        let deck = to_spice(&c, Some(&px));
+        assert!(deck.contains("Rw_vout "), "wire resistance exported");
+        assert!(deck.contains("Cc0 "), "coupling caps exported");
+        // split nets reference the _w node somewhere
+        assert!(deck.contains("_w"), "pi-split nodes present");
+    }
+
+    #[test]
+    fn fully_differential_print_statement() {
+        let c = benchmarks::ota3();
+        let deck = to_spice(&c, None);
+        assert!(deck.contains(".print ac v(voutp,voutn)"));
+    }
+}

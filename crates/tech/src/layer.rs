@@ -1,0 +1,128 @@
+use serde::{Deserialize, Serialize};
+
+use af_geom::Axis;
+
+/// Preferred routing direction of a metal layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PreferredDir {
+    /// Wires on this layer should run along X.
+    Horizontal,
+    /// Wires on this layer should run along Y.
+    Vertical,
+}
+
+impl PreferredDir {
+    /// The geometric axis of this direction.
+    pub const fn axis(self) -> Axis {
+        match self {
+            PreferredDir::Horizontal => Axis::X,
+            PreferredDir::Vertical => Axis::Y,
+        }
+    }
+
+    /// The other in-plane direction.
+    pub const fn other(self) -> PreferredDir {
+        match self {
+            PreferredDir::Horizontal => PreferredDir::Vertical,
+            PreferredDir::Vertical => PreferredDir::Horizontal,
+        }
+    }
+}
+
+/// Physical and electrical description of one routing metal layer.
+///
+/// # Examples
+///
+/// ```
+/// use af_tech::{LayerInfo, PreferredDir};
+///
+/// let m1 = LayerInfo::new("M1", PreferredDir::Horizontal, 70, 70, 0.4, 0.19e-15, 0.085e-15);
+/// assert_eq!(m1.min_width, 70);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerInfo {
+    /// Layer name, e.g. `"M1"`.
+    pub name: String,
+    /// Preferred routing direction.
+    pub preferred: PreferredDir,
+    /// Minimum wire width in dbu.
+    pub min_width: i64,
+    /// Minimum same-layer spacing in dbu.
+    pub min_spacing: i64,
+    /// Sheet resistance in Ω/square.
+    pub sheet_resistance: f64,
+    /// Ground (area + fringe) capacitance in F per µm of minimum-width wire.
+    pub ground_cap_per_um: f64,
+    /// Coupling capacitance in F per µm of parallel run at minimum spacing.
+    pub coupling_cap_per_um: f64,
+}
+
+impl LayerInfo {
+    /// Creates a layer description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths/spacings are non-positive or electrical constants are
+    /// negative.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        preferred: PreferredDir,
+        min_width: i64,
+        min_spacing: i64,
+        sheet_resistance: f64,
+        ground_cap_per_um: f64,
+        coupling_cap_per_um: f64,
+    ) -> Self {
+        assert!(min_width > 0, "non-positive min width");
+        assert!(min_spacing > 0, "non-positive min spacing");
+        assert!(sheet_resistance >= 0.0, "negative sheet resistance");
+        assert!(ground_cap_per_um >= 0.0, "negative ground cap");
+        assert!(coupling_cap_per_um >= 0.0, "negative coupling cap");
+        Self {
+            name: name.into(),
+            preferred,
+            min_width,
+            min_spacing,
+            sheet_resistance,
+            ground_cap_per_um,
+            coupling_cap_per_um,
+        }
+    }
+
+    /// Minimum center-to-center pitch of wires on this layer.
+    pub fn min_pitch(&self) -> i64 {
+        self.min_width + self.min_spacing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preferred_dir_axis() {
+        assert_eq!(PreferredDir::Horizontal.axis(), Axis::X);
+        assert_eq!(PreferredDir::Vertical.axis(), Axis::Y);
+        assert_eq!(PreferredDir::Horizontal.other(), PreferredDir::Vertical);
+        assert_eq!(PreferredDir::Vertical.other(), PreferredDir::Horizontal);
+    }
+
+    #[test]
+    fn pitch() {
+        let l = LayerInfo::new("M1", PreferredDir::Horizontal, 70, 80, 0.4, 1e-16, 1e-16);
+        assert_eq!(l.min_pitch(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive min width")]
+    fn rejects_zero_width() {
+        let _ = LayerInfo::new("M1", PreferredDir::Horizontal, 0, 70, 0.4, 1e-16, 1e-16);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative sheet resistance")]
+    fn rejects_negative_resistance() {
+        let _ = LayerInfo::new("M1", PreferredDir::Horizontal, 70, 70, -0.4, 1e-16, 1e-16);
+    }
+}

@@ -1,0 +1,264 @@
+#![warn(missing_docs)]
+//! Technology description for the AnalogFold reproduction.
+//!
+//! The paper evaluates under the (closed) TSMC 40 nm PDK. This crate provides
+//! a self-contained **40 nm-class** technology: four routing metal layers with
+//! alternating preferred directions, width/spacing/via design rules, and
+//! parasitic constants (sheet resistance, area/fringe capacitance, coupling
+//! capacitance) of realistic 40 nm-era magnitude.
+//!
+//! Everything downstream (router DRC costs, parasitic extraction, and hence
+//! the simulated performance metrics) reads its constants from
+//! [`Technology`], so swapping in a different process corner is a single
+//! constructor call.
+//!
+//! Units: lengths are integer dbu with **1 dbu = 1 nm**; resistances are ohms;
+//! capacitances are farads.
+//!
+//! # Examples
+//!
+//! ```
+//! use af_tech::Technology;
+//!
+//! let tech = Technology::nm40();
+//! assert_eq!(tech.num_layers(), 4);
+//! let r = tech.wire_resistance(0, 1_000); // 1 µm of M1
+//! assert!(r > 0.0);
+//! ```
+
+mod layer;
+mod rules;
+
+pub use layer::{LayerInfo, PreferredDir};
+pub use rules::DesignRules;
+
+use serde::{Deserialize, Serialize};
+
+/// A complete routing technology: layer stack, design rules, and parasitic
+/// constants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    name: String,
+    layers: Vec<LayerInfo>,
+    rules: DesignRules,
+    /// Resistance of a single via cut between adjacent layers, in ohms.
+    via_resistance: f64,
+    /// Routing grid pitch in dbu.
+    grid_pitch: i64,
+    /// Vertical pitch between adjacent metal layers in dbu (used when a
+    /// z-distance must be expressed in the same unit as x/y distances).
+    layer_pitch: i64,
+}
+
+impl Technology {
+    /// The bundled 40 nm-class technology used by every experiment.
+    ///
+    /// Four metals M1–M4; odd metals prefer horizontal wires, even metals
+    /// vertical (index 0 = M1 = horizontal). Parasitic constants are
+    /// representative of a 40 nm LP process:
+    ///
+    /// * sheet resistance 0.40 Ω/□ (M1/M2), 0.20 Ω/□ (M3), 0.08 Ω/□ (M4)
+    /// * ground capacitance ≈ 0.19 fF/µm of wire
+    /// * coupling capacitance ≈ 0.085 fF/µm at minimum spacing
+    pub fn nm40() -> Self {
+        let layers = vec![
+            LayerInfo::new("M1", PreferredDir::Horizontal, 70, 70, 0.40, 0.19e-15, 0.085e-15),
+            LayerInfo::new("M2", PreferredDir::Vertical, 70, 70, 0.40, 0.18e-15, 0.082e-15),
+            LayerInfo::new("M3", PreferredDir::Horizontal, 100, 100, 0.20, 0.16e-15, 0.075e-15),
+            LayerInfo::new("M4", PreferredDir::Vertical, 140, 140, 0.08, 0.14e-15, 0.065e-15),
+        ];
+        let rules = DesignRules::for_layers(&layers);
+        Self {
+            name: "generic-40nm".to_string(),
+            layers,
+            rules,
+            via_resistance: 4.5,
+            grid_pitch: 140,
+            layer_pitch: 140,
+        }
+    }
+
+    /// Builds a custom technology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or `grid_pitch <= 0`.
+    pub fn custom(
+        name: impl Into<String>,
+        layers: Vec<LayerInfo>,
+        via_resistance: f64,
+        grid_pitch: i64,
+    ) -> Self {
+        assert!(!layers.is_empty(), "technology needs at least one layer");
+        assert!(grid_pitch > 0, "non-positive grid pitch");
+        let rules = DesignRules::for_layers(&layers);
+        Self {
+            name: name.into(),
+            layers,
+            rules,
+            via_resistance,
+            grid_pitch,
+            layer_pitch: grid_pitch,
+        }
+    }
+
+    /// Technology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of routing layers.
+    pub fn num_layers(&self) -> u8 {
+        self.layers.len() as u8
+    }
+
+    /// Layer description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer(&self, layer: u8) -> &LayerInfo {
+        &self.layers[layer as usize]
+    }
+
+    /// All layers, bottom-up.
+    pub fn layers(&self) -> &[LayerInfo] {
+        &self.layers
+    }
+
+    /// Design rules derived from the layer stack.
+    pub fn rules(&self) -> &DesignRules {
+        &self.rules
+    }
+
+    /// Routing grid pitch in dbu.
+    pub fn grid_pitch(&self) -> i64 {
+        self.grid_pitch
+    }
+
+    /// Equivalent dbu distance of one layer hop.
+    pub fn layer_pitch(&self) -> i64 {
+        self.layer_pitch
+    }
+
+    /// Resistance of `length` dbu of minimum-width wire on `layer`, in ohms.
+    ///
+    /// `R = R_sheet · length / width`.
+    pub fn wire_resistance(&self, layer: u8, length: i64) -> f64 {
+        let info = self.layer(layer);
+        info.sheet_resistance * length as f64 / info.min_width as f64
+    }
+
+    /// Ground (area + fringe) capacitance of `length` dbu of wire on `layer`.
+    pub fn wire_ground_cap(&self, layer: u8, length: i64) -> f64 {
+        // ground_cap_per_um is per µm of wire; dbu are nm.
+        self.layer(layer).ground_cap_per_um * length as f64 / 1_000.0
+    }
+
+    /// Coupling capacitance between two wires on `layer` that run parallel for
+    /// `run` dbu at edge separation `sep` dbu.
+    ///
+    /// Modeled as the minimum-spacing coupling constant scaled by
+    /// `s_min / sep` (inverse-distance falloff), zero beyond four grid
+    /// pitches.
+    pub fn coupling_cap(&self, layer: u8, run: i64, sep: i64) -> f64 {
+        let info = self.layer(layer);
+        let s_min = info.min_spacing as f64;
+        let sep = sep.max(info.min_spacing) as f64;
+        if sep > 4.0 * self.grid_pitch as f64 {
+            return 0.0;
+        }
+        info.coupling_cap_per_um * (run as f64 / 1_000.0) * (s_min / sep)
+    }
+
+    /// Resistance of a stack of vias spanning `hops` adjacent-layer crossings.
+    pub fn via_stack_resistance(&self, hops: u32) -> f64 {
+        self.via_resistance * f64::from(hops)
+    }
+
+    /// Resistance of a single adjacent-layer via cut.
+    pub fn via_resistance(&self) -> f64 {
+        self.via_resistance
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::nm40()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nm40_layer_stack() {
+        let t = Technology::nm40();
+        assert_eq!(t.num_layers(), 4);
+        assert_eq!(t.layer(0).name, "M1");
+        assert_eq!(t.layer(0).preferred, PreferredDir::Horizontal);
+        assert_eq!(t.layer(1).preferred, PreferredDir::Vertical);
+        assert_eq!(t.layer(3).name, "M4");
+        assert!(t.grid_pitch() > 0);
+    }
+
+    #[test]
+    fn resistance_scales_linearly_with_length() {
+        let t = Technology::nm40();
+        let r1 = t.wire_resistance(0, 1_000);
+        let r2 = t.wire_resistance(0, 2_000);
+        assert!((r2 - 2.0 * r1).abs() < 1e-12);
+        // 1 µm of M1 at 70 nm width: 0.4 * 1000/70 ≈ 5.71 Ω
+        assert!((r1 - 0.4 * 1000.0 / 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upper_layers_are_less_resistive() {
+        let t = Technology::nm40();
+        assert!(t.wire_resistance(3, 1_000) < t.wire_resistance(0, 1_000));
+    }
+
+    #[test]
+    fn ground_cap_magnitude() {
+        let t = Technology::nm40();
+        let c = t.wire_ground_cap(0, 10_000); // 10 µm
+        assert!(c > 1e-15 && c < 1e-14, "10 µm of M1 should be ~1.9 fF, got {c}");
+    }
+
+    #[test]
+    fn coupling_decays_with_separation() {
+        let t = Technology::nm40();
+        let near = t.coupling_cap(0, 10_000, 70);
+        let far = t.coupling_cap(0, 10_000, 280);
+        assert!(near > far && far > 0.0);
+        assert_eq!(t.coupling_cap(0, 10_000, 100_000), 0.0);
+    }
+
+    #[test]
+    fn coupling_clamps_below_min_spacing() {
+        let t = Technology::nm40();
+        assert_eq!(t.coupling_cap(0, 1_000, 10), t.coupling_cap(0, 1_000, 70));
+    }
+
+    #[test]
+    fn via_stack() {
+        let t = Technology::nm40();
+        assert_eq!(t.via_stack_resistance(0), 0.0);
+        assert!((t.via_stack_resistance(3) - 3.0 * t.via_resistance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Technology::nm40();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Technology = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn custom_rejects_empty_stack() {
+        let _ = Technology::custom("x", vec![], 1.0, 10);
+    }
+}

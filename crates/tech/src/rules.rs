@@ -1,0 +1,84 @@
+use serde::{Deserialize, Serialize};
+
+use crate::LayerInfo;
+
+/// Design rules derived from a layer stack.
+///
+/// The router and the DRC checker consult these; they are intentionally the
+/// handful of rules that dominate analog detailed routing on a gridded
+/// 40 nm-class stack: per-layer width/spacing, via enclosure, and a blanket
+/// device-keepout margin (the "no routing over active regions" heuristic of
+/// Xiao et al., cited by the paper).
+///
+/// # Examples
+///
+/// ```
+/// use af_tech::Technology;
+///
+/// let tech = Technology::nm40();
+/// assert!(tech.rules().min_spacing(0) > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignRules {
+    widths: Vec<i64>,
+    spacings: Vec<i64>,
+    /// Metal enclosure required around a via cut, in dbu.
+    pub via_enclosure: i64,
+    /// Keepout margin around device active regions on M1, in dbu.
+    pub device_keepout: i64,
+}
+
+impl DesignRules {
+    /// Derives the rule set from layer descriptions.
+    pub fn for_layers(layers: &[LayerInfo]) -> Self {
+        Self {
+            widths: layers.iter().map(|l| l.min_width).collect(),
+            spacings: layers.iter().map(|l| l.min_spacing).collect(),
+            via_enclosure: 20,
+            device_keepout: 70,
+        }
+    }
+
+    /// Minimum wire width on `layer` in dbu.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn min_width(&self, layer: u8) -> i64 {
+        self.widths[layer as usize]
+    }
+
+    /// Minimum same-net-to-other-net spacing on `layer` in dbu.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn min_spacing(&self, layer: u8) -> i64 {
+        self.spacings[layer as usize]
+    }
+
+    /// Number of layers covered by the rule set.
+    pub fn num_layers(&self) -> u8 {
+        self.widths.len() as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PreferredDir;
+
+    #[test]
+    fn rules_follow_layers() {
+        let layers = vec![
+            LayerInfo::new("M1", PreferredDir::Horizontal, 70, 75, 0.4, 1e-16, 1e-16),
+            LayerInfo::new("M2", PreferredDir::Vertical, 100, 110, 0.4, 1e-16, 1e-16),
+        ];
+        let r = DesignRules::for_layers(&layers);
+        assert_eq!(r.num_layers(), 2);
+        assert_eq!(r.min_width(0), 70);
+        assert_eq!(r.min_spacing(1), 110);
+        assert!(r.via_enclosure > 0);
+        assert!(r.device_keepout > 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Demonstrates potential modeling and pool-assisted relaxation in
+//! isolation: train a small 3DGNN on sampled routings, then watch L-BFGS
+//! multistart (with and without the pool) descend the potential.
+//!
+//! Run with: `cargo run --release --example guidance_relaxation`
+
+use analogfold_suite::analogfold::{
+    generate_dataset, relax, DatasetConfig, GnnConfig, HeteroGraph, Potential, RelaxConfig,
+    ThreeDGnn,
+};
+use analogfold_suite::netlist::benchmarks;
+use analogfold_suite::place::{place, PlacementVariant};
+use analogfold_suite::tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = benchmarks::ota2();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::B);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 3);
+    println!(
+        "heterogeneous graph: {} APs ({} guided), {} modules, {} PP / {} MP / {} MM edges",
+        graph.num_aps(),
+        graph.guided_ap_indices().len(),
+        graph.num_modules(),
+        graph.pp_edges.len(),
+        graph.mp_edges.len(),
+        graph.mm_edges.len()
+    );
+
+    println!("sampling 20 guided routings for training labels ...");
+    let dataset = generate_dataset(
+        &circuit,
+        &placement,
+        &tech,
+        &graph,
+        &DatasetConfig {
+            samples: 20,
+            ..DatasetConfig::default()
+        },
+    )?;
+
+    let cfg = GnnConfig {
+        epochs: 15,
+        ..GnnConfig::default()
+    };
+    let mut gnn = ThreeDGnn::new(&cfg);
+    let report = gnn.train(&graph, &dataset, &cfg);
+    println!(
+        "trained 3DGNN: loss {:.4} -> {:.4} over {} epochs",
+        report.epoch_losses[0],
+        report.final_loss,
+        report.epoch_losses.len()
+    );
+
+    let potential = Potential::new(&gnn, &graph);
+    let neutral = vec![1.0; potential.dim()];
+    let (v_neutral, _) = potential.value_and_grad(&neutral);
+    println!("\npotential at neutral guidance (all 1.0): {v_neutral:.5}");
+
+    for (label, p_relax) in [("plain multistart", 0.0), ("pool-assisted", 0.6)] {
+        let out = relax(
+            &potential,
+            &RelaxConfig {
+                restarts: 12,
+                p_relax,
+                n_derive: 3,
+                ..RelaxConfig::default()
+            },
+        );
+        println!("\n{label}: top-3 potentials after 12 restarts");
+        for (i, o) in out.iter().enumerate() {
+            let mean: f64 = o.guidance.iter().sum::<f64>() / o.guidance.len() as f64;
+            println!(
+                "  #{}: V = {:.5} (mean C = {:.3})",
+                i + 1,
+                o.potential,
+                mean
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Full AnalogFold flow on one OTA benchmark, compared against the
+//! MagicalRoute baseline.
+//!
+//! Run with: `cargo run --release --example ota_flow -- [OTA1..OTA4] [A..D]`
+
+use analogfold_suite::analogfold::{
+    magical_route, AnalogFoldFlow, DatasetConfig, FlowConfig, GnnConfig, RelaxConfig,
+};
+use analogfold_suite::netlist::benchmarks;
+use analogfold_suite::place::{place, PlacementVariant};
+use analogfold_suite::route::RouterConfig;
+use analogfold_suite::sim::SimConfig;
+use analogfold_suite::tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = args.first().map(String::as_str).unwrap_or("OTA1");
+    let variant = args
+        .get(1)
+        .and_then(|v| PlacementVariant::from_label(v))
+        .unwrap_or(PlacementVariant::A);
+
+    let circuit = benchmarks::by_name(bench).ok_or("unknown benchmark (use OTA1..OTA4)")?;
+    let tech = Technology::nm40();
+    let placement = place(&circuit, variant);
+    println!(
+        "{}-{}: running MagicalRoute baseline ...",
+        circuit.name(),
+        variant
+    );
+
+    let (_, _, base) = magical_route(
+        &circuit,
+        &placement,
+        &tech,
+        &RouterConfig::default(),
+        &SimConfig::default(),
+    )?;
+
+    println!("training AnalogFold (small laptop-scale configuration) ...");
+    let cfg = FlowConfig {
+        dataset: DatasetConfig {
+            samples: 24,
+            ..DatasetConfig::default()
+        },
+        gnn: GnnConfig {
+            epochs: 12,
+            ..GnnConfig::default()
+        },
+        relax: RelaxConfig {
+            restarts: 10,
+            n_derive: 2,
+            ..RelaxConfig::default()
+        },
+        ..FlowConfig::default()
+    };
+    let outcome = AnalogFoldFlow::new(cfg).run(&circuit, &placement)?;
+    let ours = outcome.performance;
+
+    println!(
+        "\nfinal GNN training loss: {:.4}",
+        outcome.train_report.final_loss
+    );
+    println!(
+        "runtime: db {:.2}s, training {:.2}s, guide {:.2}s, routing {:.2}s",
+        outcome.breakdown.construct_db_s,
+        outcome.breakdown.training_s,
+        outcome.breakdown.guide_gen_s,
+        outcome.breakdown.guided_route_s
+    );
+
+    println!(
+        "\n{:<22}{:>14}{:>14}{:>10}",
+        "metric", "MagicalRoute", "AnalogFold", "better?"
+    );
+    let rows = [
+        ("Offset Voltage (uV)", base.offset_uv, ours.offset_uv, ours.offset_uv < base.offset_uv),
+        ("CMRR (dB)", base.cmrr_db, ours.cmrr_db, ours.cmrr_db > base.cmrr_db),
+        ("BandWidth (MHz)", base.bandwidth_mhz, ours.bandwidth_mhz, ours.bandwidth_mhz > base.bandwidth_mhz),
+        ("DC Gain (dB)", base.dc_gain_db, ours.dc_gain_db, ours.dc_gain_db > base.dc_gain_db),
+        ("Noise (uVrms)", base.noise_uvrms, ours.noise_uvrms, ours.noise_uvrms < base.noise_uvrms),
+    ];
+    for (name, b, o, better) in rows {
+        println!(
+            "{:<22}{:>14.2}{:>14.2}{:>10}",
+            name,
+            b,
+            o,
+            if better { "yes" } else { "no" }
+        );
+    }
+    Ok(())
+}

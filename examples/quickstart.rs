@@ -1,0 +1,64 @@
+//! Quickstart: place, route, extract, and simulate one OTA benchmark.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use analogfold_suite::extract::extract;
+use analogfold_suite::netlist::benchmarks;
+use analogfold_suite::place::{place, PlacementVariant};
+use analogfold_suite::route::{route, RouterConfig, RoutingGuidance};
+use analogfold_suite::sim::{simulate, SimConfig};
+use analogfold_suite::tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = benchmarks::ota1();
+    println!(
+        "{}: {} devices, {} nets, {} symmetric net pairs",
+        circuit.name(),
+        circuit.devices().len(),
+        circuit.nets().len(),
+        circuit.symmetric_net_pairs().len()
+    );
+
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    println!(
+        "placed on a {:.1} x {:.1} um die",
+        placement.die().width() as f64 / 1e3,
+        placement.die().height() as f64 / 1e3
+    );
+
+    let layout = route(
+        &circuit,
+        &placement,
+        &tech,
+        &RoutingGuidance::None,
+        &RouterConfig::default(),
+    )?;
+    println!(
+        "routed {} nets, {:.1} um wire, {} vias, {} conflicts, {:.2}s",
+        layout.nets.len(),
+        layout.total_wirelength() as f64 / 1e3,
+        layout.total_vias(),
+        layout.conflicts,
+        layout.runtime_s
+    );
+
+    let parasitics = extract(&circuit, &tech, &layout);
+    println!(
+        "extracted {} coupling caps, worst pair mismatch {:.2}%",
+        parasitics.couplings().len(),
+        parasitics.worst_mismatch() * 100.0
+    );
+
+    let cfg = SimConfig::default();
+    let schematic = simulate(&circuit, None, &cfg)?;
+    let post = simulate(&circuit, Some(&parasitics), &cfg)?;
+
+    println!("\n{:<22}{:>14}{:>14}", "metric", "schematic", "post-layout");
+    println!("{:<22}{:>14.3}{:>14.3}", "Offset Voltage (uV)", schematic.offset_uv, post.offset_uv);
+    println!("{:<22}{:>14.2}{:>14.2}", "CMRR (dB)", schematic.cmrr_db, post.cmrr_db);
+    println!("{:<22}{:>14.2}{:>14.2}", "BandWidth (MHz)", schematic.bandwidth_mhz, post.bandwidth_mhz);
+    println!("{:<22}{:>14.2}{:>14.2}", "DC Gain (dB)", schematic.dc_gain_db, post.dc_gain_db);
+    println!("{:<22}{:>14.1}{:>14.1}", "Noise (uVrms)", schematic.noise_uvrms, post.noise_uvrms);
+    Ok(())
+}

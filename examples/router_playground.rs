@@ -1,0 +1,76 @@
+//! Routing playground: route the same placement under hand-written guidance
+//! fields and see how wirelength, vias, parasitics and performance respond.
+//! Writes an SVG per scenario to `target/figures/`.
+//!
+//! Run with: `cargo run --release --example router_playground`
+
+use std::fs;
+
+use analogfold_suite::extract::extract;
+use analogfold_suite::geom::{CostTriple, Point3};
+use analogfold_suite::netlist::benchmarks;
+use analogfold_suite::place::{place, PlacementVariant};
+use analogfold_suite::route::{
+    render_svg, route, NonUniformGuidance, RouterConfig, RoutingGuidance,
+};
+use analogfold_suite::sim::{simulate, SimConfig};
+use analogfold_suite::tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let out_dir = std::path::Path::new("target/figures");
+    fs::create_dir_all(out_dir)?;
+
+    // Scenario guidance fields.
+    let vout = circuit.net_by_name("vout").expect("vout exists");
+    let n2 = circuit.net_by_name("n2").expect("n2 exists");
+    let mk_field = |triple: CostTriple, nets: &[analogfold_suite::netlist::NetId]| {
+        let mut g = NonUniformGuidance::new();
+        for &net in nets {
+            for pin in placement.pins_of_net(net) {
+                let c = pin.rect.center();
+                g.set(net, Point3::new(c.x, c.y, pin.layer), triple);
+            }
+        }
+        RoutingGuidance::NonUniform(g)
+    };
+    let scenarios: Vec<(&str, RoutingGuidance)> = vec![
+        ("baseline (no guidance)", RoutingGuidance::None),
+        (
+            "discourage vias on vout/n2",
+            mk_field(CostTriple([1.0, 1.0, 3.5]), &[vout, n2]),
+        ),
+        (
+            "prefer horizontal on vout/n2",
+            mk_field(CostTriple([0.4, 2.5, 1.0]), &[vout, n2]),
+        ),
+        (
+            "penalize everything on vout/n2",
+            mk_field(CostTriple([3.0, 3.0, 3.0]), &[vout, n2]),
+        ),
+    ];
+
+    println!(
+        "{:<32}{:>10}{:>8}{:>12}{:>12}",
+        "scenario", "wire(um)", "vias", "offset(uV)", "noise(uV)"
+    );
+    for (i, (name, guidance)) in scenarios.iter().enumerate() {
+        let layout = route(&circuit, &placement, &tech, guidance, &RouterConfig::default())?;
+        let px = extract(&circuit, &tech, &layout);
+        let perf = simulate(&circuit, Some(&px), &SimConfig::default())?;
+        println!(
+            "{:<32}{:>10.1}{:>8}{:>12.1}{:>12.1}",
+            name,
+            layout.total_wirelength() as f64 / 1e3,
+            layout.total_vias(),
+            perf.offset_uv,
+            perf.noise_uvrms
+        );
+        let svg = render_svg(&circuit, &placement, &layout, name);
+        fs::write(out_dir.join(format!("playground_{i}.svg")), svg)?;
+    }
+    println!("\nSVGs written to {}", out_dir.display());
+    Ok(())
+}

@@ -1,0 +1,8 @@
+#!/usr/bin/env python3
+"""Prints the Average block and per-row winners from table2 output."""
+import sys
+
+path = sys.argv[1] if len(sys.argv) > 1 else 'table2_full.txt'
+text = open(path).read()
+i = text.find('Average')
+print(text[i:] if i >= 0 else 'no Average block yet')

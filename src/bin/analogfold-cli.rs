@@ -1,0 +1,255 @@
+//! `analogfold` command-line interface: drive the reproduction stack from a
+//! shell — route, simulate, export, train, and guide without writing Rust.
+//!
+//! ```text
+//! analogfold-cli route    <OTA1..OTA4> <A..D> [--svg FILE] [--def FILE] [--report]
+//! analogfold-cli simulate <OTA1..OTA4> [A..D] [--schematic]
+//! analogfold-cli spice    <OTA1..OTA4> [A..D] [--schematic] [--out FILE]
+//! analogfold-cli train    <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--out FILE]
+//! analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N]
+//! analogfold-cli bench-info
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use analogfold_suite::analogfold::{
+    generate_dataset, guidance_field, relax, DatasetConfig, GnnConfig, HeteroGraph, Potential,
+    RelaxConfig, ThreeDGnn,
+};
+use analogfold_suite::extract::extract;
+use analogfold_suite::netlist::{benchmarks, Circuit, DeviceKind};
+use analogfold_suite::place::{place, Placement};
+use analogfold_suite::route::{
+    render_svg, route, write_def, RouterConfig, RoutingGuidance,
+};
+use analogfold_suite::sim::{psrr_db, simulate, to_spice, Performance, SimConfig};
+use analogfold_suite::tech::Technology;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  analogfold-cli route    <OTA1..OTA4> <A..D> [--svg FILE] [--def FILE] [--report]
+  analogfold-cli simulate <OTA1..OTA4> [A..D] [--schematic]
+  analogfold-cli spice    <OTA1..OTA4> [A..D] [--schematic] [--out FILE]
+  analogfold-cli train    <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--out FILE]
+  analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N]
+  analogfold-cli bench-info";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "route" => cmd_route(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..]),
+        "spice" => cmd_spice(&args[1..]),
+        "train" => cmd_train(&args[1..]),
+        "guide" => cmd_guide(&args[1..]),
+        "bench-info" => {
+            cmd_bench_info();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn parse_circuit(args: &[String]) -> Result<Circuit, String> {
+    let name = args.first().ok_or("missing benchmark name")?;
+    benchmarks::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))
+}
+
+use analogfold_suite::cli::{flag_num, flag_value, has_flag, variant_arg as parse_variant};
+
+fn print_perf(label: &str, p: &Performance) {
+    println!("{label}:");
+    println!("  Offset Voltage : {:>12.2} uV", p.offset_uv);
+    println!("  CMRR           : {:>12.2} dB", p.cmrr_db);
+    println!("  BandWidth      : {:>12.2} MHz", p.bandwidth_mhz);
+    println!("  DC Gain        : {:>12.2} dB", p.dc_gain_db);
+    println!("  Noise          : {:>12.2} uVrms", p.noise_uvrms);
+}
+
+fn routed(
+    circuit: &Circuit,
+    placement: &Placement,
+    tech: &Technology,
+    guidance: &RoutingGuidance,
+) -> Result<analogfold_suite::route::RoutedLayout, String> {
+    route(circuit, placement, tech, guidance, &RouterConfig::default())
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let circuit = parse_circuit(args)?;
+    let variant = parse_variant(args, 1);
+    let tech = Technology::nm40();
+    let placement = place(&circuit, variant);
+    let layout = routed(&circuit, &placement, &tech, &RoutingGuidance::None)?;
+    println!(
+        "{}-{variant}: {} nets, {:.1} um wire, {} vias, {} conflicts, {:.2}s",
+        circuit.name(),
+        layout.nets.len(),
+        layout.total_wirelength() as f64 / 1e3,
+        layout.total_vias(),
+        layout.conflicts,
+        layout.runtime_s
+    );
+    if has_flag(args, "--report") {
+        print!("{}", layout.report(&circuit));
+    }
+    if let Some(path) = flag_value(args, "--svg") {
+        let svg = render_svg(
+            &circuit,
+            &placement,
+            &layout,
+            &format!("{}-{variant}", circuit.name()),
+        );
+        fs::write(path, svg).map_err(|e| e.to_string())?;
+        println!("svg written to {path}");
+    }
+    if let Some(path) = flag_value(args, "--def") {
+        fs::write(path, write_def(&circuit, &placement, &layout)).map_err(|e| e.to_string())?;
+        println!("def written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let circuit = parse_circuit(args)?;
+    let cfg = SimConfig::default();
+    let schematic = simulate(&circuit, None, &cfg).map_err(|e| e.to_string())?;
+    print_perf(&format!("{} schematic", circuit.name()), &schematic);
+    let psrr = psrr_db(&circuit, None, &cfg).map_err(|e| e.to_string())?;
+    println!("  PSRR           : {psrr:>12.2} dB");
+    if !has_flag(args, "--schematic") {
+        let variant = parse_variant(args, 1);
+        let tech = Technology::nm40();
+        let placement = place(&circuit, variant);
+        let layout = routed(&circuit, &placement, &tech, &RoutingGuidance::None)?;
+        let px = extract(&circuit, &tech, &layout);
+        let post = simulate(&circuit, Some(&px), &cfg).map_err(|e| e.to_string())?;
+        print_perf(&format!("{}-{variant} post-layout", circuit.name()), &post);
+        let psrr = psrr_db(&circuit, Some(&px), &cfg).map_err(|e| e.to_string())?;
+        println!("  PSRR           : {psrr:>12.2} dB");
+    }
+    Ok(())
+}
+
+fn cmd_spice(args: &[String]) -> Result<(), String> {
+    let circuit = parse_circuit(args)?;
+    let deck = if has_flag(args, "--schematic") {
+        to_spice(&circuit, None)
+    } else {
+        let variant = parse_variant(args, 1);
+        let tech = Technology::nm40();
+        let placement = place(&circuit, variant);
+        let layout = routed(&circuit, &placement, &tech, &RoutingGuidance::None)?;
+        let px = extract(&circuit, &tech, &layout);
+        to_spice(&circuit, Some(&px))
+    };
+    match flag_value(args, "--out") {
+        Some(path) => {
+            fs::write(path, &deck).map_err(|e| e.to_string())?;
+            println!("deck written to {path}");
+        }
+        None => print!("{deck}"),
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let circuit = parse_circuit(args)?;
+    let variant = parse_variant(args, 1);
+    let samples = flag_num(args, "--samples", 40);
+    let epochs = flag_num(args, "--epochs", 20);
+    let out = flag_value(args, "--out").unwrap_or("analogfold-model.json");
+
+    let tech = Technology::nm40();
+    let placement = place(&circuit, variant);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 3);
+    eprintln!("generating {samples} samples ...");
+    let dataset = generate_dataset(
+        &circuit,
+        &placement,
+        &tech,
+        &graph,
+        &DatasetConfig {
+            samples,
+            ..DatasetConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let cfg = GnnConfig {
+        epochs,
+        ..GnnConfig::default()
+    };
+    let mut gnn = ThreeDGnn::new(&cfg);
+    let report = gnn.train(&graph, &dataset, &cfg);
+    println!(
+        "trained: loss {:.4} -> {:.4}",
+        report.epoch_losses[0], report.final_loss
+    );
+    gnn.save(out).map_err(|e| e.to_string())?;
+    println!("model saved to {out}");
+    Ok(())
+}
+
+fn cmd_guide(args: &[String]) -> Result<(), String> {
+    let circuit = parse_circuit(args)?;
+    let variant = parse_variant(args, 1);
+    let model_path = flag_value(args, "--model").ok_or("missing --model FILE")?;
+    let restarts = flag_num(args, "--restarts", 12);
+
+    let tech = Technology::nm40();
+    let placement = place(&circuit, variant);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 3);
+    let gnn = ThreeDGnn::load(model_path).map_err(|e| e.to_string())?;
+    let potential = Potential::new(&gnn, &graph);
+    let outcomes = relax(
+        &potential,
+        &RelaxConfig {
+            restarts,
+            n_derive: 1,
+            ..RelaxConfig::default()
+        },
+    );
+    let best = &outcomes[0];
+    println!("best potential: {:.5}", best.potential);
+
+    let field = RoutingGuidance::NonUniform(guidance_field(&graph, &best.guidance));
+    let layout = routed(&circuit, &placement, &tech, &field)?;
+    let px = extract(&circuit, &tech, &layout);
+    let perf = simulate(&circuit, Some(&px), &SimConfig::default()).map_err(|e| e.to_string())?;
+    print_perf(&format!("{}-{variant} guided", circuit.name()), &perf);
+    Ok(())
+}
+
+fn cmd_bench_info() {
+    println!(
+        "{:<10}{:>7}{:>7}{:>6}{:>6}{:>7}{:>7}{:>9}",
+        "bench", "PMOS", "NMOS", "Cap", "Res", "Total", "nets", "sym-pairs"
+    );
+    for c in benchmarks::all() {
+        println!(
+            "{:<10}{:>7}{:>7}{:>6}{:>6}{:>7}{:>7}{:>9}",
+            c.name(),
+            c.count_kind(DeviceKind::Pmos),
+            c.count_kind(DeviceKind::Nmos),
+            c.count_kind(DeviceKind::Capacitor),
+            c.count_kind(DeviceKind::Resistor),
+            c.total_modules(),
+            c.nets().len(),
+            c.symmetric_net_pairs().len()
+        );
+    }
+}

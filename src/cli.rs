@@ -1,0 +1,86 @@
+//! Argument-parsing helpers for `analogfold-cli` (kept in the library so
+//! they are unit-testable without spawning the binary).
+
+use crate::place::PlacementVariant;
+
+/// Returns the value following `flag`, if present.
+///
+/// # Examples
+///
+/// ```
+/// use analogfold_suite::cli::flag_value;
+///
+/// let args: Vec<String> = ["--out", "file.json"].iter().map(|s| s.to_string()).collect();
+/// assert_eq!(flag_value(&args, "--out"), Some("file.json"));
+/// assert_eq!(flag_value(&args, "--model"), None);
+/// ```
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses the numeric value following `flag`, falling back to `default` when
+/// missing or malformed.
+pub fn flag_num(args: &[String], flag: &str, default: usize) -> usize {
+    flag_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether a bare switch is present.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Parses a placement-variant positional argument (defaults to `A`).
+pub fn variant_arg(args: &[String], idx: usize) -> PlacementVariant {
+    args.get(idx)
+        .and_then(|v| PlacementVariant::from_label(v))
+        .unwrap_or(PlacementVariant::A)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_finds_pairs() {
+        let args = argv(&["route", "OTA1", "--svg", "x.svg", "--def", "y.def"]);
+        assert_eq!(flag_value(&args, "--svg"), Some("x.svg"));
+        assert_eq!(flag_value(&args, "--def"), Some("y.def"));
+        assert_eq!(flag_value(&args, "--missing"), None);
+        // flag at the end without value
+        let tail = argv(&["--svg"]);
+        assert_eq!(flag_value(&tail, "--svg"), None);
+    }
+
+    #[test]
+    fn flag_num_parses_and_defaults() {
+        let args = argv(&["--samples", "42", "--epochs", "abc"]);
+        assert_eq!(flag_num(&args, "--samples", 7), 42);
+        assert_eq!(flag_num(&args, "--epochs", 7), 7, "malformed falls back");
+        assert_eq!(flag_num(&args, "--restarts", 9), 9, "missing falls back");
+    }
+
+    #[test]
+    fn has_flag_exact_match() {
+        let args = argv(&["--report", "--svg"]);
+        assert!(has_flag(&args, "--report"));
+        assert!(!has_flag(&args, "--rep"));
+    }
+
+    #[test]
+    fn variant_parsing() {
+        let args = argv(&["OTA1", "b"]);
+        assert_eq!(variant_arg(&args, 1), PlacementVariant::B);
+        assert_eq!(variant_arg(&args, 5), PlacementVariant::A, "default");
+        let bad = argv(&["OTA1", "zz"]);
+        assert_eq!(variant_arg(&bad, 1), PlacementVariant::A);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Umbrella crate for the AnalogFold reproduction workspace.
+//!
+//! This crate re-exports every subsystem so that examples and integration
+//! tests can use a single dependency. The actual implementation lives in the
+//! `crates/` workspace members:
+//!
+//! * [`geom`] — geometry primitives (points, rects, directions, grids).
+//! * [`tech`] — technology description (layers, design rules, parasitics).
+//! * [`netlist`] — circuits, devices, nets, symmetry constraints, benchmarks.
+//! * [`place`] — symmetry-aware analog placement.
+//! * [`route`] — 3-D grid detailed routing with guidance hooks.
+//! * [`extract`] — geometric parasitic extraction (R + C + coupling C).
+//! * [`sim`] — small-signal MNA simulator and metric extraction.
+//! * [`nn`] — pure-Rust autograd, MLPs, optimizers, VAE.
+//! * [`analogfold`] — the paper's contribution: heterogeneous graph, 3DGNN,
+//!   potential relaxation, baselines, and the end-to-end flow.
+//!
+//! # Quick start
+//!
+//! ```
+//! use analogfold_suite::netlist::benchmarks;
+//!
+//! let ota1 = benchmarks::ota1();
+//! assert_eq!(ota1.name(), "OTA1");
+//! ```
+
+pub mod cli;
+
+pub use af_extract as extract;
+pub use af_geom as geom;
+pub use af_netlist as netlist;
+pub use af_nn as nn;
+pub use af_place as place;
+pub use af_route as route;
+pub use af_sim as sim;
+pub use af_tech as tech;
+pub use analogfold;

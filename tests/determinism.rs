@@ -1,0 +1,77 @@
+//! Reproducibility: the entire stack is seeded, so identical inputs must
+//! produce identical outputs — placements, routes, datasets, trained
+//! weights, and derived guidance.
+
+use analogfold_suite::analogfold::{
+    generate_dataset, AnalogFoldFlow, DatasetConfig, FlowConfig, GnnConfig, HeteroGraph,
+    RelaxConfig,
+};
+use analogfold_suite::extract::extract;
+use analogfold_suite::netlist::benchmarks;
+use analogfold_suite::place::{place, PlacementVariant};
+use analogfold_suite::route::{route, RouterConfig, RoutingGuidance};
+use analogfold_suite::sim::{simulate, SimConfig};
+use analogfold_suite::tech::Technology;
+
+#[test]
+fn placement_routing_extraction_simulation_deterministic() {
+    let circuit = benchmarks::ota3();
+    let tech = Technology::nm40();
+    let run = || {
+        let p = place(&circuit, PlacementVariant::C);
+        let l = route(&circuit, &p, &tech, &RoutingGuidance::None, &RouterConfig::default())
+            .unwrap();
+        let x = extract(&circuit, &tech, &l);
+        let perf = simulate(&circuit, Some(&x), &SimConfig::default()).unwrap();
+        (p, l, perf)
+    };
+    let (p1, l1, perf1) = run();
+    let (p2, l2, perf2) = run();
+    assert_eq!(p1, p2);
+    assert_eq!(l1.nets, l2.nets);
+    assert_eq!(perf1, perf2);
+}
+
+#[test]
+fn dataset_and_flow_deterministic() {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 3);
+    let ds_cfg = DatasetConfig {
+        samples: 3,
+        ..DatasetConfig::default()
+    };
+    let d1 = generate_dataset(&circuit, &placement, &tech, &graph, &ds_cfg).unwrap();
+    let d2 = generate_dataset(&circuit, &placement, &tech, &graph, &ds_cfg).unwrap();
+    assert_eq!(d1.samples.len(), d2.samples.len());
+    for (a, b) in d1.samples.iter().zip(&d2.samples) {
+        assert_eq!(a.guidance, b.guidance);
+        assert_eq!(a.performance, b.performance);
+    }
+
+    let cfg = || FlowConfig {
+        dataset: DatasetConfig {
+            samples: 4,
+            ..DatasetConfig::default()
+        },
+        gnn: GnnConfig {
+            epochs: 3,
+            hidden: 8,
+            layers: 1,
+            ..GnnConfig::default()
+        },
+        relax: RelaxConfig {
+            restarts: 2,
+            n_derive: 1,
+            lbfgs_iters: 5,
+            ..RelaxConfig::default()
+        },
+        ..FlowConfig::default()
+    };
+    let o1 = AnalogFoldFlow::new(cfg()).run(&circuit, &placement).unwrap();
+    let o2 = AnalogFoldFlow::new(cfg()).run(&circuit, &placement).unwrap();
+    assert_eq!(o1.guidance, o2.guidance);
+    assert_eq!(o1.performance, o2.performance);
+    assert_eq!(o1.layout.nets, o2.layout.nets);
+}

@@ -1,0 +1,83 @@
+//! Integration: diagnostic surfaces — congestion analysis, route reports,
+//! per-layer statistics, SVG/DEF/SPICE artifacts — behave coherently on a
+//! routed benchmark.
+
+use analogfold_suite::extract::extract;
+use analogfold_suite::netlist::benchmarks;
+use analogfold_suite::place::{place, PlacementVariant};
+use analogfold_suite::route::{
+    estimate_congestion, measure_congestion, render_svg, route, write_def, RouterConfig,
+    RoutingGuidance,
+};
+use analogfold_suite::sim::to_spice;
+use analogfold_suite::tech::Technology;
+
+#[test]
+fn diagnostics_are_coherent() {
+    let circuit = benchmarks::ota2();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let layout = route(
+        &circuit,
+        &placement,
+        &tech,
+        &RoutingGuidance::None,
+        &RouterConfig::default(),
+    )
+    .unwrap();
+
+    // per-layer wirelength sums to the total
+    let by_layer = layout.wirelength_by_layer(tech.num_layers());
+    assert_eq!(by_layer.iter().sum::<i64>(), layout.total_wirelength());
+    assert!(
+        by_layer.iter().filter(|&&l| l > 0).count() >= 2,
+        "multi-layer routing expected: {by_layer:?}"
+    );
+
+    // report covers every routed net and the totals line
+    let report = layout.report(&circuit);
+    for rn in &layout.nets {
+        assert!(report.contains(&circuit.net(rn.net).name));
+    }
+    assert!(report.contains("TOTAL"));
+
+    // congestion: estimate and measurement agree on emptiness outside the die
+    let est = estimate_congestion(&circuit, &placement, &tech, 10, 10);
+    let meas = measure_congestion(&placement, &tech, &layout, 10, 10);
+    assert_eq!(est.demand.len(), meas.demand.len());
+    assert!(meas.peak_utilization() > 0.0);
+    // the measured hotspot cell must carry estimated demand too
+    let peak_cell = meas
+        .utilization()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    assert!(
+        est.demand[peak_cell] > 0.0,
+        "estimator should see demand where routing concentrates"
+    );
+
+    // artifacts are generated and self-consistent
+    let svg = render_svg(&circuit, &placement, &layout, "diag");
+    assert!(svg.len() > 1_000);
+    let def = write_def(&circuit, &placement, &layout);
+    assert!(def.lines().count() > layout.nets.len());
+    let px = extract(&circuit, &tech, &layout);
+    let deck = to_spice(&circuit, Some(&px));
+    assert!(deck.contains("Rw_"));
+}
+
+#[test]
+fn ascii_congestion_is_plottable() {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::B);
+    let est = estimate_congestion(&circuit, &placement, &tech, 12, 6);
+    let art = est.ascii();
+    let lines: Vec<&str> = art.lines().collect();
+    assert_eq!(lines.len(), 6);
+    assert!(lines.iter().all(|l| l.len() == 12));
+    assert!(art.chars().any(|c| c.is_ascii_digit()));
+}

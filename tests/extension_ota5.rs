@@ -1,0 +1,41 @@
+//! Integration: the OTA5 folded-cascode extension benchmark (beyond the
+//! paper's four designs) runs through the complete stack.
+
+use analogfold_suite::extract::extract;
+use analogfold_suite::netlist::benchmarks;
+use analogfold_suite::place::{place, PlacementVariant};
+use analogfold_suite::route::{route, RouterConfig, RoutingGuidance};
+use analogfold_suite::sim::{simulate, SimConfig};
+use analogfold_suite::tech::Technology;
+
+#[test]
+fn ota5_full_stack() {
+    let circuit = benchmarks::ota5();
+    let tech = Technology::nm40();
+    let cfg = SimConfig::default();
+
+    let schematic = simulate(&circuit, None, &cfg).expect("schematic sim");
+    assert!(
+        schematic.dc_gain_db > 25.0,
+        "folded cascode should have decent gain: {schematic}"
+    );
+    assert!(schematic.bandwidth_mhz > 10.0, "{schematic}");
+
+    let placement = place(&circuit, PlacementVariant::A);
+    placement.check(&circuit).expect("legal placement");
+    let layout = route(
+        &circuit,
+        &placement,
+        &tech,
+        &RoutingGuidance::None,
+        &RouterConfig::default(),
+    )
+    .expect("routable");
+    assert!(layout.conflicts <= 2, "{} conflicts", layout.conflicts);
+
+    let px = extract(&circuit, &tech, &layout);
+    let post = simulate(&circuit, Some(&px), &cfg).expect("post-layout sim");
+    assert!(post.offset_uv > 0.0);
+    assert!(post.dc_gain_db <= schematic.dc_gain_db + 0.5);
+    assert!(post.cmrr_db <= schematic.cmrr_db);
+}

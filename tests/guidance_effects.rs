@@ -1,0 +1,160 @@
+//! Integration: routing guidance must reach the router's cost function and
+//! produce the expected qualitative effects.
+
+use analogfold_suite::extract::extract;
+use analogfold_suite::geom::{Axis, CostTriple, Point3};
+use analogfold_suite::netlist::benchmarks;
+use analogfold_suite::place::{place, PlacementVariant};
+use analogfold_suite::route::{
+    route, GuidanceMap2D, NonUniformGuidance, RouterConfig, RoutingGuidance,
+};
+use analogfold_suite::tech::Technology;
+
+fn field_for(
+    circuit: &analogfold_suite::netlist::Circuit,
+    placement: &analogfold_suite::place::Placement,
+    nets: &[&str],
+    triple: CostTriple,
+) -> RoutingGuidance {
+    let mut g = NonUniformGuidance::new();
+    for name in nets {
+        let net = circuit.net_by_name(name).unwrap();
+        for pin in placement.pins_of_net(net) {
+            let c = pin.rect.center();
+            g.set(net, Point3::new(c.x, c.y, pin.layer), triple);
+        }
+    }
+    RoutingGuidance::NonUniform(g)
+}
+
+#[test]
+fn via_penalty_reduces_vias_on_guided_net() {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let cfg = RouterConfig::default();
+    let vout = circuit.net_by_name("vout").unwrap();
+
+    let base = route(&circuit, &placement, &tech, &RoutingGuidance::None, &cfg).unwrap();
+    let guided = route(
+        &circuit,
+        &placement,
+        &tech,
+        &field_for(&circuit, &placement, &["vout"], CostTriple([1.0, 1.0, 4.0])),
+        &cfg,
+    )
+    .unwrap();
+    let base_vias = base.net(vout).map(|n| n.vias).unwrap_or(0);
+    let guided_vias = guided.net(vout).map(|n| n.vias).unwrap_or(0);
+    assert!(
+        guided_vias <= base_vias,
+        "via guidance must not increase vias: {base_vias} -> {guided_vias}"
+    );
+}
+
+#[test]
+fn uniform_scaling_is_a_noop() {
+    // multiplying every direction of every guided AP by the same factor
+    // leaves relative costs unchanged, so the routing must be identical
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let cfg = RouterConfig::default();
+    let all_nets: Vec<String> = circuit
+        .guided_nets()
+        .iter()
+        .map(|&n| circuit.net(n).name.clone())
+        .collect();
+    let refs: Vec<&str> = all_nets.iter().map(String::as_str).collect();
+
+    let base = route(&circuit, &placement, &tech, &RoutingGuidance::None, &cfg).unwrap();
+    let scaled = route(
+        &circuit,
+        &placement,
+        &tech,
+        &field_for(&circuit, &placement, &refs, CostTriple::uniform(2.0)),
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(base.nets, scaled.nets);
+}
+
+#[test]
+fn guidance_multiplier_dispatch() {
+    let mut g = NonUniformGuidance::new();
+    let net = analogfold_suite::netlist::NetId::new(0);
+    g.set(net, Point3::new(0, 0, 0), CostTriple([0.5, 2.0, 3.0]));
+    let rg = RoutingGuidance::NonUniform(g);
+    assert_eq!(rg.multiplier(net, Point3::new(5, 5, 0), Axis::X), 0.5);
+    assert_eq!(rg.multiplier(net, Point3::new(5, 5, 0), Axis::Y), 2.0);
+    assert_eq!(rg.multiplier(net, Point3::new(5, 5, 0), Axis::Z), 3.0);
+}
+
+#[test]
+fn map_guidance_router_optimizes_the_guided_objective() {
+    // The router's contract: with a 2-D cost map installed, the chosen route
+    // should score no worse under that map than the unguided route does.
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let cfg = RouterConfig::default();
+    let die = placement.die();
+
+    let mut map = GuidanceMap2D::new(2, 1, (die.lo().x, die.lo().y), (die.width(), die.height()));
+    let vout = circuit.net_by_name("vout").unwrap();
+    map.set_net(vout, vec![6.0, 1.0]);
+    let guidance = RoutingGuidance::Map(map);
+
+    let base = route(&circuit, &placement, &tech, &RoutingGuidance::None, &cfg).unwrap();
+    let guided = route(&circuit, &placement, &tech, &guidance, &cfg).unwrap();
+
+    let map_cost = |layout: &analogfold_suite::route::RoutedLayout| -> f64 {
+        layout
+            .net(vout)
+            .map(|n| {
+                n.segments
+                    .iter()
+                    .filter(|s| !s.is_via())
+                    .map(|s| {
+                        let mid = Point3::new(
+                            (s.start().x + s.end().x) / 2,
+                            (s.start().y + s.end().y) / 2,
+                            s.layer(),
+                        );
+                        s.length() as f64 * guidance.multiplier(vout, mid, Axis::X)
+                    })
+                    .sum()
+            })
+            .unwrap_or(0.0)
+    };
+    let (b, g) = (map_cost(&base), map_cost(&guided));
+    assert!(
+        g <= b * 1.10,
+        "guided route must score no worse under its own map: base {b:.0}, guided {g:.0}"
+    );
+}
+
+#[test]
+fn guided_routing_remains_connected_and_extractable() {
+    let circuit = benchmarks::ota3();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::B);
+    let cfg = RouterConfig::default();
+    let nets: Vec<String> = circuit
+        .guided_nets()
+        .iter()
+        .map(|&n| circuit.net(n).name.clone())
+        .collect();
+    let refs: Vec<&str> = nets.iter().map(String::as_str).collect();
+    let guided = route(
+        &circuit,
+        &placement,
+        &tech,
+        &field_for(&circuit, &placement, &refs, CostTriple([0.5, 1.8, 2.5])),
+        &cfg,
+    )
+    .unwrap();
+    assert!(guided.total_wirelength() > 0);
+    let px = extract(&circuit, &tech, &guided);
+    assert!(px.nets().iter().any(|n| n.cap_ground > 0.0));
+}

@@ -1,0 +1,69 @@
+//! Integration: the train-once / guide-many workflow — train on one
+//! placement, persist the model, reload it, and guide a *different*
+//! placement of the same circuit.
+
+use analogfold_suite::analogfold::{
+    generate_dataset, AnalogFoldFlow, DatasetConfig, FlowConfig, GnnConfig, HeteroGraph,
+    RelaxConfig, ThreeDGnn,
+};
+use analogfold_suite::netlist::benchmarks;
+use analogfold_suite::place::{place, PlacementVariant};
+use analogfold_suite::tech::Technology;
+
+#[test]
+fn model_transfers_across_placements() {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+
+    // Train on variant A.
+    let pa = place(&circuit, PlacementVariant::A);
+    let graph_a = HeteroGraph::build(&circuit, &pa, &tech, 3);
+    let gnn_cfg = GnnConfig {
+        hidden: 8,
+        layers: 1,
+        epochs: 5,
+        ..GnnConfig::default()
+    };
+    let dataset = generate_dataset(
+        &circuit,
+        &pa,
+        &tech,
+        &graph_a,
+        &DatasetConfig {
+            samples: 6,
+            ..DatasetConfig::default()
+        },
+    )
+    .unwrap();
+    let mut gnn = ThreeDGnn::new(&gnn_cfg);
+    gnn.train(&graph_a, &dataset, &gnn_cfg);
+
+    // Persist + reload.
+    let path = std::env::temp_dir().join(format!(
+        "analogfold-transfer-{}.json",
+        std::process::id()
+    ));
+    gnn.save(&path).unwrap();
+    let loaded = ThreeDGnn::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // Guide variant B with the reloaded model. The guided-AP layout matches
+    // across placements of the same circuit (AP enumeration follows pin
+    // order), so the model transfers.
+    let pb = place(&circuit, PlacementVariant::B);
+    let flow = AnalogFoldFlow::new(FlowConfig {
+        relax: RelaxConfig {
+            restarts: 2,
+            n_derive: 1,
+            lbfgs_iters: 6,
+            ..RelaxConfig::default()
+        },
+        ..FlowConfig::default()
+    });
+    let outcome = flow.run_with_model(&circuit, &pb, &loaded).unwrap();
+    assert!(outcome.performance.dc_gain_db.is_finite());
+    assert_eq!(outcome.breakdown.training_s, 0.0);
+    assert!(!outcome.guidance.is_empty());
+    let (lo, hi) = (0.3, 2.5);
+    assert!(outcome.guidance.iter().all(|&c| c > lo && c < hi));
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the geometry substrate.
+
+use analogfold_suite::geom::{
+    cost_distance, CostTriple, GridDim, GridPoint, Point, Point3, Rect, Segment,
+};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100_000i64..100_000, -100_000i64..100_000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn rect_normalization(a in arb_point(), b in arb_point()) {
+        let r = Rect::new(a, b);
+        prop_assert!(r.lo().x <= r.hi().x);
+        prop_assert!(r.lo().y <= r.hi().y);
+        prop_assert!(r.width() >= 0 && r.height() >= 0);
+        prop_assert_eq!(r.area(), r.width() * r.height());
+    }
+
+    #[test]
+    fn rect_union_contains_both(r1 in arb_rect(), r2 in arb_rect()) {
+        let u = r1.union(&r2);
+        prop_assert!(u.contains_rect(&r1));
+        prop_assert!(u.contains_rect(&r2));
+    }
+
+    #[test]
+    fn rect_intersection_inside_union(r1 in arb_rect(), r2 in arb_rect()) {
+        if let Some(i) = r1.intersection(&r2) {
+            prop_assert!(r1.contains_rect(&i));
+            prop_assert!(r2.contains_rect(&i));
+            prop_assert!(r1.intersects(&r2));
+        } else {
+            prop_assert!(!r1.intersects(&r2));
+        }
+    }
+
+    #[test]
+    fn mirror_involution(r in arb_rect(), axis in -50_000i64..50_000) {
+        prop_assert_eq!(r.mirror_x(axis).mirror_x(axis), r);
+        prop_assert_eq!(r.mirror_x(axis).area(), r.area());
+    }
+
+    #[test]
+    fn manhattan_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+    }
+
+    #[test]
+    fn grid_flat_index_roundtrip(
+        nx in 1u32..50, ny in 1u32..50, layers in 1u8..6,
+        x in 0u32..50, y in 0u32..50, l in 0u8..6,
+    ) {
+        let dim = GridDim::new(Point::ORIGIN, nx, ny, layers, 10);
+        let g = GridPoint::new(x % nx, y % ny, l % layers);
+        prop_assert_eq!(dim.from_flat(dim.flat_index(g)), g);
+        prop_assert!(dim.flat_index(g) < dim.len());
+    }
+
+    #[test]
+    fn grid_snap_roundtrip(
+        nx in 2u32..40, ny in 2u32..40,
+        x in 0u32..40, y in 0u32..40,
+        pitch in 1i64..1_000,
+    ) {
+        let dim = GridDim::new(Point::new(-500, 700), nx, ny, 2, pitch);
+        let g = GridPoint::new(x % nx, y % ny, 1);
+        let p = dim.to_dbu(g);
+        prop_assert_eq!(dim.snap(p.xy(), 1), Some(g));
+    }
+
+    #[test]
+    fn cost_distance_properties(
+        dx in -10_000i64..10_000, dy in -10_000i64..10_000, dz in 0u8..4,
+        cx in 0.01f64..5.0, cy in 0.01f64..5.0, cz in 0.01f64..5.0,
+        k in 1.0f64..3.0,
+    ) {
+        let a = Point3::new(0, 0, 0);
+        let b = Point3::new(dx, dy, dz);
+        let c1 = CostTriple([cx, cy, cz]);
+        let d1 = cost_distance(a, b, c1, 100);
+        // symmetry in geometry
+        prop_assert!((d1 - cost_distance(b, a, c1, 100)).abs() < 1e-9 * (1.0 + d1));
+        // homogeneous of degree 1 in the guidance
+        let c2 = CostTriple([cx * k, cy * k, cz * k]);
+        let d2 = cost_distance(a, b, c2, 100);
+        prop_assert!((d2 - k * d1).abs() < 1e-6 * (1.0 + d2));
+        // non-negative, zero iff same point
+        prop_assert!(d1 >= 0.0);
+        if dx == 0 && dy == 0 && dz == 0 {
+            prop_assert_eq!(d1, 0.0);
+        }
+    }
+
+    #[test]
+    fn segment_order_independence(
+        x0 in -1_000i64..1_000, y in -1_000i64..1_000,
+        len in 1i64..1_000, layer in 0u8..4,
+    ) {
+        let a = Point3::new(x0, y, layer);
+        let b = Point3::new(x0 + len, y, layer);
+        let s1 = Segment::new(a, b).unwrap();
+        let s2 = Segment::new(b, a).unwrap();
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(s1.length(), len);
+        prop_assert!(!s1.is_via());
+    }
+}

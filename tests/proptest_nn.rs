@@ -1,0 +1,118 @@
+//! Property-based tests of the autograd engine: analytic gradients must
+//! match central finite differences on randomly composed graphs.
+
+use analogfold_suite::nn::{lbfgs_minimize, Graph, Tensor};
+use proptest::prelude::*;
+
+/// Builds a fixed nontrivial scalar function of a 2×3 input and returns its
+/// value; `op_mix` selects among compositions.
+fn eval(op_mix: u8, data: &[f64]) -> (f64, Option<Vec<f64>>) {
+    let mut g = Graph::new();
+    let x = g.param(Tensor::from_vec(data.to_vec(), 2, 3));
+    let y = match op_mix % 5 {
+        0 => {
+            let s = g.silu(x);
+            let q = g.square(s);
+            g.sum(q)
+        }
+        1 => {
+            let t = g.tanh(x);
+            let m = g.mul(t, x);
+            let sc = g.sum_cols(m);
+            let sq = g.square(sc);
+            g.sum(sq)
+        }
+        2 => {
+            let w = g.input(Tensor::from_vec(
+                vec![0.3, -0.2, 0.8, 0.5, -0.6, 0.1, 0.9, 0.2, -0.4],
+                3,
+                3,
+            ));
+            let mm = g.matmul(x, w);
+            let sg = g.sigmoid(mm);
+            g.sum(sg)
+        }
+        3 => {
+            let gathered = g.gather(x, &[1, 0, 1]);
+            let sc = g.scatter_add(gathered, &[0, 1, 1], 2);
+            let e = g.exp(sc);
+            g.sum(e)
+        }
+        _ => {
+            let sq = g.square(x);
+            let sc = g.sum_cols(sq);
+            let d = g.sqrt(sc);
+            let r = g.rbf(d, 1.5, &[0.0, 1.0, 2.5]);
+            g.sum(r)
+        }
+    };
+    g.backward(y);
+    (
+        g.value(y).get(0, 0),
+        Some(g.grad(x).data().to_vec()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn gradients_match_finite_differences(
+        op_mix in 0u8..5,
+        data in prop::collection::vec(-1.5f64..1.5, 6),
+    ) {
+        let (_, grad) = eval(op_mix, &data);
+        let grad = grad.unwrap();
+        let eps = 1e-6;
+        for i in 0..data.len() {
+            let mut plus = data.clone();
+            plus[i] += eps;
+            let mut minus = data.clone();
+            minus[i] -= eps;
+            let (fp, _) = eval(op_mix, &plus);
+            let (fm, _) = eval(op_mix, &minus);
+            let numeric = (fp - fm) / (2.0 * eps);
+            prop_assert!(
+                (grad[i] - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "op {} grad[{}]: analytic {} vs numeric {}",
+                op_mix, i, grad[i], numeric
+            );
+        }
+    }
+
+    #[test]
+    fn lbfgs_solves_random_diagonal_quadratics(
+        diag in prop::collection::vec(0.1f64..20.0, 3..8),
+        x0 in prop::collection::vec(-3.0f64..3.0, 8),
+    ) {
+        let n = diag.len();
+        let x0 = &x0[..n];
+        let eval = |x: &[f64]| {
+            let f: f64 = x.iter().zip(&diag).map(|(v, d)| d * v * v).sum();
+            let g: Vec<f64> = x.iter().zip(&diag).map(|(v, d)| 2.0 * d * v).collect();
+            (f, g)
+        };
+        let res = lbfgs_minimize(eval, x0, 100, 8, 1e-10);
+        prop_assert!(res.f < 1e-10, "f = {}", res.f);
+    }
+
+    #[test]
+    fn tensor_matmul_associative_with_identity(
+        data in prop::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let a = Tensor::from_vec(data, 2, 2);
+        let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], 2, 2);
+        prop_assert_eq!(a.matmul(&i), a.clone());
+        prop_assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn tensor_transpose_involution(
+        rows in 1usize..6, cols in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let data: Vec<f64> = (0..rows * cols).map(|i| ((i as u64 + seed) % 17) as f64).collect();
+        let t = Tensor::from_vec(data, rows, cols);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the MNA simulator against analytic RC answers.
+
+use analogfold_suite::netlist::{
+    CapParams, CircuitBuilder, DeviceKind, DeviceParams, NetType, ResParams, Terminal,
+};
+use analogfold_suite::sim::{Complex, Network};
+use proptest::prelude::*;
+
+/// Builds `vinp -R- out -C- gnd` (plus a huge bleed resistor on vinn).
+fn rc_circuit(r: f64, c: f64) -> analogfold_suite::netlist::Circuit {
+    let mut b = CircuitBuilder::new("rc");
+    b.add_net("vdd", NetType::Power).unwrap();
+    b.add_net("vss", NetType::Ground).unwrap();
+    b.add_net("vinp", NetType::Input).unwrap();
+    b.add_net("vinn", NetType::Input).unwrap();
+    b.add_net("out", NetType::Output).unwrap();
+    b.add_device(
+        "R1",
+        DeviceKind::Resistor,
+        DeviceParams::Res(ResParams { r }),
+        &[(Terminal::Pos, "vinp"), (Terminal::Neg, "out")],
+    )
+    .unwrap();
+    b.add_device(
+        "C1",
+        DeviceKind::Capacitor,
+        DeviceParams::Cap(CapParams { c }),
+        &[(Terminal::Pos, "out"), (Terminal::Neg, "vss")],
+    )
+    .unwrap();
+    b.add_device(
+        "RB",
+        DeviceKind::Resistor,
+        DeviceParams::Res(ResParams { r: 1e12 }),
+        &[(Terminal::Pos, "vinn"), (Terminal::Neg, "out")],
+    )
+    .unwrap();
+    b.set_io("vinp", "vinn", "out", None, "vdd", "vss").unwrap();
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn rc_lowpass_matches_analytic(
+        r_kohm in 0.1f64..100.0,
+        c_pf in 1.0f64..1_000.0,
+        f_rel in 0.01f64..100.0,
+    ) {
+        let r = r_kohm * 1e3;
+        let c = c_pf * 1e-12;
+        let circuit = rc_circuit(r, c);
+        let network = Network::build(&circuit, None, 0.0, 0.8, 300.0);
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        let f = fc * f_rel;
+        let w = 2.0 * std::f64::consts::PI * f;
+        let sol = network.solve_at(w, [Complex::ONE, Complex::ZERO], &[]).unwrap();
+        let mag = network.output(&sol).abs();
+        let expected = 1.0 / (1.0 + (f / fc).powi(2)).sqrt();
+        prop_assert!(
+            (mag - expected).abs() < 0.01 * (1.0 + expected),
+            "f/fc={f_rel}: got {mag}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn rc_phase_is_negative(
+        r_kohm in 0.1f64..100.0,
+        c_pf in 1.0f64..1_000.0,
+    ) {
+        let r = r_kohm * 1e3;
+        let c = c_pf * 1e-12;
+        let circuit = rc_circuit(r, c);
+        let network = Network::build(&circuit, None, 0.0, 0.8, 300.0);
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        let w = 2.0 * std::f64::consts::PI * fc;
+        let sol = network.solve_at(w, [Complex::ONE, Complex::ZERO], &[]).unwrap();
+        let out = network.output(&sol);
+        // at the pole frequency phase = -45 degrees
+        prop_assert!(
+            (out.arg() + std::f64::consts::FRAC_PI_4).abs() < 0.02,
+            "phase {}",
+            out.arg()
+        );
+    }
+
+    #[test]
+    fn resistor_divider_is_frequency_flat(
+        r1_kohm in 0.1f64..100.0,
+        r2_kohm in 0.1f64..100.0,
+        f in 1.0f64..1e9,
+    ) {
+        let (r1, r2) = (r1_kohm * 1e3, r2_kohm * 1e3);
+        let mut b = CircuitBuilder::new("div");
+        b.add_net("vdd", NetType::Power).unwrap();
+        b.add_net("vss", NetType::Ground).unwrap();
+        b.add_net("vinp", NetType::Input).unwrap();
+        b.add_net("vinn", NetType::Input).unwrap();
+        b.add_net("out", NetType::Output).unwrap();
+        b.add_device(
+            "R1",
+            DeviceKind::Resistor,
+            DeviceParams::Res(ResParams { r: r1 }),
+            &[(Terminal::Pos, "vinp"), (Terminal::Neg, "out")],
+        )
+        .unwrap();
+        b.add_device(
+            "R2",
+            DeviceKind::Resistor,
+            DeviceParams::Res(ResParams { r: r2 }),
+            &[(Terminal::Pos, "out"), (Terminal::Neg, "vss")],
+        )
+        .unwrap();
+        b.add_device(
+            "RB",
+            DeviceKind::Resistor,
+            DeviceParams::Res(ResParams { r: 1e12 }),
+            &[(Terminal::Pos, "vinn"), (Terminal::Neg, "out")],
+        )
+        .unwrap();
+        b.set_io("vinp", "vinn", "out", None, "vdd", "vss").unwrap();
+        let circuit = b.finish().unwrap();
+        let network = Network::build(&circuit, None, 0.0, 0.8, 300.0);
+        let w = 2.0 * std::f64::consts::PI * f;
+        let sol = network.solve_at(w, [Complex::ONE, Complex::ZERO], &[]).unwrap();
+        let mag = network.output(&sol).abs();
+        let expected = r2 / (r1 + r2);
+        prop_assert!((mag - expected).abs() < 1e-6 * (1.0 + expected));
+    }
+}

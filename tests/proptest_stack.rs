@@ -1,0 +1,199 @@
+//! Property-based tests across placement, routing, extraction and the
+//! DEF/SPICE interchange formats, driven by benchmark/variant selection.
+
+use analogfold_suite::extract::extract;
+use analogfold_suite::netlist::benchmarks;
+use analogfold_suite::place::{place, PlacementVariant};
+use analogfold_suite::route::{parse_def, route, write_def, RouterConfig, RoutingGuidance};
+use analogfold_suite::sim::to_spice;
+use analogfold_suite::tech::Technology;
+use proptest::prelude::*;
+
+fn variants() -> impl Strategy<Value = PlacementVariant> {
+    prop_oneof![
+        Just(PlacementVariant::A),
+        Just(PlacementVariant::B),
+        Just(PlacementVariant::C),
+        Just(PlacementVariant::D),
+    ]
+}
+
+fn bench_names() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("OTA1"), Just("OTA2")]
+}
+
+proptest! {
+    // full route runs are expensive; keep the case count small but the
+    // properties strong
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn placement_always_legal(name in bench_names(), v in variants()) {
+        let circuit = benchmarks::by_name(name).unwrap();
+        let placement = place(&circuit, v);
+        prop_assert!(placement.check(&circuit).is_ok());
+        // die is nonempty and pins live inside it
+        prop_assert!(placement.die().area() > 0);
+        for pin in placement.pins() {
+            prop_assert!(placement.die().contains_rect(&pin.rect));
+        }
+    }
+
+    #[test]
+    fn routing_connects_every_routable_net(name in bench_names(), v in variants()) {
+        let circuit = benchmarks::by_name(name).unwrap();
+        let tech = Technology::nm40();
+        let placement = place(&circuit, v);
+        let layout = route(
+            &circuit, &placement, &tech,
+            &RoutingGuidance::None, &RouterConfig::default(),
+        ).unwrap();
+        for (i, net) in circuit.nets().iter().enumerate() {
+            let id = analogfold_suite::netlist::NetId::new(i as u32);
+            let placed_pins = placement.pins_of_net(id).count();
+            if placed_pins >= 2 {
+                let routed = layout.net(id);
+                prop_assert!(routed.is_some(), "net `{}` unrouted", net.name);
+                prop_assert!(
+                    routed.unwrap().wirelength > 0 || placed_pins == 1,
+                    "net `{}` has zero wire", net.name
+                );
+            }
+        }
+        // wires stay inside the die
+        for rn in &layout.nets {
+            for s in &rn.segments {
+                for p in [s.start(), s.end()] {
+                    prop_assert!(placement.die().contains(af_geom_point(p)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_is_monotone_in_geometry(name in bench_names(), v in variants()) {
+        let circuit = benchmarks::by_name(name).unwrap();
+        let tech = Technology::nm40();
+        let placement = place(&circuit, v);
+        let layout = route(
+            &circuit, &placement, &tech,
+            &RoutingGuidance::None, &RouterConfig::default(),
+        ).unwrap();
+        let px = extract(&circuit, &tech, &layout);
+        for rn in &layout.nets {
+            let rec = px.net(rn.net);
+            prop_assert_eq!(rec.wirelength, rn.wirelength);
+            prop_assert_eq!(rec.vias, rn.vias);
+            if rn.wirelength > 0 {
+                prop_assert!(rec.resistance > 0.0);
+                prop_assert!(rec.cap_ground > 0.0);
+            }
+            // resistance at least the via stack, at most a generous bound
+            let max_r = tech.wire_resistance(0, rn.wirelength)
+                + tech.via_stack_resistance(rn.vias);
+            prop_assert!(rec.resistance <= max_r * 1.001);
+        }
+    }
+
+    #[test]
+    fn def_roundtrip_any_variant(name in bench_names(), v in variants()) {
+        let circuit = benchmarks::by_name(name).unwrap();
+        let tech = Technology::nm40();
+        let placement = place(&circuit, v);
+        let layout = route(
+            &circuit, &placement, &tech,
+            &RoutingGuidance::None, &RouterConfig::default(),
+        ).unwrap();
+        let text = write_def(&circuit, &placement, &layout);
+        let back = parse_def(&circuit, &text).unwrap();
+        prop_assert_eq!(back.total_wirelength(), layout.total_wirelength());
+        prop_assert_eq!(back.total_vias(), layout.total_vias());
+    }
+
+    #[test]
+    fn spice_deck_is_wellformed(name in bench_names(), v in variants()) {
+        let circuit = benchmarks::by_name(name).unwrap();
+        let tech = Technology::nm40();
+        let placement = place(&circuit, v);
+        let layout = route(
+            &circuit, &placement, &tech,
+            &RoutingGuidance::None, &RouterConfig::default(),
+        ).unwrap();
+        let px = extract(&circuit, &tech, &layout);
+        let deck = to_spice(&circuit, Some(&px));
+        prop_assert!(deck.trim_end().ends_with(".end"));
+        // every element line has at least name + 2 nodes + value
+        for line in deck.lines() {
+            let first = line.chars().next().unwrap_or('*');
+            if matches!(first, 'R' | 'C' | 'G' | 'V') {
+                prop_assert!(
+                    line.split_whitespace().count() >= 4,
+                    "short element line: {line}"
+                );
+            }
+        }
+    }
+}
+
+fn af_geom_point(p: analogfold_suite::geom::Point3) -> analogfold_suite::geom::Point {
+    analogfold_suite::geom::Point::new(p.x, p.y)
+}
+
+mod def_fuzz {
+    use analogfold_suite::geom::{Point3, Segment};
+    use analogfold_suite::netlist::{benchmarks, NetId};
+    use analogfold_suite::place::{place, PlacementVariant};
+    use analogfold_suite::route::{parse_def, write_def, RoutedLayout, RoutedNet};
+    use proptest::prelude::*;
+
+    /// A random Manhattan segment (planar or via).
+    fn arb_segment() -> impl Strategy<Value = Segment> {
+        (
+            -50_000i64..50_000,
+            -50_000i64..50_000,
+            0u8..4,
+            prop_oneof![Just(0u8), Just(1), Just(2)],
+            1i64..20_000,
+        )
+            .prop_map(|(x, y, l, kind, len)| {
+                let a = Point3::new(x, y, l);
+                let b = match kind {
+                    0 => Point3::new(x + len, y, l),
+                    1 => Point3::new(x, y + len, l),
+                    _ => Point3::new(x, y, if l == 3 { 2 } else { l + 1 }),
+                };
+                Segment::new(a, b).expect("axis-aligned by construction")
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn def_roundtrips_arbitrary_manhattan_layouts(
+            segs in prop::collection::vec(arb_segment(), 1..40),
+            net_idx in 0u32..10,
+        ) {
+            let circuit = benchmarks::ota1();
+            let placement = place(&circuit, PlacementVariant::A);
+            let layout = RoutedLayout {
+                nets: vec![RoutedNet::from_segments(NetId::new(net_idx), segs)],
+                iterations: 1,
+                conflicts: 0,
+                runtime_s: 0.0,
+            };
+            let text = write_def(&circuit, &placement, &layout);
+            let back = parse_def(&circuit, &text).unwrap();
+            prop_assert_eq!(back.nets.len(), 1);
+            prop_assert_eq!(back.nets[0].net, NetId::new(net_idx));
+            prop_assert_eq!(back.total_wirelength(), layout.total_wirelength());
+            prop_assert_eq!(back.total_vias(), layout.total_vias());
+            let mut sa = layout.nets[0].segments.clone();
+            let mut sb = back.nets[0].segments.clone();
+            let key = |s: &Segment| (s.start().z, s.start().x, s.start().y, s.end().x, s.end().y, s.end().z);
+            sa.sort_by_key(key);
+            sb.sort_by_key(key);
+            prop_assert_eq!(sa, sb);
+        }
+    }
+}
