@@ -19,6 +19,7 @@ use af_sim::{simulate, Performance, SimConfig, SimError};
 use af_tech::Technology;
 
 use crate::hetero::HeteroGraph;
+use crate::persist::ShardStore;
 
 /// One labeled sample: a guidance assignment and its simulated metrics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -162,6 +163,13 @@ pub struct DatasetConfig {
     pub router: RouterConfig,
     /// Simulator settings used for every sample.
     pub sim: SimConfig,
+    /// Worker threads for the per-sample fan-out; `0` resolves through
+    /// `AFRT_THREADS`, then hardware parallelism. Any value yields
+    /// bit-identical datasets because each sample's guidance comes from
+    /// `afrt::split_seed(seed, sample_index)`, not a shared stream.
+    pub threads: usize,
+    /// Samples per checkpoint shard when a checkpoint directory is given.
+    pub shard_size: usize,
 }
 
 impl Default for DatasetConfig {
@@ -173,6 +181,8 @@ impl Default for DatasetConfig {
             c_high: 2.2,
             router: RouterConfig::default(),
             sim: SimConfig::default(),
+            threads: 0,
+            shard_size: 32,
         }
     }
 }
@@ -184,6 +194,8 @@ pub enum DatasetError {
     Route(RouteError),
     /// The simulator failed on a sample.
     Sim(SimError),
+    /// A checkpoint shard could not be written.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for DatasetError {
@@ -191,6 +203,7 @@ impl std::fmt::Display for DatasetError {
         match self {
             DatasetError::Route(e) => write!(f, "routing failed: {e}"),
             DatasetError::Sim(e) => write!(f, "simulation failed: {e}"),
+            DatasetError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
         }
     }
 }
@@ -245,9 +258,14 @@ pub fn evaluate_guidance(
 /// Generates a labeled dataset by sampling guidance log-uniformly in
 /// `[c_low, c_high]` per component.
 ///
+/// Sample evaluation (route → extract → simulate) fans out across the
+/// [`afrt`] worker pool. Sample `i`'s guidance is drawn from its own RNG
+/// seeded with `afrt::split_seed(cfg.seed, i)`, so the dataset is
+/// bit-identical for every thread count.
+///
 /// # Errors
 ///
-/// Propagates the first routing or simulation failure.
+/// Propagates the lowest-index routing or simulation failure.
 pub fn generate_dataset(
     circuit: &Circuit,
     placement: &Placement,
@@ -255,21 +273,85 @@ pub fn generate_dataset(
     graph: &HeteroGraph,
     cfg: &DatasetConfig,
 ) -> Result<Dataset, DatasetError> {
+    generate_dataset_checkpointed(circuit, placement, tech, graph, cfg, None)
+}
+
+/// [`generate_dataset`] with sharded, resumable checkpointing: every
+/// completed shard of `cfg.shard_size` samples is written into `checkpoint`
+/// as it finishes, and shards already present (from an earlier, interrupted
+/// run with the same config) are loaded instead of recomputed. Because each
+/// sample depends only on `(cfg.seed, sample_index)`, resumed and fresh runs
+/// produce identical datasets.
+///
+/// # Errors
+///
+/// Propagates the lowest-index routing or simulation failure, or a shard
+/// write failure.
+pub fn generate_dataset_checkpointed(
+    circuit: &Circuit,
+    placement: &Placement,
+    tech: &Technology,
+    graph: &HeteroGraph,
+    cfg: &DatasetConfig,
+    checkpoint: Option<&ShardStore>,
+) -> Result<Dataset, DatasetError> {
     let n_guided = graph.guided_ap_indices().len();
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let (lo, hi) = (cfg.c_low.ln(), cfg.c_high.ln());
+    let runtime = afrt::Runtime::with_threads(cfg.threads);
+    let shard_size = cfg.shard_size.max(1);
     let mut samples = Vec::with_capacity(cfg.samples);
-    for _ in 0..cfg.samples {
-        let guidance: Vec<f64> = (0..n_guided * 3)
-            .map(|_| rng.gen_range(lo..=hi).exp())
-            .collect();
-        let performance = evaluate_guidance(
-            circuit, placement, tech, graph, &guidance, &cfg.router, &cfg.sim,
-        )?;
-        samples.push(Sample {
-            guidance,
-            performance,
-        });
+
+    let mut shard_index = 0usize;
+    let mut start = 0usize;
+    while start < cfg.samples {
+        let end = cfg.samples.min(start + shard_size);
+        let want = end - start;
+
+        // Resume: a full shard from a previous run of the same config is
+        // reused verbatim; anything missing, short, or corrupt regenerates.
+        if let Some(store) = checkpoint {
+            if let Ok(Some(shard)) = store.load_shard::<Vec<Sample>>(shard_index) {
+                if shard.len() == want && shard.iter().all(|s| s.guidance.len() == n_guided * 3) {
+                    samples.extend(shard);
+                    shard_index += 1;
+                    start = end;
+                    continue;
+                }
+            }
+        }
+
+        let indices: Vec<usize> = (start..end).collect();
+        let evaluated = runtime
+            .par_map(&indices, |_, &i| {
+                let mut rng = ChaCha8Rng::seed_from_u64(afrt::split_seed(cfg.seed, i as u64));
+                let guidance: Vec<f64> = (0..n_guided * 3)
+                    .map(|_| rng.gen_range(lo..=hi).exp())
+                    .collect();
+                let performance = evaluate_guidance(
+                    circuit,
+                    placement,
+                    tech,
+                    graph,
+                    &guidance,
+                    &cfg.router,
+                    &cfg.sim,
+                )?;
+                Ok(Sample {
+                    guidance,
+                    performance,
+                })
+            })
+            .unwrap_or_else(|e| panic!("dataset generation failed: {e}"));
+        let shard: Vec<Sample> = evaluated.into_iter().collect::<Result<_, DatasetError>>()?;
+
+        if let Some(store) = checkpoint {
+            store
+                .save_shard(shard_index, &shard)
+                .map_err(|e| DatasetError::Checkpoint(e.to_string()))?;
+        }
+        samples.extend(shard);
+        shard_index += 1;
+        start = end;
     }
     Ok(Dataset { samples })
 }
@@ -401,6 +483,43 @@ mod tests {
     #[should_panic(expected = "empty dataset")]
     fn stats_reject_empty() {
         let _ = TargetStats::fit(&Dataset::default());
+    }
+
+    #[test]
+    fn checkpointed_generation_resumes_identically() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let graph = HeteroGraph::build(&c, &p, &t, 2);
+        let cfg = DatasetConfig {
+            samples: 5,
+            shard_size: 2,
+            ..DatasetConfig::default()
+        };
+        let plain = generate_dataset(&c, &p, &t, &graph, &cfg).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("afrt-ckpt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ShardStore::new(&dir);
+        let first = generate_dataset_checkpointed(&c, &p, &t, &graph, &cfg, Some(&store)).unwrap();
+        // Simulate an interrupted run: drop the final (partial-width) shard,
+        // then resume — shards 0 and 1 load, shard 2 regenerates.
+        std::fs::remove_file(store.shard_path(2)).unwrap();
+        let resumed =
+            generate_dataset_checkpointed(&c, &p, &t, &graph, &cfg, Some(&store)).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(plain.len(), 5);
+        for (a, b) in plain.samples.iter().zip(&first.samples) {
+            assert_eq!(
+                a.guidance, b.guidance,
+                "checkpointing must not change results"
+            );
+        }
+        for (a, b) in first.samples.iter().zip(&resumed.samples) {
+            assert_eq!(a.guidance, b.guidance, "resume must reproduce the run");
+            assert_eq!(a.performance.as_array(), b.performance.as_array());
+        }
     }
 
     #[test]

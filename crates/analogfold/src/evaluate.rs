@@ -58,12 +58,7 @@ pub fn holdout_mse(gnn: &ThreeDGnn, graph: &HeteroGraph, test: &[Sample]) -> f64
 /// # Panics
 ///
 /// Panics if `k < 2` or the dataset has fewer than `k` samples.
-pub fn kfold_mse(
-    cfg: &GnnConfig,
-    graph: &HeteroGraph,
-    dataset: &Dataset,
-    k: usize,
-) -> KfoldReport {
+pub fn kfold_mse(cfg: &GnnConfig, graph: &HeteroGraph, dataset: &Dataset, k: usize) -> KfoldReport {
     assert!(k >= 2, "k-fold needs k >= 2");
     assert!(
         dataset.len() >= k,
@@ -123,7 +118,13 @@ pub struct DatasetSummary {
 }
 
 /// Metric names in canonical order, for printing summaries.
-pub const METRIC_NAMES: [&str; 5] = ["offset_uv", "cmrr_db", "bandwidth_mhz", "dc_gain_db", "noise_uvrms"];
+pub const METRIC_NAMES: [&str; 5] = [
+    "offset_uv",
+    "cmrr_db",
+    "bandwidth_mhz",
+    "dc_gain_db",
+    "noise_uvrms",
+];
 
 /// Summarizes a dataset.
 ///
@@ -255,8 +256,16 @@ mod tests {
         let s = summarize(&ds);
         assert_eq!(s.samples, 40);
         // offset rises with guidance, cmrr falls
-        assert!(s.guidance_correlation[0] > 0.8, "{:?}", s.guidance_correlation);
-        assert!(s.guidance_correlation[1] < -0.8, "{:?}", s.guidance_correlation);
+        assert!(
+            s.guidance_correlation[0] > 0.8,
+            "{:?}",
+            s.guidance_correlation
+        );
+        assert!(
+            s.guidance_correlation[1] < -0.8,
+            "{:?}",
+            s.guidance_correlation
+        );
         // constant metrics have ~zero cv
         assert!(s.cv[2] < 1e-6);
         // ranges ordered

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 use af_extract::{extract, Parasitics};
 use af_netlist::Circuit;
 use af_place::Placement;
-use af_route::{route, RoutedLayout, RouteError, RouterConfig, RoutingGuidance};
+use af_route::{route, RouteError, RoutedLayout, RouterConfig, RoutingGuidance};
 use af_sim::{simulate, Performance, SimConfig, SimError};
 use af_tech::Technology;
 
@@ -37,6 +37,18 @@ pub struct FlowConfig {
     /// Wall-clock seconds spent on placement (reported in the Fig. 5
     /// breakdown; the flow itself takes the placement as input).
     pub placement_s: f64,
+}
+
+impl FlowConfig {
+    /// Sets the worker-thread count on every parallel stage of the flow
+    /// (dataset generation, relaxation restarts, candidate evaluation).
+    /// `0` means auto (`AFRT_THREADS`, then hardware parallelism).
+    #[must_use]
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.dataset.threads = n;
+        self.relax.threads = n;
+        self
+    }
 }
 
 /// Wall-clock runtime breakdown (Fig. 5).
@@ -178,7 +190,14 @@ impl AnalogFoldFlow {
         let seeds = best_dataset_seeds(&gnn, &dataset, 3);
 
         self.infer(
-            circuit, placement, graph, gnn, train_report, construct_db_s, training_s, seeds,
+            circuit,
+            placement,
+            graph,
+            gnn,
+            train_report,
+            construct_db_s,
+            training_s,
+            seeds,
         )
     }
 
@@ -237,27 +256,36 @@ impl AnalogFoldFlow {
         let candidates = relax_seeded(&potential, &cfg.relax, &seeds);
         let guide_gen_s = t2.elapsed().as_secs_f64();
 
-        // Guided routing: evaluate the derived candidates, keep the best.
+        // Guided routing: evaluate the derived candidates concurrently,
+        // keep the best (ties break toward the lower-potential candidate,
+        // i.e. the lower index, matching the old sequential scan).
         let t3 = Instant::now();
         let stats = gnn.stats().clone();
         let weights = potential.weights;
+        let runtime = afrt::Runtime::with_threads(cfg.relax.threads);
+        let evaluated = runtime
+            .par_map(&candidates, |_, cand| {
+                let field = RoutingGuidance::NonUniform(guidance_field(&graph, &cand.guidance));
+                let layout = route(circuit, placement, &cfg.tech, &field, &cfg.router)
+                    .map_err(FlowError::Route)?;
+                let parasitics = extract(circuit, &cfg.tech, &layout);
+                let perf =
+                    simulate(circuit, Some(&parasitics), &cfg.sim).map_err(FlowError::Sim)?;
+                let normalized = stats.normalize(&perf.as_array());
+                let score: f64 = normalized
+                    .iter()
+                    .zip(weights.iter())
+                    .map(|(y, w)| y * w)
+                    .sum();
+                Ok::<_, FlowError>((score, cand.guidance.clone(), layout, parasitics, perf))
+            })
+            .unwrap_or_else(|e| panic!("candidate evaluation failed: {e}"));
         let mut best: Option<(f64, Vec<f64>, RoutedLayout, Parasitics, Performance)> = None;
-        for cand in &candidates {
-            let field = RoutingGuidance::NonUniform(guidance_field(&graph, &cand.guidance));
-            let layout =
-                route(circuit, placement, &cfg.tech, &field, &cfg.router).map_err(FlowError::Route)?;
-            let parasitics = extract(circuit, &cfg.tech, &layout);
-            let perf =
-                simulate(circuit, Some(&parasitics), &cfg.sim).map_err(FlowError::Sim)?;
-            let normalized = stats.normalize(&perf.as_array());
-            let score: f64 = normalized
-                .iter()
-                .zip(weights.iter())
-                .map(|(y, w)| y * w)
-                .sum();
+        for result in evaluated {
+            let (score, guidance, layout, parasitics, perf) = result?;
             let better = best.as_ref().map(|(s, ..)| score < *s).unwrap_or(true);
             if better {
-                best = Some((score, cand.guidance.clone(), layout, parasitics, perf));
+                best = Some((score, guidance, layout, parasitics, perf));
             }
         }
         let (_, guidance, layout, parasitics, performance) =
@@ -323,8 +351,8 @@ pub fn magical_route(
     router: &RouterConfig,
     sim: &SimConfig,
 ) -> Result<(RoutedLayout, Parasitics, Performance), FlowError> {
-    let layout =
-        route(circuit, placement, tech, &RoutingGuidance::None, router).map_err(FlowError::Route)?;
+    let layout = route(circuit, placement, tech, &RoutingGuidance::None, router)
+        .map_err(FlowError::Route)?;
     let parasitics = extract(circuit, tech, &layout);
     let performance = simulate(circuit, Some(&parasitics), sim).map_err(FlowError::Sim)?;
     Ok((layout, parasitics, performance))

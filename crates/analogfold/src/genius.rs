@@ -330,7 +330,14 @@ mod tests {
         let c = benchmarks::ota1();
         let t = Technology::nm40();
         let pb = place(&c, PlacementVariant::B);
-        let lb = route(&c, &pb, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let lb = route(
+            &c,
+            &pb,
+            &t,
+            &RoutingGuidance::None,
+            &RouterConfig::default(),
+        )
+        .unwrap();
         let cfg = GeniusConfig {
             epochs: 5,
             raster: 6,
@@ -352,7 +359,14 @@ mod tests {
         let t = Technology::nm40();
         // imitation data from variant B; guide variant A
         let pb = place(&c, PlacementVariant::B);
-        let lb = route(&c, &pb, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let lb = route(
+            &c,
+            &pb,
+            &t,
+            &RoutingGuidance::None,
+            &RouterConfig::default(),
+        )
+        .unwrap();
         let cfg = GeniusConfig {
             epochs: 10,
             raster: 6,

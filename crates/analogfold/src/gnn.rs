@@ -457,7 +457,12 @@ impl ThreeDGnn {
     /// # Panics
     ///
     /// Panics if the dataset is empty or guidance lengths mismatch the graph.
-    pub fn train(&mut self, graph: &HeteroGraph, dataset: &Dataset, cfg: &GnnConfig) -> TrainReport {
+    pub fn train(
+        &mut self,
+        graph: &HeteroGraph,
+        dataset: &Dataset,
+        cfg: &GnnConfig,
+    ) -> TrainReport {
         assert!(!dataset.samples.is_empty(), "empty dataset");
         let t = GraphTensors::new(graph);
         assert_eq!(
@@ -632,8 +637,7 @@ mod tests {
         for _ in 0..n {
             use rand::Rng;
             let guidance: Vec<f64> = (0..len).map(|_| rng.gen_range(0.2..2.0)).collect();
-            let mean_x: f64 =
-                guidance.iter().step_by(3).sum::<f64>() / (len as f64 / 3.0);
+            let mean_x: f64 = guidance.iter().step_by(3).sum::<f64>() / (len as f64 / 3.0);
             samples.push(Sample {
                 guidance,
                 performance: Performance {

@@ -13,7 +13,7 @@
 
 use af_geom::Point3;
 use af_netlist::{Circuit, DeviceKind, NetId, NetType, PinId};
-use af_place::{Placement, PinSource};
+use af_place::{PinSource, Placement};
 use af_route::{PinAccessMap, RoutingGrid};
 use af_tech::Technology;
 
@@ -85,12 +85,7 @@ impl HeteroGraph {
     /// `knn` is the number of cross-net spatial neighbor edges added per
     /// access point (resource competition); same-net access points are fully
     /// connected (potential wires).
-    pub fn build(
-        circuit: &Circuit,
-        placement: &Placement,
-        tech: &Technology,
-        knn: usize,
-    ) -> Self {
+    pub fn build(circuit: &Circuit, placement: &Placement, tech: &Technology, knn: usize) -> Self {
         // Extract access points exactly the way the router will.
         let mut grid = RoutingGrid::new(circuit, placement, tech, 2);
         let access = PinAccessMap::extract(circuit, placement, &mut grid);
@@ -136,7 +131,9 @@ impl HeteroGraph {
             let r = placement.device_rects()[i];
             let c = r.center();
             let kind_hot = |k: DeviceKind| if dev.kind == k { 1.0 } else { 0.0 };
-            let pins = circuit.device_pins(af_netlist::DeviceId::new(i as u32)).count();
+            let pins = circuit
+                .device_pins(af_netlist::DeviceId::new(i as u32))
+                .count();
             let features = [
                 (c.x - die.lo().x) as f64 / scale,
                 (c.y - die.lo().y) as f64 / scale,

@@ -50,11 +50,16 @@ mod hetero;
 mod persist;
 mod potential;
 
-pub use dataset::{generate_dataset, generate_dataset_multi, guidance_field, guidance_field_for, Dataset, DatasetConfig, DatasetError, Sample, TargetStats};
+pub use dataset::{
+    generate_dataset, generate_dataset_checkpointed, generate_dataset_multi, guidance_field,
+    guidance_field_for, Dataset, DatasetConfig, DatasetError, Sample, TargetStats,
+};
 pub use evaluate::{holdout_mse, kfold_mse, summarize, DatasetSummary, KfoldReport, METRIC_NAMES};
-pub use flow::{magical_route, AnalogFoldFlow, FlowConfig, FlowError, FlowOutcome, RuntimeBreakdown};
+pub use flow::{
+    magical_route, AnalogFoldFlow, FlowConfig, FlowError, FlowOutcome, RuntimeBreakdown,
+};
 pub use genius::{GeniusConfig, GeniusRouteModel, NetClass};
 pub use gnn::{GnnConfig, GraphTensors, ThreeDGnn, TrainReport};
 pub use hetero::{ApNode, EdgeKind, HeteroGraph, ModuleNode};
-pub use persist::PersistError;
-pub use potential::{relax, Potential, RelaxConfig, RelaxOutcome};
+pub use persist::{PersistError, ShardStore};
+pub use potential::{relax, relax_seeded, Potential, RelaxConfig, RelaxOutcome};

@@ -59,6 +59,64 @@ fn load<T: DeserializeOwned>(path: &Path) -> Result<T, PersistError> {
     Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
 }
 
+/// A directory of numbered JSON shards (`shard-0000.json`, `shard-0001.json`,
+/// …) used for resumable checkpointing of long generation jobs: each
+/// completed shard is written as soon as it finishes, and a restarted job
+/// reloads whatever shards already exist instead of recomputing them.
+///
+/// Writes go through a temporary file renamed into place, so a job killed
+/// mid-write leaves no partial shard behind.
+#[derive(Debug, Clone)]
+pub struct ShardStore {
+    dir: std::path::PathBuf,
+}
+
+impl ShardStore {
+    /// Store rooted at `dir` (created lazily on first save).
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// Root directory of the store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of shard `index`.
+    pub fn shard_path(&self, index: usize) -> std::path::PathBuf {
+        self.dir.join(format!("shard-{index:04}.json"))
+    }
+
+    /// Writes shard `index` atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or serialization failures.
+    pub fn save_shard<T: Serialize>(&self, index: usize, value: &T) -> Result<(), PersistError> {
+        fs::create_dir_all(&self.dir)?;
+        let tmp = self.dir.join(format!(".shard-{index:04}.json.tmp"));
+        fs::write(&tmp, serde_json::to_string(value)?)?;
+        fs::rename(&tmp, self.shard_path(index))?;
+        Ok(())
+    }
+
+    /// Loads shard `index` if it exists and parses cleanly; a missing or
+    /// corrupt shard returns `Ok(None)` so the caller regenerates it.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures other than "not found".
+    pub fn load_shard<T: DeserializeOwned>(&self, index: usize) -> Result<Option<T>, PersistError> {
+        let path = self.shard_path(index);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(serde_json::from_str(&text).ok())
+    }
+}
+
 impl ThreeDGnn {
     /// Saves the model (weights + target statistics) as JSON.
     ///
@@ -171,5 +229,33 @@ mod tests {
         let err = ThreeDGnn::load(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert!(matches!(err, PersistError::Json(_)));
+    }
+
+    #[test]
+    fn shard_store_roundtrip_and_resume_semantics() {
+        let dir = tmp("shards");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ShardStore::new(&dir);
+
+        // Missing shard → None (caller regenerates).
+        assert!(store.load_shard::<Vec<u32>>(0).unwrap().is_none());
+
+        store.save_shard(0, &vec![1u32, 2, 3]).unwrap();
+        store.save_shard(2, &vec![7u32]).unwrap();
+        assert_eq!(
+            store.load_shard::<Vec<u32>>(0).unwrap().unwrap(),
+            vec![1, 2, 3]
+        );
+        assert!(
+            store.load_shard::<Vec<u32>>(1).unwrap().is_none(),
+            "gap stays a gap"
+        );
+        assert_eq!(store.load_shard::<Vec<u32>>(2).unwrap().unwrap(), vec![7]);
+
+        // Corrupt shard → None, not an error.
+        std::fs::write(store.shard_path(2), "{truncated").unwrap();
+        assert!(store.load_shard::<Vec<u32>>(2).unwrap().is_none());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

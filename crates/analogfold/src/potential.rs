@@ -10,6 +10,12 @@
 //! pool of the `N_pool` lowest-potential guidance sets is maintained, and
 //! once full, a fraction `p_relax` of subsequent restarts is seeded from
 //! pool members with added noise. The top `N_derive` results are returned.
+//!
+//! Restarts execute on the [`afrt`] worker pool in *rounds* of `N_pool`
+//! restarts each. The pool snapshot that noisy restarts draw from is only
+//! refreshed at round boundaries, and every restart derives its RNG from
+//! `afrt::split_seed(cfg.seed, restart_index)` — so results are a function
+//! of the config alone and are bit-identical for any worker count.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -109,6 +115,10 @@ pub struct RelaxConfig {
     pub diversity_tol: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the restart fan-out; `0` resolves through
+    /// `AFRT_THREADS`, then hardware parallelism. Any value yields
+    /// bit-identical results.
+    pub threads: usize,
 }
 
 impl Default for RelaxConfig {
@@ -123,6 +133,7 @@ impl Default for RelaxConfig {
             lbfgs_memory: 8,
             diversity_tol: 0.05,
             seed: 99,
+            threads: 0,
         }
     }
 }
@@ -161,55 +172,71 @@ pub fn relax_seeded(
 ) -> Vec<RelaxOutcome> {
     let dim = potential.dim();
     assert!(dim > 0, "no guided access points to relax");
+    for s in seeds {
+        assert_eq!(s.len(), dim, "seed length mismatch");
+    }
     let (c_min, c_max) = potential.bounds();
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let runtime = afrt::Runtime::with_threads(cfg.threads);
     let mut pool: Vec<RelaxOutcome> = Vec::new();
 
-    for restart in 0..(cfg.restarts + seeds.len()) {
-        let mut x0: Vec<f64> = if restart < seeds.len() {
-            assert_eq!(seeds[restart].len(), dim, "seed length mismatch");
-            seeds[restart].clone()
-        } else if pool.len() >= cfg.pool_size && rng.gen::<f64>() < cfg.p_relax {
-            // Noisy restart from a pool member (the paper's
-            // `p_relax · N_pool` re-initializations).
-            let pick = rng.gen_range(0..pool.len());
-            pool[pick]
-                .guidance
-                .iter()
-                .map(|&v| v + cfg.noise_sigma * normal(&mut rng))
-                .collect()
-        } else {
-            (0..dim)
-                .map(|_| rng.gen_range(c_min + 0.05..c_max - 0.05))
-                .collect()
-        };
-        potential.project(&mut x0);
-        // Keep the raw seed itself in the pool too: L-BFGS refines it under
-        // the *surrogate*, which may lose what the simulator liked about it.
-        if restart < seeds.len() {
-            let (v, _) = potential.value_and_grad(&x0);
-            pool.push(RelaxOutcome {
-                guidance: x0.clone(),
-                potential: v,
-            });
+    // Warm starts: refine every provided seed concurrently. Keep the raw
+    // seed itself in the pool too: L-BFGS refines it under the *surrogate*,
+    // which may lose what the simulator liked about it.
+    if !seeds.is_empty() {
+        let refined = runtime
+            .par_map(seeds, |_, s| {
+                let mut x0 = s.clone();
+                potential.project(&mut x0);
+                let (v0, _) = potential.value_and_grad(&x0);
+                let raw = RelaxOutcome {
+                    guidance: x0.clone(),
+                    potential: v0,
+                };
+                (raw, minimize_one(potential, &x0, cfg))
+            })
+            .unwrap_or_else(|e| panic!("relaxation warm-start failed: {e}"));
+        for (raw, opt) in refined {
+            pool.push(raw);
+            pool.push(opt);
         }
+        merge_pool(&mut pool, cfg);
+    }
 
-        let result = lbfgs_minimize(
-            |x| potential.value_and_grad(x),
-            &x0,
-            cfg.lbfgs_iters,
-            cfg.lbfgs_memory,
-            1e-8,
-        );
-        let mut guidance = result.x;
-        potential.project(&mut guidance);
-        let (v, _) = potential.value_and_grad(&guidance);
-        pool.push(RelaxOutcome {
-            guidance,
-            potential: v,
-        });
-        pool.sort_by(|a, b| a.potential.partial_cmp(&b.potential).unwrap_or(std::cmp::Ordering::Equal));
-        pool.truncate((cfg.pool_size.max(cfg.n_derive)) * 2);
+    // Random restarts in rounds of `N_pool`. Each round snapshots the pool;
+    // every restart inside the round derives its initialization purely from
+    // `(cfg.seed, restart_index)` and that snapshot, so scheduling order is
+    // irrelevant to the result.
+    let round_len = cfg.pool_size.max(1);
+    let mut next_restart = 0usize;
+    while next_restart < cfg.restarts {
+        let round: Vec<usize> =
+            (next_restart..cfg.restarts.min(next_restart + round_len)).collect();
+        next_restart += round.len();
+        let snapshot = &pool;
+        let results = runtime
+            .par_map(&round, |_, &restart| {
+                let mut rng = ChaCha8Rng::seed_from_u64(afrt::split_seed(cfg.seed, restart as u64));
+                let mut x0: Vec<f64> =
+                    if snapshot.len() >= cfg.pool_size && rng.gen::<f64>() < cfg.p_relax {
+                        // Noisy restart from a pool member (the paper's
+                        // `p_relax · N_pool` re-initializations).
+                        let pick = rng.gen_range(0..snapshot.len());
+                        snapshot[pick]
+                            .guidance
+                            .iter()
+                            .map(|&v| v + cfg.noise_sigma * normal(&mut rng))
+                            .collect()
+                    } else {
+                        (0..dim)
+                            .map(|_| rng.gen_range(c_min + 0.05..c_max - 0.05))
+                            .collect()
+                    };
+                potential.project(&mut x0);
+                minimize_one(potential, &x0, cfg)
+            })
+            .unwrap_or_else(|e| panic!("relaxation restart failed: {e}"));
+        pool.extend(results);
+        merge_pool(&mut pool, cfg);
     }
 
     // Diversity-aware top-N: greedily take the lowest-potential candidates
@@ -238,14 +265,41 @@ pub fn relax_seeded(
         if selected.len() >= cfg.n_derive {
             break;
         }
-        if !selected
-            .iter()
-            .any(|s| s.guidance == cand.guidance)
-        {
+        if !selected.iter().any(|s| s.guidance == cand.guidance) {
             selected.push(cand.clone());
         }
     }
     selected
+}
+
+/// One L-BFGS descent from `x0`, projected back into the feasible region.
+fn minimize_one(potential: &Potential<'_>, x0: &[f64], cfg: &RelaxConfig) -> RelaxOutcome {
+    let result = lbfgs_minimize(
+        |x| potential.value_and_grad(x),
+        x0,
+        cfg.lbfgs_iters,
+        cfg.lbfgs_memory,
+        1e-8,
+    );
+    let mut guidance = result.x;
+    potential.project(&mut guidance);
+    let (v, _) = potential.value_and_grad(&guidance);
+    RelaxOutcome {
+        guidance,
+        potential: v,
+    }
+}
+
+/// Sorts the pool best-first and bounds its size. `sort_by` is stable and
+/// the insertion order is deterministic, so ties resolve identically on
+/// every run and thread count.
+fn merge_pool(pool: &mut Vec<RelaxOutcome>, cfg: &RelaxConfig) {
+    pool.sort_by(|a, b| {
+        a.potential
+            .partial_cmp(&b.potential)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    pool.truncate((cfg.pool_size.max(cfg.n_derive)) * 2);
 }
 
 /// Standard normal via Box–Muller.

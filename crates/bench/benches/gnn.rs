@@ -16,9 +16,7 @@ fn bench_gnn(c: &mut Criterion) {
     let guidance = vec![1.0; tensors.guidance_len()];
     let weights = [1.0, -1.0, -1.0, -1.0, 1.0];
 
-    c.bench_function("gnn_forward", |b| {
-        b.iter(|| gnn.predict(&graph, &guidance))
-    });
+    c.bench_function("gnn_forward", |b| b.iter(|| gnn.predict(&graph, &guidance)));
     c.bench_function("gnn_forward_backward", |b| {
         b.iter(|| gnn.fom_and_grad(&tensors, &guidance, &weights))
     });

@@ -24,10 +24,10 @@ fn bench_simulator(c: &mut Criterion) {
         )
         .unwrap();
         let px = extract(&circuit, &tech, &layout);
-        c.bench_function(&format!("simulate_schematic_{name}"), |b| {
+        c.bench_function(format!("simulate_schematic_{name}"), |b| {
             b.iter(|| simulate(&circuit, None, &cfg).unwrap())
         });
-        c.bench_function(&format!("simulate_postlayout_{name}"), |b| {
+        c.bench_function(format!("simulate_postlayout_{name}"), |b| {
             b.iter(|| simulate(&circuit, Some(&px), &cfg).unwrap())
         });
     }

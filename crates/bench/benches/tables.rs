@@ -8,11 +8,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use af_bench::{genius_model, Scale};
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
-use af_route::{route, RouterConfig, RoutingGuidance};
+use af_route::{route, RouterConfig};
 use af_sim::SimConfig;
 use af_tech::Technology;
 use analogfold::{magical_route, AnalogFoldFlow};
-
 
 fn bench_methods(c: &mut Criterion) {
     let circuit = benchmarks::ota1();
@@ -37,7 +36,16 @@ fn bench_methods(c: &mut Criterion) {
     let model = genius_model(&circuit, PlacementVariant::A, &tech, Scale::Quick);
     group.bench_function("geniusroute_guided_route", |b| {
         let guidance = model.guidance(&circuit, &placement);
-        b.iter(|| route(&circuit, &placement, &tech, &guidance, &RouterConfig::default()).unwrap())
+        b.iter(|| {
+            route(
+                &circuit,
+                &placement,
+                &tech,
+                &guidance,
+                &RouterConfig::default(),
+            )
+            .unwrap()
+        })
     });
 
     group.bench_function("analogfold_flow_mini", |b| {

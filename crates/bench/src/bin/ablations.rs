@@ -7,9 +7,14 @@
 //! 4. pool-assisted relaxation vs plain multistart,
 //! 5. non-uniform per-AP guidance vs uniform 2-D map on the same router.
 //!
-//! Run: `cargo run -p af-bench --bin ablations --release -- [quick|full]`
+//! The four model variants train concurrently on the `afrt` worker pool
+//! (each training is deterministic given its config, so the fan-out does not
+//! change any number).
+//!
+//! Run: `cargo run -p af-bench --bin ablations --release -- [quick|full]
+//!       [threads=N]`
 
-use af_bench::Scale;
+use af_bench::{threads_arg, Scale};
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
 use af_route::{route, RouterConfig, RoutingGuidance};
@@ -21,10 +26,12 @@ use analogfold::{
 };
 
 fn main() {
-    let scale = std::env::args()
-        .skip(1)
-        .find_map(|a| Scale::parse(&a))
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .iter()
+        .find_map(|a| Scale::parse(a))
         .unwrap_or(Scale::Quick);
+    let runtime = afrt::Runtime::with_threads(threads_arg(&args));
     let circuit = benchmarks::ota1();
     let tech = Technology::nm40();
     let placement = place(&circuit, PlacementVariant::A);
@@ -49,7 +56,10 @@ fn main() {
     };
     let test = &dataset.samples[split..];
 
-    println!("Ablation study on OTA1-A (scale {scale:?}; {split} train / {} test)\n", test.len());
+    println!(
+        "Ablation study on OTA1-A (scale {scale:?}; {split} train / {} test)\n",
+        test.len()
+    );
 
     // dataset diagnostics: how much does sampled guidance move each metric?
     let summary = summarize(&dataset);
@@ -62,7 +72,8 @@ fn main() {
     }
     println!();
 
-    // 1-3: model ablations, judged by held-out prediction MSE.
+    // 1-3: model ablations, judged by held-out prediction MSE. All four
+    // variants train concurrently.
     let variants: [(&str, GnnConfig); 4] = [
         (
             "full 3DGNN (cost-aware + RBF + hetero)",
@@ -97,36 +108,40 @@ fn main() {
             },
         ),
     ];
+    // guidance-blind training set: every sample's guidance replaced by the
+    // neutral vector (used by variant 3 only)
+    let blind = analogfold::Dataset {
+        samples: train
+            .samples
+            .iter()
+            .map(|s| Sample {
+                guidance: vec![1.0; s.guidance.len()],
+                performance: s.performance,
+            })
+            .collect(),
+    };
+    eprintln!(
+        "training {} model variants on {} worker(s) ...",
+        variants.len(),
+        runtime.threads()
+    );
+    let trained: Vec<(f64, ThreeDGnn)> = runtime
+        .par_map(&variants, |i, (_, cfg)| {
+            let mut gnn = ThreeDGnn::new(cfg);
+            let data = if i == 3 { &blind } else { &train };
+            gnn.train(&graph, data, cfg);
+            let mse = holdout_mse(&gnn, &graph, test);
+            (mse, gnn)
+        })
+        .expect("variant fan-out");
     println!("{:<44}{:>16}", "model variant", "held-out MSE");
-    let mut trained_full: Option<ThreeDGnn> = None;
-    for (i, (name, cfg)) in variants.iter().enumerate() {
-        let mut gnn = ThreeDGnn::new(cfg);
-        if i == 3 {
-            // guidance-blind: replace every sample's guidance with neutral
-            let blind = analogfold::Dataset {
-                samples: train
-                    .samples
-                    .iter()
-                    .map(|s| Sample {
-                        guidance: vec![1.0; s.guidance.len()],
-                        performance: s.performance,
-                    })
-                    .collect(),
-            };
-            gnn.train(&graph, &blind, cfg);
-        } else {
-            gnn.train(&graph, &train, cfg);
-        }
-        let mse = holdout_mse(&gnn, &graph, test);
+    for ((name, _), (mse, _)) in variants.iter().zip(&trained) {
         println!("{name:<44}{mse:>16.4}");
-        if i == 0 {
-            trained_full = Some(gnn);
-        }
     }
-    let gnn = trained_full.expect("full model trained");
+    let gnn = &trained[0].1;
 
     // 4: pool-assisted relaxation vs plain multistart.
-    let potential = Potential::new(&gnn, &graph);
+    let potential = Potential::new(gnn, &graph);
     let pooled = relax(
         &potential,
         &RelaxConfig {
@@ -146,7 +161,10 @@ fn main() {
         },
     );
     println!("\n{:<44}{:>16}", "relaxation", "best potential");
-    println!("{:<44}{:>16.5}", "pool-assisted noisy restarts", pooled[0].potential);
+    println!(
+        "{:<44}{:>16.5}",
+        "pool-assisted noisy restarts", pooled[0].potential
+    );
     println!("{:<44}{:>16.5}", "plain multistart", plain[0].potential);
 
     // 5: non-uniform per-AP guidance vs a uniform 2-D map with the same
@@ -154,14 +172,21 @@ fn main() {
     let sim_cfg = SimConfig::default();
     let best = &pooled[0];
     let field = RoutingGuidance::NonUniform(analogfold::guidance_field(&graph, &best.guidance));
-    let nu_layout = route(&circuit, &placement, &tech, &field, &RouterConfig::default())
-        .expect("non-uniform route");
+    let nu_layout = route(
+        &circuit,
+        &placement,
+        &tech,
+        &field,
+        &RouterConfig::default(),
+    )
+    .expect("non-uniform route");
     let nu_px = af_extract::extract(&circuit, &tech, &nu_layout);
     let nu_perf = simulate(&circuit, Some(&nu_px), &sim_cfg).expect("sim");
 
     let mean_c: f64 = best.guidance.iter().sum::<f64>() / best.guidance.len() as f64;
     let die = placement.die();
-    let mut map = af_route::GuidanceMap2D::new(8, 8, (die.lo().x, die.lo().y), (die.width(), die.height()));
+    let mut map =
+        af_route::GuidanceMap2D::new(8, 8, (die.lo().x, die.lo().y), (die.width(), die.height()));
     for net in circuit.guided_nets() {
         map.set_net(net, vec![mean_c; 64]);
     }
@@ -176,8 +201,14 @@ fn main() {
     let uni_px = af_extract::extract(&circuit, &tech, &uni_layout);
     let uni_perf = simulate(&circuit, Some(&uni_px), &sim_cfg).expect("sim");
 
-    println!("\n{:<28}{:>12}{:>12}{:>12}{:>12}{:>12}", "guidance applied", "offset(uV)", "cmrr(dB)", "bw(MHz)", "gain(dB)", "noise(uV)");
-    for (name, p) in [("non-uniform per-AP", nu_perf), ("uniform 2-D map", uni_perf)] {
+    println!(
+        "\n{:<28}{:>12}{:>12}{:>12}{:>12}{:>12}",
+        "guidance applied", "offset(uV)", "cmrr(dB)", "bw(MHz)", "gain(dB)", "noise(uV)"
+    );
+    for (name, p) in [
+        ("non-uniform per-AP", nu_perf),
+        ("uniform 2-D map", uni_perf),
+    ] {
         println!(
             "{name:<28}{:>12.1}{:>12.2}{:>12.2}{:>12.2}{:>12.1}",
             p.offset_uv, p.cmrr_db, p.bandwidth_mhz, p.dc_gain_db, p.noise_uvrms

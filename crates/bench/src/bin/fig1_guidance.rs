@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_dir = std::path::Path::new("target/figures");
     fs::create_dir_all(out_dir)?;
     let mut csv = String::from("net,x_um,y_um,layer,c_x,c_y,c_z\n");
-    println!("Figure 1(b): non-uniform routing guidance for OTA1-A ({} guided APs)", guided.len());
+    println!(
+        "Figure 1(b): non-uniform routing guidance for OTA1-A ({} guided APs)",
+        guided.len()
+    );
     println!(
         "{:<10}{:>9}{:>9}{:>7}{:>8}{:>8}{:>8}",
         "net", "x(um)", "y(um)", "layer", "C[0]", "C[1]", "C[2]"

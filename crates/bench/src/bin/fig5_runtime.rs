@@ -2,27 +2,36 @@
 //! OTA1 (paper: Construct DB 0.33 %, Model Training 80.22 %, Guide
 //! Generation 3.71 %, Guided Detailed Routing 2.22 %, Placement 13.51 %).
 //!
-//! Run: `cargo run -p af-bench --bin fig5_runtime --release -- [quick|full]`
+//! The flow's parallel stages (dataset generation, relaxation restarts,
+//! candidate evaluation) run on the `afrt` worker pool; pass `threads=1` to
+//! reproduce the sequential path (the breakdown numbers are bit-identical
+//! either way, only the wall-clock changes).
+//!
+//! Run: `cargo run -p af-bench --bin fig5_runtime --release --
+//!       [quick|full] [threads=N]`
 
 use std::time::Instant;
 
-use af_bench::{flow_config, Scale};
+use af_bench::{flow_config, threads_arg, Scale};
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
 use analogfold::AnalogFoldFlow;
 
 fn main() {
-    let scale = std::env::args()
-        .skip(1)
-        .find_map(|a| Scale::parse(&a))
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .iter()
+        .find_map(|a| Scale::parse(a))
         .unwrap_or(Scale::Quick);
+    let threads = threads_arg(&args);
+    let workers = afrt::Runtime::with_threads(threads).threads();
     let circuit = benchmarks::ota1();
 
     let t0 = Instant::now();
     let placement = place(&circuit, PlacementVariant::A);
     let placement_s = t0.elapsed().as_secs_f64();
 
-    let mut cfg = flow_config(scale, 0xf15);
+    let mut cfg = flow_config(scale, 0xf15).with_threads(threads);
     cfg.placement_s = placement_s;
     let outcome = AnalogFoldFlow::new(cfg)
         .run(&circuit, &placement)
@@ -30,13 +39,23 @@ fn main() {
 
     let b = outcome.breakdown;
     let p = b.percentages();
-    println!("Figure 5: runtime breakdown for OTA1 (scale: {scale:?})");
+    println!("Figure 5: runtime breakdown for OTA1 (scale: {scale:?}, {workers} worker(s))");
     println!("total wall-clock: {:.2} s\n", b.total());
     let labels = [
         ("Construct Database", b.construct_db_s, p[0], 0.33),
         ("Model Training", b.training_s, p[1], 80.22),
-        ("Inference: Routing Guide Generation", b.guide_gen_s, p[2], 3.71),
-        ("Inference: Guided Detailed Routing", b.guided_route_s, p[3], 2.22),
+        (
+            "Inference: Routing Guide Generation",
+            b.guide_gen_s,
+            p[2],
+            3.71,
+        ),
+        (
+            "Inference: Guided Detailed Routing",
+            b.guided_route_s,
+            p[3],
+            2.22,
+        ),
         ("Placement", b.placement_s, p[4], 13.51),
     ];
     println!(

@@ -4,9 +4,15 @@
 //! different seeds on OTA1-A and the per-metric mean ± standard deviation is
 //! reported next to the (deterministic) MagicalRoute baseline.
 //!
-//! Run: `cargo run -p af-bench --bin stability --release -- [quick|full] [seeds=K]`
+//! The K per-seed flows fan out across the `afrt` worker pool; the same
+//! workload is then replayed on one worker and the wall-clock speedup is
+//! printed. Per-seed results are identical either way (each flow depends
+//! only on its seed), so the speedup costs no reproducibility.
+//!
+//! Run: `cargo run -p af-bench --bin stability --release -- [quick|full]
+//!       [seeds=K] [threads=N]`
 
-use af_bench::{flow_config, Scale};
+use af_bench::{flow_config, threads_arg, Scale};
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
 use af_route::RouterConfig;
@@ -25,6 +31,7 @@ fn main() {
         .find(|a| a.starts_with("seeds="))
         .and_then(|a| a["seeds=".len()..].parse().ok())
         .unwrap_or(5);
+    let runtime = afrt::Runtime::with_threads(threads_arg(&args));
 
     let circuit = benchmarks::ota1();
     let tech = Technology::nm40();
@@ -38,19 +45,39 @@ fn main() {
     )
     .expect("baseline");
 
-    let mut rows: Vec<[f64; 5]> = Vec::new();
-    for seed in 0..seeds {
-        eprintln!("seed {seed} ...");
-        let flow = AnalogFoldFlow::new(flow_config(scale, 0x57ab + seed));
-        let p = flow.run(&circuit, &placement).expect("flow").performance;
-        rows.push([
-            p.offset_uv,
-            p.cmrr_db,
-            p.bandwidth_mhz,
-            p.dc_gain_db,
-            p.noise_uvrms,
-        ]);
-    }
+    // One job per seed. Each flow pins its internal stages to a single
+    // thread so the fan-out is the only parallelism and the sequential
+    // replay below is a like-for-like comparison.
+    let run_all = |rt: &afrt::Runtime| -> Vec<[f64; 5]> {
+        let jobs: Vec<_> = (0..seeds)
+            .map(|seed| {
+                let circuit = &circuit;
+                let placement = &placement;
+                move || {
+                    let flow =
+                        AnalogFoldFlow::new(flow_config(scale, 0x57ab + seed).with_threads(1));
+                    let p = flow.run(circuit, placement).expect("flow").performance;
+                    [
+                        p.offset_uv,
+                        p.cmrr_db,
+                        p.bandwidth_mhz,
+                        p.dc_gain_db,
+                        p.noise_uvrms,
+                    ]
+                }
+            })
+            .collect();
+        rt.par_run(jobs).expect("per-seed fan-out")
+    };
+
+    eprintln!(
+        "running {seeds} seeds on {} worker(s) ...",
+        runtime.threads()
+    );
+    let (rows, parallel_s) = afrt::timed(|| run_all(&runtime));
+    eprintln!("replaying sequentially for the speedup baseline ...");
+    let (rows_seq, sequential_s) = afrt::timed(|| run_all(&afrt::Runtime::with_threads(1)));
+    assert_eq!(rows, rows_seq, "parallel and sequential runs must agree");
 
     let n = rows.len() as f64;
     let names = ["Offset(uV)", "CMRR(dB)", "BW(MHz)", "Gain(dB)", "Noise(uV)"];
@@ -68,7 +95,11 @@ fn main() {
     );
     for k in 0..5 {
         let mean = rows.iter().map(|r| r[k]).sum::<f64>() / n;
-        let var = rows.iter().map(|r| (r[k] - mean) * (r[k] - mean)).sum::<f64>() / n;
+        let var = rows
+            .iter()
+            .map(|r| (r[k] - mean) * (r[k] - mean))
+            .sum::<f64>()
+            / n;
         let std = var.sqrt();
         println!(
             "{:<12}{:>12.2}{:>12.2}{:>12.2}{:>9.2}%",
@@ -79,4 +110,11 @@ fn main() {
             100.0 * std / mean.abs().max(1e-9)
         );
     }
+    println!(
+        "\nfan-out: {} worker(s)  parallel {:.2} s  sequential {:.2} s  speedup {:.2}x",
+        runtime.threads(),
+        parallel_s,
+        sequential_s,
+        sequential_s / parallel_s.max(1e-9)
+    );
 }

@@ -1,7 +1,8 @@
 //! Regenerates **Table 2**: post-layout metric comparison between
 //! Schematic, MagicalRoute \[16\], GeniusRoute \[11\], and AnalogFold (Ours) on
 //! OTA1-{A,B,C}, OTA2-{A,B,C}, OTA3-{A,B}, OTA4-{A,B}, plus the normalized
-//! "Average" block.
+//! "Average" block. Rows are independent, so they fan out across the `afrt`
+//! worker pool and print in table order once all have finished.
 //!
 //! Run (paper scale, minutes):
 //! `cargo run -p af-bench --bin table2 --release -- full`
@@ -9,9 +10,10 @@
 //! Quick smoke run (seconds per row):
 //! `cargo run -p af-bench --bin table2 --release -- quick`
 //!
-//! Append `only=OTA1-A,OTA2-B` to restrict rows.
+//! Append `only=OTA1-A,OTA2-B` to restrict rows and `threads=N` to pin the
+//! worker count (default: `AFRT_THREADS`, then hardware parallelism).
 
-use af_bench::{averages, print_row, run_row, Scale, TABLE2_ROWS};
+use af_bench::{averages, print_row, run_row, threads_arg, Scale, TABLE2_ROWS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,24 +25,43 @@ fn main() {
         .iter()
         .find(|a| a.starts_with("only="))
         .map(|a| a["only=".len()..].split(',').map(str::to_string).collect());
+    let runtime = afrt::Runtime::with_threads(threads_arg(&args));
 
     println!("Table 2: comparison between baseline methods and AnalogFold (scale: {scale:?}).");
     println!("(v = lower is better, ^ = higher is better)\n");
 
-    let mut rows = Vec::new();
-    for &(bench, variant) in TABLE2_ROWS {
-        let id = format!("{bench}-{}", variant.label());
-        if let Some(filter) = &only {
-            if !filter.iter().any(|f| f.eq_ignore_ascii_case(&id)) {
-                continue;
-            }
-        }
-        eprintln!("running {id} ...");
-        let row = run_row(bench, variant, scale);
-        print_row(&row);
+    let selected: Vec<(&str, af_place::PlacementVariant)> = TABLE2_ROWS
+        .iter()
+        .copied()
+        .filter(|(bench, variant)| {
+            let id = format!("{bench}-{}", variant.label());
+            only.as_ref()
+                .map(|filter| filter.iter().any(|f| f.eq_ignore_ascii_case(&id)))
+                .unwrap_or(true)
+        })
+        .collect();
+
+    eprintln!(
+        "running {} row(s) on {} worker(s) ...",
+        selected.len(),
+        runtime.threads()
+    );
+    let (rows, elapsed_s) = afrt::timed(|| {
+        runtime
+            .par_map(&selected, |_, &(bench, variant)| {
+                run_row(bench, variant, scale)
+            })
+            .expect("row fan-out")
+    });
+    for row in &rows {
+        print_row(row);
         println!();
-        rows.push(row);
     }
+    eprintln!(
+        "{} row(s) in {elapsed_s:.2} s on {} worker(s)",
+        rows.len(),
+        runtime.threads()
+    );
 
     if rows.len() > 1 {
         let avg = averages(&rows);

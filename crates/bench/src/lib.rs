@@ -130,6 +130,15 @@ pub struct RowResult {
     pub ours: MethodResult,
 }
 
+/// Parses a `threads=N` driver argument; `0` (the default) resolves through
+/// `AFRT_THREADS`, then hardware parallelism.
+pub fn threads_arg(args: &[String]) -> usize {
+    args.iter()
+        .find(|a| a.starts_with("threads="))
+        .and_then(|a| a["threads=".len()..].parse().ok())
+        .unwrap_or(0)
+}
+
 /// Flow configuration for one scale.
 pub fn flow_config(scale: Scale, seed: u64) -> FlowConfig {
     FlowConfig {
@@ -363,6 +372,15 @@ pub fn print_row(r: &RowResult) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn threads_arg_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(threads_arg(&args(&["quick", "threads=4"])), 4);
+        assert_eq!(threads_arg(&args(&["threads=0"])), 0);
+        assert_eq!(threads_arg(&args(&["quick"])), 0, "default is auto");
+        assert_eq!(threads_arg(&args(&["threads=x"])), 0, "garbage is auto");
+    }
 
     #[test]
     fn scale_parsing() {

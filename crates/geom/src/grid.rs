@@ -14,7 +14,9 @@ use crate::{Point, Point3};
 /// let g = GridPoint::new(3, 5, 1);
 /// assert_eq!(g.x, 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct GridPoint {
     /// Column index.
     pub x: u32,
@@ -91,7 +93,10 @@ impl GridDim {
     ///
     /// Panics if any dimension is zero or `pitch <= 0`.
     pub fn new(origin: Point, nx: u32, ny: u32, layers: u8, pitch: i64) -> Self {
-        assert!(nx > 0 && ny > 0 && layers > 0, "empty grid {nx}x{ny}x{layers}");
+        assert!(
+            nx > 0 && ny > 0 && layers > 0,
+            "empty grid {nx}x{ny}x{layers}"
+        );
         assert!(pitch > 0, "non-positive pitch {pitch}");
         Self {
             origin,
@@ -231,8 +236,14 @@ mod tests {
     #[test]
     fn snap_rounds_to_nearest() {
         let d = dim();
-        assert_eq!(d.snap(Point::new(124, 200), 0), Some(GridPoint::new(0, 0, 0)));
-        assert_eq!(d.snap(Point::new(126, 200), 0), Some(GridPoint::new(1, 0, 0)));
+        assert_eq!(
+            d.snap(Point::new(124, 200), 0),
+            Some(GridPoint::new(0, 0, 0))
+        );
+        assert_eq!(
+            d.snap(Point::new(126, 200), 0),
+            Some(GridPoint::new(1, 0, 0))
+        );
     }
 
     #[test]

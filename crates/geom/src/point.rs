@@ -15,7 +15,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a + b, Point::new(4, 5));
 /// assert_eq!(a.manhattan(b), 5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate in dbu.
     pub x: i64,
@@ -125,7 +127,9 @@ impl From<(i64, i64)> for Point {
 /// let p = Point3::new(10, 20, 1);
 /// assert_eq!(p.xy(), Point::new(10, 20));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Point3 {
     /// Horizontal coordinate in dbu.
     pub x: i64,

@@ -83,10 +83,7 @@ impl Rect {
 
     /// Center point (rounded toward `lo`).
     pub fn center(&self) -> Point {
-        Point::new(
-            (self.lo.x + self.hi.x) / 2,
-            (self.lo.y + self.hi.y) / 2,
-        )
+        Point::new((self.lo.x + self.hi.x) / 2, (self.lo.y + self.hi.y) / 2)
     }
 
     /// Whether `p` lies inside or on the border.
@@ -221,10 +218,7 @@ mod tests {
         let a = Rect::from_coords(0, 0, 10, 10);
         let b = Rect::from_coords(5, 5, 20, 20);
         assert!(a.intersects(&b));
-        assert_eq!(
-            a.intersection(&b),
-            Some(Rect::from_coords(5, 5, 10, 10))
-        );
+        assert_eq!(a.intersection(&b), Some(Rect::from_coords(5, 5, 10, 10)));
         assert_eq!(a.union(&b), Rect::from_coords(0, 0, 20, 20));
         let c = Rect::from_coords(11, 11, 12, 12);
         assert!(!a.intersects(&c));

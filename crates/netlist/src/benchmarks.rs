@@ -101,102 +101,192 @@ fn two_stage(name: &str, s: TwoStageSizing) -> Circuit {
     let bias = mos(s.w1 * 0.5, s.l_tail, s.id1);
 
     // NMOS (8)
-    b.add_device("M1", DeviceKind::Nmos, pair, &[
-        (Terminal::Gate, "vinp"),
-        (Terminal::Drain, "nc1"),
-        (Terminal::Source, "tail"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M1");
-    b.add_device("M2", DeviceKind::Nmos, pair, &[
-        (Terminal::Gate, "vinn"),
-        (Terminal::Drain, "nc2"),
-        (Terminal::Source, "tail"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M2");
-    b.add_device("M9", DeviceKind::Nmos, casc, &[
-        (Terminal::Gate, "vbc"),
-        (Terminal::Drain, "n1"),
-        (Terminal::Source, "nc1"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M9");
-    b.add_device("M10", DeviceKind::Nmos, casc, &[
-        (Terminal::Gate, "vbc"),
-        (Terminal::Drain, "n2"),
-        (Terminal::Source, "nc2"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M10");
-    b.add_device("M5", DeviceKind::Nmos, tail, &[
-        (Terminal::Gate, "vbn"),
-        (Terminal::Drain, "tail"),
-        (Terminal::Source, "vss"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M5");
-    b.add_device("M7", DeviceKind::Nmos, mos(s.w1 * 2.0, s.l_tail, s.id2), &[
-        (Terminal::Gate, "vbn"),
-        (Terminal::Drain, "vout"),
-        (Terminal::Source, "vss"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M7");
-    b.add_device("M8", DeviceKind::Nmos, bias, &[
-        (Terminal::Gate, "vbn"),
-        (Terminal::Drain, "vbn"),
-        (Terminal::Source, "vss"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M8");
-    b.add_device("M11", DeviceKind::Nmos, bias, &[
-        (Terminal::Gate, "vbc"),
-        (Terminal::Drain, "vbc"),
-        (Terminal::Source, "vss"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M11");
+    b.add_device(
+        "M1",
+        DeviceKind::Nmos,
+        pair,
+        &[
+            (Terminal::Gate, "vinp"),
+            (Terminal::Drain, "nc1"),
+            (Terminal::Source, "tail"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M1");
+    b.add_device(
+        "M2",
+        DeviceKind::Nmos,
+        pair,
+        &[
+            (Terminal::Gate, "vinn"),
+            (Terminal::Drain, "nc2"),
+            (Terminal::Source, "tail"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M2");
+    b.add_device(
+        "M9",
+        DeviceKind::Nmos,
+        casc,
+        &[
+            (Terminal::Gate, "vbc"),
+            (Terminal::Drain, "n1"),
+            (Terminal::Source, "nc1"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M9");
+    b.add_device(
+        "M10",
+        DeviceKind::Nmos,
+        casc,
+        &[
+            (Terminal::Gate, "vbc"),
+            (Terminal::Drain, "n2"),
+            (Terminal::Source, "nc2"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M10");
+    b.add_device(
+        "M5",
+        DeviceKind::Nmos,
+        tail,
+        &[
+            (Terminal::Gate, "vbn"),
+            (Terminal::Drain, "tail"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M5");
+    b.add_device(
+        "M7",
+        DeviceKind::Nmos,
+        mos(s.w1 * 2.0, s.l_tail, s.id2),
+        &[
+            (Terminal::Gate, "vbn"),
+            (Terminal::Drain, "vout"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M7");
+    b.add_device(
+        "M8",
+        DeviceKind::Nmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbn"),
+            (Terminal::Drain, "vbn"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M8");
+    b.add_device(
+        "M11",
+        DeviceKind::Nmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbc"),
+            (Terminal::Drain, "vbc"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M11");
 
     // PMOS (6)
-    b.add_device("M3", DeviceKind::Pmos, load, &[
-        (Terminal::Gate, "n1"),
-        (Terminal::Drain, "pc1"),
-        (Terminal::Source, "vdd"),
-        (Terminal::Bulk, "vdd"),
-    ]).expect("M3");
-    b.add_device("M4", DeviceKind::Pmos, load, &[
-        (Terminal::Gate, "n1"),
-        (Terminal::Drain, "pc2"),
-        (Terminal::Source, "vdd"),
-        (Terminal::Bulk, "vdd"),
-    ]).expect("M4");
-    b.add_device("M12", DeviceKind::Pmos, casc, &[
-        (Terminal::Gate, "vbp"),
-        (Terminal::Drain, "n1"),
-        (Terminal::Source, "pc1"),
-        (Terminal::Bulk, "vdd"),
-    ]).expect("M12");
-    b.add_device("M13", DeviceKind::Pmos, casc, &[
-        (Terminal::Gate, "vbp"),
-        (Terminal::Drain, "n2"),
-        (Terminal::Source, "pc2"),
-        (Terminal::Bulk, "vdd"),
-    ]).expect("M13");
-    b.add_device("M6", DeviceKind::Pmos, second, &[
-        (Terminal::Gate, "n2"),
-        (Terminal::Drain, "vout"),
-        (Terminal::Source, "vdd"),
-        (Terminal::Bulk, "vdd"),
-    ]).expect("M6");
-    b.add_device("M14", DeviceKind::Pmos, bias, &[
-        (Terminal::Gate, "vbp"),
-        (Terminal::Drain, "vbp"),
-        (Terminal::Source, "vdd"),
-        (Terminal::Bulk, "vdd"),
-    ]).expect("M14");
+    b.add_device(
+        "M3",
+        DeviceKind::Pmos,
+        load,
+        &[
+            (Terminal::Gate, "n1"),
+            (Terminal::Drain, "pc1"),
+            (Terminal::Source, "vdd"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("M3");
+    b.add_device(
+        "M4",
+        DeviceKind::Pmos,
+        load,
+        &[
+            (Terminal::Gate, "n1"),
+            (Terminal::Drain, "pc2"),
+            (Terminal::Source, "vdd"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("M4");
+    b.add_device(
+        "M12",
+        DeviceKind::Pmos,
+        casc,
+        &[
+            (Terminal::Gate, "vbp"),
+            (Terminal::Drain, "n1"),
+            (Terminal::Source, "pc1"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("M12");
+    b.add_device(
+        "M13",
+        DeviceKind::Pmos,
+        casc,
+        &[
+            (Terminal::Gate, "vbp"),
+            (Terminal::Drain, "n2"),
+            (Terminal::Source, "pc2"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("M13");
+    b.add_device(
+        "M6",
+        DeviceKind::Pmos,
+        second,
+        &[
+            (Terminal::Gate, "n2"),
+            (Terminal::Drain, "vout"),
+            (Terminal::Source, "vdd"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("M6");
+    b.add_device(
+        "M14",
+        DeviceKind::Pmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbp"),
+            (Terminal::Drain, "vbp"),
+            (Terminal::Source, "vdd"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("M14");
 
     // Capacitors (2)
-    b.add_device("CC", DeviceKind::Capacitor, cap(s.cc), &[
-        (Terminal::Pos, "vout"),
-        (Terminal::Neg, "n2"),
-    ]).expect("CC");
-    b.add_device("CL", DeviceKind::Capacitor, cap(s.cl), &[
-        (Terminal::Pos, "vout"),
-        (Terminal::Neg, "vss"),
-    ]).expect("CL");
+    b.add_device(
+        "CC",
+        DeviceKind::Capacitor,
+        cap(s.cc),
+        &[(Terminal::Pos, "vout"), (Terminal::Neg, "n2")],
+    )
+    .expect("CC");
+    b.add_device(
+        "CL",
+        DeviceKind::Capacitor,
+        cap(s.cl),
+        &[(Terminal::Pos, "vout"), (Terminal::Neg, "vss")],
+    )
+    .expect("CL");
 
     // Matching dummies (9) — bring the placeable-module total to 25.
     for i in 0..9 {
@@ -205,7 +295,8 @@ fn two_stage(name: &str, s: TwoStageSizing) -> Circuit {
             DeviceKind::Dummy,
             DeviceParams::None,
             &[],
-        ).expect("dummy");
+        )
+        .expect("dummy");
     }
 
     // Symmetry.
@@ -236,7 +327,8 @@ fn two_stage(name: &str, s: TwoStageSizing) -> Circuit {
         b.set_net_weight(n, w).expect("weight");
     }
 
-    b.set_io("vinp", "vinn", "vout", None, "vdd", "vss").expect("io");
+    b.set_io("vinp", "vinn", "vout", None, "vdd", "vss")
+        .expect("io");
     b.finish().expect("two-stage OTA must validate")
 }
 
@@ -278,66 +370,126 @@ fn telescopic(name: &str, s: TelescopicSizing) -> Circuit {
     let cm = mos(s.w1 * 0.4, s.l1, s.id1 * 0.25);
 
     // NMOS (10)
-    b.add_device("M1", DeviceKind::Nmos, pair, &[
-        (Terminal::Gate, "vinp"),
-        (Terminal::Drain, "x1"),
-        (Terminal::Source, "tail"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M1");
-    b.add_device("M2", DeviceKind::Nmos, pair, &[
-        (Terminal::Gate, "vinn"),
-        (Terminal::Drain, "x2"),
-        (Terminal::Source, "tail"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M2");
-    b.add_device("M3", DeviceKind::Nmos, ncasc, &[
-        (Terminal::Gate, "vbnc"),
-        (Terminal::Drain, "voutn"),
-        (Terminal::Source, "x1"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M3");
-    b.add_device("M4", DeviceKind::Nmos, ncasc, &[
-        (Terminal::Gate, "vbnc"),
-        (Terminal::Drain, "voutp"),
-        (Terminal::Source, "x2"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M4");
-    b.add_device("M5", DeviceKind::Nmos, tail, &[
-        (Terminal::Gate, "vbn"),
-        (Terminal::Drain, "tail"),
-        (Terminal::Source, "vss"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M5");
-    b.add_device("M6", DeviceKind::Nmos, bias, &[
-        (Terminal::Gate, "vbn"),
-        (Terminal::Drain, "vbn"),
-        (Terminal::Source, "vss"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M6");
-    b.add_device("M7", DeviceKind::Nmos, bias, &[
-        (Terminal::Gate, "vbnc"),
-        (Terminal::Drain, "vbnc"),
-        (Terminal::Source, "vss"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M7");
-    b.add_device("M8", DeviceKind::Nmos, bias, &[
-        (Terminal::Gate, "vbn"),
-        (Terminal::Drain, "vbp"),
-        (Terminal::Source, "vss"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M8");
-    b.add_device("M9", DeviceKind::Nmos, bias, &[
-        (Terminal::Gate, "vbn"),
-        (Terminal::Drain, "vbpc"),
-        (Terminal::Source, "vss"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M9");
-    b.add_device("M10", DeviceKind::Nmos, cm, &[
-        (Terminal::Gate, "cmo"),
-        (Terminal::Drain, "cmo"),
-        (Terminal::Source, "vss"),
-        (Terminal::Bulk, "vss"),
-    ]).expect("M10");
+    b.add_device(
+        "M1",
+        DeviceKind::Nmos,
+        pair,
+        &[
+            (Terminal::Gate, "vinp"),
+            (Terminal::Drain, "x1"),
+            (Terminal::Source, "tail"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M1");
+    b.add_device(
+        "M2",
+        DeviceKind::Nmos,
+        pair,
+        &[
+            (Terminal::Gate, "vinn"),
+            (Terminal::Drain, "x2"),
+            (Terminal::Source, "tail"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M2");
+    b.add_device(
+        "M3",
+        DeviceKind::Nmos,
+        ncasc,
+        &[
+            (Terminal::Gate, "vbnc"),
+            (Terminal::Drain, "voutn"),
+            (Terminal::Source, "x1"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M3");
+    b.add_device(
+        "M4",
+        DeviceKind::Nmos,
+        ncasc,
+        &[
+            (Terminal::Gate, "vbnc"),
+            (Terminal::Drain, "voutp"),
+            (Terminal::Source, "x2"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M4");
+    b.add_device(
+        "M5",
+        DeviceKind::Nmos,
+        tail,
+        &[
+            (Terminal::Gate, "vbn"),
+            (Terminal::Drain, "tail"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M5");
+    b.add_device(
+        "M6",
+        DeviceKind::Nmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbn"),
+            (Terminal::Drain, "vbn"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M6");
+    b.add_device(
+        "M7",
+        DeviceKind::Nmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbnc"),
+            (Terminal::Drain, "vbnc"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M7");
+    b.add_device(
+        "M8",
+        DeviceKind::Nmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbn"),
+            (Terminal::Drain, "vbp"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M8");
+    b.add_device(
+        "M9",
+        DeviceKind::Nmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbn"),
+            (Terminal::Drain, "vbpc"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M9");
+    b.add_device(
+        "M10",
+        DeviceKind::Nmos,
+        cm,
+        &[
+            (Terminal::Gate, "cmo"),
+            (Terminal::Drain, "cmo"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M10");
 
     // PMOS (16)
     for (name, g, d, src_net) in [
@@ -346,12 +498,18 @@ fn telescopic(name: &str, s: TelescopicSizing) -> Circuit {
         ("MP12", "vbp", "y1", "vdd"),
         ("MP13", "vbp", "y2", "vdd"),
     ] {
-        b.add_device(name, DeviceKind::Pmos, psrc, &[
-            (Terminal::Gate, g),
-            (Terminal::Drain, d),
-            (Terminal::Source, src_net),
-            (Terminal::Bulk, "vdd"),
-        ]).expect("p source");
+        b.add_device(
+            name,
+            DeviceKind::Pmos,
+            psrc,
+            &[
+                (Terminal::Gate, g),
+                (Terminal::Drain, d),
+                (Terminal::Source, src_net),
+                (Terminal::Bulk, "vdd"),
+            ],
+        )
+        .expect("p source");
     }
     for (name, d, src) in [
         ("MP3", "voutn", "y1"),
@@ -359,105 +517,189 @@ fn telescopic(name: &str, s: TelescopicSizing) -> Circuit {
         ("MP14", "voutn", "y1"),
         ("MP15", "voutp", "y2"),
     ] {
-        b.add_device(name, DeviceKind::Pmos, pcasc, &[
-            (Terminal::Gate, "vbpc"),
-            (Terminal::Drain, d),
-            (Terminal::Source, src),
-            (Terminal::Bulk, "vdd"),
-        ]).expect("p cascode");
+        b.add_device(
+            name,
+            DeviceKind::Pmos,
+            pcasc,
+            &[
+                (Terminal::Gate, "vbpc"),
+                (Terminal::Drain, d),
+                (Terminal::Source, src),
+                (Terminal::Bulk, "vdd"),
+            ],
+        )
+        .expect("p cascode");
     }
-    b.add_device("MP5", DeviceKind::Pmos, bias, &[
-        (Terminal::Gate, "vbp"),
-        (Terminal::Drain, "vbp"),
-        (Terminal::Source, "vdd"),
-        (Terminal::Bulk, "vdd"),
-    ]).expect("MP5");
-    b.add_device("MP16", DeviceKind::Pmos, bias, &[
-        (Terminal::Gate, "vbp"),
-        (Terminal::Drain, "vbp"),
-        (Terminal::Source, "vdd"),
-        (Terminal::Bulk, "vdd"),
-    ]).expect("MP16");
-    b.add_device("MP6", DeviceKind::Pmos, bias, &[
-        (Terminal::Gate, "vbpc"),
-        (Terminal::Drain, "vbpc"),
-        (Terminal::Source, "vdd"),
-        (Terminal::Bulk, "vdd"),
-    ]).expect("MP6");
-    b.add_device("MP7", DeviceKind::Pmos, bias, &[
-        (Terminal::Gate, "vbpc"),
-        (Terminal::Drain, "vbpc"),
-        (Terminal::Source, "vdd"),
-        (Terminal::Bulk, "vdd"),
-    ]).expect("MP7");
-    b.add_device("MP8", DeviceKind::Pmos, cm, &[
-        (Terminal::Gate, "vcmfb"),
-        (Terminal::Drain, "cmo"),
-        (Terminal::Source, "cmtail"),
-        (Terminal::Bulk, "vdd"),
-    ]).expect("MP8");
-    b.add_device("MP9", DeviceKind::Pmos, cm, &[
-        (Terminal::Gate, "vcmref"),
-        (Terminal::Drain, "cmo2"),
-        (Terminal::Source, "cmtail"),
-        (Terminal::Bulk, "vdd"),
-    ]).expect("MP9");
-    b.add_device("MP10", DeviceKind::Pmos, cm, &[
-        (Terminal::Gate, "vbp"),
-        (Terminal::Drain, "cmtail"),
-        (Terminal::Source, "vdd"),
-        (Terminal::Bulk, "vdd"),
-    ]).expect("MP10");
-    b.add_device("MP11", DeviceKind::Pmos, bias, &[
-        (Terminal::Gate, "vcmref"),
-        (Terminal::Drain, "vcmref"),
-        (Terminal::Source, "vdd"),
-        (Terminal::Bulk, "vdd"),
-    ]).expect("MP11");
+    b.add_device(
+        "MP5",
+        DeviceKind::Pmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbp"),
+            (Terminal::Drain, "vbp"),
+            (Terminal::Source, "vdd"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("MP5");
+    b.add_device(
+        "MP16",
+        DeviceKind::Pmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbp"),
+            (Terminal::Drain, "vbp"),
+            (Terminal::Source, "vdd"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("MP16");
+    b.add_device(
+        "MP6",
+        DeviceKind::Pmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbpc"),
+            (Terminal::Drain, "vbpc"),
+            (Terminal::Source, "vdd"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("MP6");
+    b.add_device(
+        "MP7",
+        DeviceKind::Pmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbpc"),
+            (Terminal::Drain, "vbpc"),
+            (Terminal::Source, "vdd"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("MP7");
+    b.add_device(
+        "MP8",
+        DeviceKind::Pmos,
+        cm,
+        &[
+            (Terminal::Gate, "vcmfb"),
+            (Terminal::Drain, "cmo"),
+            (Terminal::Source, "cmtail"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("MP8");
+    b.add_device(
+        "MP9",
+        DeviceKind::Pmos,
+        cm,
+        &[
+            (Terminal::Gate, "vcmref"),
+            (Terminal::Drain, "cmo2"),
+            (Terminal::Source, "cmtail"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("MP9");
+    b.add_device(
+        "MP10",
+        DeviceKind::Pmos,
+        cm,
+        &[
+            (Terminal::Gate, "vbp"),
+            (Terminal::Drain, "cmtail"),
+            (Terminal::Source, "vdd"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("MP10");
+    b.add_device(
+        "MP11",
+        DeviceKind::Pmos,
+        bias,
+        &[
+            (Terminal::Gate, "vcmref"),
+            (Terminal::Drain, "vcmref"),
+            (Terminal::Source, "vdd"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("MP11");
 
     // Capacitors (6)
-    b.add_device("CL1", DeviceKind::Capacitor, cap(s.cl), &[
-        (Terminal::Pos, "voutp"),
-        (Terminal::Neg, "vss"),
-    ]).expect("CL1");
-    b.add_device("CL2", DeviceKind::Capacitor, cap(s.cl), &[
-        (Terminal::Pos, "voutn"),
-        (Terminal::Neg, "vss"),
-    ]).expect("CL2");
-    b.add_device("CCM1", DeviceKind::Capacitor, cap(s.cl * 0.2), &[
-        (Terminal::Pos, "voutp"),
-        (Terminal::Neg, "vcmfb"),
-    ]).expect("CCM1");
-    b.add_device("CCM2", DeviceKind::Capacitor, cap(s.cl * 0.2), &[
-        (Terminal::Pos, "voutn"),
-        (Terminal::Neg, "vcmfb"),
-    ]).expect("CCM2");
-    b.add_device("CD1", DeviceKind::Capacitor, cap(1e-12), &[
-        (Terminal::Pos, "vbp"),
-        (Terminal::Neg, "vss"),
-    ]).expect("CD1");
-    b.add_device("CD2", DeviceKind::Capacitor, cap(1e-12), &[
-        (Terminal::Pos, "vbn"),
-        (Terminal::Neg, "vss"),
-    ]).expect("CD2");
+    b.add_device(
+        "CL1",
+        DeviceKind::Capacitor,
+        cap(s.cl),
+        &[(Terminal::Pos, "voutp"), (Terminal::Neg, "vss")],
+    )
+    .expect("CL1");
+    b.add_device(
+        "CL2",
+        DeviceKind::Capacitor,
+        cap(s.cl),
+        &[(Terminal::Pos, "voutn"), (Terminal::Neg, "vss")],
+    )
+    .expect("CL2");
+    b.add_device(
+        "CCM1",
+        DeviceKind::Capacitor,
+        cap(s.cl * 0.2),
+        &[(Terminal::Pos, "voutp"), (Terminal::Neg, "vcmfb")],
+    )
+    .expect("CCM1");
+    b.add_device(
+        "CCM2",
+        DeviceKind::Capacitor,
+        cap(s.cl * 0.2),
+        &[(Terminal::Pos, "voutn"), (Terminal::Neg, "vcmfb")],
+    )
+    .expect("CCM2");
+    b.add_device(
+        "CD1",
+        DeviceKind::Capacitor,
+        cap(1e-12),
+        &[(Terminal::Pos, "vbp"), (Terminal::Neg, "vss")],
+    )
+    .expect("CD1");
+    b.add_device(
+        "CD2",
+        DeviceKind::Capacitor,
+        cap(1e-12),
+        &[(Terminal::Pos, "vbn"), (Terminal::Neg, "vss")],
+    )
+    .expect("CD2");
 
     // Resistors (4)
-    b.add_device("R1", DeviceKind::Resistor, res(200e3), &[
-        (Terminal::Pos, "voutp"),
-        (Terminal::Neg, "vcmfb"),
-    ]).expect("R1");
-    b.add_device("R2", DeviceKind::Resistor, res(200e3), &[
-        (Terminal::Pos, "voutn"),
-        (Terminal::Neg, "vcmfb"),
-    ]).expect("R2");
-    b.add_device("R3", DeviceKind::Resistor, res(50e3), &[
-        (Terminal::Pos, "cmo2"),
-        (Terminal::Neg, "vss"),
-    ]).expect("R3");
-    b.add_device("R4", DeviceKind::Resistor, res(100e3), &[
-        (Terminal::Pos, "vcmref"),
-        (Terminal::Neg, "vss"),
-    ]).expect("R4");
+    b.add_device(
+        "R1",
+        DeviceKind::Resistor,
+        res(200e3),
+        &[(Terminal::Pos, "voutp"), (Terminal::Neg, "vcmfb")],
+    )
+    .expect("R1");
+    b.add_device(
+        "R2",
+        DeviceKind::Resistor,
+        res(200e3),
+        &[(Terminal::Pos, "voutn"), (Terminal::Neg, "vcmfb")],
+    )
+    .expect("R2");
+    b.add_device(
+        "R3",
+        DeviceKind::Resistor,
+        res(50e3),
+        &[(Terminal::Pos, "cmo2"), (Terminal::Neg, "vss")],
+    )
+    .expect("R3");
+    b.add_device(
+        "R4",
+        DeviceKind::Resistor,
+        res(100e3),
+        &[(Terminal::Pos, "vcmref"), (Terminal::Neg, "vss")],
+    )
+    .expect("R4");
 
     // Symmetry.
     for (a, x) in [
@@ -608,75 +850,205 @@ fn folded_cascode(name: &str) -> Circuit {
     let bias = mos(6.0, 0.70, 45e-6);
 
     // NMOS input pair into the folding nodes.
-    b.add_device("M1", DeviceKind::Nmos, pair, &[
-        (Terminal::Gate, "vinp"), (Terminal::Drain, "f1"),
-        (Terminal::Source, "tail"), (Terminal::Bulk, "vss"),
-    ]).expect("M1");
-    b.add_device("M2", DeviceKind::Nmos, pair, &[
-        (Terminal::Gate, "vinn"), (Terminal::Drain, "f2"),
-        (Terminal::Source, "tail"), (Terminal::Bulk, "vss"),
-    ]).expect("M2");
-    b.add_device("M5", DeviceKind::Nmos, tail_m, &[
-        (Terminal::Gate, "vbn"), (Terminal::Drain, "tail"),
-        (Terminal::Source, "vss"), (Terminal::Bulk, "vss"),
-    ]).expect("M5");
+    b.add_device(
+        "M1",
+        DeviceKind::Nmos,
+        pair,
+        &[
+            (Terminal::Gate, "vinp"),
+            (Terminal::Drain, "f1"),
+            (Terminal::Source, "tail"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M1");
+    b.add_device(
+        "M2",
+        DeviceKind::Nmos,
+        pair,
+        &[
+            (Terminal::Gate, "vinn"),
+            (Terminal::Drain, "f2"),
+            (Terminal::Source, "tail"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M2");
+    b.add_device(
+        "M5",
+        DeviceKind::Nmos,
+        tail_m,
+        &[
+            (Terminal::Gate, "vbn"),
+            (Terminal::Drain, "tail"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M5");
     // PMOS current sources feeding the folding nodes + cascodes up to out.
-    b.add_device("MP1", DeviceKind::Pmos, psrc, &[
-        (Terminal::Gate, "vbp"), (Terminal::Drain, "f1"),
-        (Terminal::Source, "vdd"), (Terminal::Bulk, "vdd"),
-    ]).expect("MP1");
-    b.add_device("MP2", DeviceKind::Pmos, psrc, &[
-        (Terminal::Gate, "vbp"), (Terminal::Drain, "f2"),
-        (Terminal::Source, "vdd"), (Terminal::Bulk, "vdd"),
-    ]).expect("MP2");
-    b.add_device("MP3", DeviceKind::Pmos, pcasc, &[
-        (Terminal::Gate, "vbpc"), (Terminal::Drain, "outm"),
-        (Terminal::Source, "f1"), (Terminal::Bulk, "vdd"),
-    ]).expect("MP3");
-    b.add_device("MP4", DeviceKind::Pmos, pcasc, &[
-        (Terminal::Gate, "vbpc"), (Terminal::Drain, "vout"),
-        (Terminal::Source, "f2"), (Terminal::Bulk, "vdd"),
-    ]).expect("MP4");
+    b.add_device(
+        "MP1",
+        DeviceKind::Pmos,
+        psrc,
+        &[
+            (Terminal::Gate, "vbp"),
+            (Terminal::Drain, "f1"),
+            (Terminal::Source, "vdd"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("MP1");
+    b.add_device(
+        "MP2",
+        DeviceKind::Pmos,
+        psrc,
+        &[
+            (Terminal::Gate, "vbp"),
+            (Terminal::Drain, "f2"),
+            (Terminal::Source, "vdd"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("MP2");
+    b.add_device(
+        "MP3",
+        DeviceKind::Pmos,
+        pcasc,
+        &[
+            (Terminal::Gate, "vbpc"),
+            (Terminal::Drain, "outm"),
+            (Terminal::Source, "f1"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("MP3");
+    b.add_device(
+        "MP4",
+        DeviceKind::Pmos,
+        pcasc,
+        &[
+            (Terminal::Gate, "vbpc"),
+            (Terminal::Drain, "vout"),
+            (Terminal::Source, "f2"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("MP4");
     // NMOS cascoded mirror at the bottom.
-    b.add_device("M3", DeviceKind::Nmos, ncasc, &[
-        (Terminal::Gate, "vbnc"), (Terminal::Drain, "outm"),
-        (Terminal::Source, "m1"), (Terminal::Bulk, "vss"),
-    ]).expect("M3");
-    b.add_device("M4", DeviceKind::Nmos, ncasc, &[
-        (Terminal::Gate, "vbnc"), (Terminal::Drain, "vout"),
-        (Terminal::Source, "m2"), (Terminal::Bulk, "vss"),
-    ]).expect("M4");
-    b.add_device("M6", DeviceKind::Nmos, nmir, &[
-        (Terminal::Gate, "outm"), (Terminal::Drain, "m1"),
-        (Terminal::Source, "vss"), (Terminal::Bulk, "vss"),
-    ]).expect("M6");
-    b.add_device("M7", DeviceKind::Nmos, nmir, &[
-        (Terminal::Gate, "outm"), (Terminal::Drain, "m2"),
-        (Terminal::Source, "vss"), (Terminal::Bulk, "vss"),
-    ]).expect("M7");
+    b.add_device(
+        "M3",
+        DeviceKind::Nmos,
+        ncasc,
+        &[
+            (Terminal::Gate, "vbnc"),
+            (Terminal::Drain, "outm"),
+            (Terminal::Source, "m1"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M3");
+    b.add_device(
+        "M4",
+        DeviceKind::Nmos,
+        ncasc,
+        &[
+            (Terminal::Gate, "vbnc"),
+            (Terminal::Drain, "vout"),
+            (Terminal::Source, "m2"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M4");
+    b.add_device(
+        "M6",
+        DeviceKind::Nmos,
+        nmir,
+        &[
+            (Terminal::Gate, "outm"),
+            (Terminal::Drain, "m1"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M6");
+    b.add_device(
+        "M7",
+        DeviceKind::Nmos,
+        nmir,
+        &[
+            (Terminal::Gate, "outm"),
+            (Terminal::Drain, "m2"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("M7");
     // Bias diodes.
-    b.add_device("MB1", DeviceKind::Nmos, bias, &[
-        (Terminal::Gate, "vbn"), (Terminal::Drain, "vbn"),
-        (Terminal::Source, "vss"), (Terminal::Bulk, "vss"),
-    ]).expect("MB1");
-    b.add_device("MB2", DeviceKind::Nmos, bias, &[
-        (Terminal::Gate, "vbnc"), (Terminal::Drain, "vbnc"),
-        (Terminal::Source, "vss"), (Terminal::Bulk, "vss"),
-    ]).expect("MB2");
-    b.add_device("MB3", DeviceKind::Pmos, bias, &[
-        (Terminal::Gate, "vbp"), (Terminal::Drain, "vbp"),
-        (Terminal::Source, "vdd"), (Terminal::Bulk, "vdd"),
-    ]).expect("MB3");
-    b.add_device("MB4", DeviceKind::Pmos, bias, &[
-        (Terminal::Gate, "vbpc"), (Terminal::Drain, "vbpc"),
-        (Terminal::Source, "vdd"), (Terminal::Bulk, "vdd"),
-    ]).expect("MB4");
+    b.add_device(
+        "MB1",
+        DeviceKind::Nmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbn"),
+            (Terminal::Drain, "vbn"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("MB1");
+    b.add_device(
+        "MB2",
+        DeviceKind::Nmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbnc"),
+            (Terminal::Drain, "vbnc"),
+            (Terminal::Source, "vss"),
+            (Terminal::Bulk, "vss"),
+        ],
+    )
+    .expect("MB2");
+    b.add_device(
+        "MB3",
+        DeviceKind::Pmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbp"),
+            (Terminal::Drain, "vbp"),
+            (Terminal::Source, "vdd"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("MB3");
+    b.add_device(
+        "MB4",
+        DeviceKind::Pmos,
+        bias,
+        &[
+            (Terminal::Gate, "vbpc"),
+            (Terminal::Drain, "vbpc"),
+            (Terminal::Source, "vdd"),
+            (Terminal::Bulk, "vdd"),
+        ],
+    )
+    .expect("MB4");
     // Load cap.
-    b.add_device("CL", DeviceKind::Capacitor, cap(400e-15), &[
-        (Terminal::Pos, "vout"), (Terminal::Neg, "vss"),
-    ]).expect("CL");
+    b.add_device(
+        "CL",
+        DeviceKind::Capacitor,
+        cap(400e-15),
+        &[(Terminal::Pos, "vout"), (Terminal::Neg, "vss")],
+    )
+    .expect("CL");
 
-    for (a, x) in [("M1", "M2"), ("MP1", "MP2"), ("MP3", "MP4"), ("M3", "M4"), ("M6", "M7")] {
+    for (a, x) in [
+        ("M1", "M2"),
+        ("MP1", "MP2"),
+        ("MP3", "MP4"),
+        ("M3", "M4"),
+        ("M6", "M7"),
+    ] {
         b.add_device_pair(a, x).expect("device pair");
     }
     b.add_self_device("M5").expect("self device");
@@ -685,10 +1057,17 @@ fn folded_cascode(name: &str) -> Circuit {
     }
     b.add_matched_pair("outm", "vout").expect("matched pair");
     b.add_self_net("tail").expect("self net");
-    for (n, w) in [("vinp", 4.0), ("vinn", 4.0), ("f1", 3.0), ("f2", 3.0), ("vout", 3.0)] {
+    for (n, w) in [
+        ("vinp", 4.0),
+        ("vinn", 4.0),
+        ("f1", 3.0),
+        ("f2", 3.0),
+        ("vout", 3.0),
+    ] {
         b.set_net_weight(n, w).expect("weight");
     }
-    b.set_io("vinp", "vinn", "vout", None, "vdd", "vss").expect("io");
+    b.set_io("vinp", "vinn", "vout", None, "vdd", "vss")
+        .expect("io");
     b.finish().expect("folded-cascode OTA must validate")
 }
 
@@ -719,7 +1098,12 @@ mod tests {
         ] {
             assert_eq!(c.count_kind(DeviceKind::Pmos), pmos, "{} PMOS", c.name());
             assert_eq!(c.count_kind(DeviceKind::Nmos), nmos, "{} NMOS", c.name());
-            assert_eq!(c.count_kind(DeviceKind::Capacitor), ncap, "{} Cap", c.name());
+            assert_eq!(
+                c.count_kind(DeviceKind::Capacitor),
+                ncap,
+                "{} Cap",
+                c.name()
+            );
             assert_eq!(c.count_kind(DeviceKind::Resistor), nres, "{} Res", c.name());
             assert_eq!(c.total_modules(), total, "{} Total", c.name());
         }
@@ -745,12 +1129,12 @@ mod tests {
 
     #[test]
     fn sizing_differs() {
-        let g1 = ota1().device_by_name("M1").map(|d| {
-            ota1().device(d).params.as_mos().unwrap().gm
-        });
-        let g2 = ota2().device_by_name("M1").map(|d| {
-            ota2().device(d).params.as_mos().unwrap().gm
-        });
+        let g1 = ota1()
+            .device_by_name("M1")
+            .map(|d| ota1().device(d).params.as_mos().unwrap().gm);
+        let g2 = ota2()
+            .device_by_name("M1")
+            .map(|d| ota2().device(d).params.as_mos().unwrap().gm);
         assert_ne!(g1, g2);
     }
 

@@ -667,7 +667,12 @@ mod tests {
     fn bad_terminal_rejected() {
         let mut b = base_builder();
         let err = b
-            .add_device("C1", DeviceKind::Capacitor, mos(), &[(Terminal::Gate, "out")])
+            .add_device(
+                "C1",
+                DeviceKind::Capacitor,
+                mos(),
+                &[(Terminal::Gate, "out")],
+            )
             .unwrap_err();
         assert!(matches!(err, NetlistError::BadTerminal(_)));
         let err2 = b
@@ -733,7 +738,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(NetlistError::UnknownNet("x".into()).to_string().contains("x"));
-        assert!(NetlistError::Invalid("msg".into()).to_string().contains("msg"));
+        assert!(NetlistError::UnknownNet("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(NetlistError::Invalid("msg".into())
+            .to_string()
+            .contains("msg"));
     }
 }

@@ -113,7 +113,10 @@ impl MosParams {
     ///
     /// Panics if any argument is non-positive.
     pub fn from_sizing(w_um: f64, l_um: f64, id_amps: f64) -> Self {
-        assert!(w_um > 0.0 && l_um > 0.0 && id_amps > 0.0, "non-positive sizing");
+        assert!(
+            w_um > 0.0 && l_um > 0.0 && id_amps > 0.0,
+            "non-positive sizing"
+        );
         let v_ov = 0.18;
         let gm = 2.0 * id_amps / v_ov;
         let gds = 0.35 / l_um * id_amps;

@@ -585,10 +585,7 @@ impl Graph {
                                         for kx in 0..3usize {
                                             let sy = y as i64 + ky as i64 - 1;
                                             let sx = xx as i64 + kx as i64 - 1;
-                                            if sy < 0
-                                                || sx < 0
-                                                || sy >= h as i64
-                                                || sx >= w as i64
+                                            if sy < 0 || sx < 0 || sy >= h as i64 || sx >= w as i64
                                             {
                                                 continue;
                                             }
@@ -644,7 +641,12 @@ mod tests {
     use super::*;
 
     /// Numeric gradient check helper: builds `f` twice per perturbed input.
-    fn check_grad(build: impl Fn(&mut Graph, NodeId) -> NodeId, x0: Vec<f64>, rows: usize, cols: usize) {
+    fn check_grad(
+        build: impl Fn(&mut Graph, NodeId) -> NodeId,
+        x0: Vec<f64>,
+        rows: usize,
+        cols: usize,
+    ) {
         let mut g = Graph::new();
         let x = g.param(Tensor::from_vec(x0.clone(), rows, cols));
         let loss = build(&mut g, x);

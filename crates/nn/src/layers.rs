@@ -144,7 +144,10 @@ impl Mlp {
     ///
     /// Panics with fewer than two widths.
     pub fn new(widths: &[usize], activation: Activation, rng: &mut ChaCha8Rng) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))
@@ -276,7 +279,10 @@ mod tests {
             }
         }
         let first = first.unwrap();
-        assert!(last < first * 0.1, "loss {first} -> {last} did not drop 10x");
+        assert!(
+            last < first * 0.1,
+            "loss {first} -> {last} did not drop 10x"
+        );
     }
 
     #[test]

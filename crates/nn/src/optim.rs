@@ -321,7 +321,11 @@ mod tests {
     #[test]
     fn lbfgs_quadratic_converges_fast() {
         let eval = |x: &[f64]| {
-            let f: f64 = x.iter().enumerate().map(|(i, v)| (i + 1) as f64 * v * v).sum();
+            let f: f64 = x
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (i + 1) as f64 * v * v)
+                .sum();
             let g: Vec<f64> = x
                 .iter()
                 .enumerate()

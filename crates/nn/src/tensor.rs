@@ -117,7 +117,10 @@ impl Tensor {
     ///
     /// Panics if out of range.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -127,7 +130,10 @@ impl Tensor {
     ///
     /// Panics if out of range.
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -177,7 +183,11 @@ impl Tensor {
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        Tensor::from_vec(self.data.iter().map(|&x| f(x)).collect(), self.rows, self.cols)
+        Tensor::from_vec(
+            self.data.iter().map(|&x| f(x)).collect(),
+            self.rows,
+            self.cols,
+        )
     }
 
     /// Elementwise binary combination.
@@ -275,7 +285,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let t = Tensor::randn(100, 100, &mut rng);
         let mean = t.sum() / t.len() as f64;
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / t.len() as f64;
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / t.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

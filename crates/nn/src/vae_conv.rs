@@ -92,9 +92,21 @@ impl ConvVae {
             lr: cfg.lr,
             seed: cfg.seed,
             enc_kernel: Tensor::uniform(cfg.channels, 9, scale, &mut rng),
-            mu_head: Mlp::new(&[cfg.channels * hw, cfg.latent], Activation::Identity, &mut rng),
-            logvar_head: Mlp::new(&[cfg.channels * hw, cfg.latent], Activation::Identity, &mut rng),
-            dec_head: Mlp::new(&[cfg.latent, cfg.channels * hw], Activation::Identity, &mut rng),
+            mu_head: Mlp::new(
+                &[cfg.channels * hw, cfg.latent],
+                Activation::Identity,
+                &mut rng,
+            ),
+            logvar_head: Mlp::new(
+                &[cfg.channels * hw, cfg.latent],
+                Activation::Identity,
+                &mut rng,
+            ),
+            dec_head: Mlp::new(
+                &[cfg.latent, cfg.channels * hw],
+                Activation::Identity,
+                &mut rng,
+            ),
             dec_kernel: Tensor::uniform(1, cfg.channels * 9, scale, &mut rng),
         }
     }
@@ -266,7 +278,9 @@ mod tests {
         (0..n)
             .map(|i| {
                 Tensor::from_vec(
-                    (0..hw).map(|j| if (i + j) % 3 == 0 { 0.9 } else { 0.1 }).collect(),
+                    (0..hw)
+                        .map(|j| if (i + j) % 3 == 0 { 0.9 } else { 0.1 })
+                        .collect(),
                     1,
                     hw,
                 )

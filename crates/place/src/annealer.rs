@@ -288,10 +288,8 @@ fn propose(state: &State, problem: &Problem<'_>, rng: &mut ChaCha8Rng) -> State 
             let pos = rng.gen_range(0..=s.columns[to].len());
             s.columns[to].insert(pos, item);
         } else {
-            let (Some(a), Some(b)) = (
-                pick_nonempty_column(&s, rng),
-                pick_nonempty_column(&s, rng),
-            ) else {
+            let (Some(a), Some(b)) = (pick_nonempty_column(&s, rng), pick_nonempty_column(&s, rng))
+            else {
                 return s;
             };
             let ia = rng.gen_range(0..s.columns[a].len());
@@ -446,7 +444,12 @@ mod tests {
         let r = Rect::from_coords(0, 0, 1_000, 600);
         let axis = 2_000;
         let rm = r.mirror_x(axis);
-        for t in [Terminal::Gate, Terminal::Drain, Terminal::Source, Terminal::Bulk] {
+        for t in [
+            Terminal::Gate,
+            Terminal::Drain,
+            Terminal::Source,
+            Terminal::Bulk,
+        ] {
             let p = pin_rect(&r, t, false);
             let pm = pin_rect(&rm, t, true);
             assert_eq!(p.mirror_x(axis), pm, "terminal {t}");

@@ -118,7 +118,10 @@ fn find_node(
         // Clamp to the grid if the pin sits within half a pitch of the edge.
         let x = (center.x - dim.origin().x).clamp(0, (i64::from(dim.nx()) - 1) * dim.pitch());
         let y = (center.y - dim.origin().y).clamp(0, (i64::from(dim.ny()) - 1) * dim.pitch());
-        dim.snap(af_geom::Point::new(dim.origin().x + x, dim.origin().y + y), layer)
+        dim.snap(
+            af_geom::Point::new(dim.origin().x + x, dim.origin().y + y),
+            layer,
+        )
     })?;
     let usable = |g: GridPoint| {
         let idx = dim.flat_index(g);

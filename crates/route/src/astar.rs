@@ -114,9 +114,7 @@ impl StepCost<'_> {
                         return false;
                     }
                     if let Some(owner) = grid.owner(midx) {
-                        if owner != self.net
-                            && Some(owner) != self.mirror_net
-                            && grid.is_pin(midx)
+                        if owner != self.net && Some(owner) != self.mirror_net && grid.is_pin(midx)
                         {
                             return false;
                         }
@@ -143,7 +141,10 @@ impl StepCost<'_> {
                 }
             }
         };
-        cost *= self.guidance.multiplier(self.net, pos, axis).max(cfg.min_guidance);
+        cost *= self
+            .guidance
+            .multiplier(self.net, pos, axis)
+            .max(cfg.min_guidance);
         // Congestion negotiation. History applies even on currently-free
         // nodes (PathFinder): a node that keeps being contested must repel
         // every net, not just the late-comer.
@@ -317,9 +318,21 @@ mod tests {
     #[test]
     fn heap_is_min_on_f() {
         let mut h = BinaryHeap::new();
-        h.push(HeapEntry { f: 3.0, g: 0.0, node: 1 });
-        h.push(HeapEntry { f: 1.0, g: 0.0, node: 2 });
-        h.push(HeapEntry { f: 2.0, g: 0.0, node: 3 });
+        h.push(HeapEntry {
+            f: 3.0,
+            g: 0.0,
+            node: 1,
+        });
+        h.push(HeapEntry {
+            f: 1.0,
+            g: 0.0,
+            node: 2,
+        });
+        h.push(HeapEntry {
+            f: 2.0,
+            g: 0.0,
+            node: 3,
+        });
         assert_eq!(h.pop().unwrap().node, 2);
         assert_eq!(h.pop().unwrap().node, 3);
         assert_eq!(h.pop().unwrap().node, 1);

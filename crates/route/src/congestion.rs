@@ -186,9 +186,9 @@ pub fn measure_congestion(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{route, RouterConfig, RoutingGuidance};
     use af_netlist::benchmarks;
     use af_place::{place, PlacementVariant};
-    use crate::{route, RouterConfig, RoutingGuidance};
 
     fn setup() -> (af_netlist::Circuit, Placement, Technology) {
         let c = benchmarks::ota1();
@@ -239,7 +239,10 @@ mod tests {
             vm += (m - mu_m) * (m - mu_m);
         }
         let corr = cov / (ve.sqrt() * vm.sqrt()).max(1e-9);
-        assert!(corr > 0.3, "estimate should correlate with reality: r = {corr}");
+        assert!(
+            corr > 0.3,
+            "estimate should correlate with reality: r = {corr}"
+        );
     }
 
     #[test]

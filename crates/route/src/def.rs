@@ -166,8 +166,12 @@ pub fn parse_def(circuit: &Circuit, text: &str) -> Result<RoutedLayout, DefParse
                 if tokens.len() != 7 {
                     return Err(err(line_no, "malformed VIA statement"));
                 }
-                let x: i64 = tokens[2].parse().map_err(|_| err(line_no, "bad coordinate"))?;
-                let y: i64 = tokens[3].parse().map_err(|_| err(line_no, "bad coordinate"))?;
+                let x: i64 = tokens[2]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad coordinate"))?;
+                let y: i64 = tokens[3]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad coordinate"))?;
                 let parse_layer = |t: &str| {
                     t.strip_prefix('M')
                         .and_then(|s| s.parse::<u8>().ok())
@@ -205,10 +209,10 @@ pub fn parse_def(circuit: &Circuit, text: &str) -> Result<RoutedLayout, DefParse
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{route, RouterConfig, RoutingGuidance};
     use af_netlist::benchmarks;
     use af_place::{place, PlacementVariant};
     use af_tech::Technology;
-    use crate::{route, RouterConfig, RoutingGuidance};
 
     #[test]
     fn def_roundtrip_preserves_geometry() {
@@ -251,7 +255,10 @@ mod tests {
         let cases = [
             ("GARBAGE ;", "unknown statement"),
             ("VERSION af-route-2 ;", "unsupported version"),
-            ("VERSION af-route-1 ;\nROUTED M1 ( 0 0 ) ( 1 0 )", "ROUTED outside"),
+            (
+                "VERSION af-route-1 ;\nROUTED M1 ( 0 0 ) ( 1 0 )",
+                "ROUTED outside",
+            ),
             ("VERSION af-route-1 ;\n- nosuchnet", "unknown net"),
             (
                 "VERSION af-route-1 ;\n- vout\n  ROUTED M0 ( 0 0 ) ( 1 0 )",

@@ -191,8 +191,8 @@ fn is_connected(segments: &[Segment], pins: &[Point3], tol: i64) -> bool {
     for i in 0..n {
         for j in (i + 1)..n {
             let (a, b) = (points[i], points[j]);
-            let near = a.xy().manhattan(b.xy()) <= tol
-                && (a.z == b.z || is_via_pair(segments, i, j));
+            let near =
+                a.xy().manhattan(b.xy()) <= tol && (a.z == b.z || is_via_pair(segments, i, j));
             if near {
                 union(&mut parent, i, j);
             }
@@ -220,8 +220,7 @@ fn is_via_pair(_segments: &[Segment], _i: usize, _j: usize) -> bool {
 
 fn point_on_segment(p: &Point3, s: &Segment, tol: i64) -> bool {
     if s.is_via() {
-        return (p.z == s.start().z || p.z == s.end().z)
-            && p.xy().manhattan(s.start().xy()) <= tol;
+        return (p.z == s.start().z || p.z == s.end().z) && p.xy().manhattan(s.start().xy()) <= tol;
     }
     if p.z != s.layer() {
         return false;
@@ -233,9 +232,9 @@ fn point_on_segment(p: &Point3, s: &Segment, tol: i64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{route, RouterConfig, RoutingGuidance};
     use af_netlist::benchmarks;
     use af_place::{place, PlacementVariant};
-    use crate::{route, RouterConfig, RoutingGuidance};
 
     #[test]
     fn clean_routing_passes_drc() {

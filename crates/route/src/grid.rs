@@ -229,7 +229,11 @@ mod tests {
     fn axis_on_grid_column() {
         let (_, p, g) = grid();
         let axis_dbu = g.dim().to_dbu(GridPoint::new(g.axis_col(), 0, 0)).x;
-        assert_eq!(axis_dbu, p.axis_x() - (p.axis_x() - axis_dbu), "axis column maps near axis");
+        assert_eq!(
+            axis_dbu,
+            p.axis_x() - (p.axis_x() - axis_dbu),
+            "axis column maps near axis"
+        );
         // the axis column must be within one pitch of the true axis
         assert!((axis_dbu - p.axis_x()).abs() < g.dim().pitch());
     }

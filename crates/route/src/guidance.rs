@@ -189,7 +189,10 @@ mod tests {
         g.set(net, Point3::new(100, 0, 0), CostTriple([3.0, 1.0, 1.0]));
         assert_eq!(g.multiplier(net, Point3::new(10, 0, 0), Axis::X), 0.5);
         assert_eq!(g.multiplier(net, Point3::new(90, 0, 0), Axis::X), 3.0);
-        assert_eq!(g.multiplier(NetId::new(9), Point3::new(0, 0, 0), Axis::X), 1.0);
+        assert_eq!(
+            g.multiplier(NetId::new(9), Point3::new(0, 0, 0), Axis::X),
+            1.0
+        );
         assert_eq!(g.len(), 2);
         assert!(!g.is_empty());
     }
@@ -215,9 +218,16 @@ mod tests {
             1.0
         );
         let mut g = NonUniformGuidance::new();
-        g.set(NetId::new(0), Point3::new(0, 0, 0), CostTriple([1.0, 7.0, 1.0]));
+        g.set(
+            NetId::new(0),
+            Point3::new(0, 0, 0),
+            CostTriple([1.0, 7.0, 1.0]),
+        );
         let rg = RoutingGuidance::NonUniform(g);
-        assert_eq!(rg.multiplier(NetId::new(0), Point3::new(0, 0, 0), Axis::Y), 7.0);
+        assert_eq!(
+            rg.multiplier(NetId::new(0), Point3::new(0, 0, 0), Axis::Y),
+            7.0
+        );
     }
 
     #[test]

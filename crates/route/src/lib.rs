@@ -135,7 +135,7 @@ impl RoutedLayout {
             "net", "wire(um)", "vias", "segments"
         );
         let mut nets: Vec<&RoutedNet> = self.nets.iter().collect();
-        nets.sort_by(|a, b| b.wirelength.cmp(&a.wirelength));
+        nets.sort_by_key(|rn| std::cmp::Reverse(rn.wirelength));
         for rn in nets {
             let _ = writeln!(
                 out,

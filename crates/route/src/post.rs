@@ -9,10 +9,7 @@ use af_geom::{GridDim, Segment};
 /// access points, together with their edges.
 ///
 /// `edges` are undirected unit-step pairs of flat node indices (lo, hi).
-pub(crate) fn prune_stubs(
-    edges: &mut HashSet<(u32, u32)>,
-    pins: &HashSet<u32>,
-) -> HashSet<u32> {
+pub(crate) fn prune_stubs(edges: &mut HashSet<(u32, u32)>, pins: &HashSet<u32>) -> HashSet<u32> {
     let mut degree: HashMap<u32, u32> = HashMap::new();
     for &(a, b) in edges.iter() {
         *degree.entry(a).or_insert(0) += 1;

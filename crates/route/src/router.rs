@@ -226,7 +226,14 @@ pub fn route(
     // Initial pass.
     for &task in &tasks {
         route_task(
-            circuit, &mut grid, &aps, guidance, cfg, task, &mut routes, &mut buffers,
+            circuit,
+            &mut grid,
+            &aps,
+            guidance,
+            cfg,
+            task,
+            &mut routes,
+            &mut buffers,
         )?;
     }
 
@@ -241,7 +248,10 @@ pub fn route(
                 eprintln!(
                     "iter {iterations}: conflict at {g} {} users={:?} hist={}",
                     grid.node_dbu(node as usize),
-                    users.iter().map(|&u| circuit.net(NetId::new(u)).name.clone()).collect::<Vec<_>>(),
+                    users
+                        .iter()
+                        .map(|&u| circuit.net(NetId::new(u)).name.clone())
+                        .collect::<Vec<_>>(),
                     grid.history(node as usize),
                 );
             }
@@ -272,7 +282,14 @@ pub fn route(
         }
         for &task in &victim_tasks {
             route_task(
-                circuit, &mut grid, &aps, guidance, cfg, task, &mut routes, &mut buffers,
+                circuit,
+                &mut grid,
+                &aps,
+                guidance,
+                cfg,
+                task,
+                &mut routes,
+                &mut buffers,
             )?;
         }
         conflicts = conflicted_nodes(&grid, &routes);
@@ -330,10 +347,7 @@ fn aps_mirror(grid: &RoutingGrid, aps: &PinAccessMap, a: NetId, b: NetId) -> boo
 }
 
 /// Map from contested node to the nets using it (only nodes with >1 user).
-fn conflicted_nodes(
-    grid: &RoutingGrid,
-    routes: &HashMap<u32, NetRoute>,
-) -> HashMap<u32, Vec<u32>> {
+fn conflicted_nodes(grid: &RoutingGrid, routes: &HashMap<u32, NetRoute>) -> HashMap<u32, Vec<u32>> {
     let mut users: HashMap<u32, Vec<u32>> = HashMap::new();
     for (&net, r) in routes {
         for &n in &r.nodes {
@@ -377,17 +391,7 @@ fn route_task(
             routes.insert(net.index() as u32, r);
         }
         Task::Pair(a, b) => {
-            let ra = route_net(
-                circuit,
-                grid,
-                aps,
-                guidance,
-                cfg,
-                a,
-                Some(b),
-                true,
-                buffers,
-            )?;
+            let ra = route_net(circuit, grid, aps, guidance, cfg, a, Some(b), true, buffers)?;
             // Mirror a's geometry onto b.
             let mut rb = NetRoute::default();
             for &n in &ra.nodes {
@@ -508,7 +512,14 @@ mod tests {
     fn routed(circuit: &Circuit) -> RoutedLayout {
         let p = place(circuit, PlacementVariant::A);
         let t = Technology::nm40();
-        route(circuit, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap()
+        route(
+            circuit,
+            &p,
+            &t,
+            &RoutingGuidance::None,
+            &RouterConfig::default(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -533,7 +544,11 @@ mod tests {
     fn ota3_routes() {
         let c = benchmarks::ota3();
         let layout = routed(&c);
-        assert!(layout.conflicts <= 2, "too many conflicts: {}", layout.conflicts);
+        assert!(
+            layout.conflicts <= 2,
+            "too many conflicts: {}",
+            layout.conflicts
+        );
         assert!(layout.total_vias() > 0, "multilayer design should use vias");
     }
 
@@ -565,8 +580,8 @@ mod tests {
 
     #[test]
     fn guidance_changes_routing() {
-        use af_geom::CostTriple;
         use crate::guidance::NonUniformGuidance;
+        use af_geom::CostTriple;
 
         let c = benchmarks::ota1();
         let p = place(&c, PlacementVariant::A);
@@ -607,14 +622,62 @@ mod tests {
     #[test]
     fn validate_rejects_bad_fields() {
         let cases: Vec<(RouterConfig, &str)> = vec![
-            (RouterConfig { coarsen: 0, ..RouterConfig::default() }, "coarsen"),
-            (RouterConfig { via_cost: 0.0, ..RouterConfig::default() }, "via_cost"),
-            (RouterConfig { wrong_dir_mult: 0.5, ..RouterConfig::default() }, "wrong_dir_mult"),
-            (RouterConfig { present_cost: -1.0, ..RouterConfig::default() }, "penalties"),
-            (RouterConfig { reuse_discount: 2.0, ..RouterConfig::default() }, "reuse_discount"),
-            (RouterConfig { min_guidance: 0.0, ..RouterConfig::default() }, "min_guidance"),
-            (RouterConfig { max_iterations: 0, ..RouterConfig::default() }, "max_iterations"),
-            (RouterConfig { bend_penalty: -0.1, ..RouterConfig::default() }, "bend_penalty"),
+            (
+                RouterConfig {
+                    coarsen: 0,
+                    ..RouterConfig::default()
+                },
+                "coarsen",
+            ),
+            (
+                RouterConfig {
+                    via_cost: 0.0,
+                    ..RouterConfig::default()
+                },
+                "via_cost",
+            ),
+            (
+                RouterConfig {
+                    wrong_dir_mult: 0.5,
+                    ..RouterConfig::default()
+                },
+                "wrong_dir_mult",
+            ),
+            (
+                RouterConfig {
+                    present_cost: -1.0,
+                    ..RouterConfig::default()
+                },
+                "penalties",
+            ),
+            (
+                RouterConfig {
+                    reuse_discount: 2.0,
+                    ..RouterConfig::default()
+                },
+                "reuse_discount",
+            ),
+            (
+                RouterConfig {
+                    min_guidance: 0.0,
+                    ..RouterConfig::default()
+                },
+                "min_guidance",
+            ),
+            (
+                RouterConfig {
+                    max_iterations: 0,
+                    ..RouterConfig::default()
+                },
+                "max_iterations",
+            ),
+            (
+                RouterConfig {
+                    bend_penalty: -0.1,
+                    ..RouterConfig::default()
+                },
+                "bend_penalty",
+            ),
         ];
         for (cfg, needle) in cases {
             let err = cfg.validate().unwrap_err();
@@ -642,7 +705,13 @@ mod tests {
             layout
                 .nets
                 .iter()
-                .map(|n| n.segments.iter().filter(|s| !s.is_via()).count().saturating_sub(1))
+                .map(|n| {
+                    n.segments
+                        .iter()
+                        .filter(|s| !s.is_via())
+                        .count()
+                        .saturating_sub(1)
+                })
                 .sum()
         };
         let straight = route(
@@ -688,4 +757,3 @@ mod tests {
         assert!(layout.is_clean());
     }
 }
-

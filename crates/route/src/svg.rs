@@ -131,10 +131,10 @@ pub fn render_svg(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{route, RouterConfig, RoutingGuidance};
     use af_netlist::benchmarks;
     use af_place::{place, PlacementVariant};
     use af_tech::Technology;
-    use crate::{route, RouterConfig, RoutingGuidance};
 
     #[test]
     fn svg_contains_wires_and_devices() {

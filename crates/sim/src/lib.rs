@@ -42,5 +42,8 @@ mod spice;
 pub use complex::Complex;
 pub use linalg::solve;
 pub use metrics::{log_sweep, psrr_db, simulate, Performance, SimConfig};
-pub use mna::{AdjointSolution, MosStamp, Network, NodeRef, NoisePsd, NoiseSource, SimError, Solution, SupplyMode, BOLTZMANN};
+pub use mna::{
+    AdjointSolution, MosStamp, Network, NodeRef, NoisePsd, NoiseSource, SimError, Solution,
+    SupplyMode, BOLTZMANN,
+};
 pub use spice::to_spice;

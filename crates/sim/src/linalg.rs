@@ -109,7 +109,9 @@ mod tests {
         let n = 5;
         let mut seed = 0x12345u64;
         let mut rnd = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let a0: Vec<Complex> = (0..n * n).map(|_| c(rnd(), rnd())).collect();

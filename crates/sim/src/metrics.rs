@@ -388,7 +388,11 @@ mod tests {
         for c in [benchmarks::ota1(), benchmarks::ota3()] {
             let p = psrr_db(&c, None, &SimConfig::default()).unwrap();
             assert!(p.is_finite(), "{}: {p}", c.name());
-            assert!(p > 0.0, "{}: supply should be rejected, got {p} dB", c.name());
+            assert!(
+                p > 0.0,
+                "{}: supply should be rejected, got {p} dB",
+                c.name()
+            );
         }
     }
 
@@ -424,4 +428,3 @@ mod tests {
         assert!(better.fom_against(&base) < base.fom_against(&base));
     }
 }
-

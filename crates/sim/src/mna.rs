@@ -308,10 +308,7 @@ impl Network {
                     .iter()
                     .copied()
                     .find(|&pid| {
-                        matches!(
-                            circuit.pin(pid).terminal,
-                            Terminal::Drain | Terminal::Pos
-                        )
+                        matches!(circuit.pin(pid).terminal, Terminal::Drain | Terminal::Pos)
                     })
                     .or_else(|| net.pins.first().copied());
                 for &pid in &net.pins {
@@ -508,25 +505,26 @@ impl Network {
     fn assemble(&self, omega: f64, vs: [Complex; 2], a: &mut Vec<Complex>, b: &mut Vec<Complex>) {
         let n = self.n;
 
-        let stamp_pair = |a: &mut Vec<Complex>, b: &mut Vec<Complex>, p: NodeRef, q: NodeRef, y: Complex| {
-            // current y (Vp - Vq) leaving p, entering q
-            if let NodeRef::Idx(i) = p {
-                a[i * n + i] += y;
-                match q {
-                    NodeRef::Idx(j) => a[i * n + j] -= y,
-                    NodeRef::Src(k) => b[i] += y * vs[k],
-                    NodeRef::Gnd => {}
+        let stamp_pair =
+            |a: &mut Vec<Complex>, b: &mut Vec<Complex>, p: NodeRef, q: NodeRef, y: Complex| {
+                // current y (Vp - Vq) leaving p, entering q
+                if let NodeRef::Idx(i) = p {
+                    a[i * n + i] += y;
+                    match q {
+                        NodeRef::Idx(j) => a[i * n + j] -= y,
+                        NodeRef::Src(k) => b[i] += y * vs[k],
+                        NodeRef::Gnd => {}
+                    }
                 }
-            }
-            if let NodeRef::Idx(j) = q {
-                a[j * n + j] += y;
-                match p {
-                    NodeRef::Idx(i) => a[j * n + i] -= y,
-                    NodeRef::Src(k) => b[j] += y * vs[k],
-                    NodeRef::Gnd => {}
+                if let NodeRef::Idx(j) = q {
+                    a[j * n + j] += y;
+                    match p {
+                        NodeRef::Idx(i) => a[j * n + i] -= y,
+                        NodeRef::Src(k) => b[j] += y * vs[k],
+                        NodeRef::Gnd => {}
+                    }
                 }
-            }
-        };
+            };
 
         for el in &self.elements {
             match *el {
@@ -538,25 +536,25 @@ impl Network {
                 }
                 Element::Vccs { op, on, cp, cn, gm } => {
                     // i = gm (Vcp - Vcn) leaves op, enters on
-                    let add = |a: &mut Vec<Complex>, b: &mut Vec<Complex>, row: NodeRef, sign: f64| {
-                        let NodeRef::Idx(r) = row else { return };
-                        match cp {
-                            NodeRef::Idx(c) => a[r * n + c] += Complex::real(sign * gm),
-                            NodeRef::Src(k) => b[r] -= vs[k] * (sign * gm),
-                            NodeRef::Gnd => {}
-                        }
-                        match cn {
-                            NodeRef::Idx(c) => a[r * n + c] -= Complex::real(sign * gm),
-                            NodeRef::Src(k) => b[r] += vs[k] * (sign * gm),
-                            NodeRef::Gnd => {}
-                        }
-                    };
+                    let add =
+                        |a: &mut Vec<Complex>, b: &mut Vec<Complex>, row: NodeRef, sign: f64| {
+                            let NodeRef::Idx(r) = row else { return };
+                            match cp {
+                                NodeRef::Idx(c) => a[r * n + c] += Complex::real(sign * gm),
+                                NodeRef::Src(k) => b[r] -= vs[k] * (sign * gm),
+                                NodeRef::Gnd => {}
+                            }
+                            match cn {
+                                NodeRef::Idx(c) => a[r * n + c] -= Complex::real(sign * gm),
+                                NodeRef::Src(k) => b[r] += vs[k] * (sign * gm),
+                                NodeRef::Gnd => {}
+                            }
+                        };
                     add(a, b, op, 1.0);
                     add(a, b, on, -1.0);
                 }
             }
         }
-
     }
 
     /// Adjoint solve at angular frequency `omega`: returns the
@@ -624,7 +622,7 @@ mod tests {
     fn rc_divider_transfer() {
         // Build a tiny synthetic circuit: vinp - R - out - C - gnd using the
         // netlist builder, then verify the MNA pole.
-        use af_netlist::{CircuitBuilder, DeviceParams, NetType, ResParams, CapParams};
+        use af_netlist::{CapParams, CircuitBuilder, DeviceParams, NetType, ResParams};
         let mut b = CircuitBuilder::new("rc");
         b.add_net("vdd", NetType::Power).unwrap();
         b.add_net("vss", NetType::Ground).unwrap();
@@ -660,7 +658,11 @@ mod tests {
         // drive vinp = 1, vinn = 0 (R2 is huge, nearly no effect)
         let fc = 1.0 / (2.0 * std::f64::consts::PI * 1_000.0 * 1e-9); // ~159 kHz
         let lo = net
-            .solve_at(2.0 * std::f64::consts::PI * 10.0, [Complex::ONE, Complex::ZERO], &[])
+            .solve_at(
+                2.0 * std::f64::consts::PI * 10.0,
+                [Complex::ONE, Complex::ZERO],
+                &[],
+            )
             .unwrap();
         let hi = net
             .solve_at(
@@ -671,7 +673,10 @@ mod tests {
             .unwrap();
         let mag_lo = net.output(&lo).abs();
         let mag_hi = net.output(&hi).abs();
-        assert!((mag_lo - 1.0).abs() < 1e-2, "low-frequency gain ~1, got {mag_lo}");
+        assert!(
+            (mag_lo - 1.0).abs() < 1e-2,
+            "low-frequency gain ~1, got {mag_lo}"
+        );
         assert!(
             (mag_hi - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02,
             "gain at fc should be ~0.707, got {mag_hi}"
@@ -718,7 +723,11 @@ mod tests {
         let c = b.finish().unwrap();
         let net = Network::build(&c, None, 0.0, 0.8, 300.0);
         let sol = net
-            .solve_at(2.0 * std::f64::consts::PI * 100.0, [Complex::ONE, Complex::ZERO], &[])
+            .solve_at(
+                2.0 * std::f64::consts::PI * 100.0,
+                [Complex::ONE, Complex::ZERO],
+                &[],
+            )
             .unwrap();
         let out = net.output(&sol);
         // expected gain = -gm * (RL || ro)
@@ -769,6 +778,9 @@ mod tests {
                 &[(node, Complex::ONE)],
             )
             .unwrap();
-        assert!(net.output(&sol).abs() > 0.0, "injection must reach the output");
+        assert!(
+            net.output(&sol).abs() > 0.0,
+            "injection must reach the output"
+        );
     }
 }

@@ -23,7 +23,11 @@ use af_netlist::{Circuit, DeviceKind, DeviceParams, NetId, Terminal};
 pub fn to_spice(circuit: &Circuit, parasitics: Option<&Parasitics>) -> String {
     let io = circuit.io();
     let mut out = String::new();
-    let _ = writeln!(out, "* {} — small-signal deck exported by af-sim", circuit.name());
+    let _ = writeln!(
+        out,
+        "* {} — small-signal deck exported by af-sim",
+        circuit.name()
+    );
     let _ = writeln!(out, "* vdd/vss are AC ground; inputs driven differentially");
 
     let net_name = |id: NetId| circuit.net(id).name.clone();
@@ -48,9 +52,7 @@ pub fn to_spice(circuit: &Circuit, parasitics: Option<&Parasitics>) -> String {
             .pins
             .iter()
             .copied()
-            .find(|&pid| {
-                matches!(circuit.pin(pid).terminal, Terminal::Drain | Terminal::Pos)
-            })
+            .find(|&pid| matches!(circuit.pin(pid).terminal, Terminal::Drain | Terminal::Pos))
             .or_else(|| circuit.net(id).pins.first().copied())
     };
     let node_of_pin = |pid: af_netlist::PinId| -> String {
@@ -77,8 +79,18 @@ pub fn to_spice(circuit: &Circuit, parasitics: Option<&Parasitics>) -> String {
             let rec = px.net(id);
             if split[i] {
                 let _ = writeln!(out, "Rw_{n} {n} {n}_w {:.6}", rec.resistance, n = net.name);
-                let _ = writeln!(out, "Cw_{n}_a {n} 0 {:.6e}", rec.cap_ground / 2.0, n = net.name);
-                let _ = writeln!(out, "Cw_{n}_b {n}_w 0 {:.6e}", rec.cap_ground / 2.0, n = net.name);
+                let _ = writeln!(
+                    out,
+                    "Cw_{n}_a {n} 0 {:.6e}",
+                    rec.cap_ground / 2.0,
+                    n = net.name
+                );
+                let _ = writeln!(
+                    out,
+                    "Cw_{n}_b {n}_w 0 {:.6e}",
+                    rec.cap_ground / 2.0,
+                    n = net.name
+                );
             } else if rec.cap_ground > 0.0 {
                 let _ = writeln!(out, "Cw_{n} {n} 0 {:.6e}", rec.cap_ground, n = net.name);
             }
@@ -86,8 +98,16 @@ pub fn to_spice(circuit: &Circuit, parasitics: Option<&Parasitics>) -> String {
         let _ = writeln!(out, "\n* coupling capacitances");
         for (k, cc) in px.couplings().iter().enumerate() {
             let (a, b) = (
-                if is_gnd(cc.a) { "0".into() } else { net_name(cc.a) },
-                if is_gnd(cc.b) { "0".into() } else { net_name(cc.b) },
+                if is_gnd(cc.a) {
+                    "0".into()
+                } else {
+                    net_name(cc.a)
+                },
+                if is_gnd(cc.b) {
+                    "0".into()
+                } else {
+                    net_name(cc.b)
+                },
             );
             if a == b {
                 continue;
@@ -109,9 +129,11 @@ pub fn to_spice(circuit: &Circuit, parasitics: Option<&Parasitics>) -> String {
         };
         match (&dev.kind, &dev.params) {
             (DeviceKind::Nmos | DeviceKind::Pmos, DeviceParams::Mos(m)) => {
-                let (Some(g), Some(d), Some(s)) =
-                    (pin_of(Terminal::Gate), pin_of(Terminal::Drain), pin_of(Terminal::Source))
-                else {
+                let (Some(g), Some(d), Some(s)) = (
+                    pin_of(Terminal::Gate),
+                    pin_of(Terminal::Drain),
+                    pin_of(Terminal::Source),
+                ) else {
                     continue;
                 };
                 let b = pin_of(Terminal::Bulk).unwrap_or_else(|| "0".into());
@@ -166,7 +188,10 @@ mod tests {
         assert!(deck.contains("GM1 "), "gm VCCS for M1:\n{deck}");
         assert!(deck.contains("RdsM1 "));
         assert!(deck.contains("CgsM1 "));
-        assert!(deck.contains("CCC ") || deck.contains("CCC\t"), "compensation cap");
+        assert!(
+            deck.contains("CCC ") || deck.contains("CCC\t"),
+            "compensation cap"
+        );
         assert!(deck.contains("Vinp vinp 0 AC 0.5"));
         assert!(deck.contains(".ac dec"));
         assert!(deck.trim_end().ends_with(".end"));

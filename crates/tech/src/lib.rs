@@ -62,10 +62,42 @@ impl Technology {
     /// * coupling capacitance ≈ 0.085 fF/µm at minimum spacing
     pub fn nm40() -> Self {
         let layers = vec![
-            LayerInfo::new("M1", PreferredDir::Horizontal, 70, 70, 0.40, 0.19e-15, 0.085e-15),
-            LayerInfo::new("M2", PreferredDir::Vertical, 70, 70, 0.40, 0.18e-15, 0.082e-15),
-            LayerInfo::new("M3", PreferredDir::Horizontal, 100, 100, 0.20, 0.16e-15, 0.075e-15),
-            LayerInfo::new("M4", PreferredDir::Vertical, 140, 140, 0.08, 0.14e-15, 0.065e-15),
+            LayerInfo::new(
+                "M1",
+                PreferredDir::Horizontal,
+                70,
+                70,
+                0.40,
+                0.19e-15,
+                0.085e-15,
+            ),
+            LayerInfo::new(
+                "M2",
+                PreferredDir::Vertical,
+                70,
+                70,
+                0.40,
+                0.18e-15,
+                0.082e-15,
+            ),
+            LayerInfo::new(
+                "M3",
+                PreferredDir::Horizontal,
+                100,
+                100,
+                0.20,
+                0.16e-15,
+                0.075e-15,
+            ),
+            LayerInfo::new(
+                "M4",
+                PreferredDir::Vertical,
+                140,
+                140,
+                0.08,
+                0.14e-15,
+                0.065e-15,
+            ),
         ];
         let rules = DesignRules::for_layers(&layers);
         Self {
@@ -223,7 +255,10 @@ mod tests {
     fn ground_cap_magnitude() {
         let t = Technology::nm40();
         let c = t.wire_ground_cap(0, 10_000); // 10 µm
-        assert!(c > 1e-15 && c < 1e-14, "10 µm of M1 should be ~1.9 fF, got {c}");
+        assert!(
+            c > 1e-15 && c < 1e-14,
+            "10 µm of M1 should be ~1.9 fF, got {c}"
+        );
     }
 
     #[test]

@@ -74,11 +74,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "metric", "MagicalRoute", "AnalogFold", "better?"
     );
     let rows = [
-        ("Offset Voltage (uV)", base.offset_uv, ours.offset_uv, ours.offset_uv < base.offset_uv),
-        ("CMRR (dB)", base.cmrr_db, ours.cmrr_db, ours.cmrr_db > base.cmrr_db),
-        ("BandWidth (MHz)", base.bandwidth_mhz, ours.bandwidth_mhz, ours.bandwidth_mhz > base.bandwidth_mhz),
-        ("DC Gain (dB)", base.dc_gain_db, ours.dc_gain_db, ours.dc_gain_db > base.dc_gain_db),
-        ("Noise (uVrms)", base.noise_uvrms, ours.noise_uvrms, ours.noise_uvrms < base.noise_uvrms),
+        (
+            "Offset Voltage (uV)",
+            base.offset_uv,
+            ours.offset_uv,
+            ours.offset_uv < base.offset_uv,
+        ),
+        (
+            "CMRR (dB)",
+            base.cmrr_db,
+            ours.cmrr_db,
+            ours.cmrr_db > base.cmrr_db,
+        ),
+        (
+            "BandWidth (MHz)",
+            base.bandwidth_mhz,
+            ours.bandwidth_mhz,
+            ours.bandwidth_mhz > base.bandwidth_mhz,
+        ),
+        (
+            "DC Gain (dB)",
+            base.dc_gain_db,
+            ours.dc_gain_db,
+            ours.dc_gain_db > base.dc_gain_db,
+        ),
+        (
+            "Noise (uVrms)",
+            base.noise_uvrms,
+            ours.noise_uvrms,
+            ours.noise_uvrms < base.noise_uvrms,
+        ),
     ];
     for (name, b, o, better) in rows {
         println!(

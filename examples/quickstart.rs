@@ -55,10 +55,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let post = simulate(&circuit, Some(&parasitics), &cfg)?;
 
     println!("\n{:<22}{:>14}{:>14}", "metric", "schematic", "post-layout");
-    println!("{:<22}{:>14.3}{:>14.3}", "Offset Voltage (uV)", schematic.offset_uv, post.offset_uv);
-    println!("{:<22}{:>14.2}{:>14.2}", "CMRR (dB)", schematic.cmrr_db, post.cmrr_db);
-    println!("{:<22}{:>14.2}{:>14.2}", "BandWidth (MHz)", schematic.bandwidth_mhz, post.bandwidth_mhz);
-    println!("{:<22}{:>14.2}{:>14.2}", "DC Gain (dB)", schematic.dc_gain_db, post.dc_gain_db);
-    println!("{:<22}{:>14.1}{:>14.1}", "Noise (uVrms)", schematic.noise_uvrms, post.noise_uvrms);
+    println!(
+        "{:<22}{:>14.3}{:>14.3}",
+        "Offset Voltage (uV)", schematic.offset_uv, post.offset_uv
+    );
+    println!(
+        "{:<22}{:>14.2}{:>14.2}",
+        "CMRR (dB)", schematic.cmrr_db, post.cmrr_db
+    );
+    println!(
+        "{:<22}{:>14.2}{:>14.2}",
+        "BandWidth (MHz)", schematic.bandwidth_mhz, post.bandwidth_mhz
+    );
+    println!(
+        "{:<22}{:>14.2}{:>14.2}",
+        "DC Gain (dB)", schematic.dc_gain_db, post.dc_gain_db
+    );
+    println!(
+        "{:<22}{:>14.1}{:>14.1}",
+        "Noise (uVrms)", schematic.noise_uvrms, post.noise_uvrms
+    );
     Ok(())
 }

@@ -57,7 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "scenario", "wire(um)", "vias", "offset(uV)", "noise(uV)"
     );
     for (i, (name, guidance)) in scenarios.iter().enumerate() {
-        let layout = route(&circuit, &placement, &tech, guidance, &RouterConfig::default())?;
+        let layout = route(
+            &circuit,
+            &placement,
+            &tech,
+            guidance,
+            &RouterConfig::default(),
+        )?;
         let px = extract(&circuit, &tech, &layout);
         let perf = simulate(&circuit, Some(&px), &SimConfig::default())?;
         println!(

@@ -5,8 +5,8 @@
 //! analogfold-cli route    <OTA1..OTA4> <A..D> [--svg FILE] [--def FILE] [--report]
 //! analogfold-cli simulate <OTA1..OTA4> [A..D] [--schematic]
 //! analogfold-cli spice    <OTA1..OTA4> [A..D] [--schematic] [--out FILE]
-//! analogfold-cli train    <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--out FILE]
-//! analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N]
+//! analogfold-cli train    <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--threads N] [--out FILE]
+//! analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N] [--threads N]
 //! analogfold-cli bench-info
 //! ```
 
@@ -20,9 +20,7 @@ use analogfold_suite::analogfold::{
 use analogfold_suite::extract::extract;
 use analogfold_suite::netlist::{benchmarks, Circuit, DeviceKind};
 use analogfold_suite::place::{place, Placement};
-use analogfold_suite::route::{
-    render_svg, route, write_def, RouterConfig, RoutingGuidance,
-};
+use analogfold_suite::route::{render_svg, route, write_def, RouterConfig, RoutingGuidance};
 use analogfold_suite::sim::{psrr_db, simulate, to_spice, Performance, SimConfig};
 use analogfold_suite::tech::Technology;
 
@@ -43,8 +41,8 @@ const USAGE: &str = "usage:
   analogfold-cli route    <OTA1..OTA4> <A..D> [--svg FILE] [--def FILE] [--report]
   analogfold-cli simulate <OTA1..OTA4> [A..D] [--schematic]
   analogfold-cli spice    <OTA1..OTA4> [A..D] [--schematic] [--out FILE]
-  analogfold-cli train    <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--out FILE]
-  analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N]
+  analogfold-cli train    <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--threads N] [--out FILE]
+  analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N] [--threads N]
   analogfold-cli bench-info";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -68,7 +66,9 @@ fn parse_circuit(args: &[String]) -> Result<Circuit, String> {
     benchmarks::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))
 }
 
-use analogfold_suite::cli::{flag_num, flag_value, has_flag, variant_arg as parse_variant};
+use analogfold_suite::cli::{
+    flag_num, flag_value, has_flag, threads_flag, variant_arg as parse_variant,
+};
 
 fn print_perf(label: &str, p: &Performance) {
     println!("{label}:");
@@ -85,8 +85,7 @@ fn routed(
     tech: &Technology,
     guidance: &RoutingGuidance,
 ) -> Result<analogfold_suite::route::RoutedLayout, String> {
-    route(circuit, placement, tech, guidance, &RouterConfig::default())
-        .map_err(|e| e.to_string())
+    route(circuit, placement, tech, guidance, &RouterConfig::default()).map_err(|e| e.to_string())
 }
 
 fn cmd_route(args: &[String]) -> Result<(), String> {
@@ -172,6 +171,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let variant = parse_variant(args, 1);
     let samples = flag_num(args, "--samples", 40);
     let epochs = flag_num(args, "--epochs", 20);
+    let threads = threads_flag(args);
     let out = flag_value(args, "--out").unwrap_or("analogfold-model.json");
 
     let tech = Technology::nm40();
@@ -185,6 +185,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         &graph,
         &DatasetConfig {
             samples,
+            threads,
             ..DatasetConfig::default()
         },
     )
@@ -209,6 +210,7 @@ fn cmd_guide(args: &[String]) -> Result<(), String> {
     let variant = parse_variant(args, 1);
     let model_path = flag_value(args, "--model").ok_or("missing --model FILE")?;
     let restarts = flag_num(args, "--restarts", 12);
+    let threads = threads_flag(args);
 
     let tech = Technology::nm40();
     let placement = place(&circuit, variant);
@@ -220,6 +222,7 @@ fn cmd_guide(args: &[String]) -> Result<(), String> {
         &RelaxConfig {
             restarts,
             n_derive: 1,
+            threads,
             ..RelaxConfig::default()
         },
     );

@@ -34,6 +34,15 @@ pub fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// Parses the `--threads N` worker-count flag. `0` (also the default when
+/// the flag is absent or malformed) means "auto": the `afrt` runtime then
+/// honors the `AFRT_THREADS` environment variable and finally falls back to
+/// the hardware parallelism. Every thread count produces bit-identical
+/// results; the flag only changes wall-clock time.
+pub fn threads_flag(args: &[String]) -> usize {
+    flag_num(args, "--threads", 0)
+}
+
 /// Parses a placement-variant positional argument (defaults to `A`).
 pub fn variant_arg(args: &[String], idx: usize) -> PlacementVariant {
     args.get(idx)
@@ -73,6 +82,18 @@ mod tests {
         let args = argv(&["--report", "--svg"]);
         assert!(has_flag(&args, "--report"));
         assert!(!has_flag(&args, "--rep"));
+    }
+
+    #[test]
+    fn threads_flag_parsing() {
+        assert_eq!(threads_flag(&argv(&["train", "OTA1", "--threads", "8"])), 8);
+        assert_eq!(threads_flag(&argv(&["train", "OTA1"])), 0, "absent is auto");
+        assert_eq!(
+            threads_flag(&argv(&["--threads", "many"])),
+            0,
+            "malformed is auto"
+        );
+        assert_eq!(threads_flag(&argv(&["--threads", "0"])), 0);
     }
 
     #[test]

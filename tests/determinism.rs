@@ -3,8 +3,8 @@
 //! weights, and derived guidance.
 
 use analogfold_suite::analogfold::{
-    generate_dataset, AnalogFoldFlow, DatasetConfig, FlowConfig, GnnConfig, HeteroGraph,
-    RelaxConfig,
+    generate_dataset, relax, AnalogFoldFlow, DatasetConfig, FlowConfig, GnnConfig, HeteroGraph,
+    Potential, RelaxConfig, ThreeDGnn,
 };
 use analogfold_suite::extract::extract;
 use analogfold_suite::netlist::benchmarks;
@@ -19,8 +19,14 @@ fn placement_routing_extraction_simulation_deterministic() {
     let tech = Technology::nm40();
     let run = || {
         let p = place(&circuit, PlacementVariant::C);
-        let l = route(&circuit, &p, &tech, &RoutingGuidance::None, &RouterConfig::default())
-            .unwrap();
+        let l = route(
+            &circuit,
+            &p,
+            &tech,
+            &RoutingGuidance::None,
+            &RouterConfig::default(),
+        )
+        .unwrap();
         let x = extract(&circuit, &tech, &l);
         let perf = simulate(&circuit, Some(&x), &SimConfig::default()).unwrap();
         (p, l, perf)
@@ -69,9 +75,85 @@ fn dataset_and_flow_deterministic() {
         },
         ..FlowConfig::default()
     };
-    let o1 = AnalogFoldFlow::new(cfg()).run(&circuit, &placement).unwrap();
-    let o2 = AnalogFoldFlow::new(cfg()).run(&circuit, &placement).unwrap();
+    let o1 = AnalogFoldFlow::new(cfg())
+        .run(&circuit, &placement)
+        .unwrap();
+    let o2 = AnalogFoldFlow::new(cfg())
+        .run(&circuit, &placement)
+        .unwrap();
     assert_eq!(o1.guidance, o2.guidance);
     assert_eq!(o1.performance, o2.performance);
     assert_eq!(o1.layout.nets, o2.layout.nets);
+}
+
+/// The `afrt` contract applied to relaxation: one worker and eight workers
+/// must produce bit-identical pools for the same root seed.
+#[test]
+fn relaxation_thread_count_invariant() {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 2);
+    let gnn = ThreeDGnn::new(&GnnConfig {
+        hidden: 8,
+        layers: 1,
+        ..GnnConfig::default()
+    });
+    let potential = Potential::new(&gnn, &graph);
+    let run = |threads: usize| {
+        relax(
+            &potential,
+            &RelaxConfig {
+                restarts: 8,
+                pool_size: 4,
+                n_derive: 3,
+                lbfgs_iters: 8,
+                threads,
+                ..RelaxConfig::default()
+            },
+        )
+    };
+    let seq = run(1);
+    let par = run(8);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.guidance, b.guidance, "guidance must be bit-identical");
+        assert!(
+            a.potential.to_bits() == b.potential.to_bits(),
+            "potential must be bit-identical: {} vs {}",
+            a.potential,
+            b.potential
+        );
+    }
+}
+
+/// The `afrt` contract applied to dataset generation: per-sample seed
+/// splitting makes the dataset independent of the worker count.
+#[test]
+fn dataset_generation_thread_count_invariant() {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 2);
+    let run = |threads: usize| {
+        generate_dataset(
+            &circuit,
+            &placement,
+            &tech,
+            &graph,
+            &DatasetConfig {
+                samples: 6,
+                threads,
+                ..DatasetConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let seq = run(1);
+    let par = run(8);
+    assert_eq!(seq.samples.len(), par.samples.len());
+    for (a, b) in seq.samples.iter().zip(&par.samples) {
+        assert_eq!(a.guidance, b.guidance, "sampled guidance must match");
+        assert_eq!(a.performance, b.performance, "labels must match");
+    }
 }

@@ -39,10 +39,8 @@ fn model_transfers_across_placements() {
     gnn.train(&graph_a, &dataset, &gnn_cfg);
 
     // Persist + reload.
-    let path = std::env::temp_dir().join(format!(
-        "analogfold-transfer-{}.json",
-        std::process::id()
-    ));
+    let path =
+        std::env::temp_dir().join(format!("analogfold-transfer-{}.json", std::process::id()));
     gnn.save(&path).unwrap();
     let loaded = ThreeDGnn::load(&path).unwrap();
     std::fs::remove_file(&path).ok();

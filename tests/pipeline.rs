@@ -42,7 +42,11 @@ fn all_benchmarks_route_extract_simulate() {
 
         // physics sanity: parasitics can only hurt gain/bandwidth and create
         // offset
-        assert!(post.dc_gain_db <= schematic.dc_gain_db + 0.5, "{}", circuit.name());
+        assert!(
+            post.dc_gain_db <= schematic.dc_gain_db + 0.5,
+            "{}",
+            circuit.name()
+        );
         // Coupling capacitance can create high-frequency feedthrough that
         // extends the unity crossing past the schematic value (a real
         // measurement artifact), so the bound is loose on the high side.
@@ -54,7 +58,11 @@ fn all_benchmarks_route_extract_simulate() {
             schematic.bandwidth_mhz
         );
         assert_eq!(schematic.offset_uv, 0.0);
-        assert!(post.offset_uv > 0.0, "{}: routing must create offset", circuit.name());
+        assert!(
+            post.offset_uv > 0.0,
+            "{}: routing must create offset",
+            circuit.name()
+        );
         assert!(post.cmrr_db <= schematic.cmrr_db, "{}", circuit.name());
     }
 }
@@ -93,7 +101,10 @@ fn schematic_metric_relations_between_designs() {
     assert!(p1.cmrr_db > p2.cmrr_db, "OTA1 vs OTA2 CMRR");
     assert!(p1.dc_gain_db > p2.dc_gain_db, "OTA1 vs OTA2 gain");
     assert!(p3.bandwidth_mhz > p1.bandwidth_mhz, "telescopic is faster");
-    assert!(p4.bandwidth_mhz > p3.bandwidth_mhz * 0.8, "OTA4 comparable/faster");
+    assert!(
+        p4.bandwidth_mhz > p3.bandwidth_mhz * 0.8,
+        "OTA4 comparable/faster"
+    );
 }
 
 #[test]
@@ -102,7 +113,11 @@ fn placements_differ_and_affect_metrics() {
     let circuit = benchmarks::ota1();
     let cfg = SimConfig::default();
     let mut offsets = Vec::new();
-    for variant in [PlacementVariant::A, PlacementVariant::B, PlacementVariant::C] {
+    for variant in [
+        PlacementVariant::A,
+        PlacementVariant::B,
+        PlacementVariant::C,
+    ] {
         let placement = place(&circuit, variant);
         let layout = route(
             &circuit,

@@ -47,10 +47,7 @@ fn eval(op_mix: u8, data: &[f64]) -> (f64, Option<Vec<f64>>) {
         }
     };
     g.backward(y);
-    (
-        g.value(y).get(0, 0),
-        Some(g.grad(x).data().to_vec()),
-    )
+    (g.value(y).get(0, 0), Some(g.grad(x).data().to_vec()))
 }
 
 proptest! {

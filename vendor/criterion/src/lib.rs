@@ -1,0 +1,204 @@
+//! Offline vendored stand-in for the subset of `criterion` this workspace
+//! uses: `criterion_group!` / `criterion_main!`, [`Criterion`],
+//! benchmark groups, `bench_function`, `iter`, `iter_batched`, and
+//! [`BatchSize`].
+//!
+//! Behavior mirrors the real crate's two modes:
+//!
+//! - **bench mode** (`cargo bench`, i.e. a `--bench` argument is present):
+//!   each routine is warmed up once, then timed over an adaptive number of
+//!   iterations; mean wall-clock per iteration is printed.
+//! - **test mode** (`cargo test` runs the bench target without `--bench`):
+//!   each routine runs exactly once so the target is smoke-tested quickly.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted, not load-bearing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh input per iteration.
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// Opaque black box preventing the optimizer from deleting benchmark code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    bench_mode: bool,
+    /// Mean seconds per iteration of the last run.
+    last_mean_s: f64,
+}
+
+impl Bencher {
+    /// Times `routine` (one closure call = one iteration).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.bench_mode {
+            black_box(routine());
+            self.last_mean_s = 0.0;
+            return;
+        }
+        // Warm-up + calibration round.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~1 s of total measurement, capped at 50 iterations.
+        let iters = ((Duration::from_secs(1).as_nanos() / once.as_nanos()).max(1) as usize).min(50);
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.last_mean_s = t1.elapsed().as_secs_f64() / iters as f64;
+    }
+
+    /// Times `routine` with a fresh `setup` product per iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if !self.bench_mode {
+            black_box(routine(setup()));
+            self.last_mean_s = 0.0;
+            return;
+        }
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = ((Duration::from_secs(1).as_nanos() / once.as_nanos()).max(1) as usize).min(50);
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.last_mean_s = total.as_secs_f64() / iters as f64;
+    }
+}
+
+fn report(name: &str, mean_s: f64, bench_mode: bool) {
+    if bench_mode {
+        if mean_s >= 1.0 {
+            println!("{name:<44} {mean_s:>12.3} s/iter");
+        } else if mean_s >= 1e-3 {
+            println!("{name:<44} {:>12.3} ms/iter", mean_s * 1e3);
+        } else {
+            println!("{name:<44} {:>12.3} us/iter", mean_s * 1e6);
+        }
+    } else {
+        println!("{name:<44}          ok (test mode)");
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the vendored harness sizes runs itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op; symmetry with the real API).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            bench_mode: bench_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            bench_mode: self.bench_mode,
+            last_mean_s: 0.0,
+        };
+        f(&mut b);
+        report(name, b.last_mean_s, self.bench_mode);
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(id.as_ref(), f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Finalizes the run (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

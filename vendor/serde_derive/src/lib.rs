@@ -1,0 +1,505 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the workspace serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`
+//! available offline). Supports the shapes used in this repository:
+//!
+//! - structs with named fields,
+//! - tuple structs (newtype and general),
+//! - unit structs,
+//! - enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! `#[serde(...)]` attributes and generic parameters are intentionally not
+//! supported; the macro panics with a clear message if it meets them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(tree: &TokenTree, ch: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skips `#[...]` attribute groups starting at `i`; returns the new index.
+fn skip_attrs(trees: &[TokenTree], mut i: usize) -> usize {
+    while i < trees.len() && is_punct(&trees[i], '#') {
+        i += 1; // '#'
+        if i < trees.len() {
+            if let TokenTree::Group(g) = &trees[i] {
+                if g.delimiter() == Delimiter::Bracket {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(trees: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = trees.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = trees.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advances past type tokens until a top-level comma (or the end), tracking
+/// angle-bracket depth; returns the index of the comma or `trees.len()`.
+fn skip_type(trees: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut prev_dash = false;
+    while i < trees.len() {
+        match &trees[i] {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && depth == 0 {
+                    return i;
+                }
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' && !prev_dash {
+                    depth = depth.saturating_sub(1);
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses `name: Type, ...` named fields from a brace group body.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        i = skip_vis(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, got {other}"),
+        };
+        i += 1;
+        assert!(
+            i < body.len() && is_punct(&body[i], ':'),
+            "serde derive: expected `:` after field `{name}`"
+        );
+        i = skip_type(body, i + 1);
+        if i < body.len() {
+            i += 1; // the comma
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant from a paren body.
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    let mut count = 0;
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        i = skip_vis(body, i);
+        if i >= body.len() {
+            break;
+        }
+        count += 1;
+        i = skip_type(body, i);
+        if i < body.len() {
+            i += 1; // the comma
+        }
+    }
+    count
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Named(parse_named_fields(&inner))
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(tree) = body.get(i) {
+            if is_punct(tree, '=') {
+                panic!("serde derive: explicit discriminants are not supported");
+            }
+            assert!(
+                is_punct(tree, ','),
+                "serde derive: expected `,` after variant `{name}`"
+            );
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&trees, 0);
+    i = skip_vis(&trees, i);
+    let kind = match &trees[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &trees[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if i < trees.len() && is_punct(&trees[i], '<') {
+        panic!(
+            "serde derive: generic types are not supported by the vendored derive (type `{name}`)"
+        );
+    }
+    match (kind.as_str(), trees.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(&body)),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Item::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_fields(&body)),
+            }
+        }
+        ("struct", _) => Item::Struct {
+            name,
+            fields: Fields::Unit,
+        },
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Item::Enum {
+                name,
+                variants: parse_variants(&body),
+            }
+        }
+        _ => panic!("serde derive: unsupported item shape for `{name}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let pairs: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
+                        })
+                        .collect();
+                    format!("serde::Value::Map(vec![{}])", pairs.join(", "))
+                }
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),")
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Serialize::to_value(f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                                 serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Map(vec![(\"{vn}\"\
+                                 .to_string(), serde::Value::Map(vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Expression deserializing named fields from the map value expression `src`.
+fn named_fields_expr(type_path: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match {src}.get(\"{f}\") {{\n\
+                     Some(x) => serde::Deserialize::from_value(x)?,\n\
+                     None => serde::Deserialize::from_value(&serde::Value::Null).map_err(|_| \
+                         serde::DeError(format!(\"missing field `{f}`\")))?,\n\
+                 }}"
+            )
+        })
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let construct = named_fields_expr(name, names, "v");
+                    format!(
+                        "match v {{\n\
+                             serde::Value::Map(_) => Ok({construct}),\n\
+                             other => Err(serde::DeError::expected(\"object for {name}\", other)),\n\
+                         }}"
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             serde::Value::Seq(items) if items.len() == {n} => \
+                                 Ok({name}({})),\n\
+                             other => Err(serde::DeError::expected(\"{n}-element array for {name}\", other)),\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("serde::Value::Str(s) if s == \"{vn}\" => Ok({name}::{vn}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     serde::Value::Seq(items) if items.len() == {n} => \
+                                         Ok({name}::{vn}({})),\n\
+                                     other => Err(serde::DeError::expected(\"{n}-element array for \
+                                         {name}::{vn}\", other)),\n\
+                                 }},",
+                                items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let construct =
+                                named_fields_expr(&format!("{name}::{vn}"), fields, "inner");
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     serde::Value::Map(_) => Ok({construct}),\n\
+                                     other => Err(serde::DeError::expected(\"object for \
+                                         {name}::{vn}\", other)),\n\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         match v {{\n\
+                             {}\n\
+                             serde::Value::Map(pairs) if pairs.len() == 1 => {{\n\
+                                 let (tag, inner) = &pairs[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {}\n\
+                                     other => Err(serde::DeError(format!(\
+                                         \"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(serde::DeError::expected(\"variant of {name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    }
+}
+
+/// For unit-only enums, additionally implements `serde::MapKey` so the enum
+/// can key a `HashMap`/`BTreeMap` — real `serde_json` likewise renders such
+/// keys as the variant-name string.
+fn gen_map_key(item: &Item) -> Option<String> {
+    let Item::Enum { name, variants } = item else {
+        return None;
+    };
+    if variants.is_empty() || !variants.iter().all(|v| matches!(v.fields, Fields::Unit)) {
+        return None;
+    }
+    let to_arms: Vec<String> = variants
+        .iter()
+        .map(|v| format!("{name}::{vn} => \"{vn}\".to_string(),", vn = v.name))
+        .collect();
+    let from_arms: Vec<String> = variants
+        .iter()
+        .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+        .collect();
+    Some(format!(
+        "impl serde::MapKey for {name} {{\n\
+             fn to_key(&self) -> String {{ match self {{ {} }} }}\n\
+             fn from_key(s: &str) -> Result<Self, serde::DeError> {{\n\
+                 match s {{\n\
+                     {}\n\
+                     other => Err(serde::DeError(format!(\
+                         \"unknown map key `{{other}}` for {name}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        to_arms.join(" "),
+        from_arms.join("\n")
+    ))
+}
+
+/// Derives the workspace `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = gen_serialize(&item);
+    if let Some(map_key) = gen_map_key(&item) {
+        out.push('\n');
+        out.push_str(&map_key);
+    }
+    out.parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the workspace `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}
