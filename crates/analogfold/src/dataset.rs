@@ -189,6 +189,7 @@ impl Default for DatasetConfig {
 
 /// Error during dataset generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DatasetError {
     /// The router failed on a sample.
     Route(RouteError),
@@ -295,6 +296,7 @@ pub fn generate_dataset_checkpointed(
     cfg: &DatasetConfig,
     checkpoint: Option<&ShardStore>,
 ) -> Result<Dataset, DatasetError> {
+    let _gen = af_obs::span!("generate_dataset");
     let n_guided = graph.guided_ap_indices().len();
     let (lo, hi) = (cfg.c_low.ln(), cfg.c_high.ln());
     let runtime = afrt::Runtime::with_threads(cfg.threads);
@@ -312,6 +314,8 @@ pub fn generate_dataset_checkpointed(
         if let Some(store) = checkpoint {
             if let Ok(Some(shard)) = store.load_shard::<Vec<Sample>>(shard_index) {
                 if shard.len() == want && shard.iter().all(|s| s.guidance.len() == n_guided * 3) {
+                    af_obs::counter("dataset.shards_resumed", 1);
+                    af_obs::counter("dataset.samples_resumed", shard.len() as u64);
                     samples.extend(shard);
                     shard_index += 1;
                     start = end;
@@ -323,6 +327,7 @@ pub fn generate_dataset_checkpointed(
         let indices: Vec<usize> = (start..end).collect();
         let evaluated = runtime
             .par_map(&indices, |_, &i| {
+                let _s = af_obs::span!("sample", i);
                 let mut rng = ChaCha8Rng::seed_from_u64(afrt::split_seed(cfg.seed, i as u64));
                 let guidance: Vec<f64> = (0..n_guided * 3)
                     .map(|_| rng.gen_range(lo..=hi).exp())
@@ -343,11 +348,13 @@ pub fn generate_dataset_checkpointed(
             })
             .unwrap_or_else(|e| panic!("dataset generation failed: {e}"));
         let shard: Vec<Sample> = evaluated.into_iter().collect::<Result<_, DatasetError>>()?;
+        af_obs::counter("dataset.samples_generated", shard.len() as u64);
 
         if let Some(store) = checkpoint {
             store
                 .save_shard(shard_index, &shard)
                 .map_err(|e| DatasetError::Checkpoint(e.to_string()))?;
+            af_obs::counter("dataset.shards_written", 1);
         }
         samples.extend(shard);
         shard_index += 1;

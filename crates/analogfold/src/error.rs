@@ -1,0 +1,229 @@
+//! The crate-level error type.
+//!
+//! [`enum@Error`] unifies every failure the flow can surface —
+//! [`FlowError`], [`DatasetError`], [`PersistError`], [`RouteError`],
+//! [`SimError`], [`NetlistError`], and configuration validation — behind one
+//! enum, and each `From` conversion captures the observability span path
+//! active where the error occurred ([`af_obs::current_path`]; empty when
+//! recording is disabled). All error enums in the workspace, this one
+//! included, are `#[non_exhaustive]`: downstream matches must carry a
+//! wildcard arm so new failure modes are not breaking changes.
+
+use af_route::RouteError;
+use af_sim::SimError;
+
+use crate::dataset::DatasetError;
+use crate::flow::FlowError;
+use crate::persist::PersistError;
+
+/// Any failure of the AnalogFold flow, CLI, or persistence layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A flow-stage failure (routing/simulation inside the pipeline).
+    Flow {
+        /// Observability span path where the error occurred (`""` when
+        /// recording was disabled).
+        span: String,
+        /// The underlying failure.
+        source: FlowError,
+    },
+    /// Dataset generation failed.
+    Dataset {
+        /// Span path at the point of failure.
+        span: String,
+        /// The underlying failure.
+        source: DatasetError,
+    },
+    /// Model/dataset persistence failed.
+    Persist {
+        /// Span path at the point of failure.
+        span: String,
+        /// The underlying failure.
+        source: PersistError,
+    },
+    /// Detailed routing failed.
+    Route {
+        /// Span path at the point of failure.
+        span: String,
+        /// The underlying failure.
+        source: RouteError,
+    },
+    /// Circuit simulation failed.
+    Sim {
+        /// Span path at the point of failure.
+        span: String,
+        /// The underlying failure.
+        source: SimError,
+    },
+    /// Netlist construction/lookup failed.
+    Netlist {
+        /// Span path at the point of failure.
+        span: String,
+        /// The underlying failure.
+        source: af_netlist::NetlistError,
+    },
+    /// A configuration was rejected at `build()`/validation time.
+    Config {
+        /// Span path at the point of failure.
+        span: String,
+        /// What was invalid.
+        message: String,
+    },
+}
+
+impl Error {
+    /// The observability span path where the error occurred (`""` when
+    /// recording was disabled at that point).
+    #[must_use]
+    pub fn span(&self) -> &str {
+        match self {
+            Error::Flow { span, .. }
+            | Error::Dataset { span, .. }
+            | Error::Persist { span, .. }
+            | Error::Route { span, .. }
+            | Error::Sim { span, .. }
+            | Error::Netlist { span, .. }
+            | Error::Config { span, .. } => span,
+        }
+    }
+
+    /// A configuration error at the current span path.
+    #[must_use]
+    pub fn config(message: impl Into<String>) -> Self {
+        Error::Config {
+            span: af_obs::current_path(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (what, span): (&dyn std::fmt::Display, &str) = match self {
+            Error::Flow { span, source } => (source, span),
+            Error::Dataset { span, source } => (source, span),
+            Error::Persist { span, source } => (source, span),
+            Error::Route { span, source } => (source, span),
+            Error::Sim { span, source } => (source, span),
+            Error::Netlist { span, source } => (source, span),
+            Error::Config { span, message } => {
+                if span.is_empty() {
+                    return write!(f, "invalid configuration: {message}");
+                }
+                return write!(f, "invalid configuration (at `{span}`): {message}");
+            }
+        };
+        if span.is_empty() {
+            write!(f, "{what}")
+        } else {
+            write!(f, "{what} (at `{span}`)")
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Flow { source, .. } => Some(source),
+            Error::Dataset { source, .. } => Some(source),
+            Error::Persist { source, .. } => Some(source),
+            Error::Route { source, .. } => Some(source),
+            Error::Sim { source, .. } => Some(source),
+            Error::Netlist { source, .. } => Some(source),
+            Error::Config { .. } => None,
+        }
+    }
+}
+
+impl From<FlowError> for Error {
+    fn from(source: FlowError) -> Self {
+        // Promote the inner failure to the dedicated variant so callers can
+        // match the root cause without unwrapping two layers.
+        match source {
+            FlowError::Route(e) => Error::from(e),
+            FlowError::Sim(e) => Error::from(e),
+            other => Error::Flow {
+                span: af_obs::current_path(),
+                source: other,
+            },
+        }
+    }
+}
+
+impl From<DatasetError> for Error {
+    fn from(source: DatasetError) -> Self {
+        Error::Dataset {
+            span: af_obs::current_path(),
+            source,
+        }
+    }
+}
+
+impl From<PersistError> for Error {
+    fn from(source: PersistError) -> Self {
+        Error::Persist {
+            span: af_obs::current_path(),
+            source,
+        }
+    }
+}
+
+impl From<RouteError> for Error {
+    fn from(source: RouteError) -> Self {
+        Error::Route {
+            span: af_obs::current_path(),
+            source,
+        }
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(source: SimError) -> Self {
+        Error::Sim {
+            span: af_obs::current_path(),
+            source,
+        }
+    }
+}
+
+impl From<af_netlist::NetlistError> for Error {
+    fn from(source: af_netlist::NetlistError) -> Self {
+        Error::Netlist {
+            span: af_obs::current_path(),
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_capture_span_and_source() {
+        let e = Error::from(SimError::Singular);
+        assert_eq!(e.span(), "", "obs disabled => empty span");
+        assert!(matches!(e, Error::Sim { .. }));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = Error::from(FlowError::Sim(SimError::Singular));
+        assert!(matches!(e, Error::Sim { .. }), "flow wrapper unwrapped");
+    }
+
+    #[test]
+    fn display_includes_span_when_present() {
+        let e = Error::Route {
+            span: "flow/guided_route".into(),
+            source: RouteError::Unroutable {
+                net: af_netlist::NetId::new(0),
+                name: "out".into(),
+            },
+        };
+        let text = e.to_string();
+        assert!(text.contains("flow/guided_route"), "{text}");
+        let c = Error::config("samples must be >= 1");
+        assert!(c.to_string().contains("samples must be >= 1"));
+        assert_eq!(c.span(), "");
+    }
+}

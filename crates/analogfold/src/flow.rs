@@ -1,7 +1,7 @@
 //! The end-to-end AnalogFold flow (paper Fig. 1(c) and Fig. 2) with the
 //! runtime breakdown of Fig. 5.
 
-use std::time::Instant;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -13,11 +13,31 @@ use af_sim::{simulate, Performance, SimConfig, SimError};
 use af_tech::Technology;
 
 use crate::dataset::{generate_dataset, guidance_field, DatasetConfig, DatasetError};
+use crate::error::Error;
 use crate::gnn::{GnnConfig, ThreeDGnn, TrainReport};
 use crate::hetero::HeteroGraph;
 use crate::potential::{relax_seeded, Potential, RelaxConfig};
 
+/// A shareable observability sink carried inside [`FlowConfig`].
+///
+/// Wraps an [`af_obs::Sink`] so the config stays `Clone` + `Debug`. When
+/// set, [`AnalogFoldFlow::run`] installs the sink for the duration of the
+/// run (see [`af_obs::install`]) and every stage, restart, and router
+/// iteration records into it.
+#[derive(Clone)]
+pub struct ObsSinkHandle(pub Arc<dyn af_obs::Sink>);
+
+impl std::fmt::Debug for ObsSinkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ObsSinkHandle(..)")
+    }
+}
+
 /// Configuration of the full flow.
+///
+/// Prefer [`FlowConfig::builder`], which validates at `build()` time; the
+/// struct itself stays public (and fully field-constructible) for
+/// backwards compatibility.
 #[derive(Debug, Clone, Default)]
 pub struct FlowConfig {
     /// Technology (defaults to the 40 nm-class stack).
@@ -37,9 +57,18 @@ pub struct FlowConfig {
     /// Wall-clock seconds spent on placement (reported in the Fig. 5
     /// breakdown; the flow itself takes the placement as input).
     pub placement_s: f64,
+    /// Observability sink; when set, [`AnalogFoldFlow::run`] records spans
+    /// and metrics into it. `None` (the default) keeps recording disabled.
+    pub obs: Option<ObsSinkHandle>,
 }
 
 impl FlowConfig {
+    /// Fluent builder with `build()`-time validation.
+    #[must_use]
+    pub fn builder() -> FlowConfigBuilder {
+        FlowConfigBuilder::default()
+    }
+
     /// Sets the worker-thread count on every parallel stage of the flow
     /// (dataset generation, relaxation restarts, candidate evaluation).
     /// `0` means auto (`AFRT_THREADS`, then hardware parallelism).
@@ -48,6 +77,169 @@ impl FlowConfig {
         self.dataset.threads = n;
         self.relax.threads = n;
         self
+    }
+}
+
+/// Fluent builder for [`FlowConfig`]; created by [`FlowConfig::builder`].
+///
+/// ```
+/// use analogfold::FlowConfig;
+/// let cfg = FlowConfig::builder()
+///     .samples(40)
+///     .epochs(20)
+///     .threads(8)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.dataset.samples, 40);
+/// assert_eq!(cfg.relax.threads, 8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowConfigBuilder {
+    cfg: FlowConfig,
+}
+
+impl FlowConfigBuilder {
+    /// Technology stack (defaults to the 40 nm-class stack).
+    #[must_use]
+    pub fn tech(mut self, tech: Technology) -> Self {
+        self.cfg.tech = tech;
+        self
+    }
+
+    /// Cross-net kNN edges per access point (`0` resolves to the default 3).
+    #[must_use]
+    pub fn graph_knn(mut self, k: usize) -> Self {
+        self.cfg.graph_knn = k;
+        self
+    }
+
+    /// Number of training samples to generate.
+    #[must_use]
+    pub fn samples(mut self, n: usize) -> Self {
+        self.cfg.dataset.samples = n;
+        self
+    }
+
+    /// GNN training epochs.
+    #[must_use]
+    pub fn epochs(mut self, n: usize) -> Self {
+        self.cfg.gnn.epochs = n;
+        self
+    }
+
+    /// Relaxation restarts.
+    #[must_use]
+    pub fn restarts(mut self, n: usize) -> Self {
+        self.cfg.relax.restarts = n;
+        self
+    }
+
+    /// Guidance candidates derived from the relaxation pool.
+    #[must_use]
+    pub fn n_derive(mut self, n: usize) -> Self {
+        self.cfg.relax.n_derive = n;
+        self
+    }
+
+    /// Root seed, split across the dataset / GNN / relaxation stages with
+    /// the same per-stage XOR tweaks the bench harness uses.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.dataset.seed = seed;
+        self.cfg.gnn.seed = seed ^ 0x6e6e;
+        self.cfg.relax.seed = seed ^ 0x7e1a;
+        self
+    }
+
+    /// Worker threads for every parallel stage (`0` = auto).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg = self.cfg.with_threads(n);
+        self
+    }
+
+    /// Placement wall-clock seconds for the Fig. 5 breakdown.
+    #[must_use]
+    pub fn placement_s(mut self, s: f64) -> Self {
+        self.cfg.placement_s = s;
+        self
+    }
+
+    /// Replaces the whole dataset section.
+    #[must_use]
+    pub fn dataset(mut self, dataset: DatasetConfig) -> Self {
+        self.cfg.dataset = dataset;
+        self
+    }
+
+    /// Replaces the whole GNN section.
+    #[must_use]
+    pub fn gnn(mut self, gnn: GnnConfig) -> Self {
+        self.cfg.gnn = gnn;
+        self
+    }
+
+    /// Replaces the whole relaxation section.
+    #[must_use]
+    pub fn relax(mut self, relax: RelaxConfig) -> Self {
+        self.cfg.relax = relax;
+        self
+    }
+
+    /// Replaces the router section.
+    #[must_use]
+    pub fn router(mut self, router: RouterConfig) -> Self {
+        self.cfg.router = router;
+        self
+    }
+
+    /// Replaces the simulator section.
+    #[must_use]
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.cfg.sim = sim;
+        self
+    }
+
+    /// Observability sink installed for the duration of each run.
+    #[must_use]
+    pub fn obs(mut self, sink: Arc<dyn af_obs::Sink>) -> Self {
+        self.cfg.obs = Some(ObsSinkHandle(sink));
+        self
+    }
+
+    /// Validates and finalizes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] when a section is inconsistent (zero samples,
+    /// zero epochs/restarts, `n_derive` exceeding `restarts`, or an
+    /// invalid router configuration).
+    pub fn build(self) -> Result<FlowConfig, Error> {
+        let cfg = self.cfg;
+        if cfg.dataset.samples == 0 {
+            return Err(Error::config("dataset.samples must be >= 1"));
+        }
+        if cfg.gnn.epochs == 0 {
+            return Err(Error::config("gnn.epochs must be >= 1"));
+        }
+        if cfg.relax.restarts == 0 {
+            return Err(Error::config("relax.restarts must be >= 1"));
+        }
+        if cfg.relax.n_derive == 0 {
+            return Err(Error::config("relax.n_derive must be >= 1"));
+        }
+        if cfg.relax.n_derive > cfg.relax.restarts {
+            return Err(Error::config(format!(
+                "relax.n_derive ({}) cannot exceed relax.restarts ({})",
+                cfg.relax.n_derive, cfg.relax.restarts
+            )));
+        }
+        cfg.router.validate().map_err(Error::config)?;
+        cfg.dataset
+            .router
+            .validate()
+            .map_err(|e| Error::config(format!("dataset.router: {e}")))?;
+        Ok(cfg)
     }
 }
 
@@ -91,7 +283,12 @@ impl RuntimeBreakdown {
 }
 
 /// Errors of the flow.
+///
+/// Non-exhaustive, like every error enum in the workspace: match with a
+/// wildcard arm. Prefer the unified [`enum@crate::Error`] (which
+/// [`AnalogFoldFlow::run`] returns) for new code.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FlowError {
     /// Data generation failed.
     Dataset(String),
@@ -169,21 +366,30 @@ impl AnalogFoldFlow {
     ///
     /// # Errors
     ///
-    /// Any routing or simulation failure is propagated.
-    pub fn run(&self, circuit: &Circuit, placement: &Placement) -> Result<FlowOutcome, FlowError> {
+    /// Any routing or simulation failure is propagated as the unified
+    /// [`enum@Error`], carrying the observability span path where it
+    /// occurred when recording is enabled.
+    pub fn run(&self, circuit: &Circuit, placement: &Placement) -> Result<FlowOutcome, Error> {
         let cfg = &self.cfg;
+        // When the config carries a sink, recording is enabled for exactly
+        // this run; the guard flushes aggregated metrics on drop.
+        let _obs = cfg.obs.as_ref().map(|h| af_obs::install(Arc::clone(&h.0)));
+        let _flow = af_obs::span!("flow");
+        af_obs::record_span("placement", cfg.placement_s);
 
         // 1. Construct database (graph + features).
-        let t0 = Instant::now();
-        let graph = HeteroGraph::build(circuit, placement, &cfg.tech, cfg.graph_knn);
-        let construct_db_s = t0.elapsed().as_secs_f64();
+        let (graph, construct_db_s) = af_obs::timed_span("construct_db", || {
+            HeteroGraph::build(circuit, placement, &cfg.tech, cfg.graph_knn)
+        });
 
         // 2. Dataset + training.
-        let t1 = Instant::now();
-        let dataset = generate_dataset(circuit, placement, &cfg.tech, &graph, &cfg.dataset)?;
-        let mut gnn = ThreeDGnn::new(&cfg.gnn);
-        let train_report = gnn.train(&graph, &dataset, &cfg.gnn);
-        let training_s = t1.elapsed().as_secs_f64();
+        let (trained, training_s) = af_obs::timed_span("training", || {
+            let dataset = generate_dataset(circuit, placement, &cfg.tech, &graph, &cfg.dataset)?;
+            let mut gnn = ThreeDGnn::new(&cfg.gnn);
+            let train_report = gnn.train(&graph, &dataset, &cfg.gnn);
+            Ok::<_, Error>((dataset, gnn, train_report))
+        });
+        let (dataset, gnn, train_report) = trained?;
 
         // Warm-start seeds: the best simulated guidance assignments from the
         // training set (the relaxation pool admits arbitrary initializers).
@@ -207,17 +413,21 @@ impl AnalogFoldFlow {
     ///
     /// # Errors
     ///
-    /// Any routing or simulation failure is propagated.
+    /// Any routing or simulation failure is propagated as the unified
+    /// [`enum@Error`].
     pub fn run_with_model(
         &self,
         circuit: &Circuit,
         placement: &Placement,
         gnn: &ThreeDGnn,
-    ) -> Result<FlowOutcome, FlowError> {
+    ) -> Result<FlowOutcome, Error> {
         let cfg = &self.cfg;
-        let t0 = Instant::now();
-        let graph = HeteroGraph::build(circuit, placement, &cfg.tech, cfg.graph_knn);
-        let construct_db_s = t0.elapsed().as_secs_f64();
+        let _obs = cfg.obs.as_ref().map(|h| af_obs::install(Arc::clone(&h.0)));
+        let _flow = af_obs::span!("flow");
+        af_obs::record_span("placement", cfg.placement_s);
+        let (graph, construct_db_s) = af_obs::timed_span("construct_db", || {
+            HeteroGraph::build(circuit, placement, &cfg.tech, cfg.graph_knn)
+        });
         let empty_report = TrainReport {
             epoch_losses: Vec::new(),
             final_loss: f64::NAN,
@@ -247,39 +457,42 @@ impl AnalogFoldFlow {
         construct_db_s: f64,
         training_s: f64,
         seeds: Vec<Vec<f64>>,
-    ) -> Result<FlowOutcome, FlowError> {
+    ) -> Result<FlowOutcome, Error> {
         let cfg = &self.cfg;
 
         // Guidance generation by potential relaxation.
-        let t2 = Instant::now();
-        let potential = Potential::new(&gnn, &graph);
-        let candidates = relax_seeded(&potential, &cfg.relax, &seeds);
-        let guide_gen_s = t2.elapsed().as_secs_f64();
+        let ((candidates, potential), guide_gen_s) = af_obs::timed_span("guide_gen", || {
+            let potential = Potential::new(&gnn, &graph);
+            let candidates = relax_seeded(&potential, &cfg.relax, &seeds);
+            (candidates, potential)
+        });
 
         // Guided routing: evaluate the derived candidates concurrently,
         // keep the best (ties break toward the lower-potential candidate,
         // i.e. the lower index, matching the old sequential scan).
-        let t3 = Instant::now();
         let stats = gnn.stats().clone();
         let weights = potential.weights;
         let runtime = afrt::Runtime::with_threads(cfg.relax.threads);
-        let evaluated = runtime
-            .par_map(&candidates, |_, cand| {
-                let field = RoutingGuidance::NonUniform(guidance_field(&graph, &cand.guidance));
-                let layout = route(circuit, placement, &cfg.tech, &field, &cfg.router)
-                    .map_err(FlowError::Route)?;
-                let parasitics = extract(circuit, &cfg.tech, &layout);
-                let perf =
-                    simulate(circuit, Some(&parasitics), &cfg.sim).map_err(FlowError::Sim)?;
-                let normalized = stats.normalize(&perf.as_array());
-                let score: f64 = normalized
-                    .iter()
-                    .zip(weights.iter())
-                    .map(|(y, w)| y * w)
-                    .sum();
-                Ok::<_, FlowError>((score, cand.guidance.clone(), layout, parasitics, perf))
-            })
-            .unwrap_or_else(|e| panic!("candidate evaluation failed: {e}"));
+        let (evaluated, guided_route_s) = af_obs::timed_span("guided_route", || {
+            runtime
+                .par_map(&candidates, |i, cand| {
+                    let _s = af_obs::span!("candidate", i);
+                    let field = RoutingGuidance::NonUniform(guidance_field(&graph, &cand.guidance));
+                    let layout = route(circuit, placement, &cfg.tech, &field, &cfg.router)
+                        .map_err(Error::from)?;
+                    let parasitics = extract(circuit, &cfg.tech, &layout);
+                    let perf =
+                        simulate(circuit, Some(&parasitics), &cfg.sim).map_err(Error::from)?;
+                    let normalized = stats.normalize(&perf.as_array());
+                    let score: f64 = normalized
+                        .iter()
+                        .zip(weights.iter())
+                        .map(|(y, w)| y * w)
+                        .sum();
+                    Ok::<_, Error>((score, cand.guidance.clone(), layout, parasitics, perf))
+                })
+                .unwrap_or_else(|e| panic!("candidate evaluation failed: {e}"))
+        });
         let mut best: Option<(f64, Vec<f64>, RoutedLayout, Parasitics, Performance)> = None;
         for result in evaluated {
             let (score, guidance, layout, parasitics, perf) = result?;
@@ -290,7 +503,6 @@ impl AnalogFoldFlow {
         }
         let (_, guidance, layout, parasitics, performance) =
             best.expect("relaxation produced at least one candidate");
-        let guided_route_s = t3.elapsed().as_secs_f64();
 
         Ok(FlowOutcome {
             guidance,

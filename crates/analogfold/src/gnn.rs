@@ -502,10 +502,12 @@ impl ThreeDGnn {
             &g,
         );
 
+        let _train = af_obs::span!("gnn_train");
         let mut order: Vec<usize> = (0..dataset.samples.len()).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xdead);
         let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-        for _ in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
+            let _e = af_obs::span!("epoch", epoch);
             use rand::seq::SliceRandom;
             order.shuffle(&mut rng);
             let mut total = 0.0;
@@ -590,6 +592,9 @@ impl ThreeDGnn {
         guidance: &[f64],
         weights: &[f64; 5],
     ) -> (f64, Vec<f64>) {
+        // The relaxation's hot path: time surrogate evaluations only when
+        // recording is on (the measured wall time never feeds the result).
+        let t0 = af_obs::enabled().then(std::time::Instant::now);
         let mut g = Graph::new();
         let c = g.param(Tensor::from_vec(
             guidance.to_vec(),
@@ -602,6 +607,10 @@ impl ThreeDGnn {
         let weighted = g.mul(pred, w);
         let fom = g.sum(weighted);
         g.backward(fom);
+        if let Some(t0) = t0 {
+            af_obs::hist("gnn.fom_grad_us", t0.elapsed().as_secs_f64() * 1e6);
+            af_obs::counter("gnn.fom_grad_evals", 1);
+        }
         (g.value(fom).get(0, 0), g.grad(c).data().to_vec())
     }
 

@@ -35,13 +35,20 @@
 //!
 //! let circuit = benchmarks::ota1();
 //! let placement = place(&circuit, PlacementVariant::A);
-//! let mut cfg = FlowConfig::default();
-//! cfg.dataset.samples = 40; // laptop-scale
+//! let cfg = FlowConfig::builder()
+//!     .samples(40) // laptop-scale
+//!     .build()
+//!     .unwrap();
 //! let outcome = AnalogFoldFlow::new(cfg).run(&circuit, &placement).unwrap();
 //! println!("AnalogFold: {:?}", outcome.performance);
 //! ```
+//!
+//! Every fallible entry point returns the unified [`enum@Error`], which
+//! carries the observability span path active at the failure site when an
+//! [`af_obs`] sink is installed (see `FlowConfigBuilder::obs`).
 
 mod dataset;
+mod error;
 mod evaluate;
 mod flow;
 mod genius;
@@ -54,9 +61,11 @@ pub use dataset::{
     generate_dataset, generate_dataset_checkpointed, generate_dataset_multi, guidance_field,
     guidance_field_for, Dataset, DatasetConfig, DatasetError, Sample, TargetStats,
 };
+pub use error::Error;
 pub use evaluate::{holdout_mse, kfold_mse, summarize, DatasetSummary, KfoldReport, METRIC_NAMES};
 pub use flow::{
-    magical_route, AnalogFoldFlow, FlowConfig, FlowError, FlowOutcome, RuntimeBreakdown,
+    magical_route, AnalogFoldFlow, FlowConfig, FlowConfigBuilder, FlowError, FlowOutcome,
+    ObsSinkHandle, RuntimeBreakdown,
 };
 pub use genius::{GeniusConfig, GeniusRouteModel, NetClass};
 pub use gnn::{GnnConfig, GraphTensors, ThreeDGnn, TrainReport};

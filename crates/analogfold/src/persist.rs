@@ -17,6 +17,7 @@ use crate::gnn::ThreeDGnn;
 
 /// Persistence failure.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum PersistError {
     /// Filesystem failure.
     Io(std::io::Error),

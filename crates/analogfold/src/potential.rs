@@ -170,6 +170,7 @@ pub fn relax_seeded(
     cfg: &RelaxConfig,
     seeds: &[Vec<f64>],
 ) -> Vec<RelaxOutcome> {
+    let _relax = af_obs::span!("relax");
     let dim = potential.dim();
     assert!(dim > 0, "no guided access points to relax");
     for s in seeds {
@@ -215,6 +216,7 @@ pub fn relax_seeded(
         let snapshot = &pool;
         let results = runtime
             .par_map(&round, |_, &restart| {
+                let _s = af_obs::span!("restart", restart);
                 let mut rng = ChaCha8Rng::seed_from_u64(afrt::split_seed(cfg.seed, restart as u64));
                 let mut x0: Vec<f64> =
                     if snapshot.len() >= cfg.pool_size && rng.gen::<f64>() < cfg.p_relax {
@@ -281,9 +283,14 @@ fn minimize_one(potential: &Potential<'_>, x0: &[f64], cfg: &RelaxConfig) -> Rel
         cfg.lbfgs_memory,
         1e-8,
     );
+    af_obs::counter("relax.lbfgs_iters", result.iterations as u64);
+    if result.converged {
+        af_obs::counter("relax.lbfgs_converged", 1);
+    }
     let mut guidance = result.x;
     potential.project(&mut guidance);
     let (v, _) = potential.value_and_grad(&guidance);
+    af_obs::hist("relax.potential_final", v);
     RelaxOutcome {
         guidance,
         potential: v,

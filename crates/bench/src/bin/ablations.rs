@@ -14,7 +14,7 @@
 //! Run: `cargo run -p af-bench --bin ablations --release -- [quick|full]
 //!       [threads=N]`
 
-use af_bench::{threads_arg, Scale};
+use af_bench::{obs_arg, threads_arg, Scale};
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
 use af_route::{route, RouterConfig, RoutingGuidance};
@@ -27,6 +27,7 @@ use analogfold::{
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let _obs = obs_arg(&args);
     let scale = args
         .iter()
         .find_map(|a| Scale::parse(a))

@@ -4,13 +4,15 @@
 //!
 //! Run: `cargo run -p af-bench --bin extension_ota5 --release -- [quick|full]`
 
-use af_bench::{print_row, run_row, Scale};
+use af_bench::{obs_arg, print_row, run_row, Scale};
 use af_place::PlacementVariant;
 
 fn main() {
-    let scale = std::env::args()
-        .skip(1)
-        .find_map(|a| Scale::parse(&a))
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let _obs = obs_arg(&args);
+    let scale = args
+        .iter()
+        .find_map(|a| Scale::parse(a))
         .unwrap_or(Scale::Quick);
     println!("Extension: OTA5 folded-cascode (scale {scale:?})\n");
     for variant in [PlacementVariant::A, PlacementVariant::B] {

@@ -8,16 +8,18 @@
 
 use std::fs;
 
-use af_bench::{flow_config, Scale};
+use af_bench::{flow_config, obs_arg, Scale};
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
 use af_tech::Technology;
 use analogfold::{AnalogFoldFlow, HeteroGraph};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = std::env::args()
-        .skip(1)
-        .find_map(|a| Scale::parse(&a))
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let _obs = obs_arg(&args);
+    let scale = args
+        .iter()
+        .find_map(|a| Scale::parse(a))
         .unwrap_or(Scale::Quick);
     let circuit = benchmarks::ota1();
     let tech = Technology::nm40();

@@ -12,13 +12,14 @@
 
 use std::time::Instant;
 
-use af_bench::{flow_config, threads_arg, Scale};
+use af_bench::{flow_config, obs_arg, threads_arg, Scale};
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
 use analogfold::AnalogFoldFlow;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let _obs = obs_arg(&args);
     let scale = args
         .iter()
         .find_map(|a| Scale::parse(a))

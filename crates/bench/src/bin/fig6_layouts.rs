@@ -5,7 +5,7 @@
 
 use std::fs;
 
-use af_bench::{flow_config, genius_model, Scale};
+use af_bench::{flow_config, genius_model, obs_arg, Scale};
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
 use af_route::{render_svg, route, RouterConfig, RoutingGuidance};
@@ -13,9 +13,11 @@ use af_tech::Technology;
 use analogfold::{guidance_field_for, AnalogFoldFlow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = std::env::args()
-        .skip(1)
-        .find_map(|a| Scale::parse(&a))
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let _obs = obs_arg(&args);
+    let scale = args
+        .iter()
+        .find_map(|a| Scale::parse(a))
         .unwrap_or(Scale::Quick);
     let circuit = benchmarks::ota1();
     let tech = Technology::nm40();

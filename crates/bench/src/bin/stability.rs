@@ -12,7 +12,7 @@
 //! Run: `cargo run -p af-bench --bin stability --release -- [quick|full]
 //!       [seeds=K] [threads=N]`
 
-use af_bench::{flow_config, threads_arg, Scale};
+use af_bench::{flow_config, obs_arg, threads_arg, Scale};
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
 use af_route::RouterConfig;
@@ -22,6 +22,7 @@ use analogfold::{magical_route, AnalogFoldFlow};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let _obs = obs_arg(&args);
     let scale = args
         .iter()
         .find_map(|a| Scale::parse(a))

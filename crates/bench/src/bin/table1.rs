@@ -1,10 +1,16 @@
 //! Regenerates **Table 1**: benchmark circuit information.
 //!
 //! Run: `cargo run -p af-bench --bin table1`
+//!
+//! Accepts `obs=<path>` to stream observability events to a JSONL file
+//! (uniform with the other bench binaries; this one records no spans).
 
+use af_bench::obs_arg;
 use af_netlist::{benchmarks, DeviceKind};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let _obs = obs_arg(&args);
     println!("Table 1: Benchmark circuits information.");
     println!(
         "{:<12}{:>8}{:>8}{:>8}{:>8}{:>8}",

@@ -10,13 +10,15 @@
 //! Quick smoke run (seconds per row):
 //! `cargo run -p af-bench --bin table2 --release -- quick`
 //!
-//! Append `only=OTA1-A,OTA2-B` to restrict rows and `threads=N` to pin the
-//! worker count (default: `AFRT_THREADS`, then hardware parallelism).
+//! Append `only=OTA1-A,OTA2-B` to restrict rows, `threads=N` to pin the
+//! worker count (default: `AFRT_THREADS`, then hardware parallelism), and
+//! `obs=<path>` to stream observability events to a JSONL file.
 
-use af_bench::{averages, print_row, run_row, threads_arg, Scale, TABLE2_ROWS};
+use af_bench::{averages, obs_arg, print_row, run_row, threads_arg, Scale, TABLE2_ROWS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let _obs = obs_arg(&args);
     let scale = args
         .iter()
         .find_map(|a| Scale::parse(a))
@@ -66,10 +68,8 @@ fn main() {
     if rows.len() > 1 {
         let avg = averages(&rows);
         println!("Average (normalized to MagicalRoute = 1.000)");
-        println!(
-            "  {:<22}{:>12}{:>12}{:>12}",
-            "metric", "Magical", "Genius", "Ours"
-        );
+        let t = af_obs::fmt::Table::new(22).cols(12, 3).indent(2);
+        println!("{}", t.header("metric", &["Magical", "Genius", "Ours"]));
         let names = [
             "OffsetVoltage v",
             "CMRR ^",
@@ -79,10 +79,11 @@ fn main() {
             "Runtime v",
         ];
         for (name, vals) in names.iter().zip(avg) {
-            println!(
-                "  {name:<22}{:>12.3}{:>12.3}{:>12.3}",
-                vals[0], vals[1], vals[2]
-            );
+            let cells: Vec<af_obs::fmt::Cell> = vals
+                .iter()
+                .map(|&v| af_obs::fmt::Cell::Float(v, 3))
+                .collect();
+            println!("{}", t.row(name, &cells));
         }
     }
 }

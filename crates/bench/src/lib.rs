@@ -17,10 +17,7 @@ use af_place::{place, Placement, PlacementVariant};
 use af_route::{route, RoutedLayout, RouterConfig, RoutingGuidance};
 use af_sim::{simulate, Performance, SimConfig};
 use af_tech::Technology;
-use analogfold::{
-    magical_route, AnalogFoldFlow, DatasetConfig, FlowConfig, GeniusConfig, GeniusRouteModel,
-    GnnConfig, RelaxConfig,
-};
+use analogfold::{magical_route, AnalogFoldFlow, FlowConfig, GeniusConfig, GeniusRouteModel};
 
 /// The Table 2 rows of the paper, in order.
 pub const TABLE2_ROWS: &[(&str, PlacementVariant)] = &[
@@ -139,27 +136,32 @@ pub fn threads_arg(args: &[String]) -> usize {
         .unwrap_or(0)
 }
 
+/// Parses an `obs=<path>` driver argument: installs a JSONL observability
+/// sink writing events to `<path>` and returns the guard that keeps it
+/// installed (hold it for the duration of the run). `None` — observability
+/// stays disabled — when the argument is absent or the file cannot be
+/// created.
+pub fn obs_arg(args: &[String]) -> Option<af_obs::ObsGuard> {
+    let path = args.iter().find_map(|a| a.strip_prefix("obs="))?;
+    match af_obs::JsonlSink::create(std::path::Path::new(path)) {
+        Ok(sink) => Some(af_obs::install(std::sync::Arc::new(sink))),
+        Err(err) => {
+            eprintln!("warning: cannot create obs sink `{path}`: {err}");
+            None
+        }
+    }
+}
+
 /// Flow configuration for one scale.
 pub fn flow_config(scale: Scale, seed: u64) -> FlowConfig {
-    FlowConfig {
-        dataset: DatasetConfig {
-            samples: scale.samples(),
-            seed,
-            ..DatasetConfig::default()
-        },
-        gnn: GnnConfig {
-            epochs: scale.epochs(),
-            seed: seed ^ 0x6e6e,
-            ..GnnConfig::default()
-        },
-        relax: RelaxConfig {
-            restarts: scale.restarts(),
-            n_derive: scale.n_derive(),
-            seed: seed ^ 0x7e1a,
-            ..RelaxConfig::default()
-        },
-        ..FlowConfig::default()
-    }
+    FlowConfig::builder()
+        .samples(scale.samples())
+        .epochs(scale.epochs())
+        .restarts(scale.restarts())
+        .n_derive(scale.n_derive())
+        .seed(seed)
+        .build()
+        .expect("bench flow configuration is valid")
 }
 
 /// Trains the GeniusRoute model from unguided routings of the *other*
@@ -294,14 +296,25 @@ pub fn averages(rows: &[RowResult]) -> [[f64; 3]; 6] {
     acc
 }
 
+/// The shared table geometry of the Table 1/2 row blocks: a 22-wide metric
+/// label and four 12-wide value columns, indented two spaces (matches the
+/// obs tree report rendered by `af_obs::report`).
+fn metric_table() -> af_obs::fmt::Table {
+    af_obs::fmt::Table::new(22).cols(12, 4).indent(2)
+}
+
 /// Formats one metric line of the Table 2 layout.
 pub fn fmt_metric(name: &str, schematic: Option<f64>, vals: [f64; 3], prec: usize) -> String {
-    let s = schematic
-        .map(|v| format!("{v:>12.prec$}"))
-        .unwrap_or_else(|| format!("{:>12}", "-"));
-    format!(
-        "  {name:<22}{s}{:>12.prec$}{:>12.prec$}{:>12.prec$}",
-        vals[0], vals[1], vals[2]
+    use af_obs::fmt::Cell;
+    let s = schematic.map_or(Cell::Dash, |v| Cell::Float(v, prec));
+    metric_table().row(
+        name,
+        &[
+            s,
+            Cell::Float(vals[0], prec),
+            Cell::Float(vals[1], prec),
+            Cell::Float(vals[2], prec),
+        ],
     )
 }
 
@@ -309,8 +322,8 @@ pub fn fmt_metric(name: &str, schematic: Option<f64>, vals: [f64; 3], prec: usiz
 pub fn print_row(r: &RowResult) {
     println!("{}", r.id);
     println!(
-        "  {:<22}{:>12}{:>12}{:>12}{:>12}",
-        "metric", "Schematic", "Magical", "Genius", "Ours"
+        "{}",
+        metric_table().header("metric", &["Schematic", "Magical", "Genius", "Ours"])
     );
     let (s, m, g, o) = (&r.schematic, &r.magical.perf, &r.genius.perf, &r.ours.perf);
     println!(

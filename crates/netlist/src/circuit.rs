@@ -10,6 +10,7 @@ use crate::{
 
 /// Error raised when building or validating a circuit.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum NetlistError {
     /// A referenced net name was never declared.
     UnknownNet(String),

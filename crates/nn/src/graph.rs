@@ -435,6 +435,9 @@ impl Graph {
             (1, 1),
             "backward needs a scalar loss"
         );
+        // Observability: wall time per reverse sweep, recorded only while a
+        // sink is installed; the clock never influences the gradients.
+        let obs_t0 = af_obs::enabled().then(std::time::Instant::now);
         for n in &mut self.nodes {
             n.grad = None;
         }
@@ -619,6 +622,9 @@ impl Graph {
                     self.accumulate(x, g);
                 }
             }
+        }
+        if let Some(t0) = obs_t0 {
+            af_obs::hist("nn.backward_us", t0.elapsed().as_secs_f64() * 1e6);
         }
     }
 

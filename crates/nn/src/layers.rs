@@ -198,6 +198,7 @@ impl Mlp {
 impl BoundMlp {
     /// Forward pass: activation after every layer except the last.
     pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let obs_t0 = af_obs::enabled().then(std::time::Instant::now);
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
@@ -205,6 +206,9 @@ impl BoundMlp {
             if i != last {
                 h = self.activation.apply(g, h);
             }
+        }
+        if let Some(t0) = obs_t0 {
+            af_obs::hist("nn.forward_us", t0.elapsed().as_secs_f64() * 1e6);
         }
         h
     }

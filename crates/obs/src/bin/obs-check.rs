@@ -1,0 +1,138 @@
+//! `obs-check`: validates an `af-obs` JSONL event log against the schema.
+//!
+//! Usage: `obs-check <events.jsonl> [--require <span-path>]...`
+//!
+//! Every line must parse as one event object (see DESIGN.md §8). Each
+//! `--require PATH` additionally demands at least one span event whose path
+//! (ignoring any `#idx` instance suffix) equals PATH — CI uses this to
+//! prove the flow emitted all five stage spans.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("obs-check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let mut path: Option<&str> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--require" {
+            required.push(
+                it.next()
+                    .ok_or("--require needs a span path argument")?
+                    .clone(),
+            );
+        } else if path.is_none() {
+            path = Some(a);
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+    }
+    let path = path.ok_or("usage: obs-check <events.jsonl> [--require <span-path>]...")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+
+    let mut counts = std::collections::BTreeMap::<String, usize>::new();
+    let mut span_paths = std::collections::BTreeSet::<String>::new();
+    let mut lines = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (ty, name) = af_obs::json::validate_event_line(line)
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if ty == "span" {
+            // Strip the per-instance suffix so `relax/restart#3` satisfies
+            // a `--require relax/restart`.
+            let base = name.split('#').next().unwrap_or(&name).to_string();
+            span_paths.insert(base);
+        }
+        *counts.entry(ty).or_insert(0) += 1;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err(format!("`{path}` contains no events"));
+    }
+    let missing: Vec<&String> = required
+        .iter()
+        .filter(|r| !span_paths.contains(*r))
+        .collect();
+    if !missing.is_empty() {
+        let have: Vec<&String> = span_paths.iter().collect();
+        return Err(format!(
+            "missing required span path(s) {missing:?}; spans present: {have:?}"
+        ));
+    }
+    let breakdown: Vec<String> = counts.iter().map(|(k, v)| format!("{v} {k}")).collect();
+    Ok(format!(
+        "ok: {lines} events ({}), {} distinct span paths",
+        breakdown.join(", "),
+        span_paths.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(name);
+        std::fs::write(&p, content).unwrap();
+        p
+    }
+
+    #[test]
+    fn accepts_valid_log_and_requirements() {
+        let p = write_tmp(
+            "obs_check_ok.jsonl",
+            "{\"type\":\"span\",\"path\":\"flow/dataset#0\",\"wall_us\":5,\"seq\":0}\n\
+             {\"type\":\"counter\",\"name\":\"c\",\"value\":1,\"seq\":1}\n",
+        );
+        let args = vec![
+            p.to_string_lossy().into_owned(),
+            "--require".into(),
+            "flow/dataset".into(),
+        ];
+        let out = run(&args).unwrap();
+        assert!(out.starts_with("ok: 2 events"));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn rejects_bad_lines_and_missing_spans() {
+        let p = write_tmp("obs_check_bad.jsonl", "{\"type\":\"span\"}\n");
+        let args = vec![p.to_string_lossy().into_owned()];
+        assert!(run(&args).unwrap_err().starts_with("line 1:"));
+        std::fs::write(
+            &p,
+            "{\"type\":\"counter\",\"name\":\"c\",\"value\":1,\"seq\":0}\n",
+        )
+        .unwrap();
+        let args = vec![
+            p.to_string_lossy().into_owned(),
+            "--require".into(),
+            "flow".into(),
+        ];
+        assert!(run(&args).unwrap_err().contains("missing required"));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        let p = write_tmp("obs_check_empty.jsonl", "");
+        let args = vec![p.to_string_lossy().into_owned()];
+        assert!(run(&args).unwrap_err().contains("no events"));
+        std::fs::remove_file(p).ok();
+    }
+}

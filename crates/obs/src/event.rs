@@ -1,0 +1,233 @@
+//! The machine-readable event model: everything a sink ever sees.
+
+use std::fmt::Write as _;
+
+/// One observability event, emitted on span close or metric flush.
+///
+/// The JSONL encoding (one [`Event::to_json`] object per line) is the
+/// stable interchange schema; `obs-check` validates it and DESIGN.md §8
+/// documents it. Every event carries a monotonically increasing `seq`
+/// assigned at emission, so logs can be re-ordered after multi-threaded
+/// writes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A timed span closed. `path` is the full hierarchical path
+    /// (`flow/training`), possibly suffixed with an instance index
+    /// (`relax/restart#3`).
+    Span {
+        /// Hierarchical span path.
+        path: String,
+        /// Wall-clock duration in microseconds.
+        wall_us: u64,
+        /// Global emission sequence number.
+        seq: u64,
+    },
+    /// A monotonic counter's aggregated value at flush time.
+    Counter {
+        /// Counter name (`route.ripup_iterations`).
+        name: String,
+        /// Total accumulated value.
+        value: u64,
+        /// Global emission sequence number.
+        seq: u64,
+    },
+    /// A gauge's last-written value at flush time.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Last recorded value.
+        value: f64,
+        /// Global emission sequence number.
+        seq: u64,
+    },
+    /// A histogram's aggregate statistics at flush time.
+    Histogram {
+        /// Histogram name (`relax.potential_final`).
+        name: String,
+        /// Number of recorded values.
+        count: u64,
+        /// Sum of recorded values.
+        sum: f64,
+        /// Minimum recorded value.
+        min: f64,
+        /// Maximum recorded value.
+        max: f64,
+        /// Arithmetic mean.
+        mean: f64,
+        /// 50th percentile (nearest-rank over retained values).
+        p50: f64,
+        /// 90th percentile.
+        p90: f64,
+        /// 99th percentile.
+        p99: f64,
+        /// Global emission sequence number.
+        seq: u64,
+    },
+}
+
+impl Event {
+    /// The event's `type` tag in the JSONL schema.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Span { .. } => "span",
+            Event::Counter { .. } => "counter",
+            Event::Gauge { .. } => "gauge",
+            Event::Histogram { .. } => "histogram",
+        }
+    }
+
+    /// The span path or metric name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Event::Span { path, .. } => path,
+            Event::Counter { name, .. }
+            | Event::Gauge { name, .. }
+            | Event::Histogram { name, .. } => name,
+        }
+    }
+
+    /// The emission sequence number.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        match self {
+            Event::Span { seq, .. }
+            | Event::Counter { seq, .. }
+            | Event::Gauge { seq, .. }
+            | Event::Histogram { seq, .. } => *seq,
+        }
+    }
+
+    /// Encodes the event as one compact JSON object (no trailing newline).
+    ///
+    /// Non-finite floats encode as `null`, matching `serde_json`'s
+    /// convention, so every emitted line is valid JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"type\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        match self {
+            Event::Span { path, wall_us, seq } => {
+                push_str_field(&mut out, "path", path);
+                let _ = write!(out, ",\"wall_us\":{wall_us},\"seq\":{seq}");
+            }
+            Event::Counter { name, value, seq } => {
+                push_str_field(&mut out, "name", name);
+                let _ = write!(out, ",\"value\":{value},\"seq\":{seq}");
+            }
+            Event::Gauge { name, value, seq } => {
+                push_str_field(&mut out, "name", name);
+                out.push_str(",\"value\":");
+                push_f64(&mut out, *value);
+                let _ = write!(out, ",\"seq\":{seq}");
+            }
+            Event::Histogram {
+                name,
+                count,
+                sum,
+                min,
+                max,
+                mean,
+                p50,
+                p90,
+                p99,
+                seq,
+            } => {
+                push_str_field(&mut out, "name", name);
+                let _ = write!(out, ",\"count\":{count}");
+                for (key, v) in [
+                    ("sum", sum),
+                    ("min", min),
+                    ("max", max),
+                    ("mean", mean),
+                    ("p50", p50),
+                    ("p90", p90),
+                    ("p99", p99),
+                ] {
+                    out.push_str(",\"");
+                    out.push_str(key);
+                    out.push_str("\":");
+                    push_f64(&mut out, *v);
+                }
+                let _ = write!(out, ",\"seq\":{seq}");
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` is Rust's shortest-round-trip float rendering.
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_json_shape() {
+        let e = Event::Span {
+            path: "flow/training".into(),
+            wall_us: 1234,
+            seq: 7,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"span\",\"path\":\"flow/training\",\"wall_us\":1234,\"seq\":7}"
+        );
+        assert_eq!(e.kind(), "span");
+        assert_eq!(e.name(), "flow/training");
+        assert_eq!(e.seq(), 7);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = Event::Gauge {
+            name: "g".into(),
+            value: f64::NAN,
+            seq: 0,
+        };
+        assert!(e.to_json().contains("\"value\":null"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = Event::Counter {
+            name: "weird\"name\\with\nstuff".into(),
+            value: 1,
+            seq: 0,
+        };
+        let json = e.to_json();
+        assert!(json.contains("weird\\\"name\\\\with\\nstuff"));
+        assert!(crate::json::parse(&json).is_ok());
+    }
+}

@@ -1,0 +1,133 @@
+//! Shared table formatting used by the obs tree report, the bench binaries'
+//! Table 1/2 output, and `RoutedLayout::report`, so every human-readable
+//! table in the workspace aligns the same way: a left-aligned label column
+//! followed by right-aligned value columns.
+
+/// One table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Right-aligned text.
+    Text(String),
+    /// A float rendered with the given number of decimals.
+    Float(f64, usize),
+    /// An integer.
+    Int(i64),
+    /// A placeholder for "no value".
+    Dash,
+}
+
+impl Cell {
+    fn render(&self, width: usize) -> String {
+        match self {
+            Cell::Text(s) => format!("{s:>width$}"),
+            Cell::Float(v, prec) => format!("{v:>width$.prec$}"),
+            Cell::Int(v) => format!("{v:>width$}"),
+            Cell::Dash => format!("{:>width$}", "-"),
+        }
+    }
+}
+
+/// A fixed-geometry table: indent, label column width, per-column widths.
+#[derive(Debug, Clone)]
+pub struct Table {
+    indent: usize,
+    label_width: usize,
+    col_widths: Vec<usize>,
+}
+
+impl Table {
+    /// A table whose label column is `label_width` characters wide.
+    #[must_use]
+    pub fn new(label_width: usize) -> Self {
+        Self {
+            indent: 0,
+            label_width,
+            col_widths: Vec::new(),
+        }
+    }
+
+    /// Indents every line by `n` spaces.
+    #[must_use]
+    pub fn indent(mut self, n: usize) -> Self {
+        self.indent = n;
+        self
+    }
+
+    /// Appends one value column of the given width.
+    #[must_use]
+    pub fn col(mut self, width: usize) -> Self {
+        self.col_widths.push(width);
+        self
+    }
+
+    /// Appends `n` value columns of the same width.
+    #[must_use]
+    pub fn cols(mut self, width: usize, n: usize) -> Self {
+        self.col_widths.extend(std::iter::repeat_n(width, n));
+        self
+    }
+
+    /// A header line: the label and right-aligned column titles.
+    #[must_use]
+    pub fn header(&self, label: &str, names: &[&str]) -> String {
+        self.row(
+            label,
+            &names
+                .iter()
+                .map(|n| Cell::Text((*n).to_string()))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// One data line. Extra cells beyond the declared columns reuse the last
+    /// declared width; missing cells leave their columns blank.
+    #[must_use]
+    pub fn row(&self, label: &str, cells: &[Cell]) -> String {
+        let mut out = String::new();
+        out.push_str(&" ".repeat(self.indent));
+        out.push_str(&format!("{label:<width$}", width = self.label_width));
+        let last = self.col_widths.last().copied().unwrap_or(12);
+        for (i, cell) in cells.iter().enumerate() {
+            let width = self.col_widths.get(i).copied().unwrap_or(last);
+            out.push_str(&cell.render(width));
+        }
+        out.trim_end().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_align_with_header() {
+        let t = Table::new(10).cols(8, 2);
+        let h = t.header("name", &["a", "b"]);
+        let r = t.row("x", &[Cell::Float(1.5, 2), Cell::Int(3)]);
+        assert_eq!(h, format!("{:<10}{:>8}{:>8}", "name", "a", "b"));
+        assert_eq!(r, format!("{:<10}{:>8.2}{:>8}", "x", 1.5, 3));
+    }
+
+    #[test]
+    fn indent_and_dash() {
+        let t = Table::new(4).col(6).indent(2);
+        assert_eq!(t.row("x", &[Cell::Dash]), format!("  {:<4}{:>6}", "x", "-"));
+    }
+
+    #[test]
+    fn mixed_column_widths() {
+        let t = Table::new(12).col(12).col(8).col(10);
+        let line = t.row("net0", &[Cell::Float(1.25, 2), Cell::Int(4), Cell::Int(9)]);
+        assert_eq!(
+            line,
+            format!("{:<12}{:>12.2}{:>8}{:>10}", "net0", 1.25, 4, 9)
+        );
+    }
+
+    #[test]
+    fn trailing_whitespace_is_trimmed() {
+        let t = Table::new(10).cols(8, 2);
+        let line = t.row("only", &[Cell::Int(1)]);
+        assert_eq!(line, format!("{:<10}{:>8}", "only", 1));
+    }
+}

@@ -1,0 +1,398 @@
+//! A minimal, self-contained JSON parser used to *validate* emitted event
+//! lines (`obs-check`, unit tests) without pulling any dependency into
+//! `af-obs`. This is a checker, not a data-binding layer — the workspace's
+//! vendored `serde_json` remains the interchange library elsewhere.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (key order normalized).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    #[must_use]
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is a number or `null` (the encoding of non-finite
+    /// floats).
+    #[must_use]
+    pub fn is_num_or_null(&self) -> bool {
+        matches!(self, Json::Num(_) | Json::Null)
+    }
+}
+
+/// Parses one JSON document, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// A message describing the first syntax error and its byte offset.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing characters at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    self.pos = start + c.len_utf8();
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("invalid number"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    let val = self.value()?;
+                    map.insert(key, val);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(map));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+}
+
+/// Validates one JSONL event line against the `af-obs` schema; returns the
+/// event's `(type, name-or-path)` on success.
+///
+/// # Errors
+///
+/// A message describing the schema violation.
+pub fn validate_event_line(line: &str) -> Result<(String, String), String> {
+    let v = parse(line)?;
+    let ty = v
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `type`")?
+        .to_string();
+    let seq = v.get("seq").ok_or("missing field `seq`")?;
+    if seq.as_num().is_none_or(|s| s < 0.0 || s.fract() != 0.0) {
+        return Err("`seq` must be a non-negative integer".into());
+    }
+    let require_str = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field `{key}`"))
+    };
+    let require_num_or_null = |key: &str| -> Result<(), String> {
+        match v.get(key) {
+            Some(x) if x.is_num_or_null() => Ok(()),
+            _ => Err(format!("field `{key}` must be a number or null")),
+        }
+    };
+    match ty.as_str() {
+        "span" => {
+            let path = require_str("path")?;
+            let wall = v
+                .get("wall_us")
+                .and_then(Json::as_num)
+                .ok_or("missing numeric field `wall_us`")?;
+            if wall < 0.0 || wall.fract() != 0.0 {
+                return Err("`wall_us` must be a non-negative integer".into());
+            }
+            Ok((ty, path))
+        }
+        "counter" => {
+            let name = require_str("name")?;
+            let val = v
+                .get("value")
+                .and_then(Json::as_num)
+                .ok_or("missing numeric field `value`")?;
+            if val < 0.0 || val.fract() != 0.0 {
+                return Err("counter `value` must be a non-negative integer".into());
+            }
+            Ok((ty, name))
+        }
+        "gauge" => {
+            let name = require_str("name")?;
+            require_num_or_null("value")?;
+            Ok((ty, name))
+        }
+        "histogram" => {
+            let name = require_str("name")?;
+            let count = v
+                .get("count")
+                .and_then(Json::as_num)
+                .ok_or("missing numeric field `count`")?;
+            if count < 0.0 || count.fract() != 0.0 {
+                return Err("histogram `count` must be a non-negative integer".into());
+            }
+            for key in ["sum", "min", "max", "mean", "p50", "p90", "p99"] {
+                require_num_or_null(key)?;
+            }
+            Ok((ty, name))
+        }
+        other => Err(format!("unknown event type `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = parse(r#"{"a":[1,2.5,null,true],"b":{"c":"x\n"}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap(), &{
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.5),
+                Json::Null,
+                Json::Bool(true),
+            ])
+        });
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\n"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{broken").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} extra").is_err());
+    }
+
+    #[test]
+    fn validates_every_event_kind() {
+        for e in [
+            crate::Event::Span {
+                path: "a/b#1".into(),
+                wall_us: 3,
+                seq: 0,
+            },
+            crate::Event::Counter {
+                name: "c".into(),
+                value: 9,
+                seq: 1,
+            },
+            crate::Event::Gauge {
+                name: "g".into(),
+                value: -1.5,
+                seq: 2,
+            },
+            crate::Event::Histogram {
+                name: "h".into(),
+                count: 2,
+                sum: 3.0,
+                min: 1.0,
+                max: 2.0,
+                mean: 1.5,
+                p50: 1.0,
+                p90: 2.0,
+                p99: 2.0,
+                seq: 3,
+            },
+        ] {
+            let (ty, name) = validate_event_line(&e.to_json()).unwrap();
+            assert_eq!(ty, e.kind());
+            assert_eq!(name, e.name());
+        }
+    }
+
+    #[test]
+    fn validation_rejects_schema_violations() {
+        assert!(validate_event_line("{\"type\":\"span\"}").is_err());
+        assert!(validate_event_line("{\"type\":\"blob\",\"seq\":0}").is_err());
+        assert!(
+            validate_event_line("{\"type\":\"counter\",\"name\":\"x\",\"value\":1.5,\"seq\":0}")
+                .is_err(),
+            "fractional counter"
+        );
+        assert!(validate_event_line("not json").is_err());
+    }
+}

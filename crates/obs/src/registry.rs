@@ -1,0 +1,325 @@
+//! The lock-striped in-memory metric registry.
+//!
+//! Worker threads from every corner of the workspace (the `afrt` pool
+//! included) record into the same registry; striping by name hash keeps
+//! unrelated metrics from contending on one lock. All locks recover from
+//! poisoning, so a panic inside an instrumented, panic-isolated task never
+//! wedges observability for the rest of the process.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+
+use crate::event::Event;
+
+/// Number of independent lock stripes.
+const STRIPES: usize = 16;
+
+/// Histogram values retained verbatim for percentile estimation; beyond
+/// this, only count/sum/min/max keep updating (documented in DESIGN.md §8).
+const HIST_CAPACITY: usize = 8192;
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStat {
+    /// Number of closes recorded for this path.
+    pub count: u64,
+    /// Total wall-clock seconds across closes.
+    pub total_s: f64,
+    /// Longest single close, seconds.
+    pub max_s: f64,
+}
+
+/// Aggregated statistics of one histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistStat {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Minimum recorded value.
+    pub min: f64,
+    /// Maximum recorded value.
+    pub max: f64,
+    values: Vec<f64>,
+}
+
+impl HistStat {
+    fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        if self.values.len() < HIST_CAPACITY {
+            self.values.push(v);
+        }
+    }
+
+    /// Arithmetic mean of all recorded values.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile over the retained values (`q` in `[0, 100]`).
+    /// Sorting makes the estimate independent of cross-thread arrival order.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = sorted.len();
+        let rank = ((q / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+}
+
+/// One stripe of the registry: each metric family keyed by name.
+#[derive(Default)]
+struct Stripe {
+    spans: HashMap<String, SpanStat>,
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, f64>,
+    hists: HashMap<String, HistStat>,
+}
+
+/// The striped registry.
+pub struct Registry {
+    stripes: Vec<Mutex<Stripe>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self {
+            stripes: (0..STRIPES)
+                .map(|_| Mutex::new(Stripe::default()))
+                .collect(),
+        }
+    }
+}
+
+/// FNV-1a; dependency-free and stable across runs (`DefaultHasher` makes no
+/// cross-version promise, and stripe choice should not change under us).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Registry {
+    fn stripe(&self, name: &str) -> MutexGuard<'_, Stripe> {
+        lock_recover(&self.stripes[(fnv1a(name) % STRIPES as u64) as usize])
+    }
+
+    /// Records one span close under its aggregation path.
+    pub fn record_span(&self, path: &str, seconds: f64) {
+        let mut s = self.stripe(path);
+        let stat = s.spans.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_s += seconds;
+        stat.max_s = stat.max_s.max(seconds);
+    }
+
+    /// Adds to a counter.
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        *self
+            .stripe(name)
+            .counters
+            .entry(name.to_string())
+            .or_insert(0) += delta;
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.stripe(name).gauges.insert(name.to_string(), value);
+    }
+
+    /// Records a histogram value.
+    pub fn record_hist(&self, name: &str, value: f64) {
+        self.stripe(name)
+            .hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Name-sorted snapshot of all span statistics.
+    #[must_use]
+    pub fn span_snapshot(&self) -> Vec<(String, SpanStat)> {
+        let mut out: Vec<(String, SpanStat)> = Vec::new();
+        for stripe in &self.stripes {
+            let s = lock_recover(stripe);
+            out.extend(s.spans.iter().map(|(k, v)| (k.clone(), *v)));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Name-sorted snapshot of all counters.
+    #[must_use]
+    pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for stripe in &self.stripes {
+            let s = lock_recover(stripe);
+            out.extend(s.counters.iter().map(|(k, v)| (k.clone(), *v)));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Name-sorted snapshot of all gauges.
+    #[must_use]
+    pub fn gauge_snapshot(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = Vec::new();
+        for stripe in &self.stripes {
+            let s = lock_recover(stripe);
+            out.extend(s.gauges.iter().map(|(k, v)| (k.clone(), *v)));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Name-sorted snapshot of all histograms.
+    #[must_use]
+    pub fn hist_snapshot(&self) -> Vec<(String, HistStat)> {
+        let mut out: Vec<(String, HistStat)> = Vec::new();
+        for stripe in &self.stripes {
+            let s = lock_recover(stripe);
+            out.extend(s.hists.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Flush events for every counter, gauge, and histogram, in a
+    /// deterministic (kind, name) order. `next_seq` assigns sequence
+    /// numbers.
+    pub fn metric_events(&self, mut next_seq: impl FnMut() -> u64) -> Vec<Event> {
+        let mut events = Vec::new();
+        for (name, value) in self.counter_snapshot() {
+            events.push(Event::Counter {
+                name,
+                value,
+                seq: next_seq(),
+            });
+        }
+        for (name, value) in self.gauge_snapshot() {
+            events.push(Event::Gauge {
+                name,
+                value,
+                seq: next_seq(),
+            });
+        }
+        for (name, h) in self.hist_snapshot() {
+            events.push(Event::Histogram {
+                seq: next_seq(),
+                count: h.count,
+                sum: h.sum,
+                min: h.min,
+                max: h.max,
+                mean: h.mean(),
+                p50: h.percentile(50.0),
+                p90: h.percentile(90.0),
+                p99: h.percentile(99.0),
+                name,
+            });
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::default();
+        r.add_counter("a", 2);
+        r.add_counter("a", 3);
+        r.add_counter("b", 1);
+        assert_eq!(r.counter_snapshot(), vec![("a".into(), 5), ("b".into(), 1)]);
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let r = Registry::default();
+        for v in 1..=100 {
+            r.record_hist("h", f64::from(v));
+        }
+        let snap = r.hist_snapshot();
+        let (_, h) = &snap[0];
+        assert_eq!(h.count, 100);
+        assert!((h.percentile(50.0) - 50.0).abs() < 1e-12);
+        assert!((h.percentile(90.0) - 90.0).abs() < 1e-12);
+        assert!((h.percentile(99.0) - 99.0).abs() < 1e-12);
+        assert!((h.percentile(100.0) - 100.0).abs() < 1e-12);
+        assert!((h.mean() - 50.5).abs() < 1e-12);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+    }
+
+    #[test]
+    fn span_stats_aggregate_by_path() {
+        let r = Registry::default();
+        r.record_span("relax/restart", 0.5);
+        r.record_span("relax/restart", 1.5);
+        let snap = r.span_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].1.count, 2);
+        assert!((snap[0].1.total_s - 2.0).abs() < 1e-12);
+        assert!((snap[0].1.max_s - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_thread_aggregation() {
+        let r = std::sync::Arc::new(Registry::default());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let r = std::sync::Arc::clone(&r);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        r.add_counter("hits", 1);
+                        r.record_hist("vals", f64::from(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter_snapshot(), vec![("hits".into(), 800)]);
+        assert_eq!(r.hist_snapshot()[0].1.count, 800);
+    }
+
+    #[test]
+    fn metric_events_are_name_sorted() {
+        let r = Registry::default();
+        r.add_counter("z", 1);
+        r.add_counter("a", 1);
+        r.set_gauge("m", 2.0);
+        r.record_hist("h", 1.0);
+        let mut seq = 0u64;
+        let events = r.metric_events(|| {
+            seq += 1;
+            seq - 1
+        });
+        let names: Vec<&str> = events.iter().map(crate::Event::name).collect();
+        assert_eq!(names, vec!["a", "z", "m", "h"]);
+        assert!(events.iter().enumerate().all(|(i, e)| e.seq() == i as u64));
+    }
+}

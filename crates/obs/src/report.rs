@@ -1,0 +1,109 @@
+//! The human-readable tree report (`--obs-report`).
+
+use crate::fmt::{Cell, Table};
+use crate::registry::Registry;
+
+/// Renders the registry as a span tree plus metric tables.
+///
+/// Spans are grouped by their `/`-separated path; a child is indented under
+/// its parent and siblings print in lexicographic order, which is also
+/// emission-stable because span paths are deterministic. Stage rows show the
+/// number of closes, total seconds, and the longest single close — the
+/// `flow/*` totals are the same measurements `RuntimeBreakdown` reports.
+#[must_use]
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+    let spans = registry.span_snapshot();
+    if !spans.is_empty() {
+        out.push_str("spans\n");
+        let table = Table::new(40).col(8).cols(12, 2).indent(2);
+        out.push_str(&table.header("path", &["count", "total(s)", "max(s)"]));
+        out.push('\n');
+        for (path, stat) in &spans {
+            let depth = path.matches('/').count();
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            let label = format!("{}{leaf}", "  ".repeat(depth));
+            out.push_str(&table.row(
+                &label,
+                &[
+                    Cell::Int(stat.count as i64),
+                    Cell::Float(stat.total_s, 3),
+                    Cell::Float(stat.max_s, 3),
+                ],
+            ));
+            out.push('\n');
+        }
+    }
+    let counters = registry.counter_snapshot();
+    if !counters.is_empty() {
+        out.push_str("counters\n");
+        let table = Table::new(40).col(12).indent(2);
+        for (name, value) in &counters {
+            out.push_str(&table.row(name, &[Cell::Int(*value as i64)]));
+            out.push('\n');
+        }
+    }
+    let gauges = registry.gauge_snapshot();
+    if !gauges.is_empty() {
+        out.push_str("gauges\n");
+        let table = Table::new(40).col(12).indent(2);
+        for (name, value) in &gauges {
+            out.push_str(&table.row(name, &[Cell::Float(*value, 4)]));
+            out.push('\n');
+        }
+    }
+    let hists = registry.hist_snapshot();
+    if !hists.is_empty() {
+        out.push_str("histograms\n");
+        // Duration histograms hold microsecond values that can reach eight
+        // integer digits, so these columns are wider than the span table's.
+        let table = Table::new(40).col(8).cols(14, 4).indent(2);
+        out.push_str(&table.header("name", &["count", "mean", "p50", "p90", "max"]));
+        out.push('\n');
+        for (name, h) in &hists {
+            out.push_str(&table.row(
+                name,
+                &[
+                    Cell::Int(h.count as i64),
+                    Cell::Float(h.mean(), 3),
+                    Cell::Float(h.percentile(50.0), 3),
+                    Cell::Float(h.percentile(90.0), 3),
+                    Cell::Float(h.max, 3),
+                ],
+            ));
+            out.push('\n');
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no observability data recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_indents_children_under_parents() {
+        let r = Registry::default();
+        r.record_span("flow", 2.0);
+        r.record_span("flow/dataset", 1.0);
+        r.record_span("flow/training", 0.5);
+        r.add_counter("route.nets", 7);
+        let text = render(&r);
+        let lines: Vec<&str> = text.lines().collect();
+        let flow = lines.iter().position(|l| l.contains("flow")).unwrap();
+        assert!(
+            lines[flow + 1].starts_with("    dataset") || lines[flow + 1].contains("  dataset")
+        );
+        assert!(text.contains("counters"));
+        assert!(text.contains("route.nets"));
+    }
+
+    #[test]
+    fn empty_registry_renders_placeholder() {
+        let r = Registry::default();
+        assert!(render(&r).contains("no observability data"));
+    }
+}

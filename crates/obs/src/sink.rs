@@ -1,0 +1,201 @@
+//! Event sinks: where observability events go once emitted.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// A destination for observability events.
+///
+/// Sinks must be thread-safe: events arrive from every instrumented thread,
+/// including `afrt` pool workers. Implementations should tolerate being
+/// called after a panic elsewhere in the process (the registry recovers
+/// poisoned locks for exactly this reason).
+pub trait Sink: Send + Sync {
+    /// Receives one event. Called at span close and at metric flush.
+    fn emit(&self, event: &Event);
+
+    /// Flushes buffered output. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// An in-memory sink for tests: captures every event.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Creates an empty memory sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of all events captured so far, in emission order.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(event.clone());
+    }
+}
+
+/// A sink that appends one JSON object per line to a file.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Ignore write errors: observability must never abort the flow.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = w.flush();
+    }
+}
+
+/// Fans one event stream out to several sinks.
+#[derive(Default)]
+pub struct TeeSink {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl TeeSink {
+    /// Creates an empty tee.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a downstream sink.
+    #[must_use]
+    pub fn with(mut self, sink: Box<dyn Sink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Number of downstream sinks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether the tee has no downstream sinks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl Sink for TeeSink {
+    fn emit(&self, event: &Event) {
+        for s in &self.sinks {
+            s.emit(event);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_captures_in_order() {
+        let sink = MemorySink::new();
+        for seq in 0..3 {
+            sink.emit(&Event::Counter {
+                name: "c".into(),
+                value: seq,
+                seq,
+            });
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().enumerate().all(|(i, e)| e.seq() == i as u64));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_valid_lines() {
+        let dir = std::env::temp_dir().join("af_obs_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&Event::Span {
+            path: "a/b".into(),
+            wall_us: 5,
+            seq: 0,
+        });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        for line in text.lines() {
+            crate::json::validate_event_line(line).unwrap();
+        }
+        assert_eq!(text.lines().count(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tee_fans_out() {
+        let a = std::sync::Arc::new(MemorySink::new());
+        let b = std::sync::Arc::new(MemorySink::new());
+        struct Fwd(std::sync::Arc<MemorySink>);
+        impl Sink for Fwd {
+            fn emit(&self, event: &Event) {
+                self.0.emit(event);
+            }
+        }
+        let tee = TeeSink::new()
+            .with(Box::new(Fwd(std::sync::Arc::clone(&a))))
+            .with(Box::new(Fwd(std::sync::Arc::clone(&b))));
+        assert_eq!(tee.len(), 2);
+        tee.emit(&Event::Gauge {
+            name: "g".into(),
+            value: 1.0,
+            seq: 0,
+        });
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+    }
+}

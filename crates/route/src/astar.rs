@@ -225,10 +225,14 @@ pub(crate) fn search(
         });
     }
 
+    // Expansions are counted locally and flushed as one counter update per
+    // search so the hot loop never touches the observability atomics.
+    let mut expansions: u64 = 0;
     while let Some(HeapEntry { g, node, .. }) = heap.pop() {
         if buffers.stamp[node] == gen && g > buffers.dist[node] + 1e-12 {
             continue; // stale entry
         }
+        expansions += 1;
         if buffers.target_stamp[node] == gen {
             // Reconstruct.
             let mut nodes = vec![node];
@@ -238,6 +242,7 @@ pub(crate) fn search(
                 nodes.push(cur);
             }
             nodes.reverse();
+            af_obs::counter("route.astar_expansions", expansions);
             return Some(FoundPath { nodes, cost: g });
         }
         let gp = dim.from_flat(node);
@@ -308,6 +313,7 @@ pub(crate) fn search(
             }
         }
     }
+    af_obs::counter("route.astar_expansions", expansions);
     None
 }
 

@@ -132,6 +132,7 @@ pub fn check_layout(
         }
     }
 
+    af_obs::counter("route.drc_violations", violations.len() as u64);
     violations
 }
 

@@ -127,32 +127,31 @@ impl RoutedLayout {
 
     /// Renders a human-readable per-net summary table.
     pub fn report(&self, circuit: &af_netlist::Circuit) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{:<12}{:>12}{:>8}{:>10}",
-            "net", "wire(um)", "vias", "segments"
-        );
+        use af_obs::fmt::{Cell, Table};
+        let t = Table::new(12).col(12).col(8).col(10);
+        let mut out = t.header("net", &["wire(um)", "vias", "segments"]);
+        out.push('\n');
         let mut nets: Vec<&RoutedNet> = self.nets.iter().collect();
         nets.sort_by_key(|rn| std::cmp::Reverse(rn.wirelength));
         for rn in nets {
-            let _ = writeln!(
-                out,
-                "{:<12}{:>12.2}{:>8}{:>10}",
-                circuit.net(rn.net).name,
-                rn.wirelength as f64 / 1e3,
-                rn.vias,
-                rn.segments.len()
-            );
+            out.push_str(&t.row(
+                &circuit.net(rn.net).name,
+                &[
+                    Cell::Float(rn.wirelength as f64 / 1e3, 2),
+                    Cell::Int(i64::from(rn.vias)),
+                    Cell::Int(rn.segments.len() as i64),
+                ],
+            ));
+            out.push('\n');
         }
-        let _ = writeln!(
-            out,
-            "{:<12}{:>12.2}{:>8}",
+        out.push_str(&t.row(
             "TOTAL",
-            self.total_wirelength() as f64 / 1e3,
-            self.total_vias()
-        );
+            &[
+                Cell::Float(self.total_wirelength() as f64 / 1e3, 2),
+                Cell::Int(i64::from(self.total_vias())),
+            ],
+        ));
+        out.push('\n');
         out
     }
 

@@ -107,6 +107,7 @@ impl Default for RouterConfig {
 
 /// Routing failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RouteError {
     /// A net could not be connected at all (hard obstacles).
     Unroutable {
@@ -173,6 +174,7 @@ pub fn route(
     cfg: &RouterConfig,
 ) -> Result<RoutedLayout, RouteError> {
     let t0 = Instant::now();
+    let _route = af_obs::span!("route");
     let mut grid = RoutingGrid::new(circuit, placement, tech, cfg.coarsen);
     let aps = PinAccessMap::extract(circuit, placement, &mut grid);
 
@@ -219,6 +221,7 @@ pub fn route(
             .then(a.cmp(&b))
     });
     tasks.extend(singles.into_iter().map(Task::Single));
+    af_obs::counter("route.tasks", tasks.len() as u64);
 
     let mut routes: HashMap<u32, NetRoute> = HashMap::new();
     let mut buffers = SearchBuffers::default();
@@ -242,6 +245,8 @@ pub fn route(
     let mut iterations = 1;
     let mut conflicts = conflicted_nodes(&grid, &routes);
     while !conflicts.is_empty() && iterations < cfg.max_iterations {
+        af_obs::counter("route.ripup_iterations", 1);
+        af_obs::counter("route.conflict_nodes", conflicts.len() as u64);
         if debug {
             for (&node, users) in &conflicts {
                 let g = grid.dim().from_flat(node as usize);
@@ -274,6 +279,7 @@ pub fn route(
             .copied()
             .filter(|t| victims.iter().any(|&v| t.contains(NetId::new(v))))
             .collect();
+        af_obs::counter("route.victims_ripped", victim_tasks.len() as u64);
         for task in &victim_tasks {
             for member in task.members().into_iter().flatten() {
                 grid.release_net(member);
@@ -297,6 +303,7 @@ pub fn route(
 
     // Post-process each net: prune stubs, release pruned nodes, compress.
     let mut nets = Vec::new();
+    let mut pruned: u64 = 0;
     for (i, _) in circuit.nets().iter().enumerate() {
         let id = NetId::new(i as u32);
         let Some(r) = routes.get_mut(&(i as u32)) else {
@@ -312,12 +319,16 @@ pub fn route(
             if !kept.contains(&n) && grid.owner(n as usize) == Some(id) && !grid.is_pin(n as usize)
             {
                 grid.force_free(n as usize);
+                pruned += 1;
             }
         }
         r.nodes = kept;
         let segments = post::edges_to_segments(grid.dim(), &r.edges);
         nets.push(RoutedNet::from_segments(id, segments));
     }
+
+    af_obs::counter("route.drc_fixes", pruned);
+    af_obs::counter("route.nets_routed", nets.len() as u64);
 
     Ok(RoutedLayout {
         nets,

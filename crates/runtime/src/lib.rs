@@ -53,6 +53,7 @@ pub fn split_seed(root_seed: u64, index: u64) -> u64 {
 
 /// Why a job failed.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum JobError {
     /// At least one task panicked; holds the first panic's message and the
     /// index of the task that raised it.
@@ -313,6 +314,17 @@ impl Runtime {
         let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(total));
         let first_panic: Mutex<Option<(usize, String)>> = Mutex::new(None);
         let workers = self.threads.min(total);
+        // Observability: workers inherit the submitting thread's span path,
+        // and (only while recording is on) each task's queue-wait and
+        // execute time land in the shared histograms. Wall clocks never
+        // feed back into task results, so determinism is unaffected.
+        let obs_on = af_obs::enabled();
+        let parent = if obs_on {
+            af_obs::current_path()
+        } else {
+            String::new()
+        };
+        let job_start = std::time::Instant::now();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -321,7 +333,23 @@ impl Runtime {
                         if hooks.cancel.is_cancelled() {
                             break;
                         }
-                        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                        let exec_start = if obs_on {
+                            let now = std::time::Instant::now();
+                            af_obs::hist(
+                                "afrt.queue_wait_us",
+                                (now - job_start).as_secs_f64() * 1e6,
+                            );
+                            Some(now)
+                        } else {
+                            None
+                        };
+                        let outcome = af_obs::with_parent(&parent, || {
+                            catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
+                        });
+                        if let Some(start) = exec_start {
+                            af_obs::hist("afrt.task_exec_us", start.elapsed().as_secs_f64() * 1e6);
+                        }
+                        match outcome {
                             Ok(r) => {
                                 results.lock().unwrap().push((i, r));
                                 hooks.progress.completed.fetch_add(1, Ordering::SeqCst);
@@ -529,6 +557,41 @@ mod tests {
         let rt = Runtime::with_threads(4);
         let items: Vec<u8> = Vec::new();
         assert!(rt.par_map(&items, |_, &x| x).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pool_tasks_inherit_span_context_and_record_timings() {
+        let sink = Arc::new(af_obs::MemorySink::new());
+        let guard = af_obs::install(sink.clone());
+        {
+            let _job = af_obs::span!("job");
+            let rt = Runtime::with_threads(4);
+            let items: Vec<u32> = (0..16).collect();
+            rt.par_map(&items, |i, _| {
+                let _t = af_obs::span!("task", i);
+                af_obs::counter("afrt.test_tasks", 1);
+            })
+            .unwrap();
+        }
+        drop(guard);
+        let events = sink.events();
+        let task_spans = events
+            .iter()
+            .filter(|e| e.name().starts_with("job/task#"))
+            .count();
+        assert_eq!(task_spans, 16, "workers inherited the submitter's span");
+        assert!(events.iter().any(
+            |e| matches!(e, af_obs::Event::Counter { name, value: 16, .. } if name == "afrt.test_tasks")
+        ));
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, af_obs::Event::Histogram { name, .. } if name == "afrt.queue_wait_us")),
+            "queue wait histogram flushed"
+        );
+        assert!(events.iter().any(
+            |e| matches!(e, af_obs::Event::Histogram { name, .. } if name == "afrt.task_exec_us")
+        ));
     }
 
     #[test]

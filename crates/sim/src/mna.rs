@@ -173,6 +173,7 @@ impl AdjointSolution {
 
 /// Error from network assembly or solving.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The MNA matrix is singular (floating node or degenerate circuit).
     Singular,

@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --release --example ota_flow -- [OTA1..OTA4] [A..D]`
 
-use analogfold_suite::analogfold::{
-    magical_route, AnalogFoldFlow, DatasetConfig, FlowConfig, GnnConfig, RelaxConfig,
-};
+use analogfold_suite::analogfold::{magical_route, AnalogFoldFlow, FlowConfig};
 use analogfold_suite::netlist::benchmarks;
 use analogfold_suite::place::{place, PlacementVariant};
 use analogfold_suite::route::RouterConfig;
@@ -38,22 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("training AnalogFold (small laptop-scale configuration) ...");
-    let cfg = FlowConfig {
-        dataset: DatasetConfig {
-            samples: 24,
-            ..DatasetConfig::default()
-        },
-        gnn: GnnConfig {
-            epochs: 12,
-            ..GnnConfig::default()
-        },
-        relax: RelaxConfig {
-            restarts: 10,
-            n_derive: 2,
-            ..RelaxConfig::default()
-        },
-        ..FlowConfig::default()
-    };
+    let cfg = FlowConfig::builder()
+        .samples(24)
+        .epochs(12)
+        .restarts(10)
+        .n_derive(2)
+        .build()?;
     let outcome = AnalogFoldFlow::new(cfg).run(&circuit, &placement)?;
     let ours = outcome.performance;
 

@@ -7,6 +7,8 @@
 //! analogfold-cli spice    <OTA1..OTA4> [A..D] [--schematic] [--out FILE]
 //! analogfold-cli train    <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--threads N] [--out FILE]
 //! analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N] [--threads N]
+//! analogfold-cli flow     <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--restarts N]
+//!                         [--threads N] [--obs-jsonl FILE] [--obs-report]
 //! analogfold-cli bench-info
 //! ```
 
@@ -14,8 +16,8 @@ use std::fs;
 use std::process::ExitCode;
 
 use analogfold_suite::analogfold::{
-    generate_dataset, guidance_field, relax, DatasetConfig, GnnConfig, HeteroGraph, Potential,
-    RelaxConfig, ThreeDGnn,
+    generate_dataset, guidance_field, relax, AnalogFoldFlow, DatasetConfig, FlowConfig, GnnConfig,
+    HeteroGraph, Potential, RelaxConfig, ThreeDGnn,
 };
 use analogfold_suite::extract::extract;
 use analogfold_suite::netlist::{benchmarks, Circuit, DeviceKind};
@@ -43,6 +45,8 @@ const USAGE: &str = "usage:
   analogfold-cli spice    <OTA1..OTA4> [A..D] [--schematic] [--out FILE]
   analogfold-cli train    <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--threads N] [--out FILE]
   analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N] [--threads N]
+  analogfold-cli flow     <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--restarts N]
+                          [--threads N] [--obs-jsonl FILE] [--obs-report]
   analogfold-cli bench-info";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -53,6 +57,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "spice" => cmd_spice(&args[1..]),
         "train" => cmd_train(&args[1..]),
         "guide" => cmd_guide(&args[1..]),
+        "flow" => cmd_flow(&args[1..]),
         "bench-info" => {
             cmd_bench_info();
             Ok(())
@@ -67,7 +72,8 @@ fn parse_circuit(args: &[String]) -> Result<Circuit, String> {
 }
 
 use analogfold_suite::cli::{
-    flag_num, flag_value, has_flag, threads_flag, variant_arg as parse_variant,
+    flag_num, flag_value, has_flag, obs_flags, obs_install, threads_flag,
+    variant_arg as parse_variant,
 };
 
 fn print_perf(label: &str, p: &Performance) {
@@ -234,6 +240,74 @@ fn cmd_guide(args: &[String]) -> Result<(), String> {
     let px = extract(&circuit, &tech, &layout);
     let perf = simulate(&circuit, Some(&px), &SimConfig::default()).map_err(|e| e.to_string())?;
     print_perf(&format!("{}-{variant} guided", circuit.name()), &perf);
+    Ok(())
+}
+
+fn cmd_flow(args: &[String]) -> Result<(), String> {
+    let circuit = parse_circuit(args)?;
+    let variant = parse_variant(args, 1);
+    let samples = flag_num(args, "--samples", 24);
+    let epochs = flag_num(args, "--epochs", 12);
+    let restarts = flag_num(args, "--restarts", 6);
+    let threads = threads_flag(args);
+    let obs = obs_flags(args);
+    let guard = obs_install(&obs)?;
+
+    let t0 = std::time::Instant::now();
+    let placement = place(&circuit, variant);
+    let placement_s = t0.elapsed().as_secs_f64();
+
+    let cfg = FlowConfig::builder()
+        .samples(samples)
+        .epochs(epochs)
+        .restarts(restarts)
+        .n_derive(flag_num(args, "--n-derive", 3).min(restarts))
+        .threads(threads)
+        .placement_s(placement_s)
+        .build()
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "running AnalogFold flow on {}-{variant} ({samples} samples, {epochs} epochs, \
+         {restarts} restarts) ...",
+        circuit.name()
+    );
+    let outcome = AnalogFoldFlow::new(cfg)
+        .run(&circuit, &placement)
+        .map_err(|e| e.to_string())?;
+
+    print_perf(
+        &format!("{}-{variant} AnalogFold", circuit.name()),
+        &outcome.performance,
+    );
+    let b = &outcome.breakdown;
+    println!("runtime breakdown (total {:.2} s):", b.total());
+    use analogfold_suite::obs::fmt::{Cell, Table};
+    let table = Table::new(16).col(10).col(8).indent(2);
+    println!("{}", table.header("stage", &["sec", "%"]));
+    let [db, tr, gg, gr, pl] = b.percentages();
+    for (name, secs, pct) in [
+        ("construct_db", b.construct_db_s, db),
+        ("training", b.training_s, tr),
+        ("guide_gen", b.guide_gen_s, gg),
+        ("guided_route", b.guided_route_s, gr),
+        ("placement", b.placement_s, pl),
+    ] {
+        println!(
+            "{}",
+            table.row(name, &[Cell::Float(secs, 3), Cell::Float(pct, 1)])
+        );
+    }
+
+    if let Some(g) = &guard {
+        g.flush();
+        if obs.report {
+            println!();
+            print!("{}", g.report_text());
+        }
+        if let Some(path) = &obs.jsonl {
+            eprintln!("obs events written to {path}");
+        }
+    }
     Ok(())
 }
 

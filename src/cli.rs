@@ -43,6 +43,52 @@ pub fn threads_flag(args: &[String]) -> usize {
     flag_num(args, "--threads", 0)
 }
 
+/// Observability options parsed from `--obs-jsonl FILE` / `--obs-report`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsFlags {
+    /// JSONL event-log destination (`--obs-jsonl FILE`).
+    pub jsonl: Option<String>,
+    /// Whether to print the span-tree report after the run (`--obs-report`).
+    pub report: bool,
+}
+
+impl ObsFlags {
+    /// Whether any observability output was requested.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.jsonl.is_some() || self.report
+    }
+}
+
+/// Parses the observability flags shared by the CLI subcommands.
+pub fn obs_flags(args: &[String]) -> ObsFlags {
+    ObsFlags {
+        jsonl: flag_value(args, "--obs-jsonl").map(str::to_string),
+        report: has_flag(args, "--obs-report"),
+    }
+}
+
+/// Installs the observability sinks requested by `flags`. Returns `None`
+/// (recording stays disabled, zero overhead) when no flag was given.
+///
+/// # Errors
+///
+/// When the `--obs-jsonl` file cannot be created.
+pub fn obs_install(flags: &ObsFlags) -> Result<Option<af_obs::ObsGuard>, String> {
+    if !flags.active() {
+        return Ok(None);
+    }
+    let mut tee = af_obs::TeeSink::new();
+    if let Some(path) = &flags.jsonl {
+        let sink = af_obs::JsonlSink::create(std::path::Path::new(path))
+            .map_err(|e| format!("cannot create `{path}`: {e}"))?;
+        tee = tee.with(Box::new(sink));
+    }
+    // `--obs-report` alone still needs recording on: the report renders from
+    // the in-memory registry, so an empty tee suffices as the sink.
+    Ok(Some(af_obs::install(std::sync::Arc::new(tee))))
+}
+
 /// Parses a placement-variant positional argument (defaults to `A`).
 pub fn variant_arg(args: &[String], idx: usize) -> PlacementVariant {
     args.get(idx)
@@ -94,6 +140,18 @@ mod tests {
             "malformed is auto"
         );
         assert_eq!(threads_flag(&argv(&["--threads", "0"])), 0);
+    }
+
+    #[test]
+    fn obs_flags_parsing() {
+        let args = argv(&["flow", "OTA1", "--obs-jsonl", "out.jsonl", "--obs-report"]);
+        let f = obs_flags(&args);
+        assert_eq!(f.jsonl.as_deref(), Some("out.jsonl"));
+        assert!(f.report);
+        assert!(f.active());
+        let none = obs_flags(&argv(&["flow", "OTA1"]));
+        assert_eq!(none, ObsFlags::default());
+        assert!(!none.active());
     }
 
     #[test]

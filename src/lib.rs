@@ -15,6 +15,8 @@
 //! * [`nn`] — pure-Rust autograd, MLPs, optimizers, VAE.
 //! * [`analogfold`] — the paper's contribution: heterogeneous graph, 3DGNN,
 //!   potential relaxation, baselines, and the end-to-end flow.
+//! * [`obs`] — zero-dependency observability: spans, metrics, sinks, and the
+//!   shared table formatter (`--obs-jsonl` / `--obs-report` in the CLI).
 //!
 //! # Quick start
 //!
@@ -31,6 +33,7 @@ pub use af_extract as extract;
 pub use af_geom as geom;
 pub use af_netlist as netlist;
 pub use af_nn as nn;
+pub use af_obs as obs;
 pub use af_place as place;
 pub use af_route as route;
 pub use af_sim as sim;

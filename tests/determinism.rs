@@ -86,6 +86,63 @@ fn dataset_and_flow_deterministic() {
     assert_eq!(o1.layout.nets, o2.layout.nets);
 }
 
+/// Observability must not perturb the computation: running the flow with a
+/// sink installed (spans, counters, and histograms recording on every hot
+/// path) must produce a bit-identical outcome to the silent run. Wall-clock
+/// fields (`breakdown`) are excluded — they are measurements, not results.
+#[test]
+fn flow_outcome_identical_with_observability_enabled() {
+    let circuit = benchmarks::ota1();
+    let placement = place(&circuit, PlacementVariant::A);
+    let builder = || {
+        FlowConfig::builder()
+            .samples(4)
+            .gnn(GnnConfig {
+                epochs: 3,
+                hidden: 8,
+                layers: 1,
+                ..GnnConfig::default()
+            })
+            .relax(RelaxConfig {
+                restarts: 2,
+                n_derive: 1,
+                lbfgs_iters: 5,
+                ..RelaxConfig::default()
+            })
+    };
+    let off = AnalogFoldFlow::new(builder().build().unwrap())
+        .run(&circuit, &placement)
+        .unwrap();
+
+    let sink = std::sync::Arc::new(analogfold_suite::obs::MemorySink::new());
+    let on = AnalogFoldFlow::new(
+        builder()
+            .obs(std::sync::Arc::clone(&sink) as _)
+            .build()
+            .unwrap(),
+    )
+    .run(&circuit, &placement)
+    .unwrap();
+
+    // The sink must actually have observed the run ...
+    let events = sink.events();
+    assert!(!events.is_empty(), "obs-on run recorded no events");
+    assert!(
+        events.iter().any(|e| e.name() == "flow"),
+        "missing flow span"
+    );
+
+    // ... and the outcome must be bit-identical to the silent run.
+    assert_eq!(off.guidance, on.guidance);
+    assert_eq!(off.layout.nets, on.layout.nets);
+    assert_eq!(off.performance, on.performance);
+    assert_eq!(off.train_report.epoch_losses, on.train_report.epoch_losses);
+    assert_eq!(
+        off.train_report.final_loss.to_bits(),
+        on.train_report.final_loss.to_bits()
+    );
+}
+
 /// The `afrt` contract applied to relaxation: one worker and eight workers
 /// must produce bit-identical pools for the same root seed.
 #[test]

@@ -1,0 +1,91 @@
+//! The observability JSONL event log: a tiny flow run with a `JsonlSink`
+//! installed must emit one valid, schema-conforming JSON object per line,
+//! and the span paths must cover all five flow stages.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use analogfold_suite::analogfold::{AnalogFoldFlow, FlowConfig, GnnConfig, RelaxConfig};
+use analogfold_suite::netlist::benchmarks;
+use analogfold_suite::obs::{self, JsonlSink};
+use analogfold_suite::place::{place, PlacementVariant};
+
+#[test]
+fn flow_jsonl_events_are_valid_and_cover_all_stages() {
+    let dir = std::env::temp_dir().join("af_obs_jsonl_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("events.jsonl");
+
+    let circuit = benchmarks::ota1();
+    let placement = place(&circuit, PlacementVariant::A);
+    let sink = JsonlSink::create(&path).unwrap();
+    let cfg = FlowConfig::builder()
+        .samples(3)
+        .gnn(GnnConfig {
+            epochs: 2,
+            hidden: 8,
+            layers: 1,
+            ..GnnConfig::default()
+        })
+        .relax(RelaxConfig {
+            restarts: 2,
+            n_derive: 1,
+            lbfgs_iters: 4,
+            ..RelaxConfig::default()
+        })
+        .obs(Arc::new(sink))
+        .build()
+        .unwrap();
+    AnalogFoldFlow::new(cfg).run(&circuit, &placement).unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(!text.trim().is_empty(), "no events were written");
+
+    let mut span_paths: BTreeSet<String> = BTreeSet::new();
+    let mut kinds: BTreeSet<String> = BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        // Each line must satisfy the af-obs event schema ...
+        obs::json::validate_event_line(line)
+            .unwrap_or_else(|e| panic!("line {}: {e}: {line}", i + 1));
+        // ... and round-trip through the independent vendored JSON parser.
+        let value = serde_json::value_from_str(line)
+            .unwrap_or_else(|e| panic!("line {}: serde_json rejected: {e:?}", i + 1));
+        let serde::Value::Map(pairs) = value else {
+            panic!("line {}: not a JSON object", i + 1);
+        };
+        let field = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone());
+        let Some(serde::Value::Str(kind)) = field("type") else {
+            panic!("line {}: missing string `type`", i + 1);
+        };
+        kinds.insert(kind.clone());
+        if kind == "span" {
+            let Some(serde::Value::Str(p)) = field("path") else {
+                panic!("line {}: span without string `path`", i + 1);
+            };
+            // Strip the per-instance `#idx` suffix to the aggregate path.
+            span_paths.insert(p.split('#').next().unwrap().to_string());
+        }
+    }
+
+    for stage in [
+        "flow",
+        "flow/placement",
+        "flow/construct_db",
+        "flow/training",
+        "flow/guide_gen",
+        "flow/guided_route",
+    ] {
+        assert!(
+            span_paths.contains(stage),
+            "missing stage span `{stage}`; saw {span_paths:?}"
+        );
+    }
+    // Metric flush events must be present too (counters from the router and
+    // histograms from the relaxation, flushed when the guard drops).
+    assert!(kinds.contains("counter"), "no counter events: {kinds:?}");
+    assert!(
+        kinds.contains("histogram"),
+        "no histogram events: {kinds:?}"
+    );
+}
