@@ -619,6 +619,99 @@ impl ThreeDGnn {
     pub fn tensors(&self, graph: &HeteroGraph) -> GraphTensors {
         GraphTensors::new(graph)
     }
+
+    /// Total scalar parameter count across every weight matrix and bias.
+    /// Persisted in the model file header as a cheap integrity checksum.
+    pub fn param_count(&self) -> usize {
+        let msg =
+            |w: &MessageWeights| w.src.param_count() + w.rbf.param_count() + w.out.param_count();
+        self.ap_encoder.param_count()
+            + self.m_encoder.param_count()
+            + self.pp.iter().map(msg).sum::<usize>()
+            + self.mp.iter().map(msg).sum::<usize>()
+            + self.pm.iter().map(msg).sum::<usize>()
+            + self.mm.iter().map(Mlp::param_count).sum::<usize>()
+            + self.readout.param_count()
+            + self.head.param_count()
+    }
+
+    /// Opens a long-lived prediction session for one graph: the tensor
+    /// cache is built once and the weights are bound into a reusable
+    /// autograd graph, so repeated predictions skip both. This is what
+    /// keeps a resident model (e.g. `af-serve`) cheap per request.
+    ///
+    /// Weights are bound as *persistent* parameters — `Graph::reset`
+    /// truncates transient inputs but keeps parameters, which is exactly
+    /// the reuse contract `train` relies on — so every
+    /// [`PredictSession::predict`] is bit-identical to
+    /// [`ThreeDGnn::predict`].
+    pub fn session(&self, graph: &HeteroGraph) -> PredictSession {
+        let tensors = GraphTensors::new(graph);
+        let mut g = Graph::new();
+        let bound = self.bind(&mut g, false);
+        PredictSession {
+            gnn: self.clone(),
+            tensors,
+            graph: g,
+            bound,
+        }
+    }
+}
+
+/// A reusable prediction context: one graph's tensor cache plus a bound
+/// autograd graph, amortized across many [`predict`](Self::predict) calls.
+/// Created by [`ThreeDGnn::session`].
+pub struct PredictSession {
+    gnn: ThreeDGnn,
+    tensors: GraphTensors,
+    graph: Graph,
+    bound: BoundGnn,
+}
+
+impl PredictSession {
+    /// Length of the flattened guidance vector the session expects.
+    pub fn guidance_len(&self) -> usize {
+        self.tensors.guidance_len()
+    }
+
+    /// Predicts the five (unnormalized) metrics for one guidance vector.
+    /// Bit-identical to [`ThreeDGnn::predict`] on the same graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guidance.len()` mismatches the graph's guided APs × 3.
+    pub fn predict(&mut self, guidance: &[f64]) -> [f64; 5] {
+        assert_eq!(
+            guidance.len(),
+            self.tensors.guidance_len(),
+            "guidance length mismatch"
+        );
+        self.graph.reset();
+        let c = self.graph.input(Tensor::from_vec(
+            guidance.to_vec(),
+            self.tensors.guided_idx.len(),
+            3,
+        ));
+        let pred = self
+            .gnn
+            .forward(&mut self.graph, &self.bound, &self.tensors, c);
+        let row = self.graph.value(pred);
+        let normalized = [
+            row.get(0, 0),
+            row.get(0, 1),
+            row.get(0, 2),
+            row.get(0, 3),
+            row.get(0, 4),
+        ];
+        self.gnn.stats.denormalize(&normalized)
+    }
+
+    /// Predicts a batch of guidance vectors. Each element is computed
+    /// independently (identical to calling [`predict`](Self::predict) per
+    /// item), so batching changes throughput, never results.
+    pub fn predict_batch(&mut self, batch: &[Vec<f64>]) -> Vec<[f64; 5]> {
+        batch.iter().map(|c| self.predict(c)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -704,6 +797,56 @@ mod tests {
             report.epoch_losses[0],
             report.final_loss
         );
+    }
+
+    #[test]
+    fn session_predictions_bit_identical_to_one_shot() {
+        let graph = tiny_graph();
+        let cfg = GnnConfig {
+            hidden: 8,
+            layers: 1,
+            epochs: 5,
+            ..GnnConfig::default()
+        };
+        let mut gnn = ThreeDGnn::new(&cfg);
+        let data = synthetic_dataset(&graph, 8);
+        gnn.train(&graph, &data, &cfg);
+        let t = GraphTensors::new(&graph);
+        let mut session = gnn.session(&graph);
+        assert_eq!(session.guidance_len(), t.guidance_len());
+        let inputs: Vec<Vec<f64>> = [0.4, 1.0, 1.7]
+            .iter()
+            .map(|&v| vec![v; t.guidance_len()])
+            .collect();
+        // Repeated session predicts (graph reuse across resets) must match
+        // the fresh-graph one-shot path exactly, in any order.
+        for c in inputs.iter().chain(inputs.iter().rev()) {
+            assert_eq!(session.predict(c), gnn.predict(&graph, c));
+        }
+        let batched = session.predict_batch(&inputs);
+        for (c, got) in inputs.iter().zip(&batched) {
+            assert_eq!(*got, gnn.predict(&graph, c));
+        }
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let cfg = GnnConfig {
+            hidden: 8,
+            layers: 2,
+            ..GnnConfig::default()
+        };
+        let gnn = ThreeDGnn::new(&cfg);
+        let count = gnn.param_count();
+        assert!(count > 0);
+        // Doubling the layer count adds exactly the per-layer weights.
+        let one = ThreeDGnn::new(&GnnConfig {
+            layers: 1,
+            ..cfg.clone()
+        });
+        assert!(count > one.param_count());
+        // Same config → same count (it is a pure function of architecture).
+        assert_eq!(count, ThreeDGnn::new(&cfg).param_count());
     }
 
     #[test]

@@ -9,11 +9,17 @@ use std::fs;
 use std::path::Path;
 
 use serde::de::DeserializeOwned;
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 use crate::dataset::Dataset;
 use crate::genius::GeniusRouteModel;
 use crate::gnn::ThreeDGnn;
+
+/// Format tag in the versioned [`ThreeDGnn`] file header.
+pub const GNN_FORMAT: &str = "analogfold-gnn";
+
+/// Current [`ThreeDGnn`] file format version.
+pub const GNN_FORMAT_VERSION: u64 = 1;
 
 /// Persistence failure.
 #[derive(Debug)]
@@ -23,6 +29,10 @@ pub enum PersistError {
     Io(std::io::Error),
     /// (De)serialization failure.
     Json(serde_json::Error),
+    /// Model file header validation failure: wrong format tag, unsupported
+    /// version, or a parameter-count checksum mismatch (stale/truncated
+    /// file). Loading such a model would produce garbage predictions.
+    Header(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -30,6 +40,7 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Json(e) => write!(f, "serialization error: {e}"),
+            PersistError::Header(msg) => write!(f, "model header error: {msg}"),
         }
     }
 }
@@ -114,27 +125,106 @@ impl ShardStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e.into()),
         };
-        Ok(serde_json::from_str(&text).ok())
+        match serde_json::from_str(&text) {
+            Ok(v) => Ok(Some(v)),
+            Err(e) => {
+                // Regeneration is the right recovery, but it must be
+                // visible: a silently re-generated shard can mask a disk
+                // or writer bug indefinitely.
+                af_obs::counter("persist.shard_corrupt", 1);
+                af_obs::warn(&format!(
+                    "corrupt shard {}: {e}; regenerating",
+                    path.display()
+                ));
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// The versioned save envelope: format tag, version, and the model's
+/// scalar parameter count as a cheap integrity checksum against truncated
+/// or stale files.
+struct GnnEnvelope<'a>(&'a ThreeDGnn);
+
+impl Serialize for GnnEnvelope<'_> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("format".to_string(), Value::Str(GNN_FORMAT.to_string())),
+            ("version".to_string(), Value::UInt(GNN_FORMAT_VERSION)),
+            (
+                "params".to_string(),
+                Value::UInt(self.0.param_count() as u64),
+            ),
+            ("model".to_string(), self.0.to_value()),
+        ])
+    }
+}
+
+fn header_u64(v: &Value, key: &str) -> Result<u64, PersistError> {
+    match v.get(key) {
+        Some(Value::UInt(u)) => Ok(*u),
+        Some(Value::Int(i)) if *i >= 0 => Ok(*i as u64),
+        _ => Err(PersistError::Header(format!(
+            "missing or non-integer `{key}` field"
+        ))),
     }
 }
 
 impl ThreeDGnn {
-    /// Saves the model (weights + target statistics) as JSON.
+    /// Saves the model (weights + target statistics) as JSON, wrapped in a
+    /// versioned header carrying a parameter-count checksum.
     ///
     /// # Errors
     ///
     /// Filesystem or serialization failures.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        save(self, path.as_ref())
+        save(&GnnEnvelope(self), path.as_ref())
     }
 
     /// Loads a model saved with [`ThreeDGnn::save`].
     ///
+    /// Files with the versioned header are validated — format tag, version,
+    /// and parameter-count checksum — so a stale or truncated model fails
+    /// loudly instead of producing garbage predictions. Legacy headerless
+    /// files (raw serialized model) still load.
+    ///
     /// # Errors
     ///
-    /// Filesystem or deserialization failures.
+    /// Filesystem failures, deserialization failures, or
+    /// [`PersistError::Header`] when header validation fails.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        load(path.as_ref())
+        let text = fs::read_to_string(path.as_ref())?;
+        let tree = serde_json::value_from_str(&text)?;
+        let Some(format) = tree.get("format") else {
+            // Legacy headerless file: the raw serialized model.
+            return serde::Deserialize::from_value(&tree).map_err(|e| PersistError::Json(e.into()));
+        };
+        if format != &Value::Str(GNN_FORMAT.to_string()) {
+            return Err(PersistError::Header(format!(
+                "format tag {format:?} is not `{GNN_FORMAT}`"
+            )));
+        }
+        let version = header_u64(&tree, "version")?;
+        if version != GNN_FORMAT_VERSION {
+            return Err(PersistError::Header(format!(
+                "unsupported version {version} (this build reads {GNN_FORMAT_VERSION})"
+            )));
+        }
+        let params = header_u64(&tree, "params")?;
+        let model_tree = tree
+            .get("model")
+            .ok_or_else(|| PersistError::Header("missing `model` field".to_string()))?;
+        let model: ThreeDGnn =
+            serde::Deserialize::from_value(model_tree).map_err(|e| PersistError::Json(e.into()))?;
+        let actual = model.param_count() as u64;
+        if actual != params {
+            return Err(PersistError::Header(format!(
+                "parameter-count checksum mismatch: header says {params}, model has {actual} \
+                 (stale or truncated file?)"
+            )));
+        }
+        Ok(model)
     }
 }
 
@@ -214,6 +304,108 @@ mod tests {
         for (a, b) in before.iter().zip(after) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
+    }
+
+    fn tiny_gnn() -> ThreeDGnn {
+        ThreeDGnn::new(&GnnConfig {
+            hidden: 8,
+            layers: 1,
+            ..GnnConfig::default()
+        })
+    }
+
+    #[test]
+    fn saved_model_carries_validated_header() {
+        let gnn = tiny_gnn();
+        let path = tmp("gnn-header.json");
+        gnn.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tree = serde_json::value_from_str(&text).unwrap();
+        assert_eq!(
+            tree.get("format"),
+            Some(&serde::Value::Str(GNN_FORMAT.to_string()))
+        );
+        // The parser may surface an unsigned literal as Int or UInt;
+        // compare the value, not the variant.
+        match tree.get("params") {
+            Some(serde::Value::UInt(n)) => assert_eq!(*n, gnn.param_count() as u64),
+            Some(serde::Value::Int(n)) => assert_eq!(*n, gnn.param_count() as i64),
+            other => panic!("missing params header: {other:?}"),
+        }
+        assert!(ThreeDGnn::load(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_headerless_model_still_loads() {
+        let gnn = tiny_gnn();
+        let path = tmp("gnn-legacy.json");
+        // A pre-header file is the raw serialized model.
+        std::fs::write(&path, serde_json::to_string(&gnn).unwrap()).unwrap();
+        let loaded = ThreeDGnn::load(&path).unwrap();
+        assert_eq!(loaded.param_count(), gnn.param_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampered_headers_are_rejected() {
+        let gnn = tiny_gnn();
+        let path = tmp("gnn-tamper.json");
+        gnn.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+
+        // Wrong parameter count → checksum mismatch.
+        let actual = format!("\"params\":{}", gnn.param_count());
+        assert!(text.contains(&actual));
+        std::fs::write(&path, text.replace(&actual, "\"params\":1")).unwrap();
+        let err = ThreeDGnn::load(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Header(_)), "{err}");
+        assert!(err.to_string().contains("checksum mismatch"));
+
+        // Future version → rejected, not misread.
+        std::fs::write(&path, text.replace("\"version\":1", "\"version\":999")).unwrap();
+        let err = ThreeDGnn::load(&path).unwrap_err();
+        assert!(err.to_string().contains("unsupported version"));
+
+        // Wrong format tag → rejected.
+        std::fs::write(&path, text.replace(GNN_FORMAT, "somebody-elses-format")).unwrap();
+        assert!(matches!(
+            ThreeDGnn::load(&path).unwrap_err(),
+            PersistError::Header(_)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_shard_is_counted_and_warned() {
+        let dir = tmp("shards-corrupt-obs");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ShardStore::new(&dir);
+        store.save_shard(0, &vec![1u32, 2]).unwrap();
+        std::fs::write(store.shard_path(0), "{definitely not json").unwrap();
+
+        let sink = std::sync::Arc::new(af_obs::MemorySink::new());
+        let guard = af_obs::install(sink.clone());
+        assert!(store.load_shard::<Vec<u32>>(0).unwrap().is_none());
+        drop(guard);
+
+        let events = sink.events();
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                af_obs::Event::Counter { name, value: 1, .. } if name == "persist.shard_corrupt"
+            )),
+            "corrupt-shard counter flushed"
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                af_obs::Event::Log { level, message, .. }
+                    if level == "warn" && message.contains("corrupt shard")
+            )),
+            "warning event emitted"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Closed-loop load generator for `af-serve`: starts an in-process server
+//! with a resident model and hammers `POST /v1/predict` from keep-alive
+//! client connections, then writes `BENCH_serve.json` with throughput and
+//! latency percentiles.
+//!
+//! Closed-loop means each client sends its next request only after the
+//! previous response arrives, so the offered load adapts to the server
+//! instead of overrunning it — the numbers measure serving capacity, not
+//! queue overflow behaviour (the e2e suite covers shedding).
+//!
+//! Run: `cargo run -p af-bench --bin loadgen --release --
+//!       [quick|full] [conns=N] [requests=N] [obs=path]`
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use af_bench::{kv_num, obs_arg, Scale};
+use af_serve::{ModelBundle, ServeConfig, Server};
+use analogfold::{GnnConfig, ThreeDGnn};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct LoadgenReport {
+    scale: String,
+    conns: u64,
+    requests_per_conn: u64,
+    total_requests: u64,
+    wall_s: f64,
+    req_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+/// Sends one predict request on an open keep-alive connection and returns
+/// once the response body has been fully read.
+fn predict_once(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, body: &str) {
+    let raw = format!(
+        "POST /v1/predict HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("request write");
+
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    assert!(
+        status_line.contains("200"),
+        "predict failed: {status_line:?}"
+    );
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().expect("content-length");
+        }
+    }
+    let mut sink = vec![0u8; content_length];
+    reader.read_exact(&mut sink).expect("response body");
+}
+
+/// Nearest-rank percentile of an already-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let _obs = obs_arg(&args);
+    let scale = args
+        .iter()
+        .find_map(|a| Scale::parse(a))
+        .unwrap_or(Scale::Quick);
+    let (default_conns, default_requests) = match scale {
+        Scale::Quick => (4, 100),
+        _ => (8, 500),
+    };
+    let conns = kv_num(&args, "conns", default_conns).max(1);
+    let requests = kv_num(&args, "requests", default_requests).max(1);
+
+    // Serving throughput does not depend on trained weights, so an
+    // untrained compact model keeps startup instant.
+    let gnn = ThreeDGnn::new(&GnnConfig {
+        hidden: 16,
+        layers: 2,
+        ..GnnConfig::default()
+    });
+    let bundle = ModelBundle::with_model("OTA1", "A", gnn).expect("bundle");
+    let guidance_len = bundle.guidance_len();
+    let job_dir = std::env::temp_dir().join(format!("af-loadgen-jobs-{}", std::process::id()));
+    let handle = Server::bind(
+        bundle,
+        ServeConfig {
+            workers: conns as usize,
+            job_dir: Some(job_dir.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind server");
+    let addr = handle.addr();
+    println!("loadgen: {conns} conns x {requests} requests against {addr} (scale {scale:?})");
+
+    let body = format!(
+        "{{\"guidance\":[{}]}}",
+        (0..guidance_len)
+            .map(|i| format!("{:?}", (i as f64).sin() * 0.3))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..conns)
+        .map(|_| {
+            let body = body.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut latencies_ms = Vec::with_capacity(requests as usize);
+                for _ in 0..requests {
+                    let t = Instant::now();
+                    predict_once(&mut stream, &mut reader, &body);
+                    latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = clients
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&job_dir);
+
+    latencies.sort_by(f64::total_cmp);
+    let total = latencies.len() as u64;
+    let report = LoadgenReport {
+        scale: format!("{scale:?}"),
+        conns,
+        requests_per_conn: requests,
+        total_requests: total,
+        wall_s,
+        req_per_s: total as f64 / wall_s,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        max_ms: latencies.last().copied().unwrap_or(f64::NAN),
+    };
+    println!(
+        "{} requests in {:.2}s: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms",
+        report.total_requests, report.wall_s, report.req_per_s, report.p50_ms, report.p99_ms
+    );
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

@@ -12,7 +12,7 @@
 //! Run: `cargo run -p af-bench --bin stability --release -- [quick|full]
 //!       [seeds=K] [threads=N]`
 
-use af_bench::{flow_config, obs_arg, threads_arg, Scale};
+use af_bench::{flow_config, kv_num, obs_arg, threads_arg, Scale};
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
 use af_route::RouterConfig;
@@ -27,11 +27,7 @@ fn main() {
         .iter()
         .find_map(|a| Scale::parse(a))
         .unwrap_or(Scale::Quick);
-    let seeds: u64 = args
-        .iter()
-        .find(|a| a.starts_with("seeds="))
-        .and_then(|a| a["seeds=".len()..].parse().ok())
-        .unwrap_or(5);
+    let seeds: u64 = kv_num(&args, "seeds", 5);
     let runtime = afrt::Runtime::with_threads(threads_arg(&args));
 
     let circuit = benchmarks::ota1();

@@ -14,7 +14,7 @@
 //! worker count (default: `AFRT_THREADS`, then hardware parallelism), and
 //! `obs=<path>` to stream observability events to a JSONL file.
 
-use af_bench::{averages, obs_arg, print_row, run_row, threads_arg, Scale, TABLE2_ROWS};
+use af_bench::{averages, kv_list, obs_arg, print_row, run_row, threads_arg, Scale, TABLE2_ROWS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,10 +23,7 @@ fn main() {
         .iter()
         .find_map(|a| Scale::parse(a))
         .unwrap_or(Scale::Quick);
-    let only: Option<Vec<String>> = args
-        .iter()
-        .find(|a| a.starts_with("only="))
-        .map(|a| a["only=".len()..].split(',').map(str::to_string).collect());
+    let only: Option<Vec<String>> = kv_list(&args, "only");
     let runtime = afrt::Runtime::with_threads(threads_arg(&args));
 
     println!("Table 2: comparison between baseline methods and AnalogFold (scale: {scale:?}).");

@@ -127,13 +127,31 @@ pub struct RowResult {
     pub ours: MethodResult,
 }
 
+/// Finds the value of a `key=value` driver argument (`kv_arg(args,
+/// "only")` matches `only=OTA1-A`). The shared parser behind every bench
+/// binary's argument handling.
+pub fn kv_arg<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .find_map(|a| a.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+}
+
+/// Parses a numeric `key=N` driver argument; absent or unparsable values
+/// fall back to `default`.
+pub fn kv_num(args: &[String], key: &str, default: u64) -> u64 {
+    kv_arg(args, key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses a comma-separated `key=a,b,c` driver argument.
+pub fn kv_list(args: &[String], key: &str) -> Option<Vec<String>> {
+    kv_arg(args, key).map(|v| v.split(',').map(str::to_string).collect())
+}
+
 /// Parses a `threads=N` driver argument; `0` (the default) resolves through
 /// `AFRT_THREADS`, then hardware parallelism.
 pub fn threads_arg(args: &[String]) -> usize {
-    args.iter()
-        .find(|a| a.starts_with("threads="))
-        .and_then(|a| a["threads=".len()..].parse().ok())
-        .unwrap_or(0)
+    kv_num(args, "threads", 0) as usize
 }
 
 /// Parses an `obs=<path>` driver argument: installs a JSONL observability
@@ -142,7 +160,7 @@ pub fn threads_arg(args: &[String]) -> usize {
 /// stays disabled — when the argument is absent or the file cannot be
 /// created.
 pub fn obs_arg(args: &[String]) -> Option<af_obs::ObsGuard> {
-    let path = args.iter().find_map(|a| a.strip_prefix("obs="))?;
+    let path = kv_arg(args, "obs")?;
     match af_obs::JsonlSink::create(std::path::Path::new(path)) {
         Ok(sink) => Some(af_obs::install(std::sync::Arc::new(sink))),
         Err(err) => {
@@ -393,6 +411,28 @@ mod tests {
         assert_eq!(threads_arg(&args(&["threads=0"])), 0);
         assert_eq!(threads_arg(&args(&["quick"])), 0, "default is auto");
         assert_eq!(threads_arg(&args(&["threads=x"])), 0, "garbage is auto");
+    }
+
+    #[test]
+    fn kv_arg_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            kv_arg(&args(&["quick", "obs=/tmp/x.jsonl"]), "obs"),
+            Some("/tmp/x.jsonl")
+        );
+        assert_eq!(
+            kv_arg(&args(&["observe=1"]), "obs"),
+            None,
+            "prefix must stop at `=`"
+        );
+        assert_eq!(kv_num(&args(&["seeds=7"]), "seeds", 5), 7);
+        assert_eq!(kv_num(&args(&["seeds=junk"]), "seeds", 5), 5);
+        assert_eq!(kv_num(&args(&[]), "seeds", 5), 5);
+        assert_eq!(
+            kv_list(&args(&["only=OTA1-A,OTA2-B"]), "only").unwrap(),
+            vec!["OTA1-A".to_string(), "OTA2-B".to_string()]
+        );
+        assert!(kv_list(&args(&["quick"]), "only").is_none());
     }
 
     #[test]

@@ -63,6 +63,17 @@ pub enum Event {
         /// Global emission sequence number.
         seq: u64,
     },
+    /// A log line surfaced through the event stream (e.g. a corrupt shard
+    /// warning). Unlike metrics, logs are emitted immediately, not at
+    /// flush.
+    Log {
+        /// Severity (`warn` is the only level emitted today).
+        level: String,
+        /// Human-readable message.
+        message: String,
+        /// Global emission sequence number.
+        seq: u64,
+    },
 }
 
 impl Event {
@@ -74,6 +85,7 @@ impl Event {
             Event::Counter { .. } => "counter",
             Event::Gauge { .. } => "gauge",
             Event::Histogram { .. } => "histogram",
+            Event::Log { .. } => "log",
         }
     }
 
@@ -85,6 +97,7 @@ impl Event {
             Event::Counter { name, .. }
             | Event::Gauge { name, .. }
             | Event::Histogram { name, .. } => name,
+            Event::Log { message, .. } => message,
         }
     }
 
@@ -95,7 +108,8 @@ impl Event {
             Event::Span { seq, .. }
             | Event::Counter { seq, .. }
             | Event::Gauge { seq, .. }
-            | Event::Histogram { seq, .. } => *seq,
+            | Event::Histogram { seq, .. }
+            | Event::Log { seq, .. } => *seq,
         }
     }
 
@@ -152,6 +166,15 @@ impl Event {
                     out.push_str("\":");
                     push_f64(&mut out, *v);
                 }
+                let _ = write!(out, ",\"seq\":{seq}");
+            }
+            Event::Log {
+                level,
+                message,
+                seq,
+            } => {
+                push_str_field(&mut out, "level", level);
+                push_str_field(&mut out, "message", message);
                 let _ = write!(out, ",\"seq\":{seq}");
             }
         }

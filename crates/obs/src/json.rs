@@ -304,6 +304,11 @@ pub fn validate_event_line(line: &str) -> Result<(String, String), String> {
             require_num_or_null("value")?;
             Ok((ty, name))
         }
+        "log" => {
+            require_str("level")?;
+            let message = require_str("message")?;
+            Ok((ty, message))
+        }
         "histogram" => {
             let name = require_str("name")?;
             let count = v
@@ -376,6 +381,11 @@ mod tests {
                 p90: 2.0,
                 p99: 2.0,
                 seq: 3,
+            },
+            crate::Event::Log {
+                level: "warn".into(),
+                message: "shard 3 corrupt".into(),
+                seq: 4,
             },
         ] {
             let (ty, name) = validate_event_line(&e.to_json()).unwrap();

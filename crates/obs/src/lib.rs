@@ -34,6 +34,7 @@
 pub mod event;
 pub mod fmt;
 pub mod json;
+pub mod prometheus;
 pub mod registry;
 pub mod report;
 pub mod sink;
@@ -324,6 +325,32 @@ pub fn hist(name: &str, value: f64) {
         return;
     }
     with_state(|i| i.registry.record_hist(name, value));
+}
+
+/// Emits a warning event to the sink immediately (warnings are not
+/// aggregated — each one is a distinct occurrence worth surfacing).
+#[inline]
+pub fn warn(message: &str) {
+    if !enabled() {
+        return;
+    }
+    with_state(|i| {
+        i.sink.emit(&Event::Log {
+            level: "warn".to_string(),
+            message: message.to_string(),
+            seq: i.next_seq(),
+        });
+    });
+}
+
+/// Runs `f` against the live registry, returning `None` when recording is
+/// disabled. This is how exporters (e.g. `af-serve`'s `/metrics` endpoint)
+/// snapshot metrics mid-run without waiting for the flush-on-drop.
+pub fn with_registry<R>(f: impl FnOnce(&Registry) -> R) -> Option<R> {
+    if !enabled() {
+        return None;
+    }
+    with_state(|i| f(&i.registry))
 }
 
 /// Opens a span: `span!("name")` or `span!("name", idx)` for repeated

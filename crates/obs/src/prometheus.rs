@@ -1,0 +1,151 @@
+//! Prometheus text-format exposition of the registry.
+//!
+//! Renders the full registry — counters, gauges, histograms (as summaries
+//! with p50/p90/p99 quantiles), and span aggregates (as `_seconds`
+//! summaries) — in the Prometheus text format, version 0.0.4. `af-serve`
+//! exposes this at `GET /metrics`.
+//!
+//! Metric names are sanitized to the Prometheus grammar
+//! (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and a
+//! leading digit gets an `_` prefix. Lines are name-sorted within each
+//! family so the output is deterministic.
+
+use std::fmt::Write as _;
+
+use crate::registry::Registry;
+
+/// Converts an af-obs metric name (`persist.shard_corrupt`,
+/// `serve/handler`) to a valid Prometheus metric name.
+#[must_use]
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' => {
+                if i == 0 {
+                    out.push('_');
+                }
+                out.push(c);
+            }
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v:?}");
+    }
+}
+
+/// Renders the whole registry in Prometheus text format.
+///
+/// Counters map to `counter`, gauges to `gauge`, histograms to `summary`
+/// (quantiles 0.5 / 0.9 / 0.99 over retained values, plus `_sum` and
+/// `_count`), and span aggregates to `<path>_seconds` summaries carrying
+/// `_sum`/`_count` only (af-obs keeps no per-close values for spans).
+#[must_use]
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counter_snapshot() {
+        let n = sanitize(&name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in registry.gauge_snapshot() {
+        let n = sanitize(&name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        out.push_str(&n);
+        out.push(' ');
+        push_f64(&mut out, value);
+        out.push('\n');
+    }
+    for (name, h) in registry.hist_snapshot() {
+        let n = sanitize(&name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for (q, v) in [
+            ("0.5", h.percentile(50.0)),
+            ("0.9", h.percentile(90.0)),
+            ("0.99", h.percentile(99.0)),
+        ] {
+            let _ = write!(out, "{n}{{quantile=\"{q}\"}} ");
+            push_f64(&mut out, v);
+            out.push('\n');
+        }
+        let _ = write!(out, "{n}_sum ");
+        push_f64(&mut out, h.sum);
+        out.push('\n');
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    for (path, s) in registry.span_snapshot() {
+        let n = format!("{}_seconds", sanitize(&path));
+        let _ = writeln!(out, "# TYPE {n} summary");
+        let _ = write!(out, "{n}_sum ");
+        push_f64(&mut out, s.total_s);
+        out.push('\n');
+        let _ = writeln!(out, "{n}_count {}", s.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize("persist.shard_corrupt"), "persist_shard_corrupt");
+        assert_eq!(sanitize("serve/handler#3"), "serve_handler_3");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn renders_every_family() {
+        let r = Registry::default();
+        r.add_counter("serve.requests", 7);
+        r.set_gauge("serve.queue.depth", 3.0);
+        for v in 1..=100 {
+            r.record_hist("serve.latency_us", f64::from(v));
+        }
+        r.record_span("serve/predict", 0.25);
+        let text = render(&r);
+        assert!(text.contains("# TYPE serve_requests counter\nserve_requests 7\n"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge\nserve_queue_depth 3.0\n"));
+        assert!(text.contains("serve_latency_us{quantile=\"0.5\"} 50.0\n"));
+        assert!(text.contains("serve_latency_us{quantile=\"0.99\"} 99.0\n"));
+        assert!(text.contains("serve_latency_us_count 100\n"));
+        assert!(text.contains("serve_predict_seconds_sum 0.25\n"));
+        assert!(text.contains("serve_predict_seconds_count 1\n"));
+    }
+
+    #[test]
+    fn non_finite_values_render_as_prometheus_literals() {
+        let r = Registry::default();
+        r.set_gauge("g", f64::INFINITY);
+        let text = render(&r);
+        assert!(text.contains("g +Inf\n"));
+    }
+
+    #[test]
+    fn output_is_deterministically_sorted() {
+        let r = Registry::default();
+        r.add_counter("z", 1);
+        r.add_counter("a", 1);
+        let text = render(&r);
+        let za = text.find("\nz 1").unwrap();
+        let aa = text.find("a 1").unwrap();
+        assert!(aa < za);
+    }
+}

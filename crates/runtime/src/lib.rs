@@ -26,6 +26,10 @@
 //! Thread-count resolution order: explicit builder value, then the
 //! `AFRT_THREADS` environment variable, then `std::thread::available_parallelism`.
 
+pub mod queue;
+
+pub use queue::{BoundedQueue, PushError};
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -419,6 +423,10 @@ pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (r, t0.elapsed().as_secs_f64())
 }
 
+/// Serializes tests that install the process-global `af_obs` state.
+#[cfg(test)]
+pub(crate) static OBS_TEST_LOCK: Mutex<()> = Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -561,6 +569,9 @@ mod tests {
 
     #[test]
     fn pool_tasks_inherit_span_context_and_record_timings() {
+        let _l = crate::OBS_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let sink = Arc::new(af_obs::MemorySink::new());
         let guard = af_obs::install(sink.clone());
         {

@@ -1,0 +1,304 @@
+//! A bounded multi-producer/multi-consumer queue with observability hooks.
+//!
+//! This is the backpressure primitive behind `af-serve`: connection,
+//! batch, and job queues are all `BoundedQueue`s, so "queue full" is an
+//! immediate, non-blocking signal the server can translate into `429
+//! Too Many Requests` instead of letting latency grow without bound.
+//!
+//! Every push/pop publishes the current depth as an `af_obs` gauge named
+//! `{name}.depth`, and rejected pushes bump the `{name}.rejected` counter,
+//! so saturation is visible in `/metrics` without extra plumbing.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Why a [`BoundedQueue::try_push`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should shed load.
+    Full,
+    /// The queue has been closed; no further items are accepted.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full => write!(f, "queue full"),
+            PushError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+/// A bounded FIFO queue for handing work between threads.
+///
+/// Producers use the non-blocking [`try_push`](Self::try_push); consumers
+/// block on [`pop`](Self::pop) (or poll with
+/// [`pop_timeout`](Self::pop_timeout)). [`close`](Self::close) wakes every
+/// consumer; pops drain the remaining items first and only then return
+/// `None`, which is what lets a server finish in-flight work during
+/// graceful shutdown.
+pub struct BoundedQueue<T> {
+    name: String,
+    capacity: usize,
+    shared: Mutex<Shared<T>>,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items. `name` prefixes
+    /// the published obs metrics (`{name}.depth`, `{name}.rejected`).
+    #[must_use]
+    pub fn new(name: &str, capacity: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            capacity: capacity.max(1),
+            shared: Mutex::new(Shared {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Shared<T>> {
+        self.shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn publish_depth(&self, depth: usize) {
+        if af_obs::enabled() {
+            af_obs::gauge(&format!("{}.depth", self.name), depth as f64);
+        }
+    }
+
+    /// The queue's configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity (the item is returned implicitly by
+    /// load-shedding callers constructing their own response) and
+    /// [`PushError::Closed`] after `close`.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if s.items.len() >= self.capacity {
+            drop(s);
+            if af_obs::enabled() {
+                af_obs::counter(&format!("{}.rejected", self.name), 1);
+            }
+            return Err(PushError::Full);
+        }
+        s.items.push_back(item);
+        let depth = s.items.len();
+        drop(s);
+        self.publish_depth(depth);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking until one is available. Returns
+    /// `None` only once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                let depth = s.items.len();
+                drop(s);
+                self.publish_depth(depth);
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self
+                .ready
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`pop`](Self::pop) but gives up after `timeout`, returning
+    /// `None` on timeout as well as on closed-and-drained. Callers that
+    /// must distinguish the two can check [`is_closed`](Self::is_closed).
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                let depth = s.items.len();
+                drop(s);
+                self.publish_depth(depth);
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(s, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            s = guard;
+        }
+    }
+
+    /// Closes the queue: future pushes fail, blocked pops wake, and pops
+    /// keep draining queued items before returning `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::new("t", 2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new("t", 8);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_timeout_expires_when_empty() {
+        let q: BoundedQueue<u8> = BoundedQueue::new("t", 1);
+        let start = Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(20)), None);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert!(!q.is_closed());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q: Arc<BoundedQueue<u8>> = Arc::new(BoundedQueue::new("t", 1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_delivers_everything() {
+        let q: Arc<BoundedQueue<usize>> = Arc::new(BoundedQueue::new("t", 64));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for p in 0..4 {
+                let q = &q;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let v = p * 50 + i;
+                        loop {
+                            match q.try_push(v) {
+                                Ok(()) => break,
+                                Err(PushError::Full) => std::thread::yield_now(),
+                                Err(PushError::Closed) => panic!("closed early"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        q.close();
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn publishes_depth_gauge_and_rejected_counter() {
+        let _l = crate::OBS_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let sink = Arc::new(af_obs::MemorySink::new());
+        let guard = af_obs::install(sink.clone());
+        let q = BoundedQueue::new("afrt.testq", 1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        drop(guard);
+        let events = sink.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, af_obs::Event::Gauge { name, .. } if name == "afrt.testq.depth")));
+        assert!(events.iter().any(
+            |e| matches!(e, af_obs::Event::Counter { name, value: 1, .. } if name == "afrt.testq.rejected")
+        ));
+    }
+}

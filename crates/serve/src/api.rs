@@ -1,0 +1,132 @@
+//! Wire types of the JSON API.
+//!
+//! Request bodies use derived `Deserialize` (the vendored derive maps a
+//! missing named field to `Null`, which `Option<T>` reads as `None`, so
+//! optional knobs need no custom code). Responses use derived `Serialize`.
+
+use af_sim::Performance;
+use serde::{Deserialize, Serialize};
+
+/// `{"error": ...}` envelope attached to every non-2xx response.
+#[derive(Debug, Clone, Serialize)]
+pub struct ErrorBody {
+    /// Human-readable failure description.
+    pub error: String,
+}
+
+/// `GET /healthz` response.
+#[derive(Debug, Clone, Serialize)]
+pub struct HealthResponse {
+    /// Always `true` when the server can answer at all.
+    pub ok: bool,
+    /// Benchmark circuit the resident model serves.
+    pub circuit: String,
+    /// Placement variant label (`A`..`D`).
+    pub variant: String,
+    /// Expected `guidance` length for `/v1/predict`.
+    pub guidance_len: u64,
+}
+
+/// `POST /v1/predict` request body.
+#[derive(Debug, Clone, Deserialize)]
+pub struct PredictRequest {
+    /// Flattened guidance assignment (3 values per guided access point);
+    /// must have exactly `guidance_len` entries.
+    pub guidance: Vec<f64>,
+}
+
+/// `POST /v1/predict` response body.
+#[derive(Debug, Clone, Serialize)]
+pub struct PredictResponse {
+    /// Predicted post-layout metrics for the supplied guidance.
+    pub performance: Performance,
+    /// Size of the micro-batch this request was computed in (`1` when no
+    /// other request arrived within the batching window).
+    pub batch_size: u64,
+}
+
+/// `POST /v1/guide` request body; every knob is optional.
+#[derive(Debug, Clone, Deserialize)]
+pub struct GuideRequest {
+    /// Relaxation restarts (default 12).
+    pub restarts: Option<u64>,
+    /// L-BFGS iterations per restart (default 30).
+    pub lbfgs_iters: Option<u64>,
+    /// RNG seed (default 99).
+    pub seed: Option<u64>,
+}
+
+/// `POST /v1/guide` response body.
+#[derive(Debug, Clone, Serialize)]
+pub struct GuideResponse {
+    /// Best derived guidance assignment.
+    pub guidance: Vec<f64>,
+    /// Its potential value (lower is better).
+    pub potential: f64,
+}
+
+/// `POST /v1/route` request body; every knob is optional.
+#[derive(Debug, Clone, Deserialize)]
+pub struct RouteRequest {
+    /// Relaxation restarts (default 6).
+    pub restarts: Option<u64>,
+    /// L-BFGS iterations per restart (default 30).
+    pub lbfgs_iters: Option<u64>,
+    /// Guidance candidates to route-and-evaluate (default 1).
+    pub n_derive: Option<u64>,
+    /// RNG seed (default 99).
+    pub seed: Option<u64>,
+}
+
+/// `POST /v1/route` response body (`202 Accepted`).
+#[derive(Debug, Clone, Serialize)]
+pub struct RouteAccepted {
+    /// Job id; poll `GET /v1/jobs/{id}`.
+    pub id: u64,
+    /// Initial status, always `"queued"`.
+    pub status: String,
+}
+
+/// Parses a request body as JSON of type `T`, mapping failures to a
+/// uniform error message.
+pub fn parse_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    serde_json::from_str(text).map_err(|e| format!("invalid json body: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optional_fields_default_to_none() {
+        let req: RouteRequest = parse_body(b"{}").unwrap();
+        assert!(req.restarts.is_none() && req.seed.is_none());
+        let req: RouteRequest = parse_body(b"{\"restarts\": 9, \"seed\": 7}").unwrap();
+        assert_eq!(req.restarts, Some(9));
+        assert_eq!(req.seed, Some(7));
+    }
+
+    #[test]
+    fn predict_request_round_trips() {
+        let req: PredictRequest = parse_body(b"{\"guidance\": [0.25, -1.5, 3.0]}").unwrap();
+        assert_eq!(req.guidance, vec![0.25, -1.5, 3.0]);
+    }
+
+    #[test]
+    fn bad_bodies_are_reported_not_panicked() {
+        assert!(parse_body::<PredictRequest>(b"not json").is_err());
+        assert!(parse_body::<PredictRequest>(&[0xff, 0xfe]).is_err());
+        assert!(parse_body::<PredictRequest>(b"{\"guidance\": \"nope\"}").is_err());
+    }
+
+    #[test]
+    fn responses_serialize() {
+        let body = serde_json::to_string(&RouteAccepted {
+            id: 3,
+            status: "queued".to_string(),
+        })
+        .unwrap();
+        assert!(body.contains("\"id\":3") && body.contains("\"queued\""));
+    }
+}

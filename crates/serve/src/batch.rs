@@ -1,0 +1,224 @@
+//! Cross-request micro-batching for `/v1/predict`.
+//!
+//! A single collector thread owns the [`PredictSession`] (and with it the
+//! mutable inference graph). Handler threads submit jobs into a bounded
+//! queue and block on a reply channel; the collector takes the first job,
+//! then keeps collecting until either `batch_max` jobs are in hand or
+//! `batch_window_us` has elapsed since the first, and runs one batched
+//! pass over the lot.
+//!
+//! Batching is a throughput optimization, never a semantic one: each batch
+//! element runs through the same session path as a lone request, so
+//! results are bit-identical regardless of how requests were coalesced
+//! (covered by the e2e suite).
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use afrt::{BoundedQueue, PushError};
+
+use crate::config::ServeConfig;
+use crate::state::ModelBundle;
+
+/// One queued prediction: the guidance to evaluate and where to send the
+/// answer.
+struct PredictJob {
+    guidance: Vec<f64>,
+    reply: mpsc::Sender<Result<Prediction, String>>,
+}
+
+/// A successful prediction.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// The five denormalized metrics, in [`analogfold`] metric order.
+    pub metrics: [f64; 5],
+    /// How many requests shared the forward pass.
+    pub batch_size: u64,
+}
+
+/// Why a submission failed before reaching the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The predict queue is full — shed with `429`.
+    Overloaded,
+    /// The server is shutting down — `503`.
+    ShuttingDown,
+    /// The reply did not arrive within the request deadline — `408`.
+    DeadlineExceeded,
+    /// The request was rejected (e.g. wrong guidance length) — `400`.
+    Rejected(String),
+}
+
+/// Handle to the collector thread.
+pub struct Batcher {
+    queue: Arc<BoundedQueue<PredictJob>>,
+    collector: Option<thread::JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawns the collector thread around `bundle`.
+    #[must_use]
+    pub fn start(bundle: &Arc<ModelBundle>, cfg: &ServeConfig) -> Self {
+        let queue: Arc<BoundedQueue<PredictJob>> =
+            Arc::new(BoundedQueue::new("serve.predict", cfg.predict_queue));
+        let batch_max = cfg.batch_max.max(1);
+        let window = Duration::from_micros(cfg.batch_window_us);
+        let bundle = Arc::clone(bundle);
+        let q = Arc::clone(&queue);
+        let collector = thread::Builder::new()
+            .name("serve-batcher".to_string())
+            .spawn(move || {
+                let mut session = bundle.session();
+                let expected = session.guidance_len();
+                while let Some(first) = q.pop() {
+                    let mut jobs = vec![first];
+                    let deadline = Instant::now() + window;
+                    while jobs.len() < batch_max {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        match q.pop_timeout(deadline - now) {
+                            Some(job) => jobs.push(job),
+                            None => break,
+                        }
+                    }
+
+                    // Validate lengths first so one malformed request cannot
+                    // sink its batch-mates.
+                    let mut valid = Vec::with_capacity(jobs.len());
+                    for job in jobs {
+                        if job.guidance.len() == expected {
+                            valid.push(job);
+                        } else {
+                            let msg = format!(
+                                "guidance must have {expected} values, got {}",
+                                job.guidance.len()
+                            );
+                            let _ = job.reply.send(Err(msg));
+                        }
+                    }
+                    if valid.is_empty() {
+                        continue;
+                    }
+
+                    let batch: Vec<Vec<f64>> = valid.iter().map(|j| j.guidance.clone()).collect();
+                    let size = batch.len() as u64;
+                    af_obs::hist("serve.batch.size", size as f64);
+                    let outputs = session.predict_batch(&batch);
+                    for (job, metrics) in valid.into_iter().zip(outputs) {
+                        let _ = job.reply.send(Ok(Prediction {
+                            metrics,
+                            batch_size: size,
+                        }));
+                    }
+                }
+            })
+            .expect("spawn serve-batcher thread");
+        Self {
+            queue,
+            collector: Some(collector),
+        }
+    }
+
+    /// Submits one guidance vector and blocks until the batched answer
+    /// arrives or `deadline` elapses.
+    pub fn predict(
+        &self,
+        guidance: Vec<f64>,
+        deadline: Duration,
+    ) -> Result<Prediction, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        match self.queue.try_push(PredictJob {
+            guidance,
+            reply: tx,
+        }) {
+            Ok(()) => {}
+            Err(PushError::Full) => return Err(SubmitError::Overloaded),
+            Err(PushError::Closed) => return Err(SubmitError::ShuttingDown),
+        }
+        match rx.recv_timeout(deadline) {
+            Ok(Ok(prediction)) => Ok(prediction),
+            Ok(Err(msg)) => Err(SubmitError::Rejected(msg)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(SubmitError::DeadlineExceeded),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Closes the submission queue through a shared reference without
+    /// joining the collector; the collector drains what is queued and
+    /// exits, and is joined when the batcher drops.
+    pub(crate) fn close_queue(&self) {
+        self.queue.close();
+    }
+
+    /// Stops accepting work, drains what is queued, and joins the
+    /// collector.
+    pub fn shutdown(&mut self) {
+        self.queue.close();
+        if let Some(handle) = self.collector.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analogfold::{GnnConfig, ThreeDGnn};
+
+    fn bundle() -> Arc<ModelBundle> {
+        let gnn = ThreeDGnn::new(&GnnConfig {
+            hidden: 8,
+            layers: 1,
+            ..GnnConfig::default()
+        });
+        Arc::new(ModelBundle::with_model("OTA1", "A", gnn).unwrap())
+    }
+
+    #[test]
+    fn single_prediction_matches_direct_session() {
+        let bundle = bundle();
+        let len = bundle.guidance_len();
+        let guidance: Vec<f64> = (0..len).map(|i| (i as f64) * 0.01 - 0.3).collect();
+        let expected = bundle.session().predict(&guidance);
+
+        let mut batcher = Batcher::start(&bundle, &ServeConfig::default());
+        let got = batcher.predict(guidance, Duration::from_secs(30)).unwrap();
+        assert_eq!(got.metrics, expected);
+        assert!(got.batch_size >= 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn wrong_length_is_rejected_not_panicked() {
+        let bundle = bundle();
+        let mut batcher = Batcher::start(&bundle, &ServeConfig::default());
+        match batcher.predict(vec![0.0; 3], Duration::from_secs(30)) {
+            Err(SubmitError::Rejected(msg)) => assert!(msg.contains("guidance")),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn shutdown_then_submit_reports_shutting_down() {
+        let bundle = bundle();
+        let mut batcher = Batcher::start(&bundle, &ServeConfig::default());
+        batcher.shutdown();
+        assert_eq!(
+            batcher
+                .predict(vec![0.0; bundle.guidance_len()], Duration::from_secs(1))
+                .unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+    }
+}

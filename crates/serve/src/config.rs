@@ -1,0 +1,105 @@
+//! Server tuning knobs. Defaults favor interactive latency on small
+//! models; every threshold is explicit so the e2e tests can force each
+//! failure mode deterministically.
+
+use std::path::PathBuf;
+
+/// Configuration of one [`crate::Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port (the bound address is
+    /// reported by [`crate::ServerHandle::addr`]).
+    pub addr: String,
+    /// Connection-handler threads. `0` = auto (hardware parallelism,
+    /// capped at 8 — handlers mostly wait on the batcher or job queue).
+    pub workers: usize,
+    /// Maximum predict requests coalesced into one batched forward pass.
+    pub batch_max: usize,
+    /// How long the collector waits for more predict requests before
+    /// running a partial batch, in microseconds.
+    pub batch_window_us: u64,
+    /// Bound of the accepted-connection queue; beyond it the accept loop
+    /// sheds with `429`.
+    pub conn_queue: usize,
+    /// Bound of the predict (batch) queue; a full queue sheds with `429`.
+    pub predict_queue: usize,
+    /// Bound of the route-job queue; a full queue sheds with `429`.
+    pub job_queue: usize,
+    /// Threads executing route jobs.
+    pub job_workers: usize,
+    /// Per-request deadline for queued waits, in milliseconds; exceeding it
+    /// answers `408`.
+    pub request_deadline_ms: u64,
+    /// Keep-alive idle timeout, in milliseconds: a connection with no new
+    /// request within this window is closed.
+    pub keepalive_idle_ms: u64,
+    /// `Retry-After` seconds advertised on `429` responses.
+    pub retry_after_s: u64,
+    /// Directory of the persistent job store (a `persist::ShardStore`).
+    /// `None` uses `serve-jobs` under the system temp directory.
+    pub job_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            batch_max: 8,
+            batch_window_us: 2_000,
+            conn_queue: 128,
+            predict_queue: 256,
+            job_queue: 16,
+            job_workers: 1,
+            request_deadline_ms: 30_000,
+            keepalive_idle_ms: 5_000,
+            retry_after_s: 1,
+            job_dir: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Resolved handler-thread count.
+    #[must_use]
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(2)
+            .min(8)
+    }
+
+    /// Resolved job-store directory.
+    #[must_use]
+    pub fn resolved_job_dir(&self) -> PathBuf {
+        self.job_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("af-serve-jobs-{}", std::process::id()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.batch_max >= 1);
+        assert!(cfg.resolved_workers() >= 1);
+        assert!(cfg
+            .resolved_job_dir()
+            .to_string_lossy()
+            .contains("af-serve-jobs"));
+        let fixed = ServeConfig {
+            workers: 3,
+            job_dir: Some(PathBuf::from("/tmp/x")),
+            ..ServeConfig::default()
+        };
+        assert_eq!(fixed.resolved_workers(), 3);
+        assert_eq!(fixed.resolved_job_dir(), PathBuf::from("/tmp/x"));
+    }
+}

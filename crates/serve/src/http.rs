@@ -1,0 +1,431 @@
+//! Minimal HTTP/1.1 request parsing and response writing over std I/O.
+//!
+//! The parser operates on any [`BufRead`], which lets the proptest suite
+//! exercise it on in-memory byte streams without sockets. It is strict
+//! where strictness protects the server (hard limits on line lengths,
+//! header count, and body size; conflicting `Content-Length` headers are
+//! rejected) and lenient where leniency is harmless (header values are
+//! trimmed, header names are case-insensitive).
+
+use std::io::{BufRead, Write};
+
+/// Maximum accepted request-line length in bytes.
+pub const MAX_REQUEST_LINE: usize = 8192;
+/// Maximum accepted header-line length in bytes.
+pub const MAX_HEADER_LINE: usize = 8192;
+/// Maximum accepted header count.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum accepted body size in bytes (1 MiB).
+pub const MAX_BODY: usize = 1 << 20;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, e.g. `/v1/predict`.
+    pub path: String,
+    /// Headers as (lower-cased name, trimmed value) pairs, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this request.
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request failed to parse.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed request — the connection gets a `400` and is closed.
+    Bad(String),
+    /// Request exceeded a size limit — `413`, connection closed.
+    TooLarge(String),
+    /// Transport-level failure (including read timeouts); no response is
+    /// possible or warranted.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Bad(msg) => write!(f, "bad request: {msg}"),
+            ParseError::TooLarge(msg) => write!(f, "request too large: {msg}"),
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads one line terminated by `\n`, enforcing `limit`. Returns the line
+/// without the trailing `\r\n`/`\n`. `Ok(None)` signals clean EOF before any
+/// byte arrived.
+fn read_line(
+    reader: &mut impl BufRead,
+    limit: usize,
+    what: &str,
+) -> Result<Option<String>, ParseError> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ParseError::Bad(format!("unexpected eof in {what}")));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let line = String::from_utf8(buf)
+                        .map_err(|_| ParseError::Bad(format!("non-utf8 {what}")))?;
+                    return Ok(Some(line));
+                }
+                if buf.len() >= limit {
+                    return Err(ParseError::TooLarge(format!(
+                        "{what} exceeds {limit} bytes"
+                    )));
+                }
+                buf.push(byte[0]);
+            }
+            Err(e) => return Err(ParseError::Io(e)),
+        }
+    }
+}
+
+/// Parses one request from `reader`. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (normal keep-alive termination).
+pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, ParseError> {
+    let request_line = match read_line(reader, MAX_REQUEST_LINE, "request line")? {
+        Some(line) => line,
+        None => return Ok(None),
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or_else(|| ParseError::Bad("missing or malformed method".to_string()))?
+        .to_string();
+    let path = parts
+        .next()
+        .filter(|p| p.starts_with('/'))
+        .ok_or_else(|| ParseError::Bad("missing or malformed target".to_string()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("missing http version".to_string()))?;
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(ParseError::Bad(format!("unsupported version {version:?}")));
+    }
+    if parts.next().is_some() {
+        return Err(ParseError::Bad("extra tokens in request line".to_string()));
+    }
+
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    loop {
+        let line = read_line(reader, MAX_HEADER_LINE, "header line")?
+            .ok_or_else(|| ParseError::Bad("eof before end of headers".to_string()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::TooLarge(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Bad(format!("header without colon: {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::Bad(format!("malformed header name: {name:?}")));
+        }
+        let name = name.to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            let n: usize = value
+                .parse()
+                .map_err(|_| ParseError::Bad(format!("bad content-length: {value:?}")))?;
+            if let Some(prev) = content_length {
+                if prev != n {
+                    return Err(ParseError::Bad(
+                        "conflicting content-length headers".to_string(),
+                    ));
+                }
+            }
+            content_length = Some(n);
+        }
+        headers.push((name, value));
+    }
+
+    let body_len = content_length.unwrap_or(0);
+    if body_len > MAX_BODY {
+        return Err(ParseError::TooLarge(format!(
+            "body of {body_len} bytes exceeds {MAX_BODY}"
+        )));
+    }
+    let mut body = vec![0u8; body_len];
+    reader.read_exact(&mut body).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => ParseError::Bad("truncated body".to_string()),
+        _ => ParseError::Io(e),
+    })?;
+
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+#[must_use]
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` of `body`.
+    pub content_type: &'static str,
+    /// Extra headers (name, value) appended verbatim.
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Whether to advertise and perform connection close.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    #[must_use]
+    pub fn text(status: u16, body: &str) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+            close: false,
+        }
+    }
+
+    /// A JSON error envelope `{"error": ...}`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = serde_json::to_string(&crate::api::ErrorBody {
+            error: message.to_string(),
+        })
+        .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
+        Response::json(status, body)
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.extra_headers.push((name.to_string(), value));
+        self
+    }
+
+    /// Marks the connection for close after this response.
+    #[must_use]
+    pub fn with_close(mut self) -> Self {
+        self.close = true;
+        self
+    }
+
+    /// Serializes the response to `out` (status line, headers, body).
+    pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        if self.close {
+            head.push_str("connection: close\r\n");
+        }
+        head.push_str("\r\n");
+        out.write_all(head.as_bytes())?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, ParseError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_case_insensitive_headers() {
+        let req = parse(
+            b"POST /v1/predict HTTP/1.1\r\nContent-Length: 4\r\nConnection: Close\r\n\r\nabcd",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.body, b"abcd");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_inputs_as_bad() {
+        for raw in [
+            b"GARBAGE\r\n\r\n".as_slice(),
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nnocolon\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ncontent-length: nan\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 5\r\n\r\nabcde",
+            b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort",
+        ] {
+            match parse(raw) {
+                Err(ParseError::Bad(_)) => {}
+                other => panic!(
+                    "expected Bad for {:?}, got {:?}",
+                    String::from_utf8_lossy(raw),
+                    other.map(|_| ())
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_inputs_as_too_large() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 1));
+        assert!(matches!(
+            parse(long_line.as_bytes()),
+            Err(ParseError::TooLarge(_))
+        ));
+
+        let mut many_headers = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            many_headers.push_str(&format!("h{i}: v\r\n"));
+        }
+        many_headers.push_str("\r\n");
+        assert!(matches!(
+            parse(many_headers.as_bytes()),
+            Err(ParseError::TooLarge(_))
+        ));
+
+        let huge_body = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            parse(huge_body.as_bytes()),
+            Err(ParseError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_sequentially() {
+        let raw: &[u8] = b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\ncontent-length: 2\r\n\r\nhiGET /c HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw);
+        let a = read_request(&mut reader).unwrap().unwrap();
+        let b = read_request(&mut reader).unwrap().unwrap();
+        let c = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(
+            (a.path.as_str(), b.path.as_str(), c.path.as_str()),
+            ("/a", "/b", "/c")
+        );
+        assert_eq!(b.body, b"hi");
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn responses_serialize_with_headers_and_close() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".to_string())
+            .with_header("retry-after", "1".to_string())
+            .with_close()
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Asynchronous routing jobs and their persistent store.
+//!
+//! `POST /v1/route` enqueues a job and returns immediately; workers run
+//! the guided-routing flow (`run_with_model`) and write each state
+//! transition to a [`ShardStore`] shard named by the job id, so results
+//! survive a server restart. On startup the store replays the directory:
+//! jobs that were `queued` or `running` when the process died are marked
+//! `failed` (their threads are gone), finished jobs remain queryable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use af_sim::Performance;
+use afrt::{BoundedQueue, PushError};
+use analogfold::{AnalogFoldFlow, FlowConfig, RelaxConfig, ShardStore};
+use serde::{Deserialize, Serialize};
+
+use crate::api::RouteRequest;
+use crate::config::ServeConfig;
+use crate::state::ModelBundle;
+
+/// Final product of a routing job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteResult {
+    /// Total routed wirelength in micrometers.
+    pub wirelength_um: f64,
+    /// Total via count.
+    pub vias: u64,
+    /// Unresolved routing conflicts (0 for a clean layout).
+    pub conflicts: u64,
+    /// Simulated post-layout performance.
+    pub performance: Performance,
+    /// The guidance assignment the router followed.
+    pub guidance: Vec<f64>,
+}
+
+/// One job's persisted state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job id (also the shard index).
+    pub id: u64,
+    /// `"queued"`, `"running"`, `"done"`, or `"failed"`.
+    pub status: String,
+    /// Failure description when `status == "failed"`.
+    pub error: Option<String>,
+    /// Result when `status == "done"`.
+    pub result: Option<RouteResult>,
+}
+
+/// Resolved routing-job parameters (defaults applied, invariants clamped).
+#[derive(Debug, Clone, Copy)]
+pub struct JobParams {
+    /// Relaxation restarts.
+    pub restarts: usize,
+    /// L-BFGS iterations per restart.
+    pub lbfgs_iters: usize,
+    /// Guidance candidates routed and evaluated.
+    pub n_derive: usize,
+    /// Root RNG seed.
+    pub seed: u64,
+}
+
+impl JobParams {
+    /// Applies defaults to an API request. `n_derive` is clamped to
+    /// `restarts` (the flow rejects the inverse ordering).
+    #[must_use]
+    pub fn from_request(req: &RouteRequest) -> Self {
+        let restarts = req.restarts.unwrap_or(6).max(1) as usize;
+        Self {
+            restarts,
+            lbfgs_iters: req.lbfgs_iters.unwrap_or(30).max(1) as usize,
+            n_derive: (req.n_derive.unwrap_or(1).max(1) as usize).min(restarts),
+            seed: req.seed.unwrap_or(99),
+        }
+    }
+}
+
+/// Persistent job store: one shard per job, guarded by a write lock so a
+/// worker transition and a concurrent create cannot interleave shard
+/// writes with id allocation.
+pub struct JobStore {
+    shards: ShardStore,
+    write: Mutex<()>,
+    next_id: AtomicU64,
+}
+
+impl JobStore {
+    /// Opens (or creates) the store at `dir`, recovering existing records.
+    /// Jobs left `queued`/`running` by a dead process are marked `failed`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures other than a missing directory.
+    pub fn open(dir: impl Into<std::path::PathBuf>) -> Result<Self, crate::ServeError> {
+        let shards = ShardStore::new(dir);
+        let mut next_id = 0u64;
+        match std::fs::read_dir(shards.dir()) {
+            Ok(entries) => {
+                for entry in entries.flatten() {
+                    let name = entry.file_name();
+                    let Some(idx) = name
+                        .to_str()
+                        .and_then(|n| n.strip_prefix("shard-"))
+                        .and_then(|n| n.strip_suffix(".json"))
+                        .and_then(|n| n.parse::<u64>().ok())
+                    else {
+                        continue;
+                    };
+                    next_id = next_id.max(idx + 1);
+                    if let Ok(Some(mut record)) = shards.load_shard::<JobRecord>(idx as usize) {
+                        if record.status == "queued" || record.status == "running" {
+                            record.status = "failed".to_string();
+                            record.error = Some("interrupted by server restart".to_string());
+                            shards
+                                .save_shard(idx as usize, &record)
+                                .map_err(analogfold::Error::from)?;
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        Ok(Self {
+            shards,
+            write: Mutex::new(()),
+            next_id: AtomicU64::new(next_id),
+        })
+    }
+
+    /// Creates a new `queued` record and persists it.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or serialization failures.
+    pub fn create(&self) -> Result<JobRecord, crate::ServeError> {
+        let _guard = self
+            .write
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let record = JobRecord {
+            id,
+            status: "queued".to_string(),
+            error: None,
+            result: None,
+        };
+        self.shards
+            .save_shard(id as usize, &record)
+            .map_err(analogfold::Error::from)?;
+        Ok(record)
+    }
+
+    /// Persists a state transition.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or serialization failures.
+    pub fn update(&self, record: &JobRecord) -> Result<(), crate::ServeError> {
+        let _guard = self
+            .write
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.shards
+            .save_shard(record.id as usize, record)
+            .map_err(analogfold::Error::from)?;
+        Ok(())
+    }
+
+    /// Reads a job by id (`None` if it never existed or its shard is
+    /// corrupt — corruption is already counted by the shard layer).
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<JobRecord> {
+        self.shards.load_shard(id as usize).ok().flatten()
+    }
+}
+
+/// The worker pool draining the route-job queue.
+pub struct JobRunner {
+    queue: Arc<BoundedQueue<(u64, JobParams)>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    store: Arc<JobStore>,
+}
+
+impl JobRunner {
+    /// Spawns `cfg.job_workers` worker threads over `store`.
+    #[must_use]
+    pub fn start(bundle: &Arc<ModelBundle>, store: &Arc<JobStore>, cfg: &ServeConfig) -> Self {
+        let queue = Arc::new(BoundedQueue::new("serve.jobs", cfg.job_queue));
+        let workers = (0..cfg.job_workers.max(1))
+            .map(|i| {
+                let q = Arc::clone(&queue);
+                let bundle = Arc::clone(bundle);
+                let store = Arc::clone(store);
+                thread::Builder::new()
+                    .name(format!("serve-job-{i}"))
+                    .spawn(move || {
+                        while let Some((id, params)) = q.pop() {
+                            run_job(&bundle, &store, id, params);
+                        }
+                    })
+                    .expect("spawn serve-job thread")
+            })
+            .collect();
+        Self {
+            queue,
+            workers,
+            store: Arc::clone(store),
+        }
+    }
+
+    /// Creates and enqueues a job. `Err(PushError::Full)` means the queue
+    /// is saturated and the caller should shed; the job record is only
+    /// created after a successful enqueue reservation, so a shed leaves no
+    /// orphan.
+    pub fn submit(
+        &self,
+        params: JobParams,
+    ) -> Result<Result<JobRecord, crate::ServeError>, PushError> {
+        // Reserve capacity first with a sentinel check: BoundedQueue has no
+        // reservation API, so create the record and roll it back on Full.
+        let record = match self.store.create() {
+            Ok(r) => r,
+            Err(e) => return Ok(Err(e)),
+        };
+        match self.queue.try_push((record.id, params)) {
+            Ok(()) => Ok(Ok(record)),
+            Err(e) => {
+                let mut failed = record;
+                failed.status = "failed".to_string();
+                failed.error = Some("shed: job queue full".to_string());
+                let _ = self.store.update(&failed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Number of jobs waiting in the queue (excluding running ones).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Closes the queue, lets workers drain every queued job, and joins
+    /// them. This is the graceful-shutdown guarantee: accepted jobs finish.
+    pub fn shutdown(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JobRunner {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn run_job(bundle: &ModelBundle, store: &JobStore, id: u64, params: JobParams) {
+    let Some(mut record) = store.get(id) else {
+        return;
+    };
+    record.status = "running".to_string();
+    let _ = store.update(&record);
+
+    match route_once(bundle, params) {
+        Ok(result) => {
+            record.status = "done".to_string();
+            record.result = Some(result);
+        }
+        Err(e) => {
+            record.status = "failed".to_string();
+            record.error = Some(e);
+        }
+    }
+    let _ = store.update(&record);
+}
+
+fn route_once(bundle: &ModelBundle, params: JobParams) -> Result<RouteResult, String> {
+    // `obs` stays unset: `run_with_model` installs the config's sink for
+    // the duration of the run, which would displace the server's global
+    // observability install.
+    let cfg: FlowConfig = FlowConfig::builder()
+        .tech(bundle.tech.clone())
+        .relax(RelaxConfig {
+            restarts: params.restarts,
+            lbfgs_iters: params.lbfgs_iters,
+            n_derive: params.n_derive,
+            ..RelaxConfig::default()
+        })
+        .seed(params.seed)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let flow = AnalogFoldFlow::new(cfg);
+    let outcome = flow
+        .run_with_model(&bundle.circuit, &bundle.placement, &bundle.gnn)
+        .map_err(|e| e.to_string())?;
+    Ok(RouteResult {
+        wirelength_um: outcome.layout.total_wirelength() as f64 / 1e3,
+        vias: u64::from(outcome.layout.total_vias()),
+        conflicts: u64::from(outcome.layout.conflicts),
+        performance: outcome.performance,
+        guidance: outcome.guidance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("af-serve-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_update_get_round_trip() {
+        let store = JobStore::open(tmp_dir("roundtrip")).unwrap();
+        let a = store.create().unwrap();
+        let b = store.create().unwrap();
+        assert_eq!((a.id, b.id), (0, 1));
+        let mut done = a.clone();
+        done.status = "done".to_string();
+        store.update(&done).unwrap();
+        assert_eq!(store.get(0).unwrap().status, "done");
+        assert_eq!(store.get(1).unwrap().status, "queued");
+        assert!(store.get(99).is_none());
+    }
+
+    #[test]
+    fn reopen_marks_interrupted_jobs_failed_and_resumes_ids() {
+        let dir = tmp_dir("reopen");
+        {
+            let store = JobStore::open(&dir).unwrap();
+            let queued = store.create().unwrap();
+            let mut running = store.create().unwrap();
+            running.status = "running".to_string();
+            store.update(&running).unwrap();
+            let mut done = store.create().unwrap();
+            done.status = "done".to_string();
+            store.update(&done).unwrap();
+            assert_eq!(queued.id, 0);
+        }
+        let store = JobStore::open(&dir).unwrap();
+        assert_eq!(store.get(0).unwrap().status, "failed");
+        assert_eq!(store.get(1).unwrap().status, "failed");
+        assert!(store.get(1).unwrap().error.unwrap().contains("restart"));
+        assert_eq!(store.get(2).unwrap().status, "done");
+        assert_eq!(store.create().unwrap().id, 3);
+    }
+
+    #[test]
+    fn params_apply_defaults_and_clamp() {
+        let p = JobParams::from_request(&RouteRequest {
+            restarts: None,
+            lbfgs_iters: None,
+            n_derive: None,
+            seed: None,
+        });
+        assert_eq!(
+            (p.restarts, p.lbfgs_iters, p.n_derive, p.seed),
+            (6, 30, 1, 99)
+        );
+        let p = JobParams::from_request(&RouteRequest {
+            restarts: Some(2),
+            lbfgs_iters: Some(5),
+            n_derive: Some(10),
+            seed: Some(7),
+        });
+        assert_eq!(p.n_derive, 2, "n_derive clamps to restarts");
+    }
+}

@@ -1,0 +1,36 @@
+//! `GET /metrics`: Prometheus text export of the process-global `af_obs`
+//! registry (queue depths, batch sizes, request counters, flow spans —
+//! everything any crate recorded).
+
+/// Renders the current registry in Prometheus text format 0.0.4. When
+/// observability is disabled the export is an empty (but valid) document
+/// with a comment explaining why.
+#[must_use]
+pub fn render_metrics() -> String {
+    af_obs::with_registry(af_obs::prometheus::render)
+        .unwrap_or_else(|| "# observability disabled (no sink installed)\n".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_obs_yields_valid_comment_only_export() {
+        // Tests run without a global install unless one is made explicitly;
+        // either way the export must be non-empty and comment-or-metric
+        // lines only.
+        let text = render_metrics();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#')
+                    || line
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_'),
+                "unexpected line {line:?}"
+            );
+        }
+    }
+}

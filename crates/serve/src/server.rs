@@ -1,0 +1,369 @@
+//! The server proper: accept loop, bounded connection queue, handler
+//! workers, request routing, and graceful shutdown.
+//!
+//! Thread layout:
+//!
+//! ```text
+//! accept thread ──try_push──▶ conn queue ──pop──▶ N handler workers
+//!                    │ (full: 429 + Retry-After, connection dropped)
+//! handler ──predict──▶ batch queue ──▶ collector thread (micro-batches)
+//! handler ──route────▶ job queue ────▶ M job workers (persist to store)
+//! ```
+//!
+//! Shutdown: set the flag, self-connect to unblock `accept`, close the
+//! connection queue (workers drain it, then exit), then close and drain
+//! the predict and job queues — every accepted job completes before
+//! [`ServerHandle::join`] returns.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use af_sim::Performance;
+use afrt::{BoundedQueue, PushError};
+
+use crate::api::{
+    parse_body, GuideRequest, GuideResponse, HealthResponse, PredictRequest, PredictResponse,
+    RouteAccepted, RouteRequest,
+};
+use crate::batch::{Batcher, SubmitError};
+use crate::config::ServeConfig;
+use crate::http::{read_request, ParseError, Request, Response};
+use crate::jobs::{JobParams, JobRunner, JobStore};
+use crate::metrics::render_metrics;
+use crate::state::ModelBundle;
+use crate::ServeError;
+
+struct Shared {
+    bundle: Arc<ModelBundle>,
+    batcher: Batcher,
+    runner: Mutex<JobRunner>,
+    store: Arc<JobStore>,
+    cfg: ServeConfig,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// Server constructor; see [`Server::bind`].
+pub struct Server;
+
+/// A running server. Dropping the handle without calling
+/// [`join`](ServerHandle::join) aborts ungracefully (threads detach).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr`, spawns the accept/handler/batcher/job threads,
+    /// and returns the handle.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures and job-store recovery failures.
+    pub fn bind(bundle: ModelBundle, cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let bundle = Arc::new(bundle);
+        let store = Arc::new(JobStore::open(cfg.resolved_job_dir())?);
+        let batcher = Batcher::start(&bundle, &cfg);
+        let runner = JobRunner::start(&bundle, &store, &cfg);
+        let shared = Arc::new(Shared {
+            bundle,
+            batcher,
+            runner: Mutex::new(runner),
+            store,
+            cfg: cfg.clone(),
+            shutting_down: AtomicBool::new(false),
+            addr,
+        });
+
+        let conn_queue: Arc<BoundedQueue<TcpStream>> =
+            Arc::new(BoundedQueue::new("serve.conns", cfg.conn_queue));
+
+        let workers = (0..cfg.resolved_workers())
+            .map(|i| {
+                let q = Arc::clone(&conn_queue);
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = q.pop() {
+                            handle_connection(&shared, stream);
+                        }
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let q = Arc::clone(&conn_queue);
+            thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.shutting_down.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        // Shed *before* pushing: try_push consumes the
+                        // stream on failure, so a full queue is detected
+                        // up front while we can still answer 429. The
+                        // check/push race can drop a connection silently
+                        // under an exactly-simultaneous burst; the common
+                        // saturation path stays deterministic.
+                        if q.len() >= q.capacity() {
+                            af_obs::counter("serve.conns.shed", 1);
+                            shed(&shared.cfg, stream);
+                            continue;
+                        }
+                        if q.try_push(stream).is_err() {
+                            af_obs::counter("serve.conns.shed", 1);
+                        }
+                    }
+                    q.close();
+                })
+                .expect("spawn serve accept")
+        };
+
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Initiates graceful shutdown without waiting for it to finish.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Blocks until the server has fully shut down: the accept loop has
+    /// exited, every queued connection has been served, and every queued
+    /// prediction and routing job has completed.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Connections are done; now drain the work queues behind them. The
+        // collector thread itself is joined when the last `Shared` reference
+        // drops (via the batcher's `Drop`).
+        self.shared.batcher.close_queue();
+        self.shared
+            .runner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .shutdown();
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    if shared.shutting_down.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Unblock the accept loop; it re-checks the flag before queueing.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// Writes the load-shedding response directly from the accept thread.
+fn shed(cfg: &ServeConfig, mut stream: TcpStream) {
+    let resp = Response::error(429, "server overloaded, retry later")
+        .with_header("retry-after", cfg.retry_after_s.to_string())
+        .with_close();
+    let _ = resp.write_to(&mut stream);
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.cfg.keepalive_idle_ms.max(1),
+    )));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        match read_request(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(req)) => {
+                af_obs::counter("serve.requests", 1);
+                let mut resp = dispatch(shared, &req);
+                let close =
+                    resp.close || req.wants_close() || shared.shutting_down.load(Ordering::SeqCst);
+                if close {
+                    resp = resp.with_close();
+                }
+                af_obs::counter(&format!("serve.status.{}", resp.status), 1);
+                if resp.write_to(&mut stream).is_err() || close {
+                    break;
+                }
+            }
+            Err(ParseError::Bad(msg)) => {
+                af_obs::counter("serve.status.400", 1);
+                let _ = Response::error(400, &msg)
+                    .with_close()
+                    .write_to(&mut stream);
+                break;
+            }
+            Err(ParseError::TooLarge(msg)) => {
+                af_obs::counter("serve.status.413", 1);
+                let _ = Response::error(413, &msg)
+                    .with_close()
+                    .write_to(&mut stream);
+                break;
+            }
+            // Idle timeout between requests or peer reset: just close.
+            Err(ParseError::Io(_)) => break,
+        }
+    }
+}
+
+fn dispatch(shared: &Shared, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => health(shared),
+        ("GET", "/metrics") => Response::text(200, &render_metrics()),
+        ("POST", "/v1/predict") => predict(shared, req),
+        ("POST", "/v1/guide") => guide(shared, req),
+        ("POST", "/v1/route") => route_job(shared, req),
+        ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path),
+        ("POST", "/v1/shutdown") => {
+            initiate_shutdown(shared);
+            Response::json(200, "{\"ok\":true}".to_string()).with_close()
+        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/predict" | "/v1/guide" | "/v1/route" | "/v1/shutdown",
+        ) => Response::error(405, "method not allowed"),
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+fn json_or_500<T: serde::Serialize>(status: u16, value: &T) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::json(status, body),
+        Err(e) => Response::error(500, &format!("serialization failed: {e}")),
+    }
+}
+
+fn health(shared: &Shared) -> Response {
+    json_or_500(
+        200,
+        &HealthResponse {
+            ok: true,
+            circuit: shared.bundle.circuit.name().to_string(),
+            variant: shared.bundle.variant.label().to_string(),
+            guidance_len: shared.bundle.guidance_len() as u64,
+        },
+    )
+}
+
+fn perf_from_metrics(m: [f64; 5]) -> Performance {
+    // Canonical metric order, matching `Performance::as_array`.
+    Performance {
+        offset_uv: m[0],
+        cmrr_db: m[1],
+        bandwidth_mhz: m[2],
+        dc_gain_db: m[3],
+        noise_uvrms: m[4],
+    }
+}
+
+fn predict(shared: &Shared, req: &Request) -> Response {
+    let body: PredictRequest = match parse_body(&req.body) {
+        Ok(b) => b,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let deadline = Duration::from_millis(shared.cfg.request_deadline_ms.max(1));
+    match shared.batcher.predict(body.guidance, deadline) {
+        Ok(prediction) => json_or_500(
+            200,
+            &PredictResponse {
+                performance: perf_from_metrics(prediction.metrics),
+                batch_size: prediction.batch_size,
+            },
+        ),
+        Err(SubmitError::Overloaded) => Response::error(429, "predict queue full")
+            .with_header("retry-after", shared.cfg.retry_after_s.to_string()),
+        Err(SubmitError::ShuttingDown) => Response::error(503, "server shutting down"),
+        Err(SubmitError::DeadlineExceeded) => Response::error(408, "request deadline exceeded"),
+        Err(SubmitError::Rejected(msg)) => Response::error(400, &msg),
+    }
+}
+
+fn guide(shared: &Shared, req: &Request) -> Response {
+    let body: GuideRequest = match parse_body(&req.body) {
+        Ok(b) => b,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let cfg = analogfold::RelaxConfig {
+        restarts: body.restarts.unwrap_or(12).max(1) as usize,
+        lbfgs_iters: body.lbfgs_iters.unwrap_or(30).max(1) as usize,
+        n_derive: 1,
+        seed: body.seed.unwrap_or(99),
+        ..analogfold::RelaxConfig::default()
+    };
+    let potential = analogfold::Potential::new(&shared.bundle.gnn, &shared.bundle.graph);
+    let outcomes = analogfold::relax(&potential, &cfg);
+    match outcomes.into_iter().next() {
+        Some(best) => json_or_500(
+            200,
+            &GuideResponse {
+                guidance: best.guidance,
+                potential: best.potential,
+            },
+        ),
+        None => Response::error(500, "relaxation produced no candidates"),
+    }
+}
+
+fn route_job(shared: &Shared, req: &Request) -> Response {
+    let body: RouteRequest = match parse_body(&req.body) {
+        Ok(b) => b,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let params = JobParams::from_request(&body);
+    let runner = shared
+        .runner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    match runner.submit(params) {
+        Ok(Ok(record)) => json_or_500(
+            202,
+            &RouteAccepted {
+                id: record.id,
+                status: record.status,
+            },
+        ),
+        Ok(Err(e)) => Response::error(500, &format!("job store failure: {e}")),
+        Err(PushError::Full) => Response::error(429, "job queue full")
+            .with_header("retry-after", shared.cfg.retry_after_s.to_string()),
+        Err(PushError::Closed) => Response::error(503, "server shutting down"),
+    }
+}
+
+fn job_status(shared: &Shared, path: &str) -> Response {
+    let id_text = &path["/v1/jobs/".len()..];
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, &format!("bad job id {id_text:?}"));
+    };
+    match shared.store.get(id) {
+        Some(record) => json_or_500(200, &record),
+        None => Response::error(404, &format!("no job {id}")),
+    }
+}

@@ -1,0 +1,101 @@
+//! The resident model state: circuit, placement, heterogeneous graph, and
+//! trained GNN, loaded once at startup and shared read-only by every
+//! handler thread.
+
+use af_netlist::{benchmarks, Circuit};
+use af_place::{place, Placement, PlacementVariant};
+use af_tech::Technology;
+use analogfold::{HeteroGraph, PredictSession, ThreeDGnn};
+
+use crate::ServeError;
+
+/// Everything the endpoints need, built once. Handlers hold it behind an
+/// `Arc` and never mutate it; per-thread mutable state (graph buffers for
+/// inference) lives in [`PredictSession`]s created from it.
+#[derive(Debug, Clone)]
+pub struct ModelBundle {
+    /// Benchmark circuit.
+    pub circuit: Circuit,
+    /// Placement variant.
+    pub variant: PlacementVariant,
+    /// Deterministic placement of `circuit` under `variant`.
+    pub placement: Placement,
+    /// Technology stack.
+    pub tech: Technology,
+    /// Heterogeneous routing graph (access points + modules).
+    pub graph: HeteroGraph,
+    /// The resident surrogate model.
+    pub gnn: ThreeDGnn,
+}
+
+impl ModelBundle {
+    /// Builds the bundle around an already-constructed model (used by tests
+    /// and the load generator, which serve untrained models — serving
+    /// semantics do not depend on training quality).
+    pub fn with_model(
+        bench: &str,
+        variant_label: &str,
+        gnn: ThreeDGnn,
+    ) -> Result<Self, ServeError> {
+        let circuit = benchmarks::by_name(bench)
+            .ok_or_else(|| ServeError::Config(format!("unknown benchmark `{bench}`")))?;
+        let variant = PlacementVariant::from_label(variant_label).ok_or_else(|| {
+            ServeError::Config(format!("unknown placement variant `{variant_label}`"))
+        })?;
+        let tech = Technology::nm40();
+        let placement = place(&circuit, variant);
+        let graph = HeteroGraph::build(&circuit, &placement, &tech, 3);
+        Ok(Self {
+            circuit,
+            variant,
+            placement,
+            tech,
+            graph,
+            gnn,
+        })
+    }
+
+    /// Loads a saved model (validating its versioned header) and builds the
+    /// bundle around it.
+    pub fn load(bench: &str, variant_label: &str, model_path: &str) -> Result<Self, ServeError> {
+        let gnn = ThreeDGnn::load(model_path).map_err(analogfold::Error::from)?;
+        Self::with_model(bench, variant_label, gnn)
+    }
+
+    /// A fresh inference session bound to this bundle's graph.
+    #[must_use]
+    pub fn session(&self) -> PredictSession {
+        self.gnn.session(&self.graph)
+    }
+
+    /// Expected guidance vector length (3 per guided access point).
+    #[must_use]
+    pub fn guidance_len(&self) -> usize {
+        self.session().guidance_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analogfold::GnnConfig;
+
+    #[test]
+    fn with_model_builds_and_rejects_unknown_names() {
+        let gnn = ThreeDGnn::new(&GnnConfig {
+            hidden: 8,
+            layers: 1,
+            ..GnnConfig::default()
+        });
+        let bundle = ModelBundle::with_model("OTA1", "A", gnn.clone()).unwrap();
+        assert!(bundle.guidance_len() > 0);
+        assert!(matches!(
+            ModelBundle::with_model("OTA99", "A", gnn.clone()),
+            Err(ServeError::Config(_))
+        ));
+        assert!(matches!(
+            ModelBundle::with_model("OTA1", "Z", gnn),
+            Err(ServeError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,342 @@
+//! End-to-end tests over real loopback sockets: an in-process server with
+//! a resident (untrained) model — serving semantics are independent of
+//! training quality — exercised by raw HTTP/1.1 clients.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use af_serve::{JobStore, ModelBundle, ServeConfig, Server, ServerHandle};
+use analogfold::{GnnConfig, ThreeDGnn};
+
+fn tiny_bundle() -> ModelBundle {
+    let gnn = ThreeDGnn::new(&GnnConfig {
+        hidden: 8,
+        layers: 1,
+        ..GnnConfig::default()
+    });
+    ModelBundle::with_model("OTA1", "A", gnn).unwrap()
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("af-serve-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(name: &str, tweak: impl FnOnce(&mut ServeConfig)) -> (ServerHandle, std::path::PathBuf) {
+    let dir = tmp_dir(name);
+    let mut cfg = ServeConfig {
+        job_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    tweak(&mut cfg);
+    (Server::bind(tiny_bundle(), cfg).unwrap(), dir)
+}
+
+struct HttpResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl HttpResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn read_response(reader: &mut impl BufRead) -> HttpResponse {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"))
+        .parse()
+        .unwrap();
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').unwrap();
+        let (name, value) = (name.to_ascii_lowercase(), value.trim().to_string());
+        if name == "content-length" {
+            content_length = value.parse().unwrap();
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    HttpResponse {
+        status,
+        headers,
+        body: String::from_utf8(body).unwrap(),
+    }
+}
+
+/// One-shot request on a fresh connection.
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> HttpResponse {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).unwrap();
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Pulls a JSON number field out of a flat rendering (the vendored
+/// serde_json prints maps without spaces, so `"name":value` is reliable).
+fn json_f64(body: &str, field: &str) -> f64 {
+    let key = format!("\"{field}\":");
+    let start = body
+        .find(&key)
+        .unwrap_or_else(|| panic!("{field} in {body}"))
+        + key.len();
+    let rest = &body[start..];
+    let end = rest.find([',', '}', ']']).unwrap();
+    rest[..end].parse().unwrap()
+}
+
+fn json_str(body: &str, field: &str) -> String {
+    let key = format!("\"{field}\":\"");
+    let start = body
+        .find(&key)
+        .unwrap_or_else(|| panic!("{field} in {body}"))
+        + key.len();
+    let rest = &body[start..];
+    rest[..rest.find('"').unwrap()].to_string()
+}
+
+#[test]
+fn health_metrics_and_error_statuses() {
+    let (server, _dir) = start("health", |_| {});
+    let addr = server.addr();
+
+    let health = request(addr, "GET", "/healthz", "");
+    assert_eq!(health.status, 200);
+    assert_eq!(json_str(&health.body, "circuit"), "OTA1");
+    let guidance_len = json_f64(&health.body, "guidance_len") as usize;
+    assert!(guidance_len > 0);
+
+    let metrics = request(addr, "GET", "/metrics", "");
+    assert_eq!(metrics.status, 200);
+    assert_eq!(
+        metrics.header("content-type"),
+        Some("text/plain; charset=utf-8")
+    );
+
+    assert_eq!(request(addr, "GET", "/nope", "").status, 404);
+    assert_eq!(request(addr, "GET", "/v1/predict", "").status, 405);
+    assert_eq!(request(addr, "POST", "/v1/predict", "not json").status, 400);
+    assert_eq!(
+        request(addr, "POST", "/v1/predict", "{\"guidance\":[1.0]}").status,
+        400,
+        "wrong guidance length is a client error"
+    );
+    assert_eq!(request(addr, "GET", "/v1/jobs/notanumber", "").status, 400);
+    assert_eq!(request(addr, "GET", "/v1/jobs/4242", "").status, 404);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn keepalive_serves_sequential_requests_on_one_connection() {
+    let (server, _dir) = start("keepalive", |_| {});
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for _ in 0..3 {
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(read_response(&mut reader).status, 200);
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn batched_predictions_are_bit_identical_to_single_requests() {
+    let (server, _dir) = start("bitident", |cfg| {
+        // Handler threads block on the batcher reply, so concurrency does
+        // not need cores (the CI container may have one): pin the worker
+        // count instead of relying on the hardware-derived default.
+        cfg.workers = 6;
+        cfg.batch_max = 8;
+        cfg.batch_window_us = 200_000; // generous window to force coalescing
+    });
+    let addr = server.addr();
+
+    let bundle = tiny_bundle();
+    let len = bundle.guidance_len();
+    let inputs: Vec<Vec<f64>> = (0..6)
+        .map(|k| (0..len).map(|i| ((i + k) as f64).sin() * 0.4).collect())
+        .collect();
+    let mut session = bundle.session();
+    let expected: Vec<[f64; 5]> = inputs.iter().map(|g| session.predict(g)).collect();
+
+    // Fire all six concurrently so the collector coalesces them.
+    let inputs = Arc::new(inputs);
+    let handles: Vec<_> = (0..inputs.len())
+        .map(|k| {
+            let inputs = Arc::clone(&inputs);
+            std::thread::spawn(move || {
+                let guidance: Vec<String> = inputs[k].iter().map(|v| format!("{v:?}")).collect();
+                let body = format!("{{\"guidance\":[{}]}}", guidance.join(","));
+                request(addr, "POST", "/v1/predict", &body)
+            })
+        })
+        .collect();
+    let responses: Vec<HttpResponse> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let mut max_batch = 0u64;
+    for (resp, want) in responses.iter().zip(&expected) {
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let got = [
+            json_f64(&resp.body, "offset_uv"),
+            json_f64(&resp.body, "cmrr_db"),
+            json_f64(&resp.body, "bandwidth_mhz"),
+            json_f64(&resp.body, "dc_gain_db"),
+            json_f64(&resp.body, "noise_uvrms"),
+        ];
+        // Bit-identical: vendored serde_json prints f64 via `{:?}`, which
+        // round-trips exactly, so exact equality is the right assertion.
+        assert_eq!(got, *want, "batched result must match one-shot predict");
+        max_batch = max_batch.max(json_f64(&resp.body, "batch_size") as u64);
+    }
+    assert!(
+        max_batch >= 2,
+        "six concurrent requests inside a 100ms window should coalesce, max batch {max_batch}"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn flooding_a_bounded_queue_sheds_with_429_and_retry_after() {
+    let (server, _dir) = start("flood", |cfg| {
+        cfg.workers = 1;
+        cfg.conn_queue = 1;
+        cfg.batch_max = 8;
+        cfg.batch_window_us = 500_000; // hold the lone worker in the batcher
+    });
+    let addr = server.addr();
+    let bundle = tiny_bundle();
+    let body = format!(
+        "{{\"guidance\":[{}]}}",
+        vec!["0.1"; bundle.guidance_len()].join(",")
+    );
+
+    // Occupy the single worker: its reply waits out the 500ms batch window.
+    let blocker = {
+        let body = body.clone();
+        std::thread::spawn(move || request(addr, "POST", "/v1/predict", &body))
+    };
+    std::thread::sleep(Duration::from_millis(150)); // let it reach the batcher
+
+    // Flood: first extra connection parks in the queue (capacity 1), the
+    // rest must be shed at accept with 429 + Retry-After.
+    let flood: Vec<_> = (0..5)
+        .map(|_| {
+            let body = body.clone();
+            std::thread::spawn(move || request(addr, "POST", "/v1/predict", &body))
+        })
+        .collect();
+    let statuses: Vec<u16> = flood
+        .into_iter()
+        .map(|h| {
+            let resp = h.join().unwrap();
+            if resp.status == 429 {
+                assert_eq!(resp.header("retry-after"), Some("1"));
+            }
+            resp.status
+        })
+        .collect();
+    assert!(
+        statuses.iter().filter(|s| **s == 429).count() >= 3,
+        "overflowing a capacity-1 queue must shed most of 5 floods, got {statuses:?}"
+    );
+    assert_eq!(blocker.join().unwrap().status, 200);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn route_jobs_complete_survive_restart_and_drain_on_shutdown() {
+    let (server, dir) = start("jobs", |cfg| {
+        cfg.job_workers = 1;
+    });
+    let addr = server.addr();
+
+    // Cheap flow parameters: untrained model, 2 restarts, 1 candidate.
+    let submit = request(
+        addr,
+        "POST",
+        "/v1/route",
+        "{\"restarts\":2,\"lbfgs_iters\":3,\"n_derive\":1,\"seed\":5}",
+    );
+    assert_eq!(submit.status, 202, "body: {}", submit.body);
+    let id = json_f64(&submit.body, "id") as u64;
+    assert_eq!(json_str(&submit.body, "status"), "queued");
+
+    // Poll to completion.
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let final_body = loop {
+        let poll = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(poll.status, 200);
+        let status = json_str(&poll.body, "status");
+        match status.as_str() {
+            "done" => break poll.body,
+            "failed" => panic!("job failed: {}", poll.body),
+            _ => {
+                assert!(Instant::now() < deadline, "job did not finish in time");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    };
+    assert!(json_f64(&final_body, "wirelength_um") > 0.0);
+    assert!(json_f64(&final_body, "bandwidth_mhz").is_finite());
+
+    // A second job queued right before shutdown must still complete: join()
+    // drains the job queue before returning.
+    let submit2 = request(
+        addr,
+        "POST",
+        "/v1/route",
+        "{\"restarts\":1,\"lbfgs_iters\":2,\"n_derive\":1,\"seed\":6}",
+    );
+    assert_eq!(submit2.status, 202);
+    let id2 = json_f64(&submit2.body, "id") as u64;
+    let shut = request(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(shut.status, 200);
+    server.join();
+
+    // The store on disk has both jobs done — the drained one included.
+    let store = JobStore::open(&dir).unwrap();
+    assert_eq!(store.get(id).unwrap().status, "done");
+    assert_eq!(
+        store.get(id2).unwrap().status,
+        "done",
+        "graceful shutdown must drain queued jobs"
+    );
+}

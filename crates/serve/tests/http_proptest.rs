@@ -1,0 +1,153 @@
+//! Property-based tests of the HTTP layer: the parser must never panic on
+//! arbitrary bytes, must accept every well-formed request it is shown
+//! (including pipelined keep-alive sequences), and must classify
+//! malformed vs. oversized inputs as `400` vs. `413` material.
+
+use std::io::BufReader;
+
+use af_serve::http::{
+    read_request, ParseError, MAX_BODY, MAX_HEADERS, MAX_HEADER_LINE, MAX_REQUEST_LINE,
+};
+use proptest::prelude::*;
+
+fn parse(raw: &[u8]) -> Result<Option<af_serve::http::Request>, ParseError> {
+    read_request(&mut BufReader::new(raw))
+}
+
+/// Lower-case ASCII identifier of length 1..=n from raw bytes.
+fn ident(bytes: Vec<u8>) -> String {
+    let s: String = bytes.iter().map(|b| (b'a' + (b % 26)) as char).collect();
+    if s.is_empty() {
+        "x".to_string()
+    } else {
+        s
+    }
+}
+
+/// A syntactically valid request with `headers` extra headers and `body`.
+fn render_request(path_bytes: Vec<u8>, headers: Vec<(Vec<u8>, Vec<u8>)>, body: Vec<u8>) -> Vec<u8> {
+    let mut raw = format!("POST /{} HTTP/1.1\r\n", ident(path_bytes));
+    for (i, (name, value)) in headers.iter().enumerate() {
+        // Suffix with the index so generated names never collide with
+        // content-length (and stay unique enough to assert on).
+        raw.push_str(&format!(
+            "{}{}: {}\r\n",
+            ident(name.clone()),
+            i,
+            ident(value.clone())
+        ));
+    }
+    raw.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    let mut out = raw.into_bytes();
+    out.extend_from_slice(&body);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in prop::collection::vec(0u8..=255, 0..400)) {
+        // Any outcome is fine; panicking or looping forever is not.
+        let _ = parse(&raw);
+    }
+
+    #[test]
+    fn almost_http_bytes_never_panic(
+        prefix in prop::collection::vec(0u8..=255, 0..40),
+        cut in 0usize..60,
+    ) {
+        // Mutations of a valid request: truncations and injected garbage.
+        let valid = b"POST /v1/predict HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello".to_vec();
+        let truncated = &valid[..cut.min(valid.len())];
+        let _ = parse(truncated);
+        let mut corrupted = prefix;
+        corrupted.extend_from_slice(&valid);
+        let _ = parse(&corrupted);
+    }
+
+    #[test]
+    fn well_formed_requests_parse_back(
+        path in prop::collection::vec(0u8..=255, 1..12),
+        headers in prop::collection::vec(
+            (prop::collection::vec(0u8..=255, 1..8), prop::collection::vec(0u8..=255, 0..12)),
+            0..5,
+        ),
+        body in prop::collection::vec(0u8..=255, 0..200),
+    ) {
+        let raw = render_request(path.clone(), headers.clone(), body.clone());
+        let req = parse(&raw).expect("well-formed request must parse").expect("not eof");
+        prop_assert_eq!(req.method.as_str(), "POST");
+        prop_assert_eq!(req.path, format!("/{}", ident(path)));
+        prop_assert_eq!(req.body, body);
+        // The synthesized headers plus content-length, all preserved.
+        prop_assert_eq!(req.headers.len(), headers.len() + 1);
+    }
+
+    #[test]
+    fn truncated_bodies_are_bad_requests(
+        body in prop::collection::vec(0u8..=255, 1..100),
+        short_by in 1usize..100,
+    ) {
+        let mut raw = format!("POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n", body.len()).into_bytes();
+        let keep = body.len().saturating_sub(short_by.min(body.len()));
+        raw.extend_from_slice(&body[..keep]);
+        prop_assert!(matches!(parse(&raw), Err(ParseError::Bad(_))));
+    }
+
+    #[test]
+    fn oversized_inputs_are_too_large(which in 0u8..4, excess in 1usize..64) {
+        let raw: Vec<u8> = match which {
+            0 => format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + excess)).into_bytes(),
+            1 => format!("GET /x HTTP/1.1\r\nh: {}\r\n\r\n", "v".repeat(MAX_HEADER_LINE + excess)).into_bytes(),
+            2 => {
+                let mut s = String::from("GET /x HTTP/1.1\r\n");
+                for i in 0..MAX_HEADERS + excess {
+                    s.push_str(&format!("h{i}: v\r\n"));
+                }
+                s.push_str("\r\n");
+                s.into_bytes()
+            }
+            _ => format!("POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + excess).into_bytes(),
+        };
+        prop_assert!(matches!(parse(&raw), Err(ParseError::TooLarge(_))));
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_bad(a in 0usize..50, delta in 1usize..50) {
+        let b = a + delta;
+        let raw = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: {a}\r\ncontent-length: {b}\r\n\r\n{}",
+            "p".repeat(b)
+        );
+        prop_assert!(matches!(parse(raw.as_bytes()), Err(ParseError::Bad(_))));
+        // Duplicate but *agreeing* lengths are accepted.
+        let raw = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: {a}\r\ncontent-length: {a}\r\n\r\n{}",
+            "p".repeat(a)
+        );
+        prop_assert!(parse(raw.as_bytes()).unwrap().is_some());
+    }
+
+    #[test]
+    fn pipelined_keepalive_sequences_parse_in_order(
+        bodies in prop::collection::vec(prop::collection::vec(0u8..=255, 0..60), 1..6),
+    ) {
+        let mut raw = Vec::new();
+        for (i, body) in bodies.iter().enumerate() {
+            raw.extend_from_slice(
+                format!("POST /req{i} HTTP/1.1\r\ncontent-length: {}\r\n\r\n", body.len()).as_bytes(),
+            );
+            raw.extend_from_slice(body);
+        }
+        let mut reader = BufReader::new(raw.as_slice());
+        for (i, body) in bodies.iter().enumerate() {
+            let req = read_request(&mut reader)
+                .expect("pipelined request must parse")
+                .expect("not eof");
+            prop_assert_eq!(req.path, format!("/req{i}"));
+            prop_assert_eq!(&req.body, body);
+        }
+        prop_assert!(read_request(&mut reader).unwrap().is_none());
+    }
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving stack, as run in CI:
+# train a tiny model, serve it on an ephemeral port, exercise
+# /healthz, /v1/predict, /v1/route (to completion), and /metrics,
+# asserting well-formed JSON and Prometheus output, then shut down
+# gracefully.
+#
+# Usage: scripts/serve_smoke.sh [path-to-analogfold-cli]
+set -euo pipefail
+
+BIN=${1:-target/release/analogfold-cli}
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+json_ok() { python3 -m json.tool > /dev/null; }
+
+echo "=== train tiny model"
+"$BIN" train OTA1 A --samples 6 --epochs 2 --out "$WORK/model.json"
+
+echo "=== start server on an ephemeral port"
+"$BIN" serve OTA1 A --model "$WORK/model.json" --addr 127.0.0.1:0 \
+    --jobs "$WORK/jobs" > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#^serving .* at http://##p' "$WORK/serve.log" | head -n1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "server exited early"; cat "$WORK/serve.log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$ADDR" ] || { echo "server did not report an address"; cat "$WORK/serve.log"; exit 1; }
+echo "server at $ADDR"
+
+echo "=== /healthz"
+curl -sf "http://$ADDR/healthz" | tee "$WORK/health.json" | json_ok
+grep -q '"circuit":"OTA1"' "$WORK/health.json"
+LEN=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["guidance_len"])' "$WORK/health.json")
+echo "guidance_len=$LEN"
+
+echo "=== /v1/predict"
+python3 -c 'import sys; n=int(sys.argv[1]); print("{\"guidance\":["+",".join(["0.1"]*n)+"]}")' "$LEN" \
+    > "$WORK/predict_body.json"
+curl -sf -X POST --data-binary @"$WORK/predict_body.json" "http://$ADDR/v1/predict" \
+    | tee "$WORK/predict.json" | json_ok
+grep -q '"performance"' "$WORK/predict.json"
+grep -q '"batch_size"' "$WORK/predict.json"
+
+echo "=== /v1/route to completion"
+curl -sf -X POST -d '{"restarts":2,"lbfgs_iters":3,"n_derive":1}' "http://$ADDR/v1/route" \
+    | tee "$WORK/route.json" | json_ok
+JOB_ID=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$WORK/route.json")
+STATUS=""
+for _ in $(seq 1 600); do
+    curl -sf "http://$ADDR/v1/jobs/$JOB_ID" > "$WORK/job.json"
+    STATUS=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["status"])' "$WORK/job.json")
+    [ "$STATUS" = done ] && break
+    [ "$STATUS" = failed ] && { echo "job failed"; cat "$WORK/job.json"; exit 1; }
+    sleep 0.5
+done
+[ "$STATUS" = done ] || { echo "job did not finish: $STATUS"; exit 1; }
+grep -q '"wirelength_um"' "$WORK/job.json"
+echo "job $JOB_ID done"
+
+echo "=== /metrics (Prometheus text format)"
+curl -sf "http://$ADDR/metrics" > "$WORK/metrics.txt"
+grep -q '^# TYPE serve_requests counter' "$WORK/metrics.txt"
+grep -q '^serve_requests ' "$WORK/metrics.txt"
+python3 - "$WORK/metrics.txt" <<'PY'
+import re, sys
+line_pat = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$')
+bad = [l.rstrip() for l in open(sys.argv[1])
+       if l.strip() and not l.startswith('#') and not line_pat.match(l.rstrip())]
+assert not bad, f"malformed metric lines: {bad[:5]}"
+print(f"metrics OK ({sum(1 for _ in open(sys.argv[1]))} lines)")
+PY
+
+echo "=== graceful shutdown"
+curl -sf -X POST "http://$ADDR/v1/shutdown" > /dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "serve smoke OK"

@@ -9,6 +9,8 @@
 //! analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N] [--threads N]
 //! analogfold-cli flow     <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--restarts N]
 //!                         [--threads N] [--obs-jsonl FILE] [--obs-report]
+//! analogfold-cli serve    <OTA1..OTA4> <A..D> --model FILE [--addr HOST:PORT] [--threads N]
+//!                         [--jobs DIR] [--obs-jsonl FILE]
 //! analogfold-cli bench-info
 //! ```
 
@@ -47,6 +49,8 @@ const USAGE: &str = "usage:
   analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N] [--threads N]
   analogfold-cli flow     <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--restarts N]
                           [--threads N] [--obs-jsonl FILE] [--obs-report]
+  analogfold-cli serve    <OTA1..OTA4> <A..D> --model FILE [--addr HOST:PORT] [--threads N]
+                          [--jobs DIR] [--obs-jsonl FILE]
   analogfold-cli bench-info";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -58,6 +62,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "train" => cmd_train(&args[1..]),
         "guide" => cmd_guide(&args[1..]),
         "flow" => cmd_flow(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "bench-info" => {
             cmd_bench_info();
             Ok(())
@@ -308,6 +313,48 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
             eprintln!("obs events written to {path}");
         }
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use analogfold_suite::serve::{ModelBundle, ServeConfig, Server};
+
+    let circuit = parse_circuit(args)?; // validates the name early
+    let variant = parse_variant(args, 1);
+    let model_path = flag_value(args, "--model").ok_or("missing --model FILE")?;
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:8080");
+    let threads = threads_flag(args);
+    let obs = obs_flags(args);
+    // `/metrics` renders from the in-memory registry, so recording must be
+    // on even when no obs flag was given: fall back to an empty tee sink.
+    let guard = match obs_install(&obs)? {
+        Some(g) => g,
+        None => analogfold_suite::obs::install(std::sync::Arc::new(
+            analogfold_suite::obs::TeeSink::new(),
+        )),
+    };
+
+    let bundle = ModelBundle::load(circuit.name(), variant.label(), model_path)
+        .map_err(|e| e.to_string())?;
+    let cfg = ServeConfig {
+        addr: addr.to_string(),
+        workers: threads,
+        job_dir: flag_value(args, "--jobs").map(std::path::PathBuf::from),
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind(bundle, cfg).map_err(|e| e.to_string())?;
+    println!(
+        "serving {}-{variant} at http://{}",
+        circuit.name(),
+        handle.addr()
+    );
+    println!("routes: GET /healthz /metrics /v1/jobs/<id>; POST /v1/predict /v1/guide /v1/route");
+    println!(
+        "stop with: curl -X POST http://{}/v1/shutdown",
+        handle.addr()
+    );
+    handle.join();
+    guard.flush();
     Ok(())
 }
 

@@ -36,6 +36,7 @@ pub use af_nn as nn;
 pub use af_obs as obs;
 pub use af_place as place;
 pub use af_route as route;
+pub use af_serve as serve;
 pub use af_sim as sim;
 pub use af_tech as tech;
 pub use analogfold;
