@@ -170,6 +170,17 @@ pub struct DatasetConfig {
     pub threads: usize,
     /// Samples per checkpoint shard when a checkpoint directory is given.
     pub shard_size: usize,
+    /// Capacity (MiB) of the tier-C guidance→performance memo; `0`
+    /// disables it. When a checkpoint store is given the memo spills to
+    /// disk beside the shards, so resumed runs and sibling shards skip
+    /// already-routed samples.
+    pub cache_mb: u64,
+    /// Guidance quantization grid for cache keys. `0.0` (default) keys by
+    /// the exact guidance bits — hits are guaranteed bit-identical to
+    /// recomputation, preserving the determinism contract. A positive grid
+    /// collapses near-duplicate guidance onto one key (higher hit rates,
+    /// approximate labels); only for exploratory sweeps.
+    pub cache_quant: f64,
 }
 
 impl Default for DatasetConfig {
@@ -183,6 +194,8 @@ impl Default for DatasetConfig {
             sim: SimConfig::default(),
             threads: 0,
             shard_size: 32,
+            cache_mb: 64,
+            cache_quant: 0.0,
         }
     }
 }
@@ -303,6 +316,23 @@ pub fn generate_dataset_checkpointed(
     let shard_size = cfg.shard_size.max(1);
     let mut samples = Vec::with_capacity(cfg.samples);
 
+    // Tier C: memoize guidance→performance by (design hash, guidance key).
+    // With a checkpoint store the memo spills beside the shards, so a
+    // resumed run (or a sibling shard revisiting a guidance point) skips
+    // the route→extract→simulate pipeline entirely.
+    let eval_cache = (cfg.cache_mb > 0 && crate::cache::cache_enabled()).then(|| {
+        let cache = crate::cache::EvalCache::new(cfg.cache_mb);
+        match checkpoint {
+            Some(store) => cache.with_spill(std::sync::Arc::new(ShardStore::new(
+                store.dir().join("cache"),
+            ))),
+            None => cache,
+        }
+    });
+    let design = eval_cache
+        .as_ref()
+        .map(|_| crate::cache::design_eval_hash(graph, &cfg.router, &cfg.sim));
+
     let mut shard_index = 0usize;
     let mut start = 0usize;
     while start < cfg.samples {
@@ -332,6 +362,22 @@ pub fn generate_dataset_checkpointed(
                 let guidance: Vec<f64> = (0..n_guided * 3)
                     .map(|_| rng.gen_range(lo..=hi).exp())
                     .collect();
+                let key = eval_cache.as_ref().map(|_| {
+                    crate::cache::guidance_key(
+                        design.as_ref().expect("design hash set with cache"),
+                        &guidance,
+                        cfg.cache_quant,
+                    )
+                });
+                if let (Some(cache), Some(key)) = (&eval_cache, &key) {
+                    if let Some(performance) = cache.lookup(key) {
+                        af_obs::counter("dataset.samples_cached", 1);
+                        return Ok(Sample {
+                            guidance,
+                            performance,
+                        });
+                    }
+                }
                 let performance = evaluate_guidance(
                     circuit,
                     placement,
@@ -341,6 +387,9 @@ pub fn generate_dataset_checkpointed(
                     &cfg.router,
                     &cfg.sim,
                 )?;
+                if let (Some(cache), Some(key)) = (&eval_cache, key) {
+                    cache.store(key, &performance);
+                }
                 Ok(Sample {
                     guidance,
                     performance,

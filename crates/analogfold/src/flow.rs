@@ -78,6 +78,16 @@ impl FlowConfig {
         self.relax.threads = n;
         self
     }
+
+    /// Sets the memoization budget (MiB) on every caching tier of the flow
+    /// (relaxation evaluation memo, dataset guidance→route cache). `0`
+    /// disables both; results are bit-identical either way.
+    #[must_use]
+    pub fn with_cache_mb(mut self, mb: u64) -> Self {
+        self.dataset.cache_mb = mb;
+        self.relax.cache_mb = mb;
+        self
+    }
 }
 
 /// Fluent builder for [`FlowConfig`]; created by [`FlowConfig::builder`].
@@ -155,6 +165,13 @@ impl FlowConfigBuilder {
     #[must_use]
     pub fn threads(mut self, n: usize) -> Self {
         self.cfg = self.cfg.with_threads(n);
+        self
+    }
+
+    /// Memoization budget (MiB) for every caching tier (`0` = off).
+    #[must_use]
+    pub fn cache_mb(mut self, mb: u64) -> Self {
+        self.cfg = self.cfg.with_cache_mb(mb);
         self
     }
 
@@ -460,9 +477,13 @@ impl AnalogFoldFlow {
     ) -> Result<FlowOutcome, Error> {
         let cfg = &self.cfg;
 
-        // Guidance generation by potential relaxation.
+        // Guidance generation by potential relaxation. The tier-A memo
+        // turns exact-duplicate surrogate evaluations (pool re-seeds,
+        // repeated relax calls) into lookups without changing a bit of the
+        // output.
         let ((candidates, potential), guide_gen_s) = af_obs::timed_span("guide_gen", || {
-            let potential = Potential::new(&gnn, &graph);
+            let mut potential = Potential::new(&gnn, &graph);
+            potential.enable_memo(cfg.relax.cache_mb);
             let candidates = relax_seeded(&potential, &cfg.relax, &seeds);
             (candidates, potential)
         });

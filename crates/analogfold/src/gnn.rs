@@ -239,6 +239,24 @@ impl GraphTensors {
     pub fn guidance_len(&self) -> usize {
         self.guided_idx.len() * 3
     }
+
+    /// Approximate resident size in bytes, used as the weight of a cached
+    /// prefix in the process-wide tensor cache.
+    pub fn approx_bytes(&self) -> usize {
+        let f64s = self.ap_feats.data().len()
+            + self.m_feats.data().len()
+            + self.pp_deltas.data().len()
+            + self.mp_deltas.data().len()
+            + self.c_base.data().len();
+        let idxs = self.pp_src.len()
+            + self.pp_dst.len()
+            + self.mp_src_m.len()
+            + self.mp_dst_a.len()
+            + self.mm_src.len()
+            + self.mm_dst.len()
+            + self.guided_idx.len();
+        (f64s + idxs) * 8 + std::mem::size_of::<Self>()
+    }
 }
 
 struct BoundGnn {
@@ -326,7 +344,9 @@ impl ThreeDGnn {
         }
     }
 
-    /// Distance-augmented message pass for one edge type.
+    /// Distance-augmented message pass for one edge type. `rbf_centers` is
+    /// the table hoisted out of the per-layer loop by `forward` (empty when
+    /// RBF features are disabled).
     #[allow(clippy::too_many_arguments)]
     fn message_pass(
         &self,
@@ -338,6 +358,7 @@ impl ThreeDGnn {
         deltas: NodeId,
         c_full: NodeId,
         n_dst: usize,
+        rbf_centers: &[f64],
     ) -> NodeId {
         let v_src = g.gather(h_src, src_idx);
         // d_cost (Eq. 1): the receiver's guidance scales the per-axis deltas.
@@ -347,7 +368,7 @@ impl ThreeDGnn {
         let ssum = g.sum_cols(sq);
         let d = g.sqrt(ssum);
         let psi = if self.cfg_use_rbf {
-            g.rbf(d, self.cfg_rbf_gamma, &self.rbf_centers_vec())
+            g.rbf(d, self.cfg_rbf_gamma, rbf_centers)
         } else {
             d
         };
@@ -381,6 +402,15 @@ impl ThreeDGnn {
         let pp_deltas = g.input(t.pp_deltas.clone());
         let mp_deltas = g.input(t.mp_deltas.clone());
 
+        // Hoisted out of the layer loop: the RBF center table is a pure
+        // function of the model config, so one allocation serves every
+        // message pass of this forward.
+        let rbf_centers = if self.cfg_use_rbf {
+            self.rbf_centers_vec()
+        } else {
+            Vec::new()
+        };
+
         for l in 0..self.cfg_layers {
             // E_PP: AP -> AP.
             if !t.pp_src.is_empty() {
@@ -393,6 +423,7 @@ impl ThreeDGnn {
                     pp_deltas,
                     c_full,
                     t.n_aps,
+                    &rbf_centers,
                 );
                 h_ap = g.add(h_ap, agg);
             }
@@ -407,6 +438,7 @@ impl ThreeDGnn {
                     mp_deltas,
                     c_full,
                     t.n_aps,
+                    &rbf_centers,
                 );
                 h_ap = g.add(h_ap, agg);
                 // E_PM: AP -> module (reverse direction, same deltas/C).
@@ -417,7 +449,7 @@ impl ThreeDGnn {
                 let ssum = g.sum_cols(sq);
                 let d = g.sqrt(ssum);
                 let psi = if self.cfg_use_rbf {
-                    g.rbf(d, self.cfg_rbf_gamma, &self.rbf_centers_vec())
+                    g.rbf(d, self.cfg_rbf_gamma, &rbf_centers)
                 } else {
                     d
                 };
@@ -563,7 +595,7 @@ impl ThreeDGnn {
     ///
     /// Panics if `guidance.len()` mismatches the graph's guided APs × 3.
     pub fn predict(&self, graph: &HeteroGraph, guidance: &[f64]) -> [f64; 5] {
-        let t = GraphTensors::new(graph);
+        let t = crate::cache::tensors_cached(graph);
         assert_eq!(guidance.len(), t.guidance_len(), "guidance length mismatch");
         let mut g = Graph::new();
         let bound = self.bind(&mut g, true);
@@ -615,9 +647,11 @@ impl ThreeDGnn {
     }
 
     /// Builds the constant tensor cache for a graph (shared across many
-    /// relaxation evaluations).
-    pub fn tensors(&self, graph: &HeteroGraph) -> GraphTensors {
-        GraphTensors::new(graph)
+    /// relaxation evaluations). Served from the process-wide prefix cache
+    /// when enabled; the tensors are a pure function of the graph content
+    /// either way.
+    pub fn tensors(&self, graph: &HeteroGraph) -> std::sync::Arc<GraphTensors> {
+        crate::cache::tensors_cached(graph)
     }
 
     /// Total scalar parameter count across every weight matrix and bias.
@@ -646,7 +680,7 @@ impl ThreeDGnn {
     /// [`PredictSession::predict`] is bit-identical to
     /// [`ThreeDGnn::predict`].
     pub fn session(&self, graph: &HeteroGraph) -> PredictSession {
-        let tensors = GraphTensors::new(graph);
+        let tensors = crate::cache::tensors_cached(graph);
         let mut g = Graph::new();
         let bound = self.bind(&mut g, false);
         PredictSession {
@@ -663,7 +697,7 @@ impl ThreeDGnn {
 /// Created by [`ThreeDGnn::session`].
 pub struct PredictSession {
     gnn: ThreeDGnn,
-    tensors: GraphTensors,
+    tensors: std::sync::Arc<GraphTensors>,
     graph: Graph,
     bound: BoundGnn,
 }

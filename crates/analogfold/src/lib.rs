@@ -47,6 +47,7 @@
 //! carries the observability span path active at the failure site when an
 //! [`af_obs`] sink is installed (see `FlowConfigBuilder::obs`).
 
+pub mod cache;
 mod dataset;
 mod error;
 mod evaluate;
@@ -57,6 +58,10 @@ mod hetero;
 mod persist;
 mod potential;
 
+pub use cache::{
+    cache_enabled, content_hash_of, design_eval_hash, graph_hash, guidance_key, set_cache_enabled,
+    EvalCache, FomMemo,
+};
 pub use dataset::{
     generate_dataset, generate_dataset_checkpointed, generate_dataset_multi, guidance_field,
     guidance_field_for, Dataset, DatasetConfig, DatasetError, Sample, TargetStats,

@@ -18,8 +18,15 @@ use crate::gnn::ThreeDGnn;
 /// Format tag in the versioned [`ThreeDGnn`] file header.
 pub const GNN_FORMAT: &str = "analogfold-gnn";
 
-/// Current [`ThreeDGnn`] file format version.
-pub const GNN_FORMAT_VERSION: u64 = 1;
+/// Current [`ThreeDGnn`] file format version. Version 2 replaced the
+/// parameter-count checksum with a 128-bit content hash of the model body
+/// ([`crate::content_hash_of`]); version-1 files (parameter-count header)
+/// and legacy headerless files still load.
+pub const GNN_FORMAT_VERSION: u64 = 2;
+
+/// The superseded version-1 header (parameter-count checksum), still
+/// accepted by [`ThreeDGnn::load`].
+pub const GNN_FORMAT_VERSION_V1: u64 = 1;
 
 /// Persistence failure.
 #[derive(Debug)]
@@ -30,8 +37,9 @@ pub enum PersistError {
     /// (De)serialization failure.
     Json(serde_json::Error),
     /// Model file header validation failure: wrong format tag, unsupported
-    /// version, or a parameter-count checksum mismatch (stale/truncated
-    /// file). Loading such a model would produce garbage predictions.
+    /// version, or a content-hash / checksum mismatch (stale, truncated, or
+    /// tampered file). Loading such a model would produce garbage
+    /// predictions.
     Header(String),
 }
 
@@ -142,21 +150,24 @@ impl ShardStore {
     }
 }
 
-/// The versioned save envelope: format tag, version, and the model's
-/// scalar parameter count as a cheap integrity checksum against truncated
-/// or stale files.
+/// The versioned save envelope: format tag, version, and a 128-bit content
+/// hash of the model body (canonical hash of its serialized value tree) as
+/// an integrity check against truncated, stale, or tampered files.
 struct GnnEnvelope<'a>(&'a ThreeDGnn);
 
 impl Serialize for GnnEnvelope<'_> {
     fn to_value(&self) -> Value {
+        let model = self.0.to_value();
+        let hash = {
+            let mut h = af_cache::ContentHasher::new();
+            crate::cache::hash_value(&mut h, &model);
+            h.finish()
+        };
         Value::Map(vec![
             ("format".to_string(), Value::Str(GNN_FORMAT.to_string())),
             ("version".to_string(), Value::UInt(GNN_FORMAT_VERSION)),
-            (
-                "params".to_string(),
-                Value::UInt(self.0.param_count() as u64),
-            ),
-            ("model".to_string(), self.0.to_value()),
+            ("content_hash".to_string(), Value::Str(hash.to_hex())),
+            ("model".to_string(), model),
         ])
     }
 }
@@ -171,9 +182,32 @@ fn header_u64(v: &Value, key: &str) -> Result<u64, PersistError> {
     }
 }
 
+/// Content-addressed spill through a [`ShardStore`] directory: one
+/// `<hex>.spill` file per [`af_cache::ContentHash`] beside the numbered
+/// shards, written atomically like the shards themselves. This is what lets
+/// flow/dataset caches persist next to the checkpoints they memoize.
+impl af_cache::persist::SpillBackend for ShardStore {
+    fn put(&self, key: &af_cache::ContentHash, bytes: &[u8]) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let tmp = self
+            .dir
+            .join(format!(".{}.{:x}.tmp", key.to_hex(), std::process::id()));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, self.dir.join(format!("{}.spill", key.to_hex())))
+    }
+
+    fn get(&self, key: &af_cache::ContentHash) -> std::io::Result<Option<Vec<u8>>> {
+        match fs::read(self.dir.join(format!("{}.spill", key.to_hex()))) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
 impl ThreeDGnn {
     /// Saves the model (weights + target statistics) as JSON, wrapped in a
-    /// versioned header carrying a parameter-count checksum.
+    /// versioned header carrying a content hash of the model body.
     ///
     /// # Errors
     ///
@@ -206,23 +240,51 @@ impl ThreeDGnn {
             )));
         }
         let version = header_u64(&tree, "version")?;
-        if version != GNN_FORMAT_VERSION {
+        if version != GNN_FORMAT_VERSION && version != GNN_FORMAT_VERSION_V1 {
             return Err(PersistError::Header(format!(
-                "unsupported version {version} (this build reads {GNN_FORMAT_VERSION})"
+                "unsupported version {version} (this build reads {GNN_FORMAT_VERSION_V1} \
+                 and {GNN_FORMAT_VERSION})"
             )));
         }
-        let params = header_u64(&tree, "params")?;
         let model_tree = tree
             .get("model")
             .ok_or_else(|| PersistError::Header("missing `model` field".to_string()))?;
+        if version == GNN_FORMAT_VERSION {
+            // v2: verify the content hash of the body *before* spending time
+            // deserializing it (and so that any corruption inside the body
+            // is caught, not just a wrong parameter count).
+            let expected = match tree.get("content_hash") {
+                Some(Value::Str(hex)) => af_cache::ContentHash::from_hex(hex).ok_or_else(|| {
+                    PersistError::Header(format!("malformed `content_hash` `{hex}`"))
+                })?,
+                _ => {
+                    return Err(PersistError::Header(
+                        "missing `content_hash` field".to_string(),
+                    ))
+                }
+            };
+            let mut h = af_cache::ContentHasher::new();
+            crate::cache::hash_value(&mut h, model_tree);
+            let actual = h.finish();
+            if actual != expected {
+                return Err(PersistError::Header(format!(
+                    "content-hash mismatch: header says {expected}, body hashes to {actual} \
+                     (stale, truncated, or tampered file?)"
+                )));
+            }
+        }
         let model: ThreeDGnn =
             serde::Deserialize::from_value(model_tree).map_err(|e| PersistError::Json(e.into()))?;
-        let actual = model.param_count() as u64;
-        if actual != params {
-            return Err(PersistError::Header(format!(
-                "parameter-count checksum mismatch: header says {params}, model has {actual} \
-                 (stale or truncated file?)"
-            )));
+        if version == GNN_FORMAT_VERSION_V1 {
+            // v1 back-compat: the weaker parameter-count checksum.
+            let params = header_u64(&tree, "params")?;
+            let actual = model.param_count() as u64;
+            if actual != params {
+                return Err(PersistError::Header(format!(
+                    "parameter-count checksum mismatch: header says {params}, model has {actual} \
+                     (stale or truncated file?)"
+                )));
+            }
         }
         Ok(model)
     }
@@ -325,14 +387,50 @@ mod tests {
             tree.get("format"),
             Some(&serde::Value::Str(GNN_FORMAT.to_string()))
         );
-        // The parser may surface an unsigned literal as Int or UInt;
-        // compare the value, not the variant.
-        match tree.get("params") {
-            Some(serde::Value::UInt(n)) => assert_eq!(*n, gnn.param_count() as u64),
-            Some(serde::Value::Int(n)) => assert_eq!(*n, gnn.param_count() as i64),
-            other => panic!("missing params header: {other:?}"),
+        // v2 headers carry the content hash of the model body.
+        match tree.get("content_hash") {
+            Some(serde::Value::Str(hex)) => {
+                let expected = af_cache::ContentHash::from_hex(hex).expect("well-formed hex");
+                let mut h = af_cache::ContentHasher::new();
+                crate::cache::hash_value(&mut h, tree.get("model").unwrap());
+                assert_eq!(h.finish(), expected, "header hash matches the body");
+            }
+            other => panic!("missing content_hash header: {other:?}"),
         }
         assert!(ThreeDGnn::load(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_params_envelope_still_loads() {
+        let gnn = tiny_gnn();
+        let path = tmp("gnn-v1.json");
+        // Hand-build the superseded v1 envelope (parameter-count checksum).
+        struct V1<'a>(&'a ThreeDGnn);
+        impl Serialize for V1<'_> {
+            fn to_value(&self) -> Value {
+                Value::Map(vec![
+                    ("format".to_string(), Value::Str(GNN_FORMAT.to_string())),
+                    ("version".to_string(), Value::UInt(GNN_FORMAT_VERSION_V1)),
+                    (
+                        "params".to_string(),
+                        Value::UInt(self.0.param_count() as u64),
+                    ),
+                    ("model".to_string(), self.0.to_value()),
+                ])
+            }
+        }
+        std::fs::write(&path, serde_json::to_string(&V1(&gnn)).unwrap()).unwrap();
+        let loaded = ThreeDGnn::load(&path).unwrap();
+        assert_eq!(loaded.param_count(), gnn.param_count());
+
+        // A v1 file with a wrong parameter count is still rejected.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let actual = format!("\"params\":{}", gnn.param_count());
+        assert!(text.contains(&actual));
+        std::fs::write(&path, text.replace(&actual, "\"params\":1")).unwrap();
+        let err = ThreeDGnn::load(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 
@@ -354,16 +452,23 @@ mod tests {
         gnn.save(&path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
 
-        // Wrong parameter count → checksum mismatch.
-        let actual = format!("\"params\":{}", gnn.param_count());
-        assert!(text.contains(&actual));
-        std::fs::write(&path, text.replace(&actual, "\"params\":1")).unwrap();
+        // Wrong content hash → mismatch (the body no longer matches).
+        let hex_start =
+            text.find("\"content_hash\":\"").expect("header present") + "\"content_hash\":\"".len();
+        let mut tampered = text.clone();
+        tampered.replace_range(hex_start..hex_start + 32, &"0".repeat(32));
+        std::fs::write(&path, &tampered).unwrap();
         let err = ThreeDGnn::load(&path).unwrap_err();
         assert!(matches!(err, PersistError::Header(_)), "{err}");
-        assert!(err.to_string().contains("checksum mismatch"));
+        assert!(err.to_string().contains("content-hash mismatch"));
+
+        // A tampered *body* is also caught by the hash, not just headers.
+        std::fs::write(&path, text.replacen("0.0", "0.5", 1)).unwrap();
+        let err = ThreeDGnn::load(&path).unwrap_err();
+        assert!(err.to_string().contains("content-hash mismatch"), "{err}");
 
         // Future version → rejected, not misread.
-        std::fs::write(&path, text.replace("\"version\":1", "\"version\":999")).unwrap();
+        std::fs::write(&path, text.replace("\"version\":2", "\"version\":999")).unwrap();
         let err = ThreeDGnn::load(&path).unwrap_err();
         assert!(err.to_string().contains("unsupported version"));
 

@@ -29,7 +29,7 @@ use crate::hetero::HeteroGraph;
 /// The potential function `V(C)`.
 pub struct Potential<'a> {
     gnn: &'a ThreeDGnn,
-    tensors: GraphTensors,
+    tensors: std::sync::Arc<GraphTensors>,
     /// FoM weights on the normalized metric predictions
     /// `[offset, cmrr, bandwidth, gain, noise]`; positive = minimize,
     /// negative = maximize. The paper found equal weighting best.
@@ -38,6 +38,9 @@ pub struct Potential<'a> {
     pub barrier_r: f64,
     c_min: f64,
     c_max: f64,
+    /// Tier-A memo of exact-duplicate surrogate evaluations (see
+    /// [`enable_memo`](Self::enable_memo)).
+    memo: Option<crate::cache::FomMemo>,
 }
 
 impl<'a> Potential<'a> {
@@ -51,7 +54,27 @@ impl<'a> Potential<'a> {
             barrier_r: 1e-3,
             c_min,
             c_max,
+            memo: None,
         }
+    }
+
+    /// Enables memoization of `f_θ` evaluations (the dominant cost of
+    /// [`value_and_grad`](Self::value_and_grad)). Keys cover the exact
+    /// guidance bits *and* the FoM weights, so a hit replays precisely the
+    /// evaluation that would have been computed — pool-seeded restarts and
+    /// repeated relax calls over the same points become lookups, and
+    /// results stay bit-identical. A `capacity_mb` of `0` disables the
+    /// memo.
+    pub fn enable_memo(&mut self, capacity_mb: u64) {
+        self.memo = (capacity_mb > 0).then(|| crate::cache::FomMemo::new(capacity_mb));
+    }
+
+    /// Counter snapshot of the evaluation memo (zeroed when disabled).
+    pub fn memo_stats(&self) -> af_cache::CacheStats {
+        self.memo
+            .as_ref()
+            .map(crate::cache::FomMemo::stats)
+            .unwrap_or_default()
     }
 
     /// Dimension of the flattened guidance vector.
@@ -69,7 +92,18 @@ impl<'a> Potential<'a> {
     /// Outside the feasible region the barrier returns `+∞` with a gradient
     /// pointing back inside.
     pub fn value_and_grad(&self, c: &[f64]) -> (f64, Vec<f64>) {
-        let (fom, mut grad) = self.gnn.fom_and_grad(&self.tensors, c, &self.weights);
+        // The surrogate term is a pure function of (weights, C); the barrier
+        // is recomputed (cheap) so the memo stores exactly one tier of the
+        // sum and `barrier_r` can change without invalidation.
+        let (fom, mut grad) = match &self.memo {
+            Some(memo) if crate::cache::cache_enabled() => {
+                let key = crate::cache::FomMemo::key(&self.weights, c);
+                memo.get_or_compute(key, || {
+                    self.gnn.fom_and_grad(&self.tensors, c, &self.weights)
+                })
+            }
+            _ => self.gnn.fom_and_grad(&self.tensors, c, &self.weights),
+        };
         let mut v = fom;
         for (i, &x) in c.iter().enumerate() {
             let lo = x - self.c_min;
@@ -119,6 +153,10 @@ pub struct RelaxConfig {
     /// `AFRT_THREADS`, then hardware parallelism. Any value yields
     /// bit-identical results.
     pub threads: usize,
+    /// Capacity (MiB) of the tier-A surrogate-evaluation memo enabled on
+    /// the potential by the flow; `0` disables it. Memoization is
+    /// exact-key, so results are bit-identical either way.
+    pub cache_mb: u64,
 }
 
 impl Default for RelaxConfig {
@@ -134,6 +172,7 @@ impl Default for RelaxConfig {
             diversity_tol: 0.05,
             seed: 99,
             threads: 0,
+            cache_mb: 64,
         }
     }
 }
@@ -398,6 +437,32 @@ mod tests {
         for o in &out {
             assert!(o.guidance.iter().all(|&x| x > lo && x < hi));
         }
+    }
+
+    #[test]
+    fn memoized_relaxation_is_bit_identical_and_hits() {
+        let (graph, gnn) = setup();
+        let cfg = RelaxConfig {
+            restarts: 4,
+            lbfgs_iters: 10,
+            ..RelaxConfig::default()
+        };
+        let plain = Potential::new(&gnn, &graph);
+        let base = relax(&plain, &cfg);
+
+        let mut memoized = Potential::new(&gnn, &graph);
+        memoized.enable_memo(16);
+        let cold = relax(&memoized, &cfg);
+        let warm = relax(&memoized, &cfg);
+        for run in [&cold, &warm] {
+            assert_eq!(base.len(), run.len());
+            for (a, b) in base.iter().zip(run.iter()) {
+                assert_eq!(a.guidance, b.guidance, "memo must not change results");
+                assert_eq!(a.potential.to_bits(), b.potential.to_bits());
+            }
+        }
+        let stats = memoized.memo_stats();
+        assert!(stats.hits > 0, "warm relax must hit the memo: {stats:?}");
     }
 
     #[test]

@@ -8,14 +8,20 @@
 //! instead of overrunning it — the numbers measure serving capacity, not
 //! queue overflow behaviour (the e2e suite covers shedding).
 //!
+//! Every client sends the same body, so with the response cache enabled
+//! (the default) all but the very first request are served from cache and
+//! the numbers measure cached-path capacity; the report separates cold
+//! (miss) from warm (hit) latency. Pass `cache=0` to disable the cache and
+//! measure raw batched-forward throughput instead.
+//!
 //! Run: `cargo run -p af-bench --bin loadgen --release --
-//!       [quick|full] [conns=N] [requests=N] [obs=path]`
+//!       [quick|full] [conns=N] [requests=N] [cache=MB] [obs=path]`
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
-use af_bench::{kv_num, obs_arg, Scale};
+use af_bench::{cache_arg, kv_num, obs_arg, Scale};
 use af_serve::{ModelBundle, ServeConfig, Server};
 use analogfold::{GnnConfig, ThreeDGnn};
 use serde::Serialize;
@@ -31,11 +37,18 @@ struct LoadgenReport {
     p50_ms: f64,
     p99_ms: f64,
     max_ms: f64,
+    cache_mb: u64,
+    cache_hits: u64,
+    cache_hit_ratio: f64,
+    cold_p50_ms: f64,
+    warm_p50_ms: f64,
+    warm_speedup: f64,
 }
 
 /// Sends one predict request on an open keep-alive connection and returns
-/// once the response body has been fully read.
-fn predict_once(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, body: &str) {
+/// whether the response was served from the response cache (`x-cache: hit`)
+/// once the body has been fully read.
+fn predict_once(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, body: &str) -> bool {
     let raw = format!(
         "POST /v1/predict HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
         body.len()
@@ -49,6 +62,7 @@ fn predict_once(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, body:
         "predict failed: {status_line:?}"
     );
     let mut content_length = 0usize;
+    let mut cache_hit = false;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line).expect("header line");
@@ -56,16 +70,20 @@ fn predict_once(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, body:
         if line.is_empty() {
             break;
         }
-        if let Some(v) = line
-            .to_ascii_lowercase()
-            .strip_prefix("content-length:")
-            .map(str::trim)
-        {
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:").map(str::trim) {
             content_length = v.parse().expect("content-length");
+        }
+        if lower
+            .strip_prefix("x-cache:")
+            .is_some_and(|v| v.trim() == "hit")
+        {
+            cache_hit = true;
         }
     }
     let mut sink = vec![0u8; content_length];
     reader.read_exact(&mut sink).expect("response body");
+    cache_hit
 }
 
 /// Nearest-rank percentile of an already-sorted sample.
@@ -90,6 +108,7 @@ fn main() {
     };
     let conns = kv_num(&args, "conns", default_conns).max(1);
     let requests = kv_num(&args, "requests", default_requests).max(1);
+    let cache_mb = cache_arg(&args, ServeConfig::default().cache_mb);
 
     // Serving throughput does not depend on trained weights, so an
     // untrained compact model keeps startup instant.
@@ -106,6 +125,7 @@ fn main() {
         ServeConfig {
             workers: conns as usize,
             job_dir: Some(job_dir.clone()),
+            cache_mb,
             ..ServeConfig::default()
         },
     )
@@ -127,22 +147,40 @@ fn main() {
             let body = body.clone();
             std::thread::spawn(move || {
                 let mut stream = TcpStream::connect(addr).expect("connect");
+                // Requests are tiny; without nodelay, Nagle + delayed ACK
+                // put a ~40 ms floor under every keep-alive round trip and
+                // the latency numbers measure the kernel, not the server.
+                stream.set_nodelay(true).expect("nodelay");
                 let mut reader = BufReader::new(stream.try_clone().expect("clone"));
-                let mut latencies_ms = Vec::with_capacity(requests as usize);
+                let mut samples = Vec::with_capacity(requests as usize);
                 for _ in 0..requests {
                     let t = Instant::now();
-                    predict_once(&mut stream, &mut reader, &body);
-                    latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                    let hit = predict_once(&mut stream, &mut reader, &body);
+                    samples.push((t.elapsed().as_secs_f64() * 1e3, hit));
                 }
-                latencies_ms
+                samples
             })
         })
         .collect();
-    let mut latencies: Vec<f64> = clients
+    let samples: Vec<(f64, bool)> = clients
         .into_iter()
         .flat_map(|h| h.join().expect("client thread"))
         .collect();
     let wall_s = t0.elapsed().as_secs_f64();
+    let mut latencies: Vec<f64> = samples.iter().map(|&(ms, _)| ms).collect();
+    let cache_hits = samples.iter().filter(|&&(_, hit)| hit).count() as u64;
+    let mut cold: Vec<f64> = samples
+        .iter()
+        .filter(|&&(_, hit)| !hit)
+        .map(|&(ms, _)| ms)
+        .collect();
+    let mut warm: Vec<f64> = samples
+        .iter()
+        .filter(|&&(_, hit)| hit)
+        .map(|&(ms, _)| ms)
+        .collect();
+    cold.sort_by(f64::total_cmp);
+    warm.sort_by(f64::total_cmp);
 
     handle.shutdown();
     handle.join();
@@ -150,6 +188,8 @@ fn main() {
 
     latencies.sort_by(f64::total_cmp);
     let total = latencies.len() as u64;
+    let cold_p50_ms = percentile(&cold, 0.50);
+    let warm_p50_ms = percentile(&warm, 0.50);
     let report = LoadgenReport {
         scale: format!("{scale:?}"),
         conns,
@@ -160,10 +200,24 @@ fn main() {
         p50_ms: percentile(&latencies, 0.50),
         p99_ms: percentile(&latencies, 0.99),
         max_ms: latencies.last().copied().unwrap_or(f64::NAN),
+        cache_mb,
+        cache_hits,
+        cache_hit_ratio: cache_hits as f64 / total.max(1) as f64,
+        cold_p50_ms,
+        warm_p50_ms,
+        warm_speedup: if warm.is_empty() || cold.is_empty() {
+            1.0
+        } else {
+            cold_p50_ms / warm_p50_ms.max(1e-9)
+        },
     };
     println!(
         "{} requests in {:.2}s: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms",
         report.total_requests, report.wall_s, report.req_per_s, report.p50_ms, report.p99_ms
+    );
+    println!(
+        "cache: {} hits / {} requests (ratio {:.2}), cold p50 {:.2} ms, warm p50 {:.2} ms",
+        report.cache_hits, report.total_requests, report.cache_hit_ratio, cold_p50_ms, warm_p50_ms
     );
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");

@@ -154,6 +154,21 @@ pub fn threads_arg(args: &[String]) -> usize {
     kv_num(args, "threads", 0) as usize
 }
 
+/// Parses a `cache=N` driver argument: the memoization-cache capacity in
+/// MiB handed to the flow/serve configuration under test. `cache=0`
+/// disables caching for the whole process (flipping
+/// [`analogfold::set_cache_enabled`] off), which is the honest baseline
+/// when measuring raw compute throughput. Caching never changes results —
+/// cached and uncached runs are bit-identical — so the knob only moves
+/// wall-clock numbers.
+pub fn cache_arg(args: &[String], default: u64) -> u64 {
+    let mb = kv_num(args, "cache", default);
+    if mb == 0 {
+        analogfold::set_cache_enabled(false);
+    }
+    mb
+}
+
 /// Parses an `obs=<path>` driver argument: installs a JSONL observability
 /// sink writing events to `<path>` and returns the guard that keeps it
 /// installed (hold it for the duration of the run). `None` — observability
@@ -411,6 +426,18 @@ mod tests {
         assert_eq!(threads_arg(&args(&["threads=0"])), 0);
         assert_eq!(threads_arg(&args(&["quick"])), 0, "default is auto");
         assert_eq!(threads_arg(&args(&["threads=x"])), 0, "garbage is auto");
+    }
+
+    #[test]
+    fn cache_arg_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(cache_arg(&args(&["quick", "cache=128"]), 64), 128);
+        assert_eq!(cache_arg(&args(&["quick"]), 64), 64, "default");
+        assert_eq!(cache_arg(&args(&["cache=0"]), 64), 0, "explicit off");
+        // `cache=0` flipped the process-wide kill switch; restore it so
+        // other tests see the default-enabled state.
+        assert!(!analogfold::cache_enabled());
+        analogfold::set_cache_enabled(true);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Disk spill for cross-run warm caches.
+//!
+//! The in-memory [`Cache`](crate::Cache) is process-local; long-lived
+//! artifacts (routed-sample labels, canonical design evaluations) are worth
+//! keeping across runs. [`SpillBackend`] is the minimal byte-oriented
+//! contract a cache tier composes with: callers serialize at their own
+//! layer (this crate stays encoding-agnostic and dependency-free) and key
+//! spilled blobs by [`ContentHash`], so a stale or renamed file can never
+//! be confused with live content.
+//!
+//! [`DirSpill`] is the built-in backend: one file per key under a
+//! directory, written atomically (temp file + rename) so a crash mid-write
+//! leaves either the old blob or none. `analogfold` additionally adapts its
+//! checkpoint `ShardStore` to this trait so flow/dataset caches spill next
+//! to the dataset shards they memoize.
+
+use crate::ContentHash;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A byte-oriented, content-addressed spill target. Implementations must be
+/// safe to call from multiple threads; last-writer-wins semantics are
+/// acceptable because a given key only ever maps to one logical content.
+pub trait SpillBackend: Send + Sync {
+    /// Persists `bytes` under `key`, replacing any previous blob.
+    fn put(&self, key: &ContentHash, bytes: &[u8]) -> io::Result<()>;
+    /// Fetches the blob for `key`; `Ok(None)` when absent or unreadable
+    /// (spill is an optimization — corruption must degrade to a miss, not
+    /// an error).
+    fn get(&self, key: &ContentHash) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// One-file-per-key spill under a directory; atomic writes, misses on
+/// corruption.
+pub struct DirSpill {
+    dir: PathBuf,
+}
+
+impl DirSpill {
+    /// Opens (creating if needed) a spill directory.
+    pub fn new(dir: impl AsRef<Path>) -> io::Result<Self> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(Self {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    fn path_for(&self, key: &ContentHash) -> PathBuf {
+        self.dir.join(format!("{}.spill", key.to_hex()))
+    }
+}
+
+impl SpillBackend for DirSpill {
+    fn put(&self, key: &ContentHash, bytes: &[u8]) -> io::Result<()> {
+        let final_path = self.path_for(key);
+        // Writer-unique temp name: concurrent writers of the same key each
+        // rename their own file; either full blob winning is fine.
+        let tmp = self.dir.join(format!(
+            "{}.{:x}.tmp",
+            key.to_hex(),
+            std::process::id() as u64 ^ (std::ptr::from_ref(self) as u64)
+        ));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &final_path)
+    }
+
+    fn get(&self, key: &ContentHash) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(self.path_for(key)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("af-cache-spill-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let spill = DirSpill::new(&dir).unwrap();
+        let key = ContentHash::of_bytes(b"some canonical content");
+        assert_eq!(spill.get(&key).unwrap(), None);
+        spill.put(&key, b"payload").unwrap();
+        assert_eq!(spill.get(&key).unwrap().as_deref(), Some(&b"payload"[..]));
+        spill.put(&key, b"replaced").unwrap();
+        assert_eq!(spill.get(&key).unwrap().as_deref(), Some(&b"replaced"[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let dir = tmp_dir("distinct");
+        let spill = DirSpill::new(&dir).unwrap();
+        let a = ContentHash::of_bytes(b"a");
+        let b = ContentHash::of_bytes(b"b");
+        spill.put(&a, b"A").unwrap();
+        spill.put(&b, b"B").unwrap();
+        assert_eq!(spill.get(&a).unwrap().as_deref(), Some(&b"A"[..]));
+        assert_eq!(spill.get(&b).unwrap().as_deref(), Some(&b"B"[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -38,6 +38,10 @@ pub struct ServeConfig {
     /// Directory of the persistent job store (a `persist::ShardStore`).
     /// `None` uses `serve-jobs` under the system temp directory.
     pub job_dir: Option<PathBuf>,
+    /// Capacity (MiB) of the response cache for `/v1/predict` and
+    /// `/v1/guide` (keyed by request content hash; bypass per-request with
+    /// an `x-no-cache` header). `0` disables it.
+    pub cache_mb: u64,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +59,7 @@ impl Default for ServeConfig {
             keepalive_idle_ms: 5_000,
             retry_after_s: 1,
             job_dir: None,
+            cache_mb: 32,
         }
     }
 }

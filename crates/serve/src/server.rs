@@ -22,6 +22,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
+use af_cache::{Cache, CacheBuilder, ContentHash, ContentHasher, FnWeigher};
 use af_sim::Performance;
 use afrt::{BoundedQueue, PushError};
 
@@ -45,6 +46,9 @@ struct Shared {
     cfg: ServeConfig,
     shutting_down: AtomicBool,
     addr: SocketAddr,
+    /// Response cache for `/v1/predict` and `/v1/guide`: whole 200-status
+    /// JSON bodies keyed by request content hash. `None` when disabled.
+    response_cache: Option<Cache<ContentHash, String>>,
 }
 
 /// Server constructor; see [`Server::bind`].
@@ -80,6 +84,13 @@ impl Server {
             cfg: cfg.clone(),
             shutting_down: AtomicBool::new(false),
             addr,
+            response_cache: (cfg.cache_mb > 0).then(|| {
+                CacheBuilder::new("serve")
+                    .capacity_mb(cfg.cache_mb)
+                    .build_weighed(FnWeigher(|_k: &ContentHash, v: &String| {
+                        32 + v.len() as u64
+                    }))
+            }),
         });
 
         let conn_queue: Arc<BoundedQueue<TcpStream>> =
@@ -111,6 +122,10 @@ impl Server {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
+                        // Small JSON responses must not sit in Nagle's
+                        // buffer waiting for a delayed ACK (a ~40 ms floor
+                        // on keep-alive request/response latency).
+                        let _ = stream.set_nodelay(true);
                         // Shed *before* pushing: try_push consumes the
                         // stream on failure, so a full queue is detected
                         // up front while we can still answer 429. The
@@ -238,8 +253,8 @@ fn dispatch(shared: &Shared, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => health(shared),
         ("GET", "/metrics") => Response::text(200, &render_metrics()),
-        ("POST", "/v1/predict") => predict(shared, req),
-        ("POST", "/v1/guide") => guide(shared, req),
+        ("POST", "/v1/predict") => with_response_cache(shared, req, || predict(shared, req)),
+        ("POST", "/v1/guide") => with_response_cache(shared, req, || guide(shared, req)),
         ("POST", "/v1/route") => route_job(shared, req),
         ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path),
         ("POST", "/v1/shutdown") => {
@@ -252,6 +267,40 @@ fn dispatch(shared: &Shared, req: &Request) -> Response {
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such route"),
     }
+}
+
+/// Tier B: serves `/v1/predict` and `/v1/guide` through the response cache.
+/// The key covers the request path and the exact body bytes, so a hit can
+/// only replay a response computed for an identical request. Only
+/// 200-status bodies are cached; an `x-no-cache` request header bypasses
+/// the cache entirely. The `x-cache: hit|miss` response header makes the
+/// outcome observable to clients and the smoke/load tests.
+fn with_response_cache(
+    shared: &Shared,
+    req: &Request,
+    compute: impl FnOnce() -> Response,
+) -> Response {
+    let Some(cache) = &shared.response_cache else {
+        return compute();
+    };
+    if req.header("x-no-cache").is_some() {
+        af_obs::counter("serve.cache_bypass", 1);
+        return compute();
+    }
+    let mut h = ContentHasher::new();
+    h.write_str(&req.path);
+    h.write(&req.body);
+    let key = h.finish();
+    if let Some(body) = cache.get(&key) {
+        return Response::json(200, body).with_header("x-cache", "hit".to_string());
+    }
+    let resp = compute();
+    if resp.status == 200 {
+        if let Ok(body) = std::str::from_utf8(&resp.body) {
+            cache.insert(key, body.to_string());
+        }
+    }
+    resp.with_header("x-cache", "miss".to_string())
 }
 
 fn json_or_500<T: serde::Serialize>(status: u16, value: &T) -> Response {

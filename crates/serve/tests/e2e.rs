@@ -232,6 +232,76 @@ fn batched_predictions_are_bit_identical_to_single_requests() {
 }
 
 #[test]
+fn identical_predicts_hit_the_response_cache() {
+    let (server, _dir) = start("cache", |cfg| {
+        cfg.cache_mb = 8;
+    });
+    let addr = server.addr();
+    let bundle = tiny_bundle();
+    let body = format!(
+        "{{\"guidance\":[{}]}}",
+        vec!["0.7"; bundle.guidance_len()].join(",")
+    );
+
+    let first = request(addr, "POST", "/v1/predict", &body);
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+
+    let second = request(addr, "POST", "/v1/predict", &body);
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-cache"), Some("hit"));
+    assert_eq!(
+        second.body, first.body,
+        "a cache hit must replay the exact body"
+    );
+
+    // A different request is its own key.
+    let other_body = format!(
+        "{{\"guidance\":[{}]}}",
+        vec!["0.9"; bundle.guidance_len()].join(",")
+    );
+    let other = request(addr, "POST", "/v1/predict", &other_body);
+    assert_eq!(other.header("x-cache"), Some("miss"));
+
+    // x-no-cache bypasses: fresh compute, no x-cache header.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let raw = format!(
+        "POST /v1/predict HTTP/1.1\r\ncontent-length: {}\r\nx-no-cache: 1\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).unwrap();
+    let bypass = read_response(&mut BufReader::new(stream));
+    assert_eq!(bypass.status, 200);
+    assert_eq!(bypass.header("x-cache"), None, "bypass skips the cache");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn cache_disabled_serves_uncached() {
+    let (server, _dir) = start("nocache", |cfg| {
+        cfg.cache_mb = 0;
+    });
+    let addr = server.addr();
+    let bundle = tiny_bundle();
+    let body = format!(
+        "{{\"guidance\":[{}]}}",
+        vec!["0.7"; bundle.guidance_len()].join(",")
+    );
+    for _ in 0..2 {
+        let resp = request(addr, "POST", "/v1/predict", &body);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-cache"), None);
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn flooding_a_bounded_queue_sheds_with_429_and_retry_after() {
     let (server, _dir) = start("flood", |cfg| {
         cfg.workers = 1;

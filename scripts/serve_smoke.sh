@@ -51,6 +51,21 @@ curl -sf -X POST --data-binary @"$WORK/predict_body.json" "http://$ADDR/v1/predi
 grep -q '"performance"' "$WORK/predict.json"
 grep -q '"batch_size"' "$WORK/predict.json"
 
+echo "=== /v1/predict again: identical request must be a response-cache hit"
+curl -sf -D "$WORK/predict2.headers" -X POST --data-binary @"$WORK/predict_body.json" \
+    "http://$ADDR/v1/predict" > "$WORK/predict2.json"
+grep -iq '^x-cache: hit' "$WORK/predict2.headers" \
+    || { echo "second identical predict was not served from cache"; cat "$WORK/predict2.headers"; exit 1; }
+cmp -s "$WORK/predict.json" "$WORK/predict2.json" \
+    || { echo "cached predict body differs from the original"; exit 1; }
+
+echo "=== /v1/predict with x-no-cache bypasses the cache"
+curl -sf -D "$WORK/predict3.headers" -H 'x-no-cache: 1' -X POST \
+    --data-binary @"$WORK/predict_body.json" "http://$ADDR/v1/predict" | json_ok
+grep -iq '^x-cache:' "$WORK/predict3.headers" \
+    && { echo "x-no-cache request still went through the cache"; exit 1; }
+echo "cache hit + bypass OK"
+
 echo "=== /v1/route to completion"
 curl -sf -X POST -d '{"restarts":2,"lbfgs_iters":3,"n_derive":1}' "http://$ADDR/v1/route" \
     | tee "$WORK/route.json" | json_ok
@@ -71,6 +86,9 @@ echo "=== /metrics (Prometheus text format)"
 curl -sf "http://$ADDR/metrics" > "$WORK/metrics.txt"
 grep -q '^# TYPE serve_requests counter' "$WORK/metrics.txt"
 grep -q '^serve_requests ' "$WORK/metrics.txt"
+grep -q '^cache_serve_hits ' "$WORK/metrics.txt" \
+    || { echo "missing cache_serve_hits counter"; grep '^cache' "$WORK/metrics.txt" || true; exit 1; }
+grep -q '^cache_serve_misses ' "$WORK/metrics.txt"
 python3 - "$WORK/metrics.txt" <<'PY'
 import re, sys
 line_pat = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$')

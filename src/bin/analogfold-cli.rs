@@ -8,9 +8,10 @@
 //! analogfold-cli train    <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--threads N] [--out FILE]
 //! analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N] [--threads N]
 //! analogfold-cli flow     <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--restarts N]
-//!                         [--threads N] [--obs-jsonl FILE] [--obs-report]
+//!                         [--threads N] [--cache-mb N] [--no-cache]
+//!                         [--obs-jsonl FILE] [--obs-report]
 //! analogfold-cli serve    <OTA1..OTA4> <A..D> --model FILE [--addr HOST:PORT] [--threads N]
-//!                         [--jobs DIR] [--obs-jsonl FILE]
+//!                         [--jobs DIR] [--cache-mb N] [--no-cache] [--obs-jsonl FILE]
 //! analogfold-cli bench-info
 //! ```
 
@@ -48,9 +49,10 @@ const USAGE: &str = "usage:
   analogfold-cli train    <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--threads N] [--out FILE]
   analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N] [--threads N]
   analogfold-cli flow     <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--restarts N]
-                          [--threads N] [--obs-jsonl FILE] [--obs-report]
+                          [--threads N] [--cache-mb N] [--no-cache]
+                          [--obs-jsonl FILE] [--obs-report]
   analogfold-cli serve    <OTA1..OTA4> <A..D> --model FILE [--addr HOST:PORT] [--threads N]
-                          [--jobs DIR] [--obs-jsonl FILE]
+                          [--jobs DIR] [--cache-mb N] [--no-cache] [--obs-jsonl FILE]
   analogfold-cli bench-info";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -77,7 +79,7 @@ fn parse_circuit(args: &[String]) -> Result<Circuit, String> {
 }
 
 use analogfold_suite::cli::{
-    flag_num, flag_value, has_flag, obs_flags, obs_install, threads_flag,
+    cache_mb_flag, flag_num, flag_value, has_flag, obs_flags, obs_install, threads_flag,
     variant_arg as parse_variant,
 };
 
@@ -268,6 +270,7 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
         .restarts(restarts)
         .n_derive(flag_num(args, "--n-derive", 3).min(restarts))
         .threads(threads)
+        .cache_mb(cache_mb_flag(args, 64))
         .placement_s(placement_s)
         .build()
         .map_err(|e| e.to_string())?;
@@ -340,6 +343,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         addr: addr.to_string(),
         workers: threads,
         job_dir: flag_value(args, "--jobs").map(std::path::PathBuf::from),
+        cache_mb: cache_mb_flag(args, ServeConfig::default().cache_mb),
         ..ServeConfig::default()
     };
     let handle = Server::bind(bundle, cfg).map_err(|e| e.to_string())?;

@@ -89,6 +89,24 @@ pub fn obs_install(flags: &ObsFlags) -> Result<Option<af_obs::ObsGuard>, String>
     Ok(Some(af_obs::install(std::sync::Arc::new(tee))))
 }
 
+/// Parses the caching flags shared by the `flow` and `serve` subcommands:
+/// `--cache-mb N` sizes the memoization caches in MiB (falling back to
+/// `default` when absent or malformed) and `--no-cache` disables caching
+/// entirely, returning `0` and switching the process-wide
+/// [`analogfold::set_cache_enabled`](crate::analogfold::set_cache_enabled)
+/// kill switch off. Caching never changes results — cached and uncached
+/// runs are bit-identical — so `--no-cache` is a debugging/benchmarking
+/// aid, not a correctness knob.
+pub fn cache_mb_flag(args: &[String], default: u64) -> u64 {
+    if has_flag(args, "--no-cache") {
+        crate::analogfold::set_cache_enabled(false);
+        return 0;
+    }
+    flag_value(args, "--cache-mb")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Parses a placement-variant positional argument (defaults to `A`).
 pub fn variant_arg(args: &[String], idx: usize) -> PlacementVariant {
     args.get(idx)
@@ -152,6 +170,29 @@ mod tests {
         let none = obs_flags(&argv(&["flow", "OTA1"]));
         assert_eq!(none, ObsFlags::default());
         assert!(!none.active());
+    }
+
+    #[test]
+    fn cache_flag_parsing() {
+        assert_eq!(
+            cache_mb_flag(&argv(&["flow", "OTA1", "--cache-mb", "128"]), 64),
+            128
+        );
+        assert_eq!(cache_mb_flag(&argv(&["flow", "OTA1"]), 64), 64, "default");
+        assert_eq!(
+            cache_mb_flag(&argv(&["--cache-mb", "lots"]), 32),
+            32,
+            "malformed falls back"
+        );
+        assert_eq!(
+            cache_mb_flag(&argv(&["--no-cache", "--cache-mb", "128"]), 64),
+            0,
+            "--no-cache wins over --cache-mb"
+        );
+        // The kill switch flipped as a side effect; restore it so other
+        // tests in this process see the default-enabled state.
+        assert!(!crate::analogfold::cache_enabled());
+        crate::analogfold::set_cache_enabled(true);
     }
 
     #[test]

@@ -184,6 +184,107 @@ fn relaxation_thread_count_invariant() {
     }
 }
 
+/// The caching contract: memoization is a pure wall-clock optimization, so
+/// a flow run with the caches enabled (tensor prefix, `f_theta` memo,
+/// dataset result cache) must be bit-identical to a run with every cache
+/// sized to zero — at any worker count.
+#[test]
+fn flow_outcome_identical_with_cache_on_and_off() {
+    let circuit = benchmarks::ota1();
+    let placement = place(&circuit, PlacementVariant::A);
+    let builder = |cache_mb: u64, threads: usize| {
+        FlowConfig::builder()
+            .samples(4)
+            .threads(threads)
+            .cache_mb(cache_mb)
+            .gnn(GnnConfig {
+                epochs: 3,
+                hidden: 8,
+                layers: 1,
+                ..GnnConfig::default()
+            })
+            .relax(RelaxConfig {
+                restarts: 2,
+                n_derive: 1,
+                lbfgs_iters: 5,
+                cache_mb,
+                ..RelaxConfig::default()
+            })
+            .build()
+            .unwrap()
+    };
+    let off = AnalogFoldFlow::new(builder(0, 1))
+        .run(&circuit, &placement)
+        .unwrap();
+    for (cache_mb, threads) in [(32, 1), (32, 4)] {
+        let on = AnalogFoldFlow::new(builder(cache_mb, threads))
+            .run(&circuit, &placement)
+            .unwrap();
+        assert_eq!(
+            off.guidance, on.guidance,
+            "guidance must be bit-identical (cache {cache_mb} MiB, {threads} threads)"
+        );
+        assert_eq!(off.layout.nets, on.layout.nets);
+        assert_eq!(off.performance, on.performance);
+        assert_eq!(off.train_report.epoch_losses, on.train_report.epoch_losses);
+        assert_eq!(
+            off.train_report.final_loss.to_bits(),
+            on.train_report.final_loss.to_bits()
+        );
+    }
+}
+
+/// The same contract at the relaxation tier: enabling the `f_theta` memo
+/// must not change a single bit of the relaxation pool, at any worker
+/// count — a memo hit returns exactly the floats the evaluation would have
+/// produced.
+#[test]
+fn relaxation_cache_on_off_thread_count_invariant() {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 2);
+    let gnn = ThreeDGnn::new(&GnnConfig {
+        hidden: 8,
+        layers: 1,
+        ..GnnConfig::default()
+    });
+    let run = |threads: usize, cache_mb: u64| {
+        let mut potential = Potential::new(&gnn, &graph);
+        potential.enable_memo(cache_mb);
+        relax(
+            &potential,
+            &RelaxConfig {
+                restarts: 6,
+                pool_size: 3,
+                n_derive: 2,
+                lbfgs_iters: 8,
+                threads,
+                cache_mb,
+                ..RelaxConfig::default()
+            },
+        )
+    };
+    let base = run(1, 0);
+    for (threads, cache_mb) in [(1, 16), (4, 16), (8, 16)] {
+        let out = run(threads, cache_mb);
+        assert_eq!(base.len(), out.len());
+        for (a, b) in base.iter().zip(&out) {
+            assert_eq!(
+                a.guidance, b.guidance,
+                "guidance must be bit-identical (cache {cache_mb} MiB, {threads} threads)"
+            );
+            assert_eq!(
+                a.potential.to_bits(),
+                b.potential.to_bits(),
+                "potential must be bit-identical: {} vs {}",
+                a.potential,
+                b.potential
+            );
+        }
+    }
+}
+
 /// The `afrt` contract applied to dataset generation: per-sample seed
 /// splitting makes the dataset independent of the worker count.
 #[test]
