@@ -38,6 +38,35 @@ impl Sample {
     }
 }
 
+/// One checkpointed sample slot: the guidance that was attempted and either
+/// its simulated metrics or the error that persisted after retries.
+///
+/// This is the on-disk shard entry. It is backward compatible with the
+/// pre-fault-tolerance format (a bare [`Sample`]): a legacy shard entry has
+/// `performance` present and no `error` field, which deserializes to
+/// `performance: Some(..), error: None`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampleRecord {
+    /// Flattened guidance for the graph's guided APs (row-major, 3 per AP).
+    pub guidance: Vec<f64>,
+    /// Simulated post-layout performance, when evaluation succeeded.
+    pub performance: Option<Performance>,
+    /// The permanent failure recorded for this sample, when it did not.
+    pub error: Option<String>,
+}
+
+impl SampleRecord {
+    /// The successful sample, if evaluation succeeded.
+    #[must_use]
+    pub fn into_sample(self) -> Option<Sample> {
+        let performance = self.performance?;
+        Some(Sample {
+            guidance: self.guidance,
+            performance,
+        })
+    }
+}
+
 /// A labeled dataset for one (circuit, placement).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Dataset {
@@ -181,6 +210,10 @@ pub struct DatasetConfig {
     /// collapses near-duplicate guidance onto one key (higher hit rates,
     /// approximate labels); only for exploratory sweeps.
     pub cache_quant: f64,
+    /// Retry policy for transiently-failing sample evaluations (injected
+    /// faults, worker panics). Retries recompute from the sample's own
+    /// seed, so a retried sample is bit-identical to an untroubled one.
+    pub retry: af_fault::RetryPolicy,
 }
 
 impl Default for DatasetConfig {
@@ -196,6 +229,12 @@ impl Default for DatasetConfig {
             shard_size: 32,
             cache_mb: 64,
             cache_quant: 0.0,
+            retry: af_fault::RetryPolicy {
+                max_attempts: 3,
+                base_delay_ms: 2,
+                max_delay_ms: 50,
+                ..af_fault::RetryPolicy::default()
+            },
         }
     }
 }
@@ -210,6 +249,11 @@ pub enum DatasetError {
     Sim(SimError),
     /// A checkpoint shard could not be written.
     Checkpoint(String),
+    /// Sample evaluation panicked (caught at the sample boundary so one bad
+    /// sample cannot sink the whole generation run).
+    Panicked(String),
+    /// An armed failpoint injected this failure (chaos testing).
+    Injected(String),
 }
 
 impl std::fmt::Display for DatasetError {
@@ -218,11 +262,34 @@ impl std::fmt::Display for DatasetError {
             DatasetError::Route(e) => write!(f, "routing failed: {e}"),
             DatasetError::Sim(e) => write!(f, "simulation failed: {e}"),
             DatasetError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
+            DatasetError::Panicked(msg) => write!(f, "sample evaluation panicked: {msg}"),
+            DatasetError::Injected(msg) => write!(f, "{msg}"),
         }
     }
 }
 
 impl std::error::Error for DatasetError {}
+
+impl DatasetError {
+    /// Whether retrying the failed sample could plausibly succeed (see
+    /// [`crate::Error::is_transient`] for the full classification).
+    /// Routing and simulation failures are deterministic functions of the
+    /// sample's guidance — retrying recomputes the same failure — while
+    /// injected faults, panics (which injected faults cause under chaos
+    /// testing), and checkpoint I/O failures are worth retrying. A
+    /// *genuinely* deterministic panic simply exhausts its retries and is
+    /// then recorded as the sample's permanent failure.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            DatasetError::Route(_) | DatasetError::Sim(_) => false,
+            DatasetError::Panicked(_) | DatasetError::Injected(_) => true,
+            // `Checkpoint` stringifies a `PersistError`: its `Io` rendering
+            // is transient, serialization failures are not.
+            DatasetError::Checkpoint(msg) => msg.contains("io error") || af_fault::is_injected(msg),
+        }
+    }
+}
 
 /// Builds the router guidance field for a flattened guidance vector.
 pub fn guidance_field(graph: &HeteroGraph, guidance: &[f64]) -> NonUniformGuidance {
@@ -297,10 +364,27 @@ pub fn generate_dataset(
 /// sample depends only on `(cfg.seed, sample_index)`, resumed and fresh runs
 /// produce identical datasets.
 ///
+/// # Fault tolerance
+///
+/// Each sample is evaluated under `cfg.retry`: transient failures (injected
+/// faults, caught worker panics) recompute from the sample's own seed, so a
+/// retried sample is bit-identical to an untroubled one. A failure that
+/// survives all retries is handled two ways:
+///
+/// - **With a checkpoint**: the sample is recorded in its shard as a
+///   [`SampleRecord`] carrying the error (counter `dataset.samples_failed`)
+///   and generation continues — a long run never aborts over a few bad
+///   samples, and the checkpoint documents exactly which ones failed. On
+///   resume, a shard containing failures is regenerated (only fully
+///   successful shards are reused verbatim), so a later run under better
+///   conditions heals the gaps.
+/// - **Without a checkpoint**: the lowest-index error propagates, as
+///   before.
+///
 /// # Errors
 ///
-/// Propagates the lowest-index routing or simulation failure, or a shard
-/// write failure.
+/// A shard write failure that survives retrying; without a checkpoint,
+/// also the lowest-index permanent routing or simulation failure.
 pub fn generate_dataset_checkpointed(
     circuit: &Circuit,
     placement: &Placement,
@@ -339,14 +423,21 @@ pub fn generate_dataset_checkpointed(
         let end = cfg.samples.min(start + shard_size);
         let want = end - start;
 
-        // Resume: a full shard from a previous run of the same config is
-        // reused verbatim; anything missing, short, or corrupt regenerates.
+        // Resume: a shard from a previous run of the same config is reused
+        // verbatim only when it is complete *and* fully successful;
+        // anything missing, short, corrupt, or containing recorded
+        // failures regenerates (giving permanently-failed samples another
+        // chance under better conditions).
         if let Some(store) = checkpoint {
-            if let Ok(Some(shard)) = store.load_shard::<Vec<Sample>>(shard_index) {
-                if shard.len() == want && shard.iter().all(|s| s.guidance.len() == n_guided * 3) {
+            if let Ok(Some(shard)) = store.load_shard::<Vec<SampleRecord>>(shard_index) {
+                if shard.len() == want
+                    && shard
+                        .iter()
+                        .all(|r| r.performance.is_some() && r.guidance.len() == n_guided * 3)
+                {
                     af_obs::counter("dataset.shards_resumed", 1);
                     af_obs::counter("dataset.samples_resumed", shard.len() as u64);
-                    samples.extend(shard);
+                    samples.extend(shard.into_iter().filter_map(SampleRecord::into_sample));
                     shard_index += 1;
                     start = end;
                     continue;
@@ -369,35 +460,88 @@ pub fn generate_dataset_checkpointed(
                         cfg.cache_quant,
                     )
                 });
-                if let (Some(cache), Some(key)) = (&eval_cache, &key) {
-                    if let Some(performance) = cache.lookup(key) {
-                        af_obs::counter("dataset.samples_cached", 1);
-                        return Ok(Sample {
+                // Retry transient failures. The `sim.eval` failpoint is
+                // keyed by (sample, attempt), so the injected schedule —
+                // and with it the retry timeline and the final dataset —
+                // is identical at every thread count, and each retry gets
+                // a fresh draw (a transient fault stops firing).
+                let result = cfg.retry.run(
+                    "dataset.sample",
+                    DatasetError::is_transient,
+                    |attempt| -> Result<Performance, DatasetError> {
+                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || -> Result<Performance, DatasetError> {
+                                af_fault::fail!(
+                                    "sim.eval",
+                                    key = af_fault::mix(i as u64, u64::from(attempt)),
+                                    DatasetError::Injected(af_fault::injected("sim.eval"))
+                                );
+                                if let (Some(cache), Some(key)) = (&eval_cache, &key) {
+                                    if let Some(performance) = cache.lookup(key) {
+                                        af_obs::counter("dataset.samples_cached", 1);
+                                        return Ok(performance);
+                                    }
+                                }
+                                let performance = evaluate_guidance(
+                                    circuit,
+                                    placement,
+                                    tech,
+                                    graph,
+                                    &guidance,
+                                    &cfg.router,
+                                    &cfg.sim,
+                                )?;
+                                if let (Some(cache), Some(key)) = (&eval_cache, &key) {
+                                    cache.store(*key, &performance);
+                                }
+                                Ok(performance)
+                            },
+                        ));
+                        outcome.unwrap_or_else(|payload| {
+                            Err(DatasetError::Panicked(afrt::panic_message(
+                                payload.as_ref(),
+                            )))
+                        })
+                    },
+                );
+                match result {
+                    Ok(performance) => (
+                        SampleRecord {
                             guidance,
-                            performance,
-                        });
+                            performance: Some(performance),
+                            error: None,
+                        },
+                        None,
+                    ),
+                    Err(e) => {
+                        af_obs::counter("dataset.samples_failed", 1);
+                        af_obs::warn(&format!("sample {i} permanently failed after retries: {e}"));
+                        (
+                            SampleRecord {
+                                guidance,
+                                performance: None,
+                                error: Some(e.to_string()),
+                            },
+                            Some(e),
+                        )
                     }
                 }
-                let performance = evaluate_guidance(
-                    circuit,
-                    placement,
-                    tech,
-                    graph,
-                    &guidance,
-                    &cfg.router,
-                    &cfg.sim,
-                )?;
-                if let (Some(cache), Some(key)) = (&eval_cache, key) {
-                    cache.store(key, &performance);
-                }
-                Ok(Sample {
-                    guidance,
-                    performance,
-                })
             })
             .unwrap_or_else(|e| panic!("dataset generation failed: {e}"));
-        let shard: Vec<Sample> = evaluated.into_iter().collect::<Result<_, DatasetError>>()?;
-        af_obs::counter("dataset.samples_generated", shard.len() as u64);
+
+        // Without a checkpoint the historical contract holds: the
+        // lowest-index permanent failure aborts generation. With one, the
+        // failure is recorded in the shard instead and the run continues.
+        if checkpoint.is_none() {
+            if let Some(e) = evaluated.iter().find_map(|(_, e)| e.clone()) {
+                return Err(e);
+            }
+        }
+        let shard: Vec<SampleRecord> = evaluated.into_iter().map(|(r, _)| r).collect();
+        af_obs::counter(
+            "dataset.samples_generated",
+            shard.iter().filter(|r| r.performance.is_some()).count() as u64,
+        );
 
         if let Some(store) = checkpoint {
             store
@@ -405,7 +549,7 @@ pub fn generate_dataset_checkpointed(
                 .map_err(|e| DatasetError::Checkpoint(e.to_string()))?;
             af_obs::counter("dataset.shards_written", 1);
         }
-        samples.extend(shard);
+        samples.extend(shard.into_iter().filter_map(SampleRecord::into_sample));
         shard_index += 1;
         start = end;
     }

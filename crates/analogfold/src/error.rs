@@ -96,6 +96,37 @@ impl Error {
             message: message.into(),
         }
     }
+
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// The classification (see DESIGN.md §11 for the full table):
+    ///
+    /// - **Persistence I/O** is transient — disks fill, network filesystems
+    ///   blip, chaos tests inject. Serialization/header failures are not:
+    ///   they are deterministic properties of the data.
+    /// - **Injected faults** ([`af_fault::is_injected`]) are transient by
+    ///   contract: the real operation never ran.
+    /// - **Routing** (`Unroutable`), **simulation** (`Singular`),
+    ///   **netlist**, and **configuration** failures are deterministic
+    ///   functions of their inputs — retrying recomputes the same failure.
+    /// - **Dataset** failures delegate to
+    ///   [`DatasetError::is_transient`](crate::dataset::DatasetError::is_transient)
+    ///   (worker panics are retried once under fault injection; see there).
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        if af_fault::is_injected(&self.to_string()) {
+            return true;
+        }
+        match self {
+            Error::Persist { source, .. } => source.is_transient(),
+            Error::Dataset { source, .. } => source.is_transient(),
+            Error::Flow { .. }
+            | Error::Route { .. }
+            | Error::Sim { .. }
+            | Error::Netlist { .. }
+            | Error::Config { .. } => false,
+        }
+    }
 }
 
 impl std::fmt::Display for Error {

@@ -336,7 +336,10 @@ impl From<DatasetError> for FlowError {
 /// Result of one AnalogFold run.
 #[derive(Debug, Clone)]
 pub struct FlowOutcome {
-    /// The derived guidance (flattened, 3 per guided AP).
+    /// The derived guidance (flattened, 3 per guided AP). Empty when every
+    /// guidance candidate failed to route/simulate and the flow degraded to
+    /// the unguided [`magical_route`] fallback (counter
+    /// `flow.fallback_unguided`).
     pub guidance: Vec<f64>,
     /// The guided routing solution.
     pub layout: RoutedLayout,
@@ -498,6 +501,11 @@ impl AnalogFoldFlow {
             runtime
                 .par_map(&candidates, |i, cand| {
                     let _s = af_obs::span!("candidate", i);
+                    af_fault::fail!(
+                        "flow.candidate",
+                        key = i as u64,
+                        Error::config(af_fault::injected("flow.candidate"))
+                    );
                     let field = RoutingGuidance::NonUniform(guidance_field(&graph, &cand.guidance));
                     let layout = route(circuit, placement, &cfg.tech, &field, &cfg.router)
                         .map_err(Error::from)?;
@@ -514,16 +522,38 @@ impl AnalogFoldFlow {
                 })
                 .unwrap_or_else(|e| panic!("candidate evaluation failed: {e}"))
         });
+        // Graceful degradation: a candidate that fails to route or simulate
+        // is logged and skipped — the remaining candidates still compete.
+        // Only when *every* candidate fails does the flow fall back to the
+        // unguided baseline, which still yields a complete (if unguided)
+        // layout instead of aborting a run that may have hours of training
+        // behind it.
         let mut best: Option<(f64, Vec<f64>, RoutedLayout, Parasitics, Performance)> = None;
-        for result in evaluated {
-            let (score, guidance, layout, parasitics, perf) = result?;
-            let better = best.as_ref().map(|(s, ..)| score < *s).unwrap_or(true);
-            if better {
-                best = Some((score, guidance, layout, parasitics, perf));
+        for (i, result) in evaluated.into_iter().enumerate() {
+            match result {
+                Ok((score, guidance, layout, parasitics, perf)) => {
+                    let better = best.as_ref().map(|(s, ..)| score < *s).unwrap_or(true);
+                    if better {
+                        best = Some((score, guidance, layout, parasitics, perf));
+                    }
+                }
+                Err(e) => {
+                    af_obs::counter("flow.candidate_failed", 1);
+                    af_obs::warn(&format!("guidance candidate {i} failed ({e}); skipping"));
+                }
             }
         }
-        let (_, guidance, layout, parasitics, performance) =
-            best.expect("relaxation produced at least one candidate");
+        let (_, guidance, layout, parasitics, performance) = match best {
+            Some(found) => found,
+            None => {
+                af_obs::counter("flow.fallback_unguided", 1);
+                af_obs::warn("all guidance candidates failed; falling back to unguided routing");
+                let (layout, parasitics, performance) =
+                    magical_route(circuit, placement, &cfg.tech, &cfg.router, &cfg.sim)
+                        .map_err(Error::from)?;
+                (f64::NAN, Vec::new(), layout, parasitics, performance)
+            }
+        };
 
         Ok(FlowOutcome {
             guidance,

@@ -64,7 +64,7 @@ pub use cache::{
 };
 pub use dataset::{
     generate_dataset, generate_dataset_checkpointed, generate_dataset_multi, guidance_field,
-    guidance_field_for, Dataset, DatasetConfig, DatasetError, Sample, TargetStats,
+    guidance_field_for, Dataset, DatasetConfig, DatasetError, Sample, SampleRecord, TargetStats,
 };
 pub use error::Error;
 pub use evaluate::{holdout_mse, kfold_mse, summarize, DatasetSummary, KfoldReport, METRIC_NAMES};

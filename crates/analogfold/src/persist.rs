@@ -55,6 +55,18 @@ impl std::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
+impl PersistError {
+    /// Whether retrying the failed operation could plausibly succeed.
+    /// I/O failures (including injected ones — see [`af_fault::is_injected`])
+    /// are transient: disks fill, NFS blips, chaos tests fire. Serialization
+    /// and header failures are deterministic properties of the data and
+    /// would fail identically on every retry.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, PersistError::Io(_))
+    }
+}
+
 impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
         PersistError::Io(e)
@@ -86,15 +98,72 @@ fn load<T: DeserializeOwned>(path: &Path) -> Result<T, PersistError> {
 ///
 /// Writes go through a temporary file renamed into place, so a job killed
 /// mid-write leaves no partial shard behind.
+///
+/// # Crash-consistency contract
+///
+/// Every write ([`ShardStore::save_shard`] and spill `put`) follows the
+/// full durable-rename discipline:
+///
+/// 1. write the payload to a temporary file in the same directory,
+/// 2. `sync_all()` the temporary file (so the *data* is on disk before any
+///    name points at it),
+/// 3. `rename()` it over the final name (atomic on POSIX filesystems),
+/// 4. fsync the directory (unix only; on other platforms the rename's
+///    durability is best-effort).
+///
+/// After a crash at any point, a shard name therefore refers either to the
+/// complete old content or the complete new content — never to a torn or
+/// empty file — and once `save_shard` returns, the shard survives power
+/// loss. A crash between (3) and (4) can lose the *rename* (the old content
+/// reappears) but never produces a partial file; the checkpoint loop
+/// tolerates that by regenerating any shard it cannot load.
+///
+/// Transient write failures are retried under the store's [`RetryPolicy`]
+/// (default: 3 attempts). The `persist.save_shard` and `persist.spill`
+/// failpoints inject `Io` errors here for chaos tests.
 #[derive(Debug, Clone)]
 pub struct ShardStore {
     dir: std::path::PathBuf,
+    retry: af_fault::RetryPolicy,
+}
+
+/// Writes `bytes` to `final_path` with the durable-rename discipline
+/// documented on [`ShardStore`].
+fn write_durable(dir: &Path, tmp: &Path, final_path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    fs::create_dir_all(dir)?;
+    let mut f = fs::File::create(tmp)?;
+    f.write_all(bytes)?;
+    // Data must be durable before the rename publishes a name for it.
+    f.sync_all()?;
+    drop(f);
+    fs::rename(tmp, final_path)?;
+    // Make the rename itself durable: fsync the containing directory.
+    #[cfg(unix)]
+    fs::File::open(dir)?.sync_all()?;
+    Ok(())
 }
 
 impl ShardStore {
-    /// Store rooted at `dir` (created lazily on first save).
+    /// Store rooted at `dir` (created lazily on first save) with the
+    /// default write [`RetryPolicy`].
     pub fn new(dir: impl Into<std::path::PathBuf>) -> Self {
-        Self { dir: dir.into() }
+        Self {
+            dir: dir.into(),
+            retry: af_fault::RetryPolicy {
+                max_attempts: 3,
+                base_delay_ms: 5,
+                max_delay_ms: 100,
+                ..af_fault::RetryPolicy::default()
+            },
+        }
+    }
+
+    /// Overrides the policy applied to transient write failures.
+    #[must_use]
+    pub fn with_retry(mut self, retry: af_fault::RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Root directory of the store.
@@ -107,17 +176,32 @@ impl ShardStore {
         self.dir.join(format!("shard-{index:04}.json"))
     }
 
-    /// Writes shard `index` atomically (temp file + rename).
+    /// Writes shard `index` atomically and durably (see the
+    /// crash-consistency contract on [`ShardStore`]); transient I/O
+    /// failures are retried under the store's policy.
     ///
     /// # Errors
     ///
-    /// Filesystem or serialization failures.
+    /// Filesystem or serialization failures that survive retrying.
     pub fn save_shard<T: Serialize>(&self, index: usize, value: &T) -> Result<(), PersistError> {
-        fs::create_dir_all(&self.dir)?;
+        let payload = serde_json::to_string(value)?;
         let tmp = self.dir.join(format!(".shard-{index:04}.json.tmp"));
-        fs::write(&tmp, serde_json::to_string(value)?)?;
-        fs::rename(&tmp, self.shard_path(index))?;
-        Ok(())
+        let final_path = self.shard_path(index);
+        self.retry.run(
+            "persist.save_shard",
+            PersistError::is_transient,
+            |attempt| {
+                af_fault::fail!(
+                    "persist.save_shard",
+                    key = af_fault::mix(index as u64, u64::from(attempt)),
+                    PersistError::Io(std::io::Error::other(af_fault::injected(
+                        "persist.save_shard"
+                    )))
+                );
+                write_durable(&self.dir, &tmp, &final_path, payload.as_bytes())
+                    .map_err(PersistError::Io)
+            },
+        )
     }
 
     /// Loads shard `index` if it exists and parses cleanly; a missing or
@@ -188,12 +272,21 @@ fn header_u64(v: &Value, key: &str) -> Result<u64, PersistError> {
 /// flow/dataset caches persist next to the checkpoints they memoize.
 impl af_cache::persist::SpillBackend for ShardStore {
     fn put(&self, key: &af_cache::ContentHash, bytes: &[u8]) -> std::io::Result<()> {
-        fs::create_dir_all(&self.dir)?;
         let tmp = self
             .dir
             .join(format!(".{}.{:x}.tmp", key.to_hex(), std::process::id()));
-        fs::write(&tmp, bytes)?;
-        fs::rename(&tmp, self.dir.join(format!("{}.spill", key.to_hex())))
+        let final_path = self.dir.join(format!("{}.spill", key.to_hex()));
+        self.retry.run(
+            "persist.spill",
+            |_e: &std::io::Error| true,
+            |_attempt| {
+                af_fault::fail!(
+                    "persist.spill",
+                    std::io::Error::other(af_fault::injected("persist.spill"))
+                );
+                write_durable(&self.dir, &tmp, &final_path, bytes)
+            },
+        )
     }
 
     fn get(&self, key: &af_cache::ContentHash) -> std::io::Result<Option<Vec<u8>>> {

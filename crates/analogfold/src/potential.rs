@@ -92,6 +92,12 @@ impl<'a> Potential<'a> {
     /// Outside the feasible region the barrier returns `+∞` with a gradient
     /// pointing back inside.
     pub fn value_and_grad(&self, c: &[f64]) -> (f64, Vec<f64>) {
+        // Chaos hook: inject a non-finite evaluation *before* the memo so a
+        // poisoned value can never be cached. Disarmed cost is one relaxed
+        // atomic load — this is the relaxation hot path.
+        if af_fault::enabled() && af_fault::should_fail("relax.value_grad").is_some() {
+            return (f64::NAN, vec![0.0; c.len()]);
+        }
         // The surrogate term is a pure function of (weights, C); the barrier
         // is recomputed (cheap) so the memo stores exactly one tier of the
         // sum and `barrier_r` can change without invalidation.
@@ -228,16 +234,21 @@ pub fn relax_seeded(
                 let mut x0 = s.clone();
                 potential.project(&mut x0);
                 let (v0, _) = potential.value_and_grad(&x0);
-                let raw = RelaxOutcome {
+                let raw = v0.is_finite().then(|| RelaxOutcome {
                     guidance: x0.clone(),
                     potential: v0,
-                };
+                });
                 (raw, minimize_one(potential, &x0, cfg))
             })
             .unwrap_or_else(|e| panic!("relaxation warm-start failed: {e}"));
         for (raw, opt) in refined {
-            pool.push(raw);
-            pool.push(opt);
+            // Non-finite evaluations never enter the pool; seeds are data
+            // (not random draws), so a bad one is dropped, not re-drawn.
+            if raw.is_none() || opt.is_none() {
+                af_obs::counter("relax.nonfinite_restarts", 1);
+            }
+            pool.extend(raw);
+            pool.extend(opt);
         }
         merge_pool(&mut pool, cfg);
     }
@@ -256,9 +267,30 @@ pub fn relax_seeded(
         let results = runtime
             .par_map(&round, |_, &restart| {
                 let _s = af_obs::span!("restart", restart);
+                // A restart whose descent lands on a non-finite potential
+                // (NaN from an unlucky surrogate evaluation, or injected by
+                // the `relax.nonfinite` failpoint) is *re-initialized* from
+                // a fresh deterministic draw rather than admitted to the
+                // pool or discarded outright — the paper's relaxation
+                // depends on many noisy restarts surviving bad
+                // initializations. Attempt 0 reproduces the historical
+                // draw exactly, so fault-free runs are bit-identical to
+                // before; re-draw seeds chain through `(seed, restart,
+                // attempt)` so recovery is deterministic too.
+                const REINIT_SALT: u64 = 0x6e6f_6e66_696e_6974; // "nonfinit"
+                const MAX_ATTEMPTS: u64 = 4;
                 let mut rng = ChaCha8Rng::seed_from_u64(afrt::split_seed(cfg.seed, restart as u64));
-                let mut x0: Vec<f64> =
-                    if snapshot.len() >= cfg.pool_size && rng.gen::<f64>() < cfg.p_relax {
+                let mut outcome: Option<RelaxOutcome> = None;
+                for attempt in 0..MAX_ATTEMPTS {
+                    let mut x0: Vec<f64> = if attempt > 0 {
+                        let mut redraw = ChaCha8Rng::seed_from_u64(afrt::split_seed(
+                            cfg.seed ^ REINIT_SALT,
+                            af_fault::mix(restart as u64, attempt),
+                        ));
+                        (0..dim)
+                            .map(|_| redraw.gen_range(c_min + 0.05..c_max - 0.05))
+                            .collect()
+                    } else if snapshot.len() >= cfg.pool_size && rng.gen::<f64>() < cfg.p_relax {
                         // Noisy restart from a pool member (the paper's
                         // `p_relax · N_pool` re-initializations).
                         let pick = rng.gen_range(0..snapshot.len());
@@ -272,11 +304,26 @@ pub fn relax_seeded(
                             .map(|_| rng.gen_range(c_min + 0.05..c_max - 0.05))
                             .collect()
                     };
-                potential.project(&mut x0);
-                minimize_one(potential, &x0, cfg)
+                    potential.project(&mut x0);
+                    let injected = af_fault::should_fail_keyed(
+                        "relax.nonfinite",
+                        af_fault::mix(restart as u64, attempt),
+                    )
+                    .is_some();
+                    outcome = if injected {
+                        None
+                    } else {
+                        minimize_one(potential, &x0, cfg)
+                    };
+                    if outcome.is_some() {
+                        break;
+                    }
+                    af_obs::counter("relax.nonfinite_restarts", 1);
+                }
+                outcome
             })
             .unwrap_or_else(|e| panic!("relaxation restart failed: {e}"));
-        pool.extend(results);
+        pool.extend(results.into_iter().flatten());
         merge_pool(&mut pool, cfg);
     }
 
@@ -314,7 +361,10 @@ pub fn relax_seeded(
 }
 
 /// One L-BFGS descent from `x0`, projected back into the feasible region.
-fn minimize_one(potential: &Potential<'_>, x0: &[f64], cfg: &RelaxConfig) -> RelaxOutcome {
+/// Returns `None` when the descent produced a non-finite potential or
+/// guidance — such results must never become pool entries, because the
+/// pool sort and the noisy pool-seeded restarts would both be poisoned.
+fn minimize_one(potential: &Potential<'_>, x0: &[f64], cfg: &RelaxConfig) -> Option<RelaxOutcome> {
     let result = lbfgs_minimize(
         |x| potential.value_and_grad(x),
         x0,
@@ -329,11 +379,14 @@ fn minimize_one(potential: &Potential<'_>, x0: &[f64], cfg: &RelaxConfig) -> Rel
     let mut guidance = result.x;
     potential.project(&mut guidance);
     let (v, _) = potential.value_and_grad(&guidance);
+    if !v.is_finite() || guidance.iter().any(|g| !g.is_finite()) {
+        return None;
+    }
     af_obs::hist("relax.potential_final", v);
-    RelaxOutcome {
+    Some(RelaxOutcome {
         guidance,
         potential: v,
-    }
+    })
 }
 
 /// Sorts the pool best-first and bounds its size. `sort_by` is stable and

@@ -14,14 +14,20 @@
 //! (miss) from warm (hit) latency. Pass `cache=0` to disable the cache and
 //! measure raw batched-forward throughput instead.
 //!
+//! Pass `fault=SPEC` (e.g. `fault=serve.batch:panic:0.01`, optionally with
+//! `fault_seed=N`) to arm the af-fault registry inside the server process:
+//! the report then records the error rate and tail latency under injected
+//! faults instead of asserting every response is a `200`.
+//!
 //! Run: `cargo run -p af-bench --bin loadgen --release --
-//!       [quick|full] [conns=N] [requests=N] [cache=MB] [obs=path]`
+//!       [quick|full] [conns=N] [requests=N] [cache=MB] [obs=path]
+//!       [fault=SPEC] [fault_seed=N]`
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
-use af_bench::{cache_arg, kv_num, obs_arg, Scale};
+use af_bench::{cache_arg, fault_arg, kv_num, obs_arg, Scale};
 use af_serve::{ModelBundle, ServeConfig, Server};
 use analogfold::{GnnConfig, ThreeDGnn};
 use serde::Serialize;
@@ -43,29 +49,49 @@ struct LoadgenReport {
     cold_p50_ms: f64,
     warm_p50_ms: f64,
     warm_speedup: f64,
+    fault_spec: String,
+    errors: u64,
+    error_rate: f64,
 }
 
 /// Sends one predict request on an open keep-alive connection and returns
-/// whether the response was served from the response cache (`x-cache: hit`)
-/// once the body has been fully read.
-fn predict_once(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, body: &str) -> bool {
+/// `(status, cache_hit)` once the body has been fully read. A status of `0`
+/// means the connection dropped mid-response (possible while a supervised
+/// collector restarts under injected faults) — the caller must reconnect.
+fn predict_once(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    body: &str,
+) -> (u16, bool) {
     let raw = format!(
         "POST /v1/predict HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
         body.len()
     );
-    stream.write_all(raw.as_bytes()).expect("request write");
+    if stream.write_all(raw.as_bytes()).is_err() {
+        return (0, false);
+    }
 
     let mut status_line = String::new();
-    reader.read_line(&mut status_line).expect("status line");
-    assert!(
-        status_line.contains("200"),
-        "predict failed: {status_line:?}"
-    );
+    match reader.read_line(&mut status_line) {
+        Ok(0) | Err(_) => return (0, false),
+        Ok(_) => {}
+    }
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if status == 0 {
+        return (0, false);
+    }
     let mut content_length = 0usize;
     let mut cache_hit = false;
     loop {
         let mut line = String::new();
-        reader.read_line(&mut line).expect("header line");
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return (0, false),
+            Ok(_) => {}
+        }
         let line = line.trim_end();
         if line.is_empty() {
             break;
@@ -82,8 +108,10 @@ fn predict_once(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, body:
         }
     }
     let mut sink = vec![0u8; content_length];
-    reader.read_exact(&mut sink).expect("response body");
-    cache_hit
+    if reader.read_exact(&mut sink).is_err() {
+        return (0, false);
+    }
+    (status, cache_hit)
 }
 
 /// Nearest-rank percentile of an already-sorted sample.
@@ -109,6 +137,7 @@ fn main() {
     let conns = kv_num(&args, "conns", default_conns).max(1);
     let requests = kv_num(&args, "requests", default_requests).max(1);
     let cache_mb = cache_arg(&args, ServeConfig::default().cache_mb);
+    let fault_spec = fault_arg(&args);
 
     // Serving throughput does not depend on trained weights, so an
     // untrained compact model keeps startup instant.
@@ -146,38 +175,50 @@ fn main() {
         .map(|_| {
             let body = body.clone();
             std::thread::spawn(move || {
-                let mut stream = TcpStream::connect(addr).expect("connect");
-                // Requests are tiny; without nodelay, Nagle + delayed ACK
-                // put a ~40 ms floor under every keep-alive round trip and
-                // the latency numbers measure the kernel, not the server.
-                stream.set_nodelay(true).expect("nodelay");
-                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let connect = || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    // Requests are tiny; without nodelay, Nagle + delayed
+                    // ACK put a ~40 ms floor under every keep-alive round
+                    // trip and the latency numbers measure the kernel, not
+                    // the server.
+                    stream.set_nodelay(true).expect("nodelay");
+                    let reader = BufReader::new(stream.try_clone().expect("clone"));
+                    (stream, reader)
+                };
+                let (mut stream, mut reader) = connect();
                 let mut samples = Vec::with_capacity(requests as usize);
                 for _ in 0..requests {
                     let t = Instant::now();
-                    let hit = predict_once(&mut stream, &mut reader, &body);
-                    samples.push((t.elapsed().as_secs_f64() * 1e3, hit));
+                    let (status, hit) = predict_once(&mut stream, &mut reader, &body);
+                    if status == 0 {
+                        // Dropped connection (e.g. a collector restart under
+                        // injected faults): reconnect and count the error.
+                        (stream, reader) = connect();
+                    }
+                    samples.push((t.elapsed().as_secs_f64() * 1e3, status == 200, hit));
                 }
                 samples
             })
         })
         .collect();
-    let samples: Vec<(f64, bool)> = clients
+    let samples: Vec<(f64, bool, bool)> = clients
         .into_iter()
         .flat_map(|h| h.join().expect("client thread"))
         .collect();
     let wall_s = t0.elapsed().as_secs_f64();
-    let mut latencies: Vec<f64> = samples.iter().map(|&(ms, _)| ms).collect();
-    let cache_hits = samples.iter().filter(|&&(_, hit)| hit).count() as u64;
+    let mut latencies: Vec<f64> = samples.iter().map(|&(ms, _, _)| ms).collect();
+    let errors = samples.iter().filter(|&&(_, ok, _)| !ok).count() as u64;
+    let cache_hits = samples.iter().filter(|&&(_, _, hit)| hit).count() as u64;
+    // Cold/warm latency split only makes sense over successful responses.
     let mut cold: Vec<f64> = samples
         .iter()
-        .filter(|&&(_, hit)| !hit)
-        .map(|&(ms, _)| ms)
+        .filter(|&&(_, ok, hit)| ok && !hit)
+        .map(|&(ms, _, _)| ms)
         .collect();
     let mut warm: Vec<f64> = samples
         .iter()
-        .filter(|&&(_, hit)| hit)
-        .map(|&(ms, _)| ms)
+        .filter(|&&(_, ok, hit)| ok && hit)
+        .map(|&(ms, _, _)| ms)
         .collect();
     cold.sort_by(f64::total_cmp);
     warm.sort_by(f64::total_cmp);
@@ -210,6 +251,9 @@ fn main() {
         } else {
             cold_p50_ms / warm_p50_ms.max(1e-9)
         },
+        fault_spec: fault_spec.unwrap_or_default(),
+        errors,
+        error_rate: errors as f64 / total.max(1) as f64,
     };
     println!(
         "{} requests in {:.2}s: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms",
@@ -219,6 +263,12 @@ fn main() {
         "cache: {} hits / {} requests (ratio {:.2}), cold p50 {:.2} ms, warm p50 {:.2} ms",
         report.cache_hits, report.total_requests, report.cache_hit_ratio, cold_p50_ms, warm_p50_ms
     );
+    if !report.fault_spec.is_empty() {
+        println!(
+            "faults: `{}` -> {} errors / {} requests (rate {:.4})",
+            report.fault_spec, report.errors, report.total_requests, report.error_rate
+        );
+    }
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");

@@ -185,6 +185,26 @@ pub fn obs_arg(args: &[String]) -> Option<af_obs::ObsGuard> {
     }
 }
 
+/// Parses a `fault=SPEC` driver argument: arms the [`af_fault`] failpoint
+/// registry from the spec (seeded by an optional `fault_seed=N`, default
+/// `0`) so a bench can measure error rate and tail latency under injected
+/// faults. Returns the spec for inclusion in the report; `None` — fault
+/// injection stays disarmed — when the argument is absent or malformed.
+pub fn fault_arg(args: &[String]) -> Option<String> {
+    let spec = kv_arg(args, "fault")?;
+    af_fault::set_seed(kv_num(args, "fault_seed", 0));
+    match af_fault::arm_spec(spec) {
+        Ok(n) => {
+            eprintln!("fault injection armed: {n} failpoint(s) from `{spec}`");
+            Some(spec.to_string())
+        }
+        Err(err) => {
+            eprintln!("warning: bad fault spec `{spec}`: {err}");
+            None
+        }
+    }
+}
+
 /// Flow configuration for one scale.
 pub fn flow_config(scale: Scale, seed: u64) -> FlowConfig {
     FlowConfig::builder()

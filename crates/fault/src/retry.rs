@@ -1,0 +1,373 @@
+//! Retry with exponential backoff, deterministic jitter, total deadline,
+//! and an optional shared retry budget.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How an operation is retried. All delays are expressed in milliseconds so
+/// the policy is `Copy`-cheap, comparable, and trivially serializable.
+///
+/// Jitter is **deterministic**: the factor applied to attempt `n` is drawn
+/// from SplitMix64 of `(seed, n)`, so two runs with the same policy produce
+/// the same backoff timeline — a requirement for the bit-identical chaos
+/// tests (`tests/chaos.rs`) and the retry-determinism proptests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub max_delay_ms: u64,
+    /// Exponential growth factor between consecutive delays.
+    pub multiplier: f64,
+    /// Jitter amplitude as a fraction of the delay: the applied factor is
+    /// uniform in `[1 - jitter, 1 + jitter]`. `0.0` disables jitter.
+    pub jitter: f64,
+    /// Total wall-clock budget across all attempts (`None` = unbounded).
+    /// Once exceeded, the next failure is returned instead of retried.
+    pub deadline_ms: Option<u64>,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_delay_ms: 10,
+            max_delay_ms: 1_000,
+            multiplier: 2.0,
+            jitter: 0.1,
+            deadline_ms: None,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// A fast policy for tests: `attempts` tries with sub-millisecond
+    /// backoff, no jitter.
+    #[must_use]
+    pub fn quick(attempts: u32) -> Self {
+        Self {
+            max_attempts: attempts.max(1),
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+            jitter: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// The (deterministic) delay before retry number `retry` (1-based: the
+    /// delay slept between attempt `retry` and attempt `retry + 1`).
+    #[must_use]
+    pub fn delay_ms(&self, retry: u32) -> u64 {
+        if self.base_delay_ms == 0 {
+            return 0;
+        }
+        let exp = self
+            .multiplier
+            .max(1.0)
+            .powi(retry.saturating_sub(1) as i32);
+        let raw = (self.base_delay_ms as f64 * exp).min(self.max_delay_ms as f64);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return raw as u64;
+        }
+        // Uniform in [1 - jitter, 1 + jitter], drawn from SplitMix64 of
+        // (seed, retry): same policy, same timeline, every run.
+        let u = (afrt::split_seed(self.seed, u64::from(retry)) >> 11) as f64
+            * (1.0 / (1u64 << 53) as f64);
+        let factor = 1.0 - jitter + 2.0 * jitter * u;
+        (raw * factor).round() as u64
+    }
+
+    /// The full deterministic backoff timeline: delays slept after attempts
+    /// `1..max_attempts` when every attempt fails transiently.
+    #[must_use]
+    pub fn timeline(&self) -> Vec<u64> {
+        (1..self.max_attempts).map(|r| self.delay_ms(r)).collect()
+    }
+
+    /// Runs `op` under this policy. `op` receives the 0-based attempt
+    /// number. A failure is retried only while `is_transient` approves it,
+    /// attempts remain, and the deadline is not exhausted; otherwise the
+    /// last error is returned.
+    ///
+    /// Obs counters (when recording is on): `retry.<name>.retries` and
+    /// `retry.<name>.exhausted`.
+    ///
+    /// # Errors
+    ///
+    /// The last error from `op` once retrying stops.
+    pub fn run<T, E>(
+        &self,
+        name: &str,
+        is_transient: impl Fn(&E) -> bool,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, E> {
+        self.run_inner(name, None, is_transient, &mut op)
+    }
+
+    /// [`RetryPolicy::run`] gated by a shared [`RetryBudget`]: each retry
+    /// withdraws one token, and a success after retries deposits back.
+    /// Budget exhaustion stops retrying (counter `retry.<name>.budget_dry`).
+    ///
+    /// # Errors
+    ///
+    /// The last error from `op` once retrying stops.
+    pub fn run_budgeted<T, E>(
+        &self,
+        name: &str,
+        budget: &RetryBudget,
+        is_transient: impl Fn(&E) -> bool,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, E> {
+        self.run_inner(name, Some(budget), is_transient, &mut op)
+    }
+
+    fn run_inner<T, E>(
+        &self,
+        name: &str,
+        budget: Option<&RetryBudget>,
+        is_transient: impl Fn(&E) -> bool,
+        op: &mut impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, E> {
+        let started = Instant::now();
+        let max = self.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            match op(attempt) {
+                Ok(v) => {
+                    if attempt > 0 {
+                        if let Some(b) = budget {
+                            b.deposit();
+                        }
+                    }
+                    return Ok(v);
+                }
+                Err(e) => {
+                    let retry = attempt + 1; // 1-based retry number
+                    let out_of_time = self
+                        .deadline_ms
+                        .is_some_and(|d| started.elapsed() >= Duration::from_millis(d));
+                    if retry >= max || !is_transient(&e) || out_of_time {
+                        af_obs::counter(&format!("retry.{name}.exhausted"), 1);
+                        return Err(e);
+                    }
+                    if let Some(b) = budget {
+                        if !b.try_withdraw() {
+                            af_obs::counter(&format!("retry.{name}.budget_dry"), 1);
+                            return Err(e);
+                        }
+                    }
+                    af_obs::counter(&format!("retry.{name}.retries"), 1);
+                    let delay = self.delay_ms(retry);
+                    if delay > 0 {
+                        std::thread::sleep(Duration::from_millis(delay));
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+/// A shared token bucket bounding how much retrying a whole subsystem may
+/// do: retry storms under a persistent outage drain it, after which
+/// operations fail fast; successes slowly refill it.
+///
+/// Tokens are tracked in thousandths so fractional deposits work without
+/// floats in the hot path.
+#[derive(Debug)]
+pub struct RetryBudget {
+    milli_tokens: AtomicI64,
+    max_milli: i64,
+    deposit_milli: i64,
+}
+
+impl RetryBudget {
+    /// A budget of `max_tokens` retries, refilled by `deposit_per_success`
+    /// tokens on every successful retried operation.
+    #[must_use]
+    pub fn new(max_tokens: u32, deposit_per_success: f64) -> Self {
+        let max_milli = i64::from(max_tokens) * 1_000;
+        Self {
+            milli_tokens: AtomicI64::new(max_milli),
+            max_milli,
+            deposit_milli: (deposit_per_success.max(0.0) * 1_000.0) as i64,
+        }
+    }
+
+    /// Takes one retry token; `false` means the budget is dry.
+    pub fn try_withdraw(&self) -> bool {
+        let prev = self.milli_tokens.fetch_sub(1_000, Ordering::Relaxed);
+        if prev < 1_000 {
+            self.milli_tokens.fetch_add(1_000, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Credits a successful retried operation.
+    pub fn deposit(&self) {
+        let prev = self
+            .milli_tokens
+            .fetch_add(self.deposit_milli, Ordering::Relaxed);
+        if prev + self.deposit_milli > self.max_milli {
+            self.milli_tokens.store(self.max_milli, Ordering::Relaxed);
+        }
+    }
+
+    /// Remaining whole tokens.
+    #[must_use]
+    pub fn remaining(&self) -> u32 {
+        (self.milli_tokens.load(Ordering::Relaxed).max(0) / 1_000) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_delay_ms: 10,
+            max_delay_ms: 50,
+            multiplier: 2.0,
+            jitter: 0.2,
+            deadline_ms: None,
+            seed: 7,
+        };
+        let a = p.timeline();
+        let b = p.timeline();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        for (i, d) in a.iter().enumerate() {
+            let raw = (10.0 * 2.0f64.powi(i as i32)).min(50.0);
+            assert!((*d as f64) >= raw * 0.8 - 1.0 && (*d as f64) <= raw * 1.2 + 1.0);
+        }
+        // Different seed, different jitter.
+        let c = RetryPolicy { seed: 8, ..p }.timeline();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn retries_transient_until_success() {
+        let p = RetryPolicy::quick(5);
+        let mut calls = 0;
+        let out: Result<u32, String> = p.run(
+            "test.op",
+            |_| true,
+            |attempt| {
+                calls += 1;
+                if attempt < 3 {
+                    Err("transient".to_string())
+                } else {
+                    Ok(attempt)
+                }
+            },
+        );
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let p = RetryPolicy::quick(5);
+        let mut calls = 0;
+        let out: Result<(), String> = p.run(
+            "test.perm",
+            |e: &String| e.contains("transient"),
+            |_| {
+                calls += 1;
+                Err("permanent".to_string())
+            },
+        );
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn attempts_are_exhausted() {
+        let p = RetryPolicy::quick(3);
+        let mut calls = 0;
+        let out: Result<(), String> = p.run(
+            "test.exhaust",
+            |_| true,
+            |_| {
+                calls += 1;
+                Err("transient".to_string())
+            },
+        );
+        assert!(out.is_err());
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn deadline_stops_retrying() {
+        let p = RetryPolicy {
+            max_attempts: 1_000,
+            base_delay_ms: 5,
+            max_delay_ms: 5,
+            jitter: 0.0,
+            deadline_ms: Some(20),
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0u32;
+        let out: Result<(), String> = p.run(
+            "test.deadline",
+            |_| true,
+            |_| {
+                calls += 1;
+                Err("transient".to_string())
+            },
+        );
+        assert!(out.is_err());
+        assert!(calls < 100, "deadline should stop long before max_attempts");
+    }
+
+    #[test]
+    fn budget_drains_and_refills() {
+        let budget = RetryBudget::new(2, 1.0);
+        let p = RetryPolicy::quick(10);
+        // Drains: two retries allowed, then dry.
+        let out: Result<(), String> =
+            p.run_budgeted("test.budget", &budget, |_| true, |_| Err("t".into()));
+        assert!(out.is_err());
+        assert_eq!(budget.remaining(), 0);
+        assert!(!budget.try_withdraw());
+        // A success after one retry deposits back.
+        let out: Result<u32, String> = p.run_budgeted(
+            "test.budget",
+            &budget,
+            |_| true,
+            |attempt| if attempt == 0 { Err("t".into()) } else { Ok(1) },
+        );
+        // First retry had no budget... withdraw failed -> error. Deposit only
+        // happens on success, so seed the bucket and try again.
+        let _ = out;
+        budget.deposit();
+        assert_eq!(budget.remaining(), 1);
+        let out: Result<u32, String> = p.run_budgeted(
+            "test.budget",
+            &budget,
+            |_| true,
+            |attempt| if attempt == 0 { Err("t".into()) } else { Ok(1) },
+        );
+        assert_eq!(out.unwrap(), 1);
+        assert_eq!(budget.remaining(), 1, "success refunded the spent token");
+    }
+}

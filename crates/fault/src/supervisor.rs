@@ -1,0 +1,289 @@
+//! A supervisor for named worker threads: the supervised body is re-invoked
+//! after a panic (with backoff), and a degraded-state flag is exposed for
+//! health endpoints.
+//!
+//! Semantics:
+//!
+//! - A **normal return** from the body means the worker is done (its input
+//!   queue closed, shutdown requested); the supervisor exits.
+//! - A **panic** is caught, logged (`af_obs::warn` + counter
+//!   `supervisor.<name>.restarts`), and the body is re-invoked after the
+//!   backoff delay for the current consecutive-panic count. A run that
+//!   survives longer than the recovery grace resets that count.
+//! - While restarting — and for a grace period after the restart — the
+//!   supervisor reports [`Supervisor::is_degraded`]` == true`, which
+//!   `/healthz` surfaces as `status: "degraded"` before recovering to
+//!   `"ok"`.
+//! - [`Supervisor::stop`] only marks intent: the body is responsible for
+//!   returning (typically because its queue was closed). No further
+//!   restarts happen after `stop`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::RetryPolicy;
+
+/// A point-in-time snapshot of a supervisor's health.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorHealth {
+    /// The supervised thread's name.
+    pub name: String,
+    /// Total panics recovered so far.
+    pub restarts: u64,
+    /// Whether the worker is currently degraded (restarting or inside the
+    /// post-restart grace window).
+    pub degraded: bool,
+    /// The message of the most recent panic, if any.
+    pub last_error: Option<String>,
+}
+
+struct Shared {
+    name: String,
+    stop: AtomicBool,
+    running: AtomicBool,
+    restarts: AtomicU64,
+    degraded_until: Mutex<Option<Instant>>,
+    last_error: Mutex<Option<String>>,
+}
+
+/// Handle to a supervised thread (see module docs for semantics).
+pub struct Supervisor {
+    shared: Arc<Shared>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Supervisor {
+    /// Spawns `body` on a thread named `name`, restarting it on panic with
+    /// `backoff` delays and reporting degraded for `grace` after each
+    /// restart.
+    ///
+    /// # Errors
+    ///
+    /// When the OS refuses to spawn the thread.
+    pub fn spawn<F>(
+        name: &str,
+        backoff: RetryPolicy,
+        grace: Duration,
+        body: F,
+    ) -> std::io::Result<Self>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let shared = Arc::new(Shared {
+            name: name.to_string(),
+            stop: AtomicBool::new(false),
+            running: AtomicBool::new(true),
+            restarts: AtomicU64::new(0),
+            degraded_until: Mutex::new(None),
+            last_error: Mutex::new(None),
+        });
+        let sh = Arc::clone(&shared);
+        let thread = thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                let mut consecutive = 0u32;
+                loop {
+                    let run_started = Instant::now();
+                    match catch_unwind(AssertUnwindSafe(&body)) {
+                        Ok(()) => break, // worker finished cleanly
+                        Err(payload) => {
+                            if run_started.elapsed() >= grace {
+                                consecutive = 0;
+                            }
+                            consecutive += 1;
+                            sh.restarts.fetch_add(1, Ordering::Relaxed);
+                            let msg = afrt::panic_message(payload.as_ref());
+                            af_obs::counter(&format!("supervisor.{}.restarts", sh.name), 1);
+                            af_obs::warn(&format!(
+                            "supervisor `{}`: worker panicked ({msg}); restart #{} after backoff",
+                            sh.name,
+                            sh.restarts.load(Ordering::Relaxed)
+                        ));
+                            let delay = Duration::from_millis(backoff.delay_ms(consecutive));
+                            *sh.degraded_until
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner) =
+                                Some(Instant::now() + delay + grace);
+                            *sh.last_error
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(msg);
+                            if sh.stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            // Interruptible backoff sleep so shutdown is prompt.
+                            let deadline = Instant::now() + delay;
+                            while Instant::now() < deadline {
+                                if sh.stop.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                thread::sleep(Duration::from_millis(
+                                    ((deadline - Instant::now()).as_millis() as u64).min(10),
+                                ));
+                            }
+                            if sh.stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                sh.running.store(false, Ordering::Relaxed);
+            })?;
+        Ok(Self {
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// Whether the worker is restarting or inside its post-restart grace
+    /// window.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.shared
+            .degraded_until
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_some_and(|until| Instant::now() < until)
+    }
+
+    /// Whether the supervised loop is still alive.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.shared.running.load(Ordering::Relaxed)
+    }
+
+    /// Total panics recovered so far.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.shared.restarts.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time health snapshot.
+    #[must_use]
+    pub fn health(&self) -> SupervisorHealth {
+        SupervisorHealth {
+            name: self.shared.name.clone(),
+            restarts: self.restarts(),
+            degraded: self.is_degraded(),
+            last_error: self
+                .shared
+                .last_error
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone(),
+        }
+    }
+
+    /// Marks shutdown intent: no restart happens after the current run
+    /// returns or panics. The body itself must return for the thread to
+    /// exit (close its input queue first).
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops and joins the supervised thread.
+    pub fn join(&mut self) {
+        self.stop();
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn restarts_after_panic_then_recovers() {
+        let runs = Arc::new(AtomicU32::new(0));
+        let runs2 = Arc::clone(&runs);
+        let sup = Supervisor::spawn(
+            "test-worker",
+            RetryPolicy::quick(4),
+            Duration::from_millis(40),
+            move || {
+                let n = runs2.fetch_add(1, Ordering::SeqCst);
+                if n == 0 {
+                    panic!("boom");
+                }
+                // Second run: finish cleanly.
+            },
+        )
+        .unwrap();
+        // The panic happened and the worker was restarted.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sup.is_running() && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!sup.is_running());
+        assert_eq!(sup.restarts(), 1);
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+        let health = sup.health();
+        assert_eq!(health.last_error.as_deref(), Some("boom"));
+        // Degradation clears once the grace window passes.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sup.is_degraded() && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!sup.is_degraded());
+    }
+
+    #[test]
+    fn clean_return_never_degrades() {
+        let mut sup = Supervisor::spawn(
+            "test-clean",
+            RetryPolicy::quick(2),
+            Duration::from_millis(10),
+            || {},
+        )
+        .unwrap();
+        sup.join();
+        assert!(!sup.is_degraded());
+        assert_eq!(sup.restarts(), 0);
+        assert!(sup.health().last_error.is_none());
+    }
+
+    #[test]
+    fn stop_prevents_further_restarts() {
+        let runs = Arc::new(AtomicU32::new(0));
+        let runs2 = Arc::clone(&runs);
+        let stop_gate = Arc::new(AtomicBool::new(false));
+        let gate2 = Arc::clone(&stop_gate);
+        let mut sup = Supervisor::spawn(
+            "test-stop",
+            RetryPolicy {
+                max_attempts: 100,
+                base_delay_ms: 20,
+                max_delay_ms: 20,
+                jitter: 0.0,
+                ..RetryPolicy::default()
+            },
+            Duration::from_millis(10),
+            move || {
+                runs2.fetch_add(1, Ordering::SeqCst);
+                if !gate2.load(Ordering::SeqCst) {
+                    panic!("keep crashing");
+                }
+            },
+        )
+        .unwrap();
+        // Let it crash at least once, then stop during backoff.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sup.restarts() == 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+        }
+        stop_gate.store(true, Ordering::SeqCst);
+        sup.join();
+        assert!(!sup.is_running());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the determinism contract: keyed failpoint decisions
+//! and retry schedules are pure functions of `(fault seed, site, key)` and
+//! of the policy, so they cannot depend on thread count or scheduling.
+//!
+//! Each case holds [`af_fault::scenario`] while the registry is armed, so
+//! cases never observe each other's failpoints.
+
+use af_fault::{FaultMode, RetryPolicy};
+use proptest::prelude::*;
+
+/// Evaluates the armed `prop.site` failpoint for keys `0..n` via an afrt
+/// `par_map` fan-out at the given worker count.
+fn firing_pattern(threads: usize, n: u64) -> Vec<bool> {
+    let runtime = afrt::Runtime::with_threads(threads);
+    let keys: Vec<u64> = (0..n).collect();
+    runtime
+        .par_map(&keys, |_, k| {
+            af_fault::should_fail_keyed("prop.site", *k).is_some()
+        })
+        .unwrap()
+}
+
+/// Runs `n` flaky operations under `policy`; operation `i` fails while the
+/// `prop.flaky` failpoint fires for key `mix(i, attempt)`. Returns, per
+/// operation, the result and the sequence of attempt numbers executed.
+fn retry_outcomes(
+    threads: usize,
+    n: u64,
+    policy: &RetryPolicy,
+) -> Vec<(Result<u32, String>, Vec<u32>)> {
+    let runtime = afrt::Runtime::with_threads(threads);
+    let items: Vec<u64> = (0..n).collect();
+    runtime
+        .par_map(&items, |_, i| {
+            let mut attempts = Vec::new();
+            let result = policy.run(
+                "prop.flaky",
+                |_e: &String| true,
+                |attempt| {
+                    attempts.push(attempt);
+                    match af_fault::should_fail_keyed(
+                        "prop.flaky",
+                        af_fault::mix(*i, u64::from(attempt)),
+                    ) {
+                        Some(_) => Err(format!("flaky {i} attempt {attempt}")),
+                        None => Ok(attempt),
+                    }
+                },
+            );
+            (result, attempts)
+        })
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The per-key firing pattern is identical at 1, 4, and 8 workers and
+    /// matches what a fresh arming of the same (seed, prob) produces.
+    #[test]
+    fn keyed_firing_is_pure_across_thread_counts(
+        seed in 0u64..=u64::MAX,
+        prob in 0.0f64..=1.0,
+        n in 1u64..48,
+    ) {
+        let _guard = af_fault::scenario();
+        af_fault::set_seed(seed);
+        af_fault::arm("prop.site", FaultMode::Err, prob);
+        let p1 = firing_pattern(1, n);
+        let p4 = firing_pattern(4, n);
+        let p8 = firing_pattern(8, n);
+        prop_assert_eq!(&p1, &p4);
+        prop_assert_eq!(&p1, &p8);
+
+        // Re-arming resets stats but not the decision function.
+        af_fault::disarm_all();
+        af_fault::set_seed(seed);
+        af_fault::arm("prop.site", FaultMode::Err, prob);
+        prop_assert_eq!(&p1, &firing_pattern(1, n));
+        let stats = af_fault::stats("prop.site").unwrap();
+        prop_assert_eq!(stats.evals, n);
+        prop_assert_eq!(stats.fires, p1.iter().filter(|f| **f).count() as u64);
+    }
+
+    /// Same seed + same failpoint schedule → identical retry timelines and
+    /// identical per-operation results at 1, 4, and 8 afrt workers.
+    #[test]
+    fn retry_schedule_is_deterministic_across_thread_counts(
+        fault_seed in 0u64..=u64::MAX,
+        policy_seed in 0u64..=u64::MAX,
+        prob in 0.0f64..0.9,
+        n in 1u64..24,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 0, // keyed draws make delays irrelevant; keep cases fast
+            seed: policy_seed,
+            ..RetryPolicy::default()
+        };
+
+        let _guard = af_fault::scenario();
+        af_fault::set_seed(fault_seed);
+        af_fault::arm("prop.flaky", FaultMode::Err, prob);
+        let r1 = retry_outcomes(1, n, &policy);
+        let r4 = retry_outcomes(4, n, &policy);
+        let r8 = retry_outcomes(8, n, &policy);
+        prop_assert_eq!(&r1, &r4);
+        prop_assert_eq!(&r1, &r8);
+
+        // Every operation either succeeded on the first clean attempt or
+        // exhausted the policy with transient failures all the way down.
+        for (i, (result, attempts)) in r1.iter().enumerate() {
+            prop_assert!(!attempts.is_empty());
+            prop_assert!(attempts.len() <= policy.max_attempts as usize);
+            let expected: Vec<u32> = (0..attempts.len() as u32).collect();
+            prop_assert_eq!(attempts, &expected, "op {} ran attempts in order", i);
+            match result {
+                Ok(attempt) => prop_assert_eq!(*attempt, *attempts.last().unwrap()),
+                Err(_) => prop_assert_eq!(attempts.len(), policy.max_attempts as usize),
+            }
+        }
+    }
+
+    /// The backoff timeline is a pure function of the policy: recomputing
+    /// it never disagrees, and delays respect base/cap/jitter bounds.
+    #[test]
+    fn timeline_is_pure_and_bounded(
+        seed in 0u64..=u64::MAX,
+        base in 1u64..200,
+        attempts in 2u32..8,
+        jitter in 0.0f64..=0.5,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: attempts,
+            base_delay_ms: base,
+            max_delay_ms: base * 16,
+            jitter,
+            seed,
+            ..RetryPolicy::default()
+        };
+        let t = policy.timeline();
+        prop_assert_eq!(t.len(), attempts as usize - 1);
+        prop_assert_eq!(&t, &policy.timeline());
+        for (i, d) in t.iter().enumerate() {
+            let cap = (policy.max_delay_ms as f64 * (1.0 + jitter)).ceil() as u64;
+            prop_assert!(*d <= cap, "delay {} of {} exceeds cap {}", d, i, cap);
+        }
+    }
+}

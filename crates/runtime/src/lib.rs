@@ -405,7 +405,11 @@ impl Runtime {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Best-effort extraction of a panic payload's message (the `&str` and
+/// `String` payloads `panic!` produces). Shared with `af-fault`'s
+/// supervisor so restart logs carry the original panic text.
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -19,6 +19,14 @@ pub struct ErrorBody {
 pub struct HealthResponse {
     /// Always `true` when the server can answer at all.
     pub ok: bool,
+    /// `"ok"`, or `"degraded"` while a supervised thread (batch collector,
+    /// job worker) is restarting after a panic or still inside its recovery
+    /// grace window. Degraded is advisory: requests are still served, but a
+    /// load balancer should prefer a healthy replica.
+    pub status: String,
+    /// Supervised-thread panics recovered since startup (collector plus all
+    /// job workers).
+    pub restarts: u64,
     /// Benchmark circuit the resident model serves.
     pub circuit: String,
     /// Placement variant label (`A`..`D`).

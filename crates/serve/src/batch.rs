@@ -14,9 +14,9 @@
 
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::thread;
 use std::time::{Duration, Instant};
 
+use af_fault::Supervisor;
 use afrt::{BoundedQueue, PushError};
 
 use crate::config::ServeConfig;
@@ -51,14 +51,78 @@ pub enum SubmitError {
     Rejected(String),
 }
 
-/// Handle to the collector thread.
+/// Handle to the supervised collector thread.
 pub struct Batcher {
     queue: Arc<BoundedQueue<PredictJob>>,
-    collector: Option<thread::JoinHandle<()>>,
+    supervisor: Option<Supervisor>,
+}
+
+/// The collector loop: owns a [`analogfold::PredictSession`] and drains the
+/// queue in micro-batches until it closes. The loop runs under a
+/// [`Supervisor`], so it must be re-enterable: a panic (real, or injected
+/// via the `serve.batch` failpoint) unwinds out, dropping the in-hand jobs'
+/// reply senders — their waiting handlers observe `Disconnected` and answer
+/// `503` instead of hanging — and the supervisor re-invokes the loop with a
+/// fresh session after backoff.
+fn collector_loop(
+    bundle: &ModelBundle,
+    q: &BoundedQueue<PredictJob>,
+    batch_max: usize,
+    window: Duration,
+) {
+    let mut session = bundle.session();
+    let expected = session.guidance_len();
+    while let Some(first) = q.pop() {
+        let mut jobs = vec![first];
+        let deadline = Instant::now() + window;
+        while jobs.len() < batch_max {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match q.pop_timeout(deadline - now) {
+                Some(job) => jobs.push(job),
+                None => break,
+            }
+        }
+
+        // Validate lengths first so one malformed request cannot
+        // sink its batch-mates.
+        let mut valid = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if job.guidance.len() == expected {
+                valid.push(job);
+            } else {
+                let msg = format!(
+                    "guidance must have {expected} values, got {}",
+                    job.guidance.len()
+                );
+                let _ = job.reply.send(Err(msg));
+            }
+        }
+        if valid.is_empty() {
+            continue;
+        }
+
+        // Chaos hook: a collector crash with a batch in hand (the in-hand
+        // replies drop; see the function docs).
+        af_fault::fail!("serve.batch");
+
+        let batch: Vec<Vec<f64>> = valid.iter().map(|j| j.guidance.clone()).collect();
+        let size = batch.len() as u64;
+        af_obs::hist("serve.batch.size", size as f64);
+        let outputs = session.predict_batch(&batch);
+        for (job, metrics) in valid.into_iter().zip(outputs) {
+            let _ = job.reply.send(Ok(Prediction {
+                metrics,
+                batch_size: size,
+            }));
+        }
+    }
 }
 
 impl Batcher {
-    /// Spawns the collector thread around `bundle`.
+    /// Spawns the supervised collector thread around `bundle`.
     #[must_use]
     pub fn start(bundle: &Arc<ModelBundle>, cfg: &ServeConfig) -> Self {
         let queue: Arc<BoundedQueue<PredictJob>> =
@@ -67,60 +131,32 @@ impl Batcher {
         let window = Duration::from_micros(cfg.batch_window_us);
         let bundle = Arc::clone(bundle);
         let q = Arc::clone(&queue);
-        let collector = thread::Builder::new()
-            .name("serve-batcher".to_string())
-            .spawn(move || {
-                let mut session = bundle.session();
-                let expected = session.guidance_len();
-                while let Some(first) = q.pop() {
-                    let mut jobs = vec![first];
-                    let deadline = Instant::now() + window;
-                    while jobs.len() < batch_max {
-                        let now = Instant::now();
-                        if now >= deadline {
-                            break;
-                        }
-                        match q.pop_timeout(deadline - now) {
-                            Some(job) => jobs.push(job),
-                            None => break,
-                        }
-                    }
-
-                    // Validate lengths first so one malformed request cannot
-                    // sink its batch-mates.
-                    let mut valid = Vec::with_capacity(jobs.len());
-                    for job in jobs {
-                        if job.guidance.len() == expected {
-                            valid.push(job);
-                        } else {
-                            let msg = format!(
-                                "guidance must have {expected} values, got {}",
-                                job.guidance.len()
-                            );
-                            let _ = job.reply.send(Err(msg));
-                        }
-                    }
-                    if valid.is_empty() {
-                        continue;
-                    }
-
-                    let batch: Vec<Vec<f64>> = valid.iter().map(|j| j.guidance.clone()).collect();
-                    let size = batch.len() as u64;
-                    af_obs::hist("serve.batch.size", size as f64);
-                    let outputs = session.predict_batch(&batch);
-                    for (job, metrics) in valid.into_iter().zip(outputs) {
-                        let _ = job.reply.send(Ok(Prediction {
-                            metrics,
-                            batch_size: size,
-                        }));
-                    }
-                }
-            })
-            .expect("spawn serve-batcher thread");
+        let supervisor = Supervisor::spawn(
+            "serve-batcher",
+            cfg.supervisor_backoff(),
+            cfg.supervisor_grace(),
+            move || collector_loop(&bundle, &q, batch_max, window),
+        )
+        .expect("spawn serve-batcher thread");
         Self {
             queue,
-            collector: Some(collector),
+            supervisor: Some(supervisor),
         }
+    }
+
+    /// Whether the collector is restarting after a panic (or inside its
+    /// recovery grace window); surfaced by `/healthz` as `degraded`.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.supervisor
+            .as_ref()
+            .is_some_and(Supervisor::is_degraded)
+    }
+
+    /// Collector panics recovered so far.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.supervisor.as_ref().map_or(0, Supervisor::restarts)
     }
 
     /// Submits one guidance vector and blocks until the batched answer
@@ -158,8 +194,8 @@ impl Batcher {
     /// collector.
     pub fn shutdown(&mut self) {
         self.queue.close();
-        if let Some(handle) = self.collector.take() {
-            let _ = handle.join();
+        if let Some(mut supervisor) = self.supervisor.take() {
+            supervisor.join();
         }
     }
 }

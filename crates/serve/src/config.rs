@@ -42,6 +42,14 @@ pub struct ServeConfig {
     /// `/v1/guide` (keyed by request content hash; bypass per-request with
     /// an `x-no-cache` header). `0` disables it.
     pub cache_mb: u64,
+    /// Base backoff (milliseconds) between supervisor restarts of a
+    /// panicked batch collector or job worker (exponential, deterministic
+    /// jitter).
+    pub supervisor_backoff_ms: u64,
+    /// Recovery grace (milliseconds): after a supervised thread restarts,
+    /// `/healthz` keeps reporting `degraded` until the replacement has
+    /// stayed alive this long.
+    pub supervisor_grace_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +68,8 @@ impl Default for ServeConfig {
             retry_after_s: 1,
             job_dir: None,
             cache_mb: 32,
+            supervisor_backoff_ms: 50,
+            supervisor_grace_ms: 500,
         }
     }
 }
@@ -75,6 +85,26 @@ impl ServeConfig {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(2)
             .min(8)
+    }
+
+    /// The restart-backoff policy for supervised threads (batch collector,
+    /// job workers).
+    #[must_use]
+    pub fn supervisor_backoff(&self) -> af_fault::RetryPolicy {
+        af_fault::RetryPolicy {
+            // Restarts are unlimited (the supervisor loops for the server's
+            // lifetime); `max_attempts` only shapes the backoff curve.
+            max_attempts: u32::MAX,
+            base_delay_ms: self.supervisor_backoff_ms,
+            max_delay_ms: (self.supervisor_backoff_ms * 32).max(1_000),
+            ..af_fault::RetryPolicy::default()
+        }
+    }
+
+    /// The supervisor recovery grace as a [`std::time::Duration`].
+    #[must_use]
+    pub fn supervisor_grace(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.supervisor_grace_ms)
     }
 
     /// Resolved job-store directory.

@@ -9,8 +9,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::thread;
 
+use af_fault::Supervisor;
 use af_sim::Performance;
 use afrt::{BoundedQueue, PushError};
 use analogfold::{AnalogFoldFlow, FlowConfig, RelaxConfig, ShardStore};
@@ -176,15 +176,18 @@ impl JobStore {
     }
 }
 
-/// The worker pool draining the route-job queue.
+/// The worker pool draining the route-job queue. Each worker runs under a
+/// [`Supervisor`]: a panic escaping a job (jobs are individually fenced by
+/// `catch_unwind` in [`run_job`], so this is belt-and-suspenders) restarts
+/// the worker after backoff instead of silently shrinking the pool.
 pub struct JobRunner {
     queue: Arc<BoundedQueue<(u64, JobParams)>>,
-    workers: Vec<thread::JoinHandle<()>>,
+    workers: Vec<Supervisor>,
     store: Arc<JobStore>,
 }
 
 impl JobRunner {
-    /// Spawns `cfg.job_workers` worker threads over `store`.
+    /// Spawns `cfg.job_workers` supervised worker threads over `store`.
     #[must_use]
     pub fn start(bundle: &Arc<ModelBundle>, store: &Arc<JobStore>, cfg: &ServeConfig) -> Self {
         let queue = Arc::new(BoundedQueue::new("serve.jobs", cfg.job_queue));
@@ -193,14 +196,17 @@ impl JobRunner {
                 let q = Arc::clone(&queue);
                 let bundle = Arc::clone(bundle);
                 let store = Arc::clone(store);
-                thread::Builder::new()
-                    .name(format!("serve-job-{i}"))
-                    .spawn(move || {
+                Supervisor::spawn(
+                    &format!("serve-job-{i}"),
+                    cfg.supervisor_backoff(),
+                    cfg.supervisor_grace(),
+                    move || {
                         while let Some((id, params)) = q.pop() {
                             run_job(&bundle, &store, id, params);
                         }
-                    })
-                    .expect("spawn serve-job thread")
+                    },
+                )
+                .expect("spawn serve-job thread")
             })
             .collect();
         Self {
@@ -208,6 +214,19 @@ impl JobRunner {
             workers,
             store: Arc::clone(store),
         }
+    }
+
+    /// Whether any worker is restarting after a panic (or inside its
+    /// recovery grace window); surfaced by `/healthz` as `degraded`.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.workers.iter().any(Supervisor::is_degraded)
+    }
+
+    /// Worker panics recovered so far, summed across the pool.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.workers.iter().map(Supervisor::restarts).sum()
     }
 
     /// Creates and enqueues a job. `Err(PushError::Full)` means the queue
@@ -246,8 +265,8 @@ impl JobRunner {
     /// them. This is the graceful-shutdown guarantee: accepted jobs finish.
     pub fn shutdown(&mut self) {
         self.queue.close();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        for mut worker in self.workers.drain(..) {
+            worker.join();
         }
     }
 }
@@ -265,7 +284,21 @@ fn run_job(bundle: &ModelBundle, store: &JobStore, id: u64, params: JobParams) {
     record.status = "running".to_string();
     let _ = store.update(&record);
 
-    match route_once(bundle, params) {
+    // Fence the flow behind `catch_unwind`: a panic (real, or injected via
+    // the `serve.job` failpoint) marks THIS job `failed` instead of leaving
+    // it stuck `running` while the supervisor restarts the worker.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        af_fault::fail!("serve.job", key = id);
+        route_once(bundle, params)
+    }))
+    .unwrap_or_else(|payload| {
+        af_obs::counter("serve.job_panics", 1);
+        Err(format!(
+            "job panicked: {}",
+            afrt::panic_message(payload.as_ref())
+        ))
+    });
+    match outcome {
         Ok(result) => {
             record.status = "done".to_string();
             record.result = Some(result);

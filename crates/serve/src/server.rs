@@ -311,10 +311,19 @@ fn json_or_500<T: serde::Serialize>(status: u16, value: &T) -> Response {
 }
 
 fn health(shared: &Shared) -> Response {
+    let runner = shared
+        .runner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let degraded = shared.batcher.is_degraded() || runner.is_degraded();
+    let restarts = shared.batcher.restarts() + runner.restarts();
+    drop(runner);
     json_or_500(
         200,
         &HealthResponse {
             ok: true,
+            status: if degraded { "degraded" } else { "ok" }.to_string(),
+            restarts,
             circuit: shared.bundle.circuit.name().to_string(),
             variant: shared.bundle.variant.label().to_string(),
             guidance_len: shared.bundle.guidance_len() as u64,

@@ -3,7 +3,10 @@
 # train a tiny model, serve it on an ephemeral port, exercise
 # /healthz, /v1/predict, /v1/route (to completion), and /metrics,
 # asserting well-formed JSON and Prometheus output, then shut down
-# gracefully.
+# gracefully. A second, fault-armed server run (AF_FAULT) then verifies
+# the supervisor: a collector panic answers the in-flight predict with
+# 503, /healthz reports degraded then recovers, and the fault_*/
+# supervisor_* counters surface in /metrics.
 #
 # Usage: scripts/serve_smoke.sh [path-to-analogfold-cli]
 set -euo pipefail
@@ -99,6 +102,59 @@ print(f"metrics OK ({sum(1 for _ in open(sys.argv[1]))} lines)")
 PY
 
 echo "=== graceful shutdown"
+curl -sf -X POST "http://$ADDR/v1/shutdown" > /dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+
+echo "=== chaos: collector panic -> 503 -> degraded -> recovered"
+AF_FAULT="serve.batch:panic:1.0:1" AF_FAULT_SEED=7 \
+    "$BIN" serve OTA1 A --model "$WORK/model.json" --addr 127.0.0.1:0 \
+    --jobs "$WORK/jobs-chaos" > "$WORK/serve-chaos.log" 2>&1 &
+SERVE_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#^serving .* at http://##p' "$WORK/serve-chaos.log" | head -n1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "chaos server exited early"; cat "$WORK/serve-chaos.log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$ADDR" ] || { echo "chaos server did not report an address"; cat "$WORK/serve-chaos.log"; exit 1; }
+echo "chaos server at $ADDR"
+
+# The first batch the collector assembles hits the one-shot panic
+# failpoint; the in-flight request must get an error, never a hang.
+STATUS=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    --data-binary @"$WORK/predict_body.json" "http://$ADDR/v1/predict")
+[ "$STATUS" = 503 ] || { echo "expected 503 from the panicked batch, got $STATUS"; exit 1; }
+echo "in-flight predict answered 503"
+
+curl -sf "http://$ADDR/healthz" > "$WORK/health-chaos.json"
+grep -q '"status":"degraded"' "$WORK/health-chaos.json" \
+    || { echo "healthz did not report degraded after the panic"; cat "$WORK/health-chaos.json"; exit 1; }
+echo "healthz degraded"
+
+for _ in $(seq 1 100); do
+    curl -sf "http://$ADDR/healthz" > "$WORK/health-chaos.json"
+    grep -q '"status":"ok"' "$WORK/health-chaos.json" && break
+    sleep 0.2
+done
+grep -q '"status":"ok"' "$WORK/health-chaos.json" \
+    || { echo "server never recovered"; cat "$WORK/health-chaos.json"; exit 1; }
+python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); assert d["restarts"] >= 1, d' \
+    "$WORK/health-chaos.json"
+echo "healthz recovered (restarts >= 1)"
+
+curl -sf -X POST --data-binary @"$WORK/predict_body.json" "http://$ADDR/v1/predict" | json_ok
+echo "post-recovery predict OK"
+
+curl -sf "http://$ADDR/metrics" > "$WORK/metrics-chaos.txt"
+grep -q '^fault_fired_serve_batch ' "$WORK/metrics-chaos.txt" \
+    || { echo "missing fault_fired_serve_batch counter"; grep '^fault' "$WORK/metrics-chaos.txt" || true; exit 1; }
+grep -q '^supervisor_serve_batcher_restarts ' "$WORK/metrics-chaos.txt" \
+    || { echo "missing supervisor restart counter"; grep '^supervisor' "$WORK/metrics-chaos.txt" || true; exit 1; }
+echo "fault counters present in /metrics"
+
 curl -sf -X POST "http://$ADDR/v1/shutdown" > /dev/null
 wait "$SERVE_PID"
 SERVE_PID=""

@@ -14,6 +14,10 @@
 //!                         [--jobs DIR] [--cache-mb N] [--no-cache] [--obs-jsonl FILE]
 //! analogfold-cli bench-info
 //! ```
+//!
+//! Every subcommand additionally accepts `--fault NAME:MODE:PROB[:MAX]` and
+//! `--fault-seed N` (or the `AF_FAULT` / `AF_FAULT_SEED` environment) to arm
+//! deterministic fault injection for chaos testing.
 
 use std::fs;
 use std::process::ExitCode;
@@ -53,10 +57,18 @@ const USAGE: &str = "usage:
                           [--obs-jsonl FILE] [--obs-report]
   analogfold-cli serve    <OTA1..OTA4> <A..D> --model FILE [--addr HOST:PORT] [--threads N]
                           [--jobs DIR] [--cache-mb N] [--no-cache] [--obs-jsonl FILE]
-  analogfold-cli bench-info";
+  analogfold-cli bench-info
+
+every subcommand also accepts fault injection for chaos testing:
+                          [--fault NAME:MODE:PROB[:MAX]] [--fault-seed N]
+                          (or the AF_FAULT / AF_FAULT_SEED environment)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?;
+    // Any subcommand can run under fault injection (`--fault SPEC`,
+    // `--fault-seed N`, or the AF_FAULT / AF_FAULT_SEED environment);
+    // disarmed, the registry costs one atomic load per failpoint site.
+    fault_flag(args)?;
     match cmd.as_str() {
         "route" => cmd_route(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
@@ -79,8 +91,8 @@ fn parse_circuit(args: &[String]) -> Result<Circuit, String> {
 }
 
 use analogfold_suite::cli::{
-    cache_mb_flag, flag_num, flag_value, has_flag, obs_flags, obs_install, threads_flag,
-    variant_arg as parse_variant,
+    cache_mb_flag, fault_flag, flag_num, flag_value, has_flag, obs_flags, obs_install,
+    threads_flag, variant_arg as parse_variant,
 };
 
 fn print_perf(label: &str, p: &Performance) {

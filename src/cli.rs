@@ -107,6 +107,36 @@ pub fn cache_mb_flag(args: &[String], default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Arms the fault-injection registry from `--fault SPEC` (optionally
+/// seeded by `--fault-seed N`) and from the `AF_FAULT` / `AF_FAULT_SEED`
+/// environment variables. The env is applied first, so an explicit flag
+/// extends or overrides it per failpoint. Returns the number of armed
+/// failpoints (`0` leaves the zero-overhead disarmed fast path in place).
+///
+/// # Errors
+///
+/// When either spec is malformed (see [`af_fault::arm_spec`] for the
+/// `name:mode:prob[:max_fires]` grammar).
+pub fn fault_flag(args: &[String]) -> Result<usize, String> {
+    let mut armed = af_fault::arm_from_env()?;
+    if let Some(spec) = flag_value(args, "--fault") {
+        if let Some(seed) = flag_value(args, "--fault-seed") {
+            af_fault::set_seed(
+                seed.parse()
+                    .map_err(|_| format!("bad --fault-seed `{seed}`"))?,
+            );
+        }
+        armed += af_fault::arm_spec(spec).map_err(|e| format!("bad --fault spec: {e}"))?;
+    }
+    if armed > 0 {
+        eprintln!(
+            "fault injection armed: {armed} failpoint(s), seed {}",
+            af_fault::seed()
+        );
+    }
+    Ok(armed)
+}
+
 /// Parses a placement-variant positional argument (defaults to `A`).
 pub fn variant_arg(args: &[String], idx: usize) -> PlacementVariant {
     args.get(idx)
@@ -193,6 +223,28 @@ mod tests {
         // tests in this process see the default-enabled state.
         assert!(!crate::analogfold::cache_enabled());
         crate::analogfold::set_cache_enabled(true);
+    }
+
+    #[test]
+    fn fault_flag_parsing() {
+        // Serialize against any other registry user and disarm afterwards.
+        let _guard = crate::fault::scenario();
+        let armed = fault_flag(&argv(&[
+            "flow",
+            "OTA1",
+            "--fault",
+            "sim.eval:err:0.5",
+            "--fault-seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(armed, 1);
+        assert_eq!(crate::fault::seed(), 9);
+        assert!(crate::fault::stats("sim.eval").is_some());
+        assert!(fault_flag(&argv(&["--fault", "nonsense"])).is_err());
+        assert!(fault_flag(&argv(&["--fault", "a:err:0.1", "--fault-seed", "x"])).is_err());
+        crate::fault::disarm_all();
+        assert_eq!(fault_flag(&argv(&["flow", "OTA1"])).unwrap(), 0);
     }
 
     #[test]

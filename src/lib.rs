@@ -30,6 +30,7 @@
 pub mod cli;
 
 pub use af_extract as extract;
+pub use af_fault as fault;
 pub use af_geom as geom;
 pub use af_netlist as netlist;
 pub use af_nn as nn;

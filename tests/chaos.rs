@@ -1,0 +1,401 @@
+//! Chaos suite: the pipeline and the server under armed failpoints.
+//!
+//! Every test holds [`fault::scenario`] for its whole body, so the suite
+//! serializes and the global failpoint registry never leaks into (or out
+//! of) a test. Firing decisions are pure functions of the fault seed and
+//! the site key, so each of these tests is deterministic: a seed that
+//! passes once passes always.
+//!
+//! The two properties under test, per ISSUE acceptance criteria:
+//!
+//! 1. **Transient faults are invisible** — once retries succeed, results
+//!    are bit-identical to a fault-free run (the retried work is recomputed
+//!    from the same per-sample seeds).
+//! 2. **Permanent faults degrade, never hang or abort** — failed samples
+//!    are recorded in the checkpoint, a flow with no routable candidate
+//!    falls back to unguided routing, and a panicked batch collector
+//!    answers in-flight requests with `503` while `/healthz` reports
+//!    `degraded` until the supervisor's replacement thread proves stable.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use analogfold_suite::analogfold::{
+    generate_dataset, generate_dataset_checkpointed, magical_route, relax, AnalogFoldFlow,
+    DatasetConfig, FlowConfig, GnnConfig, HeteroGraph, Potential, RelaxConfig, SampleRecord,
+    ShardStore, ThreeDGnn,
+};
+use analogfold_suite::fault::{self, FaultMode, RetryPolicy};
+use analogfold_suite::netlist::benchmarks;
+use analogfold_suite::place::{place, PlacementVariant};
+use analogfold_suite::route::RouterConfig;
+use analogfold_suite::serve::{ModelBundle, ServeConfig, Server};
+use analogfold_suite::sim::SimConfig;
+use analogfold_suite::tech::Technology;
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("af-chaos-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_gnn() -> ThreeDGnn {
+    ThreeDGnn::new(&GnnConfig {
+        hidden: 8,
+        layers: 1,
+        ..GnnConfig::default()
+    })
+}
+
+fn small_dataset_cfg() -> DatasetConfig {
+    DatasetConfig {
+        samples: 6,
+        shard_size: 3,
+        cache_mb: 0,
+        // Quick (zero-delay) retries: the injected faults are keyed by
+        // (sample, attempt), so later attempts draw fresh and recover.
+        retry: RetryPolicy::quick(5),
+        ..DatasetConfig::default()
+    }
+}
+
+#[test]
+fn dataset_bit_identical_under_transient_faults() {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 3);
+    let cfg = small_dataset_cfg();
+
+    let baseline = {
+        let _guard = fault::scenario();
+        let store = ShardStore::new(tmp_dir("ds-baseline"));
+        generate_dataset_checkpointed(&circuit, &placement, &tech, &graph, &cfg, Some(&store))
+            .unwrap()
+    };
+
+    let _guard = fault::scenario();
+    fault::set_seed(7);
+    fault::arm("sim.eval", FaultMode::Err, 0.3);
+    fault::arm("persist.save_shard", FaultMode::Err, 0.3);
+    let store = ShardStore::new(tmp_dir("ds-faulty")).with_retry(RetryPolicy::quick(6));
+    let faulty =
+        generate_dataset_checkpointed(&circuit, &placement, &tech, &graph, &cfg, Some(&store))
+            .unwrap();
+
+    let fired =
+        fault::stats("sim.eval").unwrap().fires + fault::stats("persist.save_shard").unwrap().fires;
+    assert!(fired > 0, "the chaos run must actually inject faults");
+
+    assert_eq!(baseline.samples.len(), faulty.samples.len());
+    for (a, b) in baseline.samples.iter().zip(&faulty.samples) {
+        assert_eq!(a.guidance, b.guidance, "retries must recompute, not skew");
+        assert_eq!(a.performance, b.performance);
+    }
+}
+
+#[test]
+fn permanent_failures_are_recorded_then_healed_on_resume() {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 3);
+    let cfg = DatasetConfig {
+        retry: RetryPolicy::quick(2),
+        ..small_dataset_cfg()
+    };
+    let dir = tmp_dir("ds-permanent");
+
+    {
+        let _guard = fault::scenario();
+        fault::arm("sim.eval", FaultMode::Err, 1.0);
+        let store = ShardStore::new(&dir);
+        let ds =
+            generate_dataset_checkpointed(&circuit, &placement, &tech, &graph, &cfg, Some(&store))
+                .unwrap();
+        assert!(
+            ds.samples.is_empty(),
+            "every sample permanently fails, yet generation completes"
+        );
+        let shard: Vec<SampleRecord> = store.load_shard(0).unwrap().unwrap();
+        assert_eq!(shard.len(), cfg.shard_size);
+        for record in &shard {
+            assert!(record.performance.is_none());
+            assert!(record.error.as_deref().unwrap().contains("sim.eval"));
+        }
+    }
+
+    // A disarmed resume over the same checkpoint regenerates the failed
+    // shards and lands on the fault-free result exactly.
+    let _guard = fault::scenario();
+    let store = ShardStore::new(&dir);
+    let healed =
+        generate_dataset_checkpointed(&circuit, &placement, &tech, &graph, &cfg, Some(&store))
+            .unwrap();
+    let reference = generate_dataset(&circuit, &placement, &tech, &graph, &cfg).unwrap();
+    assert_eq!(healed.samples.len(), cfg.samples);
+    for (a, b) in healed.samples.iter().zip(&reference.samples) {
+        assert_eq!(a.guidance, b.guidance);
+        assert_eq!(a.performance, b.performance);
+    }
+}
+
+#[test]
+fn flow_degrades_to_unguided_fallback_when_every_candidate_fails() {
+    let circuit = benchmarks::ota1();
+    let placement = place(&circuit, PlacementVariant::A);
+    let gnn = small_gnn();
+    let cfg = FlowConfig::builder()
+        .relax(RelaxConfig {
+            restarts: 3,
+            pool_size: 2,
+            n_derive: 2,
+            lbfgs_iters: 3,
+            cache_mb: 0,
+            ..RelaxConfig::default()
+        })
+        .build()
+        .unwrap();
+    let flow = AnalogFoldFlow::new(cfg);
+
+    let _guard = fault::scenario();
+    fault::arm("flow.candidate", FaultMode::Err, 1.0);
+    let outcome = flow.run_with_model(&circuit, &placement, &gnn).unwrap();
+    assert!(fault::stats("flow.candidate").unwrap().fires >= 2);
+    assert!(
+        outcome.guidance.is_empty(),
+        "the fallback is unguided, so the outcome carries no guidance"
+    );
+
+    let (_, _, unguided) = magical_route(
+        &circuit,
+        &placement,
+        &Technology::nm40(),
+        &RouterConfig::default(),
+        &SimConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(outcome.performance, unguided);
+}
+
+#[test]
+fn relax_reinitializes_injected_nonfinite_restarts() {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 3);
+    let gnn = small_gnn();
+    let potential = Potential::new(&gnn, &graph);
+    let cfg = RelaxConfig {
+        restarts: 4,
+        pool_size: 3,
+        n_derive: 2,
+        lbfgs_iters: 4,
+        cache_mb: 0,
+        ..RelaxConfig::default()
+    };
+
+    let _guard = fault::scenario();
+    fault::set_seed(3);
+    fault::arm("relax.nonfinite", FaultMode::Err, 0.5);
+    let outcomes = relax(&potential, &cfg);
+    assert!(fault::stats("relax.nonfinite").unwrap().fires > 0);
+    assert!(!outcomes.is_empty());
+    for o in &outcomes {
+        assert!(o.potential.is_finite());
+        assert!(o.guidance.iter().all(|g| g.is_finite()));
+    }
+}
+
+#[test]
+fn relax_survives_nan_value_grad_injection() {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 3);
+    let gnn = small_gnn();
+    let potential = Potential::new(&gnn, &graph);
+    let cfg = RelaxConfig {
+        restarts: 4,
+        pool_size: 3,
+        n_derive: 2,
+        lbfgs_iters: 4,
+        cache_mb: 0,
+        ..RelaxConfig::default()
+    };
+
+    let _guard = fault::scenario();
+    // The first three surrogate evaluations return (NaN, 0⃗): whichever
+    // restarts they poison must be re-initialized, never pooled.
+    fault::arm_limited("relax.value_grad", FaultMode::Nan, 1.0, Some(3));
+    let outcomes = relax(&potential, &cfg);
+    assert_eq!(fault::stats("relax.value_grad").unwrap().fires, 3);
+    assert!(!outcomes.is_empty());
+    for o in &outcomes {
+        assert!(o.potential.is_finite());
+        assert!(o.guidance.iter().all(|g| g.is_finite()));
+    }
+}
+
+/// CI hook: arms whatever `AF_FAULT` / `AF_FAULT_SEED` specify (falling
+/// back to a fixed local schedule when unset) and asserts the guided flow
+/// still completes — degraded if it must, but never hung or aborted.
+#[test]
+fn env_armed_flow_completes() {
+    let _guard = fault::scenario();
+    if fault::arm_from_env().unwrap() == 0 {
+        fault::set_seed(7);
+        fault::arm_spec("flow.candidate:err:0.4,relax.nonfinite:err:0.3").unwrap();
+    }
+
+    let circuit = benchmarks::ota1();
+    let placement = place(&circuit, PlacementVariant::A);
+    let cfg = FlowConfig::builder()
+        .relax(RelaxConfig {
+            restarts: 3,
+            pool_size: 2,
+            n_derive: 2,
+            lbfgs_iters: 3,
+            cache_mb: 0,
+            ..RelaxConfig::default()
+        })
+        .build()
+        .unwrap();
+    let outcome = AnalogFoldFlow::new(cfg)
+        .run_with_model(&circuit, &placement, &small_gnn())
+        .unwrap();
+    assert!(outcome.performance.dc_gain_db.is_finite());
+}
+
+// ---------------------------------------------------------------------------
+// Serving tier: collector panic → 503 for in-flight work, degraded health,
+// supervisor restart, full recovery. Minimal HTTP/1.1 client over loopback.
+
+struct HttpResponse {
+    status: u16,
+    body: String,
+}
+
+fn read_response(reader: &mut impl BufRead) -> HttpResponse {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap();
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    HttpResponse {
+        status,
+        body: String::from_utf8(body).unwrap(),
+    }
+}
+
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> HttpResponse {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).unwrap();
+    read_response(&mut BufReader::new(stream))
+}
+
+fn json_f64(body: &str, field: &str) -> f64 {
+    let key = format!("\"{field}\":");
+    let start = body
+        .find(&key)
+        .unwrap_or_else(|| panic!("{field} in {body}"))
+        + key.len();
+    let rest = &body[start..];
+    rest[..rest.find([',', '}', ']']).unwrap()].parse().unwrap()
+}
+
+fn json_str(body: &str, field: &str) -> String {
+    let key = format!("\"{field}\":\"");
+    let start = body
+        .find(&key)
+        .unwrap_or_else(|| panic!("{field} in {body}"))
+        + key.len();
+    let rest = &body[start..];
+    rest[..rest.find('"').unwrap()].to_string()
+}
+
+#[test]
+fn serve_recovers_from_collector_panic() {
+    let _guard = fault::scenario();
+    // Exactly one panic, armed before the server starts: the first batch
+    // the collector assembles kills it.
+    fault::arm_limited("serve.batch", FaultMode::Panic, 1.0, Some(1));
+
+    let bundle = ModelBundle::with_model("OTA1", "A", small_gnn()).unwrap();
+    let guidance_len = bundle.guidance_len();
+    let cfg = ServeConfig {
+        job_dir: Some(tmp_dir("serve")),
+        supervisor_backoff_ms: 20,
+        supervisor_grace_ms: 400,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(bundle, cfg).unwrap();
+    let addr = server.addr();
+    let body = format!("{{\"guidance\":{:?}}}", vec![0.0; guidance_len]);
+
+    let first = request(addr, "POST", "/v1/predict", &body);
+    assert_eq!(
+        first.status, 503,
+        "the in-flight request gets an error, not a hang: {}",
+        first.body
+    );
+
+    // The supervisor marks the server degraded for backoff + grace
+    // (≥ 420 ms here), so polling right after the 503 must observe it.
+    let deadline = Instant::now() + Duration::from_millis(300);
+    let mut saw_degraded = false;
+    while Instant::now() < deadline {
+        let health = request(addr, "GET", "/healthz", "");
+        assert_eq!(health.status, 200, "health stays up while degraded");
+        if json_str(&health.body, "status") == "degraded" {
+            saw_degraded = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(saw_degraded, "/healthz must report the restart window");
+
+    // ... and clears the flag once the replacement collector holds.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = request(addr, "GET", "/healthz", "");
+        if json_str(&health.body, "status") == "ok" {
+            assert!(json_f64(&health.body, "restarts") >= 1.0);
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never recovered: {}",
+            health.body
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let second = request(addr, "POST", "/v1/predict", &body);
+    assert_eq!(second.status, 200, "body: {}", second.body);
+
+    server.shutdown();
+    server.join();
+}

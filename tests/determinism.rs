@@ -315,3 +315,41 @@ fn dataset_generation_thread_count_invariant() {
         assert_eq!(a.performance, b.performance, "labels must match");
     }
 }
+
+/// The retry layer must be invisible when nothing fails: a dataset built
+/// under the default retry policy is bit-identical to one built with
+/// retries disabled, at any worker count. (Armed-failpoint determinism is
+/// covered by `tests/chaos.rs`, which serializes scenarios; this test
+/// deliberately never arms the global registry so it can run concurrently
+/// with its neighbors.)
+#[test]
+fn dataset_retry_policy_is_invisible_without_faults() {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 2);
+    let run = |threads: usize, retry: analogfold_suite::fault::RetryPolicy| {
+        generate_dataset(
+            &circuit,
+            &placement,
+            &tech,
+            &graph,
+            &DatasetConfig {
+                samples: 6,
+                threads,
+                retry,
+                ..DatasetConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let reference = run(1, analogfold_suite::fault::RetryPolicy::none());
+    for threads in [1usize, 4, 8] {
+        let with_retries = run(threads, analogfold_suite::fault::RetryPolicy::default());
+        assert_eq!(reference.samples.len(), with_retries.samples.len());
+        for (a, b) in reference.samples.iter().zip(&with_retries.samples) {
+            assert_eq!(a.guidance, b.guidance);
+            assert_eq!(a.performance, b.performance);
+        }
+    }
+}
