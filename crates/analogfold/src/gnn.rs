@@ -13,11 +13,16 @@
 //! the paper — so the prediction is differentiable w.r.t. `C` and the
 //! potential relaxation can run gradient descent on it.
 
+use std::sync::Arc;
+
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use af_nn::{Activation, Adam, AdamConfig, BoundMlp, Graph, Mlp, NodeId, Tensor};
+use af_nn::{
+    Activation, Adam, AdamConfig, BoundMlp, Graph, Mlp, NodeId, TapeAdam, TapeMlp, Tensor,
+};
+use af_tensor::{CsrIndex, CsrRef, Tape, Var};
 
 use crate::dataset::{Dataset, TargetStats};
 use crate::hetero::{HeteroGraph, AP_FEATURES, MODULE_FEATURES};
@@ -127,6 +132,33 @@ impl MessageWeights {
         p.extend(b.out.params());
         p
     }
+
+    fn bind_tape(&self, t: &mut Tape) -> TapeMessage {
+        TapeMessage {
+            src: self.src.bind_tape(t),
+            rbf: self.rbf.bind_tape(t),
+            out: self.out.bind_tape(t),
+        }
+    }
+
+    fn sync_tape(&mut self, t: &Tape, b: &TapeMessage) {
+        self.src.sync_from_tape(t, &b.src);
+        self.rbf.sync_from_tape(t, &b.rbf);
+        self.out.sync_from_tape(t, &b.out);
+    }
+
+    fn tape_params(b: &TapeMessage) -> Vec<Var> {
+        let mut p = b.src.params();
+        p.extend(b.rbf.params());
+        p.extend(b.out.params());
+        p
+    }
+}
+
+struct TapeMessage {
+    src: TapeMlp,
+    rbf: TapeMlp,
+    out: TapeMlp,
 }
 
 /// The 3DGNN model: encoders, per-layer per-edge-type message MLPs, readout
@@ -171,6 +203,15 @@ pub struct GraphTensors {
     c_base: Tensor,
     n_aps: usize,
     n_modules: usize,
+    /// Row-grouped relation indices for the `af_tensor` fast path. Each is
+    /// built once per graph and shared (`Arc`) into every compiled tape.
+    pp_src_csr: Arc<CsrIndex>,
+    pp_dst_csr: Arc<CsrIndex>,
+    mp_src_csr: Arc<CsrIndex>,
+    mp_dst_csr: Arc<CsrIndex>,
+    mm_src_csr: Arc<CsrIndex>,
+    mm_dst_csr: Arc<CsrIndex>,
+    guided_csr: Arc<CsrIndex>,
 }
 
 impl GraphTensors {
@@ -217,6 +258,13 @@ impl GraphTensors {
                 base[i * 3 + 2] = 1.0;
             }
         }
+        let pp_src_csr = Arc::new(CsrIndex::new(&pp_src, n_aps));
+        let pp_dst_csr = Arc::new(CsrIndex::new(&pp_dst, n_aps));
+        let mp_src_csr = Arc::new(CsrIndex::new(&mp_src_m, n_modules));
+        let mp_dst_csr = Arc::new(CsrIndex::new(&mp_dst_a, n_aps));
+        let mm_src_csr = Arc::new(CsrIndex::new(&mm_src, n_modules));
+        let mm_dst_csr = Arc::new(CsrIndex::new(&mm_dst, n_modules));
+        let guided_csr = Arc::new(CsrIndex::new(&guided_idx, n_aps));
         Self {
             ap_feats,
             m_feats,
@@ -232,12 +280,25 @@ impl GraphTensors {
             c_base: Tensor::from_vec(base, n_aps, 3),
             n_aps,
             n_modules,
+            pp_src_csr,
+            pp_dst_csr,
+            mp_src_csr,
+            mp_dst_csr,
+            mm_src_csr,
+            mm_dst_csr,
+            guided_csr,
         }
     }
 
     /// Length of the flattened guidance vector the model expects.
     pub fn guidance_len(&self) -> usize {
         self.guided_idx.len() * 3
+    }
+
+    /// Messages moved per message-passing layer: PP plus both MP directions
+    /// plus MM. The throughput benchmarks report edges/second against this.
+    pub fn edges_per_pass(&self) -> usize {
+        self.pp_src.len() + 2 * self.mp_src_m.len() + self.mm_src.len()
     }
 
     /// Approximate resident size in bytes, used as the weight of a cached
@@ -255,7 +316,14 @@ impl GraphTensors {
             + self.mm_src.len()
             + self.mm_dst.len()
             + self.guided_idx.len();
-        (f64s + idxs) * 8 + std::mem::size_of::<Self>()
+        let csrs = self.pp_src_csr.approx_bytes()
+            + self.pp_dst_csr.approx_bytes()
+            + self.mp_src_csr.approx_bytes()
+            + self.mp_dst_csr.approx_bytes()
+            + self.mm_src_csr.approx_bytes()
+            + self.mm_dst_csr.approx_bytes()
+            + self.guided_csr.approx_bytes();
+        (f64s + idxs) * 8 + csrs + std::mem::size_of::<Self>()
     }
 }
 
@@ -268,6 +336,28 @@ struct BoundGnn {
     mm: Vec<BoundMlp>,
     readout: BoundMlp,
     head: BoundMlp,
+}
+
+struct TapeGnn {
+    ap_encoder: TapeMlp,
+    m_encoder: TapeMlp,
+    pp: Vec<TapeMessage>,
+    mp: Vec<TapeMessage>,
+    pm: Vec<TapeMessage>,
+    mm: Vec<TapeMlp>,
+    readout: TapeMlp,
+    head: TapeMlp,
+}
+
+/// Forces every GNN entry point onto the scalar `af_nn::Graph` oracle.
+/// Checked once per process: set `AF_GNN_ORACLE=1` before startup.
+pub(crate) fn oracle_forced() -> bool {
+    static FORCE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCE.get_or_init(|| {
+        std::env::var("AF_GNN_ORACLE")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false)
+    })
 }
 
 impl ThreeDGnn {
@@ -325,6 +415,11 @@ impl ThreeDGnn {
         // distances are normalized by the die scale; cost multipliers reach
         // c_max, so cover [0, c_max]
         let k = self.cfg_rbf_centers;
+        if k == 1 {
+            // A single center degenerates the spacing formula (i / (k - 1));
+            // anchor it at zero distance.
+            return vec![0.0];
+        }
         (0..k)
             .map(|i| self.cfg_c_max * i as f64 / (k - 1) as f64)
             .collect()
@@ -341,6 +436,19 @@ impl ThreeDGnn {
             mm: self.mm.iter().map(|m| b(m, g)).collect(),
             readout: b(&self.readout, g),
             head: b(&self.head, g),
+        }
+    }
+
+    fn bind_tape(&self, t: &mut Tape) -> TapeGnn {
+        TapeGnn {
+            ap_encoder: self.ap_encoder.bind_tape(t),
+            m_encoder: self.m_encoder.bind_tape(t),
+            pp: self.pp.iter().map(|w| w.bind_tape(t)).collect(),
+            mp: self.mp.iter().map(|w| w.bind_tape(t)).collect(),
+            pm: self.pm.iter().map(|w| w.bind_tape(t)).collect(),
+            mm: self.mm.iter().map(|m| m.bind_tape(t)).collect(),
+            readout: self.readout.bind_tape(t),
+            head: self.head.bind_tape(t),
         }
     }
 
@@ -486,10 +594,75 @@ impl ThreeDGnn {
     /// Trains on a dataset of (guidance, metrics) pairs; returns per-epoch
     /// mean L2 loss on normalized targets.
     ///
+    /// Runs on the `af_tensor` fast path: the whole forward+backward is
+    /// compiled onto one tape and replayed per sample with zero allocations.
+    /// Bit-identical to [`train_oracle`](Self::train_oracle) (same shuffle
+    /// stream, same Adam math); set `AF_GNN_ORACLE=1` to force the scalar
+    /// path.
+    ///
     /// # Panics
     ///
     /// Panics if the dataset is empty or guidance lengths mismatch the graph.
     pub fn train(
+        &mut self,
+        graph: &HeteroGraph,
+        dataset: &Dataset,
+        cfg: &GnnConfig,
+    ) -> TrainReport {
+        if oracle_forced() {
+            return self.train_oracle(graph, dataset, cfg);
+        }
+        assert!(!dataset.samples.is_empty(), "empty dataset");
+        let t = GraphTensors::new(graph);
+        assert_eq!(
+            dataset.samples[0].guidance.len(),
+            t.guidance_len(),
+            "guidance length mismatch"
+        );
+        self.stats = TargetStats::fit(dataset);
+
+        let mut prog = GnnProgram::compile_train(self, &t);
+        let mut opt = TapeAdam::new(
+            prog.params.clone(),
+            AdamConfig {
+                lr: cfg.lr,
+                ..AdamConfig::default()
+            },
+            &prog.tape,
+        );
+
+        let _train = af_obs::span!("gnn_train");
+        let mut order: Vec<usize> = (0..dataset.samples.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xdead);
+        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+        for epoch in 0..cfg.epochs {
+            let _e = af_obs::span!("epoch", epoch);
+            use rand::seq::SliceRandom;
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            for &si in &order {
+                let sample = &dataset.samples[si];
+                let target = self.stats.normalize(&sample.metrics());
+                total += prog.train_step(&sample.guidance, &target, &mut opt);
+            }
+            epoch_losses.push(total / dataset.samples.len() as f64);
+        }
+        prog.sync_into(self);
+
+        let final_loss = *epoch_losses.last().expect("at least one epoch");
+        TrainReport {
+            epoch_losses,
+            final_loss,
+        }
+    }
+
+    /// The scalar-graph training path, kept verbatim as the bit-exactness
+    /// oracle for [`train`](Self::train).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or guidance lengths mismatch the graph.
+    pub fn train_oracle(
         &mut self,
         graph: &HeteroGraph,
         dataset: &Dataset,
@@ -591,10 +764,29 @@ impl ThreeDGnn {
 
     /// Predicts the five (unnormalized) metrics for a guidance vector.
     ///
+    /// Runs on the `af_tensor` fast path (bit-identical to
+    /// [`predict_oracle`](Self::predict_oracle); set `AF_GNN_ORACLE=1` to
+    /// force the scalar path). For repeated predictions over one graph,
+    /// prefer [`session`](Self::session), which compiles the tape once.
+    ///
     /// # Panics
     ///
     /// Panics if `guidance.len()` mismatches the graph's guided APs × 3.
     pub fn predict(&self, graph: &HeteroGraph, guidance: &[f64]) -> [f64; 5] {
+        if oracle_forced() {
+            return self.predict_oracle(graph, guidance);
+        }
+        let t = crate::cache::tensors_cached(graph);
+        GnnProgram::compile_predict(self, &t).predict(guidance)
+    }
+
+    /// The scalar-graph prediction path, kept verbatim as the bit-exactness
+    /// oracle for [`predict`](Self::predict).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guidance.len()` mismatches the graph's guided APs × 3.
+    pub fn predict_oracle(&self, graph: &HeteroGraph, guidance: &[f64]) -> [f64; 5] {
         let t = crate::cache::tensors_cached(graph);
         assert_eq!(guidance.len(), t.guidance_len(), "guidance length mismatch");
         let mut g = Graph::new();
@@ -618,7 +810,27 @@ impl ThreeDGnn {
     /// The relaxation minimizes this (plus a barrier), so weights are
     /// positive for lower-is-better metrics and negative for
     /// higher-is-better ones.
+    ///
+    /// Runs on the `af_tensor` fast path, with the weight-gradient cone
+    /// statically pruned (bit-identical to
+    /// [`fom_and_grad_oracle`](Self::fom_and_grad_oracle); set
+    /// `AF_GNN_ORACLE=1` to force the scalar path). Callers evaluating many
+    /// points should compile [`GnnProgram::compile_fom`] once and replay it.
     pub fn fom_and_grad(
+        &self,
+        tensors: &GraphTensors,
+        guidance: &[f64],
+        weights: &[f64; 5],
+    ) -> (f64, Vec<f64>) {
+        if oracle_forced() {
+            return self.fom_and_grad_oracle(tensors, guidance, weights);
+        }
+        GnnProgram::compile_fom(self, tensors, weights).fom_and_grad(guidance)
+    }
+
+    /// The scalar-graph FoM path, kept verbatim as the bit-exactness oracle
+    /// for [`fom_and_grad`](Self::fom_and_grad).
+    pub fn fom_and_grad_oracle(
         &self,
         tensors: &GraphTensors,
         guidance: &[f64],
@@ -670,25 +882,338 @@ impl ThreeDGnn {
     }
 
     /// Opens a long-lived prediction session for one graph: the tensor
-    /// cache is built once and the weights are bound into a reusable
-    /// autograd graph, so repeated predictions skip both. This is what
-    /// keeps a resident model (e.g. `af-serve`) cheap per request.
-    ///
-    /// Weights are bound as *persistent* parameters — `Graph::reset`
-    /// truncates transient inputs but keeps parameters, which is exactly
-    /// the reuse contract `train` relies on — so every
-    /// [`PredictSession::predict`] is bit-identical to
+    /// cache is built once and the whole forward pass is compiled onto one
+    /// reusable tape, so repeated predictions are allocation-free replays.
+    /// This is what keeps a resident model (e.g. `af-serve`) cheap per
+    /// request. Every [`PredictSession::predict`] is bit-identical to
     /// [`ThreeDGnn::predict`].
     pub fn session(&self, graph: &HeteroGraph) -> PredictSession {
         let tensors = crate::cache::tensors_cached(graph);
-        let mut g = Graph::new();
-        let bound = self.bind(&mut g, false);
-        PredictSession {
-            gnn: self.clone(),
-            tensors,
-            graph: g,
-            bound,
+        let program = GnnProgram::compile_predict(self, &tensors);
+        PredictSession { tensors, program }
+    }
+}
+
+/// What a compiled [`GnnProgram`] is sealed for.
+enum ProgramMode {
+    /// Forward only.
+    Predict,
+    /// Loss = Σ w·ŷ, gradient w.r.t. the guidance input.
+    Fom([f64; 5]),
+    /// Loss = MSE(ŷ, target), gradients w.r.t. every weight.
+    Train,
+}
+
+/// The whole GNN forward (and optionally backward) compiled onto one
+/// [`Tape`]: weights, graph constants and relation indices are recorded
+/// once, then every evaluation is an allocation-free replay over fresh
+/// input values. Gather/scatter run as per-relation CSR row-block batches.
+///
+/// Three seal modes exist (see the constructors): forward-only prediction,
+/// FoM + guidance gradient for the potential relaxation (weight gradients
+/// are statically pruned), and training (guidance-side gradients pruned).
+/// All three match the scalar `af_nn::Graph` oracle bit for bit on default
+/// builds; see the `af_tensor` crate docs for the contract.
+pub struct GnnProgram {
+    tape: Tape,
+    bound: TapeGnn,
+    c: Var,
+    target: Option<Var>,
+    pred: Var,
+    loss: Option<Var>,
+    params: Vec<Var>,
+    stats: TargetStats,
+    guidance_len: usize,
+}
+
+impl GnnProgram {
+    /// Compiles a forward-only prediction program.
+    pub fn compile_predict(gnn: &ThreeDGnn, tensors: &GraphTensors) -> Self {
+        Self::compile(gnn, tensors, ProgramMode::Predict)
+    }
+
+    /// Compiles a FoM + guidance-gradient program (the relaxation hot path).
+    pub fn compile_fom(gnn: &ThreeDGnn, tensors: &GraphTensors, weights: &[f64; 5]) -> Self {
+        Self::compile(gnn, tensors, ProgramMode::Fom(*weights))
+    }
+
+    /// Compiles a training program (loss + weight gradients).
+    pub fn compile_train(gnn: &ThreeDGnn, tensors: &GraphTensors) -> Self {
+        Self::compile(gnn, tensors, ProgramMode::Train)
+    }
+
+    fn compile(gnn: &ThreeDGnn, t: &GraphTensors, mode: ProgramMode) -> Self {
+        let mut tape = Tape::new();
+        let c = tape.input(t.guided_idx.len(), 3);
+        let bound = gnn.bind_tape(&mut tape);
+
+        let guided = tape.register_csr(t.guided_csr.clone());
+        let pp_src = tape.register_csr(t.pp_src_csr.clone());
+        let pp_dst = tape.register_csr(t.pp_dst_csr.clone());
+        let mp_src = tape.register_csr(t.mp_src_csr.clone());
+        let mp_dst = tape.register_csr(t.mp_dst_csr.clone());
+        let mm_src = tape.register_csr(t.mm_src_csr.clone());
+        let mm_dst = tape.register_csr(t.mm_dst_csr.clone());
+
+        // Constant leaves: set once at compile, never touched again.
+        let scattered = tape.scatter_add(c, guided);
+        let base = tape.leaf(t.c_base.data(), t.n_aps, 3);
+        let c_full = tape.add(scattered, base);
+
+        let ap_in = tape.leaf(t.ap_feats.data(), t.n_aps, AP_FEATURES);
+        let m_in = tape.leaf(t.m_feats.data(), t.n_modules, MODULE_FEATURES);
+        let mut h_ap = bound.ap_encoder.forward(&mut tape, ap_in);
+        let mut h_m = bound.m_encoder.forward(&mut tape, m_in);
+
+        let pp_deltas = tape.leaf(t.pp_deltas.data(), t.pp_src.len(), 3);
+        let mp_deltas = tape.leaf(t.mp_deltas.data(), t.mp_src_m.len(), 3);
+
+        let rbf_centers = if gnn.cfg_use_rbf {
+            gnn.rbf_centers_vec()
+        } else {
+            Vec::new()
+        };
+
+        for l in 0..gnn.cfg_layers {
+            // E_PP: AP -> AP.
+            if !t.pp_src.is_empty() {
+                let agg = Self::message_pass(
+                    gnn,
+                    &mut tape,
+                    &bound.pp[l],
+                    h_ap,
+                    pp_src,
+                    pp_dst,
+                    pp_deltas,
+                    c_full,
+                    &rbf_centers,
+                );
+                h_ap = tape.add(h_ap, agg);
+            }
+            // E_MP: module -> AP.
+            if gnn.cfg_use_modules && !t.mp_src_m.is_empty() {
+                let agg = Self::message_pass(
+                    gnn,
+                    &mut tape,
+                    &bound.mp[l],
+                    h_m,
+                    mp_src,
+                    mp_dst,
+                    mp_deltas,
+                    c_full,
+                    &rbf_centers,
+                );
+                h_ap = tape.add(h_ap, agg);
+                // E_PM: AP -> module (reverse direction, same deltas/C).
+                let v_src = tape.gather(h_ap, mp_dst);
+                let c_dst = tape.gather(c_full, mp_dst);
+                let scaled = tape.mul(c_dst, mp_deltas);
+                let sq = tape.square(scaled);
+                let ssum = tape.sum_cols(sq);
+                let d = tape.sqrt(ssum);
+                let psi = if gnn.cfg_use_rbf {
+                    tape.rbf(d, gnn.cfg_rbf_gamma, &rbf_centers)
+                } else {
+                    d
+                };
+                let a = bound.pm[l].src.forward(&mut tape, v_src);
+                let bm = bound.pm[l].rbf.forward(&mut tape, psi);
+                let prod = tape.mul(a, bm);
+                let msg = bound.pm[l].out.forward(&mut tape, prod);
+                let agg_m = tape.scatter_add(msg, mp_src);
+                h_m = tape.add(h_m, agg_m);
+            }
+            // E_MM: module -> module (logical, no distance term).
+            if gnn.cfg_use_modules && !t.mm_src.is_empty() {
+                let v_src = tape.gather(h_m, mm_src);
+                let msg = bound.mm[l].forward(&mut tape, v_src);
+                let agg = tape.scatter_add(msg, mm_dst);
+                h_m = tape.add(h_m, agg);
+            }
         }
+
+        // Global readout; `sum_rows` replaces the oracle's `ones × R`
+        // matmul with the identical per-column ascending-row sum.
+        let r_ap = bound.readout.forward(&mut tape, h_ap);
+        let r_m = bound.readout.forward(&mut tape, h_m);
+        let sum_ap = tape.sum_rows(r_ap);
+        let sum_m = tape.sum_rows(r_m);
+        let u = tape.add(sum_ap, sum_m);
+        let u = tape.scale(u, 1.0 / (t.n_aps + t.n_modules) as f64);
+        let pred = bound.head.forward(&mut tape, u);
+
+        let mut target = None;
+        let mut loss = None;
+        let mut params = Vec::new();
+        match mode {
+            ProgramMode::Predict => tape.seal(None, &[]),
+            ProgramMode::Fom(w) => {
+                let wleaf = tape.leaf(&w, 1, 5);
+                let weighted = tape.mul(pred, wleaf);
+                let fom = tape.sum(weighted);
+                tape.seal(Some(fom), &[c]);
+                loss = Some(fom);
+            }
+            ProgramMode::Train => {
+                let tgt = tape.input(1, 5);
+                let l = tape.mse(pred, tgt);
+                params = Self::collect_params(&bound);
+                tape.seal(Some(l), &params);
+                target = Some(tgt);
+                loss = Some(l);
+            }
+        }
+        Self {
+            tape,
+            bound,
+            c,
+            target,
+            pred,
+            loss,
+            params,
+            stats: gnn.stats.clone(),
+            guidance_len: t.guidance_len(),
+        }
+    }
+
+    /// Tape analogue of the oracle's `message_pass`: same op sequence, with
+    /// gather/scatter routed through the relation's CSR grouping.
+    #[allow(clippy::too_many_arguments)]
+    fn message_pass(
+        gnn: &ThreeDGnn,
+        tape: &mut Tape,
+        weights: &TapeMessage,
+        h_src: Var,
+        src: CsrRef,
+        dst: CsrRef,
+        deltas: Var,
+        c_full: Var,
+        rbf_centers: &[f64],
+    ) -> Var {
+        let v_src = tape.gather(h_src, src);
+        // d_cost (Eq. 1): the receiver's guidance scales the per-axis deltas.
+        let c_dst = tape.gather(c_full, dst);
+        let scaled = tape.mul(c_dst, deltas);
+        let sq = tape.square(scaled);
+        let ssum = tape.sum_cols(sq);
+        let d = tape.sqrt(ssum);
+        let psi = if gnn.cfg_use_rbf {
+            tape.rbf(d, gnn.cfg_rbf_gamma, rbf_centers)
+        } else {
+            d
+        };
+        // Eq. 5: MLP(MLP(v_src) ⊙ MLP(Ψ(d)))
+        let a = weights.src.forward(tape, v_src);
+        let bm = weights.rbf.forward(tape, psi);
+        let prod = tape.mul(a, bm);
+        let msg = weights.out.forward(tape, prod);
+        tape.scatter_add(msg, dst)
+    }
+
+    /// Weight vars in the oracle's parameter order (`[w, b]` per layer,
+    /// encoders → pp → mp → pm → mm → readout → head).
+    fn collect_params(bound: &TapeGnn) -> Vec<Var> {
+        let mut p = bound.ap_encoder.params();
+        p.extend(bound.m_encoder.params());
+        for w in &bound.pp {
+            p.extend(MessageWeights::tape_params(w));
+        }
+        for w in &bound.mp {
+            p.extend(MessageWeights::tape_params(w));
+        }
+        for w in &bound.pm {
+            p.extend(MessageWeights::tape_params(w));
+        }
+        for m in &bound.mm {
+            p.extend(m.params());
+        }
+        p.extend(bound.readout.params());
+        p.extend(bound.head.params());
+        p
+    }
+
+    /// Length of the flattened guidance vector the program expects.
+    pub fn guidance_len(&self) -> usize {
+        self.guidance_len
+    }
+
+    /// Forward replay: the five **unnormalized** metrics for one guidance
+    /// vector. Bit-identical to [`ThreeDGnn::predict`] on the same model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guidance.len()` mismatches the compiled graph.
+    pub fn predict(&mut self, guidance: &[f64]) -> [f64; 5] {
+        assert_eq!(
+            guidance.len(),
+            self.guidance_len,
+            "guidance length mismatch"
+        );
+        self.tape.set_value(self.c, guidance);
+        self.tape.forward();
+        let row = self.tape.value(self.pred);
+        let normalized = [row[0], row[1], row[2], row[3], row[4]];
+        self.stats.denormalize(&normalized)
+    }
+
+    /// Forward + backward replay on a FoM program: the weighted FoM of the
+    /// normalized prediction and its gradient w.r.t. the guidance vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program was not compiled with
+    /// [`compile_fom`](Self::compile_fom) or the length mismatches.
+    pub fn fom_and_grad(&mut self, guidance: &[f64]) -> (f64, Vec<f64>) {
+        assert_eq!(
+            guidance.len(),
+            self.guidance_len,
+            "guidance length mismatch"
+        );
+        let loss = self.loss.expect("program not compiled for FoM");
+        let t0 = af_obs::enabled().then(std::time::Instant::now);
+        self.tape.set_value(self.c, guidance);
+        self.tape.forward();
+        self.tape.backward();
+        if let Some(t0) = t0 {
+            af_obs::hist("gnn.fom_grad_us", t0.elapsed().as_secs_f64() * 1e6);
+            af_obs::counter("gnn.fom_grad_evals", 1);
+        }
+        (self.tape.value(loss)[0], self.tape.grad(self.c).to_vec())
+    }
+
+    /// One training replay on a train program: sets the sample, runs
+    /// forward + backward, applies the optimizer, returns the sample loss.
+    fn train_step(&mut self, guidance: &[f64], target_norm: &[f64; 5], opt: &mut TapeAdam) -> f64 {
+        self.tape.set_value(self.c, guidance);
+        self.tape
+            .set_value(self.target.expect("train program"), target_norm);
+        self.tape.forward();
+        self.tape.backward();
+        let loss = self.tape.value(self.loss.expect("train program"))[0];
+        opt.step(&mut self.tape);
+        loss
+    }
+
+    /// Copies the (trained) weight leaves back into the model.
+    fn sync_into(&self, gnn: &mut ThreeDGnn) {
+        gnn.ap_encoder
+            .sync_from_tape(&self.tape, &self.bound.ap_encoder);
+        gnn.m_encoder
+            .sync_from_tape(&self.tape, &self.bound.m_encoder);
+        for (w, b) in gnn.pp.iter_mut().zip(&self.bound.pp) {
+            w.sync_tape(&self.tape, b);
+        }
+        for (w, b) in gnn.mp.iter_mut().zip(&self.bound.mp) {
+            w.sync_tape(&self.tape, b);
+        }
+        for (w, b) in gnn.pm.iter_mut().zip(&self.bound.pm) {
+            w.sync_tape(&self.tape, b);
+        }
+        for (m, b) in gnn.mm.iter_mut().zip(&self.bound.mm) {
+            m.sync_from_tape(&self.tape, b);
+        }
+        gnn.readout.sync_from_tape(&self.tape, &self.bound.readout);
+        gnn.head.sync_from_tape(&self.tape, &self.bound.head);
     }
 }
 
@@ -696,10 +1221,8 @@ impl ThreeDGnn {
 /// autograd graph, amortized across many [`predict`](Self::predict) calls.
 /// Created by [`ThreeDGnn::session`].
 pub struct PredictSession {
-    gnn: ThreeDGnn,
     tensors: std::sync::Arc<GraphTensors>,
-    graph: Graph,
-    bound: BoundGnn,
+    program: GnnProgram,
 }
 
 impl PredictSession {
@@ -715,29 +1238,7 @@ impl PredictSession {
     ///
     /// Panics if `guidance.len()` mismatches the graph's guided APs × 3.
     pub fn predict(&mut self, guidance: &[f64]) -> [f64; 5] {
-        assert_eq!(
-            guidance.len(),
-            self.tensors.guidance_len(),
-            "guidance length mismatch"
-        );
-        self.graph.reset();
-        let c = self.graph.input(Tensor::from_vec(
-            guidance.to_vec(),
-            self.tensors.guided_idx.len(),
-            3,
-        ));
-        let pred = self
-            .gnn
-            .forward(&mut self.graph, &self.bound, &self.tensors, c);
-        let row = self.graph.value(pred);
-        let normalized = [
-            row.get(0, 0),
-            row.get(0, 1),
-            row.get(0, 2),
-            row.get(0, 3),
-            row.get(0, 4),
-        ];
-        self.gnn.stats.denormalize(&normalized)
+        self.program.predict(guidance)
     }
 
     /// Predicts a batch of guidance vectors. Each element is computed
@@ -881,6 +1382,90 @@ mod tests {
         assert!(count > one.param_count());
         // Same config → same count (it is a pure function of architecture).
         assert_eq!(count, ThreeDGnn::new(&cfg).param_count());
+    }
+
+    #[test]
+    fn fast_path_matches_oracle() {
+        // Tolerances per the af-tensor parity contract: single evaluations
+        // sit within ≤1e-9 of the scalar oracle (polynomial exp ≲1e-13 per
+        // call, plus fused-multiply-add rounding where the runtime AVX2+FMA
+        // dispatch engages); a full training run compounds per-step
+        // deviations through Adam, so it gets a looser 1e-8 relative band.
+        fn close(a: f64, b: f64, tol: f64, what: &str) {
+            assert!(
+                (a - b).abs() <= tol * (1.0 + b.abs()),
+                "{what} diverged: {a} vs {b} (|Δ| = {:e})",
+                (a - b).abs()
+            );
+        }
+        let graph = tiny_graph();
+        let cfg = GnnConfig {
+            hidden: 8,
+            layers: 1,
+            epochs: 3,
+            ..GnnConfig::default()
+        };
+        let data = synthetic_dataset(&graph, 6);
+        let mut fast = ThreeDGnn::new(&cfg);
+        let mut oracle = ThreeDGnn::new(&cfg);
+
+        // Stage 1: untrained forward parity.
+        let t = GraphTensors::new(&graph);
+        let c = vec![0.9; t.guidance_len()];
+        let p_fast = fast.predict(&graph, &c);
+        let p_oracle = fast.predict_oracle(&graph, &c);
+        for (a, b) in p_fast.iter().zip(&p_oracle) {
+            close(*a, *b, 1e-9, "untrained prediction");
+        }
+
+        // Stage 2: untrained guidance-gradient parity (backward to C).
+        let w = [1.0, -1.0, -1.0, -1.0, 1.0];
+        let (f1, g1) = fast.fom_and_grad(&t, &c, &w);
+        let (f2, g2) = fast.fom_and_grad_oracle(&t, &c, &w);
+        close(f1, f2, 1e-9, "FoM");
+        assert_eq!(g1.len(), g2.len());
+        for (a, b) in g1.iter().zip(&g2) {
+            close(*a, *b, 1e-9, "guidance gradient");
+        }
+
+        // Stage 3: full training parity (weight gradients + Adam).
+        let r_fast = fast.train(&graph, &data, &cfg);
+        let r_oracle = oracle.train_oracle(&graph, &data, &cfg);
+        for (a, b) in r_fast.epoch_losses.iter().zip(&r_oracle.epoch_losses) {
+            close(*a, *b, 1e-8, "training loss");
+        }
+        let p_fast = fast.predict(&graph, &c);
+        let p_oracle = oracle.predict_oracle(&graph, &c);
+        for (a, b) in p_fast.iter().zip(&p_oracle) {
+            close(*a, *b, 1e-8, "trained prediction");
+        }
+    }
+
+    #[test]
+    fn single_rbf_center_is_finite() {
+        // Regression: `rbf_centers == 1` used to divide by zero in the
+        // center-spacing formula (i / (k - 1)).
+        let graph = tiny_graph();
+        let cfg = GnnConfig {
+            rbf_centers: 1,
+            hidden: 8,
+            layers: 1,
+            ..GnnConfig::default()
+        };
+        let gnn = ThreeDGnn::new(&cfg);
+        assert_eq!(gnn.rbf_centers_vec(), vec![0.0]);
+        let t = GraphTensors::new(&graph);
+        let c = vec![1.0; t.guidance_len()];
+        let y = gnn.predict(&graph, &c);
+        assert!(y.iter().all(|v| v.is_finite()), "fast path: {y:?}");
+        let y2 = gnn.predict_oracle(&graph, &c);
+        assert!(y2.iter().all(|v| v.is_finite()), "oracle path: {y2:?}");
+        for (a, b) in y.iter().zip(&y2) {
+            assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                "paths diverged: {a} vs {b}"
+            );
+        }
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub use flow::{
     ObsSinkHandle, RuntimeBreakdown,
 };
 pub use genius::{GeniusConfig, GeniusRouteModel, NetClass};
-pub use gnn::{GnnConfig, GraphTensors, PredictSession, ThreeDGnn, TrainReport};
+pub use gnn::{GnnConfig, GnnProgram, GraphTensors, PredictSession, ThreeDGnn, TrainReport};
 pub use hetero::{ApNode, EdgeKind, HeteroGraph, ModuleNode};
 pub use persist::{PersistError, ShardStore};
-pub use potential::{relax, relax_seeded, Potential, RelaxConfig, RelaxOutcome};
+pub use potential::{relax, relax_seeded, Potential, PotentialEval, RelaxConfig, RelaxOutcome};

@@ -91,6 +91,10 @@ impl<'a> Potential<'a> {
     ///
     /// Outside the feasible region the barrier returns `+∞` with a gradient
     /// pointing back inside.
+    ///
+    /// Each call compiles a fresh surrogate program; the relaxation loops use
+    /// [`evaluator`](Self::evaluator), which compiles once and replays the
+    /// same tape for every L-BFGS iteration. Results are bit-identical.
     pub fn value_and_grad(&self, c: &[f64]) -> (f64, Vec<f64>) {
         // Chaos hook: inject a non-finite evaluation *before* the memo so a
         // poisoned value can never be cached. Disarmed cost is one relaxed
@@ -101,7 +105,7 @@ impl<'a> Potential<'a> {
         // The surrogate term is a pure function of (weights, C); the barrier
         // is recomputed (cheap) so the memo stores exactly one tier of the
         // sum and `barrier_r` can change without invalidation.
-        let (fom, mut grad) = match &self.memo {
+        let (fom, grad) = match &self.memo {
             Some(memo) if crate::cache::cache_enabled() => {
                 let key = crate::cache::FomMemo::key(&self.weights, c);
                 memo.get_or_compute(key, || {
@@ -110,6 +114,24 @@ impl<'a> Potential<'a> {
             }
             _ => self.gnn.fom_and_grad(&self.tensors, c, &self.weights),
         };
+        self.apply_barrier(fom, grad, c)
+    }
+
+    /// Builds a reusable evaluator: the surrogate forward+backward program is
+    /// compiled once, and every subsequent [`PotentialEval::value_and_grad`]
+    /// call replays the same tape in place — no per-iteration allocation or
+    /// graph construction. Bit-identical to [`value_and_grad`](Self::value_and_grad).
+    pub fn evaluator(&self) -> PotentialEval<'_, 'a> {
+        let program = (!crate::gnn::oracle_forced())
+            .then(|| crate::gnn::GnnProgram::compile_fom(self.gnn, &self.tensors, &self.weights));
+        PotentialEval {
+            potential: self,
+            program,
+        }
+    }
+
+    /// Adds the interior-point barrier term to a surrogate evaluation.
+    fn apply_barrier(&self, fom: f64, mut grad: Vec<f64>, c: &[f64]) -> (f64, Vec<f64>) {
         let mut v = fom;
         for (i, &x) in c.iter().enumerate() {
             let lo = x - self.c_min;
@@ -129,6 +151,50 @@ impl<'a> Potential<'a> {
         for x in c.iter_mut() {
             *x = x.clamp(self.c_min + eps, self.c_max - eps);
         }
+    }
+}
+
+/// A reusable `V(C)` evaluator holding one compiled surrogate program.
+///
+/// Built by [`Potential::evaluator`]. The forward+backward tape is recorded
+/// once; every [`value_and_grad`](Self::value_and_grad) call replays it over
+/// the same buffers, which is what makes the L-BFGS inner loop of
+/// [`relax_seeded`] allocation-free per iteration. Evaluations are
+/// bit-identical to [`Potential::value_and_grad`]: the same failpoint, memo,
+/// surrogate kernels, and barrier run in the same order.
+pub struct PotentialEval<'p, 'a> {
+    potential: &'p Potential<'a>,
+    /// `None` when `AF_GNN_ORACLE` forces the scalar path.
+    program: Option<crate::gnn::GnnProgram>,
+}
+
+impl PotentialEval<'_, '_> {
+    /// Evaluates `V(C)` and `∇V(C)` by replaying the compiled tape.
+    pub fn value_and_grad(&mut self, c: &[f64]) -> (f64, Vec<f64>) {
+        if af_fault::enabled() && af_fault::should_fail("relax.value_grad").is_some() {
+            return (f64::NAN, vec![0.0; c.len()]);
+        }
+        let pot = self.potential;
+        let program = &mut self.program;
+        let (fom, grad) = match &pot.memo {
+            Some(memo) if crate::cache::cache_enabled() => {
+                let key = crate::cache::FomMemo::key(&pot.weights, c);
+                memo.get_or_compute(key, || match program {
+                    Some(p) => p.fom_and_grad(c),
+                    None => pot.gnn.fom_and_grad(&pot.tensors, c, &pot.weights),
+                })
+            }
+            _ => match program {
+                Some(p) => p.fom_and_grad(c),
+                None => pot.gnn.fom_and_grad(&pot.tensors, c, &pot.weights),
+            },
+        };
+        pot.apply_barrier(fom, grad, c)
+    }
+
+    /// The underlying potential.
+    pub fn potential(&self) -> &Potential<'_> {
+        self.potential
     }
 }
 
@@ -231,14 +297,18 @@ pub fn relax_seeded(
     if !seeds.is_empty() {
         let refined = runtime
             .par_map(seeds, |_, s| {
+                // One compiled program serves the seed probe and every
+                // L-BFGS iteration of its refinement.
+                let mut eval = potential.evaluator();
                 let mut x0 = s.clone();
                 potential.project(&mut x0);
-                let (v0, _) = potential.value_and_grad(&x0);
+                let (v0, _) = eval.value_and_grad(&x0);
                 let raw = v0.is_finite().then(|| RelaxOutcome {
                     guidance: x0.clone(),
                     potential: v0,
                 });
-                (raw, minimize_one(potential, &x0, cfg))
+                let opt = minimize_one(&mut eval, &x0, cfg);
+                (raw, opt)
             })
             .unwrap_or_else(|e| panic!("relaxation warm-start failed: {e}"));
         for (raw, opt) in refined {
@@ -279,6 +349,9 @@ pub fn relax_seeded(
                 // attempt)` so recovery is deterministic too.
                 const REINIT_SALT: u64 = 0x6e6f_6e66_696e_6974; // "nonfinit"
                 const MAX_ATTEMPTS: u64 = 4;
+                // Compile the surrogate program once per restart; all
+                // attempts and every L-BFGS iteration replay the same tape.
+                let mut eval = potential.evaluator();
                 let mut rng = ChaCha8Rng::seed_from_u64(afrt::split_seed(cfg.seed, restart as u64));
                 let mut outcome: Option<RelaxOutcome> = None;
                 for attempt in 0..MAX_ATTEMPTS {
@@ -313,7 +386,7 @@ pub fn relax_seeded(
                     outcome = if injected {
                         None
                     } else {
-                        minimize_one(potential, &x0, cfg)
+                        minimize_one(&mut eval, &x0, cfg)
                     };
                     if outcome.is_some() {
                         break;
@@ -364,9 +437,16 @@ pub fn relax_seeded(
 /// Returns `None` when the descent produced a non-finite potential or
 /// guidance — such results must never become pool entries, because the
 /// pool sort and the noisy pool-seeded restarts would both be poisoned.
-fn minimize_one(potential: &Potential<'_>, x0: &[f64], cfg: &RelaxConfig) -> Option<RelaxOutcome> {
+///
+/// Every evaluation — L-BFGS line searches and the final check — replays the
+/// caller's compiled tape, so the inner loop allocates nothing per step.
+fn minimize_one(
+    eval: &mut PotentialEval<'_, '_>,
+    x0: &[f64],
+    cfg: &RelaxConfig,
+) -> Option<RelaxOutcome> {
     let result = lbfgs_minimize(
-        |x| potential.value_and_grad(x),
+        |x| eval.value_and_grad(x),
         x0,
         cfg.lbfgs_iters,
         cfg.lbfgs_memory,
@@ -377,8 +457,8 @@ fn minimize_one(potential: &Potential<'_>, x0: &[f64], cfg: &RelaxConfig) -> Opt
         af_obs::counter("relax.lbfgs_converged", 1);
     }
     let mut guidance = result.x;
-    potential.project(&mut guidance);
-    let (v, _) = potential.value_and_grad(&guidance);
+    eval.potential().project(&mut guidance);
+    let (v, _) = eval.value_and_grad(&guidance);
     if !v.is_finite() || guidance.iter().any(|g| !g.is_finite()) {
         return None;
     }
@@ -516,6 +596,30 @@ mod tests {
         }
         let stats = memoized.memo_stats();
         assert!(stats.hits > 0, "warm relax must hit the memo: {stats:?}");
+    }
+
+    #[test]
+    fn evaluator_matches_value_and_grad_bitwise() {
+        let (graph, gnn) = setup();
+        let pot = Potential::new(&gnn, &graph);
+        let mut eval = pot.evaluator();
+        let dim = pot.dim();
+        for k in 0..3usize {
+            let c: Vec<f64> = (0..dim).map(|i| 0.5 + 0.1 * ((i + k) % 7) as f64).collect();
+            let (v1, g1) = pot.value_and_grad(&c);
+            let (v2, g2) = eval.value_and_grad(&c);
+            assert_eq!(v1.to_bits(), v2.to_bits(), "value diverged at probe {k}");
+            assert_eq!(g1.len(), g2.len());
+            for (a, b) in g1.iter().zip(&g2) {
+                assert_eq!(a.to_bits(), b.to_bits(), "gradient diverged at probe {k}");
+            }
+        }
+        // Infeasible input: same infinite-barrier answer through the tape.
+        let c_bad = vec![-1.0; dim];
+        let (v1, g1) = pot.value_and_grad(&c_bad);
+        let (v2, g2) = eval.value_and_grad(&c_bad);
+        assert!(v1.is_infinite() && v2.is_infinite());
+        assert_eq!(g1, g2);
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! GNN surrogate throughput: scalar oracle vs the `af_tensor` tape engine.
+//!
+//! Measures the two hot paths of the flow — forward-only prediction (serving)
+//! and forward+backward FoM gradients (relaxation) — on a seed OTA design,
+//! for both implementations:
+//!
+//! * **oracle** — the original `af_nn::Graph` scalar path
+//!   (`predict_oracle` / `fom_and_grad_oracle`), which rebuilds the autograd
+//!   graph per evaluation;
+//! * **tensor** — the compiled [`analogfold::GnnProgram`] tape, recorded once
+//!   and replayed per evaluation with no allocations.
+//!
+//! Throughput is reported as evaluations/s and edges/s (messages moved per
+//! layer × layers × evals). A pool-assisted relaxation is then timed at each
+//! requested worker count, reporting configured L-BFGS iterations/s.
+//!
+//! Every run also verifies the correctness contract and exits non-zero on
+//! violation, which is what the CI `gnn-bench-smoke` step relies on:
+//!
+//! * oracle/tensor parity within 1e-9 on predictions, FoM values, and
+//!   guidance gradients (the fused-FMA dispatch and the polynomial exp
+//!   round differently from the oracle; see DESIGN.md §12);
+//! * tape replay determinism (same input twice → identical bits);
+//! * relaxation bit-identical across all worker counts and with the
+//!   surrogate memo on vs off.
+//!
+//! Run: `cargo run -p af-bench --bin gnn_bench --release --
+//!       [quick|full|smoke] [threads=1,4,8] [evals=N] [obs=<path>]`
+
+use af_bench::{kv_list, kv_num, obs_arg, Scale};
+use af_netlist::benchmarks;
+use af_place::{place, PlacementVariant};
+use af_tech::Technology;
+use analogfold::{
+    relax, set_cache_enabled, GnnConfig, GnnProgram, GraphTensors, HeteroGraph, Potential,
+    RelaxConfig, ThreeDGnn,
+};
+use serde::Serialize;
+
+const FOM_WEIGHTS: [f64; 5] = [1.0, -1.0, -1.0, -1.0, 1.0];
+
+#[derive(Serialize)]
+struct PathThroughput {
+    evals: usize,
+    oracle_s: f64,
+    tensor_s: f64,
+    oracle_evals_s: f64,
+    tensor_evals_s: f64,
+    oracle_edges_s: f64,
+    tensor_edges_s: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct RelaxRow {
+    threads: usize,
+    relax_s: f64,
+    /// Configured L-BFGS iterations per second (restarts × lbfgs_iters over
+    /// wall time; descents may converge early, so this is a lower bound on
+    /// per-iteration speed).
+    relax_iters_s: f64,
+}
+
+#[derive(Serialize)]
+struct GnnBenchReport {
+    mode: String,
+    design: String,
+    guidance_dim: usize,
+    edges_per_pass: usize,
+    layers: usize,
+    hidden: usize,
+    forward: PathThroughput,
+    forward_backward: PathThroughput,
+    relax: Vec<RelaxRow>,
+    parity_max_abs_err: f64,
+    determinism_ok: bool,
+    checks_failed: Vec<String>,
+}
+
+/// Deterministic in-bounds guidance batch (no RNG: the batch must be the
+/// same for both implementations and across runs).
+fn guidance_batch(n: usize, dim: usize, lo: f64, hi: f64) -> Vec<Vec<f64>> {
+    let mid = 0.5 * (lo + hi);
+    let amp = 0.4 * (hi - lo);
+    (0..n)
+        .map(|j| {
+            (0..dim)
+                .map(|i| mid + amp * ((1 + i + j * dim) as f64).sin())
+                .collect()
+        })
+        .collect()
+}
+
+fn throughput(evals: usize, oracle_s: f64, tensor_s: f64, edges: usize) -> PathThroughput {
+    let per = |s: f64| evals as f64 / s.max(1e-12);
+    PathThroughput {
+        evals,
+        oracle_s,
+        tensor_s,
+        oracle_evals_s: per(oracle_s),
+        tensor_evals_s: per(tensor_s),
+        oracle_edges_s: per(oracle_s) * edges as f64,
+        tensor_edges_s: per(tensor_s) * edges as f64,
+        speedup: oracle_s / tensor_s.max(1e-12),
+    }
+}
+
+fn relax_outcome_bits(out: &[analogfold::RelaxOutcome]) -> Vec<u64> {
+    out.iter()
+        .flat_map(|o| {
+            std::iter::once(o.potential.to_bits()).chain(o.guidance.iter().map(|v| v.to_bits()))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let _obs = obs_arg(&args);
+    let smoke = args.iter().any(|a| a == "smoke");
+    let scale = args
+        .iter()
+        .find_map(|a| Scale::parse(a))
+        .unwrap_or(Scale::Quick);
+    let mode = if smoke {
+        "smoke".to_string()
+    } else {
+        format!("{scale:?}").to_lowercase()
+    };
+    let default_evals = if smoke {
+        8
+    } else {
+        match scale {
+            Scale::Quick => 48,
+            _ => 240,
+        }
+    };
+    let evals = kv_num(&args, "evals", default_evals) as usize;
+    let thread_counts: Vec<usize> = kv_list(&args, "threads")
+        .map(|l| l.iter().filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 4, 8]);
+
+    let circuit = benchmarks::ota1();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &Technology::nm40(), 2);
+    let cfg = GnnConfig::default();
+    let gnn = ThreeDGnn::new(&cfg);
+    let tensors = GraphTensors::new(&graph);
+    let dim = tensors.guidance_len();
+    let edges = tensors.edges_per_pass() * cfg.layers;
+    let batch = guidance_batch(evals, dim, cfg.c_min, cfg.c_max);
+
+    let mut checks: Vec<String> = Vec::new();
+    let mut parity_max: f64 = 0.0;
+
+    // --- Forward-only: oracle vs compiled tape --------------------------
+    eprintln!("forward: {evals} evals, oracle vs tensor ...");
+    let (oracle_preds, fwd_oracle_s) = afrt::timed(|| {
+        batch
+            .iter()
+            .map(|c| gnn.predict_oracle(&graph, c))
+            .collect::<Vec<_>>()
+    });
+    let (tensor_preds, fwd_tensor_s) = afrt::timed(|| {
+        let mut program = GnnProgram::compile_predict(&gnn, &tensors);
+        batch.iter().map(|c| program.predict(c)).collect::<Vec<_>>()
+    });
+    for (o, t) in oracle_preds.iter().zip(&tensor_preds) {
+        for (a, b) in o.iter().zip(t) {
+            parity_max = parity_max.max((a - b).abs());
+        }
+    }
+
+    // --- Forward+backward: FoM value and guidance gradient ---------------
+    eprintln!("forward+backward: {evals} evals, oracle vs tensor ...");
+    let (oracle_foms, fb_oracle_s) = afrt::timed(|| {
+        batch
+            .iter()
+            .map(|c| gnn.fom_and_grad_oracle(&tensors, c, &FOM_WEIGHTS))
+            .collect::<Vec<_>>()
+    });
+    let (tensor_foms, fb_tensor_s) = afrt::timed(|| {
+        let mut program = GnnProgram::compile_fom(&gnn, &tensors, &FOM_WEIGHTS);
+        batch
+            .iter()
+            .map(|c| program.fom_and_grad(c))
+            .collect::<Vec<_>>()
+    });
+    for ((fo, go), (ft, gt)) in oracle_foms.iter().zip(&tensor_foms) {
+        parity_max = parity_max.max((fo - ft).abs());
+        for (a, b) in go.iter().zip(gt) {
+            parity_max = parity_max.max((a - b).abs());
+        }
+    }
+    if parity_max > 1e-9 {
+        checks.push(format!(
+            "oracle/tensor parity violated: max abs err {parity_max:.3e} > 1e-9"
+        ));
+    }
+
+    // --- Replay determinism: same program, same input, twice --------------
+    let mut program = GnnProgram::compile_fom(&gnn, &tensors, &FOM_WEIGHTS);
+    let (f1, g1) = program.fom_and_grad(&batch[0]);
+    let (f2, g2) = program.fom_and_grad(&batch[0]);
+    let replay_ok = f1.to_bits() == f2.to_bits()
+        && g1.len() == g2.len()
+        && g1.iter().zip(&g2).all(|(a, b)| a.to_bits() == b.to_bits());
+    if !replay_ok {
+        checks.push("tape replay is not deterministic".to_string());
+    }
+
+    // --- Relaxation across worker counts ----------------------------------
+    let relax_cfg = RelaxConfig {
+        restarts: if smoke { 2 } else { 6 },
+        pool_size: 3,
+        n_derive: 2,
+        lbfgs_iters: if smoke { 5 } else { 15 },
+        ..RelaxConfig::default()
+    };
+    let mut relax_rows = Vec::new();
+    let mut relax_bits: Option<Vec<u64>> = None;
+    let mut determinism_ok = replay_ok;
+    for &threads in &thread_counts {
+        eprintln!(
+            "relax: {} restarts on {threads} thread(s) ...",
+            relax_cfg.restarts
+        );
+        let potential = Potential::new(&gnn, &graph);
+        let run_cfg = RelaxConfig {
+            threads,
+            ..relax_cfg.clone()
+        };
+        let (out, relax_s) = afrt::timed(|| relax(&potential, &run_cfg));
+        let bits = relax_outcome_bits(&out);
+        match &relax_bits {
+            None => relax_bits = Some(bits),
+            Some(want) if *want != bits => {
+                determinism_ok = false;
+                checks.push(format!(
+                    "relaxation differs at {threads} thread(s) vs {} thread(s)",
+                    thread_counts[0]
+                ));
+            }
+            _ => {}
+        }
+        relax_rows.push(RelaxRow {
+            threads,
+            relax_s,
+            relax_iters_s: (run_cfg.restarts * run_cfg.lbfgs_iters) as f64 / relax_s.max(1e-12),
+        });
+    }
+
+    // --- Memo on vs off: bit-identical either way --------------------------
+    eprintln!("relax: memo on vs off ...");
+    let mut memoized = Potential::new(&gnn, &graph);
+    memoized.enable_memo(16);
+    let cached = relax(&memoized, &relax_cfg);
+    set_cache_enabled(false);
+    let uncached = relax(&memoized, &relax_cfg);
+    set_cache_enabled(true);
+    if relax_outcome_bits(&cached) != relax_outcome_bits(&uncached) {
+        determinism_ok = false;
+        checks.push("relaxation differs with the surrogate memo on vs off".to_string());
+    }
+
+    let forward = throughput(evals, fwd_oracle_s, fwd_tensor_s, edges);
+    let forward_backward = throughput(evals, fb_oracle_s, fb_tensor_s, edges);
+    println!(
+        "forward:          oracle {:>9.1} evals/s ({:>12.0} edges/s)  tensor {:>9.1} evals/s \
+         ({:>12.0} edges/s)  speedup {:.2}x",
+        forward.oracle_evals_s,
+        forward.oracle_edges_s,
+        forward.tensor_evals_s,
+        forward.tensor_edges_s,
+        forward.speedup
+    );
+    println!(
+        "forward+backward: oracle {:>9.1} evals/s ({:>12.0} edges/s)  tensor {:>9.1} evals/s \
+         ({:>12.0} edges/s)  speedup {:.2}x",
+        forward_backward.oracle_evals_s,
+        forward_backward.oracle_edges_s,
+        forward_backward.tensor_evals_s,
+        forward_backward.tensor_edges_s,
+        forward_backward.speedup
+    );
+    for row in &relax_rows {
+        println!(
+            "relax {} thread(s): {:.3} s  ({:.1} configured L-BFGS iters/s)",
+            row.threads, row.relax_s, row.relax_iters_s
+        );
+    }
+    println!(
+        "parity max abs err {parity_max:.3e}  determinism {}",
+        if determinism_ok { "ok" } else { "FAILED" }
+    );
+
+    let report = GnnBenchReport {
+        mode,
+        design: "OTA1-A".to_string(),
+        guidance_dim: dim,
+        edges_per_pass: tensors.edges_per_pass(),
+        layers: cfg.layers,
+        hidden: cfg.hidden,
+        forward,
+        forward_backward,
+        relax: relax_rows,
+        parity_max_abs_err: parity_max,
+        determinism_ok,
+        checks_failed: checks.clone(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_gnn.json", &json).expect("write BENCH_gnn.json");
+    println!("wrote BENCH_gnn.json");
+
+    if !checks.is_empty() {
+        for c in &checks {
+            eprintln!("CHECK FAILED: {c}");
+        }
+        std::process::exit(1);
+    }
+}

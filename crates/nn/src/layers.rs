@@ -6,6 +6,7 @@
 //! forward passes. After training, [`Linear::sync_from`] copies the updated
 //! values back into the layer for serialization.
 
+use af_tensor::{Act, Tape, Var};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +36,17 @@ impl Activation {
             Activation::Tanh => g.tanh(x),
             Activation::Sigmoid => g.sigmoid(x),
             Activation::Identity => x,
+        }
+    }
+
+    /// The equivalent `af_tensor` kernel activation.
+    pub fn as_act(self) -> Act {
+        match self {
+            Activation::Relu => Act::Relu,
+            Activation::Silu => Act::Silu,
+            Activation::Tanh => Act::Tanh,
+            Activation::Sigmoid => Act::Sigmoid,
+            Activation::Identity => Act::Identity,
         }
     }
 }
@@ -104,6 +116,22 @@ impl Linear {
         self.b = g.value(bound.b).clone();
     }
 
+    /// Declares the weights as tape leaves. Whether they are trainable is
+    /// decided later by listing them in `Tape::seal`'s wanted set — the tape
+    /// analogue of the `bind` / `bind_frozen` split.
+    pub fn bind_tape(&self, t: &mut Tape) -> TapeLinear {
+        TapeLinear {
+            w: t.leaf(self.w.data(), self.w.rows(), self.w.cols()),
+            b: t.leaf(self.b.data(), 1, self.b.cols()),
+        }
+    }
+
+    /// Copies current leaf values out of the tape back into the layer.
+    pub fn sync_from_tape(&mut self, t: &Tape, bound: TapeLinear) {
+        self.w = Tensor::from_vec(t.value(bound.w).to_vec(), self.w.rows(), self.w.cols());
+        self.b = Tensor::from_vec(t.value(bound.b).to_vec(), 1, self.b.cols());
+    }
+
     /// Number of scalar parameters.
     pub fn param_count(&self) -> usize {
         self.w.len() + self.b.len()
@@ -119,6 +147,27 @@ impl BoundLinear {
 
     /// Parameter node ids, for optimizers.
     pub fn params(&self) -> Vec<NodeId> {
+        vec![self.w, self.b]
+    }
+}
+
+/// Tape-bound handle of a [`Linear`] layer (the `af_tensor` fast path).
+#[derive(Debug, Clone, Copy)]
+pub struct TapeLinear {
+    /// Weight leaf (`inputs × outputs`).
+    pub w: Var,
+    /// Bias leaf (`1 × outputs`).
+    pub b: Var,
+}
+
+impl TapeLinear {
+    /// Records the fused layer `act(x·W + b)` on the tape.
+    pub fn forward(&self, t: &mut Tape, x: Var, act: Act) -> Var {
+        t.linear(x, self.w, self.b, act)
+    }
+
+    /// Parameter vars in oracle order (`[w, b]`), for optimizers.
+    pub fn params(&self) -> Vec<Var> {
         vec![self.w, self.b]
     }
 }
@@ -179,6 +228,21 @@ impl Mlp {
         }
     }
 
+    /// Declares all weights as tape leaves (see [`Linear::bind_tape`]).
+    pub fn bind_tape(&self, t: &mut Tape) -> TapeMlp {
+        TapeMlp {
+            layers: self.layers.iter().map(|l| l.bind_tape(t)).collect(),
+            activation: self.activation.as_act(),
+        }
+    }
+
+    /// Copies leaf values from the tape back into the MLP.
+    pub fn sync_from_tape(&mut self, t: &Tape, bound: &TapeMlp) {
+        for (layer, b) in self.layers.iter_mut().zip(&bound.layers) {
+            layer.sync_from_tape(t, *b);
+        }
+    }
+
     /// Total scalar parameter count.
     pub fn param_count(&self) -> usize {
         self.layers.iter().map(Linear::param_count).sum()
@@ -216,6 +280,36 @@ impl BoundMlp {
     /// All parameter node ids.
     pub fn params(&self) -> Vec<NodeId> {
         self.layers.iter().flat_map(BoundLinear::params).collect()
+    }
+}
+
+/// Tape-bound handle of an [`Mlp`] (the `af_tensor` fast path).
+#[derive(Debug, Clone)]
+pub struct TapeMlp {
+    layers: Vec<TapeLinear>,
+    activation: Act,
+}
+
+impl TapeMlp {
+    /// Records the forward pass: each layer as one fused linear kernel, with
+    /// the hidden activation folded in everywhere except the last layer.
+    pub fn forward(&self, t: &mut Tape, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let act = if i != last {
+                self.activation
+            } else {
+                Act::Identity
+            };
+            h = layer.forward(t, h, act);
+        }
+        h
+    }
+
+    /// All parameter vars, in the oracle's `[w, b]`-per-layer order.
+    pub fn params(&self) -> Vec<Var> {
+        self.layers.iter().flat_map(TapeLinear::params).collect()
     }
 }
 
@@ -324,5 +418,52 @@ mod tests {
         let a = Mlp::new(&[2, 3], Activation::Relu, &mut rng());
         let b = Mlp::new(&[2, 3], Activation::Relu, &mut rng());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tape_mlp_matches_graph_mlp_bitwise() {
+        let mut r = rng();
+        let mut mlp_g = Mlp::new(&[3, 8, 2], Activation::Silu, &mut r);
+        let mut mlp_t = mlp_g.clone();
+        let xv = [0.4, -1.1, 0.9, 2.0, 0.0, -0.3];
+        let tv = [0.5, -0.5, 1.5, 0.25];
+
+        // Scalar oracle: graph forward + mse backward + one Adam step.
+        let mut g = Graph::new();
+        let bound = mlp_g.bind(&mut g);
+        let mut adam = crate::Adam::new(bound.params(), crate::AdamConfig::default(), &g);
+        let x = g.input(Tensor::from_vec(xv.to_vec(), 2, 3));
+        let t_node = g.input(Tensor::from_vec(tv.to_vec(), 2, 2));
+        let y = bound.forward(&mut g, x);
+        let loss = g.mse(y, t_node);
+        g.backward(loss);
+        adam.step(&mut g);
+        mlp_g.sync_from(&g, &bound);
+
+        // Tape fast path: same topology, same data.
+        let mut t = Tape::new();
+        let xt = t.input(2, 3);
+        let tt = t.input(2, 2);
+        let bt = mlp_t.bind_tape(&mut t);
+        let yt = bt.forward(&mut t, xt);
+        let lt = t.mse(yt, tt);
+        t.seal(Some(lt), &bt.params());
+        let mut tadam = crate::TapeAdam::new(bt.params(), crate::AdamConfig::default(), &t);
+        t.set_value(xt, &xv);
+        t.set_value(tt, &tv);
+        t.forward();
+        t.backward();
+        tadam.step(&mut t);
+        mlp_t.sync_from_tape(&t, &bt);
+
+        for (a, b) in t.value(yt).iter().zip(g.value(y).data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "forward diverged");
+        }
+        assert_eq!(
+            t.value(lt)[0].to_bits(),
+            g.value(loss).get(0, 0).to_bits(),
+            "loss diverged"
+        );
+        assert_eq!(mlp_g, mlp_t, "post-Adam weights diverged");
     }
 }

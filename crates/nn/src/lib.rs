@@ -48,8 +48,8 @@ mod vae;
 mod vae_conv;
 
 pub use graph::{Graph, NodeId};
-pub use layers::{Activation, BoundLinear, BoundMlp, Linear, Mlp};
-pub use optim::{lbfgs_minimize, Adam, AdamConfig, LbfgsResult, Sgd};
+pub use layers::{Activation, BoundLinear, BoundMlp, Linear, Mlp, TapeLinear, TapeMlp};
+pub use optim::{lbfgs_minimize, Adam, AdamConfig, LbfgsResult, Sgd, TapeAdam};
 pub use tensor::Tensor;
 pub use vae::{Vae, VaeConfig};
 pub use vae_conv::{ConvVae, ConvVaeConfig};

@@ -89,6 +89,64 @@ impl Adam {
     }
 }
 
+/// Adam over `af_tensor` tape leaves — same update math as [`Adam`], so a
+/// tape-trained model matches the graph-trained oracle bit for bit.
+#[derive(Debug)]
+pub struct TapeAdam {
+    cfg: AdamConfig,
+    params: Vec<af_tensor::Var>,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+    t: u64,
+}
+
+impl TapeAdam {
+    /// Creates an optimizer for `params` (leaf vars from `bind_tape`).
+    pub fn new(params: Vec<af_tensor::Var>, cfg: AdamConfig, tape: &af_tensor::Tape) -> Self {
+        let m = params
+            .iter()
+            .map(|&p| {
+                let (r, c) = tape.shape(p);
+                vec![0.0; r * c]
+            })
+            .collect::<Vec<_>>();
+        let v = m.clone();
+        Self {
+            cfg,
+            params,
+            m,
+            v,
+            t: 0,
+        }
+    }
+
+    /// Applies one update using the gradients currently stored in the tape.
+    ///
+    /// Parameters with no gradient buffer (outside the sealed mask) are
+    /// skipped, mirroring [`Adam::step`]'s unreached-parameter skip.
+    pub fn step(&mut self, tape: &mut af_tensor::Tape) {
+        self.t += 1;
+        let b1t = 1.0 - self.cfg.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.cfg.beta2.powi(self.t as i32);
+        for (i, &p) in self.params.iter().enumerate() {
+            let Some((data, grad)) = tape.value_and_grad_mut(p) else {
+                continue;
+            };
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((mi, vi), gi) in m.iter_mut().zip(v.iter_mut()).zip(grad) {
+                *mi = self.cfg.beta1 * *mi + (1.0 - self.cfg.beta1) * gi;
+                *vi = self.cfg.beta2 * *vi + (1.0 - self.cfg.beta2) * gi * gi;
+            }
+            for ((x, mi), vi) in data.iter_mut().zip(m.iter()).zip(v.iter()) {
+                let mhat = mi / b1t;
+                let vhat = vi / b2t;
+                *x -= self.cfg.lr * mhat / (vhat.sqrt() + self.cfg.eps);
+            }
+        }
+    }
+}
+
 /// Plain stochastic gradient descent.
 #[derive(Debug)]
 pub struct Sgd {

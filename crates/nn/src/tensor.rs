@@ -157,9 +157,6 @@ impl Tensor {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
                 let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, &b) in orow.iter_mut().zip(rrow) {

@@ -1,0 +1,221 @@
+//! Batched row gather / scatter-add over a relation's index list.
+//!
+//! A [`CsrIndex`] groups one relation's edge endpoints by target row with a
+//! stable counting sort, so whole row-blocks move per memory pass instead of
+//! one scalar at a time. Stability is what preserves bit-exactness: within
+//! each target row the edges keep their original (ascending) order, so the
+//! per-row sums accumulate in exactly the order the scalar oracle's
+//! edge-at-a-time loop produces.
+
+/// One relation's index list plus its row-grouped (CSR) form.
+///
+/// The same structure serves both directions of both ops: `scatter_add`
+/// forward and `gather` backward walk the grouped form; `gather` forward and
+/// `scatter_add` backward walk the raw list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrIndex {
+    idx: Vec<u32>,
+    n_rows: usize,
+    /// `indptr[r]..indptr[r+1]` spans row `r`'s entries in `order`.
+    indptr: Vec<u32>,
+    /// Edge positions sorted by (row, original position) — a stable grouping.
+    order: Vec<u32>,
+}
+
+impl CsrIndex {
+    /// Groups `idx` (one target row per edge) into CSR form over `n_rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn new(idx: &[usize], n_rows: usize) -> Self {
+        let mut counts = vec![0u32; n_rows + 1];
+        for &i in idx {
+            assert!(i < n_rows, "index {i} out of {n_rows} rows");
+            counts[i + 1] += 1;
+        }
+        for r in 0..n_rows {
+            counts[r + 1] += counts[r];
+        }
+        let indptr = counts.clone();
+        let mut cursor = counts;
+        let mut order = vec![0u32; idx.len()];
+        for (e, &i) in idx.iter().enumerate() {
+            order[cursor[i] as usize] = e as u32;
+            cursor[i] += 1;
+        }
+        Self {
+            idx: idx.iter().map(|&i| i as u32).collect(),
+            n_rows,
+            indptr,
+            order,
+        }
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Whether the relation has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Number of grouped rows (the matrix side this index addresses).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The raw per-edge index list.
+    pub fn idx(&self) -> &[u32] {
+        &self.idx
+    }
+
+    /// Approximate resident bytes (for cache accounting).
+    pub fn approx_bytes(&self) -> usize {
+        (self.idx.len() + self.indptr.len() + self.order.len()) * 4 + std::mem::size_of::<Self>()
+    }
+
+    /// `out[e] = x[idx[e]]` row-wise: batched gather (`out` is `E×cols`).
+    pub fn gather_rows(&self, out: &mut [f64], x: &[f64], cols: usize) {
+        debug_assert_eq!(out.len(), self.idx.len() * cols);
+        debug_assert_eq!(x.len(), self.n_rows * cols);
+        for (e, &i) in self.idx.iter().enumerate() {
+            let src = &x[i as usize * cols..(i as usize + 1) * cols];
+            out[e * cols..(e + 1) * cols].copy_from_slice(src);
+        }
+    }
+
+    /// `out[r] = Σ_{e: idx[e]=r} msgs[e]` row-wise: batched scatter-add.
+    ///
+    /// Overwrites `out` (`n_rows×cols`); per-row accumulation runs in
+    /// ascending edge order (stable grouping), matching the oracle.
+    pub fn scatter_add_rows(&self, out: &mut [f64], msgs: &[f64], cols: usize) {
+        debug_assert_eq!(out.len(), self.n_rows * cols);
+        debug_assert_eq!(msgs.len(), self.idx.len() * cols);
+        out.fill(0.0);
+        for r in 0..self.n_rows {
+            let dst = &mut out[r * cols..(r + 1) * cols];
+            for &e in &self.order[self.indptr[r] as usize..self.indptr[r + 1] as usize] {
+                let src = &msgs[e as usize * cols..(e as usize + 1) * cols];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        }
+    }
+
+    /// Gather backward: `gx[r] += Σ_{e: idx[e]=r} gout[e]` — same grouped
+    /// walk as [`scatter_add_rows`](Self::scatter_add_rows) but accumulating.
+    ///
+    /// Each element's edge sum is built in a local accumulator (ascending
+    /// edge order) and added to `gx` once. The oracle materializes the whole
+    /// op gradient before accumulating it into the node, so when `gx`
+    /// already holds another consumer's contribution a term-by-term `+=`
+    /// would associate differently and drift by ULPs.
+    pub fn gather_backward_acc(&self, gx: &mut [f64], gout: &[f64], cols: usize) {
+        debug_assert_eq!(gx.len(), self.n_rows * cols);
+        debug_assert_eq!(gout.len(), self.idx.len() * cols);
+        for r in 0..self.n_rows {
+            let edges = &self.order[self.indptr[r] as usize..self.indptr[r + 1] as usize];
+            if edges.is_empty() {
+                continue;
+            }
+            let dst = &mut gx[r * cols..(r + 1) * cols];
+            for (c, d) in dst.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for &e in edges {
+                    acc += gout[e as usize * cols + c];
+                }
+                *d += acc;
+            }
+        }
+    }
+
+    /// Scatter-add backward: `gmsgs[e] += gout[idx[e]]` — a pure row copy.
+    pub fn scatter_backward_acc(&self, gmsgs: &mut [f64], gout: &[f64], cols: usize) {
+        debug_assert_eq!(gmsgs.len(), self.idx.len() * cols);
+        debug_assert_eq!(gout.len(), self.n_rows * cols);
+        for (e, &i) in self.idx.iter().enumerate() {
+            let src = &gout[i as usize * cols..(i as usize + 1) * cols];
+            let dst = &mut gmsgs[e * cols..(e + 1) * cols];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_is_stable() {
+        let csr = CsrIndex::new(&[2, 0, 2, 1, 0, 2], 3);
+        assert_eq!(csr.len(), 6);
+        assert_eq!(csr.n_rows(), 3);
+        assert_eq!(csr.indptr, vec![0, 2, 3, 6]);
+        // Row 0 gets edges 1, 4; row 1 gets edge 3; row 2 gets 0, 2, 5 — all
+        // in original order.
+        assert_eq!(csr.order, vec![1, 4, 3, 0, 2, 5]);
+    }
+
+    #[test]
+    fn scatter_matches_scalar_loop_bitwise() {
+        let idx = [2usize, 0, 2, 1, 0, 2];
+        let csr = CsrIndex::new(&idx, 3);
+        let cols = 2;
+        let msgs: Vec<f64> = (0..12).map(|i| (i as f64) * 0.37 - 1.0).collect();
+        let mut out = vec![f64::NAN; 6];
+        csr.scatter_add_rows(&mut out, &msgs, cols);
+        // Scalar oracle: edge-at-a-time, ascending edge order.
+        let mut want = vec![0.0; 6];
+        for (e, &i) in idx.iter().enumerate() {
+            for c in 0..cols {
+                want[i * cols + c] += msgs[e * cols + c];
+            }
+        }
+        for (g, w) in out.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn gather_roundtrip_and_backward() {
+        let idx = [1usize, 1, 0];
+        let csr = CsrIndex::new(&idx, 2);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut out = vec![0.0; 6];
+        csr.gather_rows(&mut out, &x, 2);
+        assert_eq!(out, vec![3.0, 4.0, 3.0, 4.0, 1.0, 2.0]);
+
+        let gout = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+        let mut gx = vec![0.0; 4];
+        csr.gather_backward_acc(&mut gx, &gout, 2);
+        // Row 1 accumulates edges 0 then 1 (ascending), row 0 edge 2.
+        assert_eq!(gx, vec![0.5, 0.6, 0.1 + 0.3, 0.2 + 0.4]);
+
+        let mut gmsgs = vec![0.0; 6];
+        csr.scatter_backward_acc(&mut gmsgs, &[9.0, 8.0, 7.0, 6.0], 2);
+        assert_eq!(gmsgs, vec![7.0, 6.0, 7.0, 6.0, 9.0, 8.0]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let csr = CsrIndex::new(&[], 4);
+        assert!(csr.is_empty());
+        let mut out = vec![f64::NAN; 8];
+        csr.scatter_add_rows(&mut out, &[], 2);
+        assert!(out.iter().all(|&v| v == 0.0));
+        let mut none: Vec<f64> = vec![];
+        csr.gather_rows(&mut none, &[0.0; 8], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn rejects_out_of_range() {
+        let _ = CsrIndex::new(&[5], 3);
+    }
+}

@@ -1,0 +1,742 @@
+//! Flat-slice compute kernels.
+//!
+//! Every kernel is **order-preserving**: for each output element the
+//! floating-point additions happen in exactly the order the scalar reference
+//! implementation (`af_nn::Graph` / `af_nn::Tensor`) performs them — ascending
+//! reduction index, one accumulator per element. Cache blocking and the
+//! axpy-style inner loops change *which* elements are in flight, never the
+//! per-element summation order.
+//!
+//! On hosts with AVX2+FMA the matmul family dispatches at runtime to a build
+//! of the same loop nest compiled with fused multiply-adds ([`fma_active`]).
+//! Fusing halves the per-term rounding, so results then match the plain
+//! `a*b + c` chain (and hence the oracle) within the crate's ≤1e-9 envelope
+//! rather than bitwise; `f64::mul_add` reproduces the fused sequence exactly
+//! on any host, which is what the kernel tests pin against. Without FMA the
+//! kernels remain bit-identical to the oracle.
+//!
+//! Forward kernels overwrite their output; `*_acc` kernels accumulate into it
+//! (the tape zeroes gradient buffers once per backward sweep). The two
+//! backward matmul forms materialize their full product in a caller-owned
+//! scratch and fold it into the gradient with a single `+=` per element —
+//! the oracle materializes whole gradients too, and a weight shared by
+//! several call sites would otherwise associate the contributions
+//! differently.
+
+/// Fused (or not) multiply-add `a * b + c`.
+///
+/// `f64::mul_add` is only fast when the target actually has an FMA unit
+/// enabled; on baseline x86-64 it lowers to a libm call that is ~50× slower
+/// than a multiply-add pair. So: use the hardware instruction when the `fma`
+/// target feature is on, and the plain expression otherwise. The plain form
+/// is also what the scalar oracle computes, which is what makes
+/// non-dispatched default builds bit-exact.
+#[inline(always)]
+pub fn fmadd(a: f64, b: f64, c: f64) -> f64 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
+/// Whether the matmul kernels run with fused multiply-adds — either because
+/// the build enables the `fma` target feature or because the host supports
+/// AVX2+FMA and the runtime dispatch kicks in. Tests use this to pick the
+/// matching reference: `f64::mul_add` chains when `true` (bit-exact on any
+/// host — the soft-float fallback is correctly rounded), plain `a*b + c`
+/// chains when `false`.
+pub fn fma_active() -> bool {
+    if cfg!(target_feature = "fma") {
+        return true;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        crate::exp::have_avx2_fma()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Multiply-add selected by the const-generic `FUSE` flag so one loop nest
+/// serves both the plain and the FMA-dispatched builds.
+#[inline(always)]
+fn mad<const FUSE: bool>(a: f64, b: f64, c: f64) -> f64 {
+    if FUSE {
+        a.mul_add(b, c)
+    } else {
+        fmadd(a, b, c)
+    }
+}
+
+/// One `T`-column strip of the product: for every output row, a fixed-size
+/// local accumulator covers columns `j0..j0+T` and runs the whole reduction
+/// before a single store. `T` is a compile-time constant so LLVM promotes
+/// the accumulator to vector registers — the reduction never round-trips
+/// through memory, unlike an axpy into `out`. Per output element the sum
+/// still runs in ascending `k`, identical to the naive triple loop.
+#[inline(always)]
+fn matmul_strip<const FUSE: bool, const T: usize>(
+    out: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+) {
+    // Rows go in pairs: each element keeps its own accumulator (so the
+    // ascending-`k` order is untouched), but two rows' worth of chains are
+    // in flight, hiding the FMA latency that a single accumulator set would
+    // serialize on — and the `b` strip loads are shared between the rows.
+    let mut i = 0;
+    while i + 2 <= m {
+        let arow0 = &a[i * k..(i + 1) * k];
+        let arow1 = &a[(i + 1) * k..(i + 2) * k];
+        let mut acc0 = [0.0f64; T];
+        let mut acc1 = [0.0f64; T];
+        for kk in 0..k {
+            let brow = &b[kk * n + j0..kk * n + j0 + T];
+            let a0 = arow0[kk];
+            let a1 = arow1[kk];
+            for t in 0..T {
+                acc0[t] = mad::<FUSE>(a0, brow[t], acc0[t]);
+                acc1[t] = mad::<FUSE>(a1, brow[t], acc1[t]);
+            }
+        }
+        out[i * n + j0..i * n + j0 + T].copy_from_slice(&acc0);
+        out[(i + 1) * n + j0..(i + 1) * n + j0 + T].copy_from_slice(&acc1);
+        i += 2;
+    }
+    if i < m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut acc = [0.0f64; T];
+        for (kk, &aik) in arow.iter().enumerate() {
+            let brow = &b[kk * n + j0..kk * n + j0 + T];
+            for (ac, &bv) in acc.iter_mut().zip(brow) {
+                *ac = mad::<FUSE>(aik, bv, *ac);
+            }
+        }
+        out[i * n + j0..i * n + j0 + T].copy_from_slice(&acc);
+    }
+}
+
+/// The strip-tiled loop nest shared by every [`matmul`] build: 16-column
+/// strips (4 AVX2 vectors of accumulators) with power-of-two remainder
+/// tiles. The strip loop is outer so a `k×16` slice of `b` stays hot across
+/// all rows of `a`.
+#[inline(always)]
+fn matmul_body<const FUSE: bool>(
+    out: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut j0 = 0;
+    while j0 + 16 <= n {
+        matmul_strip::<FUSE, 16>(out, a, b, m, k, n, j0);
+        j0 += 16;
+    }
+    if j0 + 8 <= n {
+        matmul_strip::<FUSE, 8>(out, a, b, m, k, n, j0);
+        j0 += 8;
+    }
+    if j0 + 4 <= n {
+        matmul_strip::<FUSE, 4>(out, a, b, m, k, n, j0);
+        j0 += 4;
+    }
+    if j0 + 2 <= n {
+        matmul_strip::<FUSE, 2>(out, a, b, m, k, n, j0);
+        j0 += 2;
+    }
+    if j0 < n {
+        matmul_strip::<FUSE, 1>(out, a, b, m, k, n, j0);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn matmul_avx2_fma(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    matmul_body::<true>(out, a, b, m, k, n);
+}
+
+/// `out = a × b` where `a` is `m×k`, `b` is `k×n`, `out` is `m×n`.
+///
+/// # Panics
+///
+/// Debug-asserts slice lengths.
+pub fn matmul(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    #[cfg(target_arch = "x86_64")]
+    if crate::exp::have_avx2_fma() {
+        // SAFETY: dispatch is gated on runtime AVX2+FMA detection.
+        unsafe { matmul_avx2_fma(out, a, b, m, k, n) };
+        return;
+    }
+    matmul_body::<false>(out, a, b, m, k, n);
+}
+
+/// Grows `tmp` to at least `len` and returns the zero-filled prefix.
+#[inline]
+fn scratch_slice(tmp: &mut Vec<f64>, len: usize) -> &mut [f64] {
+    if tmp.len() < len {
+        tmp.resize(len, 0.0);
+    }
+    &mut tmp[..len]
+}
+
+/// `ga += g × bᵀ` body: transpose `b` into scratch, run the (possibly
+/// fused) matmul into scratch, fold in with one `+=` per element. Per output
+/// element the reduction is the same ascending-`c` dot as the oracle's
+/// `grad.matmul(&b.transpose())`.
+#[inline(always)]
+fn a_bt_body<const FUSE: bool>(
+    ga: &mut [f64],
+    g: &[f64],
+    b: &[f64],
+    m: usize,
+    n: usize,
+    p: usize,
+    tmp: &mut [f64],
+) {
+    let (bt, prod) = tmp.split_at_mut(n * p);
+    for j in 0..p {
+        for (c, &bv) in b[j * n..(j + 1) * n].iter().enumerate() {
+            bt[c * p + j] = bv;
+        }
+    }
+    matmul_body::<FUSE>(prod, g, bt, m, n, p);
+    for (o, &t) in ga.iter_mut().zip(prod.iter()) {
+        *o += t;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn a_bt_avx2_fma(
+    ga: &mut [f64],
+    g: &[f64],
+    b: &[f64],
+    m: usize,
+    n: usize,
+    p: usize,
+    tmp: &mut [f64],
+) {
+    a_bt_body::<true>(ga, g, b, m, n, p, tmp);
+}
+
+/// `ga += g × bᵀ` where `g` is `m×n`, `b` is `p×n`, `ga` is `m×p` — the `dA`
+/// half of matmul backward. `tmp` is reusable scratch (grown as needed; no
+/// steady-state allocation).
+pub fn matmul_a_bt_acc(
+    ga: &mut [f64],
+    g: &[f64],
+    b: &[f64],
+    m: usize,
+    n: usize,
+    p: usize,
+    tmp: &mut Vec<f64>,
+) {
+    debug_assert_eq!(ga.len(), m * p);
+    debug_assert_eq!(g.len(), m * n);
+    debug_assert_eq!(b.len(), p * n);
+    let tmp = scratch_slice(tmp, n * p + m * p);
+    #[cfg(target_arch = "x86_64")]
+    if crate::exp::have_avx2_fma() {
+        // SAFETY: dispatch is gated on runtime AVX2+FMA detection.
+        unsafe { a_bt_avx2_fma(ga, g, b, m, n, p, tmp) };
+        return;
+    }
+    a_bt_body::<false>(ga, g, b, m, n, p, tmp);
+}
+
+/// `gb += aᵀ × g` body: transpose `a` into scratch, run the strip-tiled
+/// matmul `aᵀ(k×m) × g(m×n)` into scratch, fold in with one `+=` per
+/// element. Per output element the reduction is the same ascending-`r` dot
+/// as the oracle's `a.transpose().matmul(&grad)`.
+#[inline(always)]
+fn at_b_body<const FUSE: bool>(
+    gb: &mut [f64],
+    a: &[f64],
+    g: &[f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    tmp: &mut [f64],
+) {
+    let (at, prod) = tmp.split_at_mut(m * k);
+    for r in 0..m {
+        for (c, &av) in a[r * k..(r + 1) * k].iter().enumerate() {
+            at[c * m + r] = av;
+        }
+    }
+    matmul_body::<FUSE>(prod, at, g, k, m, n);
+    for (o, &t) in gb.iter_mut().zip(prod.iter()) {
+        *o += t;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn at_b_avx2_fma(
+    gb: &mut [f64],
+    a: &[f64],
+    g: &[f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    tmp: &mut [f64],
+) {
+    at_b_body::<true>(gb, a, g, m, k, n, tmp);
+}
+
+/// `gb += aᵀ × g` where `a` is `m×k`, `g` is `m×n`, `gb` is `k×n` — the `dB`
+/// half of matmul backward. `tmp` is reusable scratch (grown as needed; no
+/// steady-state allocation).
+pub fn matmul_at_b_acc(
+    gb: &mut [f64],
+    a: &[f64],
+    g: &[f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    tmp: &mut Vec<f64>,
+) {
+    debug_assert_eq!(gb.len(), k * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(g.len(), m * n);
+    let tmp = scratch_slice(tmp, m * k + k * n);
+    #[cfg(target_arch = "x86_64")]
+    if crate::exp::have_avx2_fma() {
+        // SAFETY: dispatch is gated on runtime AVX2+FMA detection.
+        unsafe { at_b_avx2_fma(gb, a, g, m, k, n, tmp) };
+        return;
+    }
+    at_b_body::<false>(gb, a, g, m, k, n, tmp);
+}
+
+/// Adds a `1×n` bias row to every row of the `m×n` matrix in place.
+pub fn add_bias_inplace(x: &mut [f64], bias: &[f64], m: usize, n: usize) {
+    debug_assert_eq!(x.len(), m * n);
+    debug_assert_eq!(bias.len(), n);
+    for r in 0..m {
+        let row = &mut x[r * n..(r + 1) * n];
+        for (v, &b) in row.iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// `gb += column sums of g` (`g` is `m×n`, `gb` is `1×n`), ascending rows —
+/// the bias gradient of a fused linear layer. Each column's sum is built
+/// locally and added to `gb` once (see [`matmul_at_b_acc`] for why).
+pub fn colsum_acc(gb: &mut [f64], g: &[f64], m: usize, n: usize) {
+    debug_assert_eq!(gb.len(), n);
+    debug_assert_eq!(g.len(), m * n);
+    for (c, o) in gb.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for r in 0..m {
+            acc += g[r * n + c];
+        }
+        *o += acc;
+    }
+}
+
+/// Activation kinds understood by the fused linear kernel and the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Act {
+    /// No activation.
+    Identity,
+    /// `max(x, 0)`.
+    Relu,
+    /// `x · sigmoid(x)` (swish).
+    Silu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+/// Logistic sigmoid on the deterministic vector-friendly exp — the single
+/// definition every kernel (and every kernel test oracle) shares.
+#[inline(always)]
+fn sigmoid(x: f64) -> f64 {
+    crate::exp::fast_sigmoid(x)
+}
+
+/// `out[i] = act(pre[i])` elementwise.
+///
+/// SiLU and sigmoid run through the batched [`crate::exp`] kernels (AVX2
+/// where available, bit-identical scalar elsewhere); the oracle's libm exp
+/// is matched within the crate's ≤1e-9 parity envelope, not bitwise.
+pub fn act_forward(out: &mut [f64], pre: &[f64], act: Act) {
+    debug_assert_eq!(out.len(), pre.len());
+    match act {
+        Act::Identity => out.copy_from_slice(pre),
+        Act::Relu => {
+            for (o, &v) in out.iter_mut().zip(pre) {
+                *o = v.max(0.0);
+            }
+        }
+        Act::Silu => {
+            crate::exp::vsigmoid(out, pre);
+            for (o, &v) in out.iter_mut().zip(pre) {
+                *o *= v;
+            }
+        }
+        Act::Tanh => {
+            for (o, &v) in out.iter_mut().zip(pre) {
+                *o = v.tanh();
+            }
+        }
+        Act::Sigmoid => {
+            crate::exp::vsigmoid(out, pre);
+        }
+    }
+}
+
+/// [`act_forward`] that additionally captures per-element forward state in
+/// `aux` so the matching backward pass is exp-free. Only SiLU uses it (the
+/// sigmoid lands in `aux`); every other activation ignores `aux`, which may
+/// then be empty.
+///
+/// # Panics
+///
+/// Debug-asserts `aux.len() == pre.len()` for SiLU.
+pub fn act_forward_aux(out: &mut [f64], aux: &mut [f64], pre: &[f64], act: Act) {
+    if act == Act::Silu {
+        crate::exp::vsilu(out, aux, pre);
+    } else {
+        act_forward(out, pre, act);
+    }
+}
+
+/// Turns the output gradient into the pre-activation gradient, writing over
+/// `pre` in place (forward recomputes it next run). `post` is the activated
+/// output — tanh/sigmoid differentiate through their output value exactly as
+/// the oracle does.
+pub fn act_backward_inplace(pre: &mut [f64], post: &[f64], gout: &[f64], act: Act) {
+    debug_assert_eq!(pre.len(), gout.len());
+    debug_assert_eq!(post.len(), gout.len());
+    match act {
+        Act::Identity => pre.copy_from_slice(gout),
+        Act::Relu => {
+            for (p, &g) in pre.iter_mut().zip(gout) {
+                *p = if *p > 0.0 { g } else { 0.0 };
+            }
+        }
+        Act::Silu => {
+            for (p, &g) in pre.iter_mut().zip(gout) {
+                let v = *p;
+                let s = sigmoid(v);
+                *p = g * (s + v * s * (1.0 - s));
+            }
+        }
+        Act::Tanh => {
+            for ((p, &y), &g) in pre.iter_mut().zip(post).zip(gout) {
+                *p = g * (1.0 - y * y);
+            }
+        }
+        Act::Sigmoid => {
+            for ((p, &y), &g) in pre.iter_mut().zip(post).zip(gout) {
+                *p = g * y * (1.0 - y);
+            }
+        }
+    }
+}
+
+/// [`act_backward_inplace`] using the forward's `aux` capture. For SiLU the
+/// cached sigmoid `s` makes the pass exp-free:
+/// `g·(s + v·s·(1-s)) = g·(s + post·(1-s))` bit-for-bit, because the forward
+/// computed `post = v·s` with the same left association.
+///
+/// # Panics
+///
+/// Debug-asserts `aux.len() == gout.len()` for SiLU.
+pub fn act_backward_aux_inplace(
+    pre: &mut [f64],
+    aux: &[f64],
+    post: &[f64],
+    gout: &[f64],
+    act: Act,
+) {
+    if act == Act::Silu {
+        debug_assert_eq!(aux.len(), gout.len());
+        for (((p, &s), &y), &g) in pre.iter_mut().zip(aux).zip(post).zip(gout) {
+            *p = g * (s + y * (1.0 - s));
+        }
+    } else {
+        act_backward_inplace(pre, post, gout, act);
+    }
+}
+
+/// Fused dense layer forward: `pre = x·W + b`, `out = act(pre)`.
+///
+/// `x` is `m×k`, `w` is `k×n`, `bias` is `1×n`. The matmul, bias add, and
+/// activation match the oracle's three separate nodes value-for-value.
+#[allow(clippy::too_many_arguments)]
+pub fn linear_forward(
+    out: &mut [f64],
+    pre: &mut [f64],
+    x: &[f64],
+    w: &[f64],
+    bias: &[f64],
+    act: Act,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul(pre, x, w, m, k, n);
+    add_bias_inplace(pre, bias, m, n);
+    act_forward(out, pre, act);
+}
+
+/// [`linear_forward`] with an `aux` capture buffer for exp-free backward
+/// (see [`act_forward_aux`]).
+#[allow(clippy::too_many_arguments)]
+pub fn linear_forward_aux(
+    out: &mut [f64],
+    pre: &mut [f64],
+    aux: &mut [f64],
+    x: &[f64],
+    w: &[f64],
+    bias: &[f64],
+    act: Act,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul(pre, x, w, m, k, n);
+    add_bias_inplace(pre, bias, m, n);
+    act_forward_aux(out, aux, pre, act);
+}
+
+/// Convenience wrapper: fused `relu(x·W + b)`.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_bias_relu(
+    out: &mut [f64],
+    pre: &mut [f64],
+    x: &[f64],
+    w: &[f64],
+    bias: &[f64],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    linear_forward(out, pre, x, w, bias, Act::Relu, m, k, n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference multiply-add mirroring whatever the dispatched kernels use:
+    /// `f64::mul_add` is correctly-rounded fused semantics on every host, so
+    /// this oracle stays bit-exact whether or not the AVX2+FMA path runs.
+    fn refmad(a: f64, b: f64, c: f64) -> f64 {
+        if fma_active() {
+            a.mul_add(b, c)
+        } else {
+            fmadd(a, b, c)
+        }
+    }
+
+    fn naive_matmul(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                for j in 0..n {
+                    out[i * n + j] = refmad(av, b[kk * n + j], out[i * n + j]);
+                }
+            }
+        }
+        out
+    }
+
+    fn seq(n: usize, scale: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i * 37 % 23) as f64 - 11.0) * scale)
+            .collect()
+    }
+
+    #[test]
+    fn matmul_bit_matches_naive_across_blocks() {
+        // Shapes straddling the block boundaries exercise every loop edge.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (2, 3, 4),
+            (7, 65, 9),
+            (3, 64, 256),
+            (5, 130, 300),
+            (4, 24, 5),
+        ] {
+            let a = seq(m * k, 0.31);
+            let b = seq(k * n, 0.17);
+            let mut out = vec![f64::NAN; m * n];
+            matmul(&mut out, &a, &b, m, k, n);
+            let want = naive_matmul(&a, &b, m, k, n);
+            for (got, want) in out.iter().zip(&want) {
+                assert_eq!(got.to_bits(), want.to_bits(), "{m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_handles_empty() {
+        // Zero rows, zero reduction depth, zero columns: all legal, all
+        // produce (possibly empty) zeroed outputs.
+        let mut out = vec![];
+        matmul(&mut out, &[], &seq(12, 0.1), 0, 3, 4);
+        let mut out2 = vec![];
+        matmul(&mut out2, &[1.0, 2.0], &[], 2, 1, 0);
+        let mut out3 = vec![f64::NAN; 6];
+        matmul(&mut out3, &[], &[], 2, 0, 3);
+        assert!(out3.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn backward_kernels_match_transpose_matmul() {
+        let (m, k, n) = (4, 6, 3);
+        let a = seq(m * k, 0.2);
+        let b = seq(k * n, 0.4);
+        let g = seq(m * n, 0.7);
+        // ga = g × bᵀ
+        let mut bt = vec![0.0; n * k];
+        for r in 0..k {
+            for c in 0..n {
+                bt[c * k + r] = b[r * n + c];
+            }
+        }
+        let want_ga = naive_matmul(&g, &bt, m, n, k);
+        let mut ga = vec![0.0; m * k];
+        matmul_a_bt_acc(&mut ga, &g, &b, m, n, k, &mut Vec::new());
+        for (got, want) in ga.iter().zip(&want_ga) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        // gb = aᵀ × g
+        let mut at = vec![0.0; k * m];
+        for r in 0..m {
+            for c in 0..k {
+                at[c * m + r] = a[r * k + c];
+            }
+        }
+        let want_gb = naive_matmul(&at, &g, k, m, n);
+        let mut gb = vec![0.0; k * n];
+        matmul_at_b_acc(&mut gb, &a, &g, m, k, n, &mut Vec::new());
+        for (got, want) in gb.iter().zip(&want_gb) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_linear_matches_unfused() {
+        let (m, k, n) = (5, 4, 3);
+        let x = seq(m * k, 0.3);
+        let w = seq(k * n, 0.5);
+        let bias = seq(n, 0.9);
+        let mut pre = vec![0.0; m * n];
+        let mut out = vec![0.0; m * n];
+        linear_forward(&mut out, &mut pre, &x, &w, &bias, Act::Silu, m, k, n);
+        let mut want = naive_matmul(&x, &w, m, k, n);
+        for r in 0..m {
+            for c in 0..n {
+                want[r * n + c] += bias[c];
+            }
+        }
+        for (p, w2) in pre.iter().zip(&want) {
+            assert_eq!(p.to_bits(), w2.to_bits());
+        }
+        for (o, &p) in out.iter().zip(&pre) {
+            assert_eq!(o.to_bits(), (p * sigmoid(p)).to_bits());
+        }
+        let mut out_relu = vec![0.0; m * n];
+        matmul_bias_relu(&mut out_relu, &mut pre, &x, &w, &bias, m, k, n);
+        for (o, &p) in out_relu.iter().zip(&pre) {
+            assert_eq!(*o, p.max(0.0));
+        }
+    }
+
+    #[test]
+    fn act_backward_formulas() {
+        let pre0 = [-1.5, -0.1, 0.0, 0.3, 2.0];
+        let g = [1.0, -2.0, 3.0, 0.5, 1.5];
+        for act in [Act::Identity, Act::Relu, Act::Silu, Act::Tanh, Act::Sigmoid] {
+            let mut post = [0.0; 5];
+            act_forward(&mut post, &pre0, act);
+            let mut pre = pre0;
+            act_backward_inplace(&mut pre, &post, &g, act);
+            for i in 0..5 {
+                let v = pre0[i];
+                let want = match act {
+                    Act::Identity => g[i],
+                    Act::Relu => {
+                        if v > 0.0 {
+                            g[i]
+                        } else {
+                            0.0
+                        }
+                    }
+                    Act::Silu => {
+                        let s = sigmoid(v);
+                        g[i] * (s + v * s * (1.0 - s))
+                    }
+                    Act::Tanh => {
+                        let y = v.tanh();
+                        g[i] * (1.0 - y * y)
+                    }
+                    Act::Sigmoid => {
+                        let y = sigmoid(v);
+                        g[i] * y * (1.0 - y)
+                    }
+                };
+                assert_eq!(pre[i].to_bits(), want.to_bits(), "{act:?}[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn aux_variants_match_recompute() {
+        // The aux-captured forward/backward pair must agree bit-for-bit
+        // with the recomputing pair for every activation — for SiLU that is
+        // exactly the post·(1-s) == v·s·(1-s) association argument.
+        let pre0 = [-1.5, -0.1, 0.0, 0.3, 2.0];
+        let g = [1.0, -2.0, 3.0, 0.5, 1.5];
+        for act in [Act::Identity, Act::Relu, Act::Silu, Act::Tanh, Act::Sigmoid] {
+            let mut post = [0.0; 5];
+            let mut aux = [0.0; 5];
+            act_forward_aux(&mut post, &mut aux, &pre0, act);
+            let mut post2 = [0.0; 5];
+            act_forward(&mut post2, &pre0, act);
+            let mut p1 = pre0;
+            act_backward_aux_inplace(&mut p1, &aux, &post, &g, act);
+            let mut p2 = pre0;
+            act_backward_inplace(&mut p2, &post2, &g, act);
+            for i in 0..5 {
+                assert_eq!(post[i].to_bits(), post2[i].to_bits(), "{act:?} fwd [{i}]");
+                assert_eq!(p1[i].to_bits(), p2[i].to_bits(), "{act:?} bwd [{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn colsum_and_bias() {
+        let g = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut gb = [10.0, 20.0];
+        colsum_acc(&mut gb, &g, 3, 2);
+        assert_eq!(gb, [10.0 + 1.0 + 3.0 + 5.0, 20.0 + 2.0 + 4.0 + 6.0]);
+        let mut x = [0.0, 0.0, 1.0, 1.0];
+        add_bias_inplace(&mut x, &[0.5, -0.5], 2, 2);
+        assert_eq!(x, [0.5, -0.5, 1.5, 0.5]);
+    }
+}

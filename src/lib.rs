@@ -40,4 +40,5 @@ pub use af_route as route;
 pub use af_serve as serve;
 pub use af_sim as sim;
 pub use af_tech as tech;
+pub use af_tensor as tensor;
 pub use analogfold;

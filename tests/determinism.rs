@@ -3,8 +3,8 @@
 //! weights, and derived guidance.
 
 use analogfold_suite::analogfold::{
-    generate_dataset, relax, AnalogFoldFlow, DatasetConfig, FlowConfig, GnnConfig, HeteroGraph,
-    Potential, RelaxConfig, ThreeDGnn,
+    generate_dataset, relax, AnalogFoldFlow, DatasetConfig, FlowConfig, GnnConfig, GnnProgram,
+    GraphTensors, HeteroGraph, Potential, RelaxConfig, ThreeDGnn,
 };
 use analogfold_suite::extract::extract;
 use analogfold_suite::netlist::benchmarks;
@@ -351,5 +351,110 @@ fn dataset_retry_policy_is_invisible_without_faults() {
             assert_eq!(a.guidance, b.guidance);
             assert_eq!(a.performance, b.performance);
         }
+    }
+}
+
+/// Deterministic guidance probes inside the box bounds (no RNG: the same
+/// points must be fed to both GNN implementations).
+fn guidance_probes(n: usize, dim: usize, lo: f64, hi: f64) -> Vec<Vec<f64>> {
+    let mid = 0.5 * (lo + hi);
+    let amp = 0.4 * (hi - lo);
+    (0..n)
+        .map(|j| {
+            (0..dim)
+                .map(|i| mid + amp * ((1 + i + j * dim) as f64).sin())
+                .collect()
+        })
+        .collect()
+}
+
+/// The af-tensor contract: the compiled `GnnProgram` tape is a drop-in
+/// replacement for the scalar `af_nn::Graph` oracle within ≤1e-9 —
+/// predictions, FoM values, and guidance gradients. The deliberate
+/// deviations are the polynomial exp (≲1e-13 relative vs libm) and, where
+/// the runtime AVX2+FMA dispatch engages, fused multiply-add rounding; both
+/// stay far inside the envelope (see `crates/tensor/src/lib.rs`).
+#[test]
+fn gnn_tensor_path_matches_scalar_oracle() {
+    fn close(a: f64, b: f64, what: &str) {
+        assert!(
+            (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+            "{what} diverged: {a} vs {b} (|Δ| = {:e})",
+            (a - b).abs()
+        );
+    }
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 2);
+    let cfg = GnnConfig {
+        hidden: 8,
+        layers: 1,
+        ..GnnConfig::default()
+    };
+    let gnn = ThreeDGnn::new(&cfg);
+    let tensors = GraphTensors::new(&graph);
+    let weights = [1.0, -1.0, -1.0, -1.0, 1.0];
+    let probes = guidance_probes(4, tensors.guidance_len(), cfg.c_min, cfg.c_max);
+
+    let mut predictor = GnnProgram::compile_predict(&gnn, &tensors);
+    let mut fom = GnnProgram::compile_fom(&gnn, &tensors, &weights);
+    for c in &probes {
+        let fast = predictor.predict(c);
+        let oracle = gnn.predict_oracle(&graph, c);
+        assert_eq!(fast.len(), oracle.len());
+        for (a, b) in fast.iter().zip(&oracle) {
+            close(*a, *b, "prediction");
+        }
+
+        let (f_fast, g_fast) = fom.fom_and_grad(c);
+        let (f_oracle, g_oracle) = gnn.fom_and_grad_oracle(&tensors, c, &weights);
+        close(f_fast, f_oracle, "FoM");
+        assert_eq!(g_fast.len(), g_oracle.len());
+        for (a, b) in g_fast.iter().zip(&g_oracle) {
+            close(*a, *b, "gradient");
+        }
+    }
+}
+
+/// Tape replay and recompilation are both deterministic: a recompiled
+/// program gives the same bits as a fresh one, and a program returning to a
+/// previously seen input reproduces it exactly even after evaluating other
+/// points in between. (Thread-count and cache on/off invariance of the
+/// tensor path is covered by `relaxation_thread_count_invariant` and
+/// `relaxation_cache_on_off_thread_count_invariant` above, which run the
+/// compiled tape unless `AF_GNN_ORACLE` forces the scalar path.)
+#[test]
+fn gnn_program_replay_and_recompilation_deterministic() {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 2);
+    let cfg = GnnConfig {
+        hidden: 8,
+        layers: 1,
+        ..GnnConfig::default()
+    };
+    let gnn = ThreeDGnn::new(&cfg);
+    let tensors = GraphTensors::new(&graph);
+    let weights = [1.0, -1.0, -1.0, -1.0, 1.0];
+    let probes = guidance_probes(3, tensors.guidance_len(), cfg.c_min, cfg.c_max);
+
+    let mut p1 = GnnProgram::compile_fom(&gnn, &tensors, &weights);
+    let mut p2 = GnnProgram::compile_fom(&gnn, &tensors, &weights);
+    let first = p1.fom_and_grad(&probes[0]);
+    for c in &probes {
+        let (fa, ga) = p1.fom_and_grad(c);
+        let (fb, gb) = p2.fom_and_grad(c);
+        assert_eq!(fa.to_bits(), fb.to_bits(), "recompiled program diverged");
+        assert_eq!(ga.len(), gb.len());
+        for (a, b) in ga.iter().zip(&gb) {
+            assert_eq!(a.to_bits(), b.to_bits(), "recompiled gradient diverged");
+        }
+    }
+    let again = p1.fom_and_grad(&probes[0]);
+    assert_eq!(first.0.to_bits(), again.0.to_bits(), "replay drifted");
+    for (a, b) in first.1.iter().zip(&again.1) {
+        assert_eq!(a.to_bits(), b.to_bits(), "replay gradient drifted");
     }
 }
