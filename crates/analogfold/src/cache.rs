@@ -159,8 +159,10 @@ pub fn design_eval_hash(
     h.write_u64(g.0[0]);
     h.write_u64(g.0[1]);
     // RouterConfig and SimConfig are not serde-serializable; hash their
-    // fields directly (a new field here must be added to the hash, which
-    // the exhaustive destructuring below enforces at compile time).
+    // fields directly. RouterConfig is `#[non_exhaustive]`, so the binding
+    // below needs `..` — any new af-route knob that can change the layout
+    // must be added here by hand. `threads` is deliberately excluded: the
+    // router's determinism contract makes layouts thread-count independent.
     let RouterConfig {
         coarsen,
         via_cost,
@@ -172,7 +174,11 @@ pub fn design_eval_hash(
         bend_penalty,
         max_iterations,
         enforce_symmetry,
-    } = *router;
+        open_list,
+        bidirectional,
+        guidance_aware_h,
+        ..
+    } = router.clone();
     h.write_i64(coarsen);
     h.write_f64(via_cost);
     h.write_f64(wrong_dir_mult);
@@ -183,6 +189,13 @@ pub fn design_eval_hash(
     h.write_f64(bend_penalty);
     h.write_u64(u64::from(max_iterations));
     h.write_u8(u8::from(enforce_symmetry));
+    h.write_u8(match open_list {
+        af_route::OpenListKind::Bucket => 0,
+        af_route::OpenListKind::Heap => 1,
+        _ => u8::MAX,
+    });
+    h.write_u8(u8::from(bidirectional));
+    h.write_u8(u8::from(guidance_aware_h));
     h.write_f64(sim.f_start);
     h.write_f64(sim.f_stop);
     h.write_usize(sim.points_per_decade);

@@ -14,7 +14,7 @@ use af_extract::extract;
 use af_geom::CostTriple;
 use af_netlist::Circuit;
 use af_place::Placement;
-use af_route::{route, NonUniformGuidance, RouteError, RouterConfig, RoutingGuidance};
+use af_route::{NonUniformGuidance, RouteError, Router, RouterConfig, RoutingGuidance};
 use af_sim::{simulate, Performance, SimConfig, SimError};
 use af_tech::Technology;
 
@@ -331,7 +331,10 @@ pub fn evaluate_guidance(
     sim: &SimConfig,
 ) -> Result<Performance, DatasetError> {
     let field = RoutingGuidance::NonUniform(guidance_field(graph, guidance));
-    let layout = route(circuit, placement, tech, &field, router).map_err(DatasetError::Route)?;
+    let layout = Router::new(router.clone())
+        .map_err(|e| DatasetError::Route(RouteError::from(e)))?
+        .route(circuit, placement, tech, &field)
+        .map_err(DatasetError::Route)?;
     let parasitics = extract(circuit, tech, &layout);
     simulate(circuit, Some(&parasitics), sim).map_err(DatasetError::Sim)
 }

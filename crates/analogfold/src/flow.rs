@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 use af_extract::{extract, Parasitics};
 use af_netlist::Circuit;
 use af_place::Placement;
-use af_route::{route, RouteError, RoutedLayout, RouterConfig, RoutingGuidance};
+use af_route::{RouteError, RoutedLayout, Router, RouterConfig, RoutingGuidance};
 use af_sim::{simulate, Performance, SimConfig, SimError};
 use af_tech::Technology;
 
@@ -210,6 +210,14 @@ impl FlowConfigBuilder {
         self
     }
 
+    /// Sets the router worker-thread count without replacing the rest of
+    /// the router section (`0` = auto: `AFRT_THREADS`, then hardware).
+    #[must_use]
+    pub fn route_threads(mut self, threads: usize) -> Self {
+        self.cfg.router.threads = threads;
+        self
+    }
+
     /// Replaces the simulator section.
     #[must_use]
     pub fn sim(mut self, sim: SimConfig) -> Self {
@@ -251,7 +259,9 @@ impl FlowConfigBuilder {
                 cfg.relax.n_derive, cfg.relax.restarts
             )));
         }
-        cfg.router.validate().map_err(Error::config)?;
+        cfg.router
+            .validate()
+            .map_err(|e| Error::config(e.to_string()))?;
         cfg.dataset
             .router
             .validate()
@@ -497,6 +507,8 @@ impl AnalogFoldFlow {
         let stats = gnn.stats().clone();
         let weights = potential.weights;
         let runtime = afrt::Runtime::with_threads(cfg.relax.threads);
+        let router =
+            Router::new(cfg.router.clone()).map_err(|e| Error::from(RouteError::from(e)))?;
         let (evaluated, guided_route_s) = af_obs::timed_span("guided_route", || {
             runtime
                 .par_map(&candidates, |i, cand| {
@@ -507,7 +519,8 @@ impl AnalogFoldFlow {
                         Error::config(af_fault::injected("flow.candidate"))
                     );
                     let field = RoutingGuidance::NonUniform(guidance_field(&graph, &cand.guidance));
-                    let layout = route(circuit, placement, &cfg.tech, &field, &cfg.router)
+                    let layout = router
+                        .route(circuit, placement, &cfg.tech, &field)
                         .map_err(Error::from)?;
                     let parasitics = extract(circuit, &cfg.tech, &layout);
                     let perf =
@@ -614,7 +627,9 @@ pub fn magical_route(
     router: &RouterConfig,
     sim: &SimConfig,
 ) -> Result<(RoutedLayout, Parasitics, Performance), FlowError> {
-    let layout = route(circuit, placement, tech, &RoutingGuidance::None, router)
+    let layout = Router::new(router.clone())
+        .map_err(|e| FlowError::Route(RouteError::from(e)))?
+        .route(circuit, placement, tech, &RoutingGuidance::None)
         .map_err(FlowError::Route)?;
     let parasitics = extract(circuit, tech, &layout);
     let performance = simulate(circuit, Some(&parasitics), sim).map_err(FlowError::Sim)?;

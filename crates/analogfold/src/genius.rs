@@ -297,7 +297,7 @@ mod tests {
     use super::*;
     use af_netlist::benchmarks;
     use af_place::{place, PlacementVariant};
-    use af_route::{route, RouterConfig};
+    use af_route::{Router, RouterConfig};
     use af_tech::Technology;
 
     #[test]
@@ -312,7 +312,10 @@ mod tests {
         let c = benchmarks::ota1();
         let p = place(&c, PlacementVariant::A);
         let t = Technology::nm40();
-        let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let l = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&c, &p, &t, &RoutingGuidance::None)
+            .unwrap();
         for class in NetClass::ALL {
             let wd = wire_density(&c, &p, &l, class, 8);
             let pd = pin_density(&c, &p, class, 8);
@@ -330,14 +333,10 @@ mod tests {
         let c = benchmarks::ota1();
         let t = Technology::nm40();
         let pb = place(&c, PlacementVariant::B);
-        let lb = route(
-            &c,
-            &pb,
-            &t,
-            &RoutingGuidance::None,
-            &RouterConfig::default(),
-        )
-        .unwrap();
+        let lb = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&c, &pb, &t, &RoutingGuidance::None)
+            .unwrap();
         let cfg = GeniusConfig {
             epochs: 5,
             raster: 6,
@@ -359,14 +358,10 @@ mod tests {
         let t = Technology::nm40();
         // imitation data from variant B; guide variant A
         let pb = place(&c, PlacementVariant::B);
-        let lb = route(
-            &c,
-            &pb,
-            &t,
-            &RoutingGuidance::None,
-            &RouterConfig::default(),
-        )
-        .unwrap();
+        let lb = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&c, &pb, &t, &RoutingGuidance::None)
+            .unwrap();
         let cfg = GeniusConfig {
             epochs: 10,
             raster: 6,
@@ -382,7 +377,10 @@ mod tests {
             _ => panic!("GeniusRoute must produce a 2-D map"),
         }
         // guided routing still succeeds
-        let routed = route(&c, &pa, &t, &guidance, &RouterConfig::default()).unwrap();
+        let routed = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&c, &pa, &t, &guidance)
+            .unwrap();
         assert!(routed.total_wirelength() > 0);
     }
 }

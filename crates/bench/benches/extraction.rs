@@ -5,21 +5,17 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use af_extract::extract;
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
-use af_route::{route, RouterConfig, RoutingGuidance};
+use af_route::{Router, RouterConfig, RoutingGuidance};
 use af_tech::Technology;
 
 fn bench_extraction(c: &mut Criterion) {
     let tech = Technology::nm40();
     let circuit = benchmarks::ota1();
     let placement = place(&circuit, PlacementVariant::A);
-    let layout = route(
-        &circuit,
-        &placement,
-        &tech,
-        &RoutingGuidance::None,
-        &RouterConfig::default(),
-    )
-    .unwrap();
+    let layout = Router::new(RouterConfig::default())
+        .unwrap()
+        .route(&circuit, &placement, &tech, &RoutingGuidance::None)
+        .unwrap();
     c.bench_function("extract_ota1", |b| {
         b.iter(|| extract(&circuit, &tech, &layout))
     });

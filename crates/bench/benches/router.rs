@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
-use af_route::{route, RouterConfig, RoutingGuidance};
+use af_route::{Router, RouterConfig, RoutingGuidance};
 use af_tech::Technology;
 
 fn bench_router(c: &mut Criterion) {
@@ -18,14 +18,10 @@ fn bench_router(c: &mut Criterion) {
             b.iter_batched(
                 || (),
                 |_| {
-                    route(
-                        &circuit,
-                        &placement,
-                        &tech,
-                        &RoutingGuidance::None,
-                        &RouterConfig::default(),
-                    )
-                    .unwrap()
+                    Router::new(RouterConfig::default())
+                        .unwrap()
+                        .route(&circuit, &placement, &tech, &RoutingGuidance::None)
+                        .unwrap()
                 },
                 BatchSize::PerIteration,
             )

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use af_extract::extract;
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
-use af_route::{route, RouterConfig, RoutingGuidance};
+use af_route::{Router, RouterConfig, RoutingGuidance};
 use af_sim::{simulate, SimConfig};
 use af_tech::Technology;
 
@@ -15,14 +15,10 @@ fn bench_simulator(c: &mut Criterion) {
     for name in ["OTA1", "OTA3"] {
         let circuit = benchmarks::by_name(name).unwrap();
         let placement = place(&circuit, PlacementVariant::A);
-        let layout = route(
-            &circuit,
-            &placement,
-            &tech,
-            &RoutingGuidance::None,
-            &RouterConfig::default(),
-        )
-        .unwrap();
+        let layout = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&circuit, &placement, &tech, &RoutingGuidance::None)
+            .unwrap();
         let px = extract(&circuit, &tech, &layout);
         c.bench_function(format!("simulate_schematic_{name}"), |b| {
             b.iter(|| simulate(&circuit, None, &cfg).unwrap())

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use af_bench::{genius_model, Scale};
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
-use af_route::{route, RouterConfig};
+use af_route::{Router, RouterConfig};
 use af_sim::SimConfig;
 use af_tech::Technology;
 use analogfold::{magical_route, AnalogFoldFlow};
@@ -37,14 +37,10 @@ fn bench_methods(c: &mut Criterion) {
     group.bench_function("geniusroute_guided_route", |b| {
         let guidance = model.guidance(&circuit, &placement);
         b.iter(|| {
-            route(
-                &circuit,
-                &placement,
-                &tech,
-                &guidance,
-                &RouterConfig::default(),
-            )
-            .unwrap()
+            Router::new(RouterConfig::default())
+                .unwrap()
+                .route(&circuit, &placement, &tech, &guidance)
+                .unwrap()
         })
     });
 

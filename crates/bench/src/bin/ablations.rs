@@ -12,12 +12,12 @@
 //! change any number).
 //!
 //! Run: `cargo run -p af-bench --bin ablations --release -- [quick|full]
-//!       [threads=N]`
+//!       [threads=N] [route_threads=N]`
 
-use af_bench::{obs_arg, threads_arg, Scale};
+use af_bench::{obs_arg, route_threads_arg, threads_arg, Scale};
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
-use af_route::{route, RouterConfig, RoutingGuidance};
+use af_route::{Router, RouterConfig, RoutingGuidance};
 use af_sim::{simulate, SimConfig};
 use af_tech::Technology;
 use analogfold::{
@@ -173,14 +173,14 @@ fn main() {
     let sim_cfg = SimConfig::default();
     let best = &pooled[0];
     let field = RoutingGuidance::NonUniform(analogfold::guidance_field(&graph, &best.guidance));
-    let nu_layout = route(
-        &circuit,
-        &placement,
-        &tech,
-        &field,
-        &RouterConfig::default(),
-    )
-    .expect("non-uniform route");
+    let router_cfg = RouterConfig::builder()
+        .threads(route_threads_arg(&args))
+        .build()
+        .expect("valid router config");
+    let nu_layout = Router::new(router_cfg.clone())
+        .unwrap()
+        .route(&circuit, &placement, &tech, &field)
+        .expect("non-uniform route");
     let nu_px = af_extract::extract(&circuit, &tech, &nu_layout);
     let nu_perf = simulate(&circuit, Some(&nu_px), &sim_cfg).expect("sim");
 
@@ -191,14 +191,10 @@ fn main() {
     for net in circuit.guided_nets() {
         map.set_net(net, vec![mean_c; 64]);
     }
-    let uni_layout = route(
-        &circuit,
-        &placement,
-        &tech,
-        &RoutingGuidance::Map(map),
-        &RouterConfig::default(),
-    )
-    .expect("uniform route");
+    let uni_layout = Router::new(router_cfg)
+        .unwrap()
+        .route(&circuit, &placement, &tech, &RoutingGuidance::Map(map))
+        .expect("uniform route");
     let uni_px = af_extract::extract(&circuit, &tech, &uni_layout);
     let uni_perf = simulate(&circuit, Some(&uni_px), &sim_cfg).expect("sim");
 

@@ -8,7 +8,7 @@ use std::fs;
 use af_bench::{flow_config, genius_model, obs_arg, Scale};
 use af_netlist::benchmarks;
 use af_place::{place, PlacementVariant};
-use af_route::{render_svg, route, RouterConfig, RoutingGuidance};
+use af_route::{render_svg, Router, RouterConfig, RoutingGuidance};
 use af_tech::Technology;
 use analogfold::{guidance_field_for, AnalogFoldFlow};
 
@@ -26,12 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fs::create_dir_all(out_dir)?;
 
     // Baseline (MagicalRoute) for reference.
-    let base = route(
+    let base = Router::new(RouterConfig::default()).unwrap().route(
         &circuit,
         &placement,
         &tech,
         &RoutingGuidance::None,
-        &RouterConfig::default(),
     )?;
     fs::write(
         out_dir.join("fig6_magicalroute.svg"),
@@ -41,12 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // GeniusRoute.
     let model = genius_model(&circuit, PlacementVariant::A, &tech, scale);
     let genius_guidance = model.guidance(&circuit, &placement);
-    let genius = route(
+    let genius = Router::new(RouterConfig::default()).unwrap().route(
         &circuit,
         &placement,
         &tech,
         &genius_guidance,
-        &RouterConfig::default(),
     )?;
     fs::write(
         out_dir.join("fig6_geniusroute.svg"),

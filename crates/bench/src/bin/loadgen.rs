@@ -21,13 +21,13 @@
 //!
 //! Run: `cargo run -p af-bench --bin loadgen --release --
 //!       [quick|full] [conns=N] [requests=N] [cache=MB] [obs=path]
-//!       [fault=SPEC] [fault_seed=N]`
+//!       [route_threads=a,b,c] [route_jobs=N] [fault=SPEC] [fault_seed=N]`
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
-use af_bench::{cache_arg, fault_arg, kv_num, obs_arg, Scale};
+use af_bench::{cache_arg, fault_arg, kv_list, kv_num, obs_arg, Scale};
 use af_serve::{ModelBundle, ServeConfig, Server};
 use analogfold::{GnnConfig, ThreeDGnn};
 use serde::Serialize;
@@ -52,6 +52,101 @@ struct LoadgenReport {
     fault_spec: String,
     errors: u64,
     error_rate: f64,
+    /// `POST /v1/route` job latency per router worker count.
+    route: Vec<RouteLatencyRow>,
+}
+
+/// End-to-end `/v1/route` job latency (submit to `done`) at one router
+/// worker count.
+#[derive(Serialize)]
+struct RouteLatencyRow {
+    route_threads: u64,
+    jobs: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// One-shot HTTP exchange on a fresh connection; returns (status, body).
+fn http_once(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return (0, String::new());
+    };
+    let _ = stream.set_nodelay(true);
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    if stream.write_all(raw.as_bytes()).is_err() {
+        return (0, String::new());
+    }
+    let mut response = String::new();
+    if BufReader::new(stream)
+        .read_to_string(&mut response)
+        .is_err()
+    {
+        return (0, String::new());
+    }
+    let status = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+/// Crude scalar field extraction from a flat JSON object body.
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = &body[body.find(&pat)? + pat.len()..];
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+fn json_status(body: &str) -> String {
+    let pat = "\"status\":\"";
+    body.find(pat)
+        .map(|i| {
+            body[i + pat.len()..]
+                .chars()
+                .take_while(|&c| c != '"')
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Submits one cheap route job pinned to `route_threads` workers and polls
+/// it to completion, returning submit-to-done latency in milliseconds.
+fn route_job_ms(addr: std::net::SocketAddr, route_threads: u64, seed: u64) -> Option<f64> {
+    let body = format!(
+        "{{\"restarts\":1,\"lbfgs_iters\":2,\"n_derive\":1,\"seed\":{seed},\
+         \"route_threads\":{route_threads}}}"
+    );
+    let t0 = Instant::now();
+    let (status, accepted) = http_once(addr, "POST", "/v1/route", &body);
+    if status != 202 {
+        return None;
+    }
+    let id = json_u64(&accepted, "id")?;
+    let deadline = Instant::now() + std::time::Duration::from_secs(600);
+    loop {
+        let (status, record) = http_once(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        if status != 200 || Instant::now() > deadline {
+            return None;
+        }
+        match json_status(&record).as_str() {
+            "done" => return Some(t0.elapsed().as_secs_f64() * 1e3),
+            "failed" => return None,
+            _ => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
 }
 
 /// Sends one predict request on an open keep-alive connection and returns
@@ -223,6 +318,36 @@ fn main() {
     cold.sort_by(f64::total_cmp);
     warm.sort_by(f64::total_cmp);
 
+    // --- Route-job latency per router worker count -----------------------
+    // Cheap flow parameters (1 restart, 1 candidate) keep each job
+    // dominated by the guided routing itself. Jobs run one at a time so a
+    // row measures the router at exactly its `route_threads` setting.
+    let route_thread_counts: Vec<u64> = kv_list(&args, "route_threads")
+        .map(|l| l.iter().filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_else(|| match scale {
+            Scale::Quick => vec![1, 2],
+            _ => vec![1, 4, 8],
+        });
+    let jobs_per_row = kv_num(
+        &args,
+        "route_jobs",
+        if matches!(scale, Scale::Quick) { 2 } else { 3 },
+    );
+    let mut route_rows = Vec::new();
+    for &rt in &route_thread_counts {
+        println!("route jobs: {jobs_per_row} at route_threads={rt} ...");
+        let mut lat: Vec<f64> = (0..jobs_per_row)
+            .filter_map(|j| route_job_ms(addr, rt, 99 + j))
+            .collect();
+        lat.sort_by(f64::total_cmp);
+        route_rows.push(RouteLatencyRow {
+            route_threads: rt,
+            jobs: lat.len() as u64,
+            p50_ms: percentile(&lat, 0.50),
+            p99_ms: percentile(&lat, 0.99),
+        });
+    }
+
     handle.shutdown();
     handle.join();
     let _ = std::fs::remove_dir_all(&job_dir);
@@ -254,6 +379,7 @@ fn main() {
         fault_spec: fault_spec.unwrap_or_default(),
         errors,
         error_rate: errors as f64 / total.max(1) as f64,
+        route: route_rows,
     };
     println!(
         "{} requests in {:.2}s: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms",
@@ -263,6 +389,12 @@ fn main() {
         "cache: {} hits / {} requests (ratio {:.2}), cold p50 {:.2} ms, warm p50 {:.2} ms",
         report.cache_hits, report.total_requests, report.cache_hit_ratio, cold_p50_ms, warm_p50_ms
     );
+    for row in &report.route {
+        println!(
+            "route jobs @ {} thread(s): {} jobs, p50 {:.0} ms, p99 {:.0} ms",
+            row.route_threads, row.jobs, row.p50_ms, row.p99_ms
+        );
+    }
     if !report.fault_spec.is_empty() {
         println!(
             "faults: `{}` -> {} errors / {} requests (rate {:.4})",

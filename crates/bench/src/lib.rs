@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use af_netlist::{benchmarks, Circuit};
 use af_place::{place, Placement, PlacementVariant};
-use af_route::{route, RoutedLayout, RouterConfig, RoutingGuidance};
+use af_route::{RoutedLayout, Router, RouterConfig, RoutingGuidance};
 use af_sim::{simulate, Performance, SimConfig};
 use af_tech::Technology;
 use analogfold::{magical_route, AnalogFoldFlow, FlowConfig, GeniusConfig, GeniusRouteModel};
@@ -154,6 +154,14 @@ pub fn threads_arg(args: &[String]) -> usize {
     kv_num(args, "threads", 0) as usize
 }
 
+/// Parses a `route_threads=N` driver argument: the detailed router's worker
+/// count for its parallel negotiation rounds, independent of the flow-level
+/// `threads=`. `0` (the default) resolves through `AFRT_THREADS`, then
+/// hardware parallelism; every value yields a bit-identical layout.
+pub fn route_threads_arg(args: &[String]) -> usize {
+    kv_num(args, "route_threads", 0) as usize
+}
+
 /// Parses a `cache=N` driver argument: the memoization-cache capacity in
 /// MiB handed to the flow/serve configuration under test. `cache=0`
 /// disables caching for the whole process (flipping
@@ -231,12 +239,11 @@ pub fn genius_model(
             continue;
         }
         let p = place(circuit, v);
-        if let Ok(l) = route(
+        if let Ok(l) = Router::new(RouterConfig::default()).unwrap().route(
             circuit,
             &p,
             tech,
             &RoutingGuidance::None,
-            &RouterConfig::default(),
         ) {
             data.push((p, l));
         }
@@ -294,14 +301,10 @@ pub fn run_row(bench: &str, variant: PlacementVariant, scale: Scale) -> RowResul
     let t1 = Instant::now();
     let model = genius_model(&circuit, variant, &tech, scale);
     let guidance = model.guidance(&circuit, &placement);
-    let layout = route(
-        &circuit,
-        &placement,
-        &tech,
-        &guidance,
-        &RouterConfig::default(),
-    )
-    .expect("genius route");
+    let layout = Router::new(RouterConfig::default())
+        .unwrap()
+        .route(&circuit, &placement, &tech, &guidance)
+        .expect("genius route");
     let parasitics = af_extract::extract(&circuit, &tech, &layout);
     let genius_perf = simulate(&circuit, Some(&parasitics), &sim_cfg).expect("genius sim");
     let genius = MethodResult {

@@ -23,13 +23,13 @@
 //! use af_extract::extract;
 //! use af_netlist::benchmarks;
 //! use af_place::{place, PlacementVariant};
-//! use af_route::{route, RouterConfig, RoutingGuidance};
+//! use af_route::{Router, RouterConfig, RoutingGuidance};
 //! use af_tech::Technology;
 //!
 //! let c = benchmarks::ota1();
 //! let p = place(&c, PlacementVariant::A);
 //! let t = Technology::nm40();
-//! let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+//! let l = Router::new(RouterConfig::default()).unwrap().route(&c, &p, &t, &RoutingGuidance::None).unwrap();
 //! let parasitics = extract(&c, &t, &l);
 //! let vout = c.net_by_name("vout").unwrap();
 //! assert!(parasitics.net(vout).resistance > 0.0);
@@ -249,13 +249,16 @@ mod tests {
     use af_geom::{Point3, Segment};
     use af_netlist::benchmarks;
     use af_place::{place, PlacementVariant};
-    use af_route::{route, RoutedNet, RouterConfig, RoutingGuidance};
+    use af_route::{RoutedNet, Router, RouterConfig, RoutingGuidance};
 
     fn routed_ota1() -> (af_netlist::Circuit, Parasitics) {
         let c = benchmarks::ota1();
         let p = place(&c, PlacementVariant::A);
         let t = Technology::nm40();
-        let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let l = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&c, &p, &t, &RoutingGuidance::None)
+            .unwrap();
         let x = extract(&c, &t, &l);
         (c, x)
     }

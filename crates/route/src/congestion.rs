@@ -186,7 +186,7 @@ pub fn measure_congestion(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{route, RouterConfig, RoutingGuidance};
+    use crate::{Router, RouterConfig, RoutingGuidance};
     use af_netlist::benchmarks;
     use af_place::{place, PlacementVariant};
 
@@ -210,7 +210,10 @@ mod tests {
     #[test]
     fn measured_total_matches_wirelength_approximately() {
         let (c, p, t) = setup();
-        let layout = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let layout = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&c, &p, &t, &RoutingGuidance::None)
+            .unwrap();
         let map = measure_congestion(&p, &t, &layout, 8, 8);
         let total_demand: f64 = map.demand.iter().sum();
         let total_wire = layout.total_wirelength() as f64;
@@ -222,7 +225,10 @@ mod tests {
     fn estimate_correlates_with_measurement() {
         let (c, p, t) = setup();
         let est = estimate_congestion(&c, &p, &t, 6, 6);
-        let layout = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let layout = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&c, &p, &t, &RoutingGuidance::None)
+            .unwrap();
         let meas = measure_congestion(&p, &t, &layout, 6, 6);
         // Pearson correlation between estimated and measured demand
         let n = est.demand.len() as f64;

@@ -209,7 +209,7 @@ pub fn parse_def(circuit: &Circuit, text: &str) -> Result<RoutedLayout, DefParse
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{route, RouterConfig, RoutingGuidance};
+    use crate::{Router, RouterConfig, RoutingGuidance};
     use af_netlist::benchmarks;
     use af_place::{place, PlacementVariant};
     use af_tech::Technology;
@@ -219,7 +219,10 @@ mod tests {
         let c = benchmarks::ota1();
         let p = place(&c, PlacementVariant::A);
         let t = Technology::nm40();
-        let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let l = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&c, &p, &t, &RoutingGuidance::None)
+            .unwrap();
         let text = write_def(&c, &p, &l);
         let back = parse_def(&c, &text).unwrap();
         assert_eq!(back.nets.len(), l.nets.len());
@@ -240,7 +243,10 @@ mod tests {
         let c = benchmarks::ota1();
         let p = place(&c, PlacementVariant::A);
         let t = Technology::nm40();
-        let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let l = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&c, &p, &t, &RoutingGuidance::None)
+            .unwrap();
         let text = write_def(&c, &p, &l);
         assert!(text.starts_with("VERSION af-route-1 ;"));
         assert!(text.contains("DESIGN OTA1 ;"));

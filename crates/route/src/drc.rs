@@ -233,7 +233,7 @@ fn point_on_segment(p: &Point3, s: &Segment, tol: i64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{route, RouterConfig, RoutingGuidance};
+    use crate::{Router, RouterConfig, RoutingGuidance};
     use af_netlist::benchmarks;
     use af_place::{place, PlacementVariant};
 
@@ -242,7 +242,10 @@ mod tests {
         let c = benchmarks::ota1();
         let p = place(&c, PlacementVariant::A);
         let t = Technology::nm40();
-        let layout = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let layout = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&c, &p, &t, &RoutingGuidance::None)
+            .unwrap();
         let violations = check_layout(&c, &p, &t, &layout);
         let hard: Vec<_> = violations
             .iter()

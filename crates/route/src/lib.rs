@@ -24,14 +24,16 @@
 //! ```
 //! use af_netlist::benchmarks;
 //! use af_place::{place, PlacementVariant};
-//! use af_route::{route, RouterConfig, RoutingGuidance};
+//! use af_route::{Router, RouterConfig, RoutingGuidance};
 //! use af_tech::Technology;
 //!
 //! let circuit = benchmarks::ota1();
 //! let placement = place(&circuit, PlacementVariant::A);
 //! let tech = Technology::nm40();
-//! let routed = route(&circuit, &placement, &tech, &RoutingGuidance::None,
-//!                    &RouterConfig::default()).unwrap();
+//! let router = Router::new(RouterConfig::default()).unwrap();
+//! let routed = router
+//!     .route(&circuit, &placement, &tech, &RoutingGuidance::None)
+//!     .unwrap();
 //! assert!(routed.total_wirelength() > 0);
 //! ```
 
@@ -45,6 +47,7 @@ mod guidance;
 mod post;
 mod router;
 mod svg;
+mod view;
 
 pub use access::{AccessPoint, PinAccessMap};
 pub use congestion::{estimate_congestion, measure_congestion, CongestionMap};
@@ -52,7 +55,11 @@ pub use def::{parse_def, write_def, DefParseError};
 pub use drc::{check_layout, Violation, ViolationKind};
 pub use grid::RoutingGrid;
 pub use guidance::{GuidanceMap2D, NonUniformGuidance, RoutingGuidance};
-pub use router::{route, RouteError, RouterConfig};
+#[allow(deprecated)]
+pub use router::route;
+pub use router::{
+    OpenListKind, RouteConfigError, RouteError, Router, RouterConfig, RouterConfigBuilder,
+};
 pub use svg::render_svg;
 
 use serde::{Deserialize, Serialize};

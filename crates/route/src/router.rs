@@ -1,5 +1,20 @@
-//! Constraint-aware iterative (negotiated) routing.
+//! Constraint-aware negotiated routing: parallel PathFinder rounds.
+//!
+//! Each round routes **every uncommitted task concurrently** against a
+//! read-only snapshot of the shared grid plus a private per-task overlay
+//! ([`crate::view::TaskView`]): a task sees the other pending tasks'
+//! *previous-round* claims as present-cost penalties (one-round-stale
+//! negotiation — the classic parallel-PathFinder relaxation) while its own
+//! stale wires are hidden. Results are merged deterministically in task
+//! order, conflicts detected, history costs escalated, and only contested
+//! tasks are ripped for the next round — so the routed layout is
+//! bit-identical at every thread count.
+//!
+//! The entry point is the [`Router`] session type, built from a validated
+//! [`RouterConfig`] (see [`RouterConfig::builder`]); the free [`route`]
+//! function remains as a deprecated shim.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::Instant;
@@ -13,10 +28,28 @@ use crate::astar::{search, SearchBuffers, StepCost};
 use crate::grid::RoutingGrid;
 use crate::guidance::RoutingGuidance;
 use crate::post;
+use crate::view::{GridView, TaskView};
 use crate::{RoutedLayout, RoutedNet};
 
+/// Open-list engine for the A* inner loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum OpenListKind {
+    /// Bucketed queue keyed on quantized f-cost (default; O(1) push/pop).
+    #[default]
+    Bucket,
+    /// Classic binary heap — the correctness oracle for the bucket queue.
+    Heap,
+}
+
 /// Router tuning parameters.
+///
+/// Construct via [`RouterConfig::builder`] (which validates on build) or
+/// start from [`RouterConfig::default`] and adjust fields. The struct is
+/// `#[non_exhaustive]`: downstream crates must go through the builder or
+/// field-by-field mutation, which lets new knobs land without breakage.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct RouterConfig {
     /// Grid-pitch multiplier over the technology pitch (1 = full density).
     pub coarsen: i64,
@@ -26,7 +59,7 @@ pub struct RouterConfig {
     pub wrong_dir_mult: f64,
     /// Immediate penalty for using a node another net occupies.
     pub present_cost: f64,
-    /// History added to each conflicted node per rip-up iteration.
+    /// History added to each conflicted node per negotiation round.
     pub history_increment: f32,
     /// Multiplier for re-walking nodes the net already owns (Steiner reuse).
     pub reuse_discount: f64,
@@ -34,55 +67,84 @@ pub struct RouterConfig {
     pub min_guidance: f64,
     /// Extra cost per direction change (approximate bend minimization).
     pub bend_penalty: f64,
-    /// Maximum rip-up/re-route iterations.
+    /// Maximum negotiation rounds.
     pub max_iterations: u32,
     /// Whether symmetric net pairs are routed by mirroring.
     pub enforce_symmetry: bool,
+    /// Worker threads for the parallel rounds. `0` means auto: the `afrt`
+    /// runtime honors `AFRT_THREADS`, then the hardware parallelism. Every
+    /// thread count produces bit-identical layouts.
+    pub threads: usize,
+    /// Open-list engine for the A* inner loop.
+    pub open_list: OpenListKind,
+    /// Bidirectional search for plain two-pin connections whose heuristic
+    /// is too weak to steer a one-sided search.
+    pub bidirectional: bool,
+    /// Scale the A* heuristic by the normalized per-net guidance floor
+    /// (unit, because multipliers are normalized scale-free per net) instead
+    /// of the global `min_guidance` floor — much sharper pruning.
+    pub guidance_aware_h: bool,
 }
 
 impl RouterConfig {
-    /// Validates the configuration, returning a description of the first
-    /// nonsensical setting.
+    /// Starts a builder pre-loaded with the default configuration.
+    #[must_use]
+    pub fn builder() -> RouterConfigBuilder {
+        RouterConfigBuilder::default()
+    }
+
+    /// Validates the configuration.
     ///
     /// # Errors
     ///
-    /// A human-readable message naming the offending field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// The typed [`RouteConfigError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), RouteConfigError> {
+        // Finiteness first: the range checks below then never carry NaN or
+        // ±∞ payloads, which keeps `RouteConfigError: Eq` honest.
+        for (field, v) in [
+            ("via_cost", self.via_cost),
+            ("wrong_dir_mult", self.wrong_dir_mult),
+            ("present_cost", self.present_cost),
+            ("history_increment", f64::from(self.history_increment)),
+            ("reuse_discount", self.reuse_discount),
+            ("min_guidance", self.min_guidance),
+            ("bend_penalty", self.bend_penalty),
+        ] {
+            if !v.is_finite() {
+                return Err(RouteConfigError::NotFinite { field });
+            }
+        }
         if self.coarsen < 1 {
-            return Err(format!("coarsen must be >= 1, got {}", self.coarsen));
+            return Err(RouteConfigError::Coarsen { got: self.coarsen });
         }
         if self.via_cost <= 0.0 {
-            return Err(format!("via_cost must be positive, got {}", self.via_cost));
+            return Err(RouteConfigError::ViaCost { got: self.via_cost });
         }
         if self.wrong_dir_mult < 1.0 {
-            return Err(format!(
-                "wrong_dir_mult must be >= 1, got {}",
-                self.wrong_dir_mult
-            ));
+            return Err(RouteConfigError::WrongDirMult {
+                got: self.wrong_dir_mult,
+            });
         }
         if self.present_cost < 0.0 || self.history_increment < 0.0 {
-            return Err("congestion penalties must be non-negative".to_string());
+            return Err(RouteConfigError::NegativePenalties);
         }
         if !(0.0..=1.0).contains(&self.reuse_discount) {
-            return Err(format!(
-                "reuse_discount must be in [0, 1], got {}",
-                self.reuse_discount
-            ));
+            return Err(RouteConfigError::ReuseDiscount {
+                got: self.reuse_discount,
+            });
         }
         if self.min_guidance <= 0.0 {
-            return Err(format!(
-                "min_guidance must be positive, got {}",
-                self.min_guidance
-            ));
+            return Err(RouteConfigError::MinGuidance {
+                got: self.min_guidance,
+            });
         }
         if self.max_iterations == 0 {
-            return Err("max_iterations must be at least 1".to_string());
+            return Err(RouteConfigError::MaxIterations);
         }
         if self.bend_penalty < 0.0 {
-            return Err(format!(
-                "bend_penalty must be non-negative, got {}",
-                self.bend_penalty
-            ));
+            return Err(RouteConfigError::BendPenalty {
+                got: self.bend_penalty,
+            });
         }
         Ok(())
     }
@@ -101,9 +163,215 @@ impl Default for RouterConfig {
             bend_penalty: 0.5,
             max_iterations: 24,
             enforce_symmetry: true,
+            threads: 1,
+            open_list: OpenListKind::Bucket,
+            bidirectional: true,
+            guidance_aware_h: true,
         }
     }
 }
+
+/// Fluent builder for [`RouterConfig`]; [`RouterConfigBuilder::build`]
+/// validates, so a successfully built config is always usable.
+#[derive(Debug, Clone, Default)]
+pub struct RouterConfigBuilder {
+    cfg: RouterConfig,
+}
+
+impl RouterConfigBuilder {
+    /// Grid-pitch multiplier over the technology pitch.
+    #[must_use]
+    pub fn coarsen(mut self, v: i64) -> Self {
+        self.cfg.coarsen = v;
+        self
+    }
+
+    /// Cost of one via hop relative to one planar step.
+    #[must_use]
+    pub fn via_cost(mut self, v: f64) -> Self {
+        self.cfg.via_cost = v;
+        self
+    }
+
+    /// Multiplier for steps against a layer's preferred direction.
+    #[must_use]
+    pub fn wrong_dir_mult(mut self, v: f64) -> Self {
+        self.cfg.wrong_dir_mult = v;
+        self
+    }
+
+    /// Immediate penalty for using a node another net occupies.
+    #[must_use]
+    pub fn present_cost(mut self, v: f64) -> Self {
+        self.cfg.present_cost = v;
+        self
+    }
+
+    /// History added to each conflicted node per negotiation round.
+    #[must_use]
+    pub fn history_increment(mut self, v: f32) -> Self {
+        self.cfg.history_increment = v;
+        self
+    }
+
+    /// Multiplier for re-walking nodes the net already owns.
+    #[must_use]
+    pub fn reuse_discount(mut self, v: f64) -> Self {
+        self.cfg.reuse_discount = v;
+        self
+    }
+
+    /// Lower clamp on guidance multipliers.
+    #[must_use]
+    pub fn min_guidance(mut self, v: f64) -> Self {
+        self.cfg.min_guidance = v;
+        self
+    }
+
+    /// Extra cost per direction change.
+    #[must_use]
+    pub fn bend_penalty(mut self, v: f64) -> Self {
+        self.cfg.bend_penalty = v;
+        self
+    }
+
+    /// Maximum negotiation rounds.
+    #[must_use]
+    pub fn max_iterations(mut self, v: u32) -> Self {
+        self.cfg.max_iterations = v;
+        self
+    }
+
+    /// Whether symmetric net pairs are routed by mirroring.
+    #[must_use]
+    pub fn enforce_symmetry(mut self, v: bool) -> Self {
+        self.cfg.enforce_symmetry = v;
+        self
+    }
+
+    /// Worker threads for the parallel rounds (`0` = auto).
+    #[must_use]
+    pub fn threads(mut self, v: usize) -> Self {
+        self.cfg.threads = v;
+        self
+    }
+
+    /// Open-list engine for the A* inner loop.
+    #[must_use]
+    pub fn open_list(mut self, v: OpenListKind) -> Self {
+        self.cfg.open_list = v;
+        self
+    }
+
+    /// Bidirectional search for weakly-guided two-pin connections.
+    #[must_use]
+    pub fn bidirectional(mut self, v: bool) -> Self {
+        self.cfg.bidirectional = v;
+        self
+    }
+
+    /// Per-net guidance-aware heuristic scaling.
+    #[must_use]
+    pub fn guidance_aware_h(mut self, v: bool) -> Self {
+        self.cfg.guidance_aware_h = v;
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`RouteConfigError`] naming the first offending field.
+    pub fn build(self) -> Result<RouterConfig, RouteConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// A nonsensical [`RouterConfig`] field, found by validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RouteConfigError {
+    /// A float field is NaN or infinite.
+    NotFinite {
+        /// The offending field.
+        field: &'static str,
+    },
+    /// `coarsen` below 1.
+    Coarsen {
+        /// The rejected value.
+        got: i64,
+    },
+    /// Non-positive `via_cost`.
+    ViaCost {
+        /// The rejected value.
+        got: f64,
+    },
+    /// `wrong_dir_mult` below 1.
+    WrongDirMult {
+        /// The rejected value.
+        got: f64,
+    },
+    /// Negative `present_cost` or `history_increment`.
+    NegativePenalties,
+    /// `reuse_discount` outside `[0, 1]`.
+    ReuseDiscount {
+        /// The rejected value.
+        got: f64,
+    },
+    /// Non-positive `min_guidance`.
+    MinGuidance {
+        /// The rejected value.
+        got: f64,
+    },
+    /// Zero `max_iterations`.
+    MaxIterations,
+    /// Negative `bend_penalty`.
+    BendPenalty {
+        /// The rejected value.
+        got: f64,
+    },
+}
+
+// Payload floats are guaranteed finite: `validate` rejects non-finite
+// fields with the payload-free `NotFinite` variant before any range check.
+impl Eq for RouteConfigError {}
+
+impl fmt::Display for RouteConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteConfigError::NotFinite { field } => {
+                write!(f, "router config field `{field}` must be finite")
+            }
+            RouteConfigError::Coarsen { got } => {
+                write!(f, "coarsen must be >= 1, got {got}")
+            }
+            RouteConfigError::ViaCost { got } => {
+                write!(f, "via_cost must be positive, got {got}")
+            }
+            RouteConfigError::WrongDirMult { got } => {
+                write!(f, "wrong_dir_mult must be >= 1, got {got}")
+            }
+            RouteConfigError::NegativePenalties => {
+                write!(f, "congestion penalties must be non-negative")
+            }
+            RouteConfigError::ReuseDiscount { got } => {
+                write!(f, "reuse_discount must be in [0, 1], got {got}")
+            }
+            RouteConfigError::MinGuidance { got } => {
+                write!(f, "min_guidance must be positive, got {got}")
+            }
+            RouteConfigError::MaxIterations => {
+                write!(f, "max_iterations must be at least 1")
+            }
+            RouteConfigError::BendPenalty { got } => {
+                write!(f, "bend_penalty must be non-negative, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteConfigError {}
 
 /// Routing failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +384,8 @@ pub enum RouteError {
         /// Net name for diagnostics.
         name: String,
     },
+    /// The router configuration failed validation.
+    Config(RouteConfigError),
 }
 
 impl fmt::Display for RouteError {
@@ -124,11 +394,25 @@ impl fmt::Display for RouteError {
             RouteError::Unroutable { net, name } => {
                 write!(f, "net `{name}` ({net}) cannot be routed")
             }
+            RouteError::Config(e) => write!(f, "invalid router configuration: {e}"),
         }
     }
 }
 
-impl std::error::Error for RouteError {}
+impl std::error::Error for RouteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouteError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RouteConfigError> for RouteError {
+    fn from(e: RouteConfigError) -> Self {
+        RouteError::Config(e)
+    }
+}
 
 /// Per-net route state during negotiation.
 #[derive(Debug, Clone, Default)]
@@ -157,15 +441,358 @@ impl Task {
     }
 }
 
-/// Routes a placed circuit.
+/// Result of routing one task during a parallel round.
+enum TaskOutcome {
+    /// Routes per member net, in member order.
+    Routed(Vec<(NetId, NetRoute)>),
+    /// The task cannot be routed even ignoring congestion.
+    Unroutable(RouteError),
+    /// The task panicked (fault injection / bugs): its nets fall back to
+    /// sequential routing on the merged grid, after all healthy commits.
+    Faulted(String),
+}
+
+thread_local! {
+    /// Per-worker search scratch. `afrt` scopes its workers per `par_map`
+    /// call, so these are re-initialized each round — still a win, because
+    /// every net a worker routes within a round reuses one allocation.
+    static BUFFERS: RefCell<SearchBuffers> = RefCell::new(SearchBuffers::default());
+}
+
+/// A routing session: a validated configuration plus the worker runtime.
 ///
-/// Without guidance this is the MagicalRoute baseline; with guidance it is
-/// the paper's guided analog detailed routing.
+/// Build one per configuration and reuse it across layouts — validation and
+/// thread-pool setup happen once, in [`Router::new`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use af_route::{Router, RouterConfig, RoutingGuidance};
+/// # fn demo(circuit: &af_netlist::Circuit, placement: &af_place::Placement,
+/// #         tech: &af_tech::Technology) -> Result<(), af_route::RouteError> {
+/// let router = Router::new(RouterConfig::builder().threads(4).build()?)?;
+/// let layout = router.route(circuit, placement, tech, &RoutingGuidance::None)?;
+/// # let _ = layout; Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Router {
+    cfg: RouterConfig,
+    runtime: afrt::Runtime,
+}
+
+impl Router {
+    /// Creates a session from `cfg`, validating it first.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteConfigError`] when the configuration is nonsensical.
+    pub fn new(cfg: RouterConfig) -> Result<Self, RouteConfigError> {
+        cfg.validate()?;
+        let runtime = afrt::Runtime::with_threads(cfg.threads);
+        Ok(Self { cfg, runtime })
+    }
+
+    /// The validated configuration this session routes with.
+    #[must_use]
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Resolved worker count (after `0` = auto resolution).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.runtime.threads()
+    }
+
+    /// Routes a placed circuit.
+    ///
+    /// Without guidance this is the MagicalRoute baseline; with guidance it
+    /// is the paper's guided analog detailed routing. The layout is
+    /// bit-identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::Unroutable`] when a net has no feasible path even
+    /// ignoring congestion (hard blockage).
+    pub fn route(
+        &self,
+        circuit: &Circuit,
+        placement: &Placement,
+        tech: &Technology,
+        guidance: &RoutingGuidance,
+    ) -> Result<RoutedLayout, RouteError> {
+        let cfg = &self.cfg;
+        let t0 = Instant::now();
+        let _route = af_obs::span!("route");
+        let mut grid = RoutingGrid::new(circuit, placement, tech, cfg.coarsen);
+        let aps = PinAccessMap::extract(circuit, placement, &mut grid);
+        let tasks = build_tasks(circuit, &grid, &aps, cfg);
+        af_obs::counter("route.tasks", tasks.len() as u64);
+
+        let debug = std::env::var_os("AF_ROUTE_DEBUG").is_some();
+        let mut routes: HashMap<u32, NetRoute> = HashMap::new();
+        // Every task is uncommitted at first; later rounds only re-route
+        // the contested ones. Indices stay sorted — task order is the merge
+        // order, and the determinism contract hangs off it.
+        let mut pending: Vec<usize> = (0..tasks.len()).collect();
+        let mut rounds: u32 = 0;
+        // Parallel selfish rounds can oscillate near convergence: two
+        // contested tasks each avoid the other's *stale* path and land in
+        // the same fresh channel, forever. Once a round stops strictly
+        // shrinking the conflict set (or the tail is too small to be worth
+        // fanning out), latch into sequential rounds on the live grid —
+        // exactly the legacy negotiation, which sees fresh claims within
+        // the round. The latch depends only on deterministic conflict
+        // counts, so layouts stay thread-count independent.
+        let mut prev_conflicts = usize::MAX;
+        let mut sequential_tail = false;
+        while !pending.is_empty() && rounds < cfg.max_iterations {
+            rounds += 1;
+            af_obs::counter("route.rounds", 1);
+
+            if sequential_tail || pending.len() <= 2 {
+                af_obs::counter("route.sequential_rounds", 1);
+                for &ti in &pending {
+                    for member in tasks[ti].members().into_iter().flatten() {
+                        grid.release_net(member);
+                        routes.remove(&(member.index() as u32));
+                    }
+                }
+                BUFFERS.with(|b| {
+                    let mut buffers = b.borrow_mut();
+                    for &ti in &pending {
+                        route_task(
+                            circuit,
+                            &mut grid,
+                            &aps,
+                            guidance,
+                            cfg,
+                            tasks[ti],
+                            &mut routes,
+                            &mut buffers,
+                        )?;
+                    }
+                    Ok::<(), RouteError>(())
+                })?;
+            } else {
+                // --- Parallel phase: read-only snapshot + per-task overlay. ---
+                let outcomes = self.round(circuit, &grid, &aps, guidance, &tasks, &pending);
+
+                // --- Deterministic merge, in task order. ---
+                // Release every pending task's previous-round claims: they were
+                // visible to the other searches as stale present costs, but the
+                // new routes replace them wholesale.
+                for &ti in &pending {
+                    for member in tasks[ti].members().into_iter().flatten() {
+                        grid.release_net(member);
+                        routes.remove(&(member.index() as u32));
+                    }
+                }
+                let mut faulted: Vec<usize> = Vec::new();
+                let mut unroutable: Option<RouteError> = None;
+                for (k, outcome) in outcomes.into_iter().enumerate() {
+                    match outcome {
+                        TaskOutcome::Routed(rs) => {
+                            for (net, r) in rs {
+                                for &n in &r.nodes {
+                                    // May fail on contested nodes — negotiation
+                                    // resolves those next round.
+                                    grid.claim(n as usize, net);
+                                }
+                                routes.insert(net.index() as u32, r);
+                            }
+                        }
+                        TaskOutcome::Unroutable(e) => {
+                            // Keep the first failure in task order for a
+                            // deterministic error, but finish the merge scan.
+                            if unroutable.is_none() {
+                                unroutable = Some(e);
+                            }
+                        }
+                        TaskOutcome::Faulted(msg) => {
+                            af_obs::counter("route.task_panics", 1);
+                            if debug {
+                                eprintln!("round {rounds}: task {} faulted: {msg}", pending[k]);
+                            }
+                            faulted.push(pending[k]);
+                        }
+                    }
+                }
+                if let Some(e) = unroutable {
+                    return Err(e);
+                }
+                // --- Supervised degradation: faulted tasks re-route
+                // sequentially on the merged grid. ---
+                if !faulted.is_empty() {
+                    af_obs::counter("route.sequential_fallbacks", faulted.len() as u64);
+                    BUFFERS.with(|b| {
+                        let mut buffers = b.borrow_mut();
+                        for &ti in &faulted {
+                            route_task(
+                                circuit,
+                                &mut grid,
+                                &aps,
+                                guidance,
+                                cfg,
+                                tasks[ti],
+                                &mut routes,
+                                &mut buffers,
+                            )?;
+                        }
+                        Ok::<(), RouteError>(())
+                    })?;
+                }
+            }
+
+            // --- Conflict detection & escalation. ---
+            let conflicts = conflicted_nodes(&grid, &routes);
+            if conflicts.is_empty() {
+                pending.clear();
+                break;
+            }
+            if conflicts.len() >= prev_conflicts {
+                sequential_tail = true;
+            }
+            prev_conflicts = conflicts.len();
+            af_obs::counter("route.conflict_nodes", conflicts.len() as u64);
+            if debug {
+                for (&node, users) in &conflicts {
+                    let g = grid.dim().from_flat(node as usize);
+                    eprintln!(
+                        "round {rounds}: conflict at {g} {} users={:?} hist={}",
+                        grid.node_dbu(node as usize),
+                        users
+                            .iter()
+                            .map(|&u| circuit.net(NetId::new(u)).name.clone())
+                            .collect::<Vec<_>>(),
+                        grid.history(node as usize),
+                    );
+                }
+            }
+            // PathFinder semantics: every user of a contested node is ripped
+            // up, the owner included — otherwise a trespasser whose only
+            // passage is a node the owner sits on (e.g. a shared pin escape
+            // column) deadlocks. History bumps commute, so the HashMap
+            // iteration order cannot leak into results.
+            let mut victims: HashSet<u32> = HashSet::new();
+            for (&node, users) in &conflicts {
+                grid.bump_history(node as usize, cfg.history_increment);
+                for &u in users {
+                    victims.insert(u);
+                }
+            }
+            pending = (0..tasks.len())
+                .filter(|&ti| victims.iter().any(|&v| tasks[ti].contains(NetId::new(v))))
+                .collect();
+            af_obs::counter("route.victims_ripped", pending.len() as u64);
+        }
+
+        // Post-process each net: prune stubs, release pruned nodes, compress.
+        let mut nets = Vec::new();
+        let mut pruned: u64 = 0;
+        for (i, _) in circuit.nets().iter().enumerate() {
+            let id = NetId::new(i as u32);
+            let Some(r) = routes.get_mut(&(i as u32)) else {
+                continue;
+            };
+            let pin_nodes: HashSet<u32> = aps
+                .of_net(id)
+                .iter()
+                .map(|ap| grid.dim().flat_index(ap.node) as u32)
+                .collect();
+            let kept = post::prune_stubs(&mut r.edges, &pin_nodes);
+            for &n in r.nodes.iter() {
+                if !kept.contains(&n)
+                    && grid.owner(n as usize) == Some(id)
+                    && !grid.is_pin(n as usize)
+                {
+                    grid.force_free(n as usize);
+                    pruned += 1;
+                }
+            }
+            r.nodes = kept;
+            let segments = post::edges_to_segments(grid.dim(), &r.edges);
+            nets.push(RoutedNet::from_segments(id, segments));
+        }
+
+        let runtime_s = t0.elapsed().as_secs_f64();
+        af_obs::counter("route.drc_fixes", pruned);
+        af_obs::counter("route.nets_routed", nets.len() as u64);
+        if runtime_s > 0.0 {
+            af_obs::counter(
+                "route.nets_per_sec",
+                (nets.len() as f64 / runtime_s).round() as u64,
+            );
+        }
+
+        Ok(RoutedLayout {
+            nets,
+            iterations: rounds.max(1),
+            conflicts: conflicted_nodes(&grid, &routes).len() as u32,
+            runtime_s,
+        })
+    }
+
+    /// Routes `pending` tasks concurrently against the immutable `grid`
+    /// snapshot. Outcomes are ordered like `pending` regardless of worker
+    /// interleaving, and a panic in one task is contained to that task.
+    fn round(
+        &self,
+        circuit: &Circuit,
+        grid: &RoutingGrid,
+        aps: &PinAccessMap,
+        guidance: &RoutingGuidance,
+        tasks: &[Task],
+        pending: &[usize],
+    ) -> Vec<TaskOutcome> {
+        let cfg = &self.cfg;
+        let run = |_k: usize, ti: &usize| -> TaskOutcome {
+            let ti = *ti;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                af_fault::fail!("route.task", key = ti as u64);
+                BUFFERS.with(|b| {
+                    let mut buffers = b.borrow_mut();
+                    route_task_on_view(circuit, grid, aps, guidance, cfg, tasks[ti], &mut buffers)
+                })
+            }));
+            match result {
+                Ok(Ok(rs)) => TaskOutcome::Routed(rs),
+                Ok(Err(e)) => TaskOutcome::Unroutable(e),
+                Err(payload) => TaskOutcome::Faulted(afrt::panic_message(payload.as_ref())),
+            }
+        };
+        if self.runtime.threads() <= 1 || pending.len() <= 1 {
+            // Inline fast path: same closure, same outcomes, no workers.
+            return pending
+                .iter()
+                .enumerate()
+                .map(|(k, ti)| run(k, ti))
+                .collect();
+        }
+        match self.runtime.par_map(pending, run) {
+            Ok(outcomes) => outcomes,
+            // Unreachable in practice (panics are caught inside the task),
+            // but degrade to the inline path rather than give up the round.
+            Err(_) => pending
+                .iter()
+                .enumerate()
+                .map(|(k, ti)| run(k, ti))
+                .collect(),
+        }
+    }
+}
+
+/// Routes a placed circuit (deprecated free-function shim).
 ///
 /// # Errors
 ///
-/// [`RouteError::Unroutable`] when a net has no feasible path even ignoring
-/// congestion (hard blockage).
+/// [`RouteError::Config`] when `cfg` fails validation, otherwise whatever
+/// [`Router::route`] returns.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Router` session instead: `Router::new(cfg.clone())?.route(circuit, placement, tech, guidance)`"
+)]
 pub fn route(
     circuit: &Circuit,
     placement: &Placement,
@@ -173,13 +800,18 @@ pub fn route(
     guidance: &RoutingGuidance,
     cfg: &RouterConfig,
 ) -> Result<RoutedLayout, RouteError> {
-    let t0 = Instant::now();
-    let _route = af_obs::span!("route");
-    let mut grid = RoutingGrid::new(circuit, placement, tech, cfg.coarsen);
-    let aps = PinAccessMap::extract(circuit, placement, &mut grid);
+    let router = Router::new(cfg.clone())?;
+    router.route(circuit, placement, tech, guidance)
+}
 
-    // Build tasks: symmetric pairs first (so the mirror corridor is free),
-    // then remaining nets by descending weight; supplies last.
+/// Builds the work list: symmetric pairs first (so the mirror corridor is
+/// free), then remaining nets by descending weight; supplies last.
+fn build_tasks(
+    circuit: &Circuit,
+    grid: &RoutingGrid,
+    aps: &PinAccessMap,
+    cfg: &RouterConfig,
+) -> Vec<Task> {
     let mut tasks: Vec<Task> = Vec::new();
     let mut in_pair = vec![false; circuit.nets().len()];
     if cfg.enforce_symmetry {
@@ -188,7 +820,7 @@ pub fn route(
             // exact mirror images AND net `a` lives strictly left of the
             // axis (mirrored routing confines each net to its half-plane, so
             // cross-axis pairs fall back to independent routing).
-            if !aps_mirror(&grid, &aps, a, b) || !one_sided(&grid, &aps, a) {
+            if !aps_mirror(grid, aps, a, b) || !one_sided(grid, aps, a) {
                 continue;
             }
             if aps.of_net(a).len() >= 2 || aps.of_net(b).len() >= 2 {
@@ -221,121 +853,7 @@ pub fn route(
             .then(a.cmp(&b))
     });
     tasks.extend(singles.into_iter().map(Task::Single));
-    af_obs::counter("route.tasks", tasks.len() as u64);
-
-    let mut routes: HashMap<u32, NetRoute> = HashMap::new();
-    let mut buffers = SearchBuffers::default();
-
-    // Initial pass.
-    for &task in &tasks {
-        route_task(
-            circuit,
-            &mut grid,
-            &aps,
-            guidance,
-            cfg,
-            task,
-            &mut routes,
-            &mut buffers,
-        )?;
-    }
-
-    // Negotiated rip-up & re-route.
-    let debug = std::env::var_os("AF_ROUTE_DEBUG").is_some();
-    let mut iterations = 1;
-    let mut conflicts = conflicted_nodes(&grid, &routes);
-    while !conflicts.is_empty() && iterations < cfg.max_iterations {
-        af_obs::counter("route.ripup_iterations", 1);
-        af_obs::counter("route.conflict_nodes", conflicts.len() as u64);
-        if debug {
-            for (&node, users) in &conflicts {
-                let g = grid.dim().from_flat(node as usize);
-                eprintln!(
-                    "iter {iterations}: conflict at {g} {} users={:?} hist={}",
-                    grid.node_dbu(node as usize),
-                    users
-                        .iter()
-                        .map(|&u| circuit.net(NetId::new(u)).name.clone())
-                        .collect::<Vec<_>>(),
-                    grid.history(node as usize),
-                );
-            }
-        }
-        iterations += 1;
-        // Raise history on contested nodes.
-        // PathFinder semantics: every user of a contested node is ripped up,
-        // the owner included — otherwise a trespasser whose only passage is a
-        // node the owner sits on (e.g. a shared pin escape column) deadlocks.
-        let mut victims: HashSet<u32> = HashSet::new();
-        for (&node, users) in &conflicts {
-            grid.bump_history(node as usize, cfg.history_increment);
-            for &u in users {
-                victims.insert(u);
-            }
-        }
-        // Expand victims to whole tasks and rip them up.
-        let victim_tasks: Vec<Task> = tasks
-            .iter()
-            .copied()
-            .filter(|t| victims.iter().any(|&v| t.contains(NetId::new(v))))
-            .collect();
-        af_obs::counter("route.victims_ripped", victim_tasks.len() as u64);
-        for task in &victim_tasks {
-            for member in task.members().into_iter().flatten() {
-                grid.release_net(member);
-                routes.remove(&(member.index() as u32));
-            }
-        }
-        for &task in &victim_tasks {
-            route_task(
-                circuit,
-                &mut grid,
-                &aps,
-                guidance,
-                cfg,
-                task,
-                &mut routes,
-                &mut buffers,
-            )?;
-        }
-        conflicts = conflicted_nodes(&grid, &routes);
-    }
-
-    // Post-process each net: prune stubs, release pruned nodes, compress.
-    let mut nets = Vec::new();
-    let mut pruned: u64 = 0;
-    for (i, _) in circuit.nets().iter().enumerate() {
-        let id = NetId::new(i as u32);
-        let Some(r) = routes.get_mut(&(i as u32)) else {
-            continue;
-        };
-        let pin_nodes: HashSet<u32> = aps
-            .of_net(id)
-            .iter()
-            .map(|ap| grid.dim().flat_index(ap.node) as u32)
-            .collect();
-        let kept = post::prune_stubs(&mut r.edges, &pin_nodes);
-        for &n in r.nodes.iter() {
-            if !kept.contains(&n) && grid.owner(n as usize) == Some(id) && !grid.is_pin(n as usize)
-            {
-                grid.force_free(n as usize);
-                pruned += 1;
-            }
-        }
-        r.nodes = kept;
-        let segments = post::edges_to_segments(grid.dim(), &r.edges);
-        nets.push(RoutedNet::from_segments(id, segments));
-    }
-
-    af_obs::counter("route.drc_fixes", pruned);
-    af_obs::counter("route.nets_routed", nets.len() as u64);
-
-    Ok(RoutedLayout {
-        nets,
-        iterations,
-        conflicts: conflicted_nodes(&grid, &routes).len() as u32,
-        runtime_s: t0.elapsed().as_secs_f64(),
-    })
+    tasks
 }
 
 /// Whether every AP of `a` lies strictly left of the symmetry axis.
@@ -385,10 +903,42 @@ fn conflicted_nodes(grid: &RoutingGrid, routes: &HashMap<u32, NetRoute>) -> Hash
     conflicts
 }
 
-#[allow(clippy::too_many_arguments)]
-fn route_task(
+/// Routes one task against a private [`TaskView`] of the shared grid,
+/// returning its members' routes in member order.
+fn route_task_on_view(
     circuit: &Circuit,
-    grid: &mut RoutingGrid,
+    base: &RoutingGrid,
+    aps: &PinAccessMap,
+    guidance: &RoutingGuidance,
+    cfg: &RouterConfig,
+    task: Task,
+    buffers: &mut SearchBuffers,
+) -> Result<Vec<(NetId, NetRoute)>, RouteError> {
+    let mut view = TaskView::new(base, task.members());
+    let mut routes: HashMap<u32, NetRoute> = HashMap::new();
+    route_task(
+        circuit,
+        &mut view,
+        aps,
+        guidance,
+        cfg,
+        task,
+        &mut routes,
+        buffers,
+    )?;
+    let mut out = Vec::new();
+    for member in task.members().into_iter().flatten() {
+        if let Some(r) = routes.remove(&(member.index() as u32)) {
+            out.push((member, r));
+        }
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route_task<G: GridView>(
+    circuit: &Circuit,
+    grid: &mut G,
     aps: &PinAccessMap,
     guidance: &RoutingGuidance,
     cfg: &RouterConfig,
@@ -409,7 +959,7 @@ fn route_task(
                 let g = grid.dim().from_flat(n as usize);
                 if let Some(m) = grid.mirror(g) {
                     let mi = grid.dim().flat_index(m) as u32;
-                    grid.claim(mi as usize, b);
+                    grid.claim_node(mi as usize, b);
                     rb.nodes.insert(mi);
                 }
             }
@@ -453,9 +1003,9 @@ fn route_task(
 
 /// Routes one net: connects all its access points into a single tree.
 #[allow(clippy::too_many_arguments)]
-fn route_net(
+fn route_net<G: GridView>(
     circuit: &Circuit,
-    grid: &mut RoutingGrid,
+    grid: &mut G,
     aps: &PinAccessMap,
     guidance: &RoutingGuidance,
     cfg: &RouterConfig,
@@ -481,11 +1031,16 @@ fn route_net(
     remaining.sort_by_key(|&n| grid.dim().from_flat(n as usize).manhattan(seed));
 
     while !remaining.is_empty() {
-        let sources: Vec<usize> = route.nodes.iter().map(|&n| n as usize).collect();
+        // Sorted sources: `route.nodes` is a HashSet whose iteration order
+        // is seeded per instance, and the bucket open list pops LIFO within
+        // a bucket — push order must not leak into results.
+        let mut sources: Vec<usize> = route.nodes.iter().map(|&n| n as usize).collect();
+        sources.sort_unstable();
         let targets: Vec<usize> = remaining.iter().map(|&n| n as usize).collect();
         let step = StepCost {
-            grid,
+            grid: &*grid,
             guidance,
+            guidance_norm: guidance.scale_floor(net).recip(),
             cfg,
             net,
             mirror_net,
@@ -501,7 +1056,7 @@ fn route_net(
         let mut prev: Option<u32> = None;
         for &n in &found.nodes {
             let n32 = n as u32;
-            grid.claim(n, net); // may fail on contested nodes — negotiation handles it
+            grid.claim_node(n, net); // may fail on contested nodes — negotiation handles it
             route.nodes.insert(n32);
             if let Some(p) = prev {
                 route.edges.insert((p.min(n32), p.max(n32)));
@@ -520,17 +1075,16 @@ mod tests {
     use af_netlist::benchmarks;
     use af_place::{place, PlacementVariant};
 
+    fn route_with(circuit: &Circuit, p: &Placement, cfg: RouterConfig) -> RoutedLayout {
+        Router::new(cfg)
+            .unwrap()
+            .route(circuit, p, &Technology::nm40(), &RoutingGuidance::None)
+            .unwrap()
+    }
+
     fn routed(circuit: &Circuit) -> RoutedLayout {
         let p = place(circuit, PlacementVariant::A);
-        let t = Technology::nm40();
-        route(
-            circuit,
-            &p,
-            &t,
-            &RoutingGuidance::None,
-            &RouterConfig::default(),
-        )
-        .unwrap()
+        route_with(circuit, &p, RouterConfig::default())
     }
 
     #[test]
@@ -583,10 +1137,58 @@ mod tests {
     fn deterministic() {
         let c = benchmarks::ota2();
         let p = place(&c, PlacementVariant::B);
-        let t = Technology::nm40();
-        let l1 = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
-        let l2 = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let l1 = route_with(&c, &p, RouterConfig::default());
+        let l2 = route_with(&c, &p, RouterConfig::default());
         assert_eq!(l1.nets, l2.nets);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_layout() {
+        let c = benchmarks::ota3();
+        let p = place(&c, PlacementVariant::A);
+        let base = route_with(&c, &p, RouterConfig::default());
+        for threads in [2, 4, 8] {
+            let cfg = RouterConfig::builder().threads(threads).build().unwrap();
+            let l = route_with(&c, &p, cfg);
+            assert_eq!(
+                base.nets, l.nets,
+                "{threads}-thread layout must be bit-identical to 1-thread"
+            );
+            assert_eq!(base.conflicts, l.conflicts);
+        }
+    }
+
+    #[test]
+    fn open_list_engines_route_equivalently() {
+        // Different engines may legally differ on cost ties, but both must
+        // converge to clean layouts of comparable quality.
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let bucket = route_with(
+            &c,
+            &p,
+            RouterConfig::builder()
+                .open_list(OpenListKind::Bucket)
+                .build()
+                .unwrap(),
+        );
+        let heap = route_with(
+            &c,
+            &p,
+            RouterConfig::builder()
+                .open_list(OpenListKind::Heap)
+                .build()
+                .unwrap(),
+        );
+        assert!(bucket.is_clean() && heap.is_clean());
+        let (wb, wh) = (
+            bucket.total_wirelength() as f64,
+            heap.total_wirelength() as f64,
+        );
+        assert!(
+            (wb - wh).abs() / wb.max(wh) < 0.2,
+            "engines diverged: {wb} vs {wh}"
+        );
     }
 
     #[test]
@@ -597,7 +1199,8 @@ mod tests {
         let c = benchmarks::ota1();
         let p = place(&c, PlacementVariant::A);
         let t = Technology::nm40();
-        let base = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let router = Router::new(RouterConfig::default()).unwrap();
+        let base = router.route(&c, &p, &t, &RoutingGuidance::None).unwrap();
 
         let mut g = NonUniformGuidance::new();
         // make vertical routing very expensive for the output net
@@ -610,14 +1213,9 @@ mod tests {
                 CostTriple([1.0, 8.0, 4.0]),
             );
         }
-        let guided = route(
-            &c,
-            &p,
-            &t,
-            &RoutingGuidance::NonUniform(g),
-            &RouterConfig::default(),
-        )
-        .unwrap();
+        let guided = router
+            .route(&c, &p, &t, &RoutingGuidance::NonUniform(g))
+            .unwrap();
         assert_ne!(
             base.net(vout).map(|n| &n.segments),
             guided.net(vout).map(|n| &n.segments),
@@ -628,6 +1226,36 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         RouterConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn builder_validates_on_build() {
+        let cfg = RouterConfig::builder()
+            .threads(3)
+            .via_cost(5.0)
+            .bidirectional(false)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.via_cost, 5.0);
+        assert!(!cfg.bidirectional);
+
+        let err = RouterConfig::builder().coarsen(0).build().unwrap_err();
+        assert_eq!(err, RouteConfigError::Coarsen { got: 0 });
+        assert!(Router::new(RouterConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn router_new_rejects_bad_config() {
+        let cfg = RouterConfig {
+            min_guidance: 0.0,
+            ..Default::default()
+        };
+        let err = Router::new(cfg).unwrap_err();
+        assert_eq!(err, RouteConfigError::MinGuidance { got: 0.0 });
+        // and the error folds into RouteError for the shim path
+        let re: RouteError = err.into();
+        assert!(re.to_string().contains("min_guidance"));
     }
 
     #[test]
@@ -643,6 +1271,13 @@ mod tests {
             (
                 RouterConfig {
                     via_cost: 0.0,
+                    ..RouterConfig::default()
+                },
+                "via_cost",
+            ),
+            (
+                RouterConfig {
+                    via_cost: f64::NAN,
                     ..RouterConfig::default()
                 },
                 "via_cost",
@@ -692,8 +1327,34 @@ mod tests {
         ];
         for (cfg, needle) in cases {
             let err = cfg.validate().unwrap_err();
-            assert!(err.contains(needle), "{err} should mention {needle}");
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_route_shim_matches_session() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let cfg = RouterConfig::default();
+        let via_shim = route(&c, &p, &t, &RoutingGuidance::None, &cfg).unwrap();
+        let via_session = Router::new(cfg)
+            .unwrap()
+            .route(&c, &p, &t, &RoutingGuidance::None)
+            .unwrap();
+        assert_eq!(via_shim.nets, via_session.nets);
+
+        // invalid config surfaces as RouteError::Config through the shim
+        let bad = RouterConfig {
+            max_iterations: 0,
+            ..RouterConfig::default()
+        };
+        let err = route(&c, &p, &t, &RoutingGuidance::None, &bad).unwrap_err();
+        assert!(matches!(err, RouteError::Config(_)));
     }
 
     #[test]
@@ -710,7 +1371,6 @@ mod tests {
     fn bend_penalty_reduces_bends() {
         let c = benchmarks::ota1();
         let p = place(&c, PlacementVariant::A);
-        let t = Technology::nm40();
         let count_bends = |layout: &RoutedLayout| -> usize {
             // planar segments per net minus one approximates bend count
             layout
@@ -725,28 +1385,22 @@ mod tests {
                 })
                 .sum()
         };
-        let straight = route(
+        let straight = route_with(
             &c,
             &p,
-            &t,
-            &RoutingGuidance::None,
-            &RouterConfig {
+            RouterConfig {
                 bend_penalty: 3.0,
                 ..RouterConfig::default()
             },
-        )
-        .unwrap();
-        let free = route(
+        );
+        let free = route_with(
             &c,
             &p,
-            &t,
-            &RoutingGuidance::None,
-            &RouterConfig {
+            RouterConfig {
                 bend_penalty: 0.0,
                 ..RouterConfig::default()
             },
-        )
-        .unwrap();
+        );
         assert!(
             count_bends(&straight) <= count_bends(&free),
             "bend penalty must not increase bends: {} vs {}",
@@ -759,12 +1413,37 @@ mod tests {
     fn disabling_symmetry_still_routes() {
         let c = benchmarks::ota1();
         let p = place(&c, PlacementVariant::A);
-        let t = Technology::nm40();
         let cfg = RouterConfig {
             enforce_symmetry: false,
             ..RouterConfig::default()
         };
-        let layout = route(&c, &p, &t, &RoutingGuidance::None, &cfg).unwrap();
+        let layout = route_with(&c, &p, cfg);
         assert!(layout.is_clean());
+    }
+
+    #[test]
+    fn faulted_task_degrades_to_sequential() {
+        // Arm a one-shot panic inside the first route task; the round must
+        // absorb it, re-route the victim sequentially on the merged grid,
+        // and still converge to a clean, complete layout.
+        let _guard = af_fault::scenario();
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+
+        af_fault::arm_spec("route.task:panic:1.0:1").unwrap();
+        let faulted = route_with(&c, &p, RouterConfig::default());
+        let stats = af_fault::stats("route.task").expect("failpoint armed");
+        af_fault::disarm_all();
+        assert!(stats.fires >= 1, "failpoint should have fired");
+        assert!(faulted.is_clean(), "{} conflicts", faulted.conflicts);
+        for (i, net) in c.nets().iter().enumerate() {
+            if net.is_routable() {
+                assert!(
+                    faulted.net(NetId::new(i as u32)).is_some(),
+                    "net `{}` missing after fault degradation",
+                    net.name
+                );
+            }
+        }
     }
 }

@@ -21,13 +21,16 @@ const LAYER_COLORS: [&str; 4] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd"];
 /// ```
 /// use af_netlist::benchmarks;
 /// use af_place::{place, PlacementVariant};
-/// use af_route::{render_svg, route, RouterConfig, RoutingGuidance};
+/// use af_route::{render_svg, Router, RouterConfig, RoutingGuidance};
 /// use af_tech::Technology;
 ///
 /// let c = benchmarks::ota1();
 /// let p = place(&c, PlacementVariant::A);
 /// let t = Technology::nm40();
-/// let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+/// let l = Router::new(RouterConfig::default())
+///     .unwrap()
+///     .route(&c, &p, &t, &RoutingGuidance::None)
+///     .unwrap();
 /// let svg = render_svg(&c, &p, &l, "OTA1-A baseline");
 /// assert!(svg.starts_with("<svg"));
 /// ```
@@ -131,7 +134,7 @@ pub fn render_svg(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{route, RouterConfig, RoutingGuidance};
+    use crate::{Router, RouterConfig, RoutingGuidance};
     use af_netlist::benchmarks;
     use af_place::{place, PlacementVariant};
     use af_tech::Technology;
@@ -141,7 +144,10 @@ mod tests {
         let c = benchmarks::ota1();
         let p = place(&c, PlacementVariant::A);
         let t = Technology::nm40();
-        let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let l = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&c, &p, &t, &RoutingGuidance::None)
+            .unwrap();
         let svg = render_svg(&c, &p, &l, "test");
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));

@@ -84,6 +84,8 @@ pub struct RouteRequest {
     pub n_derive: Option<u64>,
     /// RNG seed (default 99).
     pub seed: Option<u64>,
+    /// Router worker threads (default 1; `0` = auto via `AFRT_THREADS`).
+    pub route_threads: Option<u64>,
 }
 
 /// `POST /v1/route` response body (`202 Accepted`).

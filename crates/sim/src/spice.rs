@@ -202,12 +202,15 @@ mod tests {
     #[test]
     fn parasitic_deck_contains_wire_elements() {
         use af_place::{place, PlacementVariant};
-        use af_route::{route, RouterConfig, RoutingGuidance};
+        use af_route::{Router, RouterConfig, RoutingGuidance};
         use af_tech::Technology;
         let c = benchmarks::ota1();
         let p = place(&c, PlacementVariant::A);
         let t = Technology::nm40();
-        let l = route(&c, &p, &t, &RoutingGuidance::None, &RouterConfig::default()).unwrap();
+        let l = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&c, &p, &t, &RoutingGuidance::None)
+            .unwrap();
         let px = af_extract::extract(&c, &t, &l);
         let deck = to_spice(&c, Some(&px));
         assert!(deck.contains("Rw_vout "), "wire resistance exported");

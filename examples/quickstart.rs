@@ -1,11 +1,11 @@
-//! Quickstart: place, route, extract, and simulate one OTA benchmark.
+//! Quickstart: place, Router, extract, and simulate one OTA benchmark.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use analogfold_suite::extract::extract;
 use analogfold_suite::netlist::benchmarks;
 use analogfold_suite::place::{place, PlacementVariant};
-use analogfold_suite::route::{route, RouterConfig, RoutingGuidance};
+use analogfold_suite::route::{Router, RouterConfig, RoutingGuidance};
 use analogfold_suite::sim::{simulate, SimConfig};
 use analogfold_suite::tech::Technology;
 
@@ -27,12 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         placement.die().height() as f64 / 1e3
     );
 
-    let layout = route(
+    let layout = Router::new(RouterConfig::default()).unwrap().route(
         &circuit,
         &placement,
         &tech,
         &RoutingGuidance::None,
-        &RouterConfig::default(),
     )?;
     println!(
         "routed {} nets, {:.1} um wire, {} vias, {} conflicts, {:.2}s",

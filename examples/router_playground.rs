@@ -11,7 +11,7 @@ use analogfold_suite::geom::{CostTriple, Point3};
 use analogfold_suite::netlist::benchmarks;
 use analogfold_suite::place::{place, PlacementVariant};
 use analogfold_suite::route::{
-    render_svg, route, NonUniformGuidance, RouterConfig, RoutingGuidance,
+    render_svg, NonUniformGuidance, Router, RouterConfig, RoutingGuidance,
 };
 use analogfold_suite::sim::{simulate, SimConfig};
 use analogfold_suite::tech::Technology;
@@ -57,13 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "scenario", "wire(um)", "vias", "offset(uV)", "noise(uV)"
     );
     for (i, (name, guidance)) in scenarios.iter().enumerate() {
-        let layout = route(
-            &circuit,
-            &placement,
-            &tech,
-            guidance,
-            &RouterConfig::default(),
-        )?;
+        let layout = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&circuit, &placement, &tech, guidance)?;
         let px = extract(&circuit, &tech, &layout);
         let perf = simulate(&circuit, Some(&px), &SimConfig::default())?;
         println!(

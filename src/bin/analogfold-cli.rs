@@ -3,12 +3,13 @@
 //!
 //! ```text
 //! analogfold-cli route    <OTA1..OTA4> <A..D> [--svg FILE] [--def FILE] [--report]
+//!                         [--route-threads N]
 //! analogfold-cli simulate <OTA1..OTA4> [A..D] [--schematic]
 //! analogfold-cli spice    <OTA1..OTA4> [A..D] [--schematic] [--out FILE]
 //! analogfold-cli train    <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--threads N] [--out FILE]
 //! analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N] [--threads N]
 //! analogfold-cli flow     <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--restarts N]
-//!                         [--threads N] [--cache-mb N] [--no-cache]
+//!                         [--threads N] [--route-threads N] [--cache-mb N] [--no-cache]
 //!                         [--obs-jsonl FILE] [--obs-report]
 //! analogfold-cli serve    <OTA1..OTA4> <A..D> --model FILE [--addr HOST:PORT] [--threads N]
 //!                         [--jobs DIR] [--cache-mb N] [--no-cache] [--obs-jsonl FILE]
@@ -29,7 +30,7 @@ use analogfold_suite::analogfold::{
 use analogfold_suite::extract::extract;
 use analogfold_suite::netlist::{benchmarks, Circuit, DeviceKind};
 use analogfold_suite::place::{place, Placement};
-use analogfold_suite::route::{render_svg, route, write_def, RouterConfig, RoutingGuidance};
+use analogfold_suite::route::{render_svg, write_def, Router, RouterConfig, RoutingGuidance};
 use analogfold_suite::sim::{psrr_db, simulate, to_spice, Performance, SimConfig};
 use analogfold_suite::tech::Technology;
 
@@ -48,12 +49,13 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   analogfold-cli route    <OTA1..OTA4> <A..D> [--svg FILE] [--def FILE] [--report]
+                          [--route-threads N]
   analogfold-cli simulate <OTA1..OTA4> [A..D] [--schematic]
   analogfold-cli spice    <OTA1..OTA4> [A..D] [--schematic] [--out FILE]
   analogfold-cli train    <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--threads N] [--out FILE]
   analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N] [--threads N]
   analogfold-cli flow     <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--restarts N]
-                          [--threads N] [--cache-mb N] [--no-cache]
+                          [--threads N] [--route-threads N] [--cache-mb N] [--no-cache]
                           [--obs-jsonl FILE] [--obs-report]
   analogfold-cli serve    <OTA1..OTA4> <A..D> --model FILE [--addr HOST:PORT] [--threads N]
                           [--jobs DIR] [--cache-mb N] [--no-cache] [--obs-jsonl FILE]
@@ -92,7 +94,7 @@ fn parse_circuit(args: &[String]) -> Result<Circuit, String> {
 
 use analogfold_suite::cli::{
     cache_mb_flag, fault_flag, flag_num, flag_value, has_flag, obs_flags, obs_install,
-    threads_flag, variant_arg as parse_variant,
+    route_threads_flag, threads_flag, variant_arg as parse_variant,
 };
 
 fn print_perf(label: &str, p: &Performance) {
@@ -109,8 +111,16 @@ fn routed(
     placement: &Placement,
     tech: &Technology,
     guidance: &RoutingGuidance,
+    threads: usize,
 ) -> Result<analogfold_suite::route::RoutedLayout, String> {
-    route(circuit, placement, tech, guidance, &RouterConfig::default()).map_err(|e| e.to_string())
+    let cfg = RouterConfig::builder()
+        .threads(threads)
+        .build()
+        .map_err(|e| e.to_string())?;
+    Router::new(cfg)
+        .map_err(|e| e.to_string())?
+        .route(circuit, placement, tech, guidance)
+        .map_err(|e| e.to_string())
 }
 
 fn cmd_route(args: &[String]) -> Result<(), String> {
@@ -118,7 +128,13 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
     let variant = parse_variant(args, 1);
     let tech = Technology::nm40();
     let placement = place(&circuit, variant);
-    let layout = routed(&circuit, &placement, &tech, &RoutingGuidance::None)?;
+    let layout = routed(
+        &circuit,
+        &placement,
+        &tech,
+        &RoutingGuidance::None,
+        route_threads_flag(args),
+    )?;
     println!(
         "{}-{variant}: {} nets, {:.1} um wire, {} vias, {} conflicts, {:.2}s",
         circuit.name(),
@@ -159,7 +175,13 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         let variant = parse_variant(args, 1);
         let tech = Technology::nm40();
         let placement = place(&circuit, variant);
-        let layout = routed(&circuit, &placement, &tech, &RoutingGuidance::None)?;
+        let layout = routed(
+            &circuit,
+            &placement,
+            &tech,
+            &RoutingGuidance::None,
+            route_threads_flag(args),
+        )?;
         let px = extract(&circuit, &tech, &layout);
         let post = simulate(&circuit, Some(&px), &cfg).map_err(|e| e.to_string())?;
         print_perf(&format!("{}-{variant} post-layout", circuit.name()), &post);
@@ -177,7 +199,13 @@ fn cmd_spice(args: &[String]) -> Result<(), String> {
         let variant = parse_variant(args, 1);
         let tech = Technology::nm40();
         let placement = place(&circuit, variant);
-        let layout = routed(&circuit, &placement, &tech, &RoutingGuidance::None)?;
+        let layout = routed(
+            &circuit,
+            &placement,
+            &tech,
+            &RoutingGuidance::None,
+            route_threads_flag(args),
+        )?;
         let px = extract(&circuit, &tech, &layout);
         to_spice(&circuit, Some(&px))
     };
@@ -255,7 +283,13 @@ fn cmd_guide(args: &[String]) -> Result<(), String> {
     println!("best potential: {:.5}", best.potential);
 
     let field = RoutingGuidance::NonUniform(guidance_field(&graph, &best.guidance));
-    let layout = routed(&circuit, &placement, &tech, &field)?;
+    let layout = routed(
+        &circuit,
+        &placement,
+        &tech,
+        &field,
+        route_threads_flag(args),
+    )?;
     let px = extract(&circuit, &tech, &layout);
     let perf = simulate(&circuit, Some(&px), &SimConfig::default()).map_err(|e| e.to_string())?;
     print_perf(&format!("{}-{variant} guided", circuit.name()), &perf);
@@ -282,6 +316,7 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
         .restarts(restarts)
         .n_derive(flag_num(args, "--n-derive", 3).min(restarts))
         .threads(threads)
+        .route_threads(route_threads_flag(args))
         .cache_mb(cache_mb_flag(args, 64))
         .placement_s(placement_s)
         .build()

@@ -9,7 +9,7 @@ use analogfold_suite::analogfold::{
 use analogfold_suite::extract::extract;
 use analogfold_suite::netlist::benchmarks;
 use analogfold_suite::place::{place, PlacementVariant};
-use analogfold_suite::route::{route, RouterConfig, RoutingGuidance};
+use analogfold_suite::route::{Router, RouterConfig, RoutingGuidance};
 use analogfold_suite::sim::{simulate, SimConfig};
 use analogfold_suite::tech::Technology;
 
@@ -19,14 +19,10 @@ fn placement_routing_extraction_simulation_deterministic() {
     let tech = Technology::nm40();
     let run = || {
         let p = place(&circuit, PlacementVariant::C);
-        let l = route(
-            &circuit,
-            &p,
-            &tech,
-            &RoutingGuidance::None,
-            &RouterConfig::default(),
-        )
-        .unwrap();
+        let l = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&circuit, &p, &tech, &RoutingGuidance::None)
+            .unwrap();
         let x = extract(&circuit, &tech, &l);
         let perf = simulate(&circuit, Some(&x), &SimConfig::default()).unwrap();
         (p, l, perf)
@@ -456,5 +452,32 @@ fn gnn_program_replay_and_recompilation_deterministic() {
     assert_eq!(first.0.to_bits(), again.0.to_bits(), "replay drifted");
     for (a, b) in first.1.iter().zip(&again.1) {
         assert_eq!(a.to_bits(), b.to_bits(), "replay gradient drifted");
+    }
+}
+
+/// The router's parallel-negotiation contract: the routed layout is
+/// bit-identical at every worker count — the per-round snapshot plus
+/// deterministic task-order merge must hide scheduling entirely.
+#[test]
+fn routing_thread_count_invariant() {
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let run = |threads: usize| {
+        let cfg = RouterConfig::builder().threads(threads).build().unwrap();
+        Router::new(cfg)
+            .unwrap()
+            .route(&circuit, &placement, &tech, &RoutingGuidance::None)
+            .unwrap()
+    };
+    let reference = run(1);
+    for threads in [4usize, 8] {
+        let layout = run(threads);
+        assert_eq!(
+            reference.nets, layout.nets,
+            "layout must be bit-identical at {threads} threads"
+        );
+        assert_eq!(reference.conflicts, layout.conflicts);
+        assert_eq!(reference.iterations, layout.iterations);
     }
 }

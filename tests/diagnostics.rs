@@ -6,7 +6,7 @@ use analogfold_suite::extract::extract;
 use analogfold_suite::netlist::benchmarks;
 use analogfold_suite::place::{place, PlacementVariant};
 use analogfold_suite::route::{
-    estimate_congestion, measure_congestion, render_svg, route, write_def, RouterConfig,
+    estimate_congestion, measure_congestion, render_svg, write_def, Router, RouterConfig,
     RoutingGuidance,
 };
 use analogfold_suite::sim::to_spice;
@@ -17,14 +17,10 @@ fn diagnostics_are_coherent() {
     let circuit = benchmarks::ota2();
     let tech = Technology::nm40();
     let placement = place(&circuit, PlacementVariant::A);
-    let layout = route(
-        &circuit,
-        &placement,
-        &tech,
-        &RoutingGuidance::None,
-        &RouterConfig::default(),
-    )
-    .unwrap();
+    let layout = Router::new(RouterConfig::default())
+        .unwrap()
+        .route(&circuit, &placement, &tech, &RoutingGuidance::None)
+        .unwrap();
 
     // per-layer wirelength sums to the total
     let by_layer = layout.wirelength_by_layer(tech.num_layers());

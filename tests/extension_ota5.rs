@@ -4,7 +4,7 @@
 use analogfold_suite::extract::extract;
 use analogfold_suite::netlist::benchmarks;
 use analogfold_suite::place::{place, PlacementVariant};
-use analogfold_suite::route::{route, RouterConfig, RoutingGuidance};
+use analogfold_suite::route::{Router, RouterConfig, RoutingGuidance};
 use analogfold_suite::sim::{simulate, SimConfig};
 use analogfold_suite::tech::Technology;
 
@@ -23,14 +23,10 @@ fn ota5_full_stack() {
 
     let placement = place(&circuit, PlacementVariant::A);
     placement.check(&circuit).expect("legal placement");
-    let layout = route(
-        &circuit,
-        &placement,
-        &tech,
-        &RoutingGuidance::None,
-        &RouterConfig::default(),
-    )
-    .expect("routable");
+    let layout = Router::new(RouterConfig::default())
+        .unwrap()
+        .route(&circuit, &placement, &tech, &RoutingGuidance::None)
+        .expect("routable");
     assert!(layout.conflicts <= 2, "{} conflicts", layout.conflicts);
 
     let px = extract(&circuit, &tech, &layout);

@@ -6,7 +6,7 @@ use analogfold_suite::geom::{Axis, CostTriple, Point3};
 use analogfold_suite::netlist::benchmarks;
 use analogfold_suite::place::{place, PlacementVariant};
 use analogfold_suite::route::{
-    route, GuidanceMap2D, NonUniformGuidance, RouterConfig, RoutingGuidance,
+    GuidanceMap2D, NonUniformGuidance, Router, RouterConfig, RoutingGuidance,
 };
 use analogfold_suite::tech::Technology;
 
@@ -35,15 +35,19 @@ fn via_penalty_reduces_vias_on_guided_net() {
     let cfg = RouterConfig::default();
     let vout = circuit.net_by_name("vout").unwrap();
 
-    let base = route(&circuit, &placement, &tech, &RoutingGuidance::None, &cfg).unwrap();
-    let guided = route(
-        &circuit,
-        &placement,
-        &tech,
-        &field_for(&circuit, &placement, &["vout"], CostTriple([1.0, 1.0, 4.0])),
-        &cfg,
-    )
-    .unwrap();
+    let base = Router::new(cfg.clone())
+        .unwrap()
+        .route(&circuit, &placement, &tech, &RoutingGuidance::None)
+        .unwrap();
+    let guided = Router::new(cfg.clone())
+        .unwrap()
+        .route(
+            &circuit,
+            &placement,
+            &tech,
+            &field_for(&circuit, &placement, &["vout"], CostTriple([1.0, 1.0, 4.0])),
+        )
+        .unwrap();
     let base_vias = base.net(vout).map(|n| n.vias).unwrap_or(0);
     let guided_vias = guided.net(vout).map(|n| n.vias).unwrap_or(0);
     assert!(
@@ -67,15 +71,19 @@ fn uniform_scaling_is_a_noop() {
         .collect();
     let refs: Vec<&str> = all_nets.iter().map(String::as_str).collect();
 
-    let base = route(&circuit, &placement, &tech, &RoutingGuidance::None, &cfg).unwrap();
-    let scaled = route(
-        &circuit,
-        &placement,
-        &tech,
-        &field_for(&circuit, &placement, &refs, CostTriple::uniform(2.0)),
-        &cfg,
-    )
-    .unwrap();
+    let base = Router::new(cfg.clone())
+        .unwrap()
+        .route(&circuit, &placement, &tech, &RoutingGuidance::None)
+        .unwrap();
+    let scaled = Router::new(cfg.clone())
+        .unwrap()
+        .route(
+            &circuit,
+            &placement,
+            &tech,
+            &field_for(&circuit, &placement, &refs, CostTriple::uniform(2.0)),
+        )
+        .unwrap();
     assert_eq!(base.nets, scaled.nets);
 }
 
@@ -105,8 +113,14 @@ fn map_guidance_router_optimizes_the_guided_objective() {
     map.set_net(vout, vec![6.0, 1.0]);
     let guidance = RoutingGuidance::Map(map);
 
-    let base = route(&circuit, &placement, &tech, &RoutingGuidance::None, &cfg).unwrap();
-    let guided = route(&circuit, &placement, &tech, &guidance, &cfg).unwrap();
+    let base = Router::new(cfg.clone())
+        .unwrap()
+        .route(&circuit, &placement, &tech, &RoutingGuidance::None)
+        .unwrap();
+    let guided = Router::new(cfg.clone())
+        .unwrap()
+        .route(&circuit, &placement, &tech, &guidance)
+        .unwrap();
 
     let map_cost = |layout: &analogfold_suite::route::RoutedLayout| -> f64 {
         layout
@@ -146,14 +160,15 @@ fn guided_routing_remains_connected_and_extractable() {
         .map(|&n| circuit.net(n).name.clone())
         .collect();
     let refs: Vec<&str> = nets.iter().map(String::as_str).collect();
-    let guided = route(
-        &circuit,
-        &placement,
-        &tech,
-        &field_for(&circuit, &placement, &refs, CostTriple([0.5, 1.8, 2.5])),
-        &cfg,
-    )
-    .unwrap();
+    let guided = Router::new(cfg.clone())
+        .unwrap()
+        .route(
+            &circuit,
+            &placement,
+            &tech,
+            &field_for(&circuit, &placement, &refs, CostTriple([0.5, 1.8, 2.5])),
+        )
+        .unwrap();
     assert!(guided.total_wirelength() > 0);
     let px = extract(&circuit, &tech, &guided);
     assert!(px.nets().iter().any(|n| n.cap_ground > 0.0));

@@ -4,7 +4,7 @@
 use analogfold_suite::extract::extract;
 use analogfold_suite::netlist::benchmarks;
 use analogfold_suite::place::{place, PlacementVariant};
-use analogfold_suite::route::{check_layout, route, RouterConfig, RoutingGuidance, ViolationKind};
+use analogfold_suite::route::{check_layout, Router, RouterConfig, RoutingGuidance, ViolationKind};
 use analogfold_suite::sim::{simulate, SimConfig};
 use analogfold_suite::tech::Technology;
 
@@ -15,14 +15,10 @@ fn all_benchmarks_route_extract_simulate() {
     for circuit in benchmarks::all() {
         let placement = place(&circuit, PlacementVariant::A);
         placement.check(&circuit).expect("legal placement");
-        let layout = route(
-            &circuit,
-            &placement,
-            &tech,
-            &RoutingGuidance::None,
-            &RouterConfig::default(),
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
+        let layout = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&circuit, &placement, &tech, &RoutingGuidance::None)
+            .unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
         assert!(
             layout.conflicts <= 2,
             "{}: {} conflicts",
@@ -73,14 +69,10 @@ fn no_hard_drc_violations_on_any_variant() {
     let circuit = benchmarks::ota2();
     for variant in PlacementVariant::ALL {
         let placement = place(&circuit, variant);
-        let layout = route(
-            &circuit,
-            &placement,
-            &tech,
-            &RoutingGuidance::None,
-            &RouterConfig::default(),
-        )
-        .unwrap();
+        let layout = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&circuit, &placement, &tech, &RoutingGuidance::None)
+            .unwrap();
         let violations = check_layout(&circuit, &placement, &tech, &layout);
         let hard: Vec<_> = violations
             .iter()
@@ -119,14 +111,10 @@ fn placements_differ_and_affect_metrics() {
         PlacementVariant::C,
     ] {
         let placement = place(&circuit, variant);
-        let layout = route(
-            &circuit,
-            &placement,
-            &tech,
-            &RoutingGuidance::None,
-            &RouterConfig::default(),
-        )
-        .unwrap();
+        let layout = Router::new(RouterConfig::default())
+            .unwrap()
+            .route(&circuit, &placement, &tech, &RoutingGuidance::None)
+            .unwrap();
         let px = extract(&circuit, &tech, &layout);
         let perf = simulate(&circuit, Some(&px), &cfg).unwrap();
         offsets.push(perf.offset_uv);

@@ -4,7 +4,7 @@
 use analogfold_suite::extract::extract;
 use analogfold_suite::netlist::benchmarks;
 use analogfold_suite::place::{place, PlacementVariant};
-use analogfold_suite::route::{parse_def, route, write_def, RouterConfig, RoutingGuidance};
+use analogfold_suite::route::{parse_def, write_def, Router, RouterConfig, RoutingGuidance};
 use analogfold_suite::sim::to_spice;
 use analogfold_suite::tech::Technology;
 use proptest::prelude::*;
@@ -44,10 +44,7 @@ proptest! {
         let circuit = benchmarks::by_name(name).unwrap();
         let tech = Technology::nm40();
         let placement = place(&circuit, v);
-        let layout = route(
-            &circuit, &placement, &tech,
-            &RoutingGuidance::None, &RouterConfig::default(),
-        ).unwrap();
+        let layout = Router::new(RouterConfig::default()).unwrap().route(&circuit, &placement, &tech, &RoutingGuidance::None).unwrap();
         for (i, net) in circuit.nets().iter().enumerate() {
             let id = analogfold_suite::netlist::NetId::new(i as u32);
             let placed_pins = placement.pins_of_net(id).count();
@@ -75,10 +72,7 @@ proptest! {
         let circuit = benchmarks::by_name(name).unwrap();
         let tech = Technology::nm40();
         let placement = place(&circuit, v);
-        let layout = route(
-            &circuit, &placement, &tech,
-            &RoutingGuidance::None, &RouterConfig::default(),
-        ).unwrap();
+        let layout = Router::new(RouterConfig::default()).unwrap().route(&circuit, &placement, &tech, &RoutingGuidance::None).unwrap();
         let px = extract(&circuit, &tech, &layout);
         for rn in &layout.nets {
             let rec = px.net(rn.net);
@@ -100,10 +94,7 @@ proptest! {
         let circuit = benchmarks::by_name(name).unwrap();
         let tech = Technology::nm40();
         let placement = place(&circuit, v);
-        let layout = route(
-            &circuit, &placement, &tech,
-            &RoutingGuidance::None, &RouterConfig::default(),
-        ).unwrap();
+        let layout = Router::new(RouterConfig::default()).unwrap().route(&circuit, &placement, &tech, &RoutingGuidance::None).unwrap();
         let text = write_def(&circuit, &placement, &layout);
         let back = parse_def(&circuit, &text).unwrap();
         prop_assert_eq!(back.total_wirelength(), layout.total_wirelength());
@@ -115,10 +106,7 @@ proptest! {
         let circuit = benchmarks::by_name(name).unwrap();
         let tech = Technology::nm40();
         let placement = place(&circuit, v);
-        let layout = route(
-            &circuit, &placement, &tech,
-            &RoutingGuidance::None, &RouterConfig::default(),
-        ).unwrap();
+        let layout = Router::new(RouterConfig::default()).unwrap().route(&circuit, &placement, &tech, &RoutingGuidance::None).unwrap();
         let px = extract(&circuit, &tech, &layout);
         let deck = to_spice(&circuit, Some(&px));
         prop_assert!(deck.trim_end().ends_with(".end"));
