@@ -339,6 +339,252 @@ pub fn evaluate_guidance(
     simulate(circuit, Some(&parasitics), sim).map_err(DatasetError::Sim)
 }
 
+/// Number of checkpoint shards `cfg` produces: `ceil(samples / shard_size)`.
+/// Shard geometry is a pure function of the config, so every fleet worker
+/// and the coordinator agree on it without coordination.
+#[must_use]
+pub fn shard_count(cfg: &DatasetConfig) -> usize {
+    cfg.samples.div_ceil(cfg.shard_size.max(1))
+}
+
+/// The sample-index range `[start, end)` covered by `shard_index`. Empty
+/// when the index is past the end.
+#[must_use]
+pub fn shard_range(cfg: &DatasetConfig, shard_index: usize) -> std::ops::Range<usize> {
+    let shard = cfg.shard_size.max(1);
+    let start = (shard_index * shard).min(cfg.samples);
+    let end = (start + shard).min(cfg.samples);
+    start..end
+}
+
+/// Everything one sample evaluation needs, hoisted out of the shard loop so
+/// the single-process generator and the fleet's distributed workers run the
+/// byte-for-byte same code path (the bit-identity contract depends on it).
+struct EvalCtx<'a> {
+    circuit: &'a Circuit,
+    placement: &'a Placement,
+    tech: &'a Technology,
+    graph: &'a HeteroGraph,
+    cfg: &'a DatasetConfig,
+    runtime: &'a afrt::Runtime,
+    eval_cache: Option<crate::cache::EvalCache>,
+    design: Option<af_cache::ContentHash>,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Builds the context, wiring the tier-C guidance→performance memo to
+    /// spill beside `spill`'s shards when a store is given. The memo never
+    /// changes results (exact-bits keys at `cache_quant == 0.0`), so its
+    /// presence or absence preserves bit-identity.
+    fn new(
+        circuit: &'a Circuit,
+        placement: &'a Placement,
+        tech: &'a Technology,
+        graph: &'a HeteroGraph,
+        cfg: &'a DatasetConfig,
+        runtime: &'a afrt::Runtime,
+        spill: Option<&ShardStore>,
+    ) -> Self {
+        let eval_cache = (cfg.cache_mb > 0 && crate::cache::cache_enabled()).then(|| {
+            let cache = crate::cache::EvalCache::new(cfg.cache_mb);
+            match spill {
+                Some(store) => cache.with_spill(std::sync::Arc::new(ShardStore::new(
+                    store.dir().join("cache"),
+                ))),
+                None => cache,
+            }
+        });
+        let design = eval_cache
+            .as_ref()
+            .map(|_| crate::cache::design_eval_hash(graph, &cfg.router, &cfg.sim));
+        Self {
+            circuit,
+            placement,
+            tech,
+            graph,
+            cfg,
+            runtime,
+            eval_cache,
+            design,
+        }
+    }
+
+    /// Evaluates samples `[start, end)`, fanning out across the runtime's
+    /// worker pool. Each record depends only on `(cfg.seed, sample_index)`,
+    /// never on which process, worker, or thread computed it.
+    fn eval_range(&self, start: usize, end: usize) -> Vec<(SampleRecord, Option<DatasetError>)> {
+        let cfg = self.cfg;
+        let n_guided = self.graph.guided_ap_indices().len();
+        let (lo, hi) = (cfg.c_low.ln(), cfg.c_high.ln());
+        let indices: Vec<usize> = (start..end).collect();
+        self.runtime
+            .par_map(&indices, |_, &i| {
+                let _s = af_obs::span!("sample", i);
+                let mut rng = ChaCha8Rng::seed_from_u64(afrt::split_seed(cfg.seed, i as u64));
+                let guidance: Vec<f64> = (0..n_guided * 3)
+                    .map(|_| rng.gen_range(lo..=hi).exp())
+                    .collect();
+                let key = self.eval_cache.as_ref().map(|_| {
+                    crate::cache::guidance_key(
+                        self.design.as_ref().expect("design hash set with cache"),
+                        &guidance,
+                        cfg.cache_quant,
+                    )
+                });
+                // Retry transient failures. The `sim.eval` failpoint is
+                // keyed by (sample, attempt), so the injected schedule —
+                // and with it the retry timeline and the final dataset —
+                // is identical at every thread count, and each retry gets
+                // a fresh draw (a transient fault stops firing).
+                let result = cfg.retry.run(
+                    "dataset.sample",
+                    DatasetError::is_transient,
+                    |attempt| -> Result<Performance, DatasetError> {
+                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || -> Result<Performance, DatasetError> {
+                                af_fault::fail!(
+                                    "sim.eval",
+                                    key = af_fault::mix(i as u64, u64::from(attempt)),
+                                    DatasetError::Injected(af_fault::injected("sim.eval"))
+                                );
+                                if let (Some(cache), Some(key)) = (&self.eval_cache, &key) {
+                                    if let Some(performance) = cache.lookup(key) {
+                                        af_obs::counter("dataset.samples_cached", 1);
+                                        return Ok(performance);
+                                    }
+                                }
+                                let performance = evaluate_guidance(
+                                    self.circuit,
+                                    self.placement,
+                                    self.tech,
+                                    self.graph,
+                                    &guidance,
+                                    &cfg.router,
+                                    &cfg.sim,
+                                )?;
+                                if let (Some(cache), Some(key)) = (&self.eval_cache, &key) {
+                                    cache.store(*key, &performance);
+                                }
+                                Ok(performance)
+                            },
+                        ));
+                        outcome.unwrap_or_else(|payload| {
+                            Err(DatasetError::Panicked(afrt::panic_message(
+                                payload.as_ref(),
+                            )))
+                        })
+                    },
+                );
+                match result {
+                    Ok(performance) => (
+                        SampleRecord {
+                            guidance,
+                            performance: Some(performance),
+                            error: None,
+                        },
+                        None,
+                    ),
+                    Err(e) => {
+                        af_obs::counter("dataset.samples_failed", 1);
+                        af_obs::warn(&format!("sample {i} permanently failed after retries: {e}"));
+                        (
+                            SampleRecord {
+                                guidance,
+                                performance: None,
+                                error: Some(e.to_string()),
+                            },
+                            Some(e),
+                        )
+                    }
+                }
+            })
+            .unwrap_or_else(|e| panic!("dataset generation failed: {e}"))
+    }
+}
+
+/// Whether a loaded shard is complete and fully successful for `cfg` —
+/// the reuse criterion shared by resume-from-checkpoint and the fleet's
+/// lease-recovery path (anything short, corrupt, or carrying recorded
+/// failures regenerates).
+#[must_use]
+pub fn shard_is_complete(
+    cfg: &DatasetConfig,
+    graph: &HeteroGraph,
+    shard_index: usize,
+    shard: &[SampleRecord],
+) -> bool {
+    let n_guided = graph.guided_ap_indices().len();
+    shard.len() == shard_range(cfg, shard_index).len()
+        && !shard.is_empty()
+        && shard
+            .iter()
+            .all(|r| r.performance.is_some() && r.guidance.len() == n_guided * 3)
+}
+
+/// Computes the records of one checkpoint shard — the unit of work a fleet
+/// worker leases. The result depends only on `(cfg, shard_index)`: any
+/// worker, any thread count, any retry timeline produces bit-identical
+/// records, which is what lets a coordinator re-lease a dead worker's shard
+/// and still assemble the same dataset.
+///
+/// `spill`, when given, hosts the disk tier of the guidance→performance
+/// memo (typically the shared checkpoint store); the shard itself is *not*
+/// saved — callers own persistence.
+#[must_use]
+pub fn generate_shard(
+    circuit: &Circuit,
+    placement: &Placement,
+    tech: &Technology,
+    graph: &HeteroGraph,
+    cfg: &DatasetConfig,
+    shard_index: usize,
+    spill: Option<&ShardStore>,
+) -> Vec<SampleRecord> {
+    let _g = af_obs::span!("generate_shard", shard_index);
+    let runtime = afrt::Runtime::with_threads(cfg.threads);
+    let ctx = EvalCtx::new(circuit, placement, tech, graph, cfg, &runtime, spill);
+    let range = shard_range(cfg, shard_index);
+    let evaluated = ctx.eval_range(range.start, range.end);
+    af_obs::counter(
+        "dataset.samples_generated",
+        evaluated
+            .iter()
+            .filter(|(r, _)| r.performance.is_some())
+            .count() as u64,
+    );
+    evaluated.into_iter().map(|(r, _)| r).collect()
+}
+
+/// Reassembles the final dataset from a checkpoint directory once every
+/// shard of `cfg` is present and fully successful. Returns `Ok(None)` while
+/// any shard is still missing or incomplete — the fleet coordinator polls
+/// this after each completion. Successful records concatenate in shard
+/// order, so the result is bit-identical to a single-process
+/// [`generate_dataset_checkpointed`] run of the same config.
+///
+/// # Errors
+///
+/// When a shard fails to load for I/O reasons other than absence.
+pub fn assemble_dataset(
+    store: &ShardStore,
+    cfg: &DatasetConfig,
+    graph: &HeteroGraph,
+) -> Result<Option<Dataset>, DatasetError> {
+    let mut samples = Vec::with_capacity(cfg.samples);
+    for shard_index in 0..shard_count(cfg) {
+        let shard = store
+            .load_shard::<Vec<SampleRecord>>(shard_index)
+            .map_err(|e| DatasetError::Checkpoint(e.to_string()))?;
+        match shard {
+            Some(shard) if shard_is_complete(cfg, graph, shard_index, &shard) => {
+                samples.extend(shard.into_iter().filter_map(SampleRecord::into_sample));
+            }
+            _ => return Ok(None),
+        }
+    }
+    Ok(Some(Dataset { samples }))
+}
+
 /// Generates a labeled dataset by sampling guidance log-uniformly in
 /// `[c_low, c_high]` per component.
 ///
@@ -397,34 +643,16 @@ pub fn generate_dataset_checkpointed(
     checkpoint: Option<&ShardStore>,
 ) -> Result<Dataset, DatasetError> {
     let _gen = af_obs::span!("generate_dataset");
-    let n_guided = graph.guided_ap_indices().len();
-    let (lo, hi) = (cfg.c_low.ln(), cfg.c_high.ln());
     let runtime = afrt::Runtime::with_threads(cfg.threads);
-    let shard_size = cfg.shard_size.max(1);
-    let mut samples = Vec::with_capacity(cfg.samples);
-
     // Tier C: memoize guidance→performance by (design hash, guidance key).
     // With a checkpoint store the memo spills beside the shards, so a
     // resumed run (or a sibling shard revisiting a guidance point) skips
     // the route→extract→simulate pipeline entirely.
-    let eval_cache = (cfg.cache_mb > 0 && crate::cache::cache_enabled()).then(|| {
-        let cache = crate::cache::EvalCache::new(cfg.cache_mb);
-        match checkpoint {
-            Some(store) => cache.with_spill(std::sync::Arc::new(ShardStore::new(
-                store.dir().join("cache"),
-            ))),
-            None => cache,
-        }
-    });
-    let design = eval_cache
-        .as_ref()
-        .map(|_| crate::cache::design_eval_hash(graph, &cfg.router, &cfg.sim));
+    let ctx = EvalCtx::new(circuit, placement, tech, graph, cfg, &runtime, checkpoint);
+    let mut samples = Vec::with_capacity(cfg.samples);
 
-    let mut shard_index = 0usize;
-    let mut start = 0usize;
-    while start < cfg.samples {
-        let end = cfg.samples.min(start + shard_size);
-        let want = end - start;
+    for shard_index in 0..shard_count(cfg) {
+        let range = shard_range(cfg, shard_index);
 
         // Resume: a shard from a previous run of the same config is reused
         // verbatim only when it is complete *and* fully successful;
@@ -433,104 +661,16 @@ pub fn generate_dataset_checkpointed(
         // chance under better conditions).
         if let Some(store) = checkpoint {
             if let Ok(Some(shard)) = store.load_shard::<Vec<SampleRecord>>(shard_index) {
-                if shard.len() == want
-                    && shard
-                        .iter()
-                        .all(|r| r.performance.is_some() && r.guidance.len() == n_guided * 3)
-                {
+                if shard_is_complete(cfg, graph, shard_index, &shard) {
                     af_obs::counter("dataset.shards_resumed", 1);
                     af_obs::counter("dataset.samples_resumed", shard.len() as u64);
                     samples.extend(shard.into_iter().filter_map(SampleRecord::into_sample));
-                    shard_index += 1;
-                    start = end;
                     continue;
                 }
             }
         }
 
-        let indices: Vec<usize> = (start..end).collect();
-        let evaluated = runtime
-            .par_map(&indices, |_, &i| {
-                let _s = af_obs::span!("sample", i);
-                let mut rng = ChaCha8Rng::seed_from_u64(afrt::split_seed(cfg.seed, i as u64));
-                let guidance: Vec<f64> = (0..n_guided * 3)
-                    .map(|_| rng.gen_range(lo..=hi).exp())
-                    .collect();
-                let key = eval_cache.as_ref().map(|_| {
-                    crate::cache::guidance_key(
-                        design.as_ref().expect("design hash set with cache"),
-                        &guidance,
-                        cfg.cache_quant,
-                    )
-                });
-                // Retry transient failures. The `sim.eval` failpoint is
-                // keyed by (sample, attempt), so the injected schedule —
-                // and with it the retry timeline and the final dataset —
-                // is identical at every thread count, and each retry gets
-                // a fresh draw (a transient fault stops firing).
-                let result = cfg.retry.run(
-                    "dataset.sample",
-                    DatasetError::is_transient,
-                    |attempt| -> Result<Performance, DatasetError> {
-                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || -> Result<Performance, DatasetError> {
-                                af_fault::fail!(
-                                    "sim.eval",
-                                    key = af_fault::mix(i as u64, u64::from(attempt)),
-                                    DatasetError::Injected(af_fault::injected("sim.eval"))
-                                );
-                                if let (Some(cache), Some(key)) = (&eval_cache, &key) {
-                                    if let Some(performance) = cache.lookup(key) {
-                                        af_obs::counter("dataset.samples_cached", 1);
-                                        return Ok(performance);
-                                    }
-                                }
-                                let performance = evaluate_guidance(
-                                    circuit,
-                                    placement,
-                                    tech,
-                                    graph,
-                                    &guidance,
-                                    &cfg.router,
-                                    &cfg.sim,
-                                )?;
-                                if let (Some(cache), Some(key)) = (&eval_cache, &key) {
-                                    cache.store(*key, &performance);
-                                }
-                                Ok(performance)
-                            },
-                        ));
-                        outcome.unwrap_or_else(|payload| {
-                            Err(DatasetError::Panicked(afrt::panic_message(
-                                payload.as_ref(),
-                            )))
-                        })
-                    },
-                );
-                match result {
-                    Ok(performance) => (
-                        SampleRecord {
-                            guidance,
-                            performance: Some(performance),
-                            error: None,
-                        },
-                        None,
-                    ),
-                    Err(e) => {
-                        af_obs::counter("dataset.samples_failed", 1);
-                        af_obs::warn(&format!("sample {i} permanently failed after retries: {e}"));
-                        (
-                            SampleRecord {
-                                guidance,
-                                performance: None,
-                                error: Some(e.to_string()),
-                            },
-                            Some(e),
-                        )
-                    }
-                }
-            })
-            .unwrap_or_else(|e| panic!("dataset generation failed: {e}"));
+        let evaluated = ctx.eval_range(range.start, range.end);
 
         // Without a checkpoint the historical contract holds: the
         // lowest-index permanent failure aborts generation. With one, the
@@ -553,8 +693,6 @@ pub fn generate_dataset_checkpointed(
             af_obs::counter("dataset.shards_written", 1);
         }
         samples.extend(shard.into_iter().filter_map(SampleRecord::into_sample));
-        shard_index += 1;
-        start = end;
     }
     Ok(Dataset { samples })
 }
@@ -723,6 +861,86 @@ mod tests {
             assert_eq!(a.guidance, b.guidance, "resume must reproduce the run");
             assert_eq!(a.performance.as_array(), b.performance.as_array());
         }
+    }
+
+    #[test]
+    fn shard_geometry_covers_samples_exactly() {
+        let cfg = DatasetConfig {
+            samples: 7,
+            shard_size: 3,
+            ..DatasetConfig::default()
+        };
+        assert_eq!(shard_count(&cfg), 3);
+        assert_eq!(shard_range(&cfg, 0), 0..3);
+        assert_eq!(shard_range(&cfg, 1), 3..6);
+        assert_eq!(shard_range(&cfg, 2), 6..7, "final shard is partial");
+        assert!(shard_range(&cfg, 3).is_empty(), "past-the-end is empty");
+        let zero = DatasetConfig {
+            samples: 4,
+            shard_size: 0,
+            ..DatasetConfig::default()
+        };
+        assert_eq!(shard_count(&zero), 4, "shard_size 0 clamps to 1");
+    }
+
+    #[test]
+    fn shard_generation_matches_single_process_bit_for_bit() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let graph = HeteroGraph::build(&c, &p, &t, 2);
+        let cfg = DatasetConfig {
+            samples: 5,
+            shard_size: 2,
+            ..DatasetConfig::default()
+        };
+        let plain = generate_dataset(&c, &p, &t, &graph, &cfg).unwrap();
+
+        // Compute shards out of order (as different fleet workers would),
+        // persist them, and assemble — must equal the one-process run.
+        let dir = std::env::temp_dir().join(format!("afrt-shardgen-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ShardStore::new(&dir);
+        for shard_index in [2usize, 0, 1] {
+            let shard = generate_shard(&c, &p, &t, &graph, &cfg, shard_index, Some(&store));
+            assert!(shard_is_complete(&cfg, &graph, shard_index, &shard));
+            store.save_shard(shard_index, &shard).unwrap();
+        }
+        let assembled = assemble_dataset(&store, &cfg, &graph).unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(assembled.len(), plain.len());
+        for (a, b) in plain.samples.iter().zip(&assembled.samples) {
+            assert_eq!(
+                a.guidance, b.guidance,
+                "distributed run must be bit-identical"
+            );
+            assert_eq!(a.performance.as_array(), b.performance.as_array());
+        }
+    }
+
+    #[test]
+    fn assemble_reports_incomplete_checkpoints() {
+        let c = benchmarks::ota1();
+        let p = place(&c, PlacementVariant::A);
+        let t = Technology::nm40();
+        let graph = HeteroGraph::build(&c, &p, &t, 2);
+        let cfg = DatasetConfig {
+            samples: 4,
+            shard_size: 2,
+            ..DatasetConfig::default()
+        };
+        let dir = std::env::temp_dir().join(format!("afrt-assemble-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ShardStore::new(&dir);
+        assert!(assemble_dataset(&store, &cfg, &graph).unwrap().is_none());
+        let shard = generate_shard(&c, &p, &t, &graph, &cfg, 0, None);
+        store.save_shard(0, &shard).unwrap();
+        assert!(
+            assemble_dataset(&store, &cfg, &graph).unwrap().is_none(),
+            "one of two shards present"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

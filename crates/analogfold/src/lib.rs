@@ -63,8 +63,9 @@ pub use cache::{
     EvalCache, FomMemo,
 };
 pub use dataset::{
-    generate_dataset, generate_dataset_checkpointed, generate_dataset_multi, guidance_field,
-    guidance_field_for, Dataset, DatasetConfig, DatasetError, Sample, SampleRecord, TargetStats,
+    assemble_dataset, generate_dataset, generate_dataset_checkpointed, generate_dataset_multi,
+    generate_shard, guidance_field, guidance_field_for, shard_count, shard_is_complete,
+    shard_range, Dataset, DatasetConfig, DatasetError, Sample, SampleRecord, TargetStats,
 };
 pub use error::Error;
 pub use evaluate::{holdout_mse, kfold_mse, summarize, DatasetSummary, KfoldReport, METRIC_NAMES};

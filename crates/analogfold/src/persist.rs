@@ -232,6 +232,35 @@ impl ShardStore {
             }
         }
     }
+
+    /// Indices of the shard files currently present in the directory,
+    /// sorted ascending. Presence only — callers decide whether a shard's
+    /// *contents* qualify for reuse (see the dataset layer's completeness
+    /// check). A missing directory is an empty store, matching
+    /// [`load_shard`](Self::load_shard)'s treatment of missing files; used
+    /// by the fleet coordinator to seed its lease table when resuming an
+    /// interrupted distributed run.
+    #[must_use]
+    pub fn existing_shards(&self) -> Vec<usize> {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut out: Vec<usize> = entries
+            .filter_map(|e| {
+                let name = e.ok()?.file_name().into_string().ok()?;
+                let idx = name.strip_prefix("shard-")?.strip_suffix(".json")?;
+                idx.parse().ok()
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether shard `index`'s file exists (contents unchecked).
+    #[must_use]
+    pub fn has_shard(&self, index: usize) -> bool {
+        self.shard_path(index).exists()
+    }
 }
 
 /// The versioned save envelope: format tag, version, and a 128-bit content

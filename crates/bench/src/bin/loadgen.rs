@@ -19,15 +19,39 @@
 //! the report then records the error rate and tail latency under injected
 //! faults instead of asserting every response is a `200`.
 //!
+//! Pass `workers=1,2,4` to append a **fleet scaling phase**: for each
+//! worker count an in-process fleet (coordinator + N model servers with
+//! heartbeating agents + rendezvous-hashing front) is stood up and hammered
+//! through the front with *distinct* bodies (cache misses, so every request
+//! traverses the worker's batch collector). Offered load is held constant
+//! *per worker* (`fleet_conns_per` closed-loop clients each, default 2), and
+//! fleet workers run with a stretched batch window so per-request latency is
+//! dominated by the collector's batching wait — idle time that overlapping
+//! replicas can hide even on a single-core CI box, where raw compute cannot
+//! parallelize. The row therefore measures what a front actually multiplies:
+//! aggregate concurrency across replicas, each with a bounded service rate.
+//! A second short pass with a small repeated body pool measures routing
+//! affinity: its per-worker cache-hit ratios are only high because the
+//! rendezvous ring keeps sending a given body to the same worker's warm
+//! cache. `coordinator=HOST:PORT` instead points the fleet phase at an
+//! externally running coordinator (one row, workers as found).
+//!
 //! Run: `cargo run -p af-bench --bin loadgen --release --
 //!       [quick|full] [conns=N] [requests=N] [cache=MB] [obs=path]
-//!       [route_threads=a,b,c] [route_jobs=N] [fault=SPEC] [fault_seed=N]`
+//!       [route_threads=a,b,c] [route_jobs=N] [fault=SPEC] [fault_seed=N]
+//!       [workers=a,b,c] [coordinator=HOST:PORT] [fleet_conns_per=N]
+//!       [fleet_requests=N]`
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
-use std::time::Instant;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
 use af_bench::{cache_arg, fault_arg, kv_list, kv_num, obs_arg, Scale};
+use af_fleet::{
+    Coordinator, CoordinatorConfig, Front, FrontConfig, FrontHandle, WorkerAgent, WorkerCaps,
+    WorkerIdentity,
+};
 use af_serve::{ModelBundle, ServeConfig, Server};
 use analogfold::{GnnConfig, ThreeDGnn};
 use serde::Serialize;
@@ -54,6 +78,39 @@ struct LoadgenReport {
     error_rate: f64,
     /// `POST /v1/route` job latency per router worker count.
     route: Vec<RouteLatencyRow>,
+    /// Fleet scaling rows (empty unless `workers=` or `coordinator=` given).
+    fleet: Vec<FleetScalingRow>,
+}
+
+/// Aggregate throughput and affinity through a fleet front at one worker
+/// count.
+#[derive(Serialize)]
+struct FleetScalingRow {
+    workers: u64,
+    conns: u64,
+    total_requests: u64,
+    wall_s: f64,
+    req_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    errors: u64,
+    /// Aggregate req/s divided by the 1-worker row's (1.0 for that row;
+    /// 0.0 when no 1-worker row ran).
+    speedup_vs_one_worker: f64,
+    /// Affinity pass: repeated bodies from a small pool.
+    affinity_requests: u64,
+    affinity_hit_ratio: f64,
+    per_worker: Vec<WorkerHitRow>,
+}
+
+/// Where the affinity pass's requests landed and how often they hit that
+/// worker's response cache.
+#[derive(Serialize)]
+struct WorkerHitRow {
+    worker: String,
+    requests: u64,
+    hits: u64,
+    hit_ratio: f64,
 }
 
 /// End-to-end `/v1/route` job latency (submit to `done`) at one router
@@ -150,25 +207,27 @@ fn route_job_ms(addr: std::net::SocketAddr, route_threads: u64, seed: u64) -> Op
 }
 
 /// Sends one predict request on an open keep-alive connection and returns
-/// `(status, cache_hit)` once the body has been fully read. A status of `0`
-/// means the connection dropped mid-response (possible while a supervised
-/// collector restarts under injected faults) — the caller must reconnect.
+/// `(status, cache_hit, fleet_worker)` once the body has been fully read
+/// (`fleet_worker` is empty when not going through a fleet front). A status
+/// of `0` means the connection dropped mid-response (possible while a
+/// supervised collector restarts under injected faults) — the caller must
+/// reconnect.
 fn predict_once(
     stream: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
     body: &str,
-) -> (u16, bool) {
+) -> (u16, bool, String) {
     let raw = format!(
         "POST /v1/predict HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
         body.len()
     );
     if stream.write_all(raw.as_bytes()).is_err() {
-        return (0, false);
+        return (0, false, String::new());
     }
 
     let mut status_line = String::new();
     match reader.read_line(&mut status_line) {
-        Ok(0) | Err(_) => return (0, false),
+        Ok(0) | Err(_) => return (0, false, String::new()),
         Ok(_) => {}
     }
     let status: u16 = status_line
@@ -177,14 +236,15 @@ fn predict_once(
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
     if status == 0 {
-        return (0, false);
+        return (0, false, String::new());
     }
     let mut content_length = 0usize;
     let mut cache_hit = false;
+    let mut worker = String::new();
     loop {
         let mut line = String::new();
         match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return (0, false),
+            Ok(0) | Err(_) => return (0, false, String::new()),
             Ok(_) => {}
         }
         let line = line.trim_end();
@@ -201,12 +261,297 @@ fn predict_once(
         {
             cache_hit = true;
         }
+        if let Some(v) = lower.strip_prefix("x-fleet-worker:").map(str::trim) {
+            worker = v.to_string();
+        }
     }
     let mut sink = vec![0u8; content_length];
     if reader.read_exact(&mut sink).is_err() {
-        return (0, false);
+        return (0, false, String::new());
     }
-    (status, cache_hit)
+    (status, cache_hit, worker)
+}
+
+/// A predict body whose guidance values are a pure function of `nonce`, so
+/// distinct nonces give distinct bodies (distinct response-cache keys and
+/// distinct rendezvous ring positions) and equal nonces repeat exactly.
+fn guidance_body(guidance_len: u64, nonce: u64) -> String {
+    let n = nonce as f64;
+    format!(
+        "{{\"guidance\":[{}]}}",
+        (0..guidance_len)
+            .map(|i| format!("{:?}", ((i as f64).mul_add(0.37, n * 0.71)).sin() * 0.3))
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+}
+
+/// One measurement pass through a fleet front: `conns` closed-loop client
+/// threads each send `requests` keep-alive predicts, building body number
+/// `r` on connection `c` with `make_body(c, r)`. Returns
+/// `(latency_ms, ok, cache_hit, worker_id)` samples.
+fn fleet_pass(
+    addr: SocketAddr,
+    conns: u64,
+    requests: u64,
+    make_body: &(dyn Fn(u64, u64) -> String + Sync),
+) -> Vec<(f64, bool, bool, String)> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                s.spawn(move || {
+                    let connect = || {
+                        let stream = TcpStream::connect(addr).expect("connect front");
+                        stream.set_nodelay(true).expect("nodelay");
+                        let reader = BufReader::new(stream.try_clone().expect("clone"));
+                        (stream, reader)
+                    };
+                    let (mut stream, mut reader) = connect();
+                    let mut out = Vec::with_capacity(requests as usize);
+                    for r in 0..requests {
+                        let body = make_body(c, r);
+                        let t = Instant::now();
+                        let (status, hit, worker) = predict_once(&mut stream, &mut reader, &body);
+                        if status == 0 {
+                            (stream, reader) = connect();
+                        }
+                        out.push((t.elapsed().as_secs_f64() * 1e3, status == 200, hit, worker));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fleet client"))
+            .collect()
+    })
+}
+
+/// Blocks until the front's ring holds at least `want` workers (or the
+/// timeout passes) and returns the count it last saw.
+fn wait_for_workers(front: &FrontHandle, want: usize, timeout: Duration) -> usize {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let n = front.worker_count();
+        if n >= want || Instant::now() > deadline {
+            return n;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Runs the throughput and affinity passes against a front that already has
+/// `workers` live workers behind it. `speedup_vs_one_worker` is filled in
+/// later, once every row exists.
+fn measure_fleet_row(
+    front_addr: SocketAddr,
+    workers: u64,
+    conns: u64,
+    requests: u64,
+    guidance_len: u64,
+) -> FleetScalingRow {
+    // Throughput pass: a distinct body per request, so every response is a
+    // real pass through some worker's batch collector, and the rendezvous
+    // hash of fresh keys spreads the load across the whole ring.
+    let t0 = Instant::now();
+    let samples = fleet_pass(front_addr, conns, requests, &|c, r| {
+        guidance_body(guidance_len, 1 + c * requests + r)
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut lat: Vec<f64> = samples.iter().map(|&(ms, ..)| ms).collect();
+    lat.sort_by(f64::total_cmp);
+    let errors = samples.iter().filter(|&&(_, ok, ..)| !ok).count() as u64;
+    let total = samples.len() as u64;
+
+    // Affinity pass: a small pool of repeated bodies, disjoint from the
+    // throughput pass's nonces so every hit below is earned by the ring
+    // sending a repeat to the same worker, never by leftover cache state.
+    let pool = (2 * workers).max(4);
+    let aff_requests = requests.clamp(8, 32);
+    let aff = fleet_pass(front_addr, conns, aff_requests, &|c, r| {
+        guidance_body(guidance_len, 1_000_003 + (c + r) % pool)
+    });
+    let mut by_worker: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let (mut aff_hits, mut aff_total) = (0u64, 0u64);
+    for (_, ok, hit, worker) in &aff {
+        if !ok {
+            continue;
+        }
+        aff_total += 1;
+        let entry = by_worker.entry(worker.clone()).or_default();
+        entry.0 += 1;
+        if *hit {
+            entry.1 += 1;
+            aff_hits += 1;
+        }
+    }
+
+    FleetScalingRow {
+        workers,
+        conns,
+        total_requests: total,
+        wall_s,
+        req_per_s: total as f64 / wall_s,
+        p50_ms: percentile(&lat, 0.50),
+        p99_ms: percentile(&lat, 0.99),
+        errors,
+        speedup_vs_one_worker: 0.0,
+        affinity_requests: aff_total,
+        affinity_hit_ratio: aff_hits as f64 / aff_total.max(1) as f64,
+        per_worker: by_worker
+            .into_iter()
+            .map(|(worker, (requests, hits))| WorkerHitRow {
+                worker,
+                requests,
+                hits,
+                hit_ratio: hits as f64 / requests.max(1) as f64,
+            })
+            .collect(),
+    }
+}
+
+/// Stands up one in-process fleet per requested worker count (or one front
+/// over an external coordinator) and measures each. Fleet workers run with
+/// a stretched batch window and a single-item offered load per client, so
+/// the row stays meaningful on single-core machines (see the module docs).
+fn fleet_phase(
+    worker_counts: &[u64],
+    external: Option<&str>,
+    gnn: &ThreeDGnn,
+    cache_mb: u64,
+    conns_per_worker: u64,
+    requests: u64,
+) -> Vec<FleetScalingRow> {
+    let mut rows = Vec::new();
+    if let Some(coordinator) = external {
+        println!("fleet: measuring external coordinator at {coordinator} ...");
+        let front = Front::bind(FrontConfig {
+            addr: "127.0.0.1:0".to_string(),
+            coordinator: coordinator.to_string(),
+            refresh_ms: 100,
+        })
+        .expect("bind front");
+        let n = wait_for_workers(&front, 1, Duration::from_secs(10)) as u64;
+        assert!(
+            n > 0,
+            "no live serve workers behind coordinator {coordinator}"
+        );
+        let workers: af_fleet::protocol::WorkersResponse =
+            af_fleet::get_json(coordinator, "/fleet/workers").expect("list workers");
+        let guidance_len = workers
+            .workers
+            .iter()
+            .map(|w| w.guidance_len)
+            .max()
+            .unwrap_or(0);
+        rows.push(measure_fleet_row(
+            front.addr(),
+            n,
+            conns_per_worker * n,
+            requests,
+            guidance_len,
+        ));
+        front.shutdown();
+        front.join();
+    } else {
+        for &count in worker_counts {
+            let n = count.max(1);
+            println!("fleet: standing up {n} in-process worker(s) ...");
+            let coord = Coordinator::bind(CoordinatorConfig {
+                addr: "127.0.0.1:0".to_string(),
+                lease_ms: 0,
+                gen: None,
+            })
+            .expect("bind coordinator");
+            let coordinator = coord.addr().to_string();
+            let conns = conns_per_worker * n;
+            let mut servers = Vec::new();
+            let mut agents = Vec::new();
+            let mut job_dirs = Vec::new();
+            let mut guidance_len = 0u64;
+            for i in 0..n {
+                let bundle = ModelBundle::with_model("OTA1", "A", gnn.clone()).expect("bundle");
+                guidance_len = bundle.guidance_len() as u64;
+                let model_hash = bundle.model_hash.clone();
+                // Each in-process server needs its own job dir: the default
+                // is keyed by pid, which is shared here.
+                let job_dir = std::env::temp_dir()
+                    .join(format!("af-loadgen-fleet-{}-{n}-{i}", std::process::id()));
+                let server = Server::bind(
+                    bundle,
+                    ServeConfig {
+                        // Enough handlers that every pooled front
+                        // connection can be served concurrently (handlers
+                        // hold a keep-alive connection for its lifetime).
+                        workers: conns as usize,
+                        // Stretch the collector window well past the
+                        // forward pass so replicas scale by overlapping
+                        // waits, not by competing for the (possibly single)
+                        // core.
+                        batch_window_us: 12_000,
+                        job_dir: Some(job_dir.clone()),
+                        cache_mb,
+                        ..ServeConfig::default()
+                    },
+                )
+                .expect("bind fleet worker");
+                agents.push(WorkerAgent::start(
+                    &coordinator,
+                    WorkerIdentity {
+                        id: format!("lg{i}"),
+                        addr: server.addr().to_string(),
+                        caps: WorkerCaps {
+                            serve: true,
+                            gen: false,
+                        },
+                        model_hash,
+                        guidance_len,
+                    },
+                ));
+                servers.push(server);
+                job_dirs.push(job_dir);
+            }
+            let front = Front::bind(FrontConfig {
+                addr: "127.0.0.1:0".to_string(),
+                coordinator: coordinator.clone(),
+                refresh_ms: 50,
+            })
+            .expect("bind front");
+            let seen = wait_for_workers(&front, n as usize, Duration::from_secs(10));
+            assert_eq!(seen as u64, n, "fleet front only sees {seen}/{n} workers");
+            rows.push(measure_fleet_row(
+                front.addr(),
+                n,
+                conns,
+                requests,
+                guidance_len,
+            ));
+            front.shutdown();
+            front.join();
+            for agent in agents {
+                agent.stop();
+            }
+            for server in servers {
+                server.shutdown();
+                server.join();
+            }
+            coord.shutdown();
+            coord.join();
+            for dir in job_dirs {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
+    }
+    let base = rows
+        .iter()
+        .find(|r| r.workers == 1)
+        .map(|r| r.req_per_s)
+        .filter(|&r| r > 0.0);
+    for row in &mut rows {
+        row.speedup_vs_one_worker = base.map_or(0.0, |b| row.req_per_s / b);
+    }
+    rows
 }
 
 /// Nearest-rank percentile of an already-sorted sample.
@@ -241,7 +586,7 @@ fn main() {
         layers: 2,
         ..GnnConfig::default()
     });
-    let bundle = ModelBundle::with_model("OTA1", "A", gnn).expect("bundle");
+    let bundle = ModelBundle::with_model("OTA1", "A", gnn.clone()).expect("bundle");
     let guidance_len = bundle.guidance_len();
     let job_dir = std::env::temp_dir().join(format!("af-loadgen-jobs-{}", std::process::id()));
     let handle = Server::bind(
@@ -284,7 +629,7 @@ fn main() {
                 let mut samples = Vec::with_capacity(requests as usize);
                 for _ in 0..requests {
                     let t = Instant::now();
-                    let (status, hit) = predict_once(&mut stream, &mut reader, &body);
+                    let (status, hit, _) = predict_once(&mut stream, &mut reader, &body);
                     if status == 0 {
                         // Dropped connection (e.g. a collector restart under
                         // injected faults): reconnect and count the error.
@@ -352,6 +697,37 @@ fn main() {
     handle.join();
     let _ = std::fs::remove_dir_all(&job_dir);
 
+    // --- Fleet scaling phase (only with `workers=` or `coordinator=`) ----
+    let worker_counts: Vec<u64> = kv_list(&args, "workers")
+        .map(|l| l.iter().filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_default();
+    let external_coord = args
+        .iter()
+        .find_map(|a| a.strip_prefix("coordinator=").map(str::to_string));
+    let fleet_rows = if worker_counts.is_empty() && external_coord.is_none() {
+        Vec::new()
+    } else {
+        let conns_per_worker = kv_num(&args, "fleet_conns_per", 2).max(1);
+        let fleet_requests = kv_num(
+            &args,
+            "fleet_requests",
+            if matches!(scale, Scale::Quick) {
+                60
+            } else {
+                200
+            },
+        )
+        .max(1);
+        fleet_phase(
+            &worker_counts,
+            external_coord.as_deref(),
+            &gnn,
+            cache_mb,
+            conns_per_worker,
+            fleet_requests,
+        )
+    };
+
     latencies.sort_by(f64::total_cmp);
     let total = latencies.len() as u64;
     let cold_p50_ms = percentile(&cold, 0.50);
@@ -380,6 +756,7 @@ fn main() {
         errors,
         error_rate: errors as f64 / total.max(1) as f64,
         route: route_rows,
+        fleet: fleet_rows,
     };
     println!(
         "{} requests in {:.2}s: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms",
@@ -393,6 +770,20 @@ fn main() {
         println!(
             "route jobs @ {} thread(s): {} jobs, p50 {:.0} ms, p99 {:.0} ms",
             row.route_threads, row.jobs, row.p50_ms, row.p99_ms
+        );
+    }
+    for row in &report.fleet {
+        println!(
+            "fleet @ {} worker(s), {} conns: {:.1} req/s ({:.2}x vs 1 worker), p50 {:.2} ms, \
+             p99 {:.2} ms, affinity hit ratio {:.2} over {} worker(s)",
+            row.workers,
+            row.conns,
+            row.req_per_s,
+            row.speedup_vs_one_worker,
+            row.p50_ms,
+            row.p99_ms,
+            row.affinity_hit_ratio,
+            row.per_worker.len()
         );
     }
     if !report.fault_spec.is_empty() {

@@ -49,8 +49,10 @@
 
 mod hash;
 pub mod persist;
+pub mod ring;
 
 pub use hash::{ContentHash, ContentHasher};
+pub use ring::Ring;
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};

@@ -42,10 +42,12 @@
 //! ```
 //!
 //! `mode` is `err` (the site returns its injected error), `panic` (the site
-//! panics), or `nan` (the site substitutes a non-finite value); `prob` is the
-//! per-evaluation activation probability in `[0, 1]`; the optional
-//! `max_fires` caps how many times the failpoint fires in total (handy for
-//! one-shot crash tests like `serve.batch:panic:1.0:1`).
+//! panics), `nan` (the site substitutes a non-finite value), or `abort` (the
+//! whole process dies on the spot, like `kill -9` — used by fleet chaos runs
+//! to kill a worker mid-shard); `prob` is the per-evaluation activation
+//! probability in `[0, 1]`; the optional `max_fires` caps how many times the
+//! failpoint fires in total (handy for one-shot crash tests like
+//! `serve.batch:panic:1.0:1` or `fleet.worker_kill:abort:1.0:1`).
 
 mod retry;
 mod supervisor;
@@ -66,6 +68,12 @@ pub enum FaultMode {
     Panic,
     /// The site substitutes a non-finite value (exercises NaN guards).
     Nan,
+    /// The whole process dies on the spot via [`std::process::abort`] — no
+    /// unwinding, no destructors, no flushing — simulating a `kill -9`/OOM
+    /// kill. Handled centrally in the firing path, so arming *any* existing
+    /// failpoint in `abort` mode turns it into a crash site (exercises
+    /// durable-write atomicity and fleet worker-death healing).
+    Abort,
 }
 
 impl FaultMode {
@@ -74,8 +82,9 @@ impl FaultMode {
             "err" => Ok(Self::Err),
             "panic" => Ok(Self::Panic),
             "nan" => Ok(Self::Nan),
+            "abort" => Ok(Self::Abort),
             other => Err(format!(
-                "unknown fault mode `{other}` (expected err|panic|nan)"
+                "unknown fault mode `{other}` (expected err|panic|nan|abort)"
             )),
         }
     }
@@ -276,6 +285,12 @@ fn decide(fp: &Failpoint, name: &str, key: u64) -> Option<FaultMode> {
         fp.fires.fetch_add(1, Ordering::Relaxed);
     }
     af_obs::counter(&format!("fault.fired.{name}"), 1);
+    if fp.mode == FaultMode::Abort {
+        // Centralized so every `fail!` site is abort-capable without its own
+        // match arm. eprintln is best-effort breadcrumb; abort skips unwind.
+        eprintln!("af-fault: aborting process at failpoint `{name}` (key {key})");
+        std::process::abort();
+    }
     Some(fp.mode)
 }
 

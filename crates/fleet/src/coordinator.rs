@@ -1,0 +1,445 @@
+//! The coordinator process: worker registry, gen-job lease desk, and
+//! fleet-wide metrics aggregation, served over the same std-only HTTP
+//! stack as af-serve.
+//!
+//! The coordinator is deliberately boring: all fleet state fits in two
+//! mutexes (registry, lease table), every decision is a pure function of
+//! that state plus a monotonic clock, and nothing it stores is
+//! irreplaceable — workers re-register after a coordinator restart, and
+//! the lease table rebuilds from a checkpoint-directory scan. Traffic is
+//! thread-per-connection: coordinator load is a handful of workers and
+//! fronts heartbeating, not the serving hot path.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use af_serve::http::{read_request, ParseError, Request, Response};
+use analogfold::{shard_count, shard_is_complete, SampleRecord, ShardStore};
+
+use crate::gen::{spec_config, spec_design};
+use crate::leases::LeaseTable;
+use crate::protocol::{
+    CompleteRequest, CompleteResponse, GenSpec, GenStatus, HeartbeatRequest, LeaseRequest,
+    LeaseResponse, RegisterRequest, StatusResponse,
+};
+use crate::registry::Registry;
+use crate::FleetError;
+
+/// Coordinator settings.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Bind address (`host:port`; port 0 for ephemeral).
+    pub addr: String,
+    /// Worker lease duration (0 = default).
+    pub lease_ms: u64,
+    /// Dataset-generation job to hand out, if any.
+    pub gen: Option<GenSpec>,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            lease_ms: 0,
+            gen: None,
+        }
+    }
+}
+
+struct GenJob {
+    spec: GenSpec,
+    leases: Mutex<LeaseTable>,
+}
+
+struct Shared {
+    registry: Mutex<Registry>,
+    gen: Option<GenJob>,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+    started: Instant,
+}
+
+/// Coordinator constructor; see [`Coordinator::bind`].
+pub struct Coordinator;
+
+/// A running coordinator.
+pub struct CoordinatorHandle {
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Binds the coordinator. When `cfg.gen` is set, the checkpoint
+    /// directory is scanned and already-complete shards are pre-marked
+    /// done, so an interrupted distributed run resumes where it stopped.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures and an invalid gen spec (unknown bench/variant).
+    pub fn bind(cfg: CoordinatorConfig) -> Result<CoordinatorHandle, FleetError> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let gen = match &cfg.gen {
+            Some(spec) => Some(GenJob {
+                spec: spec.clone(),
+                leases: Mutex::new(build_lease_table(spec, cfg.lease_ms)?),
+            }),
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            registry: Mutex::new(Registry::new(cfg.lease_ms)),
+            gen,
+            shutting_down: AtomicBool::new(false),
+            addr,
+            started: Instant::now(),
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("fleet-coord-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.shutting_down.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let _ = stream.set_nodelay(true);
+                        let shared = Arc::clone(&shared);
+                        // Thread-per-connection: peers are workers and
+                        // fronts on keep-alive, a bounded population.
+                        let _ = thread::Builder::new()
+                            .name("fleet-coord-conn".to_string())
+                            .spawn(move || handle_connection(&shared, stream));
+                    }
+                })
+                .expect("spawn coordinator accept")
+        };
+
+        Ok(CoordinatorHandle {
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// Scans the checkpoint directory and builds the lease table with complete
+/// shards pre-marked done. Contents are validated, not just presence: a
+/// torn or failure-carrying shard re-leases.
+fn build_lease_table(spec: &GenSpec, lease_ms: u64) -> Result<LeaseTable, FleetError> {
+    let dcfg = spec_config(spec)?;
+    let design = spec_design(spec)?;
+    let store = ShardStore::new(&spec.checkpoint);
+    let done: Vec<usize> = store
+        .existing_shards()
+        .into_iter()
+        .filter(|&i| {
+            matches!(
+                store.load_shard::<Vec<SampleRecord>>(i),
+                Ok(Some(ref shard)) if shard_is_complete(&dcfg, &design.graph, i, shard)
+            )
+        })
+        .collect();
+    if !done.is_empty() {
+        af_obs::counter("fleet.gen.shards_resumed", done.len() as u64);
+    }
+    let lease_ms = if lease_ms == 0 {
+        crate::registry::DEFAULT_LEASE_MS
+    } else {
+        lease_ms
+    };
+    Ok(LeaseTable::new(shard_count(&dcfg), &done, lease_ms))
+}
+
+impl CoordinatorHandle {
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Whether the configured gen job has every shard complete
+    /// (`false` when no job is configured).
+    #[must_use]
+    pub fn gen_finished(&self) -> bool {
+        self.shared.gen.as_ref().is_some_and(|g| {
+            g.leases
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .is_done()
+        })
+    }
+
+    /// Blocks until the gen job finishes, polling every `poll`. Returns
+    /// `false` immediately when no gen job is configured.
+    pub fn wait_gen_done(&self, poll: Duration) -> bool {
+        if self.shared.gen.is_none() {
+            return false;
+        }
+        while !self.gen_finished() {
+            thread::sleep(poll);
+        }
+        true
+    }
+
+    /// Initiates shutdown without waiting.
+    pub fn shutdown(&self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.shared.addr);
+    }
+
+    /// Blocks until the coordinator shuts down — via [`shutdown`] or a
+    /// `POST /fleet/shutdown` — and joins the accept thread (open
+    /// keep-alive connections finish their in-flight request and close on
+    /// the next read).
+    ///
+    /// [`shutdown`]: CoordinatorHandle::shutdown
+    pub fn join(mut self) {
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut out = stream;
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,
+            Err(ParseError::Bad(msg)) => {
+                let _ = Response::error(400, &msg).with_close().write_to(&mut out);
+                return;
+            }
+            Err(ParseError::TooLarge(msg)) => {
+                let _ = Response::error(413, &msg).with_close().write_to(&mut out);
+                return;
+            }
+            Err(ParseError::Io(_)) => return,
+        };
+        let close = req.wants_close();
+        let mut resp = dispatch(shared, &req);
+        if close {
+            resp = resp.with_close();
+        }
+        if resp.write_to(&mut out).is_err() || resp.close {
+            return;
+        }
+    }
+}
+
+fn json_or_500<T: serde::Serialize>(status: u16, value: &T) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::json(status, body),
+        Err(e) => Response::error(500, &format!("serialization failed: {e}")),
+    }
+}
+
+fn parse<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, Response> {
+    af_serve::api::parse_body(body).map_err(|e| Response::error(400, &e))
+}
+
+fn dispatch(shared: &Shared, req: &Request) -> Response {
+    af_obs::counter("fleet.coord.requests", 1);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/fleet/register") => register(shared, &req.body),
+        ("POST", "/fleet/heartbeat") => heartbeat(shared, &req.body),
+        ("GET", "/fleet/workers") => workers(shared),
+        ("POST", "/fleet/lease") => lease(shared, &req.body),
+        ("POST", "/fleet/complete") => complete(shared, &req.body),
+        ("GET", "/fleet/status") => status(shared),
+        ("GET", "/healthz") => status(shared),
+        ("GET", "/metrics") => Response::text(200, &af_serve::metrics::render_metrics()),
+        ("POST", "/fleet/shutdown") => {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(shared.addr);
+            Response::json(200, "{\"ok\":true}".to_string()).with_close()
+        }
+        (
+            _,
+            "/fleet/register" | "/fleet/heartbeat" | "/fleet/workers" | "/fleet/lease"
+            | "/fleet/complete" | "/fleet/status" | "/healthz" | "/metrics" | "/fleet/shutdown",
+        ) => Response::error(405, "method not allowed"),
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+fn register(shared: &Shared, body: &[u8]) -> Response {
+    let req: RegisterRequest = match parse(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let mut reg = shared
+        .registry
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let now = reg.now_ms();
+    let resp = reg.register(&req, now);
+    json_or_500(200, &resp)
+}
+
+fn heartbeat(shared: &Shared, body: &[u8]) -> Response {
+    let req: HeartbeatRequest = match parse(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let mut reg = shared
+        .registry
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let now = reg.now_ms();
+    let resp = reg.heartbeat(&req, now);
+    drop(reg);
+    // A heartbeat naming an active shard renews that lease too — one
+    // message keeps both the membership and the work alive.
+    if resp.known {
+        if let (Some(gen), Some(shard)) = (&shared.gen, req.active_shard) {
+            gen.leases
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .renew(&req.id, shard as usize, now_ms(shared));
+        }
+    }
+    json_or_500(200, &resp)
+}
+
+fn workers(shared: &Shared) -> Response {
+    let reg = shared
+        .registry
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let now = reg.now_ms();
+    json_or_500(200, &reg.alive(now))
+}
+
+fn now_ms(shared: &Shared) -> u64 {
+    shared.started.elapsed().as_millis() as u64
+}
+
+fn lease(shared: &Shared, body: &[u8]) -> Response {
+    let req: LeaseRequest = match parse(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let Some(gen) = &shared.gen else {
+        return json_or_500(
+            200,
+            &LeaseResponse {
+                shard: None,
+                spec: None,
+                done: false,
+                total_shards: 0,
+                remaining: 0,
+            },
+        );
+    };
+    // Only registered, live workers get leases: a worker that lost its
+    // membership lease must re-register (proving it still exists) before
+    // it can hold work again.
+    let known = {
+        let reg = shared
+            .registry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let now = reg.now_ms();
+        reg.is_alive(&req.id, now)
+    };
+    if !known {
+        return Response::error(403, "unregistered or expired worker; re-register first");
+    }
+    let mut leases = gen
+        .leases
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let now = now_ms(shared);
+    let shard = leases.lease(&req.id, now);
+    let counts = leases.counts(now);
+    let done = leases.is_done();
+    drop(leases);
+    json_or_500(
+        200,
+        &LeaseResponse {
+            shard: shard.map(|s| s as u64),
+            spec: Some(gen.spec.clone()),
+            done,
+            total_shards: counts.total,
+            remaining: counts.total - counts.done,
+        },
+    )
+}
+
+fn complete(shared: &Shared, body: &[u8]) -> Response {
+    let req: CompleteRequest = match parse(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let Some(gen) = &shared.gen else {
+        return Response::error(404, "no gen job configured");
+    };
+    let mut leases = gen
+        .leases
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let ok = if req.ok {
+        leases.complete(&req.id, req.shard as usize)
+    } else {
+        af_obs::counter("fleet.gen.shard_failures", 1);
+        if let Some(e) = &req.error {
+            af_obs::warn(&format!(
+                "worker {} failed shard {}: {e}",
+                req.id, req.shard
+            ));
+        }
+        leases.release(&req.id, req.shard as usize)
+    };
+    json_or_500(200, &CompleteResponse { ok })
+}
+
+fn status(shared: &Shared) -> Response {
+    let reg = shared
+        .registry
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let now = reg.now_ms();
+    let alive = reg.alive(now).workers.len() as u64;
+    let registered = reg.registered_total();
+    drop(reg);
+    let gen = shared.gen.as_ref().map(|g| {
+        let leases = g
+            .leases
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let c = leases.counts(now_ms(shared));
+        GenStatus {
+            total: c.total,
+            done: c.done,
+            leased: c.leased,
+            pending: c.pending,
+            finished: c.done == c.total,
+        }
+    });
+    json_or_500(
+        200,
+        &StatusResponse {
+            ok: true,
+            uptime_ms: shared.started.elapsed().as_millis() as u64,
+            workers_alive: alive,
+            workers_registered: registered,
+            gen,
+        },
+    )
+}

@@ -1,0 +1,229 @@
+//! Shard lease bookkeeping for distributed dataset generation.
+//!
+//! The coordinator owns one [`LeaseTable`] per gen job. A shard is the
+//! lease granule; grants always pick the **lowest-indexed** available
+//! shard (pending, or leased but expired), so assignment order — and with
+//! it the worker→shard mapping under any fixed timing — is deterministic.
+//! Because every shard's *contents* are a pure function of
+//! `(spec, shard_index)`, which worker computes a shard never matters:
+//! a re-leased shard from a killed worker is bit-identical to the
+//! original's would-have-been output. That is the whole healing story —
+//! there is no shard handoff, no partial-state transfer, just "someone
+//! else computes the same pure function".
+
+/// Lease state of one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ShardState {
+    /// Not yet handed to any worker.
+    Pending,
+    /// Leased to `worker` until `expires_ms` (renewed by heartbeats that
+    /// name the shard).
+    Leased { worker: String, expires_ms: u64 },
+    /// Persisted to the checkpoint store and verified complete.
+    Done,
+}
+
+/// Progress counters (mirrors [`crate::protocol::GenStatus`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseCounts {
+    /// Total shards.
+    pub total: u64,
+    /// Completed shards.
+    pub done: u64,
+    /// Live (unexpired) leases at the queried time.
+    pub leased: u64,
+    /// Pending shards (never leased, or lease expired).
+    pub pending: u64,
+}
+
+/// Lease table over `total` shards.
+pub struct LeaseTable {
+    state: Vec<ShardState>,
+    lease_ms: u64,
+}
+
+impl LeaseTable {
+    /// Creates a table of `total` shards, with `done` indices (from a
+    /// checkpoint-directory scan) pre-marked complete — how an interrupted
+    /// distributed run resumes without recomputing finished work.
+    #[must_use]
+    pub fn new(total: usize, done: &[usize], lease_ms: u64) -> Self {
+        let mut state = vec![ShardState::Pending; total];
+        for &i in done {
+            if i < total {
+                state[i] = ShardState::Done;
+            }
+        }
+        Self { state, lease_ms }
+    }
+
+    /// Grants the lowest available shard to `worker` at `now_ms`, or
+    /// `None` when nothing is grantable (all done or under live lease).
+    /// A worker holding an expired lease elsewhere simply loses it — the
+    /// shard becomes grantable to anyone, including the original holder.
+    pub fn lease(&mut self, worker: &str, now_ms: u64) -> Option<usize> {
+        let grant = self.state.iter().position(|s| match s {
+            ShardState::Pending => true,
+            ShardState::Leased { expires_ms, .. } => *expires_ms < now_ms,
+            ShardState::Done => false,
+        })?;
+        if matches!(&self.state[grant], ShardState::Leased { .. }) {
+            af_obs::counter("fleet.leases.expired_reassigned", 1);
+        }
+        self.state[grant] = ShardState::Leased {
+            worker: worker.to_string(),
+            expires_ms: now_ms + self.lease_ms,
+        };
+        af_obs::counter("fleet.leases.granted", 1);
+        Some(grant)
+    }
+
+    /// Renews `worker`'s lease on `shard` (heartbeat naming an active
+    /// shard). A renewal for a shard the worker no longer holds — it
+    /// expired and was re-leased — is refused, telling the worker to drop
+    /// the stale computation.
+    pub fn renew(&mut self, worker: &str, shard: usize, now_ms: u64) -> bool {
+        match self.state.get_mut(shard) {
+            Some(ShardState::Leased {
+                worker: holder,
+                expires_ms,
+            }) if holder == worker => {
+                *expires_ms = now_ms + self.lease_ms;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks `shard` complete if `worker` still holds it (or it is
+    /// pending/expired — a slow worker whose lease lapsed but whose write
+    /// landed is still a valid completion, because all completions are
+    /// bit-identical). Returns whether the completion was recorded.
+    pub fn complete(&mut self, worker: &str, shard: usize) -> bool {
+        match self.state.get(shard) {
+            None | Some(ShardState::Done) => false,
+            Some(ShardState::Leased { worker: holder, .. }) if holder != worker => {
+                // Someone else holds a live lease; their completion (same
+                // bits) will land. Accept anyway would double-count.
+                af_obs::counter("fleet.leases.stale_completion", 1);
+                false
+            }
+            _ => {
+                self.state[shard] = ShardState::Done;
+                af_obs::counter("fleet.leases.completed", 1);
+                true
+            }
+        }
+    }
+
+    /// Releases `shard` back to pending if `worker` holds it (a worker
+    /// reporting a failed attempt).
+    pub fn release(&mut self, worker: &str, shard: usize) -> bool {
+        match self.state.get(shard) {
+            Some(ShardState::Leased { worker: holder, .. }) if holder == worker => {
+                self.state[shard] = ShardState::Pending;
+                af_obs::counter("fleet.leases.released", 1);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether every shard is complete.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.state.iter().all(|s| *s == ShardState::Done)
+    }
+
+    /// Progress counters at `now_ms` (expired leases count as pending).
+    #[must_use]
+    pub fn counts(&self, now_ms: u64) -> LeaseCounts {
+        let mut c = LeaseCounts {
+            total: self.state.len() as u64,
+            done: 0,
+            leased: 0,
+            pending: 0,
+        };
+        for s in &self.state {
+            match s {
+                ShardState::Done => c.done += 1,
+                ShardState::Leased { expires_ms, .. } if *expires_ms >= now_ms => c.leased += 1,
+                _ => c.pending += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_lowest_available_in_order() {
+        let mut t = LeaseTable::new(4, &[1], 100);
+        assert_eq!(t.lease("a", 0), Some(0));
+        assert_eq!(t.lease("b", 0), Some(2), "shard 1 pre-done, 0 leased");
+        assert_eq!(t.lease("c", 0), Some(3));
+        assert_eq!(t.lease("d", 0), None, "everything held or done");
+        let c = t.counts(0);
+        assert_eq!((c.done, c.leased, c.pending), (1, 3, 0));
+    }
+
+    #[test]
+    fn expired_lease_reassigns_and_stale_renewal_refused() {
+        let mut t = LeaseTable::new(1, &[], 100);
+        assert_eq!(t.lease("dead", 0), Some(0));
+        assert_eq!(t.lease("other", 50), None, "lease still live at 50");
+        assert!(t.renew("dead", 0, 50), "holder can renew");
+        // Renewal moved expiry to 150; at 200 it is expired and re-leased.
+        assert_eq!(t.lease("heir", 200), Some(0));
+        assert!(!t.renew("dead", 0, 210), "old holder lost the shard");
+        assert!(t.renew("heir", 0, 210));
+    }
+
+    #[test]
+    fn completion_rules() {
+        let mut t = LeaseTable::new(2, &[], 100);
+        assert_eq!(t.lease("a", 0), Some(0));
+        assert!(t.complete("a", 0));
+        assert!(!t.complete("a", 0), "double-complete refused");
+        assert!(!t.complete("a", 5), "out of range refused");
+        // Shard 1: leased to b, lease expires, re-leased to c. b's late
+        // completion is refused while c holds it live...
+        assert_eq!(t.lease("b", 0), Some(1));
+        assert_eq!(t.lease("c", 200), Some(1));
+        assert!(!t.complete("b", 1));
+        assert!(t.complete("c", 1));
+        assert!(t.is_done());
+    }
+
+    #[test]
+    fn late_completion_after_expiry_is_accepted() {
+        // b's lease lapses with no heir; its durable write is still the
+        // bit-identical shard, so the completion counts.
+        let mut t = LeaseTable::new(1, &[], 100);
+        assert_eq!(t.lease("b", 0), Some(0));
+        let c = t.counts(500);
+        assert_eq!((c.leased, c.pending), (0, 1), "expired shows as pending");
+        assert!(t.complete("b", 0));
+        assert!(t.is_done());
+    }
+
+    #[test]
+    fn release_returns_shard_to_pool() {
+        let mut t = LeaseTable::new(1, &[], 100);
+        assert_eq!(t.lease("a", 0), Some(0));
+        assert!(t.release("a", 0));
+        assert!(!t.release("a", 0), "already released");
+        assert_eq!(t.lease("b", 1), Some(0), "immediately grantable");
+    }
+
+    #[test]
+    fn resume_marks_prescanned_shards_done() {
+        let t = LeaseTable::new(3, &[0, 2, 99], 100);
+        let c = t.counts(0);
+        assert_eq!((c.total, c.done, c.pending), (3, 2, 1), "99 ignored");
+        assert!(!t.is_done());
+    }
+}

@@ -1,0 +1,583 @@
+//! The fleet front: a thin HTTP proxy that spreads `/v1/*` traffic over
+//! the live worker set with rendezvous hashing.
+//!
+//! Request affinity is the point, not just balance. The routing key is the
+//! request's `(path, body)` bytes — the same bytes af-serve's tier-B
+//! response cache keys on — so identical requests always land on the same
+//! worker and hit *that worker's* cache. The worker ring is therefore a
+//! consistent-hash tier over the per-worker response caches: adding or
+//! removing one worker remaps only that worker's key share (the af-cache
+//! `Ring` property), leaving every other worker's warm entries warm.
+//!
+//! Failures take one extra hop: if the first-ranked worker is unreachable
+//! or answers 503, the front retries the second-ranked replica, then gives
+//! up with 502. Async route jobs (`POST /v1/route` → 202 + job id) get a
+//! front-global id so `GET /v1/jobs/{id}` can be answered later even
+//! though job ids are worker-local.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use af_cache::Ring;
+use af_serve::http::{read_request, ParseError, Request, Response};
+use serde::{Serialize, Value};
+
+use crate::client::{get_json, HttpConn, RawResponse};
+use crate::protocol::WorkersResponse;
+use crate::FleetError;
+
+/// Front settings.
+#[derive(Debug, Clone)]
+pub struct FrontConfig {
+    /// Bind address (`host:port`; port 0 for ephemeral).
+    pub addr: String,
+    /// Coordinator address the worker set is polled from.
+    pub coordinator: String,
+    /// Worker-set refresh interval.
+    pub refresh_ms: u64,
+}
+
+impl Default for FrontConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            coordinator: String::new(),
+            refresh_ms: 500,
+        }
+    }
+}
+
+/// The ring plus the id→addr map it routes to, swapped atomically on each
+/// refresh so in-flight requests always see a coherent pair.
+#[derive(Default)]
+struct RingState {
+    ring: Ring,
+    addrs: HashMap<String, String>,
+    model_hash: String,
+}
+
+struct FrontShared {
+    coordinator: String,
+    ring: RwLock<RingState>,
+    /// Front-global job id → (worker id, worker-local job id).
+    jobs: Mutex<HashMap<u64, (String, u64)>>,
+    next_job: AtomicU64,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+    started: Instant,
+}
+
+/// Front constructor; see [`Front::bind`].
+pub struct Front;
+
+/// A running front.
+pub struct FrontHandle {
+    shared: Arc<FrontShared>,
+    accept: Option<thread::JoinHandle<()>>,
+    refresher: Option<thread::JoinHandle<()>>,
+}
+
+impl Front {
+    /// Binds the front and starts the worker-set refresher. The first
+    /// refresh is synchronous so a front that returns from `bind` can
+    /// already route (an empty fleet still binds — requests get 503 until
+    /// workers appear).
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn bind(cfg: FrontConfig) -> Result<FrontHandle, FleetError> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(FrontShared {
+            coordinator: cfg.coordinator.clone(),
+            ring: RwLock::new(RingState::default()),
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(1),
+            shutting_down: AtomicBool::new(false),
+            addr,
+            started: Instant::now(),
+        });
+        refresh_ring(&shared);
+
+        let refresher = {
+            let shared = Arc::clone(&shared);
+            let interval = Duration::from_millis(cfg.refresh_ms.max(50));
+            thread::Builder::new()
+                .name("fleet-front-refresh".to_string())
+                .spawn(move || {
+                    while !shared.shutting_down.load(Ordering::SeqCst) {
+                        thread::sleep(interval);
+                        refresh_ring(&shared);
+                    }
+                })
+                .expect("spawn front refresher")
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("fleet-front-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.shutting_down.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let _ = stream.set_nodelay(true);
+                        let shared = Arc::clone(&shared);
+                        let _ = thread::Builder::new()
+                            .name("fleet-front-conn".to_string())
+                            .spawn(move || handle_connection(&shared, stream));
+                    }
+                })
+                .expect("spawn front accept")
+        };
+        Ok(FrontHandle {
+            shared,
+            accept: Some(accept),
+            refresher: Some(refresher),
+        })
+    }
+}
+
+impl FrontHandle {
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Live serve-capable workers in the current ring view.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.shared
+            .ring
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .ring
+            .len()
+    }
+
+    /// Initiates shutdown without waiting.
+    pub fn shutdown(&self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.shared.addr);
+    }
+
+    /// Blocks until the front shuts down — via [`shutdown`] or a
+    /// `POST /v1/shutdown` — and joins the accept + refresher threads.
+    ///
+    /// [`shutdown`]: FrontHandle::shutdown
+    pub fn join(mut self) {
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        if let Some(r) = self.refresher.take() {
+            let _ = r.join();
+        }
+    }
+}
+
+/// Polls the coordinator and rebuilds the ring from live, serve-capable,
+/// non-skewed workers. A poll failure keeps the previous view — a stale
+/// ring routes traffic better than an empty one while the coordinator
+/// restarts.
+fn refresh_ring(shared: &FrontShared) {
+    let resp: Result<WorkersResponse, FleetError> = get_json(&shared.coordinator, "/fleet/workers");
+    let Ok(view) = resp else {
+        af_obs::counter("fleet.front.refresh_failures", 1);
+        return;
+    };
+    let eligible: Vec<_> = view
+        .workers
+        .iter()
+        .filter(|w| w.caps.serve && !w.skew && !w.addr.is_empty())
+        .collect();
+    let next = RingState {
+        ring: Ring::new(eligible.iter().map(|w| w.id.as_str())),
+        addrs: eligible
+            .iter()
+            .map(|w| (w.id.clone(), w.addr.clone()))
+            .collect(),
+        model_hash: view.model_hash,
+    };
+    af_obs::gauge("fleet.front.ring_size", next.ring.len() as f64);
+    *shared
+        .ring
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = next;
+}
+
+fn handle_connection(shared: &FrontShared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut out = stream;
+    // Per-connection pool of keep-alive upstream connections, keyed by
+    // worker address. Thread-per-connection makes this contention-free.
+    let mut pool: HashMap<String, HttpConn> = HashMap::new();
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,
+            Err(ParseError::Bad(msg)) => {
+                let _ = Response::error(400, &msg).with_close().write_to(&mut out);
+                return;
+            }
+            Err(ParseError::TooLarge(msg)) => {
+                let _ = Response::error(413, &msg).with_close().write_to(&mut out);
+                return;
+            }
+            Err(ParseError::Io(_)) => return,
+        };
+        let close = req.wants_close();
+        let mut resp = dispatch(shared, &req, &mut pool);
+        if close {
+            resp = resp.with_close();
+        }
+        if resp.write_to(&mut out).is_err() || resp.close {
+            return;
+        }
+    }
+}
+
+/// `GET /healthz` reply of a front.
+#[derive(Debug, Clone, Serialize)]
+struct FrontHealth {
+    ok: bool,
+    role: String,
+    uptime_ms: u64,
+    workers: u64,
+    model_hash: String,
+    build: String,
+}
+
+fn dispatch(shared: &FrontShared, req: &Request, pool: &mut HashMap<String, HttpConn>) -> Response {
+    af_obs::counter("fleet.front.requests", 1);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let (workers, model_hash) = {
+                let r = shared
+                    .ring
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                (r.ring.len() as u64, r.model_hash.clone())
+            };
+            json_or_500(
+                200,
+                &FrontHealth {
+                    ok: true,
+                    role: "front".to_string(),
+                    uptime_ms: shared.started.elapsed().as_millis() as u64,
+                    workers,
+                    model_hash,
+                    build: env!("CARGO_PKG_VERSION").to_string(),
+                },
+            )
+        }
+        ("GET", "/metrics") => Response::text(200, &af_serve::metrics::render_metrics()),
+        ("POST", "/v1/shutdown") => {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(shared.addr);
+            Response::json(200, "{\"ok\":true}".to_string()).with_close()
+        }
+        ("POST", "/v1/route") => submit_job(shared, req, pool),
+        ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path, pool),
+        ("POST", path) if path.starts_with("/v1/") => forward_hashed(shared, req, pool),
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+fn json_or_500<T: Serialize>(status: u16, value: &T) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::json(status, body),
+        Err(e) => Response::error(500, &format!("serialization failed: {e}")),
+    }
+}
+
+/// The two routing candidates for a request key: the rendezvous winner and
+/// its first replica.
+fn candidates(shared: &FrontShared, key: &[u8]) -> Vec<(String, String)> {
+    let state = shared
+        .ring
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    state
+        .ring
+        .ranked(key, 2)
+        .into_iter()
+        .filter_map(|id| {
+            state
+                .addrs
+                .get(id)
+                .map(|addr| (id.to_string(), addr.clone()))
+        })
+        .collect()
+}
+
+/// Sends `req` to `addr`, reusing a pooled keep-alive connection when one
+/// exists. A pooled connection that fails is dropped and retried once on a
+/// fresh connection — distinguishing "idle connection died" (normal) from
+/// "worker is down" (the caller's replica logic handles that).
+fn send_to(
+    pool: &mut HashMap<String, HttpConn>,
+    addr: &str,
+    req: &Request,
+) -> std::io::Result<RawResponse> {
+    if let Some(conn) = pool.get_mut(addr) {
+        match conn.call(&req.method, &req.path, &[], &req.body) {
+            Ok(resp) => {
+                if resp.close {
+                    pool.remove(addr);
+                }
+                return Ok(resp);
+            }
+            Err(_) => {
+                pool.remove(addr);
+            }
+        }
+    }
+    let mut conn = HttpConn::connect(addr)?;
+    let resp = conn.call(&req.method, &req.path, &[], &req.body)?;
+    if !resp.close {
+        pool.insert(addr.to_string(), conn);
+    }
+    Ok(resp)
+}
+
+/// Converts an upstream response into a downstream one, relaying status,
+/// body, cache markers, and stamping which worker answered.
+fn relay(upstream: RawResponse, worker: &str) -> Response {
+    let body = String::from_utf8_lossy(&upstream.body).into_owned();
+    let text_type = upstream
+        .header("content-type")
+        .is_some_and(|t| t.starts_with("text/"));
+    let mut resp = if text_type {
+        Response::text(upstream.status, &body)
+    } else {
+        Response::json(upstream.status, body)
+    };
+    if let Some(v) = upstream.header("x-cache") {
+        resp = resp.with_header("x-cache", v.to_string());
+    }
+    if let Some(v) = upstream.header("retry-after") {
+        resp = resp.with_header("retry-after", v.to_string());
+    }
+    resp.with_header("x-fleet-worker", worker.to_string())
+}
+
+/// Routes a cacheable `/v1/*` request by content key with one replica
+/// retry. 503 from the winner (shutting down, queue full is 429 and NOT
+/// retried — the replica would only melt too) also fails over.
+fn forward_hashed(
+    shared: &FrontShared,
+    req: &Request,
+    pool: &mut HashMap<String, HttpConn>,
+) -> Response {
+    let mut key = Vec::with_capacity(req.path.len() + 1 + req.body.len());
+    key.extend_from_slice(req.path.as_bytes());
+    key.push(0);
+    key.extend_from_slice(&req.body);
+    let ranked = candidates(shared, &key);
+    if ranked.is_empty() {
+        return Response::error(503, "no live workers in the fleet");
+    }
+    for (i, (id, addr)) in ranked.iter().enumerate() {
+        match send_to(pool, addr, req) {
+            Ok(resp) if resp.status == 503 && i + 1 < ranked.len() => {
+                af_obs::counter("fleet.front.failovers", 1);
+            }
+            Ok(resp) => {
+                if i > 0 {
+                    af_obs::counter("fleet.front.replica_hits", 1);
+                }
+                return relay(resp, id);
+            }
+            Err(_) => {
+                af_obs::counter("fleet.front.worker_errors", 1);
+            }
+        }
+    }
+    Response::error(502, "all replicas for this key are unreachable")
+}
+
+/// `POST /v1/route`: forward like any hashed request, but when the worker
+/// answers 202 with a worker-local job id, allocate a front-global id and
+/// remember the mapping so the job can be polled through this front.
+fn submit_job(
+    shared: &FrontShared,
+    req: &Request,
+    pool: &mut HashMap<String, HttpConn>,
+) -> Response {
+    let mut key = Vec::with_capacity(req.path.len() + 1 + req.body.len());
+    key.extend_from_slice(req.path.as_bytes());
+    key.push(0);
+    key.extend_from_slice(&req.body);
+    let ranked = candidates(shared, &key);
+    if ranked.is_empty() {
+        return Response::error(503, "no live workers in the fleet");
+    }
+    for (id, addr) in &ranked {
+        match send_to(pool, addr, req) {
+            Ok(resp) if resp.status == 202 => {
+                return match rewrite_job_id(shared, id, &resp.body) {
+                    Some(body) => relay(
+                        RawResponse {
+                            body: body.into_bytes(),
+                            ..resp
+                        },
+                        id,
+                    ),
+                    None => Response::error(502, "worker returned an unintelligible job ticket"),
+                };
+            }
+            Ok(resp) if resp.status == 503 => {
+                af_obs::counter("fleet.front.failovers", 1);
+            }
+            Ok(resp) => return relay(resp, id),
+            Err(_) => {
+                af_obs::counter("fleet.front.worker_errors", 1);
+            }
+        }
+    }
+    Response::error(502, "all replicas for this key are unreachable")
+}
+
+/// Swaps the worker-local `id` in a 202 body for a freshly allocated
+/// front-global one and records the mapping.
+fn rewrite_job_id(shared: &FrontShared, worker: &str, body: &[u8]) -> Option<String> {
+    let text = std::str::from_utf8(body).ok()?;
+    let mut value = serde_json::value_from_str(text).ok()?;
+    let local = match value.get("id") {
+        Some(Value::UInt(u)) => *u,
+        Some(Value::Int(i)) if *i >= 0 => *i as u64,
+        _ => return None,
+    };
+    let global = shared.next_job.fetch_add(1, Ordering::Relaxed);
+    shared
+        .jobs
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(global, (worker.to_string(), local));
+    af_obs::counter("fleet.front.jobs_mapped", 1);
+    if let Value::Map(pairs) = &mut value {
+        for (k, v) in pairs.iter_mut() {
+            if k == "id" {
+                *v = Value::UInt(global);
+            }
+        }
+    }
+    serde_json::to_string(&value).ok()
+}
+
+/// `GET /v1/jobs/{global}`: translate back to the owning worker's local id
+/// and proxy the poll there. Job state is worker-resident, so there is no
+/// replica to fail over to — a dead worker means the job is gone (410).
+fn job_status(shared: &FrontShared, path: &str, pool: &mut HashMap<String, HttpConn>) -> Response {
+    let id_text = &path["/v1/jobs/".len()..];
+    let Ok(global) = id_text.parse::<u64>() else {
+        return Response::error(400, &format!("bad job id {id_text:?}"));
+    };
+    let Some((worker, local)) = shared
+        .jobs
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&global)
+        .cloned()
+    else {
+        return Response::error(404, &format!("no job {global}"));
+    };
+    let addr = {
+        let state = shared
+            .ring
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.addrs.get(&worker).cloned()
+    };
+    let Some(addr) = addr else {
+        return Response::error(
+            410,
+            &format!("worker {worker} holding job {global} is gone"),
+        );
+    };
+    let upstream = Request {
+        method: "GET".to_string(),
+        path: format!("/v1/jobs/{local}"),
+        headers: Vec::new(),
+        body: Vec::new(),
+    };
+    match send_to(pool, &addr, &upstream) {
+        Ok(resp) => relay(resp, &worker),
+        Err(_) => Response::error(502, &format!("worker {worker} unreachable")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared_for_test() -> FrontShared {
+        FrontShared {
+            coordinator: String::new(),
+            ring: RwLock::new(RingState::default()),
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(1),
+            shutting_down: AtomicBool::new(false),
+            addr: "127.0.0.1:0".parse().unwrap(),
+            started: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn job_id_rewrite_allocates_and_maps() {
+        let shared = shared_for_test();
+        let out = rewrite_job_id(&shared, "w7", br#"{"id":3,"status":"queued"}"#).unwrap();
+        assert!(out.contains("\"id\":1"), "{out}");
+        assert!(out.contains("queued"));
+        let jobs = shared.jobs.lock().unwrap();
+        assert_eq!(jobs.get(&1), Some(&("w7".to_string(), 3)));
+    }
+
+    #[test]
+    fn job_id_rewrite_rejects_garbage() {
+        let shared = shared_for_test();
+        assert!(rewrite_job_id(&shared, "w", b"not json").is_none());
+        assert!(rewrite_job_id(&shared, "w", br#"{"status":"queued"}"#).is_none());
+        assert!(rewrite_job_id(&shared, "w", br#"{"id":"three"}"#).is_none());
+    }
+
+    #[test]
+    fn candidates_follow_ring_membership() {
+        let shared = shared_for_test();
+        {
+            let mut state = shared.ring.write().unwrap();
+            state.ring = Ring::new(["w1", "w2", "w3"]);
+            state.addrs = [
+                ("w1".to_string(), "127.0.0.1:1".to_string()),
+                ("w2".to_string(), "127.0.0.1:2".to_string()),
+                ("w3".to_string(), "127.0.0.1:3".to_string()),
+            ]
+            .into_iter()
+            .collect();
+        }
+        let c = candidates(&shared, b"some-key");
+        assert_eq!(c.len(), 2);
+        assert_ne!(c[0].0, c[1].0, "winner and replica differ");
+        // A worker whose addr vanished is skipped rather than dialed blind.
+        shared.ring.write().unwrap().addrs.remove(&c[0].0);
+        let c2 = candidates(&shared, b"some-key");
+        assert_eq!(c2.len(), 1);
+    }
+}

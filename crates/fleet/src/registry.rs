@@ -1,0 +1,324 @@
+//! The coordinator's worker registry: registrations, heartbeats, and
+//! deterministic lease expiry.
+//!
+//! Liveness is decided purely by timestamp comparison at query time — a
+//! worker is alive iff `now - last_heartbeat <= lease_ms` — so there is no
+//! reaper thread to race against and tests can drive expiry with an
+//! injected clock. Registrations are idempotent (a worker that crashed and
+//! restarted under the same id simply re-registers), and version skew is
+//! detected against the first model-bearing registrant's content hash.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::protocol::{
+    HeartbeatRequest, HeartbeatResponse, RegisterRequest, RegisterResponse, WorkerView,
+    WorkersResponse, PROTOCOL_VERSION,
+};
+
+/// Default lease: a worker missing heartbeats for this long is dead.
+pub const DEFAULT_LEASE_MS: u64 = 3_000;
+
+struct WorkerEntry {
+    addr: String,
+    caps: crate::protocol::WorkerCaps,
+    model_hash: String,
+    guidance_len: u64,
+    load: f64,
+    last_heartbeat_ms: u64,
+    metrics: Vec<(String, f64)>,
+}
+
+/// Worker membership state (interior mutability belongs to the caller —
+/// the coordinator wraps this in a `Mutex`).
+pub struct Registry {
+    start: Instant,
+    lease_ms: u64,
+    registered_total: u64,
+    /// Canonical model hash: first non-empty registrant wins.
+    canonical_hash: String,
+    workers: BTreeMap<String, WorkerEntry>,
+}
+
+impl Registry {
+    /// Creates an empty registry with the given lease duration
+    /// (`0` falls back to [`DEFAULT_LEASE_MS`]).
+    #[must_use]
+    pub fn new(lease_ms: u64) -> Self {
+        Self {
+            start: Instant::now(),
+            lease_ms: if lease_ms == 0 {
+                DEFAULT_LEASE_MS
+            } else {
+                lease_ms
+            },
+            registered_total: 0,
+            canonical_hash: String::new(),
+            workers: BTreeMap::new(),
+        }
+    }
+
+    /// Monotonic milliseconds since the registry was created — the clock
+    /// every lease comparison uses.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// The configured lease duration.
+    #[must_use]
+    pub fn lease_ms(&self) -> u64 {
+        self.lease_ms
+    }
+
+    /// All-time registration count.
+    #[must_use]
+    pub fn registered_total(&self) -> u64 {
+        self.registered_total
+    }
+
+    /// The fleet's canonical model hash (empty until a model-bearing
+    /// worker registers).
+    #[must_use]
+    pub fn canonical_hash(&self) -> &str {
+        &self.canonical_hash
+    }
+
+    /// Handles a registration at time `now_ms`. Re-registration under an
+    /// existing id replaces the entry (crash-restart under the same id).
+    pub fn register(&mut self, req: &RegisterRequest, now_ms: u64) -> RegisterResponse {
+        if req.protocol != PROTOCOL_VERSION {
+            return RegisterResponse {
+                ok: false,
+                lease_ms: self.lease_ms,
+                skew: false,
+                message: format!(
+                    "protocol mismatch: coordinator speaks v{PROTOCOL_VERSION}, worker v{}",
+                    req.protocol
+                ),
+            };
+        }
+        if req.id.is_empty() {
+            return RegisterResponse {
+                ok: false,
+                lease_ms: self.lease_ms,
+                skew: false,
+                message: "worker id must not be empty".to_string(),
+            };
+        }
+        if self.canonical_hash.is_empty() && !req.model_hash.is_empty() {
+            self.canonical_hash = req.model_hash.clone();
+        }
+        let skew = !req.model_hash.is_empty()
+            && !self.canonical_hash.is_empty()
+            && req.model_hash != self.canonical_hash;
+        if skew {
+            af_obs::counter("fleet.registry.skew_detected", 1);
+        }
+        self.registered_total += 1;
+        af_obs::counter("fleet.registry.registrations", 1);
+        self.workers.insert(
+            req.id.clone(),
+            WorkerEntry {
+                addr: req.addr.clone(),
+                caps: req.caps,
+                model_hash: req.model_hash.clone(),
+                guidance_len: req.guidance_len,
+                load: 0.0,
+                last_heartbeat_ms: now_ms,
+                metrics: Vec::new(),
+            },
+        );
+        RegisterResponse {
+            ok: true,
+            lease_ms: self.lease_ms,
+            skew,
+            message: String::new(),
+        }
+    }
+
+    /// Handles a heartbeat at time `now_ms`. An unknown id (coordinator
+    /// restarted, or the worker was expired *and evicted*) gets
+    /// `known: false` and must re-register. An expired-but-present worker
+    /// is revived — the heartbeat proves it lives.
+    pub fn heartbeat(&mut self, req: &HeartbeatRequest, now_ms: u64) -> HeartbeatResponse {
+        let Some(entry) = self.workers.get_mut(&req.id) else {
+            return HeartbeatResponse {
+                ok: false,
+                known: false,
+                lease_ms: self.lease_ms,
+            };
+        };
+        entry.last_heartbeat_ms = now_ms;
+        entry.load = req.load;
+        entry.metrics = req
+            .metrics
+            .iter()
+            .map(|m| (m.name.clone(), m.value))
+            .collect();
+        af_obs::counter("fleet.registry.heartbeats", 1);
+        // Republish this worker's series on the coordinator's own registry
+        // so one /metrics scrape sees the whole fleet, labeled per worker.
+        af_obs::gauge(&format!("fleet.worker_load|worker={}", req.id), req.load);
+        for m in &req.metrics {
+            af_obs::gauge(
+                &format!(
+                    "fleet.worker_{}|worker={}",
+                    m.name.replace('.', "_"),
+                    req.id
+                ),
+                m.value,
+            );
+        }
+        HeartbeatResponse {
+            ok: true,
+            known: true,
+            lease_ms: self.lease_ms,
+        }
+    }
+
+    /// Whether `id` is currently alive (present and within lease).
+    #[must_use]
+    pub fn is_alive(&self, id: &str, now_ms: u64) -> bool {
+        self.workers
+            .get(id)
+            .is_some_and(|w| now_ms.saturating_sub(w.last_heartbeat_ms) <= self.lease_ms)
+    }
+
+    /// The live worker set at `now_ms` — the view fronts build their ring
+    /// from. Dead entries are skipped, not evicted: a revival heartbeat
+    /// under the same id keeps working.
+    #[must_use]
+    pub fn alive(&self, now_ms: u64) -> WorkersResponse {
+        let workers: Vec<WorkerView> = self
+            .workers
+            .iter()
+            .filter(|(_, w)| now_ms.saturating_sub(w.last_heartbeat_ms) <= self.lease_ms)
+            .map(|(id, w)| WorkerView {
+                id: id.clone(),
+                addr: w.addr.clone(),
+                caps: w.caps,
+                model_hash: w.model_hash.clone(),
+                guidance_len: w.guidance_len,
+                load: w.load,
+                since_heartbeat_ms: now_ms.saturating_sub(w.last_heartbeat_ms),
+                skew: !w.model_hash.is_empty()
+                    && !self.canonical_hash.is_empty()
+                    && w.model_hash != self.canonical_hash,
+            })
+            .collect();
+        af_obs::gauge("fleet.workers_alive", workers.len() as f64);
+        WorkersResponse {
+            workers,
+            model_hash: self.canonical_hash.clone(),
+        }
+    }
+
+    /// Aggregated metric snapshot across live workers: per-worker pushed
+    /// metrics, keyed `(metric name, worker id)`.
+    #[must_use]
+    pub fn worker_metrics(&self, now_ms: u64) -> Vec<(String, String, f64)> {
+        let mut out = Vec::new();
+        for (id, w) in &self.workers {
+            if now_ms.saturating_sub(w.last_heartbeat_ms) > self.lease_ms {
+                continue;
+            }
+            for (name, value) in &w.metrics {
+                out.push((name.clone(), id.clone(), *value));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::WorkerCaps;
+
+    fn reg(id: &str, hash: &str) -> RegisterRequest {
+        RegisterRequest {
+            id: id.to_string(),
+            addr: format!("127.0.0.1:1{id}"),
+            caps: WorkerCaps {
+                serve: true,
+                gen: true,
+            },
+            model_hash: hash.to_string(),
+            guidance_len: 9,
+            protocol: PROTOCOL_VERSION,
+        }
+    }
+
+    fn hb(id: &str) -> HeartbeatRequest {
+        HeartbeatRequest {
+            id: id.to_string(),
+            load: 1.5,
+            metrics: Vec::new(),
+            active_shard: None,
+        }
+    }
+
+    #[test]
+    fn register_heartbeat_expire_revive() {
+        let mut r = Registry::new(100);
+        assert!(r.register(&reg("w1", "aaaa"), 0).ok);
+        assert!(r.register(&reg("w2", "aaaa"), 0).ok);
+        assert_eq!(r.alive(50).workers.len(), 2);
+        // w2 heartbeats at 80; w1 goes silent and expires at 101.
+        assert!(r.heartbeat(&hb("w2"), 80).ok);
+        let live = r.alive(120);
+        assert_eq!(live.workers.len(), 1);
+        assert_eq!(live.workers[0].id, "w2");
+        assert!(!r.is_alive("w1", 120));
+        // A late heartbeat revives w1 — presence survives expiry.
+        assert!(r.heartbeat(&hb("w1"), 150).known);
+        assert!(r.is_alive("w1", 200));
+    }
+
+    #[test]
+    fn unknown_heartbeat_demands_reregistration() {
+        let mut r = Registry::new(100);
+        let resp = r.heartbeat(&hb("ghost"), 10);
+        assert!(!resp.ok);
+        assert!(!resp.known);
+    }
+
+    #[test]
+    fn version_skew_is_flagged_not_rejected() {
+        let mut r = Registry::new(100);
+        assert!(!r.register(&reg("w1", "aaaa"), 0).skew, "first sets canon");
+        let resp = r.register(&reg("w2", "bbbb"), 0);
+        assert!(resp.ok && resp.skew, "different hash accepted but flagged");
+        let live = r.alive(1);
+        assert_eq!(live.model_hash, "aaaa");
+        let w2 = live.workers.iter().find(|w| w.id == "w2").unwrap();
+        assert!(w2.skew);
+        // Model-less workers (gen-only) never skew.
+        assert!(!r.register(&reg("w3", ""), 0).skew);
+    }
+
+    #[test]
+    fn protocol_mismatch_is_rejected() {
+        let mut r = Registry::new(100);
+        let mut bad = reg("w1", "");
+        bad.protocol = PROTOCOL_VERSION + 1;
+        let resp = r.register(&bad, 0);
+        assert!(!resp.ok);
+        assert!(resp.message.contains("protocol mismatch"));
+        assert!(!r.register(&reg("", ""), 0).ok, "empty id rejected");
+    }
+
+    #[test]
+    fn reregistration_replaces_entry() {
+        let mut r = Registry::new(100);
+        r.register(&reg("w1", "aaaa"), 0);
+        let mut again = reg("w1", "aaaa");
+        again.addr = "127.0.0.1:999".to_string();
+        r.register(&again, 50);
+        let live = r.alive(60);
+        assert_eq!(live.workers.len(), 1);
+        assert_eq!(live.workers[0].addr, "127.0.0.1:999");
+        assert_eq!(r.registered_total(), 2);
+    }
+}

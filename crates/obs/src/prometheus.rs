@@ -9,10 +9,53 @@
 //! (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and a
 //! leading digit gets an `_` prefix. Lines are name-sorted within each
 //! family so the output is deterministic.
+//!
+//! # Labels
+//!
+//! af-obs metric names are flat strings, but an emitter can smuggle one
+//! label through the name with a `|key=value` suffix:
+//! `fleet.worker_load|worker=w1` renders as
+//! `fleet_worker_load{worker="w1"}`. Entries sharing a base name group
+//! under one `# TYPE` line, which is how the fleet coordinator aggregates
+//! per-worker series on its `/metrics` without a registry redesign. A
+//! malformed suffix (no `=`) stays part of the sanitized name.
 
 use std::fmt::Write as _;
 
 use crate::registry::Registry;
+
+/// Splits an optional `|key=value` label suffix off an af-obs metric name,
+/// returning the base name and the label pair.
+#[must_use]
+pub fn split_label(name: &str) -> (&str, Option<(&str, &str)>) {
+    if let Some((base, tail)) = name.split_once('|') {
+        if let Some((k, v)) = tail.split_once('=') {
+            if !k.is_empty() {
+                return (base, Some((k, v)));
+            }
+        }
+    }
+    (name, None)
+}
+
+/// The Prometheus series name for an af-obs metric name: sanitized base
+/// plus an optional `{key="value"}` selector from the `|key=value` suffix.
+/// Label values escape `\`, `"` and newlines per the text format.
+fn series(name: &str) -> (String, String) {
+    let (base, label) = split_label(name);
+    let base = sanitize(base);
+    let selector = match label {
+        Some((k, v)) => {
+            let escaped = v
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
+            format!("{{{}=\"{}\"}}", sanitize(k), escaped)
+        }
+        None => String::new(),
+    };
+    (base, selector)
+}
 
 /// Converts an af-obs metric name (`persist.shard_corrupt`,
 /// `serve/handler`) to a valid Prometheus metric name.
@@ -58,15 +101,27 @@ fn push_f64(out: &mut String, v: f64) {
 #[must_use]
 pub fn render(registry: &Registry) -> String {
     let mut out = String::new();
+    // Labeled series sharing a base name sort adjacently (the `|` suffix
+    // sorts after the bare name), so tracking the last emitted base is
+    // enough to write each `# TYPE` exactly once per family.
+    let mut last_type: Option<String> = None;
     for (name, value) in registry.counter_snapshot() {
-        let n = sanitize(&name);
-        let _ = writeln!(out, "# TYPE {n} counter");
-        let _ = writeln!(out, "{n} {value}");
+        let (n, sel) = series(&name);
+        if last_type.as_deref() != Some(n.as_str()) {
+            let _ = writeln!(out, "# TYPE {n} counter");
+            last_type = Some(n.clone());
+        }
+        let _ = writeln!(out, "{n}{sel} {value}");
     }
+    last_type = None;
     for (name, value) in registry.gauge_snapshot() {
-        let n = sanitize(&name);
-        let _ = writeln!(out, "# TYPE {n} gauge");
+        let (n, sel) = series(&name);
+        if last_type.as_deref() != Some(n.as_str()) {
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            last_type = Some(n.clone());
+        }
         out.push_str(&n);
+        out.push_str(&sel);
         out.push(' ');
         push_f64(&mut out, value);
         out.push('\n');
@@ -128,6 +183,34 @@ mod tests {
         assert!(text.contains("serve_latency_us_count 100\n"));
         assert!(text.contains("serve_predict_seconds_sum 0.25\n"));
         assert!(text.contains("serve_predict_seconds_count 1\n"));
+    }
+
+    #[test]
+    fn label_suffix_renders_as_selector() {
+        let r = Registry::default();
+        r.set_gauge("fleet.worker_load|worker=w1", 0.5);
+        r.set_gauge("fleet.worker_load|worker=w2", 0.25);
+        r.add_counter("fleet.requests|worker=w-1", 3);
+        r.add_counter("plain", 1);
+        let text = render(&r);
+        assert!(text.contains("fleet_worker_load{worker=\"w1\"} 0.5\n"));
+        assert!(text.contains("fleet_worker_load{worker=\"w2\"} 0.25\n"));
+        assert!(text.contains("fleet_requests{worker=\"w-1\"} 3\n"));
+        assert!(text.contains("plain 1\n"));
+        assert_eq!(
+            text.matches("# TYPE fleet_worker_load gauge").count(),
+            1,
+            "one TYPE line per labeled family"
+        );
+    }
+
+    #[test]
+    fn split_label_handles_malformed_suffixes() {
+        assert_eq!(split_label("a.b"), ("a.b", None));
+        assert_eq!(split_label("a|k=v"), ("a", Some(("k", "v"))));
+        assert_eq!(split_label("a|novalue"), ("a|novalue", None));
+        assert_eq!(split_label("a|=v"), ("a|=v", None));
+        assert_eq!(split_label("a|k=v=w"), ("a", Some(("k", "v=w"))));
     }
 
     #[test]

@@ -33,6 +33,17 @@ pub struct HealthResponse {
     pub variant: String,
     /// Expected `guidance` length for `/v1/predict`.
     pub guidance_len: u64,
+    /// Monotonic milliseconds since the server bound its listener (from
+    /// `Instant`, so wall-clock adjustments cannot run it backwards). A
+    /// coordinator uses a reset to detect silent worker restarts.
+    pub uptime_ms: u64,
+    /// Canonical content hash of the resident model (32 lowercase hex
+    /// chars). Two workers with different hashes are serving different
+    /// weights — version skew a fleet front must not load-balance across.
+    pub model_hash: String,
+    /// Crate version of the serving binary (`CARGO_PKG_VERSION`), the
+    /// coarse build-skew complement to `model_hash`.
+    pub build: String,
 }
 
 /// `POST /v1/predict` request body.

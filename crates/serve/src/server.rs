@@ -20,7 +20,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use af_cache::{Cache, CacheBuilder, ContentHash, ContentHasher, FnWeigher};
 use af_sim::Performance;
@@ -46,6 +46,8 @@ struct Shared {
     cfg: ServeConfig,
     shutting_down: AtomicBool,
     addr: SocketAddr,
+    /// Bind time; `/healthz` reports the monotonic distance from it.
+    started: Instant,
     /// Response cache for `/v1/predict` and `/v1/guide`: whole 200-status
     /// JSON bodies keyed by request content hash. `None` when disabled.
     response_cache: Option<Cache<ContentHash, String>>,
@@ -84,6 +86,7 @@ impl Server {
             cfg: cfg.clone(),
             shutting_down: AtomicBool::new(false),
             addr,
+            started: Instant::now(),
             response_cache: (cfg.cache_mb > 0).then(|| {
                 CacheBuilder::new("serve")
                     .capacity_mb(cfg.cache_mb)
@@ -327,6 +330,9 @@ fn health(shared: &Shared) -> Response {
             circuit: shared.bundle.circuit.name().to_string(),
             variant: shared.bundle.variant.label().to_string(),
             guidance_len: shared.bundle.guidance_len() as u64,
+            uptime_ms: shared.started.elapsed().as_millis() as u64,
+            model_hash: shared.bundle.model_hash.clone(),
+            build: env!("CARGO_PKG_VERSION").to_string(),
         },
     )
 }

@@ -26,6 +26,11 @@ pub struct ModelBundle {
     pub graph: HeteroGraph,
     /// The resident surrogate model.
     pub gnn: ThreeDGnn,
+    /// Canonical 128-bit content hash of the resident model (32 hex chars),
+    /// surfaced on `/healthz` so a fleet coordinator can detect version
+    /// skew: two workers answering for the same circuit but serving
+    /// different weights.
+    pub model_hash: String,
 }
 
 impl ModelBundle {
@@ -45,6 +50,7 @@ impl ModelBundle {
         let tech = Technology::nm40();
         let placement = place(&circuit, variant);
         let graph = HeteroGraph::build(&circuit, &placement, &tech, 3);
+        let model_hash = analogfold::content_hash_of(&gnn).to_hex();
         Ok(Self {
             circuit,
             variant,
@@ -52,6 +58,7 @@ impl ModelBundle {
             tech,
             graph,
             gnn,
+            model_hash,
         })
     }
 

@@ -1,0 +1,180 @@
+#!/usr/bin/env bash
+# Multi-process fleet smoke test, as run in CI.
+#
+# Serving fleet: a coordinator, three model workers, and a front on
+# ephemeral ports. Traffic through the front must answer with a worker
+# stamp, repeat requests must hit the routed worker's response cache, and
+# kill -9 of the serving worker must be healed by the front's single-hop
+# failover on the very next request — then, once the dead worker's
+# membership lease expires, the ring must shrink to the survivors.
+#
+# Gen fleet: a coordinator-mode `fleet-gen` run with local workers plus an
+# external joiner that aborts on its first lease (AF_FAULT worker kill);
+# the lease expires and the survivors finish. A second run with a
+# different worker count must produce the byte-identical dataset — the
+# bit-identity healing contract, observed end to end across processes.
+#
+# Usage: scripts/fleet_smoke.sh [path-to-analogfold-cli]
+set -euo pipefail
+
+BIN=${1:-target/release/analogfold-cli}
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+json_ok() { python3 -m json.tool > /dev/null; }
+
+# Polls a background process's log for the address its banner line reports.
+wait_addr() { # log-file sed-pattern pid
+    local addr=""
+    for _ in $(seq 1 150); do
+        addr=$(sed -n "$2" "$1" | head -n1)
+        [ -n "$addr" ] && { echo "$addr"; return 0; }
+        kill -0 "$3" 2>/dev/null || { echo "process exited early; log:" >&2; cat "$1" >&2; return 1; }
+        sleep 0.2
+    done
+    echo "no address in $1" >&2; cat "$1" >&2; return 1
+}
+
+echo "=== train tiny model"
+"$BIN" train OTA1 A --samples 6 --epochs 2 --out "$WORK/model.json"
+
+echo "=== serving fleet: coordinator + 3 workers + front"
+"$BIN" fleet-coord --addr 127.0.0.1:0 --lease-ms 600 > "$WORK/coord.log" 2>&1 &
+COORD_PID=$!; PIDS+=("$COORD_PID")
+COORD=$(wait_addr "$WORK/coord.log" 's#^fleet coordinator at http://##p' "$COORD_PID")
+echo "coordinator at $COORD"
+
+WORKER_PIDS=()
+for i in 1 2 3; do
+    "$BIN" fleet-worker OTA1 A --model "$WORK/model.json" --coordinator "$COORD" \
+        --addr 127.0.0.1:0 > "$WORK/worker$i.log" 2>&1 &
+    WORKER_PIDS+=("$!"); PIDS+=("$!")
+done
+W1=$(wait_addr "$WORK/worker1.log" 's#^fleet worker .* at http://\([^ ]*\).*#\1#p' "${WORKER_PIDS[0]}")
+echo "worker 1 at $W1"
+
+"$BIN" fleet-front --coordinator "$COORD" --addr 127.0.0.1:0 --refresh-ms 100 \
+    > "$WORK/front.log" 2>&1 &
+FRONT_PID=$!; PIDS+=("$FRONT_PID")
+FRONT=$(wait_addr "$WORK/front.log" 's#^fleet front at http://\([^ ]*\).*#\1#p' "$FRONT_PID")
+echo "front at $FRONT"
+
+echo "=== ring reaches 3 workers"
+for _ in $(seq 1 100); do
+    curl -sf "http://$FRONT/healthz" > "$WORK/front-health.json" || true
+    grep -q '"workers":3' "$WORK/front-health.json" && break
+    sleep 0.2
+done
+grep -q '"workers":3' "$WORK/front-health.json" \
+    || { echo "front never saw 3 workers"; cat "$WORK/front-health.json"; exit 1; }
+
+echo "=== /healthz carries uptime_ms and the model content hash"
+curl -sf "http://$W1/healthz" | tee "$WORK/w1-health.json" | json_ok
+python3 - "$WORK/w1-health.json" "$WORK/front-health.json" <<'PY'
+import json, sys
+worker = json.load(open(sys.argv[1]))
+front = json.load(open(sys.argv[2]))
+assert isinstance(worker["uptime_ms"], int), worker
+assert worker["model_hash"], worker
+assert front["model_hash"] == worker["model_hash"], (front, worker)
+assert front["role"] == "front", front
+print("model hash agreed across worker and front:", worker["model_hash"][:16])
+PY
+U1=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["uptime_ms"])' "$WORK/w1-health.json")
+sleep 0.3
+U2=$(curl -sf "http://$W1/healthz" | python3 -c 'import json,sys; print(json.load(sys.stdin)["uptime_ms"])')
+[ "$U2" -gt "$U1" ] || { echo "uptime_ms not monotonic: $U1 -> $U2"; exit 1; }
+echo "uptime_ms monotonic ($U1 -> $U2)"
+
+echo "=== predict through the front (worker stamp + affinity hit)"
+LEN=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["guidance_len"])' "$WORK/w1-health.json")
+python3 -c 'import sys; n=int(sys.argv[1]); print("{\"guidance\":["+",".join(["0.1"]*n)+"]}")' "$LEN" \
+    > "$WORK/body.json"
+curl -sf -D "$WORK/p1.headers" -X POST --data-binary @"$WORK/body.json" \
+    "http://$FRONT/v1/predict" > "$WORK/p1.json"
+json_ok < "$WORK/p1.json"
+SERVED_BY=$(sed -n 's/^x-fleet-worker: *//p' "$WORK/p1.headers" | tr -d '\r')
+[ -n "$SERVED_BY" ] || { echo "front response lacks x-fleet-worker"; cat "$WORK/p1.headers"; exit 1; }
+echo "served by $SERVED_BY"
+curl -sf -D "$WORK/p2.headers" -X POST --data-binary @"$WORK/body.json" \
+    "http://$FRONT/v1/predict" > "$WORK/p2.json"
+grep -iq '^x-cache: hit' "$WORK/p2.headers" \
+    || { echo "repeat request did not hit the routed worker's cache"; cat "$WORK/p2.headers"; exit 1; }
+cmp -s "$WORK/p1.json" "$WORK/p2.json" || { echo "cached reply differs"; exit 1; }
+echo "affinity cache hit OK"
+
+echo "=== kill -9 the serving worker; the next request must fail over"
+# Default worker ids are w<pid>-<port>, so the stamp names the pid to kill.
+SERVED_PID=$(echo "$SERVED_BY" | sed -n 's/^w\([0-9]*\)-.*/\1/p')
+[ -n "$SERVED_PID" ] || { echo "cannot parse pid from worker id $SERVED_BY"; exit 1; }
+kill -9 "$SERVED_PID"
+curl -sf -D "$WORK/p3.headers" -X POST --data-binary @"$WORK/body.json" \
+    "http://$FRONT/v1/predict" > "$WORK/p3.json"
+FAILOVER_BY=$(sed -n 's/^x-fleet-worker: *//p' "$WORK/p3.headers" | tr -d '\r')
+[ "$FAILOVER_BY" != "$SERVED_BY" ] || { echo "request still claims the dead worker"; exit 1; }
+cmp -s "$WORK/p1.json" "$WORK/p3.json" \
+    || { echo "failover reply differs from the original"; diff "$WORK/p1.json" "$WORK/p3.json"; exit 1; }
+echo "failed over to $FAILOVER_BY with an identical reply"
+
+echo "=== membership lease expires; ring shrinks to 2"
+for _ in $(seq 1 100); do
+    curl -sf "http://$FRONT/healthz" > "$WORK/front-health2.json" || true
+    grep -q '"workers":2' "$WORK/front-health2.json" && break
+    sleep 0.2
+done
+grep -q '"workers":2' "$WORK/front-health2.json" \
+    || { echo "ring never shrank"; cat "$WORK/front-health2.json"; exit 1; }
+
+echo "=== coordinator /metrics republishes worker gauges"
+curl -sf "http://$COORD/metrics" > "$WORK/coord-metrics.txt"
+grep -q '^fleet_worker_load{worker=' "$WORK/coord-metrics.txt" \
+    || { echo "missing per-worker load gauge"; grep '^fleet' "$WORK/coord-metrics.txt" || true; exit 1; }
+grep -q '^fleet_registry_registrations ' "$WORK/coord-metrics.txt" \
+    || { echo "missing registration counter"; grep '^fleet' "$WORK/coord-metrics.txt" || true; exit 1; }
+
+echo "=== graceful teardown of the serving fleet"
+# A shutdown reply can race the process exiting (curl sees an empty
+# reply); the POST still lands, so tolerate the truncated response.
+curl -s -X POST "http://$FRONT/v1/shutdown" > /dev/null || true
+for log in worker1 worker2 worker3; do
+    ADDR=$(sed -n 's#^fleet worker .* at http://\([^ ]*\).*#\1#p' "$WORK/$log.log" | head -n1)
+    curl -s -X POST "http://$ADDR/v1/shutdown" > /dev/null || true
+done
+curl -s -X POST "http://$COORD/fleet/shutdown" > /dev/null || true
+wait "$FRONT_PID" "$COORD_PID" 2>/dev/null || true
+PIDS=()
+
+echo "=== gen fleet: coordinator-mode run with an aborting joiner"
+"$BIN" fleet-gen OTA1 A --checkpoint "$WORK/ckpt1" --samples 8 --shard-size 2 \
+    --workers 2 --lease-ms 800 --addr 127.0.0.1:0 --out "$WORK/ds1.json" \
+    > "$WORK/gen1.log" 2>&1 &
+GEN_PID=$!; PIDS+=("$GEN_PID")
+GCOORD=$(wait_addr "$WORK/gen1.log" 's#^fleet gen coordinator at http://\([^ ]*\).*#\1#p' "$GEN_PID")
+# The joiner aborts on its first lease (injected worker kill); its leased
+# shard expires back to the local workers. The abort exit code is expected.
+AF_FAULT="fleet.worker_kill:abort:1.0:1" AF_FAULT_SEED=7 \
+    "$BIN" fleet-gen --join "$GCOORD" --id doomed > "$WORK/joiner.log" 2>&1 || true
+if grep -q 'aborting process at failpoint' "$WORK/joiner.log"; then
+    echo "joiner aborted mid-lease as injected; its shard lease must expire and heal"
+else
+    echo "joiner found no work left to kill (local workers were faster); continuing"
+fi
+wait "$GEN_PID" || { echo "gen run 1 failed"; cat "$WORK/gen1.log"; exit 1; }
+PIDS=()
+grep -q 'dataset assembled: 8 samples' "$WORK/gen1.log" \
+    || { echo "run 1 did not assemble"; cat "$WORK/gen1.log"; exit 1; }
+
+echo "=== gen fleet: clean re-run at a different worker count"
+"$BIN" fleet-gen OTA1 A --checkpoint "$WORK/ckpt2" --samples 8 --shard-size 2 \
+    --workers 3 --addr 127.0.0.1:0 --out "$WORK/ds2.json" > "$WORK/gen2.log" 2>&1 \
+    || { echo "gen run 2 failed"; cat "$WORK/gen2.log"; exit 1; }
+
+cmp "$WORK/ds1.json" "$WORK/ds2.json" \
+    || { echo "datasets differ across worker counts / injected kill"; exit 1; }
+echo "datasets bit-identical across worker counts and an injected kill"
+echo "fleet smoke OK"

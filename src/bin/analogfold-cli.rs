@@ -13,6 +13,14 @@
 //!                         [--obs-jsonl FILE] [--obs-report]
 //! analogfold-cli serve    <OTA1..OTA4> <A..D> --model FILE [--addr HOST:PORT] [--threads N]
 //!                         [--jobs DIR] [--cache-mb N] [--no-cache] [--obs-jsonl FILE]
+//! analogfold-cli fleet-coord  [--addr HOST:PORT] [--lease-ms N]
+//! analogfold-cli fleet-worker <OTA1..OTA4> <A..D> --model FILE --coordinator HOST:PORT
+//!                         [--addr HOST:PORT] [--id NAME] [--threads N] [--cache-mb N]
+//! analogfold-cli fleet-front  --coordinator HOST:PORT [--addr HOST:PORT] [--refresh-ms N]
+//! analogfold-cli fleet-gen    <OTA1..OTA4> <A..D> --checkpoint DIR [--samples N]
+//!                         [--shard-size N] [--seed N] [--workers N] [--out FILE]
+//!                         [--addr HOST:PORT] [--lease-ms N] [--threads N] [--cache-mb N]
+//! analogfold-cli fleet-gen    --join HOST:PORT [--id NAME]
 //! analogfold-cli bench-info
 //! ```
 //!
@@ -59,6 +67,14 @@ const USAGE: &str = "usage:
                           [--obs-jsonl FILE] [--obs-report]
   analogfold-cli serve    <OTA1..OTA4> <A..D> --model FILE [--addr HOST:PORT] [--threads N]
                           [--jobs DIR] [--cache-mb N] [--no-cache] [--obs-jsonl FILE]
+  analogfold-cli fleet-coord  [--addr HOST:PORT] [--lease-ms N]
+  analogfold-cli fleet-worker <OTA1..OTA4> <A..D> --model FILE --coordinator HOST:PORT
+                          [--addr HOST:PORT] [--id NAME] [--threads N] [--cache-mb N]
+  analogfold-cli fleet-front  --coordinator HOST:PORT [--addr HOST:PORT] [--refresh-ms N]
+  analogfold-cli fleet-gen    <OTA1..OTA4> <A..D> --checkpoint DIR [--samples N]
+                          [--shard-size N] [--seed N] [--workers N] [--out FILE]
+                          [--addr HOST:PORT] [--lease-ms N] [--threads N] [--cache-mb N]
+  analogfold-cli fleet-gen    --join HOST:PORT [--id NAME]
   analogfold-cli bench-info
 
 every subcommand also accepts fault injection for chaos testing:
@@ -79,6 +95,10 @@ fn run(args: &[String]) -> Result<(), String> {
         "guide" => cmd_guide(&args[1..]),
         "flow" => cmd_flow(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "fleet-coord" => cmd_fleet_coord(&args[1..]),
+        "fleet-worker" => cmd_fleet_worker(&args[1..]),
+        "fleet-front" => cmd_fleet_front(&args[1..]),
+        "fleet-gen" => cmd_fleet_gen(&args[1..]),
         "bench-info" => {
             cmd_bench_info();
             Ok(())
@@ -374,15 +394,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let model_path = flag_value(args, "--model").ok_or("missing --model FILE")?;
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:8080");
     let threads = threads_flag(args);
-    let obs = obs_flags(args);
-    // `/metrics` renders from the in-memory registry, so recording must be
-    // on even when no obs flag was given: fall back to an empty tee sink.
-    let guard = match obs_install(&obs)? {
-        Some(g) => g,
-        None => analogfold_suite::obs::install(std::sync::Arc::new(
-            analogfold_suite::obs::TeeSink::new(),
-        )),
-    };
+    let guard = obs_on(args)?;
 
     let bundle = ModelBundle::load(circuit.name(), variant.label(), model_path)
         .map_err(|e| e.to_string())?;
@@ -405,6 +417,253 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         handle.addr()
     );
     handle.join();
+    guard.flush();
+    Ok(())
+}
+
+/// Installs observability with recording always on, honoring any explicit
+/// obs flags. Server-style subcommands need this even without flags: their
+/// `/metrics` endpoints render from the in-memory registry, so an empty
+/// tee sink is installed as the fallback.
+fn obs_on(args: &[String]) -> Result<analogfold_suite::obs::ObsGuard, String> {
+    Ok(match obs_install(&obs_flags(args))? {
+        Some(g) => g,
+        None => analogfold_suite::obs::install(std::sync::Arc::new(
+            analogfold_suite::obs::TeeSink::new(),
+        )),
+    })
+}
+
+fn cmd_fleet_coord(args: &[String]) -> Result<(), String> {
+    use analogfold_suite::fleet::{Coordinator, CoordinatorConfig};
+
+    let guard = obs_on(args)?;
+    let handle = Coordinator::bind(CoordinatorConfig {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:8400")
+            .to_string(),
+        lease_ms: flag_num(args, "--lease-ms", 0) as u64,
+        gen: None,
+    })
+    .map_err(|e| e.to_string())?;
+    println!("fleet coordinator at http://{}", handle.addr());
+    println!(
+        "routes: GET /healthz /metrics /fleet/workers /fleet/status; POST /fleet/register /fleet/heartbeat /fleet/lease /fleet/complete"
+    );
+    println!(
+        "stop with: curl -X POST http://{}/fleet/shutdown",
+        handle.addr()
+    );
+    handle.join();
+    guard.flush();
+    Ok(())
+}
+
+fn cmd_fleet_worker(args: &[String]) -> Result<(), String> {
+    use analogfold_suite::fleet::{WorkerAgent, WorkerCaps, WorkerIdentity};
+    use analogfold_suite::serve::{ModelBundle, ServeConfig, Server};
+
+    let circuit = parse_circuit(args)?;
+    let variant = parse_variant(args, 1);
+    let model_path = flag_value(args, "--model").ok_or("missing --model FILE")?;
+    let coordinator = flag_value(args, "--coordinator")
+        .ok_or("missing --coordinator HOST:PORT")?
+        .to_string();
+    let guard = obs_on(args)?;
+
+    let bundle = ModelBundle::load(circuit.name(), variant.label(), model_path)
+        .map_err(|e| e.to_string())?;
+    let model_hash = bundle.model_hash.clone();
+    let guidance_len = bundle.guidance_len() as u64;
+    let handle = Server::bind(
+        bundle,
+        ServeConfig {
+            addr: flag_value(args, "--addr")
+                .unwrap_or("127.0.0.1:0")
+                .to_string(),
+            workers: threads_flag(args),
+            cache_mb: cache_mb_flag(args, ServeConfig::default().cache_mb),
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let id = flag_value(args, "--id").map_or_else(
+        || format!("w{}-{}", std::process::id(), handle.addr().port()),
+        str::to_string,
+    );
+    let agent = WorkerAgent::start(
+        &coordinator,
+        WorkerIdentity {
+            id: id.clone(),
+            addr: handle.addr().to_string(),
+            caps: WorkerCaps {
+                serve: true,
+                gen: false,
+            },
+            model_hash,
+            guidance_len,
+        },
+    );
+    println!(
+        "fleet worker {id} serving {}-{variant} at http://{} (coordinator {coordinator})",
+        circuit.name(),
+        handle.addr()
+    );
+    handle.join();
+    agent.stop();
+    guard.flush();
+    Ok(())
+}
+
+fn cmd_fleet_front(args: &[String]) -> Result<(), String> {
+    use analogfold_suite::fleet::{Front, FrontConfig};
+
+    let coordinator = flag_value(args, "--coordinator")
+        .ok_or("missing --coordinator HOST:PORT")?
+        .to_string();
+    let guard = obs_on(args)?;
+    let handle = Front::bind(FrontConfig {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:8401")
+            .to_string(),
+        coordinator: coordinator.clone(),
+        refresh_ms: flag_num(args, "--refresh-ms", 500) as u64,
+    })
+    .map_err(|e| e.to_string())?;
+    println!(
+        "fleet front at http://{} (coordinator {coordinator}, {} workers)",
+        handle.addr(),
+        handle.worker_count()
+    );
+    println!(
+        "stop with: curl -X POST http://{}/v1/shutdown",
+        handle.addr()
+    );
+    handle.join();
+    guard.flush();
+    Ok(())
+}
+
+fn cmd_fleet_gen(args: &[String]) -> Result<(), String> {
+    use analogfold_suite::fleet::{
+        run_gen_worker, spec_config, spec_design, Coordinator, CoordinatorConfig, GenSpec,
+        WorkerAgent, WorkerCaps, WorkerIdentity,
+    };
+
+    let guard = obs_on(args)?;
+
+    // Join mode: this process is a pure gen worker attached to an external
+    // coordinator. It leases shards until the job finishes, then exits —
+    // killing it mid-shard is safe (the lease expires and re-assigns).
+    if let Some(coordinator) = flag_value(args, "--join") {
+        let id = flag_value(args, "--id")
+            .map_or_else(|| format!("gen{}", std::process::id()), str::to_string);
+        let agent = WorkerAgent::start(
+            coordinator,
+            WorkerIdentity {
+                id: id.clone(),
+                addr: String::new(),
+                caps: WorkerCaps {
+                    serve: false,
+                    gen: true,
+                },
+                model_hash: String::new(),
+                guidance_len: 0,
+            },
+        );
+        let summary = run_gen_worker(coordinator, &id, Some(&agent)).map_err(|e| e.to_string())?;
+        agent.stop();
+        println!(
+            "gen worker {id}: {} shards computed ({} samples), {} found on disk",
+            summary.shards_computed, summary.samples, summary.shards_skipped
+        );
+        guard.flush();
+        return Ok(());
+    }
+
+    // Coordinator mode: own the job, run local worker threads, accept
+    // external joiners, assemble when every shard is in.
+    let circuit = parse_circuit(args)?;
+    let variant = parse_variant(args, 1);
+    let checkpoint = flag_value(args, "--checkpoint").ok_or("missing --checkpoint DIR")?;
+    let dflt = DatasetConfig::default();
+    let spec = GenSpec {
+        bench: circuit.name().to_string(),
+        variant: variant.label().to_string(),
+        samples: flag_num(args, "--samples", 24) as u64,
+        shard_size: flag_num(args, "--shard-size", 4) as u64,
+        seed: flag_num(args, "--seed", dflt.seed as usize) as u64,
+        c_low: dflt.c_low,
+        c_high: dflt.c_high,
+        checkpoint: checkpoint.to_string(),
+        threads: threads_flag(args) as u64,
+        cache_mb: cache_mb_flag(args, dflt.cache_mb),
+    };
+    let workers = flag_num(args, "--workers", 2);
+    let coord = Coordinator::bind(CoordinatorConfig {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:0")
+            .to_string(),
+        lease_ms: flag_num(args, "--lease-ms", 0) as u64,
+        gen: Some(spec.clone()),
+    })
+    .map_err(|e| e.to_string())?;
+    let coord_addr = coord.addr().to_string();
+    println!(
+        "fleet gen coordinator at http://{coord_addr} ({} samples, shard size {}, {workers} local workers)",
+        spec.samples, spec.shard_size
+    );
+
+    let local: Vec<_> = (0..workers)
+        .map(|i| {
+            let coord_addr = coord_addr.clone();
+            std::thread::spawn(move || {
+                let id = format!("gen{}-{i}", std::process::id());
+                let agent = WorkerAgent::start(
+                    &coord_addr,
+                    WorkerIdentity {
+                        id: id.clone(),
+                        addr: String::new(),
+                        caps: WorkerCaps {
+                            serve: false,
+                            gen: true,
+                        },
+                        model_hash: String::new(),
+                        guidance_len: 0,
+                    },
+                );
+                let result = run_gen_worker(&coord_addr, &id, Some(&agent));
+                agent.stop();
+                (id, result)
+            })
+        })
+        .collect();
+    coord.wait_gen_done(std::time::Duration::from_millis(50));
+    for t in local {
+        match t.join() {
+            Ok((id, Ok(s))) => println!(
+                "  {id}: {} shards computed ({} samples), {} found on disk",
+                s.shards_computed, s.samples, s.shards_skipped
+            ),
+            Ok((id, Err(e))) => eprintln!("  {id} failed: {e}"),
+            Err(_) => eprintln!("  local gen worker panicked"),
+        }
+    }
+    coord.shutdown();
+    coord.join();
+
+    let dcfg = spec_config(&spec).map_err(|e| e.to_string())?;
+    let design = spec_design(&spec).map_err(|e| e.to_string())?;
+    let store = analogfold_suite::analogfold::ShardStore::new(checkpoint);
+    let dataset = analogfold_suite::analogfold::assemble_dataset(&store, &dcfg, &design.graph)
+        .map_err(|e| e.to_string())?
+        .ok_or("job reported done but checkpoint shards are incomplete")?;
+    println!("dataset assembled: {} samples", dataset.samples.len());
+    if let Some(out) = flag_value(args, "--out") {
+        let json = serde_json::to_string(&dataset).map_err(|e| e.to_string())?;
+        fs::write(out, json).map_err(|e| e.to_string())?;
+        println!("dataset written to {out}");
+    }
     guard.flush();
     Ok(())
 }

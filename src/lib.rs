@@ -17,6 +17,9 @@
 //!   potential relaxation, baselines, and the end-to-end flow.
 //! * [`obs`] — zero-dependency observability: spans, metrics, sinks, and the
 //!   shared table formatter (`--obs-jsonl` / `--obs-report` in the CLI).
+//! * [`fleet`] — coordinator/worker multi-process serving and distributed
+//!   dataset generation (registration, heartbeats, rendezvous-hashed
+//!   fronting, leased shard generation).
 //!
 //! # Quick start
 //!
@@ -29,8 +32,10 @@
 
 pub mod cli;
 
+pub use af_cache as cache;
 pub use af_extract as extract;
 pub use af_fault as fault;
+pub use af_fleet as fleet;
 pub use af_geom as geom;
 pub use af_netlist as netlist;
 pub use af_nn as nn;

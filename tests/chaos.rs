@@ -400,6 +400,120 @@ fn serve_recovers_from_collector_panic() {
     server.join();
 }
 
+// ---------------------------------------------------------------------------
+// Fleet tier: a gen worker killed between lease and computation leaves a
+// leased-but-never-renewed shard behind; the lease expires, the survivor
+// re-leases it, and the assembled dataset is bit-identical to a fault-free
+// single-process run. CI's chaos job also drives this test with
+// `AF_FAULT=fleet.worker_kill:err:1.0:1` as the fleet scenario.
+
+#[test]
+fn fleet_worker_kill_heals_bit_identically() {
+    use analogfold_suite::analogfold::assemble_dataset;
+    use analogfold_suite::fleet::{
+        run_gen_worker, spec_config, spec_design, Coordinator, CoordinatorConfig, GenSpec,
+        WorkerAgent, WorkerCaps, WorkerIdentity,
+    };
+
+    let checkpoint = tmp_dir("fleet-kill");
+    let spec = GenSpec {
+        bench: "OTA1".to_string(),
+        variant: "A".to_string(),
+        samples: 6,
+        shard_size: 2,
+        seed: 9,
+        c_low: 0.4,
+        c_high: 2.4,
+        checkpoint: checkpoint.to_string_lossy().into_owned(),
+        threads: 1,
+        cache_mb: 0,
+    };
+    let cfg = spec_config(&spec).unwrap();
+    let design = spec_design(&spec).unwrap();
+
+    let baseline = {
+        let _guard = fault::scenario();
+        generate_dataset(
+            &design.circuit,
+            &design.placement,
+            &design.tech,
+            &design.graph,
+            &cfg,
+        )
+        .unwrap()
+    };
+
+    let _guard = fault::scenario();
+    fault::set_seed(7);
+    // The CI fleet scenario arms the kill through AF_FAULT; a run whose env
+    // doesn't name this failpoint arms the same fixed schedule itself.
+    let env_has_kill =
+        std::env::var("AF_FAULT").is_ok_and(|spec| spec.contains("fleet.worker_kill"));
+    if !env_has_kill || fault::arm_from_env().unwrap() == 0 {
+        fault::arm_limited("fleet.worker_kill", FaultMode::Err, 1.0, Some(1));
+    }
+
+    let coord = Coordinator::bind(CoordinatorConfig {
+        addr: "127.0.0.1:0".to_string(),
+        // Short shard leases so the killed worker's shard re-assigns fast.
+        lease_ms: 300,
+        gen: Some(spec.clone()),
+    })
+    .unwrap();
+    let coordinator = coord.addr().to_string();
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let coordinator = coordinator.clone();
+            std::thread::spawn(move || {
+                let id = format!("k{i}");
+                let agent = WorkerAgent::start(
+                    &coordinator,
+                    WorkerIdentity {
+                        id: id.clone(),
+                        addr: String::new(),
+                        caps: WorkerCaps {
+                            serve: false,
+                            gen: true,
+                        },
+                        model_hash: String::new(),
+                        guidance_len: 0,
+                    },
+                );
+                let result = run_gen_worker(&coordinator, &id, Some(&agent));
+                agent.stop();
+                result
+            })
+        })
+        .collect();
+    assert!(coord.wait_gen_done(Duration::from_millis(25)));
+    let results: Vec<_> = workers.into_iter().map(|t| t.join().unwrap()).collect();
+    coord.shutdown();
+    coord.join();
+
+    assert!(
+        fault::stats("fleet.worker_kill").unwrap().fires >= 1,
+        "the kill must actually fire"
+    );
+    assert!(
+        results.iter().any(std::result::Result::is_err),
+        "the injected kill must take a worker down"
+    );
+    assert!(
+        results.iter().any(std::result::Result::is_ok),
+        "the surviving worker must finish the job"
+    );
+
+    let healed = assemble_dataset(&ShardStore::new(&checkpoint), &cfg, &design.graph)
+        .unwrap()
+        .expect("every shard healed to completion");
+    assert_eq!(healed.samples.len(), baseline.samples.len());
+    for (a, b) in healed.samples.iter().zip(&baseline.samples) {
+        assert_eq!(a.guidance, b.guidance, "healing must recompute, not skew");
+        assert_eq!(a.performance, b.performance);
+    }
+    let _ = std::fs::remove_dir_all(&checkpoint);
+}
+
 /// A panic injected into one parallel net-routing task must degrade that
 /// task to a supervised sequential re-route — same clean layout contract,
 /// no corruption, no hang — and the layout must still be identical at

@@ -1,0 +1,313 @@
+//! End-to-end fleet tests, in-process but over real loopback sockets:
+//!
+//! 1. A front proxying `/v1/predict` answers byte-identically to every
+//!    replica, stamps which worker served the request, retries the other
+//!    replica when the first is unreachable, and shrinks its ring once a
+//!    worker's membership lease expires.
+//! 2. Distributed dataset generation (coordinator + leasing workers over
+//!    HTTP) assembles a dataset bit-identical to the single-process
+//!    baseline — the determinism contract the healing story rests on.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use analogfold_suite::analogfold::{
+    assemble_dataset, generate_dataset, GnnConfig, ShardStore, ThreeDGnn,
+};
+use analogfold_suite::fleet::{
+    run_gen_worker, spec_config, spec_design, Coordinator, CoordinatorConfig, Front, FrontConfig,
+    FrontHandle, GenSpec, WorkerAgent, WorkerCaps, WorkerIdentity,
+};
+use analogfold_suite::serve::{ModelBundle, ServeConfig, Server};
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("af-fleet-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_gnn() -> ThreeDGnn {
+    ThreeDGnn::new(&GnnConfig {
+        hidden: 8,
+        layers: 1,
+        ..GnnConfig::default()
+    })
+}
+
+struct Reply {
+    status: u16,
+    body: String,
+    headers: Vec<(String, String)>,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One-shot HTTP exchange on a fresh connection (connection: close).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().unwrap();
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    Reply {
+        status,
+        body: String::from_utf8(body).unwrap(),
+        headers,
+    }
+}
+
+fn wait_ring(front: &FrontHandle, want: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while front.worker_count() != want {
+        assert!(
+            Instant::now() < deadline,
+            "front ring stuck at {} workers, wanted {want}",
+            front.worker_count()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn guidance_body(guidance_len: usize, nonce: u64) -> String {
+    let n = nonce as f64;
+    format!(
+        "{{\"guidance\":[{}]}}",
+        (0..guidance_len)
+            .map(|i| format!("{:?}", ((i as f64).mul_add(0.31, n * 0.83)).sin() * 0.3))
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+}
+
+#[test]
+fn front_parity_failover_and_ring_shrink() {
+    let gnn = small_gnn();
+    let coord = Coordinator::bind(CoordinatorConfig {
+        addr: "127.0.0.1:0".to_string(),
+        // Short membership leases so the ring-shrink step stays fast.
+        lease_ms: 400,
+        gen: None,
+    })
+    .unwrap();
+    let coordinator = coord.addr().to_string();
+
+    let mut rigs = Vec::new();
+    let mut guidance_len = 0;
+    for i in 0..2 {
+        let bundle = ModelBundle::with_model("OTA1", "A", gnn.clone()).unwrap();
+        guidance_len = bundle.guidance_len();
+        let model_hash = bundle.model_hash.clone();
+        let server = Server::bind(
+            bundle,
+            ServeConfig {
+                job_dir: Some(tmp_dir(&format!("serve-w{i}"))),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let id = format!("e{i}");
+        let agent = WorkerAgent::start(
+            &coordinator,
+            WorkerIdentity {
+                id: id.clone(),
+                addr: server.addr().to_string(),
+                caps: WorkerCaps {
+                    serve: true,
+                    gen: false,
+                },
+                model_hash,
+                guidance_len: guidance_len as u64,
+            },
+        );
+        rigs.push((id, server, agent));
+    }
+    let front = Front::bind(FrontConfig {
+        addr: "127.0.0.1:0".to_string(),
+        coordinator: coordinator.clone(),
+        refresh_ms: 50,
+    })
+    .unwrap();
+    wait_ring(&front, 2);
+
+    // Parity: the front's answer is byte-identical to what every replica
+    // answers directly (same model, deterministic forward pass; on the
+    // routed-to worker the direct call replays the front-warmed cache).
+    let body = guidance_body(guidance_len, 1);
+    let via_front = request(front.addr(), "POST", "/v1/predict", &body);
+    assert_eq!(via_front.status, 200, "{}", via_front.body);
+    let served_by = via_front
+        .header("x-fleet-worker")
+        .expect("front stamps the serving worker")
+        .to_string();
+    assert!(rigs.iter().any(|(id, ..)| *id == served_by));
+    for (id, server, _) in &rigs {
+        let direct = request(server.addr(), "POST", "/v1/predict", &body);
+        assert_eq!(direct.status, 200);
+        assert_eq!(
+            direct.body, via_front.body,
+            "replica {id} disagrees with the front"
+        );
+    }
+
+    // Failover: kill the server that answered (but leave its agent
+    // heartbeating, so the ring still lists it). The front's first-ranked
+    // upstream is now unreachable and the request must land on the other
+    // replica in the same client call.
+    let idx = rigs.iter().position(|(id, ..)| *id == served_by).unwrap();
+    let (_, dead_server, dead_agent) = rigs.remove(idx);
+    dead_server.shutdown();
+    dead_server.join();
+    let survivor = rigs[0].0.clone();
+    let failover = request(front.addr(), "POST", "/v1/predict", &body);
+    assert_eq!(
+        failover.status, 200,
+        "single-hop retry must hide the dead replica: {}",
+        failover.body
+    );
+    assert_eq!(failover.header("x-fleet-worker"), Some(survivor.as_str()));
+    assert_eq!(failover.body, via_front.body);
+
+    // Ring shrink: once the dead worker stops heartbeating, its membership
+    // lease expires and the front drops it — every key now routes to the
+    // survivor directly, no failover hop involved.
+    dead_agent.stop();
+    wait_ring(&front, 1);
+    for nonce in 2..6 {
+        let reply = request(
+            front.addr(),
+            "POST",
+            "/v1/predict",
+            &guidance_body(guidance_len, nonce),
+        );
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("x-fleet-worker"), Some(survivor.as_str()));
+    }
+
+    front.shutdown();
+    front.join();
+    for (_, server, agent) in rigs {
+        agent.stop();
+        server.shutdown();
+        server.join();
+    }
+    coord.shutdown();
+    coord.join();
+}
+
+#[test]
+fn distributed_gen_matches_single_process_dataset() {
+    let checkpoint = tmp_dir("gen");
+    let spec = GenSpec {
+        bench: "OTA1".to_string(),
+        variant: "A".to_string(),
+        samples: 8,
+        shard_size: 2,
+        seed: 5,
+        c_low: 0.4,
+        c_high: 2.4,
+        checkpoint: checkpoint.to_string_lossy().into_owned(),
+        threads: 1,
+        cache_mb: 0,
+    };
+    let cfg = spec_config(&spec).unwrap();
+    let design = spec_design(&spec).unwrap();
+    let baseline = generate_dataset(
+        &design.circuit,
+        &design.placement,
+        &design.tech,
+        &design.graph,
+        &cfg,
+    )
+    .unwrap();
+
+    let coord = Coordinator::bind(CoordinatorConfig {
+        addr: "127.0.0.1:0".to_string(),
+        lease_ms: 0,
+        gen: Some(spec.clone()),
+    })
+    .unwrap();
+    let coordinator = coord.addr().to_string();
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let coordinator = coordinator.clone();
+            std::thread::spawn(move || {
+                let id = format!("g{i}");
+                let agent = WorkerAgent::start(
+                    &coordinator,
+                    WorkerIdentity {
+                        id: id.clone(),
+                        addr: String::new(),
+                        caps: WorkerCaps {
+                            serve: false,
+                            gen: true,
+                        },
+                        model_hash: String::new(),
+                        guidance_len: 0,
+                    },
+                );
+                let result = run_gen_worker(&coordinator, &id, Some(&agent));
+                agent.stop();
+                result
+            })
+        })
+        .collect();
+    assert!(
+        coord.wait_gen_done(Duration::from_millis(25)),
+        "a configured gen job must report done"
+    );
+    let mut shards_seen = 0;
+    for t in workers {
+        let summary = t.join().unwrap().unwrap();
+        shards_seen += summary.shards_computed + summary.shards_skipped;
+    }
+    assert_eq!(shards_seen, 4, "both workers together cover all 4 shards");
+    coord.shutdown();
+    coord.join();
+
+    let store = ShardStore::new(&checkpoint);
+    let distributed = assemble_dataset(&store, &cfg, &design.graph)
+        .unwrap()
+        .expect("all shards complete");
+    assert_eq!(
+        serde_json::to_string(&distributed).unwrap(),
+        serde_json::to_string(&baseline).unwrap(),
+        "distributed generation must be bit-identical to the single-process run"
+    );
+    let _ = std::fs::remove_dir_all(&checkpoint);
+}

@@ -47,6 +47,18 @@ impl Value {
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Deserialization failure.
 #[derive(Debug, Clone)]
 pub struct DeError(pub String);
