@@ -36,11 +36,18 @@
 //! cache. `coordinator=HOST:PORT` instead points the fleet phase at an
 //! externally running coordinator (one row, workers as found).
 //!
+//! Pass `swap=N` to append a **promote-under-load phase**: a registry-backed
+//! server with two registered model versions is hammered with `N` distinct
+//! predict bodies per connection while `POST /v1/models/promote` hot-swaps
+//! the resident model mid-run. The row records latency percentiles on both
+//! sides of the swap, the promote round-trip itself, and asserts zero
+//! dropped or non-200 responses — the zero-downtime claim as a number.
+//!
 //! Run: `cargo run -p af-bench --bin loadgen --release --
 //!       [quick|full] [conns=N] [requests=N] [cache=MB] [obs=path]
 //!       [route_threads=a,b,c] [route_jobs=N] [fault=SPEC] [fault_seed=N]
 //!       [workers=a,b,c] [coordinator=HOST:PORT] [fleet_conns_per=N]
-//!       [fleet_requests=N]`
+//!       [fleet_requests=N] [swap=N]`
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -52,6 +59,7 @@ use af_fleet::{
     Coordinator, CoordinatorConfig, Front, FrontConfig, FrontHandle, WorkerAgent, WorkerCaps,
     WorkerIdentity,
 };
+use af_model::{Lineage, ModelRegistry};
 use af_serve::{ModelBundle, ServeConfig, Server};
 use analogfold::{GnnConfig, ThreeDGnn};
 use serde::Serialize;
@@ -80,6 +88,30 @@ struct LoadgenReport {
     route: Vec<RouteLatencyRow>,
     /// Fleet scaling rows (empty unless `workers=` or `coordinator=` given).
     fleet: Vec<FleetScalingRow>,
+    /// Promote-under-load row (empty unless `swap=` given).
+    swap: Vec<SwapPhaseRow>,
+}
+
+/// Predict latency on both sides of a mid-run model promotion, plus the
+/// promote round-trip itself. A sample counts as `post` when its request
+/// *started* after the promote response arrived; requests that straddle the
+/// swap stay on the `pre` side.
+#[derive(Serialize)]
+struct SwapPhaseRow {
+    conns: u64,
+    total_requests: u64,
+    /// Dropped connections or non-200 responses — must be zero for the
+    /// zero-downtime claim to hold (asserted before the report is written).
+    errors: u64,
+    /// `POST /v1/models/promote` round-trip, including the synchronous
+    /// registry reload and slot swap.
+    swap_ms: f64,
+    pre_requests: u64,
+    pre_p50_ms: f64,
+    pre_p99_ms: f64,
+    post_requests: u64,
+    post_p50_ms: f64,
+    post_p99_ms: f64,
 }
 
 /// Aggregate throughput and affinity through a fleet front at one worker
@@ -554,6 +586,158 @@ fn fleet_phase(
     rows
 }
 
+/// Stands up a registry-backed server with two registered model versions
+/// and measures predict latency while `POST /v1/models/promote` hot-swaps
+/// the resident model mid-run. Every request carries a distinct body
+/// (cache miss), so each sample crosses the batch collector and whichever
+/// model session is resident at that moment.
+fn swap_phase(conns: u64, requests: u64, cache_mb: u64) -> SwapPhaseRow {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let pid = std::process::id();
+    let reg_dir = std::env::temp_dir().join(format!("af-loadgen-swap-registry-{pid}"));
+    let job_dir = std::env::temp_dir().join(format!("af-loadgen-swap-jobs-{pid}"));
+    let _ = std::fs::remove_dir_all(&reg_dir);
+    let _ = std::fs::remove_dir_all(&job_dir);
+
+    // Two differently seeded untrained models: enough to give them distinct
+    // content hashes, which is all a swap-latency measurement needs.
+    let make = |seed: u64| {
+        ThreeDGnn::new(&GnnConfig {
+            hidden: 16,
+            layers: 2,
+            seed,
+            ..GnnConfig::default()
+        })
+    };
+    let incumbent = make(41);
+    let mut registry = ModelRegistry::open(&reg_dir).expect("open registry");
+    let h_old = registry
+        .register(&incumbent, Lineage::default())
+        .expect("register incumbent")
+        .hash;
+    let h_new = registry
+        .register(&make(42), Lineage::default())
+        .expect("register candidate")
+        .hash;
+    registry.promote(&h_old, false).expect("promote incumbent");
+    drop(registry);
+
+    let bundle = ModelBundle::with_model("OTA1", "A", incumbent).expect("bundle");
+    let guidance_len = bundle.guidance_len() as u64;
+    let server = Server::bind(
+        bundle,
+        ServeConfig {
+            // Handlers pin keep-alive connections for their lifetime; the
+            // +2 keeps handlers free for the control-plane promote and
+            // `/v1/models` requests while every client connection is live.
+            workers: conns as usize + 2,
+            job_dir: Some(job_dir.clone()),
+            cache_mb,
+            registry: Some(reg_dir.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind swap server");
+    let addr = server.addr();
+    println!(
+        "swap: {conns} conns x {requests} requests against {addr}, promoting {} mid-run ...",
+        &h_new[..8]
+    );
+
+    let done = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..conns)
+        .map(|c| {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let connect = || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let reader = BufReader::new(stream.try_clone().expect("clone"));
+                    (stream, reader)
+                };
+                let (mut stream, mut reader) = connect();
+                let mut out = Vec::with_capacity(requests as usize);
+                for r in 0..requests {
+                    let body = guidance_body(guidance_len, 1 + c * requests + r);
+                    let started_s = t0.elapsed().as_secs_f64();
+                    let t = Instant::now();
+                    let (status, _, _) = predict_once(&mut stream, &mut reader, &body);
+                    if status == 0 {
+                        (stream, reader) = connect();
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                    out.push((started_s, t.elapsed().as_secs_f64() * 1e3, status == 200));
+                }
+                out
+            })
+        })
+        .collect();
+
+    // Promote once a third of the offered load has been served, so both
+    // sides of the swap carry a meaningful sample count.
+    let total = conns * requests;
+    while done.load(Ordering::Relaxed) < total / 3 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let t_swap = Instant::now();
+    let (status, resp) = http_once(
+        addr,
+        "POST",
+        "/v1/models/promote",
+        &format!("{{\"hash\":\"{h_new}\"}}"),
+    );
+    let swap_ms = t_swap.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(status, 200, "promote under load failed: {resp}");
+    let cut_s = t0.elapsed().as_secs_f64();
+
+    let samples: Vec<(f64, f64, bool)> = clients
+        .into_iter()
+        .flat_map(|h| h.join().expect("swap client"))
+        .collect();
+
+    // The promote handler swaps synchronously, so by the time the load
+    // drained the server must be resident on the candidate.
+    let (status, models) = http_once(addr, "GET", "/v1/models", "");
+    assert_eq!(status, 200, "GET /v1/models failed: {models}");
+    assert!(
+        models.contains(&format!("\"resident\":\"{h_new}\"")),
+        "server did not swap to the promoted model: {models}"
+    );
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&reg_dir);
+    let _ = std::fs::remove_dir_all(&job_dir);
+
+    let side = |pre: bool| -> Vec<f64> {
+        let mut v: Vec<f64> = samples
+            .iter()
+            .filter(|&&(start, _, ok)| ok && (start < cut_s) == pre)
+            .map(|&(_, ms, _)| ms)
+            .collect();
+        v.sort_by(f64::total_cmp);
+        v
+    };
+    let (pre, post) = (side(true), side(false));
+    let errors = samples.iter().filter(|&&(_, _, ok)| !ok).count() as u64;
+    assert_eq!(errors, 0, "promotion under load dropped or failed requests");
+    SwapPhaseRow {
+        conns,
+        total_requests: samples.len() as u64,
+        errors,
+        swap_ms,
+        pre_requests: pre.len() as u64,
+        pre_p50_ms: percentile(&pre, 0.50),
+        pre_p99_ms: percentile(&pre, 0.99),
+        post_requests: post.len() as u64,
+        post_p50_ms: percentile(&post, 0.50),
+        post_p99_ms: percentile(&post, 0.99),
+    }
+}
+
 /// Nearest-rank percentile of an already-sorted sample.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -728,6 +912,14 @@ fn main() {
         )
     };
 
+    // --- Promote-under-load phase (only with `swap=`) --------------------
+    let swap_requests = kv_num(&args, "swap", 0);
+    let swap_rows = if swap_requests == 0 {
+        Vec::new()
+    } else {
+        vec![swap_phase(conns, swap_requests.max(30), cache_mb)]
+    };
+
     latencies.sort_by(f64::total_cmp);
     let total = latencies.len() as u64;
     let cold_p50_ms = percentile(&cold, 0.50);
@@ -757,6 +949,7 @@ fn main() {
         error_rate: errors as f64 / total.max(1) as f64,
         route: route_rows,
         fleet: fleet_rows,
+        swap: swap_rows,
     };
     println!(
         "{} requests in {:.2}s: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms",
@@ -784,6 +977,21 @@ fn main() {
             row.p99_ms,
             row.affinity_hit_ratio,
             row.per_worker.len()
+        );
+    }
+    for row in &report.swap {
+        println!(
+            "swap @ {} conns: promote round-trip {:.2} ms, pre p50 {:.2} ms / p99 {:.2} ms \
+             ({} reqs), post p50 {:.2} ms / p99 {:.2} ms ({} reqs), {} errors",
+            row.conns,
+            row.swap_ms,
+            row.pre_p50_ms,
+            row.pre_p99_ms,
+            row.pre_requests,
+            row.post_p50_ms,
+            row.post_p99_ms,
+            row.post_requests,
+            row.errors
         );
     }
     if !report.fault_spec.is_empty() {

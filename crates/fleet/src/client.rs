@@ -282,6 +282,41 @@ pub struct WorkerIdentity {
     pub guidance_len: u64,
 }
 
+/// Shared closure returning the live resident model hash (see
+/// [`ModelHooks::resident_hash`]).
+pub type ResidentHashFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// Shared closure invoked with the canonical hash on a promotion signal
+/// (see [`ModelHooks::on_promote`]).
+pub type PromoteFn = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// Callbacks linking a [`WorkerAgent`] to its model runtime, so fleet-wide
+/// promotions propagate through ordinary heartbeats.
+#[derive(Clone, Default)]
+pub struct ModelHooks {
+    /// Returns the worker's *current* resident model hash. Unlike the
+    /// static [`WorkerIdentity::model_hash`] snapshot, this tracks
+    /// hot-swaps — each heartbeat reports the live value, so the
+    /// coordinator's skew view converges after a local promotion.
+    pub resident_hash: Option<ResidentHashFn>,
+    /// Invoked (off the serving path, on the agent thread) when a
+    /// heartbeat echoes a canonical hash that differs from the resident
+    /// one. The callback should converge — typically load that model from
+    /// the shared registry and hot-swap the server slot — and may fail
+    /// silently; the agent re-signals on every subsequent heartbeat until
+    /// the hashes match.
+    pub on_promote: Option<PromoteFn>,
+}
+
+impl std::fmt::Debug for ModelHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelHooks")
+            .field("resident_hash", &self.resident_hash.is_some())
+            .field("on_promote", &self.on_promote.is_some())
+            .finish()
+    }
+}
+
 /// Background thread keeping one worker registered and heartbeating.
 ///
 /// Registration retries until the coordinator answers, then heartbeats at
@@ -317,6 +352,18 @@ impl WorkerAgent {
     /// background thread so a worker can come up before its coordinator.
     #[must_use]
     pub fn start(coordinator: &str, identity: WorkerIdentity) -> Self {
+        Self::start_with_hooks(coordinator, identity, ModelHooks::default())
+    }
+
+    /// [`start`](WorkerAgent::start) plus [`ModelHooks`], for workers that
+    /// can hot-swap their resident model and want fleet promotions to
+    /// reach them through heartbeats.
+    #[must_use]
+    pub fn start_with_hooks(
+        coordinator: &str,
+        identity: WorkerIdentity,
+        hooks: ModelHooks,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let active_shard = Arc::new(AtomicU64::new(NO_SHARD));
         let coordinator = coordinator.to_string();
@@ -325,7 +372,7 @@ impl WorkerAgent {
             let active_shard = Arc::clone(&active_shard);
             thread::Builder::new()
                 .name(format!("fleet-agent-{}", identity.id))
-                .spawn(move || agent_loop(&coordinator, &identity, &stop, &active_shard))
+                .spawn(move || agent_loop(&coordinator, &identity, &hooks, &stop, &active_shard))
                 .expect("spawn fleet agent")
         };
         Self {
@@ -408,6 +455,7 @@ fn register_until_accepted(
 fn agent_loop(
     coordinator: &str,
     identity: &WorkerIdentity,
+    hooks: &ModelHooks,
     stop: &AtomicBool,
     active_shard: &AtomicU64,
 ) {
@@ -426,6 +474,10 @@ fn agent_loop(
         let load = (requests - last_requests).max(0.0) / interval.as_secs_f64();
         last_requests = requests;
         let shard = active_shard.load(Ordering::Relaxed);
+        let resident = hooks
+            .resident_hash
+            .as_ref()
+            .map_or_else(|| identity.model_hash.clone(), |f| f());
         let req = HeartbeatRequest {
             id: identity.id.clone(),
             load,
@@ -437,10 +489,17 @@ fn agent_loop(
                 })
                 .collect(),
             active_shard: (shard != NO_SHARD).then_some(shard),
+            model_hash: (!resident.is_empty()).then(|| resident.clone()),
         };
         match post_json::<_, HeartbeatResponse>(coordinator, "/fleet/heartbeat", &req) {
             Ok(resp) if resp.known => {
                 lease_ms = resp.lease_ms.max(100);
+                if let (Some(canonical), Some(promote)) = (&resp.model_hash, &hooks.on_promote) {
+                    if !canonical.is_empty() && !resident.is_empty() && *canonical != resident {
+                        af_obs::counter("fleet.agent.promote_signals", 1);
+                        promote(canonical);
+                    }
+                }
             }
             Ok(_) => {
                 // Coordinator restarted and lost us: re-register.

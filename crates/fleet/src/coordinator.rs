@@ -23,8 +23,8 @@ use analogfold::{shard_count, shard_is_complete, SampleRecord, ShardStore};
 use crate::gen::{spec_config, spec_design};
 use crate::leases::LeaseTable;
 use crate::protocol::{
-    CompleteRequest, CompleteResponse, GenSpec, GenStatus, HeartbeatRequest, LeaseRequest,
-    LeaseResponse, RegisterRequest, StatusResponse,
+    CompleteRequest, CompleteResponse, FleetPromoteRequest, FleetPromoteResponse, GenSpec,
+    GenStatus, HeartbeatRequest, LeaseRequest, LeaseResponse, RegisterRequest, StatusResponse,
 };
 use crate::registry::Registry;
 use crate::FleetError;
@@ -261,6 +261,7 @@ fn dispatch(shared: &Shared, req: &Request) -> Response {
         ("GET", "/fleet/workers") => workers(shared),
         ("POST", "/fleet/lease") => lease(shared, &req.body),
         ("POST", "/fleet/complete") => complete(shared, &req.body),
+        ("POST", "/fleet/promote") => promote(shared, &req.body),
         ("GET", "/fleet/status") => status(shared),
         ("GET", "/healthz") => status(shared),
         ("GET", "/metrics") => Response::text(200, &af_serve::metrics::render_metrics()),
@@ -272,7 +273,8 @@ fn dispatch(shared: &Shared, req: &Request) -> Response {
         (
             _,
             "/fleet/register" | "/fleet/heartbeat" | "/fleet/workers" | "/fleet/lease"
-            | "/fleet/complete" | "/fleet/status" | "/healthz" | "/metrics" | "/fleet/shutdown",
+            | "/fleet/complete" | "/fleet/promote" | "/fleet/status" | "/healthz" | "/metrics"
+            | "/fleet/shutdown",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
@@ -315,6 +317,31 @@ fn heartbeat(shared: &Shared, body: &[u8]) -> Response {
         }
     }
     json_or_500(200, &resp)
+}
+
+fn promote(shared: &Shared, body: &[u8]) -> Response {
+    let req: FleetPromoteRequest = match parse(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    if req.model_hash.is_empty() {
+        return Response::error(400, "model_hash must be non-empty");
+    }
+    let mut reg = shared
+        .registry
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let now = reg.now_ms();
+    let matching = reg.promote(&req.model_hash, now);
+    drop(reg);
+    json_or_500(
+        200,
+        &FleetPromoteResponse {
+            ok: true,
+            model_hash: req.model_hash,
+            matching_workers: matching,
+        },
+    )
 }
 
 fn workers(shared: &Shared) -> Response {

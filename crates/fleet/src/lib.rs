@@ -42,7 +42,10 @@ pub mod protocol;
 pub mod proxy;
 pub mod registry;
 
-pub use client::{get_json, post_json, HttpConn, RawResponse, WorkerAgent, WorkerIdentity};
+pub use client::{
+    get_json, post_json, HttpConn, ModelHooks, PromoteFn, RawResponse, ResidentHashFn, WorkerAgent,
+    WorkerIdentity,
+};
 pub use coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle};
 pub use gen::{run_gen_worker, spec_config, spec_design, GenSummary};
 pub use leases::LeaseTable;

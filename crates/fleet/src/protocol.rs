@@ -89,6 +89,12 @@ pub struct HeartbeatRequest {
     /// Gen shard the worker is still computing, if any — renews that
     /// shard's lease along with the membership lease.
     pub active_shard: Option<u64>,
+    /// The worker's *current* resident model hash. Unlike the registration
+    /// snapshot, this tracks hot-swaps, so a promotion propagates through
+    /// ordinary heartbeats and skew converges instead of persisting until
+    /// re-registration. `None` from workers predating this field (additive
+    /// JSON: the derive reads a missing field as `None`).
+    pub model_hash: Option<String>,
 }
 
 /// `POST /fleet/heartbeat` reply.
@@ -101,6 +107,31 @@ pub struct HeartbeatResponse {
     pub known: bool,
     /// Current lease duration (may change across coordinator restarts).
     pub lease_ms: u64,
+    /// The fleet's canonical model hash, echoed on every heartbeat. A
+    /// worker whose resident hash differs should converge (e.g. load the
+    /// canonical model from a shared registry and hot-swap). `None` from
+    /// coordinators predating this field.
+    pub model_hash: Option<String>,
+}
+
+/// `POST /fleet/promote` body: moves the fleet's canonical model hash, so
+/// skew detection flips — workers still on the old model become the skewed
+/// ones and converge via the heartbeat echo.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetPromoteRequest {
+    /// The new canonical model hash (32 hex chars).
+    pub model_hash: String,
+}
+
+/// `POST /fleet/promote` reply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetPromoteResponse {
+    /// Whether the promotion was accepted.
+    pub ok: bool,
+    /// The canonical hash after the call.
+    pub model_hash: String,
+    /// How many live workers currently match the new canonical hash.
+    pub matching_workers: u64,
 }
 
 /// One worker as seen by the coordinator (`GET /fleet/workers`).

@@ -147,10 +147,20 @@ impl Registry {
                 ok: false,
                 known: false,
                 lease_ms: self.lease_ms,
+                model_hash: None,
             };
         };
         entry.last_heartbeat_ms = now_ms;
         entry.load = req.load;
+        // Track hot-swaps: a worker that swapped its resident model reports
+        // the new hash here, so skew against the canonical recomputes from
+        // live data instead of the stale registration snapshot.
+        if let Some(hash) = &req.model_hash {
+            if *hash != entry.model_hash {
+                entry.model_hash = hash.clone();
+                af_obs::counter("fleet.registry.model_updates", 1);
+            }
+        }
         entry.metrics = req
             .metrics
             .iter()
@@ -174,7 +184,25 @@ impl Registry {
             ok: true,
             known: true,
             lease_ms: self.lease_ms,
+            model_hash: (!self.canonical_hash.is_empty()).then(|| self.canonical_hash.clone()),
         }
+    }
+
+    /// Moves the fleet's canonical model hash (a promotion). Workers still
+    /// on the old hash become the skewed ones and converge through the
+    /// heartbeat echo. Returns how many live workers already match.
+    pub fn promote(&mut self, model_hash: &str, now_ms: u64) -> u64 {
+        if self.canonical_hash != model_hash {
+            self.canonical_hash = model_hash.to_string();
+            af_obs::counter("fleet.registry.promotions", 1);
+        }
+        self.workers
+            .values()
+            .filter(|w| {
+                now_ms.saturating_sub(w.last_heartbeat_ms) <= self.lease_ms
+                    && w.model_hash == model_hash
+            })
+            .count() as u64
     }
 
     /// Whether `id` is currently alive (present and within lease).
@@ -256,6 +284,7 @@ mod tests {
             load: 1.5,
             metrics: Vec::new(),
             active_shard: None,
+            model_hash: None,
         }
     }
 
@@ -307,6 +336,28 @@ mod tests {
         assert!(!resp.ok);
         assert!(resp.message.contains("protocol mismatch"));
         assert!(!r.register(&reg("", ""), 0).ok, "empty id rejected");
+    }
+
+    #[test]
+    fn promotion_converges_skew_via_heartbeats() {
+        let mut r = Registry::new(100);
+        r.register(&reg("w1", "aaaa"), 0);
+        r.register(&reg("w2", "aaaa"), 0);
+        // Promote to a new hash: everyone is now skewed, heartbeats echo
+        // the new canonical.
+        assert_eq!(r.promote("bbbb", 0), 0);
+        let resp = r.heartbeat(&hb("w1"), 10);
+        assert_eq!(resp.model_hash.as_deref(), Some("bbbb"));
+        assert!(r.alive(20).workers.iter().all(|w| w.skew));
+        // w1 hot-swaps and reports the new hash on its next beat: its skew
+        // clears without re-registration.
+        let mut swapped = hb("w1");
+        swapped.model_hash = Some("bbbb".to_string());
+        assert!(r.heartbeat(&swapped, 30).ok);
+        let live = r.alive(40);
+        assert!(!live.workers.iter().find(|w| w.id == "w1").unwrap().skew);
+        assert!(live.workers.iter().find(|w| w.id == "w2").unwrap().skew);
+        assert_eq!(r.promote("bbbb", 40), 1, "w1 already matches");
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Shadow-evaluation arithmetic for candidate promotion.
+//!
+//! A serving process canaries a candidate by running a fraction of routed
+//! `/v1/route` jobs through *both* models' predictions and comparing each
+//! against the simulated ground truth the job produced anyway. The math
+//! here is deliberately tiny and side-effect free so it can be unit-tested
+//! exhaustively and shared between af-serve and the CLI: af-serve owns the
+//! sampling and the mutable [`CanaryStats`], this module owns what "better"
+//! means.
+
+use af_sim::Performance;
+
+/// Mean absolute relative error of a predicted FoM vector against the
+/// simulated ground truth, over the five Table 2 metrics. Symmetric-safe:
+/// denominators are floored at `1e-9` so a zero simulated metric cannot
+/// blow the score to infinity.
+#[must_use]
+pub fn fom_error(predicted: &Performance, simulated: &Performance) -> f64 {
+    let p = predicted.as_array();
+    let s = simulated.as_array();
+    let mut acc = 0.0;
+    for i in 0..5 {
+        acc += (p[i] - s[i]).abs() / s[i].abs().max(1e-9);
+    }
+    acc / 5.0
+}
+
+/// Deterministically decides whether job `id` is canaried, given a sampling
+/// `fraction` in `[0, 1]`. Uses [`af_fault::mix`] so the decision is a pure
+/// function of the job id — a job recovered after a restart lands in the
+/// same arm, and tests can pick ids that hit either arm on purpose.
+#[must_use]
+pub fn canary_sampled(id: u64, fraction: f64) -> bool {
+    if fraction <= 0.0 {
+        return false;
+    }
+    if fraction >= 1.0 {
+        return true;
+    }
+    // One mix round → uniform enough over 10_000 buckets for sampling.
+    let bucket = af_fault::mix(id, 0xC0A1_1A5E) % 10_000;
+    (bucket as f64) < fraction * 10_000.0
+}
+
+/// Accumulated shadow-evaluation evidence for one (incumbent, candidate)
+/// pair. Plain sums: mergeable, serializable by hand, no interior locking
+/// (the owner serializes access).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CanaryStats {
+    /// Jobs scored so far.
+    pub samples: u64,
+    /// Sum of incumbent [`fom_error`]s.
+    pub incumbent_err: f64,
+    /// Sum of candidate [`fom_error`]s.
+    pub candidate_err: f64,
+}
+
+impl CanaryStats {
+    /// Folds one scored job into the stats.
+    pub fn observe(&mut self, incumbent_err: f64, candidate_err: f64) {
+        self.samples += 1;
+        self.incumbent_err += incumbent_err;
+        self.candidate_err += candidate_err;
+    }
+
+    /// Produces the verdict at a relative `tolerance` (e.g. `0.10` lets the
+    /// candidate be up to 10% worse before it counts as a regression —
+    /// simulated FoM is noisy and a hard `>` would flap).
+    #[must_use]
+    pub fn report(&self, tolerance: f64) -> CanaryReport {
+        let n = self.samples.max(1) as f64;
+        let incumbent_mean = self.incumbent_err / n;
+        let candidate_mean = self.candidate_err / n;
+        CanaryReport {
+            samples: self.samples,
+            incumbent_mean,
+            candidate_mean,
+            regression: self.samples > 0 && candidate_mean > incumbent_mean * (1.0 + tolerance),
+        }
+    }
+}
+
+/// A point-in-time canary verdict derived from [`CanaryStats::report`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CanaryReport {
+    /// Jobs scored.
+    pub samples: u64,
+    /// Incumbent mean [`fom_error`].
+    pub incumbent_mean: f64,
+    /// Candidate mean [`fom_error`].
+    pub candidate_mean: f64,
+    /// Whether the candidate regressed beyond tolerance.
+    pub regression: bool,
+}
+
+impl CanaryReport {
+    /// One-line human summary (also recorded as verdict detail).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "canary over {} jobs: candidate mean err {:.6} vs incumbent {:.6} ({})",
+            self.samples,
+            self.candidate_mean,
+            self.incumbent_mean,
+            if self.regression { "regression" } else { "ok" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf(scale: f64) -> Performance {
+        Performance {
+            offset_uv: 120.0 * scale,
+            cmrr_db: 80.0 * scale,
+            bandwidth_mhz: 45.0 * scale,
+            dc_gain_db: 60.0 * scale,
+            noise_uvrms: 30.0 * scale,
+        }
+    }
+
+    #[test]
+    fn exact_prediction_scores_zero() {
+        let truth = perf(1.0);
+        assert_eq!(fom_error(&truth, &truth), 0.0);
+    }
+
+    #[test]
+    fn uniform_relative_miss_scores_that_miss() {
+        let truth = perf(1.0);
+        let off = perf(1.1);
+        let e = fom_error(&off, &truth);
+        assert!((e - 0.1).abs() < 1e-12, "expected 0.1, got {e}");
+    }
+
+    #[test]
+    fn zero_truth_is_floored_not_infinite() {
+        let truth = Performance {
+            offset_uv: 0.0,
+            cmrr_db: 80.0,
+            bandwidth_mhz: 45.0,
+            dc_gain_db: 60.0,
+            noise_uvrms: 30.0,
+        };
+        assert!(fom_error(&perf(1.0), &truth).is_finite());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_respects_bounds() {
+        assert!(!canary_sampled(42, 0.0));
+        assert!(canary_sampled(42, 1.0));
+        for id in 0..100 {
+            assert_eq!(canary_sampled(id, 0.25), canary_sampled(id, 0.25));
+        }
+        // At fraction 0.25 over many ids, roughly a quarter are sampled.
+        let hits = (0..4000).filter(|&id| canary_sampled(id, 0.25)).count();
+        assert!(
+            (800..1200).contains(&hits),
+            "expected ~1000 of 4000 sampled, got {hits}"
+        );
+    }
+
+    #[test]
+    fn verdict_applies_tolerance() {
+        let mut s = CanaryStats::default();
+        s.observe(0.10, 0.105); // 5% worse: inside 10% tolerance
+        let r = s.report(0.10);
+        assert!(!r.regression);
+        assert_eq!(r.samples, 1);
+
+        let mut s = CanaryStats::default();
+        for _ in 0..4 {
+            s.observe(0.10, 0.15); // 50% worse: regression
+        }
+        let r = s.report(0.10);
+        assert!(r.regression);
+        assert!((r.candidate_mean - 0.15).abs() < 1e-12);
+        assert!(r.summary().contains("regression"));
+    }
+
+    #[test]
+    fn empty_stats_never_regress() {
+        assert!(!CanaryStats::default().report(0.0).regression);
+    }
+}

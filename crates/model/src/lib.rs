@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! `af-model`: the model-lifecycle subsystem — versioned registry,
+//! promotion state, canary verdicts, and a continuous train→serve loop.
+//!
+//! The paper's automated data engine trains the 3DGNN surrogate offline;
+//! this crate closes the loop at serving time. Three pieces:
+//!
+//! 1. [`ModelRegistry`] — a content-addressed store of trained models. A
+//!    model's identity is the 128-bit canonical content hash of its body
+//!    ([`analogfold::content_hash_of`]) — the same hash the v2 save
+//!    envelope carries and `af-serve` reports on `/healthz`, so a registry
+//!    id, a served `model_hash`, and a fleet skew check all name the same
+//!    bytes. Publication is durable (tmp → fsync → rename → dir fsync) and
+//!    lineage (parent hash, dataset hash, train config, eval summary) is an
+//!    append-only JSONL manifest; a torn tail line degrades to
+//!    skip-with-warn, never a panic.
+//! 2. [`CanaryStats`] / [`CanaryReport`] — shadow-evaluation arithmetic: a
+//!    fraction of routed-and-simulated jobs scores the candidate's
+//!    predicted-vs-simulated FoM error against the incumbent's, and the
+//!    resulting verdict gates promotion (refused on regression unless
+//!    forced).
+//! 3. [`Trainer`] — a supervised ([`af_fault::Supervisor`]) background loop
+//!    that folds freshly routed jobs into a growing [`analogfold::ShardStore`]
+//!    dataset, periodically fine-tunes from the incumbent's weights
+//!    (deterministic given seed + shard set), and registers candidates.
+//!
+//! Zero dependencies beyond std and the workspace's vendored
+//! `serde`/`serde_json`, matching the offline build constraint.
+
+pub mod canary;
+pub mod registry;
+pub mod trainer;
+
+pub use canary::{canary_sampled, fom_error, CanaryReport, CanaryStats};
+pub use registry::{Lineage, ModelEntry, ModelRegistry, PromotionState, RegistryError};
+pub use trainer::{train_once, TrainOutcome, Trainer, TrainerConfig, TrainerError};

@@ -108,6 +108,77 @@ pub struct RouteAccepted {
     pub status: String,
 }
 
+/// One registered model in a `GET /v1/models` listing.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelInfo {
+    /// Canonical content hash (the registry id).
+    pub hash: String,
+    /// Promotion state: `current`, `candidate`, `rejected`, or `retired`.
+    pub state: String,
+    /// Whether this is the model currently answering requests here.
+    pub resident: bool,
+    /// Whether the model file is still on disk (false after gc).
+    pub present: bool,
+    /// Parent model this one was fine-tuned from, if recorded.
+    pub parent: Option<String>,
+    /// Training-set size, if recorded.
+    pub samples: Option<u64>,
+    /// Normalized training-set MSE, if recorded.
+    pub eval_mse: Option<f64>,
+    /// Times this model has been promoted.
+    pub promotions: u64,
+}
+
+/// Canary progress in a `GET /v1/models` response.
+#[derive(Debug, Clone, Serialize)]
+pub struct CanaryInfo {
+    /// Candidate hash under shadow evaluation.
+    pub candidate: String,
+    /// Jobs scored so far.
+    pub samples: u64,
+    /// Incumbent mean FoM prediction error.
+    pub incumbent_mean: f64,
+    /// Candidate mean FoM prediction error.
+    pub candidate_mean: f64,
+    /// Whether the candidate currently reads as a regression.
+    pub regression: bool,
+}
+
+/// `GET /v1/models` response.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelsResponse {
+    /// Hash of the model answering requests right now.
+    pub resident: String,
+    /// The registry's promoted hash (`None` without a registry, or before
+    /// the first promotion).
+    pub current: Option<String>,
+    /// Shadow-evaluation progress, when a candidate is under canary.
+    pub canary: Option<CanaryInfo>,
+    /// Registered models in registration order (empty without a registry).
+    pub models: Vec<ModelInfo>,
+}
+
+/// `POST /v1/models/promote` request body.
+#[derive(Debug, Clone, Deserialize)]
+pub struct PromoteRequest {
+    /// Hash (or unique prefix) to promote. Defaults to the newest
+    /// registered non-resident candidate.
+    pub hash: Option<String>,
+    /// Promote even when the canary verdict is a regression.
+    pub force: Option<bool>,
+}
+
+/// `POST /v1/models/promote` response body.
+#[derive(Debug, Clone, Serialize)]
+pub struct PromoteResponse {
+    /// Always `true` on 200.
+    pub ok: bool,
+    /// The now-resident model hash.
+    pub model_hash: String,
+    /// The displaced model hash.
+    pub previous: String,
+}
+
 /// Parses a request body as JSON of type `T`, mapping failures to a
 /// uniform error message.
 pub fn parse_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, String> {

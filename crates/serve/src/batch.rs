@@ -20,7 +20,7 @@ use af_fault::Supervisor;
 use afrt::{BoundedQueue, PushError};
 
 use crate::config::ServeConfig;
-use crate::state::ModelBundle;
+use crate::state::ModelSlot;
 
 /// One queued prediction: the guidance to evaluate and where to send the
 /// answer.
@@ -65,14 +65,27 @@ pub struct Batcher {
 /// `503` instead of hanging — and the supervisor re-invokes the loop with a
 /// fresh session after backoff.
 fn collector_loop(
-    bundle: &ModelBundle,
+    slot: &ModelSlot,
     q: &BoundedQueue<PredictJob>,
     batch_max: usize,
     window: Duration,
 ) {
+    let mut epoch = slot.epoch();
+    let mut bundle = slot.get();
     let mut session = bundle.session();
-    let expected = session.guidance_len();
+    let mut expected = session.guidance_len();
     while let Some(first) = q.pop() {
+        // Hot-swap point: a model promotion is only ever observed *between*
+        // batches, so a batch in hand finishes on the model it started on
+        // and the next batch runs entirely on the replacement.
+        let now_epoch = slot.epoch();
+        if now_epoch != epoch {
+            epoch = now_epoch;
+            bundle = slot.get();
+            session = bundle.session();
+            expected = session.guidance_len();
+            af_obs::counter("serve.batch.session_swaps", 1);
+        }
         let mut jobs = vec![first];
         let deadline = Instant::now() + window;
         while jobs.len() < batch_max {
@@ -122,20 +135,20 @@ fn collector_loop(
 }
 
 impl Batcher {
-    /// Spawns the supervised collector thread around `bundle`.
+    /// Spawns the supervised collector thread around the model slot.
     #[must_use]
-    pub fn start(bundle: &Arc<ModelBundle>, cfg: &ServeConfig) -> Self {
+    pub fn start(slot: &Arc<ModelSlot>, cfg: &ServeConfig) -> Self {
         let queue: Arc<BoundedQueue<PredictJob>> =
             Arc::new(BoundedQueue::new("serve.predict", cfg.predict_queue));
         let batch_max = cfg.batch_max.max(1);
         let window = Duration::from_micros(cfg.batch_window_us);
-        let bundle = Arc::clone(bundle);
+        let slot = Arc::clone(slot);
         let q = Arc::clone(&queue);
         let supervisor = Supervisor::spawn(
             "serve-batcher",
             cfg.supervisor_backoff(),
             cfg.supervisor_grace(),
-            move || collector_loop(&bundle, &q, batch_max, window),
+            move || collector_loop(&slot, &q, batch_max, window),
         )
         .expect("spawn serve-batcher thread");
         Self {
@@ -209,25 +222,31 @@ impl Drop for Batcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::ModelBundle;
     use analogfold::{GnnConfig, ThreeDGnn};
 
-    fn bundle() -> Arc<ModelBundle> {
+    fn bundle(seed: u64) -> ModelBundle {
         let gnn = ThreeDGnn::new(&GnnConfig {
             hidden: 8,
             layers: 1,
+            seed,
             ..GnnConfig::default()
         });
-        Arc::new(ModelBundle::with_model("OTA1", "A", gnn).unwrap())
+        ModelBundle::with_model("OTA1", "A", gnn).unwrap()
+    }
+
+    fn slot() -> Arc<ModelSlot> {
+        Arc::new(ModelSlot::new(bundle(0)))
     }
 
     #[test]
     fn single_prediction_matches_direct_session() {
-        let bundle = bundle();
-        let len = bundle.guidance_len();
+        let slot = slot();
+        let len = slot.get().guidance_len();
         let guidance: Vec<f64> = (0..len).map(|i| (i as f64) * 0.01 - 0.3).collect();
-        let expected = bundle.session().predict(&guidance);
+        let expected = slot.get().session().predict(&guidance);
 
-        let mut batcher = Batcher::start(&bundle, &ServeConfig::default());
+        let mut batcher = Batcher::start(&slot, &ServeConfig::default());
         let got = batcher.predict(guidance, Duration::from_secs(30)).unwrap();
         assert_eq!(got.metrics, expected);
         assert!(got.batch_size >= 1);
@@ -235,9 +254,30 @@ mod tests {
     }
 
     #[test]
+    fn swapped_model_answers_follow_up_requests() {
+        let slot = slot();
+        let len = slot.get().guidance_len();
+        let guidance: Vec<f64> = (0..len).map(|i| (i as f64) * 0.01 - 0.3).collect();
+        let next = bundle(7);
+        let expected_old = slot.get().session().predict(&guidance);
+        let expected_new = next.session().predict(&guidance);
+        assert_ne!(expected_old, expected_new);
+
+        let mut batcher = Batcher::start(&slot, &ServeConfig::default());
+        let before = batcher
+            .predict(guidance.clone(), Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(before.metrics, expected_old);
+        slot.swap(next);
+        let after = batcher.predict(guidance, Duration::from_secs(30)).unwrap();
+        assert_eq!(after.metrics, expected_new);
+        batcher.shutdown();
+    }
+
+    #[test]
     fn wrong_length_is_rejected_not_panicked() {
-        let bundle = bundle();
-        let mut batcher = Batcher::start(&bundle, &ServeConfig::default());
+        let slot = slot();
+        let mut batcher = Batcher::start(&slot, &ServeConfig::default());
         match batcher.predict(vec![0.0; 3], Duration::from_secs(30)) {
             Err(SubmitError::Rejected(msg)) => assert!(msg.contains("guidance")),
             other => panic!("expected Rejected, got {other:?}"),
@@ -247,12 +287,12 @@ mod tests {
 
     #[test]
     fn shutdown_then_submit_reports_shutting_down() {
-        let bundle = bundle();
-        let mut batcher = Batcher::start(&bundle, &ServeConfig::default());
+        let slot = slot();
+        let mut batcher = Batcher::start(&slot, &ServeConfig::default());
         batcher.shutdown();
         assert_eq!(
             batcher
-                .predict(vec![0.0; bundle.guidance_len()], Duration::from_secs(1))
+                .predict(vec![0.0; slot.get().guidance_len()], Duration::from_secs(1))
                 .unwrap_err(),
             SubmitError::ShuttingDown
         );

@@ -50,6 +50,22 @@ pub struct ServeConfig {
     /// `/healthz` keeps reporting `degraded` until the replacement has
     /// stayed alive this long.
     pub supervisor_grace_ms: u64,
+    /// Model registry directory. `None` disables the registry watcher, the
+    /// `/v1/models` endpoints answer from the resident model only, and
+    /// promotion is unavailable.
+    pub registry: Option<PathBuf>,
+    /// How often the registry watcher polls for an external promotion or a
+    /// fresh candidate, in milliseconds.
+    pub registry_poll_ms: u64,
+    /// Fraction of completed `/v1/route` jobs shadow-scored on the canary
+    /// candidate (deterministic per job id). `0` disables canarying.
+    pub canary_fraction: f64,
+    /// Minimum scored jobs before a canary verdict is recorded at
+    /// promotion time.
+    pub canary_min_samples: u64,
+    /// Relative tolerance before a worse candidate counts as a regression
+    /// (e.g. `0.10` = up to 10% worse mean FoM error is acceptable).
+    pub canary_tolerance: f64,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +86,11 @@ impl Default for ServeConfig {
             cache_mb: 32,
             supervisor_backoff_ms: 50,
             supervisor_grace_ms: 500,
+            registry: None,
+            registry_poll_ms: 500,
+            canary_fraction: 0.25,
+            canary_min_samples: 3,
+            canary_tolerance: 0.10,
         }
     }
 }

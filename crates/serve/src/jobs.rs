@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::api::RouteRequest;
 use crate::config::ServeConfig;
-use crate::state::ModelBundle;
+use crate::state::{CanaryCtl, ModelBundle, ModelSlot};
 
 /// Final product of a routing job.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -46,6 +46,14 @@ pub struct JobRecord {
     pub error: Option<String>,
     /// Result when `status == "done"`.
     pub result: Option<RouteResult>,
+    /// Content hash of the model that ran (or is running) this job. `None`
+    /// only for records written before this field existed.
+    pub model_hash: Option<String>,
+    /// Set on recovered `done` records whose `model_hash` differs from the
+    /// resident model: the result is still served, but marked as produced
+    /// by a superseded model version rather than silently passed off as
+    /// current.
+    pub stale_model: Option<bool>,
 }
 
 /// Resolved routing-job parameters (defaults applied, invariants clamped).
@@ -148,6 +156,8 @@ impl JobStore {
             status: "queued".to_string(),
             error: None,
             result: None,
+            model_hash: None,
+            stale_model: None,
         };
         self.shards
             .save_shard(id as usize, &record)
@@ -177,6 +187,44 @@ impl JobStore {
     pub fn get(&self, id: u64) -> Option<JobRecord> {
         self.shards.load_shard(id as usize).ok().flatten()
     }
+
+    /// Marks recovered `done` records produced by a model other than
+    /// `current_hash` as stale (and clears a stale mark if the producing
+    /// model is resident again, e.g. after a rollback). Run once at server
+    /// startup, after [`open`](Self::open).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or serialization failures.
+    pub fn reconcile_model(&self, current_hash: &str) -> Result<(), crate::ServeError> {
+        let _guard = self
+            .write
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut marked = 0u64;
+        for idx in self.shards.existing_shards() {
+            let Ok(Some(mut record)) = self.shards.load_shard::<JobRecord>(idx) else {
+                continue;
+            };
+            if record.status != "done" {
+                continue;
+            }
+            let stale = record
+                .model_hash
+                .as_deref()
+                .is_some_and(|h| h != current_hash);
+            let mark = stale.then_some(true);
+            if record.stale_model != mark {
+                record.stale_model = mark;
+                self.shards
+                    .save_shard(idx, &record)
+                    .map_err(analogfold::Error::from)?;
+            }
+            marked += u64::from(stale);
+        }
+        af_obs::counter("serve.jobs.stale_model", marked);
+        Ok(())
+    }
 }
 
 /// The worker pool draining the route-job queue. Each worker runs under a
@@ -192,20 +240,32 @@ pub struct JobRunner {
 impl JobRunner {
     /// Spawns `cfg.job_workers` supervised worker threads over `store`.
     #[must_use]
-    pub fn start(bundle: &Arc<ModelBundle>, store: &Arc<JobStore>, cfg: &ServeConfig) -> Self {
+    pub fn start(
+        slot: &Arc<ModelSlot>,
+        store: &Arc<JobStore>,
+        canary: &Arc<CanaryCtl>,
+        cfg: &ServeConfig,
+    ) -> Self {
         let queue = Arc::new(BoundedQueue::new("serve.jobs", cfg.job_queue));
+        let canary_fraction = cfg.canary_fraction;
         let workers = (0..cfg.job_workers.max(1))
             .map(|i| {
                 let q = Arc::clone(&queue);
-                let bundle = Arc::clone(bundle);
+                let slot = Arc::clone(slot);
                 let store = Arc::clone(store);
+                let canary = Arc::clone(canary);
                 Supervisor::spawn(
                     &format!("serve-job-{i}"),
                     cfg.supervisor_backoff(),
                     cfg.supervisor_grace(),
                     move || {
                         while let Some((id, params)) = q.pop() {
+                            // Snapshot the resident model once per job: the
+                            // whole route runs on one model version even if
+                            // a promotion lands mid-route.
+                            let bundle = slot.get();
                             run_job(&bundle, &store, id, params);
+                            score_canary(&bundle, &store, &canary, id, canary_fraction);
                         }
                     },
                 )
@@ -285,6 +345,7 @@ fn run_job(bundle: &ModelBundle, store: &JobStore, id: u64, params: JobParams) {
         return;
     };
     record.status = "running".to_string();
+    record.model_hash = Some(bundle.model_hash.clone());
     let _ = store.update(&record);
 
     // Fence the flow behind `catch_unwind`: a panic (real, or injected via
@@ -343,6 +404,46 @@ fn route_once(bundle: &ModelBundle, params: JobParams) -> Result<RouteResult, St
     })
 }
 
+/// Shadow-evaluates a completed route on the canary candidate: both models
+/// predict the FoM for the guidance the router actually followed, and each
+/// prediction is scored against the simulated ground truth the job already
+/// produced. Pure bookkeeping — the served result is untouched.
+fn score_canary(
+    incumbent: &ModelBundle,
+    store: &JobStore,
+    canary: &CanaryCtl,
+    id: u64,
+    fraction: f64,
+) {
+    if !af_model::canary_sampled(id, fraction) {
+        return;
+    }
+    let Some(candidate) = canary.candidate() else {
+        return;
+    };
+    if candidate.model_hash == incumbent.model_hash {
+        return;
+    }
+    let Some(record) = store.get(id) else { return };
+    let Some(result) = record.result.filter(|_| record.status == "done") else {
+        return;
+    };
+    let to_perf = |m: [f64; 5]| Performance {
+        offset_uv: m[0],
+        cmrr_db: m[1],
+        bandwidth_mhz: m[2],
+        dc_gain_db: m[3],
+        noise_uvrms: m[4],
+    };
+    let incumbent_pred = to_perf(incumbent.session().predict(&result.guidance));
+    let candidate_pred = to_perf(candidate.session().predict(&result.guidance));
+    canary.observe(
+        &candidate.model_hash,
+        af_model::fom_error(&incumbent_pred, &result.performance),
+        af_model::fom_error(&candidate_pred, &result.performance),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +488,34 @@ mod tests {
         assert!(store.get(1).unwrap().error.unwrap().contains("restart"));
         assert_eq!(store.get(2).unwrap().status, "done");
         assert_eq!(store.create().unwrap().id, 3);
+    }
+
+    #[test]
+    fn reconcile_marks_done_jobs_from_other_models_stale() {
+        let dir = tmp_dir("stale");
+        let store = JobStore::open(&dir).unwrap();
+        let mut old = store.create().unwrap();
+        old.status = "done".to_string();
+        old.model_hash = Some("aaaa".to_string());
+        store.update(&old).unwrap();
+        let mut same = store.create().unwrap();
+        same.status = "done".to_string();
+        same.model_hash = Some("bbbb".to_string());
+        store.update(&same).unwrap();
+        let mut legacy = store.create().unwrap();
+        legacy.status = "done".to_string();
+        store.update(&legacy).unwrap();
+
+        store.reconcile_model("bbbb").unwrap();
+        assert_eq!(store.get(0).unwrap().stale_model, Some(true));
+        assert_eq!(store.get(1).unwrap().stale_model, None);
+        // Pre-model_hash records cannot be proven stale; left unmarked.
+        assert_eq!(store.get(2).unwrap().stale_model, None);
+
+        // Rolling back to the old model clears the stale mark.
+        store.reconcile_model("aaaa").unwrap();
+        assert_eq!(store.get(0).unwrap().stale_model, None);
+        assert_eq!(store.get(1).unwrap().stale_model, Some(true));
     }
 
     #[test]

@@ -23,23 +23,25 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use af_cache::{Cache, CacheBuilder, ContentHash, ContentHasher, FnWeigher};
+use af_model::ModelRegistry;
 use af_sim::Performance;
 use afrt::{BoundedQueue, PushError};
 
 use crate::api::{
-    parse_body, GuideRequest, GuideResponse, HealthResponse, PredictRequest, PredictResponse,
-    RouteAccepted, RouteRequest,
+    parse_body, CanaryInfo, GuideRequest, GuideResponse, HealthResponse, ModelInfo, ModelsResponse,
+    PredictRequest, PredictResponse, PromoteRequest, PromoteResponse, RouteAccepted, RouteRequest,
 };
 use crate::batch::{Batcher, SubmitError};
 use crate::config::ServeConfig;
 use crate::http::{read_request, ParseError, Request, Response};
 use crate::jobs::{JobParams, JobRunner, JobStore};
 use crate::metrics::render_metrics;
-use crate::state::ModelBundle;
+use crate::state::{CanaryCtl, ModelBundle, ModelSlot};
 use crate::ServeError;
 
 struct Shared {
-    bundle: Arc<ModelBundle>,
+    slot: Arc<ModelSlot>,
+    canary: Arc<CanaryCtl>,
     batcher: Batcher,
     runner: Mutex<JobRunner>,
     store: Arc<JobStore>,
@@ -49,8 +51,14 @@ struct Shared {
     /// Bind time; `/healthz` reports the monotonic distance from it.
     started: Instant,
     /// Response cache for `/v1/predict` and `/v1/guide`: whole 200-status
-    /// JSON bodies keyed by request content hash. `None` when disabled.
+    /// JSON bodies keyed by request content hash *and* the resident model
+    /// hash, so a hit can never replay a previous model's answer. `None`
+    /// when disabled.
     response_cache: Option<Cache<ContentHash, String>>,
+    /// Serializes registry mutations between the promote endpoint and the
+    /// watcher thread (cross-process coordination is the registry's own
+    /// append-only/atomic-rename discipline).
+    registry_lock: Mutex<()>,
 }
 
 /// Server constructor; see [`Server::bind`].
@@ -62,6 +70,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<thread::JoinHandle<()>>,
     workers: Vec<thread::JoinHandle<()>>,
+    watcher: Option<thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -74,12 +83,18 @@ impl Server {
     pub fn bind(bundle: ModelBundle, cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let bundle = Arc::new(bundle);
+        let model_hash = bundle.model_hash.clone();
+        let slot = Arc::new(ModelSlot::new(bundle));
+        let canary = Arc::new(CanaryCtl::default());
         let store = Arc::new(JobStore::open(cfg.resolved_job_dir())?);
-        let batcher = Batcher::start(&bundle, &cfg);
-        let runner = JobRunner::start(&bundle, &store, &cfg);
+        // Recovered results produced by a superseded model are marked, not
+        // silently re-served as current.
+        store.reconcile_model(&model_hash)?;
+        let batcher = Batcher::start(&slot, &cfg);
+        let runner = JobRunner::start(&slot, &store, &canary, &cfg);
         let shared = Arc::new(Shared {
-            bundle,
+            slot,
+            canary,
             batcher,
             runner: Mutex::new(runner),
             store,
@@ -94,6 +109,15 @@ impl Server {
                         32 + v.len() as u64
                     }))
             }),
+            registry_lock: Mutex::new(()),
+        });
+
+        let watcher = cfg.registry.is_some().then(|| {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("serve-registry-watch".to_string())
+                .spawn(move || watcher_loop(&shared))
+                .expect("spawn serve registry watcher")
         });
 
         let conn_queue: Arc<BoundedQueue<TcpStream>> =
@@ -153,6 +177,7 @@ impl Server {
             shared,
             accept: Some(accept),
             workers,
+            watcher,
         })
     }
 }
@@ -162,6 +187,13 @@ impl ServerHandle {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The hot-swappable model slot (the load generator drives promotions
+    /// through it when measuring swap latency in-process).
+    #[must_use]
+    pub fn slot(&self) -> Arc<ModelSlot> {
+        Arc::clone(&self.shared.slot)
     }
 
     /// Initiates graceful shutdown without waiting for it to finish.
@@ -179,6 +211,9 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(watcher) = self.watcher.take() {
+            let _ = watcher.join();
+        }
         // Connections are done; now drain the work queues behind them. The
         // collector thread itself is joined when the last `Shared` reference
         // drops (via the batcher's `Drop`).
@@ -189,6 +224,100 @@ impl ServerHandle {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .shutdown();
     }
+}
+
+/// Polls the registry for (a) an external promotion — a CLI, a fleet
+/// coordinator, or another replica moved `CURRENT`, so swap to converge —
+/// and (b) a fresh candidate to put under canary. Exits with the server.
+fn watcher_loop(shared: &Shared) {
+    let poll = Duration::from_millis(shared.cfg.registry_poll_ms.max(50));
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        // Interruptible sleep so shutdown is prompt.
+        let mut remaining = poll;
+        while !remaining.is_zero() && !shared.shutting_down.load(Ordering::SeqCst) {
+            let step = remaining.min(Duration::from_millis(50));
+            thread::sleep(step);
+            remaining = remaining.saturating_sub(step);
+        }
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let _guard = shared
+            .registry_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(dir) = &shared.cfg.registry else {
+            break;
+        };
+        let Ok(registry) = ModelRegistry::open(dir) else {
+            continue;
+        };
+        let resident = shared.slot.get().model_hash.clone();
+        if let Some(current) = registry.current() {
+            if current != resident {
+                match load_bundle(shared, &registry, current) {
+                    Ok(bundle) => {
+                        swap_resident(shared, bundle);
+                    }
+                    Err(e) => af_obs::warn(&format!(
+                        "registry watcher: cannot load promoted model {current}: {e}"
+                    )),
+                }
+            }
+        }
+        if shared.cfg.canary_fraction > 0.0 {
+            let resident = shared.slot.get().model_hash.clone();
+            match registry.latest_candidate() {
+                Some(entry) if entry.hash != resident => {
+                    let already = shared
+                        .canary
+                        .candidate()
+                        .is_some_and(|c| c.model_hash == entry.hash);
+                    if !already {
+                        match load_bundle(shared, &registry, &entry.hash) {
+                            Ok(bundle) => shared.canary.set_candidate(Arc::new(bundle)),
+                            Err(e) => af_obs::warn(&format!(
+                                "registry watcher: cannot load candidate {}: {e}",
+                                entry.hash
+                            )),
+                        }
+                    }
+                }
+                _ => shared.canary.clear(),
+            }
+        }
+    }
+}
+
+/// Loads a registered model into a bundle shaped like the resident one
+/// (same circuit, placement variant, tech, graph — only the weights
+/// change).
+fn load_bundle(
+    shared: &Shared,
+    registry: &ModelRegistry,
+    hash: &str,
+) -> Result<ModelBundle, String> {
+    let gnn = registry.load(hash).map_err(|e| e.to_string())?;
+    let resident = shared.slot.get();
+    ModelBundle::with_model(resident.circuit.name(), resident.variant.label(), gnn)
+        .map_err(|e| e.to_string())
+}
+
+/// Installs a new resident model and reconciles the dependent state: the
+/// canary arm (a promoted candidate stops being a candidate) and the job
+/// store's stale-model marks.
+fn swap_resident(shared: &Shared, bundle: ModelBundle) -> Arc<ModelBundle> {
+    let new_hash = bundle.model_hash.clone();
+    let old = shared.slot.swap(bundle);
+    if shared
+        .canary
+        .candidate()
+        .is_some_and(|c| c.model_hash == new_hash)
+    {
+        shared.canary.clear();
+    }
+    let _ = shared.store.reconcile_model(&new_hash);
+    old
 }
 
 fn initiate_shutdown(shared: &Shared) {
@@ -260,13 +389,16 @@ fn dispatch(shared: &Shared, req: &Request) -> Response {
         ("POST", "/v1/guide") => with_response_cache(shared, req, || guide(shared, req)),
         ("POST", "/v1/route") => route_job(shared, req),
         ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path),
+        ("GET", "/v1/models") => models_list(shared),
+        ("POST", "/v1/models/promote") => models_promote(shared, req),
         ("POST", "/v1/shutdown") => {
             initiate_shutdown(shared);
             Response::json(200, "{\"ok\":true}".to_string()).with_close()
         }
         (
             _,
-            "/healthz" | "/metrics" | "/v1/predict" | "/v1/guide" | "/v1/route" | "/v1/shutdown",
+            "/healthz" | "/metrics" | "/v1/predict" | "/v1/guide" | "/v1/route" | "/v1/shutdown"
+            | "/v1/models" | "/v1/models/promote",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such route"),
     }
@@ -293,6 +425,10 @@ fn with_response_cache(
     let mut h = ContentHasher::new();
     h.write_str(&req.path);
     h.write(&req.body);
+    // Partition by model version: after a hot-swap, the same request bytes
+    // hash to a different key, so a cached pre-swap answer can never be
+    // replayed for the new model (and a rollback re-hits its old entries).
+    h.write_str(&shared.slot.get().model_hash);
     let key = h.finish();
     if let Some(body) = cache.get(&key) {
         return Response::json(200, body).with_header("x-cache", "hit".to_string());
@@ -321,17 +457,18 @@ fn health(shared: &Shared) -> Response {
     let degraded = shared.batcher.is_degraded() || runner.is_degraded();
     let restarts = shared.batcher.restarts() + runner.restarts();
     drop(runner);
+    let bundle = shared.slot.get();
     json_or_500(
         200,
         &HealthResponse {
             ok: true,
             status: if degraded { "degraded" } else { "ok" }.to_string(),
             restarts,
-            circuit: shared.bundle.circuit.name().to_string(),
-            variant: shared.bundle.variant.label().to_string(),
-            guidance_len: shared.bundle.guidance_len() as u64,
+            circuit: bundle.circuit.name().to_string(),
+            variant: bundle.variant.label().to_string(),
+            guidance_len: bundle.guidance_len() as u64,
             uptime_ms: shared.started.elapsed().as_millis() as u64,
-            model_hash: shared.bundle.model_hash.clone(),
+            model_hash: bundle.model_hash.clone(),
             build: env!("CARGO_PKG_VERSION").to_string(),
         },
     )
@@ -382,7 +519,8 @@ fn guide(shared: &Shared, req: &Request) -> Response {
         seed: body.seed.unwrap_or(99),
         ..analogfold::RelaxConfig::default()
     };
-    let potential = analogfold::Potential::new(&shared.bundle.gnn, &shared.bundle.graph);
+    let bundle = shared.slot.get();
+    let potential = analogfold::Potential::new(&bundle.gnn, &bundle.graph);
     let outcomes = analogfold::relax(&potential, &cfg);
     match outcomes.into_iter().next() {
         Some(best) => json_or_500(
@@ -429,5 +567,119 @@ fn job_status(shared: &Shared, path: &str) -> Response {
     match shared.store.get(id) {
         Some(record) => json_or_500(200, &record),
         None => Response::error(404, &format!("no job {id}")),
+    }
+}
+
+fn canary_info(shared: &Shared) -> Option<CanaryInfo> {
+    shared
+        .canary
+        .report(shared.cfg.canary_tolerance)
+        .map(|(candidate, report)| CanaryInfo {
+            candidate,
+            samples: report.samples,
+            incumbent_mean: report.incumbent_mean,
+            candidate_mean: report.candidate_mean,
+            regression: report.regression,
+        })
+}
+
+fn models_list(shared: &Shared) -> Response {
+    let resident = shared.slot.get().model_hash.clone();
+    let mut response = ModelsResponse {
+        resident: resident.clone(),
+        current: None,
+        canary: canary_info(shared),
+        models: Vec::new(),
+    };
+    if let Some(dir) = &shared.cfg.registry {
+        match ModelRegistry::open(dir) {
+            Ok(registry) => {
+                response.current = registry.current().map(str::to_string);
+                response.models = registry
+                    .list()
+                    .iter()
+                    .map(|e| ModelInfo {
+                        hash: e.hash.clone(),
+                        state: registry.state(e).label().to_string(),
+                        resident: e.hash == resident,
+                        present: e.present,
+                        parent: e.lineage.parent.clone(),
+                        samples: e.lineage.samples,
+                        eval_mse: e.lineage.eval_mse,
+                        promotions: e.promotions,
+                    })
+                    .collect();
+            }
+            Err(e) => return Response::error(500, &format!("registry unavailable: {e}")),
+        }
+    }
+    json_or_500(200, &response)
+}
+
+fn models_promote(shared: &Shared, req: &Request) -> Response {
+    let body: PromoteRequest = match parse_body(&req.body) {
+        Ok(b) => b,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let Some(dir) = &shared.cfg.registry else {
+        return Response::error(400, "no model registry configured (start with --registry)");
+    };
+    let _guard = shared
+        .registry_lock
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut registry = match ModelRegistry::open(dir) {
+        Ok(r) => r,
+        Err(e) => return Response::error(500, &format!("registry unavailable: {e}")),
+    };
+    let resident = shared.slot.get().model_hash.clone();
+    let target = match &body.hash {
+        Some(prefix) => match registry.resolve(prefix) {
+            Ok(hash) => hash,
+            Err(e) => return Response::error(404, &e.to_string()),
+        },
+        None => match registry.latest_candidate() {
+            Some(entry) => entry.hash.clone(),
+            None => return Response::error(404, "no candidate to promote"),
+        },
+    };
+    // Fold the accumulated canary evidence into the registry before the
+    // gate check, so the promote decision sees what this server measured.
+    if let Some((candidate, report)) = shared.canary.report(shared.cfg.canary_tolerance) {
+        if candidate == target && report.samples >= shared.cfg.canary_min_samples {
+            if let Err(e) = registry.record_verdict(&target, report.regression, &report.summary()) {
+                return Response::error(500, &format!("recording canary verdict failed: {e}"));
+            }
+        }
+    }
+    match registry.promote(&target, body.force.unwrap_or(false)) {
+        Ok(hash) => {
+            if hash != resident {
+                match load_bundle(shared, &registry, &hash) {
+                    Ok(bundle) => {
+                        swap_resident(shared, bundle);
+                    }
+                    Err(e) => {
+                        return Response::error(
+                            500,
+                            &format!("promoted in registry but load failed: {e}"),
+                        )
+                    }
+                }
+            }
+            json_or_500(
+                200,
+                &PromoteResponse {
+                    ok: true,
+                    model_hash: hash,
+                    previous: resident,
+                },
+            )
+        }
+        Err(af_model::RegistryError::Refused(msg)) => Response::error(409, &msg),
+        Err(af_model::RegistryError::NotFound(h)) => {
+            Response::error(404, &format!("no registered model matches `{h}`"))
+        }
+        Err(e) => Response::error(500, &e.to_string()),
     }
 }

@@ -410,3 +410,199 @@ fn route_jobs_complete_survive_restart_and_drain_on_shutdown() {
         "graceful shutdown must drain queued jobs"
     );
 }
+
+fn seeded_gnn(seed: u64) -> ThreeDGnn {
+    ThreeDGnn::new(&GnnConfig {
+        hidden: 8,
+        layers: 1,
+        seed,
+        ..GnnConfig::default()
+    })
+}
+
+fn predict_metrics(body: &str) -> [f64; 5] {
+    [
+        json_f64(body, "offset_uv"),
+        json_f64(body, "cmrr_db"),
+        json_f64(body, "bandwidth_mhz"),
+        json_f64(body, "dc_gain_db"),
+        json_f64(body, "noise_uvrms"),
+    ]
+}
+
+#[test]
+fn promotion_hot_swaps_bit_stably_and_partitions_the_cache() {
+    use af_model::{Lineage, ModelRegistry};
+
+    let reg_dir = tmp_dir("swap-registry");
+    let (gnn1, gnn2) = (seeded_gnn(1), seeded_gnn(2));
+    let mut registry = ModelRegistry::open(&reg_dir).unwrap();
+    let h1 = registry.register(&gnn1, Lineage::default()).unwrap().hash;
+    let h2 = registry.register(&gnn2, Lineage::default()).unwrap().hash;
+    assert_ne!(h1, h2);
+    registry.promote(&h1, false).unwrap();
+    drop(registry);
+
+    // Each model's exact one-shot outputs, computed out of process.
+    let bundle1 = ModelBundle::with_model("OTA1", "A", gnn1).unwrap();
+    let bundle2 = ModelBundle::with_model("OTA1", "A", gnn2).unwrap();
+    let guidance: Vec<f64> = (0..bundle1.guidance_len())
+        .map(|i| (i as f64).cos() * 0.3)
+        .collect();
+    let want1 = bundle1.session().predict(&guidance);
+    let want2 = bundle2.session().predict(&guidance);
+    assert_ne!(want1, want2, "differently seeded models must differ");
+    let body = format!(
+        "{{\"guidance\":[{}]}}",
+        guidance
+            .iter()
+            .map(|v| format!("{v:?}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+
+    let dir = tmp_dir("swap-jobs");
+    let cfg = ServeConfig {
+        job_dir: Some(dir),
+        registry: Some(reg_dir.clone()),
+        cache_mb: 8,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(
+        ModelBundle::with_model("OTA1", "A", seeded_gnn(1)).unwrap(),
+        cfg,
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Incumbent answers with its exact one-shot output; repeat hits cache.
+    let first = request(addr, "POST", "/v1/predict", &body);
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    assert_eq!(predict_metrics(&first.body), want1);
+    let again = request(addr, "POST", "/v1/predict", &body);
+    assert_eq!(again.header("x-cache"), Some("hit"));
+    assert_eq!(again.body, first.body);
+
+    // Promote the candidate over HTTP: the reply names both hashes and the
+    // swap is visible to the very next request.
+    let promote = request(
+        addr,
+        "POST",
+        "/v1/models/promote",
+        &format!("{{\"hash\":\"{h2}\"}}"),
+    );
+    assert_eq!(promote.status, 200, "body: {}", promote.body);
+    assert_eq!(json_str(&promote.body, "model_hash"), h2);
+    assert_eq!(json_str(&promote.body, "previous"), h1);
+
+    // Same request, new model: a cache *miss* (keys are partitioned by
+    // model hash, so a stale hit is impossible) with the new model's exact
+    // output — then a hit replaying exactly that.
+    let swapped = request(addr, "POST", "/v1/predict", &body);
+    assert_eq!(swapped.status, 200, "body: {}", swapped.body);
+    assert_eq!(
+        swapped.header("x-cache"),
+        Some("miss"),
+        "cache must not cross model versions"
+    );
+    assert_eq!(predict_metrics(&swapped.body), want2);
+    let swapped_again = request(addr, "POST", "/v1/predict", &body);
+    assert_eq!(swapped_again.header("x-cache"), Some("hit"));
+    assert_eq!(swapped_again.body, swapped.body);
+
+    let models = request(addr, "GET", "/v1/models", "");
+    assert_eq!(models.status, 200);
+    assert_eq!(json_str(&models.body, "resident"), h2);
+    assert_eq!(json_str(&models.body, "current"), h2);
+
+    // A candidate with a recorded regression verdict is refused (409)
+    // unless forced.
+    let mut registry = ModelRegistry::open(&reg_dir).unwrap();
+    let h3 = registry
+        .register(&seeded_gnn(3), Lineage::default())
+        .unwrap()
+        .hash;
+    registry
+        .record_verdict(&h3, true, "e2e regression")
+        .unwrap();
+    drop(registry);
+    let refused = request(
+        addr,
+        "POST",
+        "/v1/models/promote",
+        &format!("{{\"hash\":\"{h3}\"}}"),
+    );
+    assert_eq!(refused.status, 409, "body: {}", refused.body);
+    let forced = request(
+        addr,
+        "POST",
+        "/v1/models/promote",
+        &format!("{{\"hash\":\"{h3}\",\"force\":true}}"),
+    );
+    assert_eq!(forced.status, 200, "body: {}", forced.body);
+    assert_eq!(json_str(&forced.body, "model_hash"), h3);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn restart_with_new_model_marks_recovered_jobs_stale() {
+    let dir = tmp_dir("stale-jobs");
+    let bundle1 = ModelBundle::with_model("OTA1", "A", seeded_gnn(11)).unwrap();
+    let h1 = bundle1.model_hash.clone();
+    let cfg = ServeConfig {
+        job_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    let server = Server::bind(bundle1, cfg.clone()).unwrap();
+    let addr = server.addr();
+    let submit = request(
+        addr,
+        "POST",
+        "/v1/route",
+        "{\"restarts\":1,\"lbfgs_iters\":2,\"n_derive\":1,\"seed\":5}",
+    );
+    assert_eq!(submit.status, 202, "body: {}", submit.body);
+    let id = json_f64(&submit.body, "id") as u64;
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let poll = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        match json_str(&poll.body, "status").as_str() {
+            "done" => {
+                assert_eq!(
+                    json_str(&poll.body, "model_hash"),
+                    h1,
+                    "a done job records which model produced it"
+                );
+                break;
+            }
+            "failed" => panic!("job failed: {}", poll.body),
+            _ => {
+                assert!(Instant::now() < deadline, "job did not finish in time");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    server.shutdown();
+    server.join();
+
+    // Restart over the same job store with a *different* model: the
+    // recovered result is still served, but marked as produced by a
+    // superseded model rather than silently passed off as current.
+    let bundle2 = ModelBundle::with_model("OTA1", "A", seeded_gnn(12)).unwrap();
+    assert_ne!(bundle2.model_hash, h1);
+    let server = Server::bind(bundle2, cfg).unwrap();
+    let poll = request(server.addr(), "GET", &format!("/v1/jobs/{id}"), "");
+    assert_eq!(poll.status, 200, "recovered results stay served");
+    assert_eq!(json_str(&poll.body, "model_hash"), h1);
+    assert!(
+        poll.body.contains("\"stale_model\":true"),
+        "recovered job from a superseded model must be marked: {}",
+        poll.body
+    );
+    server.shutdown();
+    server.join();
+}

@@ -7,15 +7,21 @@
 //! analogfold-cli simulate <OTA1..OTA4> [A..D] [--schematic]
 //! analogfold-cli spice    <OTA1..OTA4> [A..D] [--schematic] [--out FILE]
 //! analogfold-cli train    <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--threads N] [--out FILE]
+//!                         [--registry DIR]
 //! analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N] [--threads N]
 //! analogfold-cli flow     <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--restarts N]
 //!                         [--threads N] [--route-threads N] [--cache-mb N] [--no-cache]
 //!                         [--obs-jsonl FILE] [--obs-report]
-//! analogfold-cli serve    <OTA1..OTA4> <A..D> --model FILE [--addr HOST:PORT] [--threads N]
-//!                         [--jobs DIR] [--cache-mb N] [--no-cache] [--obs-jsonl FILE]
+//! analogfold-cli serve    <OTA1..OTA4> <A..D> [--model FILE] [--registry DIR] [--addr HOST:PORT]
+//!                         [--threads N] [--jobs DIR] [--cache-mb N] [--no-cache]
+//!                         [--canary-fraction X] [--train] [--train-interval-ms N]
+//!                         [--train-min-samples N] [--train-epochs N] [--obs-jsonl FILE]
+//! analogfold-cli models   <list|show HASH|promote [HASH] [--force]|rollback|gc [--keep N]>
+//!                         --registry DIR
 //! analogfold-cli fleet-coord  [--addr HOST:PORT] [--lease-ms N]
-//! analogfold-cli fleet-worker <OTA1..OTA4> <A..D> --model FILE --coordinator HOST:PORT
-//!                         [--addr HOST:PORT] [--id NAME] [--threads N] [--cache-mb N]
+//! analogfold-cli fleet-worker <OTA1..OTA4> <A..D> --coordinator HOST:PORT [--model FILE]
+//!                         [--registry DIR] [--addr HOST:PORT] [--id NAME] [--threads N]
+//!                         [--cache-mb N]
 //! analogfold-cli fleet-front  --coordinator HOST:PORT [--addr HOST:PORT] [--refresh-ms N]
 //! analogfold-cli fleet-gen    <OTA1..OTA4> <A..D> --checkpoint DIR [--samples N]
 //!                         [--shard-size N] [--seed N] [--workers N] [--out FILE]
@@ -61,15 +67,21 @@ const USAGE: &str = "usage:
   analogfold-cli simulate <OTA1..OTA4> [A..D] [--schematic]
   analogfold-cli spice    <OTA1..OTA4> [A..D] [--schematic] [--out FILE]
   analogfold-cli train    <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--threads N] [--out FILE]
+                          [--registry DIR]
   analogfold-cli guide    <OTA1..OTA4> <A..D> --model FILE [--restarts N] [--threads N]
   analogfold-cli flow     <OTA1..OTA4> <A..D> [--samples N] [--epochs N] [--restarts N]
                           [--threads N] [--route-threads N] [--cache-mb N] [--no-cache]
                           [--obs-jsonl FILE] [--obs-report]
-  analogfold-cli serve    <OTA1..OTA4> <A..D> --model FILE [--addr HOST:PORT] [--threads N]
-                          [--jobs DIR] [--cache-mb N] [--no-cache] [--obs-jsonl FILE]
+  analogfold-cli serve    <OTA1..OTA4> <A..D> [--model FILE] [--registry DIR] [--addr HOST:PORT]
+                          [--threads N] [--jobs DIR] [--cache-mb N] [--no-cache]
+                          [--canary-fraction X] [--train] [--train-interval-ms N]
+                          [--train-min-samples N] [--train-epochs N] [--obs-jsonl FILE]
+  analogfold-cli models   <list|show HASH|promote [HASH] [--force]|rollback|gc [--keep N]>
+                          --registry DIR
   analogfold-cli fleet-coord  [--addr HOST:PORT] [--lease-ms N]
-  analogfold-cli fleet-worker <OTA1..OTA4> <A..D> --model FILE --coordinator HOST:PORT
-                          [--addr HOST:PORT] [--id NAME] [--threads N] [--cache-mb N]
+  analogfold-cli fleet-worker <OTA1..OTA4> <A..D> --coordinator HOST:PORT [--model FILE]
+                          [--registry DIR] [--addr HOST:PORT] [--id NAME] [--threads N]
+                          [--cache-mb N]
   analogfold-cli fleet-front  --coordinator HOST:PORT [--addr HOST:PORT] [--refresh-ms N]
   analogfold-cli fleet-gen    <OTA1..OTA4> <A..D> --checkpoint DIR [--samples N]
                           [--shard-size N] [--seed N] [--workers N] [--out FILE]
@@ -95,6 +107,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "guide" => cmd_guide(&args[1..]),
         "flow" => cmd_flow(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "models" => cmd_models(&args[1..]),
         "fleet-coord" => cmd_fleet_coord(&args[1..]),
         "fleet-worker" => cmd_fleet_worker(&args[1..]),
         "fleet-front" => cmd_fleet_front(&args[1..]),
@@ -113,7 +126,7 @@ fn parse_circuit(args: &[String]) -> Result<Circuit, String> {
 }
 
 use analogfold_suite::cli::{
-    cache_mb_flag, fault_flag, flag_num, flag_value, has_flag, obs_flags, obs_install,
+    cache_mb_flag, fault_flag, flag_f64, flag_num, flag_value, has_flag, obs_flags, obs_install,
     route_threads_flag, threads_flag, variant_arg as parse_variant,
 };
 
@@ -275,6 +288,34 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     );
     gnn.save(out).map_err(|e| e.to_string())?;
     println!("model saved to {out}");
+    if let Some(dir) = flag_value(args, "--registry") {
+        use analogfold_suite::analogfold::content_hash_of;
+        use analogfold_suite::model::{Lineage, ModelRegistry};
+        let mut registry = ModelRegistry::open(dir).map_err(|e| e.to_string())?;
+        let entry = registry
+            .register(
+                &gnn,
+                Lineage {
+                    parent: None,
+                    dataset_hash: Some(content_hash_of(&dataset).to_hex()),
+                    train_seed: Some(cfg.seed),
+                    train_epochs: Some(epochs as u64),
+                    samples: Some(dataset.samples.len() as u64),
+                    eval_mse: None,
+                    note: Some("cli-train".to_string()),
+                },
+            )
+            .map_err(|e| e.to_string())?;
+        let hash = entry.hash.clone();
+        // Bootstrap: the first registered model becomes current so a serve
+        // started against the same registry has something to load.
+        if registry.current().is_none() {
+            registry.promote(&hash, false).map_err(|e| e.to_string())?;
+            println!("model {hash} registered and promoted (registry bootstrap)");
+        } else {
+            println!("model {hash} registered as candidate");
+        }
+    }
     Ok(())
 }
 
@@ -386,38 +427,213 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads the serving model: `--model FILE` when given, otherwise the
+/// registry's promoted model.
+fn load_serve_bundle(
+    args: &[String],
+    bench: &str,
+    variant_label: &str,
+    registry_dir: Option<&std::path::Path>,
+) -> Result<analogfold_suite::serve::ModelBundle, String> {
+    use analogfold_suite::model::ModelRegistry;
+    use analogfold_suite::serve::ModelBundle;
+
+    match (flag_value(args, "--model"), registry_dir) {
+        (Some(path), _) => ModelBundle::load(bench, variant_label, path).map_err(|e| e.to_string()),
+        (None, Some(dir)) => {
+            let registry = ModelRegistry::open(dir).map_err(|e| e.to_string())?;
+            let hash = registry
+                .current()
+                .ok_or(
+                    "registry has no promoted model; pass --model FILE or run `train --registry`",
+                )?
+                .to_string();
+            let gnn = registry.load(&hash).map_err(|e| e.to_string())?;
+            ModelBundle::with_model(bench, variant_label, gnn).map_err(|e| e.to_string())
+        }
+        (None, None) => {
+            Err("missing --model FILE (or --registry DIR with a promoted model)".into())
+        }
+    }
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use analogfold_suite::serve::{ModelBundle, ServeConfig, Server};
+    use analogfold_suite::model::{Trainer, TrainerConfig};
+    use analogfold_suite::serve::{ServeConfig, Server};
 
     let circuit = parse_circuit(args)?; // validates the name early
     let variant = parse_variant(args, 1);
-    let model_path = flag_value(args, "--model").ok_or("missing --model FILE")?;
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:8080");
     let threads = threads_flag(args);
+    let registry_dir = flag_value(args, "--registry").map(std::path::PathBuf::from);
     let guard = obs_on(args)?;
 
-    let bundle = ModelBundle::load(circuit.name(), variant.label(), model_path)
-        .map_err(|e| e.to_string())?;
+    let bundle = load_serve_bundle(
+        args,
+        circuit.name(),
+        variant.label(),
+        registry_dir.as_deref(),
+    )?;
+    let dflt = ServeConfig::default();
     let cfg = ServeConfig {
         addr: addr.to_string(),
         workers: threads,
         job_dir: flag_value(args, "--jobs").map(std::path::PathBuf::from),
-        cache_mb: cache_mb_flag(args, ServeConfig::default().cache_mb),
-        ..ServeConfig::default()
+        cache_mb: cache_mb_flag(args, dflt.cache_mb),
+        registry: registry_dir.clone(),
+        canary_fraction: flag_f64(args, "--canary-fraction", dflt.canary_fraction),
+        ..dflt
     };
+    let job_dir = cfg.resolved_job_dir();
+
+    // The background trainer folds completed `/v1/route` jobs into a
+    // growing dataset and registers fine-tuned candidates; the serve
+    // registry watcher then canaries them. Promotion stays explicit
+    // (`models promote` or POST /v1/models/promote).
+    let mut trainer = if has_flag(args, "--train") {
+        let dir = registry_dir
+            .clone()
+            .ok_or("--train requires --registry DIR")?;
+        let base = TrainerConfig::new(
+            &dir,
+            &job_dir,
+            dir.join("trainer-data"),
+            circuit.name(),
+            variant.label(),
+        );
+        let tcfg = TrainerConfig {
+            interval_ms: flag_num(args, "--train-interval-ms", base.interval_ms as usize) as u64,
+            min_new_samples: flag_num(args, "--train-min-samples", base.min_new_samples),
+            epochs: flag_num(args, "--train-epochs", base.epochs),
+            ..base
+        };
+        Some(Trainer::start(tcfg).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+
     let handle = Server::bind(bundle, cfg).map_err(|e| e.to_string())?;
     println!(
         "serving {}-{variant} at http://{}",
         circuit.name(),
         handle.addr()
     );
-    println!("routes: GET /healthz /metrics /v1/jobs/<id>; POST /v1/predict /v1/guide /v1/route");
+    println!(
+        "routes: GET /healthz /metrics /v1/jobs/<id> /v1/models; POST /v1/predict /v1/guide /v1/route /v1/models/promote"
+    );
     println!(
         "stop with: curl -X POST http://{}/v1/shutdown",
         handle.addr()
     );
     handle.join();
+    if let Some(t) = trainer.as_mut() {
+        t.shutdown();
+    }
     guard.flush();
+    Ok(())
+}
+
+fn cmd_models(args: &[String]) -> Result<(), String> {
+    use analogfold_suite::model::ModelRegistry;
+
+    let action = args
+        .first()
+        .ok_or("missing models action (list|show|promote|rollback|gc)")?;
+    let dir = flag_value(args, "--registry").ok_or("missing --registry DIR")?;
+    let mut registry = ModelRegistry::open(dir).map_err(|e| e.to_string())?;
+    // Positional hash argument (absent when the next token is a flag).
+    let hash_arg = args.get(1).filter(|a| !a.starts_with("--")).cloned();
+    match action.as_str() {
+        "list" => {
+            println!(
+                "{:<34}{:<11}{:>8}{:>8}{:>12}  parent",
+                "hash", "state", "present", "samples", "eval-mse"
+            );
+            for e in registry.list() {
+                let lineage = &e.lineage;
+                println!(
+                    "{:<34}{:<11}{:>8}{:>8}{:>12}  {}",
+                    e.hash,
+                    registry.state(e).label(),
+                    if e.present { "yes" } else { "no" },
+                    lineage
+                        .samples
+                        .map_or_else(|| "-".to_string(), |s| s.to_string()),
+                    lineage
+                        .eval_mse
+                        .map_or_else(|| "-".to_string(), |m| format!("{m:.5}")),
+                    lineage.parent.as_deref().unwrap_or("-"),
+                );
+            }
+            if let Some(current) = registry.current() {
+                println!("current: {current}");
+            } else {
+                println!("current: (none)");
+            }
+        }
+        "show" => {
+            let prefix = hash_arg.ok_or("missing HASH argument to `models show`")?;
+            let hash = registry.resolve(&prefix).map_err(|e| e.to_string())?;
+            let entry = registry.entry(&hash).ok_or("entry vanished")?;
+            println!("hash      : {}", entry.hash);
+            println!("state     : {}", registry.state(entry).label());
+            println!("present   : {}", entry.present);
+            println!("promotions: {}", entry.promotions);
+            let l = &entry.lineage;
+            println!("parent    : {}", l.parent.as_deref().unwrap_or("-"));
+            println!("dataset   : {}", l.dataset_hash.as_deref().unwrap_or("-"));
+            for (label, v) in [
+                ("seed", l.train_seed),
+                ("epochs", l.train_epochs),
+                ("samples", l.samples),
+            ] {
+                println!(
+                    "{label:<10}: {}",
+                    v.map_or_else(|| "-".to_string(), |n| n.to_string())
+                );
+            }
+            println!(
+                "eval-mse  : {}",
+                l.eval_mse
+                    .map_or_else(|| "-".to_string(), |m| format!("{m:.6}"))
+            );
+            println!("note      : {}", l.note.as_deref().unwrap_or("-"));
+            if let Some(v) = &entry.verdict {
+                println!("verdict   : {v}");
+            }
+        }
+        "promote" => {
+            let target = match hash_arg {
+                Some(h) => h,
+                None => registry
+                    .latest_candidate()
+                    .map(|e| e.hash.clone())
+                    .ok_or("no candidate to promote (and no HASH given)")?,
+            };
+            let previous = registry.current().unwrap_or("-").to_string();
+            let hash = registry
+                .promote(&target, has_flag(args, "--force"))
+                .map_err(|e| e.to_string())?;
+            println!("promoted {hash} (previous: {previous})");
+        }
+        "rollback" => {
+            let hash = registry.rollback().map_err(|e| e.to_string())?;
+            println!("rolled back to {hash}");
+        }
+        "gc" => {
+            let removed = registry
+                .gc(flag_num(args, "--keep", 3))
+                .map_err(|e| e.to_string())?;
+            if removed.is_empty() {
+                println!("nothing to remove");
+            } else {
+                for hash in &removed {
+                    println!("removed {hash}");
+                }
+            }
+        }
+        other => return Err(format!("unknown models action `{other}`")),
+    }
     Ok(())
 }
 
@@ -460,19 +676,24 @@ fn cmd_fleet_coord(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_fleet_worker(args: &[String]) -> Result<(), String> {
-    use analogfold_suite::fleet::{WorkerAgent, WorkerCaps, WorkerIdentity};
-    use analogfold_suite::serve::{ModelBundle, ServeConfig, Server};
+    use analogfold_suite::fleet::{ModelHooks, WorkerAgent, WorkerCaps, WorkerIdentity};
+    use analogfold_suite::model::ModelRegistry;
+    use analogfold_suite::serve::{ServeConfig, Server};
 
     let circuit = parse_circuit(args)?;
     let variant = parse_variant(args, 1);
-    let model_path = flag_value(args, "--model").ok_or("missing --model FILE")?;
     let coordinator = flag_value(args, "--coordinator")
         .ok_or("missing --coordinator HOST:PORT")?
         .to_string();
+    let registry_dir = flag_value(args, "--registry").map(std::path::PathBuf::from);
     let guard = obs_on(args)?;
 
-    let bundle = ModelBundle::load(circuit.name(), variant.label(), model_path)
-        .map_err(|e| e.to_string())?;
+    let bundle = load_serve_bundle(
+        args,
+        circuit.name(),
+        variant.label(),
+        registry_dir.as_deref(),
+    )?;
     let model_hash = bundle.model_hash.clone();
     let guidance_len = bundle.guidance_len() as u64;
     let handle = Server::bind(
@@ -483,6 +704,7 @@ fn cmd_fleet_worker(args: &[String]) -> Result<(), String> {
                 .to_string(),
             workers: threads_flag(args),
             cache_mb: cache_mb_flag(args, ServeConfig::default().cache_mb),
+            registry: registry_dir.clone(),
             ..ServeConfig::default()
         },
     )
@@ -491,7 +713,29 @@ fn cmd_fleet_worker(args: &[String]) -> Result<(), String> {
         || format!("w{}-{}", std::process::id(), handle.addr().port()),
         str::to_string,
     );
-    let agent = WorkerAgent::start(
+    // Heartbeats report the live resident hash (tracking hot-swaps), and a
+    // fleet-wide promotion converges through the shared registry: the
+    // promote hook moves the registry's CURRENT pointer, which the serve
+    // watcher picks up and swaps without dropping in-flight work.
+    let slot = handle.slot();
+    let hooks = ModelHooks {
+        resident_hash: Some(std::sync::Arc::new(move || slot.get().model_hash.clone())),
+        on_promote: registry_dir.map(|dir| {
+            std::sync::Arc::new(move |hash: &str| match ModelRegistry::open(&dir) {
+                Ok(mut reg) => {
+                    if let Err(e) = reg.promote(hash, true) {
+                        analogfold_suite::obs::warn(&format!(
+                            "fleet promotion of {hash} not applied locally: {e}"
+                        ));
+                    }
+                }
+                Err(e) => analogfold_suite::obs::warn(&format!(
+                    "fleet promotion of {hash}: cannot open registry: {e}"
+                )),
+            }) as analogfold_suite::fleet::PromoteFn
+        }),
+    };
+    let agent = WorkerAgent::start_with_hooks(
         &coordinator,
         WorkerIdentity {
             id: id.clone(),
@@ -503,6 +747,7 @@ fn cmd_fleet_worker(args: &[String]) -> Result<(), String> {
             model_hash,
             guidance_len,
         },
+        hooks,
     );
     println!(
         "fleet worker {id} serving {}-{variant} at http://{} (coordinator {coordinator})",

@@ -29,6 +29,14 @@ pub fn flag_num(args: &[String], flag: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parses the float value following `flag`, falling back to `default` when
+/// missing or malformed.
+pub fn flag_f64(args: &[String], flag: &str, default: f64) -> f64 {
+    flag_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Whether a bare switch is present.
 pub fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
@@ -178,6 +186,14 @@ mod tests {
         assert_eq!(flag_num(&args, "--samples", 7), 42);
         assert_eq!(flag_num(&args, "--epochs", 7), 7, "malformed falls back");
         assert_eq!(flag_num(&args, "--restarts", 9), 9, "missing falls back");
+    }
+
+    #[test]
+    fn flag_f64_parses_and_defaults() {
+        let args = argv(&["--canary-fraction", "0.5", "--tolerance", "abc"]);
+        assert_eq!(flag_f64(&args, "--canary-fraction", 0.25), 0.5);
+        assert_eq!(flag_f64(&args, "--tolerance", 0.1), 0.1, "malformed");
+        assert_eq!(flag_f64(&args, "--missing", 2.0), 2.0, "absent");
     }
 
     #[test]

@@ -570,3 +570,108 @@ fn routing_task_panic_degrades_to_sequential_without_corruption() {
         );
     }
 }
+
+/// Mirrors the trainer's job-shard mirror format: one done `/v1/route` job
+/// as af-serve persists it.
+fn write_done_job(dir: &std::path::Path, id: u64, guidance_len: usize, scale: f64) {
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(
+        dir.join(format!("shard-{id:04}.json")),
+        format!(
+            "{{\"id\":{id},\"status\":\"done\",\"error\":null,\"result\":{{\"wirelength_um\":1.0,\
+             \"vias\":2,\"conflicts\":0,\"performance\":{{\"offset_uv\":{},\"cmrr_db\":80.0,\
+             \"bandwidth_mhz\":45.0,\"dc_gain_db\":60.0,\"noise_uvrms\":30.0}},\"guidance\":[{}]}}}}",
+            120.0 * scale,
+            vec!["0.5"; guidance_len].join(",")
+        ),
+    )
+    .unwrap();
+}
+
+#[test]
+fn trainer_killed_mid_finetune_never_exposes_a_half_written_candidate() {
+    use analogfold_suite::model::{
+        train_once, ModelRegistry, TrainOutcome, Trainer, TrainerConfig,
+    };
+
+    let root = tmp_dir("trainer-kill");
+    let cfg = TrainerConfig {
+        epochs: 2,
+        interval_ms: 50,
+        backoff_ms: 10,
+        ..TrainerConfig::new(
+            root.join("registry"),
+            root.join("jobs"),
+            root.join("dataset"),
+            "OTA1",
+            "A",
+        )
+    };
+    let circuit = benchmarks::ota1();
+    let tech = Technology::nm40();
+    let placement = place(&circuit, PlacementVariant::A);
+    let graph = HeteroGraph::build(&circuit, &placement, &tech, 3);
+    let glen = small_gnn().session(&graph).guidance_len();
+    write_done_job(&cfg.jobs, 0, glen, 1.0);
+    write_done_job(&cfg.jobs, 1, glen, 1.2);
+
+    let _guard = fault::scenario();
+    fault::arm_spec("model.train:panic:1:1").unwrap();
+
+    // The kill: one training pass dies inside the fine-tune window, after
+    // the dataset was ingested but before any candidate was published.
+    let killed = std::panic::catch_unwind(|| train_once(&cfg));
+    assert!(killed.is_err(), "the armed failpoint must kill the pass");
+
+    // The registry the kill left behind is clean: it opens, exposes no
+    // entry, and holds no torn temp files a reader could mistake for one.
+    let registry = ModelRegistry::open(&cfg.registry).unwrap();
+    assert!(
+        registry.list().is_empty(),
+        "a killed trainer must not expose a half-written candidate"
+    );
+    assert!(registry.current().is_none());
+    drop(registry);
+    let models_dir = cfg.registry.join("models");
+    if models_dir.exists() {
+        for entry in std::fs::read_dir(&models_dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().contains(".tmp"),
+                "stray temp file after kill: {name:?}"
+            );
+        }
+    }
+
+    // Supervised recovery: the failpoint is exhausted, so the restarted
+    // trainer loop re-runs the same pass and registers the candidate a
+    // never-killed trainer would have produced (ingest state was only
+    // persisted after a successful registration, so nothing was lost).
+    let mut trainer = Trainer::start(cfg.clone()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let hash = loop {
+        let registry = ModelRegistry::open(&cfg.registry).unwrap();
+        if let Some(entry) = registry.list().first() {
+            break entry.hash.clone();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "trainer did not register after recovery"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    trainer.shutdown();
+
+    let registry = ModelRegistry::open(&cfg.registry).unwrap();
+    assert_eq!(registry.list().len(), 1, "exactly one candidate");
+    let entry = registry.entry(&hash).unwrap();
+    assert_eq!(entry.lineage.samples, Some(2));
+    // The published file is whole: the content-hash envelope validates at
+    // load, so a torn write could not have survived unnoticed.
+    registry.load(&hash).unwrap();
+
+    // And the recovered pass is the deterministic one: re-running over the
+    // same shards is a no-op, not a divergent duplicate.
+    assert_eq!(train_once(&cfg).unwrap(), TrainOutcome::Unchanged);
+    let _ = std::fs::remove_dir_all(&root);
+}
