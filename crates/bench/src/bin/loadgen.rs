@@ -43,11 +43,19 @@
 //! sides of the swap, the promote round-trip itself, and asserts zero
 //! dropped or non-200 responses — the zero-downtime claim as a number.
 //!
+//! Pass `slow=MS` to append a **slow-worker phase**: a 3-worker fleet where
+//! a seeded `serve.batch.delay` fault makes exactly one worker's batch
+//! collector sleep `MS` milliseconds, measured three ways — healthy (fault
+//! disarmed), unhedged (fault armed, af-guard off), and hedged (fault
+//! armed, hedging + latency breaker on). The row records the p50/p99 of
+//! each pass plus how many hedges were issued, so the hedged-vs-unhedged
+//! tail comparison lands in `BENCH_serve.json` as numbers.
+//!
 //! Run: `cargo run -p af-bench --bin loadgen --release --
 //!       [quick|full] [conns=N] [requests=N] [cache=MB] [obs=path]
 //!       [route_threads=a,b,c] [route_jobs=N] [fault=SPEC] [fault_seed=N]
 //!       [workers=a,b,c] [coordinator=HOST:PORT] [fleet_conns_per=N]
-//!       [fleet_requests=N] [swap=N]`
+//!       [fleet_requests=N] [swap=N] [slow=MS]`
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -90,6 +98,30 @@ struct LoadgenReport {
     fleet: Vec<FleetScalingRow>,
     /// Promote-under-load row (empty unless `swap=` given).
     swap: Vec<SwapPhaseRow>,
+    /// Slow-worker tail-tolerance row (empty unless `slow=` given).
+    slow: Vec<SlowWorkerRow>,
+}
+
+/// Tail latency through a 3-worker fleet with one seeded-slow worker,
+/// measured healthy, unhedged, and hedged (hedging + latency breaker).
+#[derive(Serialize)]
+struct SlowWorkerRow {
+    /// Injected collector delay on the slow worker, per batch.
+    delay_ms: u64,
+    workers: u64,
+    /// Samples per pass (conns x requests).
+    requests: u64,
+    healthy_p50_ms: f64,
+    healthy_p99_ms: f64,
+    unhedged_p50_ms: f64,
+    unhedged_p99_ms: f64,
+    hedged_p50_ms: f64,
+    hedged_p99_ms: f64,
+    /// Hedges issued during the hedged pass.
+    hedged_requests: u64,
+    /// Issued hedges over total requests — the extra-load cost of the
+    /// bounded tail (token bucket keeps it near `budget_ratio`).
+    hedge_ratio: f64,
 }
 
 /// Predict latency on both sides of a mid-run model promotion, plus the
@@ -462,6 +494,13 @@ fn fleet_phase(
             addr: "127.0.0.1:0".to_string(),
             coordinator: coordinator.to_string(),
             refresh_ms: 100,
+            // Guard machinery off: scaling rows measure the plain ring.
+            hedge: af_guard::HedgeConfig {
+                enabled: false,
+                ..af_guard::HedgeConfig::default()
+            },
+            breaker_enabled: false,
+            ..FrontConfig::default()
         })
         .expect("bind front");
         let n = wait_for_workers(&front, 1, Duration::from_secs(10)) as u64;
@@ -548,6 +587,13 @@ fn fleet_phase(
                 addr: "127.0.0.1:0".to_string(),
                 coordinator: coordinator.clone(),
                 refresh_ms: 50,
+                // Guard machinery off: scaling rows measure the plain ring.
+                hedge: af_guard::HedgeConfig {
+                    enabled: false,
+                    ..af_guard::HedgeConfig::default()
+                },
+                breaker_enabled: false,
+                ..FrontConfig::default()
             })
             .expect("bind front");
             let seen = wait_for_workers(&front, n as usize, Duration::from_secs(10));
@@ -738,6 +784,167 @@ fn swap_phase(conns: u64, requests: u64, cache_mb: u64) -> SwapPhaseRow {
     }
 }
 
+/// Stands up a 3-worker fleet where a seeded `serve.batch.delay` fault
+/// makes exactly one worker's collector sleep `delay_ms` per batch, and
+/// measures the same offered load three ways:
+///
+/// 1. **healthy** — fault disarmed, hedging and breakers off: the baseline.
+/// 2. **unhedged** — fault armed, af-guard off: every request whose
+///    rendezvous winner is the slow worker rides the full delay, so the
+///    p99 tracks the injected latency.
+/// 3. **hedged** — fault armed, hedging plus a latency breaker on: early
+///    slow requests are rescued by a duplicate on the next-ranked worker,
+///    the breaker trips on the slow-call signal and excludes the worker,
+///    and the tail collapses back toward healthy.
+///
+/// Which worker is slow is picked by seed scan over the per-server
+/// `fault_key`s, so the fault fires on every batch of one deterministic
+/// worker and never on the others.
+fn slow_phase(
+    delay_ms: u64,
+    gnn: &ThreeDGnn,
+    cache_mb: u64,
+    conns: u64,
+    requests: u64,
+) -> SlowWorkerRow {
+    const WORKERS: u64 = 3;
+    const PROB: f64 = 0.34;
+    let fault_seed = (1u64..100_000)
+        .find(|&s| {
+            (0..WORKERS)
+                .filter(|&k| af_fault::would_fire(s, "serve.batch.delay", k, PROB))
+                .count()
+                == 1
+        })
+        .expect("no seed selects exactly one slow worker");
+
+    let coord = Coordinator::bind(CoordinatorConfig {
+        addr: "127.0.0.1:0".to_string(),
+        lease_ms: 0,
+        gen: None,
+    })
+    .expect("bind coordinator");
+    let coordinator = coord.addr().to_string();
+    let mut servers = Vec::new();
+    let mut agents = Vec::new();
+    let mut job_dirs = Vec::new();
+    let mut guidance_len = 0u64;
+    for i in 0..WORKERS {
+        let bundle = ModelBundle::with_model("OTA1", "A", gnn.clone()).expect("bundle");
+        guidance_len = bundle.guidance_len() as u64;
+        let model_hash = bundle.model_hash.clone();
+        let job_dir =
+            std::env::temp_dir().join(format!("af-loadgen-slow-{}-{i}", std::process::id()));
+        let server = Server::bind(
+            bundle,
+            ServeConfig {
+                workers: conns as usize,
+                fault_key: i,
+                job_dir: Some(job_dir.clone()),
+                cache_mb,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind slow-phase worker");
+        agents.push(WorkerAgent::start(
+            &coordinator,
+            WorkerIdentity {
+                id: format!("sw{i}"),
+                addr: server.addr().to_string(),
+                caps: WorkerCaps {
+                    serve: true,
+                    gen: false,
+                },
+                model_hash,
+                guidance_len,
+            },
+        ));
+        servers.push(server);
+        job_dirs.push(job_dir);
+    }
+
+    // One measurement pass behind a freshly configured front. Nonce bases
+    // are disjoint across passes so no pass is served from cache state the
+    // previous one warmed.
+    let mut pass_index = 0u64;
+    let mut run_pass = |hedge_on: bool, breaker_on: bool| -> (Vec<f64>, u64) {
+        let front = Front::bind(FrontConfig {
+            addr: "127.0.0.1:0".to_string(),
+            coordinator: coordinator.clone(),
+            refresh_ms: 50,
+            hedge: af_guard::HedgeConfig {
+                enabled: hedge_on,
+                delay_ms: (delay_ms / 4).max(5),
+                seed: 7,
+                ..af_guard::HedgeConfig::default()
+            },
+            breaker: af_guard::BreakerConfig {
+                window: 8,
+                min_samples: 2,
+                slow_ms: (delay_ms / 2).max(5),
+                // Stays open for the remainder of the pass: this phase
+                // measures exclusion; healing is the smoke test's job.
+                open_ms: 60_000,
+                ..af_guard::BreakerConfig::default()
+            },
+            breaker_enabled: breaker_on,
+            ..FrontConfig::default()
+        })
+        .expect("bind slow-phase front");
+        let seen = wait_for_workers(&front, WORKERS as usize, Duration::from_secs(10));
+        assert_eq!(seen as u64, WORKERS, "front only sees {seen}/{WORKERS}");
+        let base = 5_000_000 + pass_index * conns * requests;
+        pass_index += 1;
+        let samples = fleet_pass(front.addr(), conns, requests, &|c, r| {
+            guidance_body(guidance_len, base + c * requests + r)
+        });
+        let issued = front.hedge_stats().issued;
+        front.shutdown();
+        front.join();
+        let mut lat: Vec<f64> = samples.iter().map(|&(ms, ..)| ms).collect();
+        lat.sort_by(f64::total_cmp);
+        (lat, issued)
+    };
+
+    println!("slow: healthy pass ({conns} conns x {requests} requests) ...");
+    let (healthy, _) = run_pass(false, false);
+    let spec = format!("serve.batch.delay:delay:{delay_ms}:{PROB}");
+    af_fault::set_seed(fault_seed);
+    af_fault::arm_spec(&spec).expect("arm slow-worker fault");
+    println!("slow: unhedged pass under `{spec}` (seed {fault_seed}) ...");
+    let (unhedged, _) = run_pass(false, false);
+    println!("slow: hedged pass (hedging + latency breaker) ...");
+    let (hedged, issued) = run_pass(true, true);
+    af_fault::disarm_all();
+
+    for agent in agents {
+        agent.stop();
+    }
+    for server in servers {
+        server.shutdown();
+        server.join();
+    }
+    coord.shutdown();
+    coord.join();
+    for dir in job_dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    SlowWorkerRow {
+        delay_ms,
+        workers: WORKERS,
+        requests: conns * requests,
+        healthy_p50_ms: percentile(&healthy, 0.50),
+        healthy_p99_ms: percentile(&healthy, 0.99),
+        unhedged_p50_ms: percentile(&unhedged, 0.50),
+        unhedged_p99_ms: percentile(&unhedged, 0.99),
+        hedged_p50_ms: percentile(&hedged, 0.50),
+        hedged_p99_ms: percentile(&hedged, 0.99),
+        hedged_requests: issued,
+        hedge_ratio: issued as f64 / hedged.len().max(1) as f64,
+    }
+}
+
 /// Nearest-rank percentile of an already-sorted sample.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -920,6 +1127,31 @@ fn main() {
         vec![swap_phase(conns, swap_requests.max(30), cache_mb)]
     };
 
+    // --- Slow-worker tail-tolerance phase (only with `slow=`) ------------
+    let slow_ms = kv_num(&args, "slow", 0);
+    let slow_rows = if slow_ms == 0 {
+        Vec::new()
+    } else {
+        let slow_conns = kv_num(&args, "fleet_conns_per", 2).max(1) * 3;
+        let slow_requests = kv_num(
+            &args,
+            "fleet_requests",
+            if matches!(scale, Scale::Quick) {
+                60
+            } else {
+                200
+            },
+        )
+        .max(1);
+        vec![slow_phase(
+            slow_ms,
+            &gnn,
+            cache_mb,
+            slow_conns,
+            slow_requests,
+        )]
+    };
+
     latencies.sort_by(f64::total_cmp);
     let total = latencies.len() as u64;
     let cold_p50_ms = percentile(&cold, 0.50);
@@ -950,6 +1182,7 @@ fn main() {
         route: route_rows,
         fleet: fleet_rows,
         swap: swap_rows,
+        slow: slow_rows,
     };
     println!(
         "{} requests in {:.2}s: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms",
@@ -992,6 +1225,19 @@ fn main() {
             row.post_p99_ms,
             row.post_requests,
             row.errors
+        );
+    }
+    for row in &report.slow {
+        println!(
+            "slow worker @ {} ms delay: healthy p99 {:.2} ms, unhedged p99 {:.2} ms, \
+             hedged p99 {:.2} ms ({} hedges over {} requests, ratio {:.3})",
+            row.delay_ms,
+            row.healthy_p99_ms,
+            row.unhedged_p99_ms,
+            row.hedged_p99_ms,
+            row.hedged_requests,
+            row.requests,
+            row.hedge_ratio
         );
     }
     if !report.fault_spec.is_empty() {

@@ -48,6 +48,12 @@
 //! probability in `[0, 1]`; the optional `max_fires` caps how many times the
 //! failpoint fires in total (handy for one-shot crash tests like
 //! `serve.batch:panic:1.0:1` or `fleet.worker_kill:abort:1.0:1`).
+//!
+//! The `delay` mode carries a milliseconds payload and shifts the grammar by
+//! one field — `name:delay:<ms>:prob[:max_fires]`, e.g.
+//! `serve.batch.delay:delay:400:1.0` — and makes the site *slow* instead of
+//! broken: it sleeps and then proceeds normally (used by tail-tolerance
+//! chaos runs to exercise hedging and latency-tripped circuit breakers).
 
 mod retry;
 mod supervisor;
@@ -74,6 +80,14 @@ pub enum FaultMode {
     /// failpoint in `abort` mode turns it into a crash site (exercises
     /// durable-write atomicity and fleet worker-death healing).
     Abort,
+    /// The site blocks for the given number of milliseconds and then
+    /// proceeds *normally* — the operation still succeeds, it is just slow.
+    /// Like [`FaultMode::Abort`] this is handled centrally in the firing
+    /// path (sleep, then report "did not fire" to the site), so arming any
+    /// existing failpoint in `delay` mode turns it into a slow site with no
+    /// per-site match arm. This is how chaos tests make a worker *slow*
+    /// rather than dead, exercising hedging and latency-tripped breakers.
+    Delay(u64),
 }
 
 impl FaultMode {
@@ -84,7 +98,7 @@ impl FaultMode {
             "nan" => Ok(Self::Nan),
             "abort" => Ok(Self::Abort),
             other => Err(format!(
-                "unknown fault mode `{other}` (expected err|panic|nan|abort)"
+                "unknown fault mode `{other}` (expected err|panic|nan|abort|delay)"
             )),
         }
     }
@@ -215,16 +229,30 @@ pub fn arm_spec(spec: &str) -> Result<usize, String> {
     let mut parsed = Vec::new();
     for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
         let parts: Vec<&str> = entry.split(':').collect();
-        if parts.len() < 3 || parts.len() > 4 {
-            return Err(format!(
-                "bad fault spec entry `{entry}` (expected name:mode:prob[:max_fires])"
-            ));
-        }
-        let mode = FaultMode::parse(parts[1])?;
-        let prob: f64 = parts[2]
+        // `delay` carries a milliseconds payload, shifting the grammar by
+        // one field: name:delay:<ms>:prob[:max_fires].
+        let (mode, rest) = if parts.get(1) == Some(&"delay") {
+            if parts.len() < 4 || parts.len() > 5 {
+                return Err(format!(
+                    "bad fault spec entry `{entry}` (expected name:delay:<ms>:prob[:max_fires])"
+                ));
+            }
+            let ms: u64 = parts[2]
+                .parse()
+                .map_err(|_| format!("bad delay ms `{}` in `{entry}`", parts[2]))?;
+            (FaultMode::Delay(ms), &parts[3..])
+        } else {
+            if parts.len() < 3 || parts.len() > 4 {
+                return Err(format!(
+                    "bad fault spec entry `{entry}` (expected name:mode:prob[:max_fires])"
+                ));
+            }
+            (FaultMode::parse(parts[1])?, &parts[2..])
+        };
+        let prob: f64 = rest[0]
             .parse()
-            .map_err(|_| format!("bad probability `{}` in `{entry}`", parts[2]))?;
-        let max_fires = match parts.get(3) {
+            .map_err(|_| format!("bad probability `{}` in `{entry}`", rest[0]))?;
+        let max_fires = match rest.get(1) {
             None => None,
             Some(v) => Some(
                 v.parse::<u64>()
@@ -291,7 +319,25 @@ fn decide(fp: &Failpoint, name: &str, key: u64) -> Option<FaultMode> {
         eprintln!("af-fault: aborting process at failpoint `{name}` (key {key})");
         std::process::abort();
     }
+    if let FaultMode::Delay(ms) = fp.mode {
+        // Also centralized: the site sleeps here and then proceeds as if
+        // nothing fired, so every existing failpoint is delay-capable and a
+        // delayed operation still *succeeds* (slow ≠ broken). The registry
+        // lock is not held here — only the failpoint's Arc.
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+        return None;
+    }
     Some(fp.mode)
+}
+
+/// Whether an armed failpoint with activation probability `prob` would fire
+/// for `(seed, name, key)` — the same pure decision [`should_fail_keyed`]
+/// makes, exposed so tests can *choose* a seed with a desired firing pattern
+/// (e.g. scan for a seed where exactly one of three worker keys fires) by
+/// evaluating the function instead of trial-arming the global registry.
+#[must_use]
+pub fn would_fire(seed: u64, name: &str, key: u64, prob: f64) -> bool {
+    u01(afrt::split_seed(seed ^ fnv1a(name), key)) < prob.clamp(0.0, 1.0)
 }
 
 /// Evaluates failpoint `name` with a per-failpoint stream counter as the
@@ -516,6 +562,40 @@ mod tests {
         assert!(is_injected(&err));
         disarm("macro.err");
         assert_eq!(site().unwrap(), 7);
+    }
+
+    #[test]
+    fn delay_spec_parses_and_sleeps_then_succeeds() {
+        let _s = scenario();
+        let n = arm_spec("slow.site:delay:30:1.0").unwrap();
+        assert_eq!(n, 1);
+        let t0 = std::time::Instant::now();
+        // Fires (sleeps) but reports None, so err-form sites still succeed.
+        assert_eq!(should_fail_keyed("slow.site", 0), None);
+        assert!(
+            t0.elapsed() >= std::time::Duration::from_millis(25),
+            "delay did not sleep: {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(stats("slow.site").unwrap().fires, 1);
+        // Malformed delay specs are rejected whole.
+        assert!(arm_spec("x:delay:1.0").is_err());
+        assert!(arm_spec("x:delay:abc:1.0").is_err());
+        assert!(arm_spec("x:delay:5:1.0:2:9").is_err());
+    }
+
+    #[test]
+    fn would_fire_matches_keyed_decision() {
+        let _s = scenario();
+        set_seed(42);
+        arm("pure.scan", FaultMode::Err, 0.34);
+        for k in 0..128 {
+            assert_eq!(
+                would_fire(42, "pure.scan", k, 0.34),
+                should_fail_keyed("pure.scan", k).is_some(),
+                "key {k}"
+            );
+        }
     }
 
     #[test]

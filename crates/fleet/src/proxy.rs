@@ -9,21 +9,41 @@
 //! removing one worker remaps only that worker's key share (the af-cache
 //! `Ring` property), leaving every other worker's warm entries warm.
 //!
+//! Three af-guard policies ride on top of the plain ring:
+//!
+//! * **Deadline propagation** — a client `x-deadline-ms` header is parsed
+//!   once into an absolute budget; the *remaining* budget is recomputed and
+//!   forwarded on every upstream hop, and an already-expired request is
+//!   shed with `408` before any worker is dialed.
+//! * **Circuit breakers** — each worker has a rolling-outcome breaker; a
+//!   tripped worker is excluded from candidate selection exactly like a
+//!   worker whose lease expired, until half-open probes heal it.
+//! * **Hedged requests** — idempotent `/v1/*` forwards race a delayed
+//!   duplicate on the next-ranked worker once the primary has been in
+//!   flight past the hedge delay, under a token-bucket budget. The winner
+//!   is stamped `x-hedged` when the duplicate answered first.
+//!
 //! Failures take one extra hop: if the first-ranked worker is unreachable
-//! or answers 503, the front retries the second-ranked replica, then gives
-//! up with 502. Async route jobs (`POST /v1/route` → 202 + job id) get a
-//! front-global id so `GET /v1/jobs/{id}` can be answered later even
-//! though job ids are worker-local.
+//! or answers 503, the front retries the second-ranked replica. Worker
+//! backpressure (`429`, and a final `503`) is relayed verbatim — including
+//! `Retry-After` — never converted into a bare 502. Async route jobs
+//! (`POST /v1/route` → 202 + job id) get a front-global id so
+//! `GET /v1/jobs/{id}` can be answered later even though job ids are
+//! worker-local.
 
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use af_cache::Ring;
+use af_guard::{
+    BreakerConfig, BreakerSet, BreakerStatus, Deadline, HedgeConfig, HedgeStats, Hedger,
+    DEADLINE_HEADER, HEDGED_HEADER,
+};
 use af_serve::http::{read_request, ParseError, Request, Response};
 use serde::{Serialize, Value};
 
@@ -40,6 +60,16 @@ pub struct FrontConfig {
     pub coordinator: String,
     /// Worker-set refresh interval.
     pub refresh_ms: u64,
+    /// Upper clamp on client-supplied `x-deadline-ms` budgets, in
+    /// milliseconds (`0` disables the clamp).
+    pub deadline_max_ms: u64,
+    /// Hedged-request tuning for idempotent `/v1/*` forwards.
+    pub hedge: HedgeConfig,
+    /// Per-worker circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Master switch for the breakers; `false` installs an untrippable set
+    /// (hedging still works — benchmark passes use exactly that split).
+    pub breaker_enabled: bool,
 }
 
 impl Default for FrontConfig {
@@ -48,6 +78,10 @@ impl Default for FrontConfig {
             addr: "127.0.0.1:0".to_string(),
             coordinator: String::new(),
             refresh_ms: 500,
+            deadline_max_ms: 600_000,
+            hedge: HedgeConfig::default(),
+            breaker: BreakerConfig::default(),
+            breaker_enabled: true,
         }
     }
 }
@@ -70,6 +104,9 @@ struct FrontShared {
     shutting_down: AtomicBool,
     addr: SocketAddr,
     started: Instant,
+    breakers: BreakerSet,
+    hedger: Hedger,
+    deadline_max_ms: u64,
 }
 
 /// Front constructor; see [`Front::bind`].
@@ -94,6 +131,11 @@ impl Front {
     pub fn bind(cfg: FrontConfig) -> Result<FrontHandle, FleetError> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let breakers = if cfg.breaker_enabled {
+            BreakerSet::new(cfg.breaker.clone())
+        } else {
+            BreakerSet::disabled()
+        };
         let shared = Arc::new(FrontShared {
             coordinator: cfg.coordinator.clone(),
             ring: RwLock::new(RingState::default()),
@@ -102,6 +144,9 @@ impl Front {
             shutting_down: AtomicBool::new(false),
             addr,
             started: Instant::now(),
+            breakers,
+            hedger: Hedger::new(cfg.hedge.clone()),
+            deadline_max_ms: cfg.deadline_max_ms,
         });
         refresh_ring(&shared);
 
@@ -161,6 +206,18 @@ impl FrontHandle {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .ring
             .len()
+    }
+
+    /// Hedge accounting (issued / wins / suppressed) since the front bound.
+    #[must_use]
+    pub fn hedge_stats(&self) -> HedgeStats {
+        self.shared.hedger.stats()
+    }
+
+    /// Point-in-time breaker state for every worker this front has dialed.
+    #[must_use]
+    pub fn breakers(&self) -> Vec<BreakerStatus> {
+        self.shared.breakers.snapshot()
     }
 
     /// Initiates shutdown without waiting.
@@ -253,6 +310,14 @@ fn handle_connection(shared: &FrontShared, stream: TcpStream) {
     }
 }
 
+/// One worker's breaker as reported by `GET /healthz`.
+#[derive(Debug, Clone, Serialize)]
+struct BreakerHealth {
+    worker: String,
+    state: String,
+    opened: u64,
+}
+
 /// `GET /healthz` reply of a front.
 #[derive(Debug, Clone, Serialize)]
 struct FrontHealth {
@@ -262,10 +327,25 @@ struct FrontHealth {
     workers: u64,
     model_hash: String,
     build: String,
+    breakers: Vec<BreakerHealth>,
 }
 
 fn dispatch(shared: &FrontShared, req: &Request, pool: &mut HashMap<String, HttpConn>) -> Response {
     af_obs::counter("fleet.front.requests", 1);
+    // The deadline gate runs before routing: a malformed budget is the
+    // client's bug (400), an expired one is shed here without dialing any
+    // worker (408) — that is the whole point of propagating deadlines.
+    let deadline = match req.header(DEADLINE_HEADER) {
+        Some(raw) => match Deadline::parse(raw, shared.deadline_max_ms) {
+            Ok(d) => Some(d),
+            Err(e) => return Response::error(400, &e.to_string()),
+        },
+        None => None,
+    };
+    if deadline.is_some_and(|d| d.expired()) {
+        af_guard::shed("front");
+        return Response::error(408, "request deadline already expired");
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let (workers, model_hash) = {
@@ -284,6 +364,16 @@ fn dispatch(shared: &FrontShared, req: &Request, pool: &mut HashMap<String, Http
                     workers,
                     model_hash,
                     build: env!("CARGO_PKG_VERSION").to_string(),
+                    breakers: shared
+                        .breakers
+                        .snapshot()
+                        .into_iter()
+                        .map(|b| BreakerHealth {
+                            worker: b.worker,
+                            state: b.state,
+                            opened: b.opened,
+                        })
+                        .collect(),
                 },
             )
         }
@@ -293,9 +383,9 @@ fn dispatch(shared: &FrontShared, req: &Request, pool: &mut HashMap<String, Http
             let _ = TcpStream::connect(shared.addr);
             Response::json(200, "{\"ok\":true}".to_string()).with_close()
         }
-        ("POST", "/v1/route") => submit_job(shared, req, pool),
-        ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path, pool),
-        ("POST", path) if path.starts_with("/v1/") => forward_hashed(shared, req, pool),
+        ("POST", "/v1/route") => submit_job(shared, req, pool, deadline),
+        ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path, pool, deadline),
+        ("POST", path) if path.starts_with("/v1/") => forward_hashed(shared, req, pool, deadline),
         _ => Response::error(404, "no such endpoint"),
     }
 }
@@ -307,16 +397,16 @@ fn json_or_500<T: Serialize>(status: u16, value: &T) -> Response {
     }
 }
 
-/// The two routing candidates for a request key: the rendezvous winner and
-/// its first replica.
+/// The full rendezvous ranking for a request key, as (id, addr) pairs.
 fn candidates(shared: &FrontShared, key: &[u8]) -> Vec<(String, String)> {
     let state = shared
         .ring
         .read()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let n = state.ring.len();
     state
         .ring
-        .ranked(key, 2)
+        .ranked(key, n)
         .into_iter()
         .filter_map(|id| {
             state
@@ -327,34 +417,184 @@ fn candidates(shared: &FrontShared, key: &[u8]) -> Vec<(String, String)> {
         .collect()
 }
 
+/// Filters a ranking through the per-worker breakers and keeps the primary
+/// plus one failover replica. When every candidate is tripped the raw
+/// ranking is used instead — failing open beats returning 503 for a
+/// condition the breakers will heal on their own (a permitted call doubles
+/// as the half-open probe, so simply trying is what heals them).
+fn routable(shared: &FrontShared, ranked: Vec<(String, String)>) -> Vec<(String, String)> {
+    let allowed: Vec<(String, String)> = ranked
+        .iter()
+        .filter(|(id, _)| shared.breakers.allow(id))
+        .cloned()
+        .collect();
+    if allowed.is_empty() && !ranked.is_empty() {
+        af_obs::counter("fleet.front.breaker_bypass", 1);
+        return ranked.into_iter().take(2).collect();
+    }
+    if allowed.len() < ranked.len() {
+        af_obs::counter(
+            "fleet.front.breaker_skips",
+            (ranked.len() - allowed.len()) as u64,
+        );
+    }
+    allowed.into_iter().take(2).collect()
+}
+
+/// The upstream headers for one forwarding attempt: the *remaining* budget
+/// at this instant, so a worker always sees a strictly smaller deadline
+/// than the front did (monotone shrink across hops).
+fn forward_headers(deadline: Option<&Deadline>) -> Vec<(String, String)> {
+    deadline
+        .map(|d| vec![(DEADLINE_HEADER.to_string(), d.header_value())])
+        .unwrap_or_default()
+}
+
+/// One exchange on a possibly pooled connection. A pooled connection that
+/// fails is retried once on a fresh one — distinguishing "idle connection
+/// died" (normal) from "worker is down" (the caller's replica logic handles
+/// that). Returns the connection when it is still reusable.
+fn call_once(
+    conn: Option<HttpConn>,
+    addr: &str,
+    method: &str,
+    path: &str,
+    extra: &[(String, String)],
+    body: &[u8],
+) -> (std::io::Result<RawResponse>, Option<HttpConn>) {
+    if let Some(mut c) = conn {
+        if let Ok(resp) = c.call(method, path, extra, body) {
+            let keep = !resp.close;
+            return (Ok(resp), keep.then_some(c));
+        }
+    }
+    match HttpConn::connect(addr) {
+        Ok(mut c) => match c.call(method, path, extra, body) {
+            Ok(resp) => {
+                let keep = !resp.close;
+                (Ok(resp), keep.then_some(c))
+            }
+            Err(e) => (Err(e), None),
+        },
+        Err(e) => (Err(e), None),
+    }
+}
+
 /// Sends `req` to `addr`, reusing a pooled keep-alive connection when one
-/// exists. A pooled connection that fails is dropped and retried once on a
-/// fresh connection — distinguishing "idle connection died" (normal) from
-/// "worker is down" (the caller's replica logic handles that).
+/// exists.
 fn send_to(
     pool: &mut HashMap<String, HttpConn>,
     addr: &str,
     req: &Request,
+    extra: &[(String, String)],
 ) -> std::io::Result<RawResponse> {
-    if let Some(conn) = pool.get_mut(addr) {
-        match conn.call(&req.method, &req.path, &[], &req.body) {
-            Ok(resp) => {
-                if resp.close {
-                    pool.remove(addr);
-                }
-                return Ok(resp);
+    let (result, conn) = call_once(
+        pool.remove(addr),
+        addr,
+        &req.method,
+        &req.path,
+        extra,
+        &req.body,
+    );
+    if let Some(c) = conn {
+        pool.insert(addr.to_string(), c);
+    }
+    result
+}
+
+/// One leg of a hedged exchange: leg index, exchange result, the reusable
+/// connection (if any), and the address it belongs to.
+type LegOutcome = (
+    usize,
+    std::io::Result<RawResponse>,
+    Option<HttpConn>,
+    String,
+);
+
+/// Races `primary` against a delayed duplicate on `secondary`. The
+/// primary's pooled connection (if any) moves into its leg thread and
+/// comes back through the channel on a clean exchange; a losing leg is
+/// abandoned — its thread finishes into a dropped receiver and its
+/// connection is dropped with it, never returned to the pool.
+///
+/// Returns `(winner id, result, hedged)` where `hedged` means the
+/// duplicate produced the winning response.
+fn hedged_send(
+    shared: &FrontShared,
+    req: &Request,
+    pool: &mut HashMap<String, HttpConn>,
+    primary: &(String, String),
+    secondary: &(String, String),
+    extra: &[(String, String)],
+) -> (String, std::io::Result<RawResponse>, bool) {
+    let (tx, rx) = mpsc::channel::<LegOutcome>();
+    let spawn_leg =
+        |idx: usize, addr: String, conn: Option<HttpConn>, tx: mpsc::Sender<LegOutcome>| {
+            let method = req.method.clone();
+            let path = req.path.clone();
+            let body = req.body.clone();
+            let extra = extra.to_vec();
+            let _ = thread::Builder::new()
+                .name("fleet-front-hedge".to_string())
+                .spawn(move || {
+                    let (result, conn) = call_once(conn, &addr, &method, &path, &extra, &body);
+                    let _ = tx.send((idx, result, conn, addr));
+                });
+        };
+    spawn_leg(0, primary.1.clone(), pool.remove(&primary.1), tx.clone());
+    let delay = shared.hedger.delay();
+    let (idx, result, conn, addr) = match rx.recv_timeout(delay) {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            // The primary has been in flight past the hedge delay. That is
+            // the breaker's slow signal — recorded here, unconditionally,
+            // because an abandoned loser never reports back — and, budget
+            // permitting, the cue to race the duplicate.
+            shared
+                .breakers
+                .record(&primary.0, false, delay.as_secs_f64() * 1e3);
+            if shared.hedger.try_hedge() {
+                spawn_leg(
+                    1,
+                    secondary.1.clone(),
+                    pool.remove(&secondary.1),
+                    tx.clone(),
+                );
             }
-            Err(_) => {
-                pool.remove(addr);
+            drop(tx);
+            // First clean response wins; an errored leg defers to the
+            // other while it is still running.
+            let mut errored: Option<LegOutcome> = None;
+            loop {
+                match rx.recv() {
+                    Ok(o) if o.1.is_ok() => break o,
+                    Ok(o) => errored = Some(o),
+                    Err(_) => match errored.take() {
+                        Some(o) => break o,
+                        None => {
+                            break (
+                                0,
+                                Err(std::io::Error::other("hedge legs vanished")),
+                                None,
+                                primary.1.clone(),
+                            )
+                        }
+                    },
+                }
             }
         }
+    };
+    if result.is_ok() {
+        if let Some(c) = conn {
+            pool.insert(addr, c);
+        }
     }
-    let mut conn = HttpConn::connect(addr)?;
-    let resp = conn.call(&req.method, &req.path, &[], &req.body)?;
-    if !resp.close {
-        pool.insert(addr.to_string(), conn);
+    let hedged = idx == 1;
+    if hedged && result.is_ok() {
+        shared.hedger.record_win();
     }
-    Ok(resp)
+    let winner = if hedged { &secondary.0 } else { &primary.0 };
+    (winner.clone(), result, hedged)
 }
 
 /// Converts an upstream response into a downstream one, relaying status,
@@ -379,12 +619,18 @@ fn relay(upstream: RawResponse, worker: &str) -> Response {
 }
 
 /// Routes a cacheable `/v1/*` request by content key with one replica
-/// retry. 503 from the winner (shutting down, queue full is 429 and NOT
-/// retried — the replica would only melt too) also fails over.
+/// retry and optional hedging.
+///
+/// 503 from the winner (shutting down) fails over; `429` is backpressure
+/// and is relayed verbatim — `Retry-After` intact — because the replica
+/// would only melt too. When every candidate sheds with 503 the *last 503
+/// itself* is relayed (again `Retry-After` intact) rather than a bare 502;
+/// 502 is reserved for "nothing even answered".
 fn forward_hashed(
     shared: &FrontShared,
     req: &Request,
     pool: &mut HashMap<String, HttpConn>,
+    deadline: Option<Deadline>,
 ) -> Response {
     let mut key = Vec::with_capacity(req.path.len() + 1 + req.body.len());
     key.extend_from_slice(req.path.as_bytes());
@@ -394,32 +640,68 @@ fn forward_hashed(
     if ranked.is_empty() {
         return Response::error(503, "no live workers in the fleet");
     }
-    for (i, (id, addr)) in ranked.iter().enumerate() {
-        match send_to(pool, addr, req) {
-            Ok(resp) if resp.status == 503 && i + 1 < ranked.len() => {
-                af_obs::counter("fleet.front.failovers", 1);
-            }
+    let targets = routable(shared, ranked);
+    let mut backpressure: Option<(RawResponse, String)> = None;
+    for (i, (id, addr)) in targets.iter().enumerate() {
+        if deadline.is_some_and(|d| d.expired()) {
+            af_guard::shed("front");
+            return Response::error(408, "request deadline expired at the front");
+        }
+        let extra = forward_headers(deadline.as_ref());
+        let start = Instant::now();
+        let (winner, result, hedged) = if i == 0 && shared.hedger.enabled() && targets.len() > 1 {
+            hedged_send(shared, req, pool, &targets[0], &targets[1], &extra)
+        } else {
+            (id.clone(), send_to(pool, addr, req, &extra), false)
+        };
+        let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+        match result {
             Ok(resp) => {
+                shared
+                    .breakers
+                    .record(&winner, resp.status < 500, latency_ms);
+                if resp.status == 429 {
+                    return relay(resp, &winner);
+                }
+                if resp.status == 503 {
+                    if i + 1 < targets.len() {
+                        af_obs::counter("fleet.front.failovers", 1);
+                    }
+                    backpressure = Some((resp, winner));
+                    continue;
+                }
+                shared.hedger.observe(latency_ms);
                 if i > 0 {
                     af_obs::counter("fleet.front.replica_hits", 1);
                 }
-                return relay(resp, id);
+                let mut out = relay(resp, &winner);
+                if hedged {
+                    out = out.with_header(HEDGED_HEADER, "1".to_string());
+                }
+                return out;
             }
             Err(_) => {
+                shared.breakers.record(&winner, false, latency_ms);
                 af_obs::counter("fleet.front.worker_errors", 1);
             }
         }
     }
-    Response::error(502, "all replicas for this key are unreachable")
+    match backpressure {
+        Some((resp, id)) => relay(resp, &id),
+        None => Response::error(502, "all replicas for this key are unreachable"),
+    }
 }
 
 /// `POST /v1/route`: forward like any hashed request, but when the worker
 /// answers 202 with a worker-local job id, allocate a front-global id and
-/// remember the mapping so the job can be polled through this front.
+/// remember the mapping so the job can be polled through this front. Job
+/// submission is *not* idempotent, so it is never hedged — a duplicate
+/// would enqueue the route twice.
 fn submit_job(
     shared: &FrontShared,
     req: &Request,
     pool: &mut HashMap<String, HttpConn>,
+    deadline: Option<Deadline>,
 ) -> Response {
     let mut key = Vec::with_capacity(req.path.len() + 1 + req.body.len());
     key.extend_from_slice(req.path.as_bytes());
@@ -429,9 +711,20 @@ fn submit_job(
     if ranked.is_empty() {
         return Response::error(503, "no live workers in the fleet");
     }
-    for (id, addr) in &ranked {
-        match send_to(pool, addr, req) {
+    let targets = routable(shared, ranked);
+    let mut backpressure: Option<(RawResponse, String)> = None;
+    for (id, addr) in &targets {
+        if deadline.is_some_and(|d| d.expired()) {
+            af_guard::shed("front");
+            return Response::error(408, "request deadline expired at the front");
+        }
+        let extra = forward_headers(deadline.as_ref());
+        let start = Instant::now();
+        let result = send_to(pool, addr, req, &extra);
+        let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+        match result {
             Ok(resp) if resp.status == 202 => {
+                shared.breakers.record(id, true, latency_ms);
                 return match rewrite_job_id(shared, id, &resp.body) {
                     Some(body) => relay(
                         RawResponse {
@@ -444,15 +737,24 @@ fn submit_job(
                 };
             }
             Ok(resp) if resp.status == 503 => {
+                shared.breakers.record(id, true, latency_ms);
                 af_obs::counter("fleet.front.failovers", 1);
+                backpressure = Some((resp, id.clone()));
             }
-            Ok(resp) => return relay(resp, id),
+            Ok(resp) => {
+                shared.breakers.record(id, resp.status < 500, latency_ms);
+                return relay(resp, id);
+            }
             Err(_) => {
+                shared.breakers.record(id, false, latency_ms);
                 af_obs::counter("fleet.front.worker_errors", 1);
             }
         }
     }
-    Response::error(502, "all replicas for this key are unreachable")
+    match backpressure {
+        Some((resp, id)) => relay(resp, &id),
+        None => Response::error(502, "all replicas for this key are unreachable"),
+    }
 }
 
 /// Swaps the worker-local `id` in a 202 body for a freshly allocated
@@ -485,7 +787,12 @@ fn rewrite_job_id(shared: &FrontShared, worker: &str, body: &[u8]) -> Option<Str
 /// `GET /v1/jobs/{global}`: translate back to the owning worker's local id
 /// and proxy the poll there. Job state is worker-resident, so there is no
 /// replica to fail over to — a dead worker means the job is gone (410).
-fn job_status(shared: &FrontShared, path: &str, pool: &mut HashMap<String, HttpConn>) -> Response {
+fn job_status(
+    shared: &FrontShared,
+    path: &str,
+    pool: &mut HashMap<String, HttpConn>,
+    deadline: Option<Deadline>,
+) -> Response {
     let id_text = &path["/v1/jobs/".len()..];
     let Ok(global) = id_text.parse::<u64>() else {
         return Response::error(400, &format!("bad job id {id_text:?}"));
@@ -518,7 +825,8 @@ fn job_status(shared: &FrontShared, path: &str, pool: &mut HashMap<String, HttpC
         headers: Vec::new(),
         body: Vec::new(),
     };
-    match send_to(pool, &addr, &upstream) {
+    let extra = forward_headers(deadline.as_ref());
+    match send_to(pool, &addr, &upstream, &extra) {
         Ok(resp) => relay(resp, &worker),
         Err(_) => Response::error(502, &format!("worker {worker} unreachable")),
     }
@@ -527,8 +835,9 @@ fn job_status(shared: &FrontShared, path: &str, pool: &mut HashMap<String, HttpC
 #[cfg(test)]
 mod tests {
     use super::*;
+    use af_guard::parse_header_ms;
 
-    fn shared_for_test() -> FrontShared {
+    fn shared_with(breakers: BreakerSet, hedger: Hedger) -> FrontShared {
         FrontShared {
             coordinator: String::new(),
             ring: RwLock::new(RingState::default()),
@@ -537,7 +846,64 @@ mod tests {
             shutting_down: AtomicBool::new(false),
             addr: "127.0.0.1:0".parse().unwrap(),
             started: Instant::now(),
+            breakers,
+            hedger,
+            deadline_max_ms: 0,
         }
+    }
+
+    fn shared_for_test() -> FrontShared {
+        shared_with(BreakerSet::disabled(), Hedger::off())
+    }
+
+    fn set_ring(shared: &FrontShared, workers: &[(&str, &str)]) {
+        let mut state = shared.ring.write().unwrap();
+        state.ring = Ring::new(workers.iter().map(|(id, _)| *id));
+        state.addrs = workers
+            .iter()
+            .map(|(id, addr)| ((*id).to_string(), (*addr).to_string()))
+            .collect();
+    }
+
+    /// A minimal keep-alive mock worker: answers every request through
+    /// `behavior` until the test process exits.
+    fn spawn_mock(behavior: impl Fn(&Request) -> Response + Send + Sync + 'static) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let behavior = Arc::new(behavior);
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let behavior = Arc::clone(&behavior);
+                thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut out = stream;
+                    while let Ok(Some(req)) = read_request(&mut reader) {
+                        let resp = behavior(&req);
+                        if resp.write_to(&mut out).is_err() || resp.close {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    fn post(path: &str, body: &[u8]) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+        }
+    }
+
+    fn header(resp: &Response, name: &str) -> Option<String> {
+        resp.extra_headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
     }
 
     #[test]
@@ -561,23 +927,168 @@ mod tests {
     #[test]
     fn candidates_follow_ring_membership() {
         let shared = shared_for_test();
-        {
-            let mut state = shared.ring.write().unwrap();
-            state.ring = Ring::new(["w1", "w2", "w3"]);
-            state.addrs = [
-                ("w1".to_string(), "127.0.0.1:1".to_string()),
-                ("w2".to_string(), "127.0.0.1:2".to_string()),
-                ("w3".to_string(), "127.0.0.1:3".to_string()),
-            ]
-            .into_iter()
-            .collect();
-        }
+        set_ring(
+            &shared,
+            &[
+                ("w1", "127.0.0.1:1"),
+                ("w2", "127.0.0.1:2"),
+                ("w3", "127.0.0.1:3"),
+            ],
+        );
         let c = candidates(&shared, b"some-key");
-        assert_eq!(c.len(), 2);
+        assert_eq!(c.len(), 3, "full ranking over the ring");
         assert_ne!(c[0].0, c[1].0, "winner and replica differ");
         // A worker whose addr vanished is skipped rather than dialed blind.
         shared.ring.write().unwrap().addrs.remove(&c[0].0);
         let c2 = candidates(&shared, b"some-key");
-        assert_eq!(c2.len(), 1);
+        assert_eq!(c2.len(), 2);
+    }
+
+    #[test]
+    fn routable_excludes_tripped_worker_and_fails_open() {
+        let cfg = BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            failure_ratio: 0.5,
+            open_ms: 60_000,
+            ..BreakerConfig::default()
+        };
+        let shared = shared_with(BreakerSet::new(cfg), Hedger::off());
+        set_ring(&shared, &[("w1", "127.0.0.1:1"), ("w2", "127.0.0.1:2")]);
+        let ranked = candidates(&shared, b"k");
+        let primary = ranked[0].0.clone();
+        for _ in 0..4 {
+            shared.breakers.record(&primary, false, 1.0);
+        }
+        let t = routable(&shared, candidates(&shared, b"k"));
+        assert_eq!(t.len(), 1, "tripped primary excluded");
+        assert_ne!(t[0].0, primary);
+        // Trip the other one too: the front fails open to the raw ranking.
+        let other = t[0].0.clone();
+        for _ in 0..4 {
+            shared.breakers.record(&other, false, 1.0);
+        }
+        let t = routable(&shared, candidates(&shared, b"k"));
+        assert_eq!(t.len(), 2, "fully tripped ring falls back to ranking");
+    }
+
+    #[test]
+    fn backpressure_429_is_relayed_verbatim_with_retry_after() {
+        let addr = spawn_mock(|_req| {
+            Response::error(429, "queue full").with_header("retry-after", "7".to_string())
+        });
+        let shared = shared_for_test();
+        set_ring(&shared, &[("w1", addr.as_str())]);
+        let mut pool = HashMap::new();
+        let resp = forward_hashed(&shared, &post("/v1/predict", b"{}"), &mut pool, None);
+        assert_eq!(resp.status, 429);
+        assert_eq!(header(&resp, "retry-after").as_deref(), Some("7"));
+        assert_eq!(header(&resp, "x-fleet-worker").as_deref(), Some("w1"));
+    }
+
+    #[test]
+    fn exhausted_failover_relays_last_503_not_bare_502() {
+        let mk = || {
+            spawn_mock(|_req| {
+                Response::error(503, "shutting down").with_header("retry-after", "3".to_string())
+            })
+        };
+        let (a1, a2) = (mk(), mk());
+        let shared = shared_for_test();
+        set_ring(&shared, &[("w1", a1.as_str()), ("w2", a2.as_str())]);
+        let mut pool = HashMap::new();
+        let resp = forward_hashed(&shared, &post("/v1/predict", b"{}"), &mut pool, None);
+        assert_eq!(resp.status, 503, "503 relayed, not synthesized 502");
+        assert_eq!(header(&resp, "retry-after").as_deref(), Some("3"));
+    }
+
+    #[test]
+    fn forwarded_deadline_budget_shrinks_monotonically() {
+        // The mock echoes the x-deadline-ms it received back in the body.
+        let addr = spawn_mock(|req| {
+            let got = req.header(DEADLINE_HEADER).unwrap_or("none").to_string();
+            Response::json(200, format!("{{\"got\":\"{got}\"}}"))
+        });
+        let shared = shared_for_test();
+        set_ring(&shared, &[("w1", addr.as_str())]);
+        let mut pool = HashMap::new();
+        let deadline = Deadline::after(5_000);
+        let resp = forward_hashed(
+            &shared,
+            &post("/v1/predict", b"{}"),
+            &mut pool,
+            Some(deadline),
+        );
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body.clone()).unwrap();
+        let echoed: u64 = body
+            .split('"')
+            .nth(3)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no echoed budget in {body}"));
+        assert!(echoed <= 5_000, "forwarded budget {echoed} above original");
+        assert!(
+            echoed > 4_000,
+            "forwarded budget {echoed} implausibly small"
+        );
+        assert!(parse_header_ms(&deadline.header_value(), 0, 0).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_sheds_before_dialing() {
+        // No mock worker at all: if the front tried to dial, it would 502.
+        let shared = shared_for_test();
+        set_ring(&shared, &[("w1", "127.0.0.1:1")]);
+        let mut pool = HashMap::new();
+        let resp = forward_hashed(
+            &shared,
+            &post("/v1/predict", b"{}"),
+            &mut pool,
+            Some(Deadline::after(0)),
+        );
+        assert_eq!(resp.status, 408);
+    }
+
+    #[test]
+    fn hedge_wins_against_slow_primary() {
+        let slow = spawn_mock(|_req| {
+            thread::sleep(Duration::from_millis(300));
+            Response::json(200, "{\"from\":\"slow\"}".to_string())
+        });
+        let fast = spawn_mock(|_req| Response::json(200, "{\"from\":\"fast\"}".to_string()));
+        let hedger = Hedger::new(HedgeConfig {
+            delay_ms: 15,
+            seed: 1,
+            ..HedgeConfig::default()
+        });
+        let shared = shared_with(BreakerSet::disabled(), hedger);
+        set_ring(&shared, &[("w1", slow.as_str()), ("w2", fast.as_str())]);
+        // Find a key whose rendezvous primary is the slow worker.
+        let mut body = Vec::new();
+        for i in 0..64u32 {
+            let candidate = format!("{{\"n\":{i}}}").into_bytes();
+            let mut key = Vec::new();
+            key.extend_from_slice(b"/v1/predict");
+            key.push(0);
+            key.extend_from_slice(&candidate);
+            if candidates(&shared, &key)[0].0 == "w1" {
+                body = candidate;
+                break;
+            }
+        }
+        assert!(!body.is_empty(), "no key ranked the slow worker first");
+        let mut pool = HashMap::new();
+        let resp = forward_hashed(&shared, &post("/v1/predict", &body), &mut pool, None);
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            String::from_utf8_lossy(&resp.body),
+            "{\"from\":\"fast\"}",
+            "duplicate on the fast replica should win"
+        );
+        assert_eq!(header(&resp, HEDGED_HEADER).as_deref(), Some("1"));
+        assert_eq!(header(&resp, "x-fleet-worker").as_deref(), Some("w2"));
+        let stats = shared.hedger.stats();
+        assert_eq!(stats.issued, 1);
+        assert_eq!(stats.wins, 1);
     }
 }

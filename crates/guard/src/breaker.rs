@@ -1,0 +1,357 @@
+//! Per-worker circuit breakers.
+//!
+//! A [`BreakerSet`] tracks one breaker per backend worker. Each breaker is a
+//! rolling window of recent call outcomes; when enough of the window has
+//! failed (transport error, 5xx, or latency above `slow_ms`), the breaker
+//! *opens* and the front stops sending the worker traffic — it is excluded
+//! from candidate selection exactly like a worker whose lease expired. After
+//! `open_ms` the breaker moves to *half-open*: probation probes are let
+//! through one at a time (rate-limited by `probe_interval_ms` rather than an
+//! in-flight count, because a hedged loser's outcome may never be reported
+//! back), and `close_after` consecutive probe successes close the breaker
+//! again.
+//!
+//! All transitions take an explicit `now` so tests can drive the state
+//! machine with fabricated clocks; the `_at`-less wrappers use
+//! [`Instant::now`].
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning for every breaker in a [`BreakerSet`].
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Rolling outcome window length.
+    pub window: usize,
+    /// Minimum outcomes in the window before the trip condition is checked.
+    pub min_samples: usize,
+    /// Fraction of the window that must have failed to trip. Values above
+    /// 1.0 make the breaker untrippable (see [`BreakerSet::disabled`]).
+    pub failure_ratio: f64,
+    /// How long an open breaker blocks all traffic before probation.
+    pub open_ms: u64,
+    /// Minimum spacing between half-open probes.
+    pub probe_interval_ms: u64,
+    /// Consecutive probe successes required to close again.
+    pub close_after: u32,
+    /// Latency above this many milliseconds counts as a failure even when
+    /// the call itself succeeded. `0` disables latency classification.
+    pub slow_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            min_samples: 8,
+            failure_ratio: 0.5,
+            open_ms: 2_000,
+            probe_interval_ms: 200,
+            close_after: 2,
+            slow_ms: 0,
+        }
+    }
+}
+
+/// The classic three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; outcomes fill the rolling window.
+    Closed,
+    /// All traffic blocked until `open_ms` elapses.
+    Open,
+    /// Probation: spaced probes, successes close / a failure re-opens.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name for health endpoints and metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Point-in-time view of one worker's breaker, for `/healthz`.
+#[derive(Debug, Clone)]
+pub struct BreakerStatus {
+    /// Worker id the breaker guards.
+    pub worker: String,
+    /// Current state name (`closed` / `open` / `half-open`).
+    pub state: String,
+    /// How many times this breaker has tripped since the front started.
+    pub opened: u64,
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    window: VecDeque<bool>, // true = failure
+    opened_at: Instant,
+    last_probe: Instant,
+    probe_successes: u32,
+    opened_total: u64,
+}
+
+impl BreakerInner {
+    fn new(now: Instant) -> Self {
+        BreakerInner {
+            state: BreakerState::Closed,
+            window: VecDeque::new(),
+            opened_at: now,
+            last_probe: now,
+            probe_successes: 0,
+            opened_total: 0,
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.opened_at = now;
+        self.probe_successes = 0;
+        self.window.clear();
+        self.opened_total += 1;
+        af_obs::counter("guard.breaker.opened", 1);
+    }
+}
+
+/// One circuit breaker per backend worker id.
+pub struct BreakerSet {
+    cfg: BreakerConfig,
+    inner: Mutex<HashMap<String, BreakerInner>>,
+}
+
+impl BreakerSet {
+    /// A breaker set with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        BreakerSet {
+            cfg,
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A breaker set that never trips (failure ratio above 1.0). Used by
+    /// benchmark passes that want hedging machinery without exclusion.
+    pub fn disabled() -> Self {
+        BreakerSet::new(BreakerConfig {
+            failure_ratio: 2.0,
+            ..BreakerConfig::default()
+        })
+    }
+
+    /// The configured tuning.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.cfg
+    }
+
+    /// Whether a call to `worker` may proceed right now. An open breaker
+    /// past its `open_ms` transitions to half-open here, and the permitted
+    /// call *is* the probe — only call this immediately before dialing.
+    pub fn allow(&self, worker: &str) -> bool {
+        self.allow_at(worker, Instant::now())
+    }
+
+    /// [`BreakerSet::allow`] with an explicit clock.
+    pub fn allow_at(&self, worker: &str, now: Instant) -> bool {
+        let mut map = self.inner.lock().expect("breaker lock");
+        let b = map
+            .entry(worker.to_string())
+            .or_insert_with(|| BreakerInner::new(now));
+        match b.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now.saturating_duration_since(b.opened_at)
+                    >= Duration::from_millis(self.cfg.open_ms)
+                {
+                    b.state = BreakerState::HalfOpen;
+                    b.probe_successes = 0;
+                    b.last_probe = now;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if now.saturating_duration_since(b.last_probe)
+                    >= Duration::from_millis(self.cfg.probe_interval_ms)
+                {
+                    b.last_probe = now;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a call outcome for `worker`. `ok` covers transport and HTTP
+    /// status; latency above `slow_ms` demotes an `ok` call to a failure.
+    pub fn record(&self, worker: &str, ok: bool, latency_ms: f64) {
+        self.record_at(worker, ok, latency_ms, Instant::now());
+    }
+
+    /// [`BreakerSet::record`] with an explicit clock.
+    pub fn record_at(&self, worker: &str, ok: bool, latency_ms: f64, now: Instant) {
+        let fail = !ok || (self.cfg.slow_ms > 0 && latency_ms > self.cfg.slow_ms as f64);
+        let mut map = self.inner.lock().expect("breaker lock");
+        let b = map
+            .entry(worker.to_string())
+            .or_insert_with(|| BreakerInner::new(now));
+        match b.state {
+            // Late outcomes from calls issued before the trip carry no new
+            // information; probation starts fresh.
+            BreakerState::Open => {}
+            BreakerState::HalfOpen => {
+                if fail {
+                    b.trip(now);
+                } else {
+                    b.probe_successes += 1;
+                    if b.probe_successes >= self.cfg.close_after.max(1) {
+                        b.state = BreakerState::Closed;
+                        b.window.clear();
+                        af_obs::counter("guard.breaker.closed", 1);
+                    }
+                }
+            }
+            BreakerState::Closed => {
+                if b.window.len() >= self.cfg.window.max(1) {
+                    b.window.pop_front();
+                }
+                b.window.push_back(fail);
+                let fails = b.window.iter().filter(|&&f| f).count();
+                if b.window.len() >= self.cfg.min_samples.max(1)
+                    && fails as f64 >= self.cfg.failure_ratio * b.window.len() as f64
+                {
+                    b.trip(now);
+                }
+            }
+        }
+    }
+
+    /// Current state of `worker`'s breaker (closed for unknown workers).
+    pub fn state(&self, worker: &str) -> BreakerState {
+        self.inner
+            .lock()
+            .expect("breaker lock")
+            .get(worker)
+            .map(|b| b.state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Point-in-time view of every tracked breaker, sorted by worker id.
+    pub fn snapshot(&self) -> Vec<BreakerStatus> {
+        let map = self.inner.lock().expect("breaker lock");
+        let mut out: Vec<BreakerStatus> = map
+            .iter()
+            .map(|(worker, b)| BreakerStatus {
+                worker: worker.clone(),
+                state: b.state.name().to_string(),
+                opened: b.opened_total,
+            })
+            .collect();
+        out.sort_by(|a, b| a.worker.cmp(&b.worker));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            failure_ratio: 0.5,
+            open_ms: 100,
+            probe_interval_ms: 20,
+            close_after: 2,
+            slow_ms: 50,
+        }
+    }
+
+    #[test]
+    fn trips_after_failure_ratio_and_blocks() {
+        let set = BreakerSet::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            assert!(set.allow_at("w", t0));
+            set.record_at("w", false, 1.0, t0);
+        }
+        assert_eq!(set.state("w"), BreakerState::Open);
+        assert!(!set.allow_at("w", t0));
+        assert_eq!(set.snapshot()[0].opened, 1);
+    }
+
+    #[test]
+    fn slow_calls_count_as_failures() {
+        let set = BreakerSet::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            set.record_at("w", true, 500.0, t0); // 200 OK but way past slow_ms
+        }
+        assert_eq!(set.state("w"), BreakerState::Open);
+    }
+
+    #[test]
+    fn half_open_probes_are_spaced_and_heal() {
+        let set = BreakerSet::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            set.record_at("w", false, 1.0, t0);
+        }
+        // Still open before open_ms.
+        assert!(!set.allow_at("w", t0 + Duration::from_millis(50)));
+        // First allow after open_ms is the probe; immediate retry is gated.
+        let t1 = t0 + Duration::from_millis(150);
+        assert!(set.allow_at("w", t1));
+        assert_eq!(set.state("w"), BreakerState::HalfOpen);
+        assert!(!set.allow_at("w", t1 + Duration::from_millis(5)));
+        assert!(set.allow_at("w", t1 + Duration::from_millis(25)));
+        // Two successes close it.
+        set.record_at("w", true, 1.0, t1);
+        assert_eq!(set.state("w"), BreakerState::HalfOpen);
+        set.record_at("w", true, 1.0, t1);
+        assert_eq!(set.state("w"), BreakerState::Closed);
+        assert!(set.allow_at("w", t1));
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let set = BreakerSet::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            set.record_at("w", false, 1.0, t0);
+        }
+        let t1 = t0 + Duration::from_millis(150);
+        assert!(set.allow_at("w", t1));
+        set.record_at("w", false, 1.0, t1);
+        assert_eq!(set.state("w"), BreakerState::Open);
+        assert!(!set.allow_at("w", t1 + Duration::from_millis(50)));
+        assert_eq!(set.snapshot()[0].opened, 2);
+    }
+
+    #[test]
+    fn disabled_never_trips() {
+        let set = BreakerSet::disabled();
+        let t0 = Instant::now();
+        for _ in 0..64 {
+            set.record_at("w", false, 10_000.0, t0);
+        }
+        assert_eq!(set.state("w"), BreakerState::Closed);
+        assert!(set.allow_at("w", t0));
+    }
+
+    #[test]
+    fn healthy_mixed_traffic_stays_closed() {
+        let set = BreakerSet::new(cfg());
+        let t0 = Instant::now();
+        for i in 0..100 {
+            set.record_at("w", i % 4 != 0, 1.0, t0); // 25% failures < 50%
+        }
+        assert_eq!(set.state("w"), BreakerState::Closed);
+    }
+}

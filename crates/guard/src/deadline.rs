@@ -1,0 +1,181 @@
+//! End-to-end request deadlines.
+//!
+//! A [`Deadline`] is an absolute [`Instant`] by which the *client* needs its
+//! answer. It enters the system as the `x-deadline-ms` header, in one of two
+//! forms:
+//!
+//! * **relative** — `x-deadline-ms: 250` means "250 ms from when you read
+//!   this". This is what the front forwards to workers: it re-encodes the
+//!   *remaining* budget at forwarding time, so the budget shrinks
+//!   monotonically across hops and clock skew between hosts never matters.
+//! * **absolute** — `x-deadline-ms: @1754700000000` pins the deadline to a
+//!   Unix epoch millisecond. Clients with synchronized clocks can use this
+//!   to make retries share one budget. Skew handling is conservative: a
+//!   timestamp at or before the receiver's current wall clock is treated as
+//!   already expired, and one further in the future than `max_ms` is clamped
+//!   down to `max_ms` (a skewed or hostile client must not pin work in a
+//!   queue for an hour).
+//!
+//! Parsing never panics on arbitrary header bytes — anything that is not a
+//! plain decimal (optionally `@`-prefixed) is a [`DeadlineError`], which the
+//! servers map to `400`.
+
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Request header carrying the deadline budget (relative ms, or `@unix_ms`).
+pub const DEADLINE_HEADER: &str = "x-deadline-ms";
+
+/// Response header the front stamps on a response that was won by a hedge.
+pub const HEDGED_HEADER: &str = "x-hedged";
+
+/// A malformed `x-deadline-ms` header value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlineError(pub String);
+
+impl std::fmt::Display for DeadlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad {DEADLINE_HEADER} value: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeadlineError {}
+
+/// Parses an `x-deadline-ms` header value into a *remaining budget* in
+/// milliseconds, given the receiver's current wall clock and a clamp.
+///
+/// Returns `Ok(0)` for a deadline that has already passed (the caller sheds
+/// with `408`), and `Err` for anything that does not parse (the caller
+/// rejects with `400`). `max_ms == 0` disables the clamp. This is the pure
+/// core of [`Deadline::parse`], split out so property tests can drive it
+/// with arbitrary bytes and fabricated clocks.
+pub fn parse_header_ms(raw: &str, now_unix_ms: u64, max_ms: u64) -> Result<u64, DeadlineError> {
+    let trimmed = raw.trim();
+    let (absolute, digits) = match trimmed.strip_prefix('@') {
+        Some(rest) => (true, rest),
+        None => (false, trimmed),
+    };
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(DeadlineError(trimmed.to_string()));
+    }
+    // Longer than u64::MAX's 20 digits can only mean a garbage or hostile
+    // value; saturating keeps the clamp path (not an error) responsible.
+    let value: u64 = digits.parse().unwrap_or(u64::MAX);
+    let remaining = if absolute {
+        value.saturating_sub(now_unix_ms)
+    } else {
+        value
+    };
+    Ok(if max_ms > 0 {
+        remaining.min(max_ms)
+    } else {
+        remaining
+    })
+}
+
+/// An absolute point in time by which the client needs its response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `ms` milliseconds from now.
+    pub fn after(ms: u64) -> Self {
+        Deadline {
+            at: Instant::now() + Duration::from_millis(ms),
+        }
+    }
+
+    /// Parses an `x-deadline-ms` header value against the current clocks,
+    /// clamping the budget to `max_ms` (0 disables the clamp).
+    pub fn parse(raw: &str, max_ms: u64) -> Result<Self, DeadlineError> {
+        let now_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        Ok(Deadline::after(parse_header_ms(raw, now_unix_ms, max_ms)?))
+    }
+
+    /// The absolute instant of the deadline.
+    pub fn at(&self) -> Instant {
+        self.at
+    }
+
+    /// Budget left before the deadline (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// Budget left in whole milliseconds (zero once expired).
+    pub fn remaining_ms(&self) -> u64 {
+        self.remaining().as_millis() as u64
+    }
+
+    /// Whether the deadline has already passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// The header value to forward downstream: the *remaining* budget in
+    /// relative form, so the hop-to-hop budget shrinks monotonically and
+    /// never depends on clock agreement between hosts.
+    pub fn header_value(&self) -> String {
+        self.remaining_ms().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_parse_clamps_and_passes_through() {
+        assert_eq!(parse_header_ms("250", 0, 600_000), Ok(250));
+        assert_eq!(parse_header_ms("  42  ", 0, 600_000), Ok(42));
+        assert_eq!(parse_header_ms("999999999", 0, 600_000), Ok(600_000));
+        assert_eq!(parse_header_ms("999999999", 0, 0), Ok(999_999_999));
+        assert_eq!(parse_header_ms("0", 0, 600_000), Ok(0));
+    }
+
+    #[test]
+    fn absolute_parse_handles_past_future_and_skew() {
+        let now = 1_754_700_000_000u64;
+        // 500 ms in the future.
+        assert_eq!(parse_header_ms("@1754700000500", now, 600_000), Ok(500));
+        // In the past or exactly now: already expired, not an error.
+        assert_eq!(parse_header_ms("@1754699999000", now, 600_000), Ok(0));
+        assert_eq!(parse_header_ms("@1754700000000", now, 600_000), Ok(0));
+        // Absurdly far future clamps to max.
+        assert_eq!(
+            parse_header_ms("@9999999999999999", now, 10_000),
+            Ok(10_000)
+        );
+    }
+
+    #[test]
+    fn malformed_values_error_instead_of_panicking() {
+        for bad in ["", "@", "-5", "12.5", "abc", "@12x", "1e3", "@ 12", "+7"] {
+            assert!(parse_header_ms(bad, 0, 600_000).is_err(), "{bad:?}");
+        }
+        // Overflow-length digit strings clamp rather than error.
+        assert_eq!(
+            parse_header_ms("99999999999999999999999999", 0, 1_000),
+            Ok(1_000)
+        );
+    }
+
+    #[test]
+    fn deadline_budget_shrinks_monotonically() {
+        let d = Deadline::after(5_000);
+        let first = d.remaining_ms();
+        assert!(first <= 5_000);
+        std::thread::sleep(Duration::from_millis(5));
+        let second = d.remaining_ms();
+        assert!(second <= first, "{second} > {first}");
+        assert!(!d.expired());
+        let gone = Deadline::after(0);
+        assert!(gone.expired());
+        assert_eq!(gone.remaining_ms(), 0);
+        assert_eq!(gone.header_value(), "0");
+    }
+}

@@ -1,0 +1,266 @@
+//! Hedged requests with a token-bucket budget.
+//!
+//! Hedging bounds tail latency by racing a duplicate of an idempotent
+//! request against the primary once the primary has been in flight longer
+//! than the typical response takes. The [`Hedger`] owns the two policy
+//! questions:
+//!
+//! * **When to hedge** — [`Hedger::delay`] returns the time to wait before
+//!   issuing the duplicate: an explicit configured delay, or the p95 of a
+//!   rolling window of observed latencies clamped to
+//!   `[min_delay_ms, max_delay_ms]`, times a deterministic ±10% jitter
+//!   (SplitMix64 over a call counter, so a given seed always produces the
+//!   same jitter sequence).
+//! * **Whether hedging is affordable** — every observed response earns
+//!   `budget_ratio` tokens (capped at `budget_burst`) and each hedge spends
+//!   one, so steady-state hedges can never exceed `budget_ratio` of
+//!   traffic. A persistently slow backend therefore cannot be papered over
+//!   by hedging alone — that is the circuit breaker's job; the budget keeps
+//!   hedging a tail patch, not a load doubler.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Rolling latency window length for the p95-derived delay.
+const WINDOW: usize = 256;
+
+/// Tuning for a [`Hedger`].
+#[derive(Debug, Clone)]
+pub struct HedgeConfig {
+    /// Master switch; a disabled hedger never grants a hedge.
+    pub enabled: bool,
+    /// Explicit hedge delay in ms; `0` derives it from the observed p95.
+    pub delay_ms: u64,
+    /// Lower clamp for the derived delay.
+    pub min_delay_ms: u64,
+    /// Upper clamp for the derived delay (also used while the latency
+    /// window is still empty).
+    pub max_delay_ms: u64,
+    /// Tokens earned per observed response; the steady-state cap on the
+    /// fraction of requests that may hedge (~0.05 = 5% extra load).
+    pub budget_ratio: f64,
+    /// Token cap, allowing a short burst of hedges after an idle period.
+    pub budget_burst: f64,
+    /// Seed for the deterministic jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            enabled: true,
+            delay_ms: 0,
+            min_delay_ms: 2,
+            max_delay_ms: 50,
+            budget_ratio: 0.05,
+            budget_burst: 4.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Hedge accounting for reports and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HedgeStats {
+    /// Hedges actually issued (budget granted).
+    pub issued: u64,
+    /// Hedges whose duplicate produced the winning response.
+    pub wins: u64,
+    /// Hedge opportunities suppressed by an empty token bucket.
+    pub suppressed: u64,
+}
+
+struct HedgeInner {
+    window: VecDeque<f64>,
+    tokens: f64,
+    jitter_calls: u64,
+    stats: HedgeStats,
+}
+
+/// Decides when a request may be hedged and how long to wait first.
+pub struct Hedger {
+    cfg: HedgeConfig,
+    inner: Mutex<HedgeInner>,
+}
+
+impl Hedger {
+    /// A hedger with the given tuning. The bucket starts at its burst cap
+    /// so cold starts can hedge immediately.
+    pub fn new(cfg: HedgeConfig) -> Self {
+        let tokens = cfg.budget_burst.max(0.0);
+        Hedger {
+            cfg,
+            inner: Mutex::new(HedgeInner {
+                window: VecDeque::new(),
+                tokens,
+                jitter_calls: 0,
+                stats: HedgeStats::default(),
+            }),
+        }
+    }
+
+    /// A hedger that never fires, for the unhedged comparison pass.
+    pub fn off() -> Self {
+        Hedger::new(HedgeConfig {
+            enabled: false,
+            ..HedgeConfig::default()
+        })
+    }
+
+    /// Whether hedging is switched on at all.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// The configured tuning.
+    pub fn config(&self) -> &HedgeConfig {
+        &self.cfg
+    }
+
+    /// Feeds one observed end-to-end latency into the p95 window and earns
+    /// `budget_ratio` tokens.
+    pub fn observe(&self, latency_ms: f64) {
+        let mut inner = self.inner.lock().expect("hedge lock");
+        if inner.window.len() >= WINDOW {
+            inner.window.pop_front();
+        }
+        inner.window.push_back(latency_ms.max(0.0));
+        inner.tokens = (inner.tokens + self.cfg.budget_ratio).min(self.cfg.budget_burst);
+    }
+
+    /// How long the primary may be in flight before a hedge fires. Each
+    /// call advances the deterministic jitter sequence.
+    pub fn delay(&self) -> Duration {
+        let mut inner = self.inner.lock().expect("hedge lock");
+        let base = if self.cfg.delay_ms > 0 {
+            self.cfg.delay_ms as f64
+        } else if inner.window.is_empty() {
+            self.cfg.max_delay_ms as f64
+        } else {
+            let mut sorted: Vec<f64> = inner.window.iter().copied().collect();
+            sorted.sort_by(f64::total_cmp);
+            let rank = ((0.95 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1].clamp(self.cfg.min_delay_ms as f64, self.cfg.max_delay_ms as f64)
+        };
+        let draw = afrt::split_seed(self.cfg.seed, inner.jitter_calls);
+        inner.jitter_calls += 1;
+        let unit = (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        Duration::from_secs_f64(base * (0.9 + 0.2 * unit) / 1e3)
+    }
+
+    /// Tries to spend one hedge token. `true` means the caller may issue
+    /// the duplicate request now.
+    pub fn try_hedge(&self) -> bool {
+        if !self.cfg.enabled {
+            return false;
+        }
+        let mut inner = self.inner.lock().expect("hedge lock");
+        if inner.tokens >= 1.0 {
+            inner.tokens -= 1.0;
+            inner.stats.issued += 1;
+            af_obs::counter("guard.hedge.issued", 1);
+            true
+        } else {
+            inner.stats.suppressed += 1;
+            af_obs::counter("guard.hedge.suppressed", 1);
+            false
+        }
+    }
+
+    /// Records that an issued hedge's duplicate won the race.
+    pub fn record_win(&self) {
+        let mut inner = self.inner.lock().expect("hedge lock");
+        inner.stats.wins += 1;
+        af_obs::counter("guard.hedge.wins", 1);
+    }
+
+    /// Current hedge accounting.
+    pub fn stats(&self) -> HedgeStats {
+        self.inner.lock().expect("hedge lock").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_caps_hedge_fraction() {
+        let hedger = Hedger::new(HedgeConfig {
+            budget_ratio: 0.05,
+            budget_burst: 4.0,
+            ..HedgeConfig::default()
+        });
+        // Drain the initial burst.
+        let mut granted = 0u64;
+        while hedger.try_hedge() {
+            granted += 1;
+        }
+        assert_eq!(granted, 4);
+        // Steady state: 1000 observations earn at most 50 hedges.
+        let mut hedges = 0u64;
+        for _ in 0..1000 {
+            hedger.observe(1.0);
+            if hedger.try_hedge() {
+                hedges += 1;
+            }
+        }
+        assert!(hedges <= 50, "{hedges} hedges from 1000 observations");
+        assert!(hedges >= 40, "{hedges} hedges from 1000 observations");
+        let stats = hedger.stats();
+        assert_eq!(stats.issued, granted + hedges);
+        assert!(stats.suppressed > 0);
+    }
+
+    #[test]
+    fn disabled_hedger_never_grants() {
+        let hedger = Hedger::off();
+        hedger.observe(1.0);
+        assert!(!hedger.try_hedge());
+        assert_eq!(hedger.stats().issued, 0);
+        // Disabled grants are not counted as suppression either.
+        assert_eq!(hedger.stats().suppressed, 0);
+    }
+
+    #[test]
+    fn delay_tracks_p95_with_clamps() {
+        let hedger = Hedger::new(HedgeConfig {
+            min_delay_ms: 2,
+            max_delay_ms: 50,
+            ..HedgeConfig::default()
+        });
+        // Empty window: max clamp (±10% jitter).
+        let d = hedger.delay().as_secs_f64() * 1e3;
+        assert!((45.0..=55.0).contains(&d), "{d}");
+        for _ in 0..100 {
+            hedger.observe(10.0);
+        }
+        let d = hedger.delay().as_secs_f64() * 1e3;
+        assert!((9.0..=11.0).contains(&d), "{d}");
+        // Tiny latencies clamp up to min_delay_ms.
+        for _ in 0..WINDOW {
+            hedger.observe(0.01);
+        }
+        let d = hedger.delay().as_secs_f64() * 1e3;
+        assert!((1.8..=2.2).contains(&d), "{d}");
+    }
+
+    #[test]
+    fn explicit_delay_and_deterministic_jitter() {
+        let seq = |seed: u64| -> Vec<u64> {
+            let hedger = Hedger::new(HedgeConfig {
+                delay_ms: 20,
+                seed,
+                ..HedgeConfig::default()
+            });
+            (0..8).map(|_| hedger.delay().as_micros() as u64).collect()
+        };
+        let a = seq(7);
+        assert_eq!(a, seq(7), "same seed must replay the jitter sequence");
+        assert_ne!(a, seq(8), "different seeds should jitter differently");
+        for &us in &a {
+            assert!((18_000..=22_000).contains(&us), "{us}us outside ±10%");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the guard building blocks: deadline header
+//! parsing over arbitrary bytes, remaining-budget monotonicity across hops,
+//! breaker state-machine sanity, and the hedge budget cap.
+
+use std::time::{Duration, Instant};
+
+use af_guard::{
+    parse_header_ms, BreakerConfig, BreakerSet, BreakerState, Deadline, HedgeConfig, Hedger,
+};
+use proptest::prelude::*;
+
+/// Arbitrary (often non-UTF-8) header bytes, decoded lossily the way a
+/// server would before reaching the parser.
+fn arb_header() -> impl Strategy<Value = String> {
+    collection::vec(0u8..=255, 0..24).prop_map(|v| String::from_utf8_lossy(&v).into_owned())
+}
+
+fn arb_bool() -> impl Strategy<Value = bool> {
+    (0u8..2).prop_map(|b| b == 1)
+}
+
+proptest! {
+    /// Arbitrary header bytes never panic: they parse to a budget or an
+    /// error, and a parsed budget always respects the clamp.
+    #[test]
+    fn header_parse_total_and_clamped(
+        raw in arb_header(),
+        now in 0u64..=u64::MAX / 2,
+        max in 0u64..10_000_000,
+    ) {
+        if let Ok(ms) = parse_header_ms(&raw, now, max) {
+            if max > 0 {
+                prop_assert!(ms <= max, "{ms} > clamp {max}");
+            }
+        }
+    }
+
+    /// Well-formed relative values round-trip (modulo the clamp), and the
+    /// `@absolute` form agrees with relative once the receiver clock is
+    /// subtracted — including skewed clients whose timestamp is in the past.
+    #[test]
+    fn relative_and_absolute_forms_agree(
+        budget in 0u64..100_000_000,
+        now in 1u64..=u64::MAX / 4,
+        max in 1u64..10_000_000,
+    ) {
+        let rel = parse_header_ms(&budget.to_string(), now, max).unwrap();
+        prop_assert_eq!(rel, budget.min(max));
+        let abs = parse_header_ms(&format!("@{}", now + budget), now, max).unwrap();
+        prop_assert_eq!(abs, budget.min(max));
+        // Clock skew: an absolute deadline before `now` is expired, never
+        // negative, never an error.
+        let skewed = parse_header_ms(&format!("@{}", now.saturating_sub(budget + 1)), now, max);
+        prop_assert_eq!(skewed, Ok(0));
+    }
+
+    /// Re-encoding a deadline as the forwarded header (remaining budget in
+    /// relative form) can only shrink it, hop after hop — the property the
+    /// front relies on when it forwards budgets to workers.
+    #[test]
+    fn forwarded_budget_is_monotone(budget in 0u64..60_000, hops in 1usize..6) {
+        let mut deadline = Deadline::after(budget);
+        let mut last = u64::MAX;
+        for _ in 0..hops {
+            let forwarded = deadline.header_value();
+            let reparsed = parse_header_ms(&forwarded, 0, 0).unwrap();
+            prop_assert!(reparsed <= last, "{reparsed} > {last} across a hop");
+            prop_assert!(reparsed <= budget);
+            last = reparsed;
+            deadline = Deadline::after(reparsed);
+        }
+    }
+
+    /// Whatever outcome sequence a breaker sees, its window never exceeds
+    /// the configured length, `allow` is always true while closed, always
+    /// false while freshly open, and a trip requires at least `min_samples`
+    /// recorded outcomes.
+    #[test]
+    fn breaker_state_machine_sane(
+        outcomes in collection::vec(arb_bool(), 1..200),
+        window in 2usize..32,
+        min_samples in 1usize..16,
+    ) {
+        let set = BreakerSet::new(BreakerConfig {
+            window,
+            min_samples,
+            failure_ratio: 0.5,
+            open_ms: 60_000, // never reaches half-open inside this test
+            ..BreakerConfig::default()
+        });
+        let t0 = Instant::now();
+        let mut recorded = 0usize;
+        for &ok in &outcomes {
+            match set.state("w") {
+                BreakerState::Closed => {
+                    prop_assert!(set.allow_at("w", t0));
+                    set.record_at("w", ok, 1.0, t0);
+                    recorded += 1;
+                    if set.state("w") == BreakerState::Open {
+                        prop_assert!(recorded >= min_samples.max(1));
+                    }
+                }
+                BreakerState::Open => {
+                    prop_assert!(!set.allow_at("w", t0 + Duration::from_millis(1)));
+                }
+                BreakerState::HalfOpen => prop_assert!(false, "open_ms never elapsed"),
+            }
+        }
+    }
+
+    /// Over any observation/hedge interleaving, issued hedges never exceed
+    /// the burst cap plus the earned budget.
+    #[test]
+    fn hedge_budget_never_exceeded(
+        tries in collection::vec(arb_bool(), 1..400),
+        ratio in 0.01f64..0.5,
+        burst in 1.0f64..8.0,
+    ) {
+        let hedger = Hedger::new(HedgeConfig {
+            budget_ratio: ratio,
+            budget_burst: burst,
+            ..HedgeConfig::default()
+        });
+        let mut observed = 0u64;
+        for &observe_first in &tries {
+            if observe_first {
+                hedger.observe(1.0);
+                observed += 1;
+            }
+            hedger.try_hedge();
+        }
+        let cap = burst + ratio * observed as f64;
+        prop_assert!(
+            hedger.stats().issued as f64 <= cap + 1e-9,
+            "{} issued > cap {cap}",
+            hedger.stats().issued
+        );
+    }
+}

@@ -17,16 +17,28 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use af_fault::Supervisor;
+use af_guard::{Admission, AdmissionConfig, Deadline};
 use afrt::{BoundedQueue, PushError};
 
 use crate::config::ServeConfig;
 use crate::state::ModelSlot;
 
-/// One queued prediction: the guidance to evaluate and where to send the
-/// answer.
+/// One queued prediction: the guidance to evaluate, the deadline the answer
+/// is still useful until, and where to send it.
 struct PredictJob {
     guidance: Vec<f64>,
-    reply: mpsc::Sender<Result<Prediction, String>>,
+    deadline: Deadline,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Prediction, Reject>>,
+}
+
+/// Why the collector refused a queued job without running it.
+enum Reject {
+    /// Malformed request (wrong guidance length) — `400`.
+    Bad(String),
+    /// The job's deadline expired while it sat in the queue — `408`,
+    /// shed before any compute.
+    Expired,
 }
 
 /// A successful prediction.
@@ -55,6 +67,7 @@ pub enum SubmitError {
 pub struct Batcher {
     queue: Arc<BoundedQueue<PredictJob>>,
     supervisor: Option<Supervisor>,
+    admission: Arc<Admission>,
 }
 
 /// The collector loop: owns a [`analogfold::PredictSession`] and drains the
@@ -69,6 +82,8 @@ fn collector_loop(
     q: &BoundedQueue<PredictJob>,
     batch_max: usize,
     window: Duration,
+    admission: &Admission,
+    fault_key: u64,
 ) {
     let mut epoch = slot.epoch();
     let mut bundle = slot.get();
@@ -99,10 +114,28 @@ fn collector_loop(
             }
         }
 
-        // Validate lengths first so one malformed request cannot
-        // sink its batch-mates.
-        let mut valid = Vec::with_capacity(jobs.len());
+        // The oldest job's queue sojourn is the CoDel signal: sustained
+        // sojourn above target flips the admission gate to early 429s.
+        let sojourn_ms = jobs[0].enqueued.elapsed().as_secs_f64() * 1e3;
+        af_obs::hist("serve.predict.sojourn_ms", sojourn_ms);
+        admission.observe(sojourn_ms);
+
+        // Shed work that expired while queued *before* validation and
+        // compute: an answer past its deadline has no reader.
+        let mut live = Vec::with_capacity(jobs.len());
         for job in jobs {
+            if job.deadline.expired() {
+                af_guard::shed("batch");
+                let _ = job.reply.send(Err(Reject::Expired));
+            } else {
+                live.push(job);
+            }
+        }
+
+        // Validate lengths next so one malformed request cannot
+        // sink its batch-mates.
+        let mut valid = Vec::with_capacity(live.len());
+        for job in live {
             if job.guidance.len() == expected {
                 valid.push(job);
             } else {
@@ -110,16 +143,19 @@ fn collector_loop(
                     "guidance must have {expected} values, got {}",
                     job.guidance.len()
                 );
-                let _ = job.reply.send(Err(msg));
+                let _ = job.reply.send(Err(Reject::Bad(msg)));
             }
         }
         if valid.is_empty() {
             continue;
         }
 
-        // Chaos hook: a collector crash with a batch in hand (the in-hand
-        // replies drop; see the function docs).
+        // Chaos hooks: a collector crash with a batch in hand (the in-hand
+        // replies drop; see the function docs), and a keyed slow-batch site
+        // — armed in `delay` mode, the per-server `fault_key` decides
+        // deterministically *which* fleet worker is the slow one.
         af_fault::fail!("serve.batch");
+        af_fault::fail!("serve.batch.delay", key = fault_key);
 
         let batch: Vec<Vec<f64>> = valid.iter().map(|j| j.guidance.clone()).collect();
         let size = batch.len() as u64;
@@ -142,19 +178,33 @@ impl Batcher {
             Arc::new(BoundedQueue::new("serve.predict", cfg.predict_queue));
         let batch_max = cfg.batch_max.max(1);
         let window = Duration::from_micros(cfg.batch_window_us);
+        let admission = Arc::new(Admission::new(AdmissionConfig {
+            target_ms: cfg.admission_target_ms,
+            interval_ms: cfg.admission_interval_ms,
+        }));
+        let fault_key = cfg.fault_key;
         let slot = Arc::clone(slot);
         let q = Arc::clone(&queue);
+        let adm = Arc::clone(&admission);
         let supervisor = Supervisor::spawn(
             "serve-batcher",
             cfg.supervisor_backoff(),
             cfg.supervisor_grace(),
-            move || collector_loop(&slot, &q, batch_max, window),
+            move || collector_loop(&slot, &q, batch_max, window, &adm, fault_key),
         )
         .expect("spawn serve-batcher thread");
         Self {
             queue,
             supervisor: Some(supervisor),
+            admission,
         }
+    }
+
+    /// The adaptive admission gate fed by this collector's queue sojourn;
+    /// the server checks it before accepting new predict work.
+    #[must_use]
+    pub fn admission(&self) -> &Admission {
+        &self.admission
     }
 
     /// Whether the collector is restarting after a panic (or inside its
@@ -173,24 +223,32 @@ impl Batcher {
     }
 
     /// Submits one guidance vector and blocks until the batched answer
-    /// arrives or `deadline` elapses.
+    /// arrives or `deadline` expires. An already-expired deadline is shed
+    /// here (`guard.deadline_expired.predict`) without enqueueing anything.
     pub fn predict(
         &self,
         guidance: Vec<f64>,
-        deadline: Duration,
+        deadline: Deadline,
     ) -> Result<Prediction, SubmitError> {
+        if deadline.expired() {
+            af_guard::shed("predict");
+            return Err(SubmitError::DeadlineExceeded);
+        }
         let (tx, rx) = mpsc::channel();
         match self.queue.try_push(PredictJob {
             guidance,
+            deadline,
+            enqueued: Instant::now(),
             reply: tx,
         }) {
             Ok(()) => {}
             Err(PushError::Full) => return Err(SubmitError::Overloaded),
             Err(PushError::Closed) => return Err(SubmitError::ShuttingDown),
         }
-        match rx.recv_timeout(deadline) {
+        match rx.recv_timeout(deadline.remaining()) {
             Ok(Ok(prediction)) => Ok(prediction),
-            Ok(Err(msg)) => Err(SubmitError::Rejected(msg)),
+            Ok(Err(Reject::Bad(msg))) => Err(SubmitError::Rejected(msg)),
+            Ok(Err(Reject::Expired)) => Err(SubmitError::DeadlineExceeded),
             Err(mpsc::RecvTimeoutError::Timeout) => Err(SubmitError::DeadlineExceeded),
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(SubmitError::ShuttingDown),
         }
@@ -247,7 +305,7 @@ mod tests {
         let expected = slot.get().session().predict(&guidance);
 
         let mut batcher = Batcher::start(&slot, &ServeConfig::default());
-        let got = batcher.predict(guidance, Duration::from_secs(30)).unwrap();
+        let got = batcher.predict(guidance, Deadline::after(30_000)).unwrap();
         assert_eq!(got.metrics, expected);
         assert!(got.batch_size >= 1);
         batcher.shutdown();
@@ -265,11 +323,11 @@ mod tests {
 
         let mut batcher = Batcher::start(&slot, &ServeConfig::default());
         let before = batcher
-            .predict(guidance.clone(), Duration::from_secs(30))
+            .predict(guidance.clone(), Deadline::after(30_000))
             .unwrap();
         assert_eq!(before.metrics, expected_old);
         slot.swap(next);
-        let after = batcher.predict(guidance, Duration::from_secs(30)).unwrap();
+        let after = batcher.predict(guidance, Deadline::after(30_000)).unwrap();
         assert_eq!(after.metrics, expected_new);
         batcher.shutdown();
     }
@@ -278,7 +336,7 @@ mod tests {
     fn wrong_length_is_rejected_not_panicked() {
         let slot = slot();
         let mut batcher = Batcher::start(&slot, &ServeConfig::default());
-        match batcher.predict(vec![0.0; 3], Duration::from_secs(30)) {
+        match batcher.predict(vec![0.0; 3], Deadline::after(30_000)) {
             Err(SubmitError::Rejected(msg)) => assert!(msg.contains("guidance")),
             other => panic!("expected Rejected, got {other:?}"),
         }
@@ -292,9 +350,25 @@ mod tests {
         batcher.shutdown();
         assert_eq!(
             batcher
-                .predict(vec![0.0; slot.get().guidance_len()], Duration::from_secs(1))
+                .predict(vec![0.0; slot.get().guidance_len()], Deadline::after(1_000))
                 .unwrap_err(),
             SubmitError::ShuttingDown
         );
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_enqueue() {
+        let slot = slot();
+        let len = slot.get().guidance_len();
+        let mut batcher = Batcher::start(&slot, &ServeConfig::default());
+        assert_eq!(
+            batcher
+                .predict(vec![0.0; len], Deadline::after(0))
+                .unwrap_err(),
+            SubmitError::DeadlineExceeded
+        );
+        // Nothing was enqueued for the collector to run.
+        assert_eq!(batcher.queue.len(), 0);
+        batcher.shutdown();
     }
 }

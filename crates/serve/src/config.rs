@@ -28,8 +28,26 @@ pub struct ServeConfig {
     /// Threads executing route jobs.
     pub job_workers: usize,
     /// Per-request deadline for queued waits, in milliseconds; exceeding it
-    /// answers `408`.
+    /// answers `408`. This is the *default* budget — a client `x-deadline-ms`
+    /// header overrides it per request.
     pub request_deadline_ms: u64,
+    /// Upper clamp on client-supplied `x-deadline-ms` budgets, in
+    /// milliseconds (`0` disables the clamp). A skewed or hostile client
+    /// must not pin work in a queue indefinitely.
+    pub deadline_max_ms: u64,
+    /// CoDel-style admission target: once predict-queue sojourn stays above
+    /// this many milliseconds for `admission_interval_ms`, new predict work
+    /// is shed with early `429`s. `0` disables adaptive admission.
+    pub admission_target_ms: u64,
+    /// How long sojourn must stay above `admission_target_ms` before
+    /// shedding starts, in milliseconds.
+    pub admission_interval_ms: u64,
+    /// Stable identity this server passes as the key of keyed chaos
+    /// failpoints (e.g. `serve.batch.delay`). With a per-worker key, a
+    /// seeded probability deterministically selects *which* fleet worker a
+    /// fault fires on — every batch on the selected worker, never on the
+    /// others.
+    pub fault_key: u64,
     /// Keep-alive idle timeout, in milliseconds: a connection with no new
     /// request within this window is closed.
     pub keepalive_idle_ms: u64,
@@ -80,6 +98,10 @@ impl Default for ServeConfig {
             job_queue: 16,
             job_workers: 1,
             request_deadline_ms: 30_000,
+            deadline_max_ms: 600_000,
+            admission_target_ms: 0,
+            admission_interval_ms: 100,
+            fault_key: 0,
             keepalive_idle_ms: 5_000,
             retry_after_s: 1,
             job_dir: None,

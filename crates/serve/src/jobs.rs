@@ -9,6 +9,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use af_fault::Supervisor;
 use af_sim::Performance;
@@ -232,7 +233,7 @@ impl JobStore {
 /// `catch_unwind` in [`run_job`], so this is belt-and-suspenders) restarts
 /// the worker after backoff instead of silently shrinking the pool.
 pub struct JobRunner {
-    queue: Arc<BoundedQueue<(u64, JobParams)>>,
+    queue: Arc<BoundedQueue<(u64, JobParams, Instant)>>,
     workers: Vec<Supervisor>,
     store: Arc<JobStore>,
 }
@@ -246,7 +247,8 @@ impl JobRunner {
         canary: &Arc<CanaryCtl>,
         cfg: &ServeConfig,
     ) -> Self {
-        let queue = Arc::new(BoundedQueue::new("serve.jobs", cfg.job_queue));
+        let queue: Arc<BoundedQueue<(u64, JobParams, Instant)>> =
+            Arc::new(BoundedQueue::new("serve.jobs", cfg.job_queue));
         let canary_fraction = cfg.canary_fraction;
         let workers = (0..cfg.job_workers.max(1))
             .map(|i| {
@@ -259,7 +261,11 @@ impl JobRunner {
                     cfg.supervisor_backoff(),
                     cfg.supervisor_grace(),
                     move || {
-                        while let Some((id, params)) = q.pop() {
+                        while let Some((id, params, enqueued)) = q.pop() {
+                            af_obs::hist(
+                                "serve.jobs.sojourn_ms",
+                                enqueued.elapsed().as_secs_f64() * 1e3,
+                            );
                             // Snapshot the resident model once per job: the
                             // whole route runs on one model version even if
                             // a promotion lands mid-route.
@@ -306,7 +312,7 @@ impl JobRunner {
             Ok(r) => r,
             Err(e) => return Ok(Err(e)),
         };
-        match self.queue.try_push((record.id, params)) {
+        match self.queue.try_push((record.id, params, Instant::now())) {
             Ok(()) => Ok(Ok(record)),
             Err(e) => {
                 let mut failed = record;

@@ -23,6 +23,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use af_cache::{Cache, CacheBuilder, ContentHash, ContentHasher, FnWeigher};
+use af_guard::{Deadline, DEADLINE_HEADER};
 use af_model::ModelRegistry;
 use af_sim::Performance;
 use afrt::{BoundedQueue, PushError};
@@ -382,12 +383,28 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
 }
 
 fn dispatch(shared: &Shared, req: &Request) -> Response {
+    // Deadline gate for every route: a malformed budget is a client error,
+    // an expired one is shed here — before the response cache, the batch
+    // queue, or the job store see the request.
+    let deadline = match req.header(DEADLINE_HEADER) {
+        Some(raw) => match Deadline::parse(raw, shared.cfg.deadline_max_ms) {
+            Ok(d) => Some(d),
+            Err(e) => return Response::error(400, &e.to_string()),
+        },
+        None => None,
+    };
+    if deadline.is_some_and(|d| d.expired()) {
+        af_guard::shed("conn");
+        return Response::error(408, "request deadline already expired");
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => health(shared),
         ("GET", "/metrics") => Response::text(200, &render_metrics()),
-        ("POST", "/v1/predict") => with_response_cache(shared, req, || predict(shared, req)),
+        ("POST", "/v1/predict") => {
+            with_response_cache(shared, req, || predict(shared, req, deadline))
+        }
         ("POST", "/v1/guide") => with_response_cache(shared, req, || guide(shared, req)),
-        ("POST", "/v1/route") => route_job(shared, req),
+        ("POST", "/v1/route") => route_job(shared, req, deadline),
         ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path),
         ("GET", "/v1/models") => models_list(shared),
         ("POST", "/v1/models/promote") => models_promote(shared, req),
@@ -485,12 +502,20 @@ fn perf_from_metrics(m: [f64; 5]) -> Performance {
     }
 }
 
-fn predict(shared: &Shared, req: &Request) -> Response {
+fn predict(shared: &Shared, req: &Request, deadline: Option<Deadline>) -> Response {
+    // Adaptive admission: sustained predict-queue sojourn above target
+    // converts new (uncached) work into early 429s instead of queueing
+    // everyone into latency collapse. Cache hits never reach this point.
+    if shared.batcher.admission().should_shed() {
+        return Response::error(429, "queue delay above admission target")
+            .with_header("retry-after", shared.cfg.retry_after_s.to_string());
+    }
     let body: PredictRequest = match parse_body(&req.body) {
         Ok(b) => b,
         Err(msg) => return Response::error(400, &msg),
     };
-    let deadline = Duration::from_millis(shared.cfg.request_deadline_ms.max(1));
+    let deadline =
+        deadline.unwrap_or_else(|| Deadline::after(shared.cfg.request_deadline_ms.max(1)));
     match shared.batcher.predict(body.guidance, deadline) {
         Ok(prediction) => json_or_500(
             200,
@@ -534,11 +559,17 @@ fn guide(shared: &Shared, req: &Request) -> Response {
     }
 }
 
-fn route_job(shared: &Shared, req: &Request) -> Response {
+fn route_job(shared: &Shared, req: &Request, deadline: Option<Deadline>) -> Response {
     let body: RouteRequest = match parse_body(&req.body) {
         Ok(b) => b,
         Err(msg) => return Response::error(400, &msg),
     };
+    // Re-checked at the last moment before the job store: a route job past
+    // its submission deadline must never be created or enqueued.
+    if deadline.is_some_and(|d| d.expired()) {
+        af_guard::shed("job");
+        return Response::error(408, "request deadline already expired");
+    }
     let params = JobParams::from_request(&body);
     let runner = shared
         .runner

@@ -76,6 +76,8 @@ const USAGE: &str = "usage:
                           [--threads N] [--jobs DIR] [--cache-mb N] [--no-cache]
                           [--canary-fraction X] [--train] [--train-interval-ms N]
                           [--train-min-samples N] [--train-epochs N] [--obs-jsonl FILE]
+                          [--deadline-max-ms N] [--admission-target-ms N]
+                          [--admission-interval-ms N] [--fault-key N]
   analogfold-cli models   <list|show HASH|promote [HASH] [--force]|rollback|gc [--keep N]>
                           --registry DIR
   analogfold-cli fleet-coord  [--addr HOST:PORT] [--lease-ms N]
@@ -83,6 +85,8 @@ const USAGE: &str = "usage:
                           [--registry DIR] [--addr HOST:PORT] [--id NAME] [--threads N]
                           [--cache-mb N]
   analogfold-cli fleet-front  --coordinator HOST:PORT [--addr HOST:PORT] [--refresh-ms N]
+                          [--deadline-max-ms N] [--no-hedge] [--hedge-delay-ms N]
+                          [--no-breaker] [--breaker-open-ms N] [--breaker-slow-ms N]
   analogfold-cli fleet-gen    <OTA1..OTA4> <A..D> --checkpoint DIR [--samples N]
                           [--shard-size N] [--seed N] [--workers N] [--out FILE]
                           [--addr HOST:PORT] [--lease-ms N] [--threads N] [--cache-mb N]
@@ -482,6 +486,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cache_mb: cache_mb_flag(args, dflt.cache_mb),
         registry: registry_dir.clone(),
         canary_fraction: flag_f64(args, "--canary-fraction", dflt.canary_fraction),
+        deadline_max_ms: flag_num(args, "--deadline-max-ms", dflt.deadline_max_ms as usize) as u64,
+        admission_target_ms: flag_num(
+            args,
+            "--admission-target-ms",
+            dflt.admission_target_ms as usize,
+        ) as u64,
+        admission_interval_ms: flag_num(
+            args,
+            "--admission-interval-ms",
+            dflt.admission_interval_ms as usize,
+        ) as u64,
+        fault_key: flag_num(args, "--fault-key", dflt.fault_key as usize) as u64,
         ..dflt
     };
     let job_dir = cfg.resolved_job_dir();
@@ -762,17 +778,33 @@ fn cmd_fleet_worker(args: &[String]) -> Result<(), String> {
 
 fn cmd_fleet_front(args: &[String]) -> Result<(), String> {
     use analogfold_suite::fleet::{Front, FrontConfig};
+    use analogfold_suite::guard::{BreakerConfig, HedgeConfig};
 
     let coordinator = flag_value(args, "--coordinator")
         .ok_or("missing --coordinator HOST:PORT")?
         .to_string();
     let guard = obs_on(args)?;
+    let dflt = FrontConfig::default();
+    let hedge_dflt = HedgeConfig::default();
+    let breaker_dflt = BreakerConfig::default();
     let handle = Front::bind(FrontConfig {
         addr: flag_value(args, "--addr")
             .unwrap_or("127.0.0.1:8401")
             .to_string(),
         coordinator: coordinator.clone(),
         refresh_ms: flag_num(args, "--refresh-ms", 500) as u64,
+        deadline_max_ms: flag_num(args, "--deadline-max-ms", dflt.deadline_max_ms as usize) as u64,
+        hedge: HedgeConfig {
+            enabled: !has_flag(args, "--no-hedge"),
+            delay_ms: flag_num(args, "--hedge-delay-ms", hedge_dflt.delay_ms as usize) as u64,
+            ..hedge_dflt
+        },
+        breaker: BreakerConfig {
+            open_ms: flag_num(args, "--breaker-open-ms", breaker_dflt.open_ms as usize) as u64,
+            slow_ms: flag_num(args, "--breaker-slow-ms", breaker_dflt.slow_ms as usize) as u64,
+            ..breaker_dflt
+        },
+        breaker_enabled: !has_flag(args, "--no-breaker"),
     })
     .map_err(|e| e.to_string())?;
     println!(

@@ -20,6 +20,9 @@
 //! * [`fleet`] — coordinator/worker multi-process serving and distributed
 //!   dataset generation (registration, heartbeats, rendezvous-hashed
 //!   fronting, leased shard generation).
+//! * [`guard`] — tail tolerance for the serve/fleet tier: end-to-end
+//!   deadline propagation, per-worker circuit breakers, hedged requests,
+//!   and CoDel-style adaptive admission.
 //! * [`model`] — versioned model registry (content-hash ids, lineage,
 //!   promote/rollback/gc), canary scoring, and the background trainer that
 //!   closes the train→serve loop.
@@ -40,6 +43,7 @@ pub use af_extract as extract;
 pub use af_fault as fault;
 pub use af_fleet as fleet;
 pub use af_geom as geom;
+pub use af_guard as guard;
 pub use af_model as model;
 pub use af_netlist as netlist;
 pub use af_nn as nn;

@@ -675,3 +675,225 @@ fn trainer_killed_mid_finetune_never_exposes_a_half_written_candidate() {
     assert_eq!(train_once(&cfg).unwrap(), TrainOutcome::Unchanged);
     let _ = std::fs::remove_dir_all(&root);
 }
+
+// ---------------------------------------------------------------------------
+// Tail tolerance: one of three serve replicas is deterministically slow (a
+// seeded `serve.batch.delay` failpoint fires on every batch of exactly one
+// worker), the front hedges around it, the latency breaker trips it out of
+// the ring, and a disarmed run heals the breaker back to closed — while the
+// prediction bodies stay bit-identical at every server thread count.
+
+#[test]
+fn fleet_slow_worker_is_hedged_tripped_and_healed() {
+    use analogfold_suite::fleet::{
+        Coordinator, CoordinatorConfig, Front, FrontConfig, WorkerAgent, WorkerCaps, WorkerIdentity,
+    };
+    use analogfold_suite::guard::{BreakerConfig, HedgeConfig};
+
+    let _guard = fault::scenario();
+    const WORKERS: u64 = 3;
+    const PROB: f64 = 0.34;
+    const DELAY_MS: u64 = 120;
+    const NONCES: u64 = 32;
+
+    // Whether the delay fires is a pure function of (seed, fault_key), so a
+    // small scan finds a seed under which exactly one of the three replicas
+    // is slow — on every batch, at every thread count, in every run.
+    let fault_seed = (1u64..100_000)
+        .find(|&s| {
+            (0..WORKERS)
+                .filter(|&k| fault::would_fire(s, "serve.batch.delay", k, PROB))
+                .count()
+                == 1
+        })
+        .expect("some seed slows exactly one of three workers");
+    let slow_idx = (0..WORKERS)
+        .find(|&k| fault::would_fire(fault_seed, "serve.batch.delay", k, PROB))
+        .unwrap();
+    let slow_id = format!("cw{slow_idx}");
+
+    let gnn = small_gnn();
+    let bodies_for = |guidance_len: usize, nonce: u64| {
+        let n = nonce as f64;
+        format!(
+            "{{\"guidance\":[{}]}}",
+            (0..guidance_len)
+                .map(|i| format!("{:?}", ((i as f64).mul_add(0.29, n * 0.77)).sin() * 0.3))
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    };
+
+    let mut reference: Option<Vec<String>> = None;
+    for threads in [1usize, 4, 8] {
+        fault::disarm_all();
+        fault::set_seed(fault_seed);
+        fault::arm_spec(&format!("serve.batch.delay:delay:{DELAY_MS}:{PROB}")).unwrap();
+
+        let coord = Coordinator::bind(CoordinatorConfig {
+            addr: "127.0.0.1:0".to_string(),
+            lease_ms: 0,
+            gen: None,
+        })
+        .unwrap();
+        let coordinator = coord.addr().to_string();
+        let mut rigs = Vec::new();
+        let mut guidance_len = 0;
+        for i in 0..WORKERS {
+            let bundle = ModelBundle::with_model("OTA1", "A", gnn.clone()).unwrap();
+            guidance_len = bundle.guidance_len();
+            let model_hash = bundle.model_hash.clone();
+            let server = Server::bind(
+                bundle,
+                ServeConfig {
+                    workers: threads,
+                    fault_key: i,
+                    job_dir: Some(tmp_dir(&format!("slow-{threads}-{i}"))),
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap();
+            let id = format!("cw{i}");
+            let agent = WorkerAgent::start(
+                &coordinator,
+                WorkerIdentity {
+                    id: id.clone(),
+                    addr: server.addr().to_string(),
+                    caps: WorkerCaps {
+                        serve: true,
+                        gen: false,
+                    },
+                    model_hash,
+                    guidance_len: guidance_len as u64,
+                },
+            );
+            rigs.push((id, server, agent));
+        }
+        let front = Front::bind(FrontConfig {
+            addr: "127.0.0.1:0".to_string(),
+            coordinator,
+            refresh_ms: 50,
+            // A fixed hedge delay well under the injected slowness (and well
+            // over a healthy small-model prediction) keeps both phases of
+            // the test off the flakiness cliff.
+            hedge: HedgeConfig {
+                delay_ms: 30,
+                seed: 1,
+                ..HedgeConfig::default()
+            },
+            breaker: BreakerConfig {
+                window: 8,
+                min_samples: 2,
+                slow_ms: DELAY_MS / 3,
+                open_ms: 300,
+                probe_interval_ms: 50,
+                close_after: 2,
+                ..BreakerConfig::default()
+            },
+            ..FrontConfig::default()
+        })
+        .unwrap();
+        let ring_deadline = Instant::now() + Duration::from_secs(10);
+        while front.worker_count() != WORKERS as usize {
+            assert!(Instant::now() < ring_deadline, "front ring never filled");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        let bodies: Vec<String> = (0..NONCES)
+            .map(|nonce| {
+                let reply = request(
+                    front.addr(),
+                    "POST",
+                    "/v1/predict",
+                    &bodies_for(guidance_len, nonce),
+                );
+                assert_eq!(reply.status, 200, "{}", reply.body);
+                reply.body
+            })
+            .collect();
+
+        // Parity with every replica answered directly — the hedge winner is
+        // whichever leg was fastest, so this is only safe because replicas
+        // agree byte-for-byte.
+        for (id, server, _) in &rigs {
+            let direct = request(
+                server.addr(),
+                "POST",
+                "/v1/predict",
+                &bodies_for(guidance_len, 0),
+            );
+            assert_eq!(direct.status, 200);
+            assert_eq!(
+                direct.body, bodies[0],
+                "replica {id} disagrees with the front"
+            );
+        }
+
+        match &reference {
+            None => reference = Some(bodies),
+            Some(want) => assert_eq!(
+                want, &bodies,
+                "prediction bodies must be thread-count invariant under the slow worker"
+            ),
+        }
+
+        let stats = front.hedge_stats();
+        assert!(
+            stats.issued >= 1,
+            "at least one hedge must fire around the slow worker (issued {})",
+            stats.issued
+        );
+        let tripped = front
+            .breakers()
+            .into_iter()
+            .find(|b| b.worker == slow_id)
+            .expect("the slow worker has a breaker");
+        assert!(
+            tripped.opened >= 1,
+            "the latency breaker must trip the slow worker (state {})",
+            tripped.state
+        );
+
+        // Heal: disarm the fault and keep sending traffic. The open breaker
+        // moves to half-open after `open_ms`, `allow` lets probes through,
+        // the now-fast replica answers, and `close_after` successes close it.
+        fault::disarm_all();
+        let heal_deadline = Instant::now() + Duration::from_secs(20);
+        let mut nonce = 1_000u64;
+        loop {
+            let b = front
+                .breakers()
+                .into_iter()
+                .find(|b| b.worker == slow_id)
+                .unwrap();
+            if b.state == "closed" {
+                break;
+            }
+            assert!(
+                Instant::now() < heal_deadline,
+                "breaker never healed: stuck {} after {} trips",
+                b.state,
+                b.opened
+            );
+            let reply = request(
+                front.addr(),
+                "POST",
+                "/v1/predict",
+                &bodies_for(guidance_len, nonce),
+            );
+            assert_eq!(reply.status, 200);
+            nonce += 1;
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        front.shutdown();
+        front.join();
+        for (_, server, agent) in rigs {
+            agent.stop();
+            server.shutdown();
+            server.join();
+        }
+        coord.shutdown();
+        coord.join();
+    }
+}

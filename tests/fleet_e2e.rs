@@ -19,6 +19,7 @@ use analogfold_suite::fleet::{
     run_gen_worker, spec_config, spec_design, Coordinator, CoordinatorConfig, Front, FrontConfig,
     FrontHandle, GenSpec, WorkerAgent, WorkerCaps, WorkerIdentity,
 };
+use analogfold_suite::guard::HedgeConfig;
 use analogfold_suite::serve::{ModelBundle, ServeConfig, Server};
 
 fn tmp_dir(name: &str) -> std::path::PathBuf {
@@ -52,12 +53,27 @@ impl Reply {
 
 /// One-shot HTTP exchange on a fresh connection (connection: close).
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Reply {
+    request_with(addr, method, path, body, &[])
+}
+
+/// [`request`] with extra request headers (e.g. `x-deadline-ms`).
+fn request_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    extra: &[(&str, &str)],
+) -> Reply {
     let mut stream = TcpStream::connect(addr).unwrap();
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
         .unwrap();
+    let extra_lines: String = extra
+        .iter()
+        .map(|(name, value)| format!("{name}: {value}\r\n"))
+        .collect();
     let raw = format!(
-        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n{extra_lines}connection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(raw.as_bytes()).unwrap();
@@ -161,6 +177,14 @@ fn front_parity_failover_and_ring_shrink() {
         addr: "127.0.0.1:0".to_string(),
         coordinator: coordinator.clone(),
         refresh_ms: 50,
+        // Guard machinery off: this test pins down the plain ring contract
+        // (who serves which key, failover, shrink) without hedged duplicates.
+        hedge: HedgeConfig {
+            enabled: false,
+            ..HedgeConfig::default()
+        },
+        breaker_enabled: false,
+        ..FrontConfig::default()
     })
     .unwrap();
     wait_ring(&front, 2);
@@ -310,4 +334,114 @@ fn distributed_gen_matches_single_process_dataset() {
         "distributed generation must be bit-identical to the single-process run"
     );
     let _ = std::fs::remove_dir_all(&checkpoint);
+}
+
+/// Deadline propagation through a real front→worker hop: a generous budget
+/// rides along and the request completes; an exhausted or malformed budget
+/// is shed/rejected at the front before any worker is dialed — in
+/// particular, an expired `/v1/route` never creates route work.
+#[test]
+fn deadline_propagation_and_front_shedding() {
+    let gnn = small_gnn();
+    let coord = Coordinator::bind(CoordinatorConfig {
+        addr: "127.0.0.1:0".to_string(),
+        lease_ms: 0,
+        gen: None,
+    })
+    .unwrap();
+    let coordinator = coord.addr().to_string();
+
+    let bundle = ModelBundle::with_model("OTA1", "A", gnn).unwrap();
+    let guidance_len = bundle.guidance_len();
+    let model_hash = bundle.model_hash.clone();
+    let job_dir = tmp_dir("deadline-jobs");
+    let server = Server::bind(
+        bundle,
+        ServeConfig {
+            job_dir: Some(job_dir.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let agent = WorkerAgent::start(
+        &coordinator,
+        WorkerIdentity {
+            id: "d0".to_string(),
+            addr: server.addr().to_string(),
+            caps: WorkerCaps {
+                serve: true,
+                gen: false,
+            },
+            model_hash,
+            guidance_len: guidance_len as u64,
+        },
+    );
+    let front = Front::bind(FrontConfig {
+        addr: "127.0.0.1:0".to_string(),
+        coordinator,
+        refresh_ms: 50,
+        ..FrontConfig::default()
+    })
+    .unwrap();
+    wait_ring(&front, 1);
+
+    // A live budget rides through the whole hop: the front re-encodes the
+    // remaining budget, the worker's gates all pass, and the answer comes
+    // back byte-identical to a direct, deadline-free call.
+    let body = guidance_body(guidance_len, 3);
+    let budgeted = request_with(
+        front.addr(),
+        "POST",
+        "/v1/predict",
+        &body,
+        &[("x-deadline-ms", "30000")],
+    );
+    assert_eq!(budgeted.status, 200, "{}", budgeted.body);
+    let direct = request(server.addr(), "POST", "/v1/predict", &body);
+    assert_eq!(budgeted.body, direct.body);
+
+    // An already-exhausted budget — relative or absolute-in-the-past — is
+    // shed at the front with 408 before routing.
+    for spent in ["0", "@1"] {
+        let shed = request_with(
+            front.addr(),
+            "POST",
+            "/v1/predict",
+            &body,
+            &[("x-deadline-ms", spent)],
+        );
+        assert_eq!(shed.status, 408, "value {spent:?}: {}", shed.body);
+    }
+
+    // Garbage is the client's bug: 400, not 408.
+    let bad = request_with(
+        front.addr(),
+        "POST",
+        "/v1/predict",
+        &body,
+        &[("x-deadline-ms", "soon-ish")],
+    );
+    assert_eq!(bad.status, 400, "{}", bad.body);
+
+    // An expired /v1/route is shed before any job is enqueued: the worker's
+    // job directory must hold no shard afterwards.
+    let route = request_with(
+        front.addr(),
+        "POST",
+        "/v1/route",
+        "{\"bench\":\"OTA1\",\"variant\":\"A\"}",
+        &[("x-deadline-ms", "0")],
+    );
+    assert_eq!(route.status, 408, "{}", route.body);
+    let jobs = std::fs::read_dir(&job_dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(jobs, 0, "an expired route request must enqueue nothing");
+
+    front.shutdown();
+    front.join();
+    agent.stop();
+    server.shutdown();
+    server.join();
+    coord.shutdown();
+    coord.join();
+    let _ = std::fs::remove_dir_all(&job_dir);
 }
